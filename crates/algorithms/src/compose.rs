@@ -1,0 +1,254 @@
+//! Protocol composition: the constructions of Theorems 1 and 2.
+//!
+//! Both theorems share one move: first run an index-independent,
+//! comparison-based `(2n−1)`-renaming layer, then use the new names as
+//! the identities of an inner algorithm. Theorem 1 concludes that
+//! identity spaces larger than `[1..2n−1]` add no power; Theorem 2 that
+//! comparison-based algorithms are as powerful as unrestricted ones
+//! (the renaming layer consumes the raw identity values; the composite
+//! interacts with identities only through the comparison-based layer).
+//!
+//! [`RenameThenProtocol`] mechanizes the move for arbitrary inner
+//! protocols: it runs [`RenamingProtocol`]
+//! to completion, builds the inner protocol from the acquired name, and
+//! forwards all subsequent actions. The inner protocol's register traffic
+//! is kept disjoint from the renaming layer's by tagging written values.
+
+use gsb_core::Identity;
+use gsb_memory::{Action, Observation, Protocol, Value, Word};
+
+use crate::renaming::RenamingProtocol;
+
+
+/// Tag separating the renaming layer's `[id, name]` prefix from the
+/// inner protocol's payload in a composite register value.
+const INNER_TAG: Word = u64::MAX - 1;
+
+/// A factory building the inner protocol once the renaming layer has
+/// produced the process's new identity in `[1..2n−1]`.
+pub type InnerFactory = dyn Fn(Identity, usize) -> Box<dyn Protocol> + Send + Sync;
+
+/// Theorem 1/2 composition: `(2n−1)`-rename first, then run the inner
+/// protocol with the new name as identity.
+///
+/// Both layers share the single register array in full-information style:
+/// before renaming completes, a process's register holds the plain
+/// `[id, proposal]` pair; afterwards every inner write is encoded as
+/// `[id, final_name, INNER_TAG, inner_payload…]`, so the process's name
+/// claim stays visible to still-renaming processes (the renaming layer
+/// parses values by their 2-word prefix) while the inner protocol sees
+/// only the payloads past the tag.
+pub struct RenameThenProtocol {
+    renaming: RenamingProtocol,
+    inner: Option<Box<dyn Protocol>>,
+    /// `[raw_id, final_name]`, fixed once renaming completes.
+    outer_prefix: Vec<Word>,
+    raw_id: Word,
+    build_inner: std::sync::Arc<InnerFactory>,
+    n: usize,
+}
+
+impl std::fmt::Debug for RenameThenProtocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RenameThenProtocol")
+            .field("renamed", &self.inner.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RenameThenProtocol {
+    /// Creates the composite for a process with raw identity `id` among
+    /// `n`, with `build_inner` constructing the post-renaming protocol.
+    #[must_use]
+    pub fn new(id: Identity, n: usize, build_inner: std::sync::Arc<InnerFactory>) -> Self {
+        RenameThenProtocol {
+            renaming: RenamingProtocol::new(id),
+            inner: None,
+            outer_prefix: Vec::new(),
+            raw_id: u64::from(id.get()),
+            build_inner,
+            n,
+        }
+    }
+
+    fn wrap_inner_action(&self, action: Action) -> Action {
+        match action {
+            Action::Write(mut value) => {
+                let mut full = self.outer_prefix.clone();
+                full.push(INNER_TAG);
+                full.append(&mut value);
+                Action::Write(full)
+            }
+            other => other,
+        }
+    }
+
+    fn unwrap_inner_observation(observation: Observation) -> Observation {
+        match observation {
+            Observation::Snapshot(snap) => {
+                Observation::Snapshot(snap.into_iter().map(Self::strip_prefix).collect())
+            }
+            Observation::CellValue(value) => Observation::CellValue(Self::strip_prefix(value)),
+            other => other,
+        }
+    }
+
+    fn strip_prefix(value: Option<Value>) -> Option<Value> {
+        match value {
+            Some(v) if v.len() >= 3 && v[2] == INNER_TAG => Some(v[3..].to_vec()),
+            // Values still belonging to the renaming layer are invisible
+            // to the inner protocol.
+            _ => None,
+        }
+    }
+}
+
+impl Protocol for RenameThenProtocol {
+    fn next_action(&mut self, observation: Observation) -> Action {
+        if let Some(inner) = &mut self.inner {
+            let inner_obs = Self::unwrap_inner_observation(observation);
+            let action = inner.next_action(inner_obs);
+            return self.wrap_inner_action(action);
+        }
+        match self.renaming.next_action(observation) {
+            Action::Decide(name) => {
+                // Renaming layer finished: fix the full-information prefix,
+                // boot the inner protocol with the new identity, and
+                // deliver its first activation.
+                self.outer_prefix = vec![self.raw_id, name as Word];
+                let new_id = Identity::new(name as u32).expect("names are ≥ 1");
+                let mut inner = (self.build_inner)(new_id, self.n);
+                let first = inner.next_action(Observation::Start);
+                self.inner = Some(inner);
+                self.wrap_inner_action(first)
+            }
+            other => other,
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(RenameThenProtocol {
+            renaming: self.renaming.clone(),
+            inner: self.inner.as_ref().map(|p| p.boxed_clone()),
+            outer_prefix: self.outer_prefix.clone(),
+            raw_id: self.raw_id,
+            build_inner: std::sync::Arc::clone(&self.build_inner),
+            n: self.n,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::free::FreeDecisionProtocol;
+    use crate::harness::{sweep_exhaustive, sweep_random, AlgorithmUnderTest};
+    use crate::slot::SlotRenamingProtocol;
+    use gsb_core::SymmetricGsb;
+    use gsb_memory::{GsbOracle, Oracle, OraclePolicy, ProtocolFactory};
+    use std::sync::Arc;
+
+    fn ids(values: &[u32]) -> Vec<Identity> {
+        values.iter().map(|&v| Identity::new(v).unwrap()).collect()
+    }
+
+    #[test]
+    fn theorem_1_free_solver_with_huge_identities() {
+        // x-bounded homonymous renaming with identities up to 10⁶:
+        // rename down to [1..2n−1], then decide δ(new name).
+        let n = 4;
+        let spec = SymmetricGsb::homonymous_renaming(n, 2).unwrap().to_spec();
+        let spec_inner = spec.clone();
+        let build: Arc<InnerFactory> = Arc::new(move |id, _n| {
+            Box::new(FreeDecisionProtocol::new(&spec_inner, id).expect("solvable"))
+        });
+        let factory: Box<ProtocolFactory<'static>> = Box::new(move |_pid, id, n| {
+            Box::new(RenameThenProtocol::new(id, n, Arc::clone(&build)))
+        });
+        let algo = AlgorithmUnderTest {
+            spec,
+            factory: &factory,
+            oracles: &Vec::new,
+        };
+        sweep_random(&algo, 100_000, 40, 83).unwrap();
+    }
+
+    #[test]
+    fn theorem_2_composite_with_register_based_inner() {
+        // Inner protocol that itself uses registers and oracles: Figure 2
+        // slot→renaming, running on renamed identities, raw ids huge.
+        let n = 3;
+        let spec = SymmetricGsb::renaming(n, n + 1).unwrap().to_spec();
+        let build: Arc<InnerFactory> =
+            Arc::new(|id, n| Box::new(SlotRenamingProtocol::new(id, n)));
+        let factory: Box<ProtocolFactory<'static>> = Box::new(move |_pid, id, n| {
+            Box::new(RenameThenProtocol::new(id, n, Arc::clone(&build)))
+        });
+        let oracles = move || -> Vec<Box<dyn Oracle>> {
+            let slot = SymmetricGsb::slot(n, n - 1).unwrap().to_spec();
+            vec![Box::new(GsbOracle::new(slot, OraclePolicy::Seeded(13)).unwrap())]
+        };
+        let algo = AlgorithmUnderTest {
+            spec,
+            factory: &factory,
+            oracles: &oracles,
+        };
+        sweep_random(&algo, 50_000, 40, 89).unwrap();
+    }
+
+    #[test]
+    fn composite_exhaustive_two_processes() {
+        let n = 2;
+        let spec = SymmetricGsb::loose_renaming(n).unwrap().to_spec();
+        let spec_inner = spec.clone();
+        let build: Arc<InnerFactory> = Arc::new(move |id, _n| {
+            Box::new(FreeDecisionProtocol::new(&spec_inner, id).expect("solvable"))
+        });
+        let factory: Box<ProtocolFactory<'static>> = Box::new(move |_pid, id, n| {
+            Box::new(RenameThenProtocol::new(id, n, Arc::clone(&build)))
+        });
+        let algo = AlgorithmUnderTest {
+            spec,
+            factory: &factory,
+            oracles: &Vec::new,
+        };
+        sweep_exhaustive(&algo, &ids(&[977, 41]), 100_000).unwrap();
+    }
+
+    #[test]
+    fn composite_encoding_round_trips() {
+        // Full-information value [raw_id, name, TAG, payload…] keeps the
+        // renaming claim visible while the inner layer sees the payload.
+        let composite = vec![42u64, 3, INNER_TAG, 7, 8];
+        assert_eq!(
+            RenameThenProtocol::strip_prefix(Some(composite.clone())),
+            Some(vec![7, 8])
+        );
+        // Renaming-layer values are hidden from the inner protocol.
+        assert_eq!(RenameThenProtocol::strip_prefix(Some(vec![3, 1])), None);
+        assert_eq!(RenameThenProtocol::strip_prefix(None), None);
+    }
+
+    #[test]
+    fn composite_preserves_name_claims_against_laggards() {
+        // Regression for the overwrite hazard: one process renames and
+        // starts writing inner data while another is still renaming; the
+        // laggard must not steal the finished process's name.
+        let n = 3;
+        let spec = SymmetricGsb::renaming(n, 2 * n - 1).unwrap().to_spec();
+        let spec_inner = SymmetricGsb::loose_renaming(n).unwrap().to_spec();
+        let build: Arc<InnerFactory> = Arc::new(move |id, _n| {
+            Box::new(FreeDecisionProtocol::new(&spec_inner, id).expect("solvable"))
+        });
+        let factory: Box<ProtocolFactory<'static>> = Box::new(move |_pid, id, n| {
+            Box::new(RenameThenProtocol::new(id, n, Arc::clone(&build)))
+        });
+        let algo = AlgorithmUnderTest {
+            spec,
+            factory: &factory,
+            oracles: &Vec::new,
+        };
+        // Adversarial scheduling maximizes the laggard window.
+        crate::harness::sweep_adversarial(&algo, 500, 80, 97).unwrap();
+    }
+}

@@ -1,0 +1,166 @@
+//! Election (Section 3.2, Theorem 11).
+//!
+//! The election GSB task — exactly one process outputs 1, the other `n−1`
+//! output 2 — is **not wait-free solvable** from registers (Theorem 11;
+//! verified computationally in `gsb-topology`). It *is* solvable from
+//! stronger objects, which these protocols demonstrate:
+//!
+//! * [`ElectionFromTestAndSet`] — the winner of an (adaptive) test&set
+//!   object becomes the leader. This also illustrates the paper's remark
+//!   that election GSB is the *non-adaptive* weakening of test&set.
+//! * [`ElectionFromPerfectRenaming`] — Theorem 8 specialized: the process
+//!   renamed `1` becomes the leader.
+
+use gsb_memory::{Action, Observation, Protocol};
+
+/// Which oracle slot holds the strong object (test&set or perfect
+/// renaming).
+pub const ELECTION_ORACLE: usize = 0;
+
+/// Election from a test&set object: reply 1 (winner) → decide 1, reply 2
+/// → decide 2.
+#[derive(Debug, Clone, Default)]
+pub struct ElectionFromTestAndSet;
+
+impl ElectionFromTestAndSet {
+    /// Creates the protocol.
+    #[must_use]
+    pub fn new() -> Self {
+        ElectionFromTestAndSet
+    }
+}
+
+impl Protocol for ElectionFromTestAndSet {
+    fn next_action(&mut self, observation: Observation) -> Action {
+        match observation {
+            Observation::Start => Action::Oracle {
+                object: ELECTION_ORACLE,
+                input: 0,
+            },
+            Observation::OracleReply(reply) => Action::Decide(if reply == 1 { 1 } else { 2 }),
+            other => unreachable!("election never observes {other:?}"),
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+}
+
+/// Election from a perfect-renaming object: the process named 1 leads.
+#[derive(Debug, Clone, Default)]
+pub struct ElectionFromPerfectRenaming;
+
+impl ElectionFromPerfectRenaming {
+    /// Creates the protocol.
+    #[must_use]
+    pub fn new() -> Self {
+        ElectionFromPerfectRenaming
+    }
+}
+
+impl Protocol for ElectionFromPerfectRenaming {
+    fn next_action(&mut self, observation: Observation) -> Action {
+        match observation {
+            Observation::Start => Action::Oracle {
+                object: ELECTION_ORACLE,
+                input: 0,
+            },
+            Observation::OracleReply(name) => Action::Decide(if name == 1 { 1 } else { 2 }),
+            other => unreachable!("election never observes {other:?}"),
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{sweep_exhaustive, sweep_random, AlgorithmUnderTest};
+    use gsb_core::{GsbSpec, Identity, SymmetricGsb};
+    use gsb_memory::{GsbOracle, Oracle, OraclePolicy, ProtocolFactory, TestAndSetOracle};
+
+    #[test]
+    fn election_from_test_and_set() {
+        for n in [2usize, 3, 5, 7] {
+            let factory: Box<ProtocolFactory<'static>> =
+                Box::new(|_pid, _id, _n| Box::new(ElectionFromTestAndSet::new()));
+            let oracles = || vec![Box::new(TestAndSetOracle::new()) as Box<dyn Oracle>];
+            let algo = AlgorithmUnderTest {
+                spec: GsbSpec::election(n).unwrap(),
+                factory: &factory,
+                oracles: &oracles,
+            };
+            sweep_random(&algo, (2 * n - 1) as u32, 40, 41)
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn election_from_perfect_renaming() {
+        for n in [2usize, 4, 6] {
+            for policy in [OraclePolicy::FirstFit, OraclePolicy::Seeded(6)] {
+                let factory: Box<ProtocolFactory<'static>> =
+                    Box::new(|_pid, _id, _n| Box::new(ElectionFromPerfectRenaming::new()));
+                let oracles = move || {
+                    let spec = SymmetricGsb::perfect_renaming(n).unwrap().to_spec();
+                    vec![Box::new(GsbOracle::new(spec, policy).unwrap()) as Box<dyn Oracle>]
+                };
+                let algo = AlgorithmUnderTest {
+                    spec: GsbSpec::election(n).unwrap(),
+                    factory: &factory,
+                    oracles: &oracles,
+                };
+                sweep_random(&algo, (2 * n - 1) as u32, 30, 43)
+                    .unwrap_or_else(|e| panic!("n={n} {policy:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn election_exhaustive_three_processes() {
+        let factory: Box<ProtocolFactory<'static>> =
+            Box::new(|_pid, _id, _n| Box::new(ElectionFromTestAndSet::new()));
+        let oracles = || vec![Box::new(TestAndSetOracle::new()) as Box<dyn Oracle>];
+        let algo = AlgorithmUnderTest {
+            spec: GsbSpec::election(3).unwrap(),
+            factory: &factory,
+            oracles: &oracles,
+        };
+        let ids: Vec<Identity> = [2u32, 5, 1]
+            .iter()
+            .map(|&v| Identity::new(v).unwrap())
+            .collect();
+        let report = sweep_exhaustive(&algo, &ids, 1000).unwrap();
+        assert_eq!(report.runs, 90); // interleavings of three 2-step runs
+    }
+
+    #[test]
+    fn election_solves_wsb_but_not_conversely() {
+        // Election's outputs are WSB outputs (containment) — run the
+        // election protocol, check it against the *WSB* spec.
+        let factory: Box<ProtocolFactory<'static>> =
+            Box::new(|_pid, _id, _n| Box::new(ElectionFromTestAndSet::new()));
+        let oracles = || vec![Box::new(TestAndSetOracle::new()) as Box<dyn Oracle>];
+        let algo = AlgorithmUnderTest {
+            spec: SymmetricGsb::wsb(5).unwrap().to_spec(),
+            factory: &factory,
+            oracles: &oracles,
+        };
+        sweep_random(&algo, 9, 30, 47).unwrap();
+        // The converse separation (WSB ⇏ election) is Theorem 11 +
+        // [17]: see gsb-core's classifier and gsb-topology's checker.
+        use gsb_core::Solvability;
+        assert_eq!(
+            GsbSpec::election(6).unwrap().classify().solvability,
+            Solvability::NotWaitFreeSolvable
+        );
+        assert_eq!(
+            SymmetricGsb::wsb(6).unwrap().classify().solvability,
+            Solvability::WaitFreeSolvable
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Error types for the `gsb-algorithms` crate.
+
+use std::fmt;
+
+/// A specialized [`Result`](std::result::Result) type for `gsb-algorithms`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The error type for algorithm construction and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The task/parameters do not fit the algorithm's preconditions.
+    Unsupported {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A core-model error (invalid spec, infeasible task…).
+    Core(gsb_core::Error),
+    /// A simulation error (step limit, protocol violation…).
+    Memory(gsb_memory::Error),
+    /// A validation sweep found a run violating the task specification.
+    SpecViolation {
+        /// Description of the violating run (seed/schedule and outputs).
+        details: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Unsupported { reason } => write!(f, "unsupported configuration: {reason}"),
+            Error::Core(e) => write!(f, "core error: {e}"),
+            Error::Memory(e) => write!(f, "simulation error: {e}"),
+            Error::SpecViolation { details } => write!(f, "specification violated: {details}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Core(e) => Some(e),
+            Error::Memory(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gsb_core::Error> for Error {
+    fn from(e: gsb_core::Error) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<gsb_memory::Error> for Error {
+    fn from(e: gsb_memory::Error) -> Self {
+        Error::Memory(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let core: Error = gsb_core::Error::DuplicateIdentity { id: 3 }.into();
+        assert!(core.to_string().contains("duplicate"));
+        let mem: Error = gsb_memory::Error::InvalidConfig {
+            reason: "x".into(),
+        }
+        .into();
+        assert!(mem.to_string().contains("simulation error"));
+        use std::error::Error as _;
+        assert!(core.source().is_some());
+    }
+}

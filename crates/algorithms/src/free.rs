@@ -1,0 +1,238 @@
+//! Communication-free GSB solvers (Theorem 9, Corollaries 2–4) and the
+//! identity-space reduction of Theorem 1.
+//!
+//! * [`FreeDecisionProtocol`] — decides `δ(id)` immediately, where `δ` is
+//!   the witness partition of Theorem 9's proof (requires identities in
+//!   `[1..2n−1]`).
+//! * [`RenamedFreeProtocol`] — Theorem 1's construction: first run the
+//!   `(2n−1)`-renaming algorithm to shrink an arbitrary identity space
+//!   `[1..N]` to `[1..2n−1]`, then decide `δ(new name)`. This solves every
+//!   no-communication-solvable task for *any* identity space, with
+//!   communication used only by the renaming layer.
+//! * [`homonymous_decision`] — Corollary 2's closed-form rule
+//!   `δ(id) = ⌈id/x⌉` for x-bounded homonymous renaming.
+
+use gsb_core::{GsbSpec, Identity};
+use gsb_memory::{Action, Observation, Protocol};
+
+use crate::error::{Error, Result};
+use crate::renaming::RenamingProtocol;
+
+/// Decides `δ(id)` with no communication (Theorem 9).
+#[derive(Debug, Clone)]
+pub struct FreeDecisionProtocol {
+    decision: usize,
+}
+
+impl FreeDecisionProtocol {
+    /// Builds the protocol for one process: looks up the witness map of
+    /// `spec` at this process's identity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] if the task is not solvable without
+    /// communication, or the identity exceeds `2n−1` (use
+    /// [`RenamedFreeProtocol`] for large identity spaces).
+    pub fn new(spec: &GsbSpec, id: Identity) -> Result<Self> {
+        let witness = spec
+            .no_communication_witness()
+            .ok_or_else(|| Error::Unsupported {
+                reason: format!("{spec} is not solvable without communication"),
+            })?;
+        let index = id.get() as usize;
+        if index == 0 || index > witness.len() {
+            return Err(Error::Unsupported {
+                reason: format!(
+                    "identity {id} outside [1..{}]; rename first (Theorem 1)",
+                    witness.len()
+                ),
+            });
+        }
+        Ok(FreeDecisionProtocol {
+            decision: witness[index - 1],
+        })
+    }
+}
+
+impl Protocol for FreeDecisionProtocol {
+    fn next_action(&mut self, _observation: Observation) -> Action {
+        Action::Decide(self.decision)
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+}
+
+/// Theorem 1's construction: `(2n−1)`-rename, then decide `δ(new name)`.
+#[derive(Debug, Clone)]
+pub struct RenamedFreeProtocol {
+    renaming: RenamingProtocol,
+    witness: Vec<usize>,
+}
+
+impl RenamedFreeProtocol {
+    /// Builds the protocol for one process with an identity from an
+    /// arbitrary space `[1..N]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] if `spec` is not solvable without
+    /// communication (given small identities).
+    pub fn new(spec: &GsbSpec, id: Identity) -> Result<Self> {
+        let witness = spec
+            .no_communication_witness()
+            .ok_or_else(|| Error::Unsupported {
+                reason: format!("{spec} is not solvable without communication"),
+            })?;
+        Ok(RenamedFreeProtocol {
+            renaming: RenamingProtocol::new(id),
+            witness,
+        })
+    }
+}
+
+impl Protocol for RenamedFreeProtocol {
+    fn next_action(&mut self, observation: Observation) -> Action {
+        match self.renaming.next_action(observation) {
+            Action::Decide(name) => {
+                // The renaming layer yields a name in [1..2n−1]; apply δ.
+                Action::Decide(self.witness[name - 1])
+            }
+            other => other,
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+}
+
+/// Corollary 2's decision rule for x-bounded homonymous renaming:
+/// `δ(id) = ⌈id/x⌉`.
+///
+/// # Examples
+///
+/// ```
+/// use gsb_algorithms::free::homonymous_decision;
+///
+/// assert_eq!(homonymous_decision(1, 3), 1);
+/// assert_eq!(homonymous_decision(3, 3), 1);
+/// assert_eq!(homonymous_decision(4, 3), 2);
+/// ```
+#[must_use]
+pub fn homonymous_decision(id: u32, x: u32) -> usize {
+    (id as usize).div_ceil(x as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{sweep_exhaustive, sweep_random, AlgorithmUnderTest};
+    use gsb_core::SymmetricGsb;
+    use gsb_memory::ProtocolFactory;
+
+    fn ids(values: &[u32]) -> Vec<Identity> {
+        values.iter().map(|&v| Identity::new(v).unwrap()).collect()
+    }
+
+    #[test]
+    fn free_protocol_solves_loose_renaming() {
+        let spec = SymmetricGsb::loose_renaming(4).unwrap().to_spec();
+        let spec_for_factory = spec.clone();
+        let factory: Box<ProtocolFactory<'static>> = Box::new(move |_pid, id, _n| {
+            Box::new(FreeDecisionProtocol::new(&spec_for_factory, id).unwrap())
+        });
+        let algo = AlgorithmUnderTest {
+            spec,
+            factory: &factory,
+            oracles: &Vec::new,
+        };
+        // Identities must stay within [1..2n−1] for the direct protocol.
+        sweep_random(&algo, 7, 40, 5).unwrap();
+    }
+
+    #[test]
+    fn free_protocol_solves_homonymous_renaming() {
+        for n in 2..=6 {
+            for x in 1..=n as u32 {
+                let spec = SymmetricGsb::homonymous_renaming(n, x as usize)
+                    .unwrap()
+                    .to_spec();
+                let spec_for_factory = spec.clone();
+                let factory: Box<ProtocolFactory<'static>> = Box::new(move |_pid, id, _n| {
+                    Box::new(FreeDecisionProtocol::new(&spec_for_factory, id).unwrap())
+                });
+                let algo = AlgorithmUnderTest {
+                    spec,
+                    factory: &factory,
+                    oracles: &Vec::new,
+                };
+                sweep_random(&algo, (2 * n - 1) as u32, 15, 9).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn free_protocol_rejects_wsb() {
+        // WSB is not solvable without communication (Corollary 3).
+        let spec = SymmetricGsb::wsb(4).unwrap().to_spec();
+        let err = FreeDecisionProtocol::new(&spec, Identity::new(1).unwrap()).unwrap_err();
+        assert!(matches!(err, Error::Unsupported { .. }));
+    }
+
+    #[test]
+    fn free_protocol_rejects_large_identities() {
+        let spec = SymmetricGsb::loose_renaming(3).unwrap().to_spec();
+        let err = FreeDecisionProtocol::new(&spec, Identity::new(99).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("rename first"));
+    }
+
+    #[test]
+    fn renamed_free_protocol_handles_large_identity_spaces() {
+        // Theorem 1: ⟨4, 7, 0, 1⟩ with identities up to 60.
+        let spec = SymmetricGsb::loose_renaming(4).unwrap().to_spec();
+        let spec_for_factory = spec.clone();
+        let factory: Box<ProtocolFactory<'static>> = Box::new(move |_pid, id, _n| {
+            Box::new(RenamedFreeProtocol::new(&spec_for_factory, id).unwrap())
+        });
+        let algo = AlgorithmUnderTest {
+            spec,
+            factory: &factory,
+            oracles: &Vec::new,
+        };
+        sweep_random(&algo, 60, 60, 21).unwrap();
+    }
+
+    #[test]
+    fn renamed_free_protocol_exhaustive_two_processes() {
+        let spec = SymmetricGsb::loose_renaming(2).unwrap().to_spec();
+        let spec_for_factory = spec.clone();
+        let factory: Box<ProtocolFactory<'static>> = Box::new(move |_pid, id, _n| {
+            Box::new(RenamedFreeProtocol::new(&spec_for_factory, id).unwrap())
+        });
+        let algo = AlgorithmUnderTest {
+            spec,
+            factory: &factory,
+            oracles: &Vec::new,
+        };
+        sweep_exhaustive(&algo, &ids(&[50, 13]), 10_000).unwrap();
+    }
+
+    #[test]
+    fn homonymous_rule_matches_witness_semantics() {
+        // The closed-form rule solves the homonymous task directly.
+        for n in 2..=7usize {
+            for x in 1..=n as u32 {
+                let spec = SymmetricGsb::homonymous_renaming(n, x as usize).unwrap();
+                let map: Vec<usize> = (1..=(2 * n - 1) as u32)
+                    .map(|id| homonymous_decision(id, x))
+                    .collect();
+                assert!(
+                    spec.to_spec().map_beats_all_subsets(&map),
+                    "n={n} x={x}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Validation harness: runs an algorithm over many schedules, crash plans
+//! and identity assignments, asserting the task specification on every
+//! outcome.
+//!
+//! Wait-free correctness is a ∀-schedules property; this harness is how
+//! the repository's tests, benches and examples all quantify over runs:
+//! seeded-random and adversarial sweeps for breadth, exhaustive
+//! enumeration for small systems, plus the paper's two hygiene replays
+//! (index-independence, comparison-basedness).
+
+use gsb_core::{GsbSpec, Identity};
+use gsb_memory::enumerate::{enumerate_schedules, permutations};
+use gsb_memory::{
+    build_executor, replay_index_permuted, replay_order_isomorphic, AdversarialScheduler,
+    CrashPlan, Oracle, Pid, ProtocolFactory, RoundRobinScheduler, RunOutcome, SeededScheduler,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{Error, Result};
+
+/// Everything needed to run one algorithm configuration: the task it
+/// solves, how to build its protocols, and how to build its oracles.
+pub struct AlgorithmUnderTest<'a> {
+    /// The task specification the outcomes are checked against.
+    pub spec: GsbSpec,
+    /// Builds the per-process protocol instances.
+    pub factory: &'a ProtocolFactory<'a>,
+    /// Builds a fresh set of oracle objects for each run.
+    pub oracles: &'a dyn Fn() -> Vec<Box<dyn Oracle>>,
+}
+
+impl std::fmt::Debug for AlgorithmUnderTest<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlgorithmUnderTest")
+            .field("spec", &self.spec)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Summary of a validation sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Runs executed.
+    pub runs: usize,
+    /// Total steps across all runs.
+    pub total_steps: usize,
+    /// Maximum steps of any single run (the wait-free worst case seen).
+    pub max_steps: usize,
+    /// Runs that contained crashes.
+    pub crashed_runs: usize,
+}
+
+impl SweepReport {
+    fn absorb(&mut self, outcome: &RunOutcome, crashed: bool) {
+        self.runs += 1;
+        self.total_steps += outcome.steps;
+        self.max_steps = self.max_steps.max(outcome.steps);
+        if crashed {
+            self.crashed_runs += 1;
+        }
+    }
+}
+
+/// Default per-run step budget used by the sweeps.
+pub const DEFAULT_STEP_LIMIT: usize = 200_000;
+
+/// Generates a pseudo-random identity assignment for `n` processes from
+/// the space `[1..bound]`.
+///
+/// # Panics
+///
+/// Panics if `bound < n`.
+#[must_use]
+pub fn random_ids(n: usize, bound: u32, rng: &mut StdRng) -> Vec<Identity> {
+    assert!(bound as usize >= n, "need at least n identities");
+    let mut pool: Vec<u32> = (1..=bound).collect();
+    pool.shuffle(rng);
+    pool.truncate(n);
+    pool.into_iter()
+        .map(|v| Identity::new(v).expect("non-zero identity"))
+        .collect()
+}
+
+/// Runs `runs` seeded-random schedules (half of them with random crash
+/// plans), checking every outcome against the spec.
+///
+/// # Errors
+///
+/// Returns [`Error::SpecViolation`] on the first violating run, and
+/// propagates simulation errors.
+pub fn sweep_random(
+    algo: &AlgorithmUnderTest<'_>,
+    id_bound: u32,
+    runs: usize,
+    seed: u64,
+) -> Result<SweepReport> {
+    let n = algo.spec.n();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut report = SweepReport::default();
+    for run in 0..runs {
+        let ids = random_ids(n, id_bound, &mut rng);
+        let crash = run % 2 == 1;
+        let plan = if crash {
+            let count = rng.gen_range(1..n.max(2));
+            let crashes: Vec<(Pid, usize)> = (0..count)
+                .map(|_| (Pid::new(rng.gen_range(0..n)), rng.gen_range(0..30)))
+                .collect();
+            CrashPlan::with_crashes(n, &crashes)
+        } else {
+            CrashPlan::none(n)
+        };
+        let mut exec = build_executor(algo.factory, &ids, (algo.oracles)());
+        let mut sched = SeededScheduler::new(seed.wrapping_add(run as u64));
+        let outcome = exec.run(&mut sched, &plan, DEFAULT_STEP_LIMIT)?;
+        if !outcome.satisfies(&algo.spec) {
+            return Err(Error::SpecViolation {
+                details: format!(
+                    "random sweep run {run} (ids {ids:?}): decisions {:?} violate {}",
+                    outcome.decisions, algo.spec
+                ),
+            });
+        }
+        report.absorb(&outcome, plan.crash_count() > 0);
+    }
+    Ok(report)
+}
+
+/// Runs `runs` adversarial schedules (solo bursts, extremal picks), again
+/// with interleaved crash plans.
+///
+/// # Errors
+///
+/// Returns [`Error::SpecViolation`] on the first violating run, and
+/// propagates simulation errors.
+pub fn sweep_adversarial(
+    algo: &AlgorithmUnderTest<'_>,
+    id_bound: u32,
+    runs: usize,
+    seed: u64,
+) -> Result<SweepReport> {
+    let n = algo.spec.n();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xadd5);
+    let mut report = SweepReport::default();
+    for run in 0..runs {
+        let ids = random_ids(n, id_bound, &mut rng);
+        let plan = if run % 3 == 2 {
+            CrashPlan::with_crashes(n, &[(Pid::new(rng.gen_range(0..n)), rng.gen_range(0..10))])
+        } else {
+            CrashPlan::none(n)
+        };
+        let mut exec = build_executor(algo.factory, &ids, (algo.oracles)());
+        let mut sched = AdversarialScheduler::new(seed.wrapping_add(run as u64), 40);
+        let outcome = exec.run(&mut sched, &plan, DEFAULT_STEP_LIMIT)?;
+        if !outcome.satisfies(&algo.spec) {
+            return Err(Error::SpecViolation {
+                details: format!(
+                    "adversarial sweep run {run} (ids {ids:?}): decisions {:?} violate {}",
+                    outcome.decisions, algo.spec
+                ),
+            });
+        }
+        report.absorb(&outcome, plan.crash_count() > 0);
+    }
+    Ok(report)
+}
+
+/// Exhaustively enumerates **every** schedule for the given identity
+/// assignment, checking the spec at every leaf and decision-prefix
+/// completability at every node. Only for small `n` / short algorithms.
+///
+/// # Errors
+///
+/// Returns [`Error::SpecViolation`] on the first violating run, and
+/// propagates simulation errors.
+pub fn sweep_exhaustive(
+    algo: &AlgorithmUnderTest<'_>,
+    ids: &[Identity],
+    step_limit: usize,
+) -> Result<SweepReport> {
+    let exec = build_executor(algo.factory, ids, (algo.oracles)());
+    let mut report = SweepReport::default();
+    let violation = std::cell::RefCell::new(None::<String>);
+    enumerate_schedules(
+        &exec,
+        step_limit,
+        &mut |node| {
+            // Prefix check: decided values must stay completable.
+            let outcome = node.outcome();
+            if !outcome.satisfies(&algo.spec) {
+                *violation.borrow_mut() = Some(format!(
+                    "prefix after {} steps: decisions {:?} not completable for {}",
+                    outcome.steps, outcome.decisions, algo.spec
+                ));
+                return false;
+            }
+            true
+        },
+        &mut |outcome| {
+            if !outcome.satisfies(&algo.spec) {
+                *violation.borrow_mut() = Some(format!(
+                    "complete run: decisions {:?} violate {}",
+                    outcome.decisions, algo.spec
+                ));
+                return false;
+            }
+            report.absorb(outcome, false);
+            true
+        },
+    )?;
+    match violation.into_inner() {
+        Some(details) => Err(Error::SpecViolation { details }),
+        None => Ok(report),
+    }
+}
+
+/// Checks the paper's hygiene conditions on one recorded run: replays it
+/// under every index permutation (index-independence) and under an
+/// order-isomorphic identity shift (comparison-basedness).
+///
+/// Oracles must be deterministic for the replay to be meaningful — pass a
+/// factory building deterministic-policy oracles.
+///
+/// # Errors
+///
+/// Returns [`Error::SpecViolation`] naming the failing permutation, and
+/// propagates simulation errors.
+pub fn check_hygiene(
+    algo: &AlgorithmUnderTest<'_>,
+    ids: &[Identity],
+    shifted_ids: &[Identity],
+    seed: u64,
+) -> Result<()> {
+    let n = algo.spec.n();
+    let mut exec = build_executor(algo.factory, ids, (algo.oracles)());
+    let outcome = exec.run(
+        &mut SeededScheduler::new(seed),
+        &CrashPlan::none(n),
+        DEFAULT_STEP_LIMIT,
+    )?;
+    let schedule = outcome.history.schedule();
+    for permutation in permutations(n) {
+        let ok = replay_index_permuted(
+            algo.factory,
+            ids,
+            &schedule,
+            &outcome.decisions,
+            &permutation,
+            algo.oracles,
+        )?;
+        if !ok {
+            return Err(Error::SpecViolation {
+                details: format!("index-independence fails under permutation {permutation:?}"),
+            });
+        }
+    }
+    let ok = replay_order_isomorphic(
+        algo.factory,
+        shifted_ids,
+        &schedule,
+        &outcome.decisions,
+        algo.oracles,
+    )?;
+    if !ok {
+        return Err(Error::SpecViolation {
+            details: "comparison-basedness fails under order-isomorphic identities".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Runs one synchronous (round-robin), crash-free run and returns its
+/// outcome — the "quick look" entry point used by examples.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_synchronous(
+    algo: &AlgorithmUnderTest<'_>,
+    ids: &[Identity],
+) -> Result<RunOutcome> {
+    let mut exec = build_executor(algo.factory, ids, (algo.oracles)());
+    let outcome = exec.run(
+        &mut RoundRobinScheduler::new(),
+        &CrashPlan::none(ids.len()),
+        DEFAULT_STEP_LIMIT,
+    )?;
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsb_memory::{Action, Observation, Protocol};
+
+    /// Decides 1 immediately — solves ⟨n, 1, 0, n⟩.
+    #[derive(Debug, Clone)]
+    struct AlwaysOne;
+
+    impl Protocol for AlwaysOne {
+        fn next_action(&mut self, _obs: Observation) -> Action {
+            Action::Decide(1)
+        }
+        fn boxed_clone(&self) -> Box<dyn Protocol> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn harness_accepts_a_correct_algorithm() {
+        let spec = gsb_core::SymmetricGsb::new(3, 1, 0, 3).unwrap().to_spec();
+        let factory: Box<ProtocolFactory<'static>> =
+            Box::new(|_, _, _| Box::new(AlwaysOne) as Box<dyn Protocol>);
+        let algo = AlgorithmUnderTest {
+            spec,
+            factory: &factory,
+            oracles: &Vec::new,
+        };
+        let report = sweep_random(&algo, 5, 20, 1).unwrap();
+        assert_eq!(report.runs, 20);
+        assert!(report.crashed_runs > 0);
+        let report = sweep_adversarial(&algo, 5, 10, 2).unwrap();
+        assert_eq!(report.runs, 10);
+        let ids: Vec<Identity> = [1u32, 2, 3]
+            .iter()
+            .map(|&v| Identity::new(v).unwrap())
+            .collect();
+        let report = sweep_exhaustive(&algo, &ids, 100).unwrap();
+        assert_eq!(report.runs, 6); // 3 one-step processes → 3! orders
+    }
+
+    #[test]
+    fn harness_rejects_an_incorrect_algorithm() {
+        // AlwaysOne does NOT solve WSB (all processes decide the same).
+        let spec = gsb_core::SymmetricGsb::wsb(3).unwrap().to_spec();
+        let factory: Box<ProtocolFactory<'static>> =
+            Box::new(|_, _, _| Box::new(AlwaysOne) as Box<dyn Protocol>);
+        let algo = AlgorithmUnderTest {
+            spec,
+            factory: &factory,
+            oracles: &Vec::new,
+        };
+        let err = sweep_random(&algo, 5, 5, 3).unwrap_err();
+        assert!(matches!(err, Error::SpecViolation { .. }));
+        let ids: Vec<Identity> = [1u32, 2, 3]
+            .iter()
+            .map(|&v| Identity::new(v).unwrap())
+            .collect();
+        assert!(sweep_exhaustive(&algo, &ids, 100).is_err());
+    }
+
+    #[test]
+    fn random_ids_are_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let ids = random_ids(4, 7, &mut rng);
+            assert_eq!(ids.len(), 4);
+            let mut raw: Vec<u32> = ids.iter().map(|i| i.get()).collect();
+            raw.sort_unstable();
+            raw.dedup();
+            assert_eq!(raw.len(), 4);
+            assert!(raw.iter().all(|&v| (1..=7).contains(&v)));
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # gsb-algorithms — distributed algorithms for GSB tasks
+//!
+//! Executable versions of every algorithm and reduction in *The Universe
+//! of Symmetry Breaking Tasks*, built on the `gsb-memory` simulator:
+//!
+//! | Paper result | Module |
+//! |---|---|
+//! | `(2n−1)`-renaming (Theorems 1–2's tool, \[7\]) | [`renaming`] |
+//! | Theorem 9 communication-free solvers, Corollary 2, Theorem 1's identity-space reduction | [`free`] |
+//! | Theorem 8: perfect renaming is universal | [`universal`] |
+//! | Figure 2 / Theorem 12: `(n+1)`-renaming from an `(n−1)`-slot object | [`slot`] |
+//! | WSB ↔ `(2n−2)`-renaming (easy direction), Corollary 4 `k`-WSB | [`wsb`] |
+//! | Election from test&set / perfect renaming (vs. Theorem 11) | [`election`] |
+//! | Theorem 1/2 layer composition (rename, then run anything) | [`compose`] |
+//!
+//! The [`harness`] module is the validation entry point: seeded-random,
+//! adversarial and exhaustive schedule sweeps, plus the paper's
+//! index-independence and comparison-based replay checks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod compose;
+pub mod election;
+mod error;
+pub mod free;
+pub mod harness;
+pub mod renaming;
+pub mod slot;
+pub mod universal;
+pub mod wsb;
+
+pub use compose::{InnerFactory, RenameThenProtocol};
+pub use election::{ElectionFromPerfectRenaming, ElectionFromTestAndSet};
+pub use error::{Error, Result};
+pub use free::{homonymous_decision, FreeDecisionProtocol, RenamedFreeProtocol};
+pub use harness::{
+    check_hygiene, run_synchronous, sweep_adversarial, sweep_exhaustive, sweep_random,
+    AlgorithmUnderTest, SweepReport,
+};
+pub use renaming::{IsRenamingProtocol, RenamingProtocol};
+pub use slot::SlotRenamingProtocol;
+pub use universal::UniversalGsbProtocol;
+pub use wsb::{wsb_is_two_slot, KWsbFromRenamingProtocol, WsbFromRenamingProtocol};

@@ -1,0 +1,315 @@
+//! Wait-free renaming algorithms.
+//!
+//! * [`RenamingProtocol`] — the classic `(2n−1)`-renaming algorithm
+//!   (Attiya, Bar-Noy, Dolev, Peleg, Reischuk — the paper's \[7\], in its
+//!   snapshot formulation): repeatedly propose a name, snapshot, and on
+//!   conflict re-propose the `r`-th free name where `r` is the rank of
+//!   your identity among the participants you saw. This is the tool behind
+//!   Theorems 1 and 2 (shrinking any identity space to `[1..2n−1]`,
+//!   comparison-based w.l.o.g.).
+//! * [`IsRenamingProtocol`] — order-preserving renaming into
+//!   `n(n+1)/2` names from one immediate snapshot: by the IS containment
+//!   property, two views of the same size are equal, so
+//!   `(|view|, rank in view)` pairs are distinct.
+
+use gsb_core::Identity;
+use gsb_memory::immediate::{IsMachine, IsStep};
+use gsb_memory::{Action, Observation, Protocol, Word};
+
+/// The classic comparison-based `(2n−1)`-renaming protocol.
+///
+/// Works for identities from an arbitrary space `[1..N]`; decides names in
+/// `[1..2n−1]` (rank ≤ `n` plus at most `n−1` names to skip).
+#[derive(Debug, Clone)]
+pub struct RenamingProtocol {
+    id: Word,
+    proposal: usize,
+    phase: RenamingPhase,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RenamingPhase {
+    Propose,
+    AwaitWrite,
+    AwaitSnapshot,
+}
+
+impl RenamingProtocol {
+    /// Creates the protocol for a process with the given identity.
+    #[must_use]
+    pub fn new(id: Identity) -> Self {
+        RenamingProtocol {
+            id: u64::from(id.get()),
+            proposal: 1,
+            phase: RenamingPhase::Propose,
+        }
+    }
+
+    /// `r`-th smallest positive integer not in `taken` (1-based `r`).
+    fn nth_free_name(taken: &[usize], r: usize) -> usize {
+        let mut remaining = r;
+        let mut candidate = 0usize;
+        loop {
+            candidate += 1;
+            if !taken.contains(&candidate) {
+                remaining -= 1;
+                if remaining == 0 {
+                    return candidate;
+                }
+            }
+        }
+    }
+}
+
+impl Protocol for RenamingProtocol {
+    fn next_action(&mut self, observation: Observation) -> Action {
+        match (self.phase, observation) {
+            (RenamingPhase::Propose, Observation::Start) => {
+                self.phase = RenamingPhase::AwaitWrite;
+                Action::Write(vec![self.id, self.proposal as Word])
+            }
+            (RenamingPhase::AwaitWrite, Observation::Written) => {
+                self.phase = RenamingPhase::AwaitSnapshot;
+                Action::Snapshot
+            }
+            (RenamingPhase::AwaitSnapshot, Observation::Snapshot(snap)) => {
+                // Values are parsed by prefix `[id, proposal, …]`: longer
+                // values are full-information states of composite layers
+                // (see `compose`) whose first two words stay ours.
+                let entries: Vec<(Word, usize)> = snap
+                    .iter()
+                    .flatten()
+                    .filter(|v| v.len() >= 2)
+                    .map(|v| (v[0], v[1] as usize))
+                    .collect();
+                let conflict = entries
+                    .iter()
+                    .any(|&(id, prop)| id != self.id && prop == self.proposal);
+                if conflict {
+                    let mut ids: Vec<Word> = entries.iter().map(|&(id, _)| id).collect();
+                    ids.sort_unstable();
+                    ids.dedup();
+                    let rank = ids
+                        .iter()
+                        .position(|&x| x == self.id)
+                        .expect("own write is in the snapshot")
+                        + 1;
+                    let taken: Vec<usize> = entries
+                        .iter()
+                        .filter(|&&(id, _)| id != self.id)
+                        .map(|&(_, prop)| prop)
+                        .collect();
+                    self.proposal = Self::nth_free_name(&taken, rank);
+                    self.phase = RenamingPhase::AwaitWrite;
+                    Action::Write(vec![self.id, self.proposal as Word])
+                } else {
+                    Action::Decide(self.proposal)
+                }
+            }
+            (phase, obs) => unreachable!("renaming: {obs:?} in phase {phase:?}"),
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+}
+
+/// Renaming into `n(n+1)/2` names from one immediate snapshot.
+///
+/// After the IS completes with view `V` (total order by containment), the
+/// process decides `|V|·(|V|−1)/2 + rank(id, V)`. Distinctness: same-size
+/// views coincide, and ranks within one view are distinct.
+#[derive(Debug, Clone)]
+pub struct IsRenamingProtocol {
+    id: Word,
+    machine: IsMachine,
+}
+
+impl IsRenamingProtocol {
+    /// Creates the protocol for identity `id` in an `n`-process system.
+    #[must_use]
+    pub fn new(id: Identity, n: usize) -> Self {
+        let id = u64::from(id.get());
+        IsRenamingProtocol {
+            id,
+            machine: IsMachine::new(id, n),
+        }
+    }
+
+    /// The maximum name this scheme can output for `n` processes.
+    #[must_use]
+    pub fn name_space(n: usize) -> usize {
+        n * (n + 1) / 2
+    }
+}
+
+impl Protocol for IsRenamingProtocol {
+    fn next_action(&mut self, observation: Observation) -> Action {
+        let step = match observation {
+            Observation::Start => self.machine.start(),
+            Observation::Written => self.machine.absorb(None),
+            Observation::Snapshot(snap) => self.machine.absorb(Some(snap)),
+            other => unreachable!("IS renaming never observes {other:?}"),
+        };
+        match step {
+            IsStep::Write(value) => Action::Write(value),
+            IsStep::Snapshot => Action::Snapshot,
+            IsStep::Done(view) => {
+                let size = view.len();
+                let rank = view
+                    .iter()
+                    .position(|&x| x == self.id)
+                    .expect("IS self-inclusion")
+                    + 1;
+                Action::Decide(size * (size - 1) / 2 + rank)
+            }
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{
+        check_hygiene, sweep_adversarial, sweep_exhaustive, sweep_random, AlgorithmUnderTest,
+    };
+    use gsb_core::SymmetricGsb;
+    use gsb_memory::ProtocolFactory;
+
+    fn ids(values: &[u32]) -> Vec<Identity> {
+        values.iter().map(|&v| Identity::new(v).unwrap()).collect()
+    }
+
+    fn renaming_factory() -> Box<ProtocolFactory<'static>> {
+        Box::new(|_pid, id, _n| Box::new(RenamingProtocol::new(id)))
+    }
+
+    #[test]
+    fn nth_free_name_examples() {
+        assert_eq!(RenamingProtocol::nth_free_name(&[], 1), 1);
+        assert_eq!(RenamingProtocol::nth_free_name(&[1, 2], 1), 3);
+        assert_eq!(RenamingProtocol::nth_free_name(&[2], 2), 3);
+        assert_eq!(RenamingProtocol::nth_free_name(&[1, 3], 2), 4);
+    }
+
+    #[test]
+    fn renaming_random_sweep() {
+        for n in [2usize, 3, 4, 5, 6] {
+            let spec = SymmetricGsb::renaming(n, 2 * n - 1).unwrap().to_spec();
+            let factory = renaming_factory();
+            let algo = AlgorithmUnderTest {
+                spec,
+                factory: &factory,
+                oracles: &Vec::new,
+            };
+            // Large identity space (N = 6n) exercises Theorems 1–2's point.
+            sweep_random(&algo, 6 * n as u32, 60, 42).unwrap();
+        }
+    }
+
+    #[test]
+    fn renaming_adversarial_sweep() {
+        let spec = SymmetricGsb::renaming(4, 7).unwrap().to_spec();
+        let factory = renaming_factory();
+        let algo = AlgorithmUnderTest {
+            spec,
+            factory: &factory,
+            oracles: &Vec::new,
+        };
+        let report = sweep_adversarial(&algo, 24, 60, 7).unwrap();
+        assert!(report.crashed_runs > 0);
+    }
+
+    #[test]
+    fn renaming_exhaustive_two_processes() {
+        let spec = SymmetricGsb::renaming(2, 3).unwrap().to_spec();
+        let factory = renaming_factory();
+        let algo = AlgorithmUnderTest {
+            spec,
+            factory: &factory,
+            oracles: &Vec::new,
+        };
+        for id_pair in [[1u32, 2], [2, 1], [9, 4], [3, 17]] {
+            let report = sweep_exhaustive(&algo, &ids(&id_pair), 10_000).unwrap();
+            assert!(report.runs >= 2, "ids {id_pair:?}");
+        }
+    }
+
+    #[test]
+    fn renaming_is_comparison_based_and_index_independent() {
+        let spec = SymmetricGsb::renaming(3, 5).unwrap().to_spec();
+        let factory = renaming_factory();
+        let algo = AlgorithmUnderTest {
+            spec,
+            factory: &factory,
+            oracles: &Vec::new,
+        };
+        // 2 < 5 < 11  ↦  3 < 8 < 20 (order-isomorphic).
+        check_hygiene(&algo, &ids(&[5, 2, 11]), &ids(&[8, 3, 20]), 99).unwrap();
+    }
+
+    #[test]
+    fn solo_renaming_decides_name_one() {
+        use gsb_memory::{build_executor, CrashPlan, Pid, RoundRobinScheduler};
+        let factory = renaming_factory();
+        let mut exec = build_executor(&factory, &ids(&[14, 9, 2]), vec![]);
+        let plan = CrashPlan::with_crashes(3, &[(Pid::new(1), 0), (Pid::new(2), 0)]);
+        let outcome = exec
+            .run(&mut RoundRobinScheduler::new(), &plan, 10_000)
+            .unwrap();
+        // A solo process proposes 1, sees no conflict, keeps it.
+        assert_eq!(outcome.decisions[0], Some(1));
+    }
+
+    #[test]
+    fn is_renaming_random_sweep() {
+        for n in [2usize, 3, 4, 5] {
+            let spec = SymmetricGsb::renaming(n, IsRenamingProtocol::name_space(n))
+                .unwrap()
+                .to_spec();
+            let factory: Box<ProtocolFactory<'static>> =
+                Box::new(move |_pid, id, n| Box::new(IsRenamingProtocol::new(id, n)));
+            let algo = AlgorithmUnderTest {
+                spec,
+                factory: &factory,
+                oracles: &Vec::new,
+            };
+            sweep_random(&algo, 4 * n as u32, 40, 17).unwrap();
+        }
+    }
+
+    #[test]
+    fn is_renaming_exhaustive_two_processes() {
+        let spec = SymmetricGsb::renaming(2, 3).unwrap().to_spec();
+        let factory: Box<ProtocolFactory<'static>> =
+            Box::new(|_pid, id, n| Box::new(IsRenamingProtocol::new(id, n)));
+        let algo = AlgorithmUnderTest {
+            spec,
+            factory: &factory,
+            oracles: &Vec::new,
+        };
+        sweep_exhaustive(&algo, &ids(&[3, 1]), 10_000).unwrap();
+    }
+
+    #[test]
+    fn renaming_step_complexity_is_modest() {
+        // Record worst-case steps over a sweep — documents the wait-free
+        // bound empirically (full data regenerated by the `renaming` bench).
+        let spec = SymmetricGsb::renaming(5, 9).unwrap().to_spec();
+        let factory = renaming_factory();
+        let algo = AlgorithmUnderTest {
+            spec,
+            factory: &factory,
+            oracles: &Vec::new,
+        };
+        let report = sweep_random(&algo, 30, 60, 11).unwrap();
+        // Each decision needs ≥ 3 steps (write/snapshot/decide); conflicts
+        // add rounds but stay well below the budget.
+        assert!(report.max_steps < 10_000, "{}", report.max_steps);
+    }
+}

@@ -1,0 +1,256 @@
+//! Figure 2 / Theorem 12: `(n+1)`-renaming from an `(n−1)`-slot object.
+//!
+//! The algorithm, verbatim from the paper (code for `p_i`):
+//!
+//! ```text
+//! operation new_name():
+//! (01) my_slot_i ← KS.slot_request_{n−1}();
+//! (02) STATE[i] ← ⟨my_slot_i, id_i⟩; (slot_i, ids_i) ← STATE.snapshot();
+//! (03) if (∀ j ≠ i : slot_i[j] ≠ my_slot_i)
+//! (04)    then return(my_slot_i)
+//! (05)    else let j ≠ i such that slot_i[j] = my_slot_i;
+//! (06)         if (id_i < ids_i[j]) then return(n) else return(n+1)
+//! (07) end if.
+//! ```
+//!
+//! The `(n−1)`-slot object `KS` guarantees each slot in `[1..n−1]` is
+//! returned at least once, so at most one slot is duplicated, and exactly
+//! one pair of processes can conflict; the snapshot totally orders their
+//! observations, and identity comparison splits them between names `n` and
+//! `n+1`.
+
+use gsb_core::Identity;
+use gsb_memory::{Action, Observation, Protocol, Word};
+
+/// Which oracle slot holds the `(n−1)`-slot object `KS`.
+pub const SLOT_ORACLE: usize = 0;
+
+/// The Figure 2 protocol: `(n+1)`-renaming in
+/// `ASM_{n,n−1}[⟨n, n−1, 1, n⟩-GSB]`.
+#[derive(Debug, Clone)]
+pub struct SlotRenamingProtocol {
+    id: Word,
+    n: usize,
+    my_slot: usize,
+    phase: Phase,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    RequestSlot,
+    AwaitSlot,
+    AwaitWrite,
+    AwaitSnapshot,
+}
+
+impl SlotRenamingProtocol {
+    /// Creates the protocol for a process with identity `id` in an
+    /// `n`-process system (`n ≥ 2`: the slot object needs `n − 1 ≥ 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn new(id: Identity, n: usize) -> Self {
+        assert!(n >= 2, "slot renaming needs n ≥ 2");
+        SlotRenamingProtocol {
+            id: u64::from(id.get()),
+            n,
+            my_slot: 0,
+            phase: Phase::RequestSlot,
+        }
+    }
+}
+
+impl Protocol for SlotRenamingProtocol {
+    fn next_action(&mut self, observation: Observation) -> Action {
+        match (self.phase, observation) {
+            // (01) my_slot ← KS.slot_request()
+            (Phase::RequestSlot, Observation::Start) => {
+                self.phase = Phase::AwaitSlot;
+                Action::Oracle {
+                    object: SLOT_ORACLE,
+                    input: 0,
+                }
+            }
+            // (02) STATE[i] ← ⟨my_slot, id⟩ …
+            (Phase::AwaitSlot, Observation::OracleReply(slot)) => {
+                self.my_slot = slot as usize;
+                self.phase = Phase::AwaitWrite;
+                Action::Write(vec![slot, self.id])
+            }
+            // (02) … ; snapshot
+            (Phase::AwaitWrite, Observation::Written) => {
+                self.phase = Phase::AwaitSnapshot;
+                Action::Snapshot
+            }
+            // (03)–(06)
+            (Phase::AwaitSnapshot, Observation::Snapshot(snap)) => {
+                let conflict = snap
+                    .iter()
+                    .flatten()
+                    .filter(|v| v.len() == 2)
+                    .find(|v| v[1] != self.id && v[0] as usize == self.my_slot);
+                match conflict {
+                    // (03)–(04): slot unique — keep it.
+                    None => Action::Decide(self.my_slot),
+                    // (05)–(06): one conflicting process j.
+                    Some(entry) => {
+                        let other_id = entry[1];
+                        if self.id < other_id {
+                            Action::Decide(self.n)
+                        } else {
+                            Action::Decide(self.n + 1)
+                        }
+                    }
+                }
+            }
+            (phase, obs) => unreachable!("slot renaming: {obs:?} in phase {phase:?}"),
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{
+        check_hygiene, sweep_adversarial, sweep_exhaustive, sweep_random, AlgorithmUnderTest,
+    };
+    use gsb_core::SymmetricGsb;
+    use gsb_memory::{GsbOracle, Oracle, OraclePolicy, ProtocolFactory};
+
+    fn ids(values: &[u32]) -> Vec<Identity> {
+        values.iter().map(|&v| Identity::new(v).unwrap()).collect()
+    }
+
+    fn slot_oracles(n: usize, policy: OraclePolicy) -> Vec<Box<dyn Oracle>> {
+        let spec = SymmetricGsb::slot(n, n - 1).unwrap().to_spec();
+        vec![Box::new(GsbOracle::new(spec, policy).unwrap())]
+    }
+
+    fn slot_factory() -> Box<ProtocolFactory<'static>> {
+        Box::new(|_pid, id, n| Box::new(SlotRenamingProtocol::new(id, n)))
+    }
+
+    fn renaming_spec(n: usize) -> gsb_core::GsbSpec {
+        SymmetricGsb::renaming(n, n + 1).unwrap().to_spec()
+    }
+
+    #[test]
+    fn theorem_12_random_sweeps() {
+        for n in [2usize, 3, 4, 5, 6, 8] {
+            for policy in [
+                OraclePolicy::FirstFit,
+                OraclePolicy::LastFit,
+                OraclePolicy::Seeded(11),
+            ] {
+                let factory = slot_factory();
+                let oracles = move || slot_oracles(n, policy);
+                let algo = AlgorithmUnderTest {
+                    spec: renaming_spec(n),
+                    factory: &factory,
+                    oracles: &oracles,
+                };
+                sweep_random(&algo, (2 * n - 1) as u32, 40, 23)
+                    .unwrap_or_else(|e| panic!("n={n} {policy:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_12_adversarial_sweeps() {
+        for n in [3usize, 5] {
+            let factory = slot_factory();
+            let oracles = move || slot_oracles(n, OraclePolicy::Seeded(5));
+            let algo = AlgorithmUnderTest {
+                spec: renaming_spec(n),
+                factory: &factory,
+                oracles: &oracles,
+            };
+            let report = sweep_adversarial(&algo, (2 * n - 1) as u32, 60, 29).unwrap();
+            assert!(report.crashed_runs > 0);
+        }
+    }
+
+    #[test]
+    fn theorem_12_exhaustive_small_systems() {
+        // Every schedule for n = 2 and n = 3 under deterministic oracles
+        // (both reply policies), several identity assignments.
+        for n in [2usize, 3] {
+            for policy in [OraclePolicy::FirstFit, OraclePolicy::LastFit] {
+                let factory = slot_factory();
+                let oracles = move || slot_oracles(n, policy);
+                let algo = AlgorithmUnderTest {
+                    spec: renaming_spec(n),
+                    factory: &factory,
+                    oracles: &oracles,
+                };
+                let assignments: Vec<Vec<Identity>> = match n {
+                    2 => vec![ids(&[1, 2]), ids(&[3, 1]), ids(&[2, 3])],
+                    _ => vec![ids(&[1, 2, 3]), ids(&[5, 1, 3]), ids(&[4, 5, 2])],
+                };
+                for assignment in assignments {
+                    let report = sweep_exhaustive(&algo, &assignment, 10_000)
+                        .unwrap_or_else(|e| panic!("n={n} {policy:?}: {e}"));
+                    assert!(report.runs >= 6, "n={n}: only {} runs", report.runs);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn losers_split_by_identity() {
+        // Force the duplicate-slot case: n = 2, the 1-slot object hands
+        // slot 1 to both processes; they must decide {2, 3} by id order.
+        use gsb_memory::{build_executor, CrashPlan, RoundRobinScheduler};
+        let factory = slot_factory();
+        let mut exec = build_executor(
+            &factory,
+            &ids(&[3, 1]),
+            slot_oracles(2, OraclePolicy::FirstFit),
+        );
+        let outcome = exec
+            .run(&mut RoundRobinScheduler::new(), &CrashPlan::none(2), 1000)
+            .unwrap();
+        // Both got slot 1 (the only slot); id 1 < 3 so p2 takes name n = 2,
+        // p1 takes n + 1 = 3.
+        assert_eq!(outcome.decisions, vec![Some(3), Some(2)]);
+    }
+
+    #[test]
+    fn fast_path_keeps_slot_names() {
+        // Sequential (round-robin) runs with n = 4: the conflict pair is
+        // resolved, everyone else keeps a slot in [1..n−1].
+        use gsb_memory::{build_executor, CrashPlan, RoundRobinScheduler};
+        let factory = slot_factory();
+        let mut exec = build_executor(
+            &factory,
+            &ids(&[2, 7, 4, 1]),
+            slot_oracles(4, OraclePolicy::FirstFit),
+        );
+        let outcome = exec
+            .run(&mut RoundRobinScheduler::new(), &CrashPlan::none(4), 1000)
+            .unwrap();
+        let out = outcome.output_vector().unwrap();
+        assert!(renaming_spec(4).is_legal_output(&out), "{out}");
+        // At least n − 2 processes decide a slot name ≤ n − 1.
+        let slot_names = out.values().iter().filter(|&&v| v <= 3).count();
+        assert!(slot_names >= 2, "{out}");
+    }
+
+    #[test]
+    fn figure_2_is_comparison_based_and_index_independent() {
+        let factory = slot_factory();
+        let oracles = || slot_oracles(3, OraclePolicy::FirstFit);
+        let algo = AlgorithmUnderTest {
+            spec: renaming_spec(3),
+            factory: &factory,
+            oracles: &oracles,
+        };
+        check_hygiene(&algo, &ids(&[5, 2, 4]), &ids(&[9, 1, 7]), 77).unwrap();
+    }
+}

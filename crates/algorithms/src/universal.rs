@@ -1,0 +1,190 @@
+//! The universal construction (Theorem 8): perfect renaming solves every
+//! GSB task.
+//!
+//! Given any black-box solution to the `⟨n, n, 1, 1⟩`-GSB task (perfect
+//! renaming), every feasible `⟨n, m, ℓ⃗, u⃗⟩`-GSB task is solved with no
+//! further communication:
+//!
+//! * **symmetric** `⟨n, m, ℓ, u⟩`: decide `((dec − 1) mod m) + 1` where
+//!   `dec` is the perfect name. The resulting counting vector is the
+//!   balanced kernel `[⌈n/m⌉, …, ⌊n/m⌋]`, legal by feasibility — this is
+//!   also Theorem 5's hardest-task vector, so the construction in fact
+//!   solves the hardest `⟨n, m, −, −⟩` task.
+//! * **asymmetric**: fix the lexicographically first legal output vector
+//!   `V` (a deterministic choice shared by all processes) and decide
+//!   `V[dec]`; since perfect names are a permutation of `[1..n]`, the
+//!   decided multiset is exactly `V`'s.
+
+use gsb_core::{GsbSpec, OutputVector};
+use gsb_memory::{Action, Observation, Protocol};
+
+use crate::error::{Error, Result};
+
+/// Which oracle slot holds the perfect-renaming object.
+pub const PERFECT_RENAMING_ORACLE: usize = 0;
+
+/// The Theorem 8 protocol: one oracle invocation, one decision.
+#[derive(Debug, Clone)]
+pub struct UniversalGsbProtocol {
+    /// For symmetric targets: `m`; decides `((dec−1) mod m) + 1`.
+    /// For asymmetric targets: the fixed output vector `V`.
+    rule: DecisionRule,
+}
+
+#[derive(Debug, Clone)]
+enum DecisionRule {
+    SymmetricMod { m: usize },
+    FirstVector { vector: OutputVector },
+}
+
+impl UniversalGsbProtocol {
+    /// Builds the protocol for solving `target` from a perfect-renaming
+    /// oracle installed at [`PERFECT_RENAMING_ORACLE`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Core`] with
+    /// [`gsb_core::Error::Infeasible`] if the target has no legal outputs.
+    pub fn new(target: &GsbSpec) -> Result<Self> {
+        target.require_feasible().map_err(Error::Core)?;
+        let rule = if target.is_symmetric() {
+            DecisionRule::SymmetricMod { m: target.m() }
+        } else {
+            let vector = target
+                .first_legal_output()
+                .expect("feasible tasks have a first legal output");
+            DecisionRule::FirstVector { vector }
+        };
+        Ok(UniversalGsbProtocol { rule })
+    }
+
+    fn decide(&self, perfect_name: usize) -> usize {
+        match &self.rule {
+            DecisionRule::SymmetricMod { m } => ((perfect_name - 1) % m) + 1,
+            DecisionRule::FirstVector { vector } => vector.values()[perfect_name - 1],
+        }
+    }
+}
+
+impl Protocol for UniversalGsbProtocol {
+    fn next_action(&mut self, observation: Observation) -> Action {
+        match observation {
+            Observation::Start => Action::Oracle {
+                object: PERFECT_RENAMING_ORACLE,
+                input: 0,
+            },
+            Observation::OracleReply(dec) => Action::Decide(self.decide(dec as usize)),
+            other => unreachable!("universal protocol never observes {other:?}"),
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{sweep_exhaustive, sweep_random, AlgorithmUnderTest};
+    use gsb_core::{GsbSpec, Identity, SymmetricGsb};
+    use gsb_memory::{GsbOracle, Oracle, OraclePolicy, ProtocolFactory};
+
+    fn perfect_renaming_oracles(n: usize, policy: OraclePolicy) -> Vec<Box<dyn Oracle>> {
+        let spec = SymmetricGsb::perfect_renaming(n).unwrap().to_spec();
+        vec![Box::new(GsbOracle::new(spec, policy).unwrap())]
+    }
+
+    fn validate_target(target: GsbSpec) {
+        let n = target.n();
+        let target_for_factory = target.clone();
+        let factory: Box<ProtocolFactory<'static>> = Box::new(move |_pid, _id, _n| {
+            Box::new(UniversalGsbProtocol::new(&target_for_factory).unwrap())
+        });
+        for (label, policy) in [
+            ("first-fit", OraclePolicy::FirstFit),
+            ("last-fit", OraclePolicy::LastFit),
+            ("seeded", OraclePolicy::Seeded(3)),
+        ] {
+            let oracles = move || perfect_renaming_oracles(n, policy);
+            let algo = AlgorithmUnderTest {
+                spec: target.clone(),
+                factory: &factory,
+                oracles: &oracles,
+            };
+            sweep_random(&algo, (2 * n - 1) as u32, 30, 13)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
+    }
+
+    #[test]
+    fn theorem_8_solves_the_symmetric_zoo() {
+        // The tasks Section 3.2 names, plus assorted ⟨n,m,ℓ,u⟩.
+        validate_target(SymmetricGsb::wsb(5).unwrap().to_spec());
+        validate_target(SymmetricGsb::k_wsb(6, 2).unwrap().to_spec());
+        validate_target(SymmetricGsb::slot(5, 3).unwrap().to_spec());
+        validate_target(SymmetricGsb::perfect_renaming(4).unwrap().to_spec());
+        validate_target(SymmetricGsb::renaming(3, 5).unwrap().to_spec());
+        validate_target(SymmetricGsb::new(6, 3, 1, 4).unwrap().to_spec());
+        validate_target(SymmetricGsb::hardest(7, 3).unwrap().to_spec());
+    }
+
+    #[test]
+    fn theorem_8_solves_asymmetric_tasks() {
+        validate_target(GsbSpec::election(5).unwrap());
+        validate_target(GsbSpec::committees(6, &[(1, 2), (2, 3), (1, 2)]).unwrap());
+    }
+
+    #[test]
+    fn theorem_8_rejects_infeasible_targets() {
+        let bad = SymmetricGsb::renaming(5, 4).unwrap().to_spec();
+        assert!(UniversalGsbProtocol::new(&bad).is_err());
+    }
+
+    #[test]
+    fn symmetric_rule_produces_the_balanced_kernel() {
+        // With n = 7, m = 3 the counting vector must be [3, 2, 2].
+        let target = SymmetricGsb::new(7, 3, 0, 7).unwrap();
+        let protocol = UniversalGsbProtocol::new(&target.to_spec()).unwrap();
+        let mut counts = vec![0usize; 3];
+        for name in 1..=7 {
+            counts[protocol.decide(name) - 1] += 1;
+        }
+        let mut kernel = counts.clone();
+        kernel.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(kernel, target.balanced_kernel().parts());
+    }
+
+    #[test]
+    fn election_rule_uses_first_legal_vector() {
+        let election = GsbSpec::election(4).unwrap();
+        let protocol = UniversalGsbProtocol::new(&election).unwrap();
+        // First legal vector of election is [1, 2, 2, 2]: name 1 → leader.
+        assert_eq!(protocol.decide(1), 1);
+        for name in 2..=4 {
+            assert_eq!(protocol.decide(name), 2);
+        }
+    }
+
+    #[test]
+    fn exhaustive_universal_election() {
+        let target = GsbSpec::election(3).unwrap();
+        let target_for_factory = target.clone();
+        let factory: Box<ProtocolFactory<'static>> = Box::new(move |_pid, _id, _n| {
+            Box::new(UniversalGsbProtocol::new(&target_for_factory).unwrap())
+        });
+        let oracles = || perfect_renaming_oracles(3, OraclePolicy::FirstFit);
+        let algo = AlgorithmUnderTest {
+            spec: target,
+            factory: &factory,
+            oracles: &oracles,
+        };
+        let ids: Vec<Identity> = [4u32, 1, 3]
+            .iter()
+            .map(|&v| Identity::new(v).unwrap())
+            .collect();
+        let report = sweep_exhaustive(&algo, &ids, 1000).unwrap();
+        // Two steps per process → interleavings of 3 two-step sequences.
+        assert_eq!(report.runs, 90); // 6!/(2!·2!·2!) = 90
+    }
+}

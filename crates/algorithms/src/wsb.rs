@@ -1,0 +1,228 @@
+//! Weak symmetry breaking and its renaming reductions
+//! (Section 5.3, Corollary 4, Section 6's equivalences).
+//!
+//! * [`WsbFromRenamingProtocol`] — WSB from a `(2n−2)`-renaming object:
+//!   decide 1 if the new name is `≤ n−1`, else 2. Pigeonhole on the
+//!   `2n−2` distinct names forbids unanimity. This is the easy direction
+//!   of the `WSB ≡ (2n−2)-renaming` equivalence (\[29\]) the paper builds
+//!   Theorem 10 on.
+//! * [`KWsbFromRenamingProtocol`] — **Corollary 4**: `k`-WSB with no
+//!   further communication from `2(n−k)`-renaming: decide 1 iff the new
+//!   name is `≤ n−k`. Each side gets between `k` and `n−k` deciders.
+//! * [`wsb_is_two_slot`] — WSB and the 2-slot task are the *same* task
+//!   (equal kernel sets), so the identity reduction connects them.
+
+use gsb_core::SymmetricGsb;
+use gsb_memory::{Action, Observation, Protocol};
+
+use crate::error::{Error, Result};
+
+/// Which oracle slot holds the renaming object.
+pub const RENAMING_ORACLE: usize = 0;
+
+/// WSB from `(2n−2)`-renaming: decide `1` iff the acquired name is
+/// `≤ n − 1`.
+#[derive(Debug, Clone)]
+pub struct WsbFromRenamingProtocol {
+    threshold: usize,
+}
+
+impl WsbFromRenamingProtocol {
+    /// Creates the protocol for an `n`-process system (`n ≥ 2`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] if `n < 2`.
+    pub fn new(n: usize) -> Result<Self> {
+        if n < 2 {
+            return Err(Error::Unsupported {
+                reason: "WSB needs at least two processes".into(),
+            });
+        }
+        Ok(WsbFromRenamingProtocol { threshold: n - 1 })
+    }
+}
+
+impl Protocol for WsbFromRenamingProtocol {
+    fn next_action(&mut self, observation: Observation) -> Action {
+        match observation {
+            Observation::Start => Action::Oracle {
+                object: RENAMING_ORACLE,
+                input: 0,
+            },
+            Observation::OracleReply(name) => {
+                Action::Decide(if (name as usize) <= self.threshold { 1 } else { 2 })
+            }
+            other => unreachable!("WSB-from-renaming never observes {other:?}"),
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+}
+
+/// Corollary 4: `k`-WSB from `2(n−k)`-renaming, deciding `1` iff the name
+/// is `≤ n − k`.
+#[derive(Debug, Clone)]
+pub struct KWsbFromRenamingProtocol {
+    threshold: usize,
+}
+
+impl KWsbFromRenamingProtocol {
+    /// Creates the protocol for `k`-WSB on `n` processes (`1 ≤ k ≤ n/2`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] for out-of-range `k`.
+    pub fn new(n: usize, k: usize) -> Result<Self> {
+        if k == 0 || 2 * k > n {
+            return Err(Error::Unsupported {
+                reason: format!("k-WSB requires 1 ≤ k ≤ n/2, got k = {k}, n = {n}"),
+            });
+        }
+        Ok(KWsbFromRenamingProtocol { threshold: n - k })
+    }
+
+    /// The renaming task whose oracle this protocol expects:
+    /// `2(n−k)`-renaming.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Core`] for malformed parameters.
+    pub fn oracle_spec(n: usize, k: usize) -> Result<SymmetricGsb> {
+        SymmetricGsb::renaming(n, 2 * (n - k)).map_err(Error::Core)
+    }
+}
+
+impl Protocol for KWsbFromRenamingProtocol {
+    fn next_action(&mut self, observation: Observation) -> Action {
+        match observation {
+            Observation::Start => Action::Oracle {
+                object: RENAMING_ORACLE,
+                input: 0,
+            },
+            Observation::OracleReply(name) => {
+                Action::Decide(if (name as usize) <= self.threshold { 1 } else { 2 })
+            }
+            other => unreachable!("k-WSB-from-renaming never observes {other:?}"),
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+}
+
+/// WSB `⟨n, 2, 1, n−1⟩` and the 2-slot task `⟨n, 2, 1, n⟩` are synonyms
+/// (the same task) — Section 3.2's observation "the WSB task is nothing
+/// else than the 2-slot task". Returns both for callers wanting the pair.
+///
+/// # Errors
+///
+/// Returns [`Error::Core`] for `n < 2`.
+pub fn wsb_is_two_slot(n: usize) -> Result<(SymmetricGsb, SymmetricGsb)> {
+    let wsb = SymmetricGsb::wsb(n).map_err(Error::Core)?;
+    let two_slot = SymmetricGsb::slot(n, 2).map_err(Error::Core)?;
+    debug_assert!(wsb.is_synonym_of(&two_slot));
+    Ok((wsb, two_slot))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{sweep_exhaustive, sweep_random, AlgorithmUnderTest};
+    use gsb_core::Identity;
+    use gsb_memory::{GsbOracle, Oracle, OraclePolicy, ProtocolFactory};
+
+    fn renaming_oracles(n: usize, m: usize, policy: OraclePolicy) -> Vec<Box<dyn Oracle>> {
+        let spec = SymmetricGsb::renaming(n, m).unwrap().to_spec();
+        vec![Box::new(GsbOracle::new(spec, policy).unwrap())]
+    }
+
+    #[test]
+    fn wsb_from_2n_minus_2_renaming() {
+        for n in [2usize, 3, 4, 6, 8] {
+            for policy in [
+                OraclePolicy::FirstFit,
+                OraclePolicy::LastFit,
+                OraclePolicy::Seeded(2),
+            ] {
+                let factory: Box<ProtocolFactory<'static>> = Box::new(move |_pid, _id, n| {
+                    Box::new(WsbFromRenamingProtocol::new(n).unwrap())
+                });
+                let oracles = move || renaming_oracles(n, (2 * n - 2).max(n), policy);
+                let algo = AlgorithmUnderTest {
+                    spec: SymmetricGsb::wsb(n).unwrap().to_spec(),
+                    factory: &factory,
+                    oracles: &oracles,
+                };
+                sweep_random(&algo, (2 * n - 1) as u32, 30, 31)
+                    .unwrap_or_else(|e| panic!("n={n} {policy:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn corollary_4_k_wsb() {
+        for (n, k) in [(4usize, 2usize), (6, 2), (6, 3), (8, 3), (9, 4)] {
+            for policy in [OraclePolicy::FirstFit, OraclePolicy::Seeded(4)] {
+                let factory: Box<ProtocolFactory<'static>> = Box::new(move |_pid, _id, n| {
+                    Box::new(KWsbFromRenamingProtocol::new(n, k).unwrap())
+                });
+                let oracles = move || renaming_oracles(n, 2 * (n - k), policy);
+                let algo = AlgorithmUnderTest {
+                    spec: SymmetricGsb::k_wsb(n, k).unwrap().to_spec(),
+                    factory: &factory,
+                    oracles: &oracles,
+                };
+                sweep_random(&algo, (2 * n - 1) as u32, 30, 37)
+                    .unwrap_or_else(|e| panic!("n={n} k={k} {policy:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn k_wsb_exhaustive_small() {
+        let (n, k) = (4usize, 2usize);
+        let factory: Box<ProtocolFactory<'static>> =
+            Box::new(move |_pid, _id, n| Box::new(KWsbFromRenamingProtocol::new(n, k).unwrap()));
+        let oracles = move || renaming_oracles(n, 2 * (n - k), OraclePolicy::FirstFit);
+        let algo = AlgorithmUnderTest {
+            spec: SymmetricGsb::k_wsb(n, k).unwrap().to_spec(),
+            factory: &factory,
+            oracles: &oracles,
+        };
+        let ids: Vec<Identity> = [2u32, 7, 4, 1]
+            .iter()
+            .map(|&v| Identity::new(v).unwrap())
+            .collect();
+        sweep_exhaustive(&algo, &ids, 10_000).unwrap();
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(WsbFromRenamingProtocol::new(1).is_err());
+        assert!(KWsbFromRenamingProtocol::new(4, 0).is_err());
+        assert!(KWsbFromRenamingProtocol::new(4, 3).is_err());
+        assert!(KWsbFromRenamingProtocol::oracle_spec(6, 2).is_ok());
+    }
+
+    #[test]
+    fn wsb_two_slot_synonym() {
+        for n in 2..=8 {
+            let (wsb, two_slot) = wsb_is_two_slot(n).unwrap();
+            assert!(wsb.is_synonym_of(&two_slot), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn pigeonhole_forbids_unanimity() {
+        // Direct check of the reduction's counting argument: any set of n
+        // distinct names in [1..2n−2] has one ≤ n−1 and one ≥ n.
+        let n = 5;
+        let names: Vec<usize> = (n - 1..2 * n - 1).collect(); // worst case high
+        assert!(names.iter().any(|&x| x <= n - 1));
+        assert!(names.iter().any(|&x| x >= n));
+    }
+}

@@ -1,0 +1,42 @@
+//! Bench E2: regenerating the paper's Figure 1 (canonical task partial
+//! order with Hasse reduction) across a parameter sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsb_core::TaskOrder;
+
+fn bench_figure1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1");
+    group.bench_function("paper_n6_m3", |b| {
+        b.iter(|| {
+            let order = TaskOrder::new(6, 3).unwrap();
+            assert_eq!(order.classes().len(), 7);
+            assert_eq!(order.hasse_edges().len(), 7);
+            order
+        });
+    });
+    for n in [6usize, 8, 10, 12] {
+        group.bench_with_input(BenchmarkId::new("scaling_m3", n), &n, |b, &n| {
+            b.iter(|| TaskOrder::new(n, 3).unwrap());
+        });
+    }
+    for (n, m) in [(8usize, 4usize), (10, 5), (12, 4)] {
+        group.bench_with_input(
+            BenchmarkId::new("scaling_nm", format!("{n}x{m}")),
+            &(n, m),
+            |b, &(n, m)| {
+                b.iter(|| TaskOrder::new(n, m).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_figure1
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Bench: the `(2n−1)`-renaming algorithm (Theorems 1–2's tool) — run
+//! time and step counts versus `n` and scheduler, plus the IS-based
+//! `n(n+1)/2` renaming ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsb_algorithms::{IsRenamingProtocol, RenamingProtocol};
+use gsb_core::Identity;
+use gsb_memory::{
+    build_executor, AdversarialScheduler, CrashPlan, ProtocolFactory, RoundRobinScheduler,
+    SeededScheduler,
+};
+
+fn ids(n: usize, stride: u32) -> Vec<Identity> {
+    (0..n as u32)
+        .map(|i| Identity::new(1 + i * stride).unwrap())
+        .collect()
+}
+
+fn bench_renaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("renaming");
+    for n in [2usize, 4, 6, 8] {
+        let factory: Box<ProtocolFactory<'static>> =
+            Box::new(|_pid, id, _n| Box::new(RenamingProtocol::new(id)));
+        group.bench_with_input(BenchmarkId::new("attiya_round_robin", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut exec = build_executor(&factory, &ids(n, 3), vec![]);
+                exec.run(
+                    &mut RoundRobinScheduler::new(),
+                    &CrashPlan::none(n),
+                    1_000_000,
+                )
+                .unwrap()
+                .steps
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("attiya_random", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut exec = build_executor(&factory, &ids(n, 3), vec![]);
+                exec.run(
+                    &mut SeededScheduler::new(seed),
+                    &CrashPlan::none(n),
+                    1_000_000,
+                )
+                .unwrap()
+                .steps
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("attiya_adversarial", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut exec = build_executor(&factory, &ids(n, 3), vec![]);
+                exec.run(
+                    &mut AdversarialScheduler::new(seed, 32),
+                    &CrashPlan::none(n),
+                    1_000_000,
+                )
+                .unwrap()
+                .steps
+            });
+        });
+        // Ablation: IS-based renaming (larger name space, one IS round).
+        let is_factory: Box<ProtocolFactory<'static>> =
+            Box::new(|_pid, id, n| Box::new(IsRenamingProtocol::new(id, n)));
+        group.bench_with_input(BenchmarkId::new("is_renaming_random", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut exec = build_executor(&is_factory, &ids(n, 3), vec![]);
+                exec.run(
+                    &mut SeededScheduler::new(seed),
+                    &CrashPlan::none(n),
+                    1_000_000,
+                )
+                .unwrap()
+                .steps
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_renaming
+}
+criterion_main!(benches);

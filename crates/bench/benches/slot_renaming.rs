@@ -1,0 +1,74 @@
+//! Bench E3/E10: the Figure 2 algorithm — `(n+1)`-renaming from an
+//! `(n−1)`-slot object — versus `n`, scheduler and oracle policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsb_algorithms::SlotRenamingProtocol;
+use gsb_core::{Identity, SymmetricGsb};
+use gsb_memory::{
+    build_executor, AdversarialScheduler, CrashPlan, GsbOracle, Oracle, OraclePolicy,
+    ProtocolFactory, SeededScheduler,
+};
+
+fn ids(n: usize) -> Vec<Identity> {
+    (0..n as u32).map(|i| Identity::new(1 + 2 * i).unwrap()).collect()
+}
+
+fn slot_oracles(n: usize, policy: OraclePolicy) -> Vec<Box<dyn Oracle>> {
+    let spec = SymmetricGsb::slot(n, n - 1).unwrap().to_spec();
+    vec![Box::new(GsbOracle::new(spec, policy).unwrap())]
+}
+
+fn bench_slot_renaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slot_renaming");
+    for n in [2usize, 4, 8, 12, 16] {
+        let factory: Box<ProtocolFactory<'static>> =
+            Box::new(|_pid, id, n| Box::new(SlotRenamingProtocol::new(id, n)));
+        group.bench_with_input(BenchmarkId::new("figure2_random", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut exec = build_executor(
+                    &factory,
+                    &ids(n),
+                    slot_oracles(n, OraclePolicy::Seeded(seed)),
+                );
+                exec.run(
+                    &mut SeededScheduler::new(seed),
+                    &CrashPlan::none(n),
+                    100_000,
+                )
+                .unwrap()
+                .steps
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("figure2_adversarial", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut exec = build_executor(
+                    &factory,
+                    &ids(n),
+                    slot_oracles(n, OraclePolicy::LastFit),
+                );
+                exec.run(
+                    &mut AdversarialScheduler::new(seed, 24),
+                    &CrashPlan::none(n),
+                    100_000,
+                )
+                .unwrap()
+                .steps
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_slot_renaming
+}
+criterion_main!(benches);

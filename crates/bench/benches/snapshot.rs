@@ -1,0 +1,116 @@
+//! Bench E9: snapshot substrate — the AADGMS register-built snapshot
+//! versus the native (oracle) snapshot primitive, and the real-thread
+//! double-collect array.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsb_memory::snapshot::SnapshotStressProtocol;
+use gsb_memory::threaded::AtomicScanArray;
+use gsb_memory::{
+    build_executor, Action, CrashPlan, Observation, Protocol, ProtocolFactory,
+    SeededScheduler, Word,
+};
+
+/// Native-snapshot counterpart of the stress protocol: same update/scan
+/// pattern, but every collect is one atomic `Snapshot` action (the
+/// model's primitive) instead of `n` single-cell reads.
+#[derive(Debug, Clone)]
+struct NativeStressProtocol {
+    id: Word,
+    rounds: usize,
+    round: usize,
+    phase: u8, // 0 = need write, 1 = need snapshot, 2 = final scan
+}
+
+impl NativeStressProtocol {
+    fn new(id: Word, rounds: usize) -> Self {
+        NativeStressProtocol {
+            id,
+            rounds,
+            round: 0,
+            phase: 0,
+        }
+    }
+}
+
+impl Protocol for NativeStressProtocol {
+    fn next_action(&mut self, obs: Observation) -> Action {
+        match (self.phase, obs) {
+            (0, Observation::Start | Observation::Snapshot(_)) => {
+                self.round += 1;
+                self.phase = 1;
+                Action::Write(vec![self.id * 1000 + self.round as Word])
+            }
+            (1, Observation::Written) => {
+                self.phase = if self.round < self.rounds { 0 } else { 2 };
+                Action::Snapshot
+            }
+            (2, Observation::Snapshot(snap)) => {
+                Action::Decide(snap.iter().flatten().count())
+            }
+            (phase, obs) => unreachable!("native stress: {obs:?} in phase {phase}"),
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+}
+
+fn run_stress(factory: &ProtocolFactory<'_>, n: usize, seed: u64) -> usize {
+    let ids: Vec<gsb_core::Identity> = (0..n as u32)
+        .map(|i| gsb_core::Identity::new(i + 1).unwrap())
+        .collect();
+    let mut exec = build_executor(factory, &ids, vec![]);
+    exec.run(&mut SeededScheduler::new(seed), &CrashPlan::none(n), 1_000_000)
+        .unwrap()
+        .steps
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot");
+    for n in [2usize, 4, 6] {
+        // AADGMS from single-cell reads (O(n²) reads per scan).
+        let aadgms: Box<ProtocolFactory<'static>> = Box::new(|_pid, id, n| {
+            Box::new(SnapshotStressProtocol::new(u64::from(id.get()), n, 2))
+        });
+        group.bench_with_input(BenchmarkId::new("aadgms_from_registers", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_stress(&aadgms, n, seed)
+            });
+        });
+        // Native snapshot primitive (one step per scan).
+        let native: Box<ProtocolFactory<'static>> = Box::new(|_pid, id, _n| {
+            Box::new(NativeStressProtocol::new(u64::from(id.get()), 2))
+        });
+        group.bench_with_input(BenchmarkId::new("native_primitive", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_stress(&native, n, seed)
+            });
+        });
+    }
+    // Real-thread double-collect array, single-threaded baseline cost.
+    for n in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("threaded_scan", n), &n, |b, &n| {
+            let array = AtomicScanArray::new(n);
+            for i in 0..n {
+                array.write(i, vec![i as u64]);
+            }
+            b.iter(|| array.scan());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_snapshot
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Bench E5/E6: the solvability machinery — Theorem 9's closed form vs.
+//! the brute-force decision-map search, and the gcd-of-binomials
+//! criterion (Theorem 10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsb_core::solvability::binomial_gcd;
+use gsb_core::SymmetricGsb;
+
+fn bench_solvability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvability");
+
+    // Theorem 9 closed form over a whole family — effectively free.
+    group.bench_function("theorem9_closed_form_n8_sweep", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for m in 1..=8usize {
+                for task in gsb_core::order::feasible_family(8, m).unwrap() {
+                    if task.no_communication_solvable() {
+                        count += 1;
+                    }
+                }
+            }
+            count
+        });
+    });
+
+    // Brute-force baseline (ablation): exponential map search, n = 2, 3.
+    for n in [2usize, 3] {
+        group.bench_with_input(BenchmarkId::new("brute_force_maps", n), &n, |b, &n| {
+            let task = SymmetricGsb::wsb(n).unwrap().to_spec();
+            b.iter(|| task.no_communication_brute_force());
+        });
+    }
+
+    // gcd{C(n,i)} for increasing n.
+    for n in [8usize, 16, 32, 64, 128] {
+        group.bench_with_input(BenchmarkId::new("binomial_gcd", n), &n, |b, &n| {
+            b.iter(|| binomial_gcd(n));
+        });
+    }
+
+    // Full classifier over every feasible task at n = 10.
+    group.bench_function("classify_family_n10", |b| {
+        b.iter(|| {
+            let mut verdicts = 0usize;
+            for m in 1..=10usize {
+                for task in gsb_core::order::feasible_family(10, m).unwrap() {
+                    let _ = task.classify();
+                    verdicts += 1;
+                }
+            }
+            verdicts
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_solvability
+}
+criterion_main!(benches);

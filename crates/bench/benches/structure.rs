@@ -1,0 +1,73 @@
+//! Bench E8: structure-theory primitives — kernel-set enumeration
+//! (partition-based vs. the naive output-enumeration ablation), canonical
+//! fixed points, anchoring closed forms vs. definitional checks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsb_core::{CountingVector, KernelVector, SymmetricGsb};
+use std::collections::BTreeSet;
+
+/// Ablation baseline: derive the kernel set by enumerating every legal
+/// output vector and collecting kernels — exponential in `n`.
+fn kernel_set_via_outputs(task: &SymmetricGsb) -> BTreeSet<KernelVector> {
+    task.to_spec()
+        .legal_outputs()
+        .iter()
+        .map(|o| CountingVector::of_output(o, task.m()).to_kernel())
+        .collect()
+}
+
+fn bench_structure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structure");
+
+    // Partition-based kernel enumeration (the implementation).
+    for n in [6usize, 12, 20, 30] {
+        let task = SymmetricGsb::new(n, 4, 0, n).unwrap();
+        group.bench_with_input(BenchmarkId::new("kernels_partition", n), &task, |b, t| {
+            b.iter(|| t.kernel_set());
+        });
+    }
+    // Ablation: output-enumeration baseline (small n only — it explodes).
+    for n in [4usize, 6, 8] {
+        let task = SymmetricGsb::new(n, 3, 0, n).unwrap();
+        group.bench_with_input(BenchmarkId::new("kernels_via_outputs", n), &task, |b, t| {
+            b.iter(|| kernel_set_via_outputs(t));
+        });
+    }
+    // Canonical representative fixed points over a family.
+    group.bench_function("canonical_family_n12_m4", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for t in gsb_core::order::feasible_family(12, 4).unwrap() {
+                if t.canonical().unwrap() == t {
+                    count += 1;
+                }
+            }
+            count
+        });
+    });
+    // Anchoring: closed form (Theorems 3–4) vs. definitional kernel-set
+    // comparison.
+    let task = SymmetricGsb::new(20, 4, 3, 7).unwrap();
+    group.bench_function("anchoring_closed_form", |b| {
+        b.iter(|| {
+            (
+                task.is_l_anchored_closed_form().unwrap(),
+                task.is_u_anchored_closed_form().unwrap(),
+            )
+        });
+    });
+    group.bench_function("anchoring_definitional", |b| {
+        b.iter(|| (task.is_l_anchored().unwrap(), task.is_u_anchored().unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_structure
+}
+criterion_main!(benches);

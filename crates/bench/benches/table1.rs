@@ -1,0 +1,40 @@
+//! Bench E1: regenerating the paper's Table 1 (kernel enumeration +
+//! canonical flags) across a parameter sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsb_core::KernelTable;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    // The paper's exact artifact.
+    group.bench_function("paper_n6_m3", |b| {
+        b.iter(|| {
+            let table = KernelTable::new(6, 3).unwrap();
+            assert_eq!(table.columns().len(), 7);
+            table
+        });
+    });
+    // Scaling in n at fixed m.
+    for n in [6usize, 9, 12, 15, 18] {
+        group.bench_with_input(BenchmarkId::new("scaling_m3", n), &n, |b, &n| {
+            b.iter(|| KernelTable::new(n, 3).unwrap());
+        });
+    }
+    // Scaling in m at fixed n.
+    for m in [2usize, 3, 4, 6] {
+        group.bench_with_input(BenchmarkId::new("scaling_n12", m), &m, |b, &m| {
+            b.iter(|| KernelTable::new(12, m).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_table1
+}
+criterion_main!(benches);

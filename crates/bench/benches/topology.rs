@@ -1,0 +1,81 @@
+//! Bench E7: protocol-complex construction and the symmetric decision-map
+//! search (Theorem 11's machinery), including the symmetry-pruning
+//! ablation via class counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsb_core::{GsbSpec, SymmetricGsb};
+use gsb_topology::{protocol_complex, solvable_in_rounds, SymmetricSearch};
+
+fn bench_topology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology");
+    group.sample_size(10);
+
+    // Complex construction.
+    for (n, r) in [(2usize, 2usize), (3, 1), (3, 2), (4, 1)] {
+        group.bench_with_input(
+            BenchmarkId::new("chi_r_construction", format!("n{n}_r{r}")),
+            &(n, r),
+            |b, &(n, r)| {
+                b.iter(|| protocol_complex(n, r).facet_count());
+            },
+        );
+    }
+
+    // Pseudomanifold check.
+    group.bench_function("pseudomanifold_n3_r2", |b| {
+        let complex = protocol_complex(3, 2);
+        b.iter(|| complex.is_pseudomanifold());
+    });
+
+    // Decision-map searches: the paper's impossibility (election) and a
+    // solvable renaming instance.
+    group.bench_function("election_n3_r1_unsat", |b| {
+        let spec = GsbSpec::election(3).unwrap();
+        b.iter(|| {
+            assert!(!solvable_in_rounds(&spec, 1).is_solvable());
+        });
+    });
+    group.bench_function("renaming6_n3_r1_sat", |b| {
+        let spec = SymmetricGsb::renaming(3, 6).unwrap().to_spec();
+        b.iter(|| {
+            assert!(solvable_in_rounds(&spec, 1).is_solvable());
+        });
+    });
+    group.bench_function("wsb_n3_r1_unsat", |b| {
+        let spec = SymmetricGsb::wsb(3).unwrap().to_spec();
+        b.iter(|| {
+            assert!(!solvable_in_rounds(&spec, 1).is_solvable());
+        });
+    });
+
+    // Symmetry-quotient preparation (the pruning the search relies on).
+    group.bench_function("symmetry_quotient_n3_r2", |b| {
+        let spec = SymmetricGsb::wsb(3).unwrap().to_spec();
+        b.iter(|| SymmetricSearch::new(spec.clone(), 2).classes().len());
+    });
+
+    // The Theorem 11 certificate: polynomial structure checks vs. the
+    // exponential map search (the ablation DESIGN.md §4 calls out).
+    for (n, r) in [(3usize, 1usize), (3, 2), (4, 1), (5, 1)] {
+        group.bench_with_input(
+            BenchmarkId::new("election_certificate", format!("n{n}_r{r}")),
+            &(n, r),
+            |b, &(n, r)| {
+                b.iter(|| {
+                    gsb_topology::election_impossibility_certificate(n, r).unwrap();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_topology
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Bench E4: Theorem 8's universal construction — solving the GSB task
+//! zoo from a perfect-renaming object.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsb_algorithms::UniversalGsbProtocol;
+use gsb_core::{GsbSpec, Identity, SymmetricGsb};
+use gsb_memory::{
+    build_executor, CrashPlan, GsbOracle, Oracle, OraclePolicy, ProtocolFactory,
+    SeededScheduler,
+};
+
+fn ids(n: usize) -> Vec<Identity> {
+    (0..n as u32).map(|i| Identity::new(1 + 2 * i).unwrap()).collect()
+}
+
+fn perfect_oracles(n: usize) -> Vec<Box<dyn Oracle>> {
+    let spec = SymmetricGsb::perfect_renaming(n).unwrap().to_spec();
+    vec![Box::new(GsbOracle::new(spec, OraclePolicy::FirstFit).unwrap())]
+}
+
+fn run_target(target: &GsbSpec, seed: u64) -> usize {
+    let n = target.n();
+    let target_owned = target.clone();
+    let factory: Box<ProtocolFactory<'static>> = Box::new(move |_pid, _id, _n| {
+        Box::new(UniversalGsbProtocol::new(&target_owned).unwrap())
+    });
+    let mut exec = build_executor(&factory, &ids(n), perfect_oracles(n));
+    exec.run(&mut SeededScheduler::new(seed), &CrashPlan::none(n), 100_000)
+        .unwrap()
+        .steps
+}
+
+fn bench_universal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("universal");
+    let zoo: Vec<(&str, GsbSpec)> = vec![
+        ("wsb_n8", SymmetricGsb::wsb(8).unwrap().to_spec()),
+        ("k_wsb_n8_k3", SymmetricGsb::k_wsb(8, 3).unwrap().to_spec()),
+        ("slot_n8_k5", SymmetricGsb::slot(8, 5).unwrap().to_spec()),
+        (
+            "perfect_renaming_n8",
+            SymmetricGsb::perfect_renaming(8).unwrap().to_spec(),
+        ),
+        ("election_n8", GsbSpec::election(8).unwrap()),
+        (
+            "committees_n8",
+            GsbSpec::committees(8, &[(1, 3), (2, 4), (1, 2), (0, 2)]).unwrap(),
+        ),
+    ];
+    for (name, target) in &zoo {
+        group.bench_with_input(BenchmarkId::new("zoo", name), target, |b, target| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_target(target, seed)
+            });
+        });
+    }
+    // Scaling in n for a fixed target shape (the hardest task ⟨n,3,·,·⟩).
+    for n in [4usize, 8, 16, 32] {
+        let target = SymmetricGsb::hardest(n, 3).unwrap().to_spec();
+        group.bench_with_input(BenchmarkId::new("hardest_m3", n), &target, |b, target| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_target(target, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_universal
+}
+criterion_main!(benches);

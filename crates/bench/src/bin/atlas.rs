@@ -1,0 +1,81 @@
+//! The **solvability atlas**: classifies every feasible symmetric GSB
+//! task (Theorems 9–11, Corollaries 2–5) and prints the gcd-of-binomials
+//! table behind Theorem 10.
+//!
+//! ```text
+//! cargo run -p gsb-bench --bin atlas [-- max_n]
+//! ```
+
+use gsb_bench::atlas;
+use gsb_core::solvability::{binomial_gcd, is_prime_power};
+use gsb_core::Solvability;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max_n: usize = args.get(1).map_or(8, |s| s.parse().expect("max_n"));
+
+    println!("gcd{{C(n,i) : 1 ≤ i ≤ ⌊n/2⌋}} — the Theorem 10 criterion\n");
+    println!(
+        "{:<4} {:<8} {:<12} {:<30}",
+        "n", "gcd", "prime power", "WSB / (2n−2)-renaming"
+    );
+    for n in 2..=max_n.max(20) {
+        let g = binomial_gcd(n);
+        println!(
+            "{:<4} {:<8} {:<12} {:<30}",
+            n,
+            g,
+            is_prime_power(n),
+            if g > 1 {
+                "not wait-free solvable"
+            } else {
+                "wait-free solvable (exceptional n)"
+            }
+        );
+    }
+
+    println!("\nThe task zoo at n = {max_n} (§3.2's named tasks)\n");
+    match gsb_core::zoo::catalog(max_n) {
+        Ok(entries) => {
+            for entry in entries {
+                println!(
+                    "  {:<34} {:<38} {}",
+                    entry.name,
+                    entry.reference,
+                    entry.spec.classify()
+                );
+            }
+        }
+        Err(e) => println!("  (zoo unavailable: {e})"),
+    }
+
+    println!("\nSolvability atlas — every feasible ⟨n, m, ℓ, u⟩, n ≤ {max_n}\n");
+    let rows = atlas(max_n);
+    let mut counts = std::collections::BTreeMap::new();
+    for row in &rows {
+        *counts.entry(format!("{}", row.verdict)).or_insert(0usize) += 1;
+    }
+    println!(
+        "{:<22} {:<28} {}",
+        "task", "verdict", "justification"
+    );
+    for row in &rows {
+        println!(
+            "{:<22} {:<28} {}",
+            row.task.to_string(),
+            row.verdict.to_string(),
+            row.justification
+        );
+    }
+    println!("\nTotals over {} tasks:", rows.len());
+    for (verdict, count) in counts {
+        println!("  {verdict:<30} {count}");
+    }
+    let open = rows
+        .iter()
+        .filter(|r| r.verdict == Solvability::Open)
+        .count();
+    println!(
+        "\n{open} tasks remain open — the frontier of the paper's §7 questions."
+    );
+}

@@ -1,0 +1,17 @@
+//! Internal diagnostics: class/facet counts of solvability-search
+//! instances (kept as a bin target for quick inspection).
+
+fn main() {
+    for (n, r) in [(3usize, 1usize), (3, 2)] {
+        let spec = gsb_core::SymmetricGsb::wsb(n).unwrap().to_spec();
+        let complex = gsb_topology::protocol_complex(n, r);
+        let search = gsb_topology::SymmetricSearch::over_complex(spec, &complex);
+        println!(
+            "n={n} r={r}: vertices={} classes={} facets_raw={} facets_dedup={}",
+            complex.vertices().len(),
+            search.classes().len(),
+            complex.facet_count(),
+            search.facet_count()
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! # gsb-bench — benchmark harness and paper-style reports
+//!
+//! Criterion benches (one per reproduced table/figure/experiment, see
+//! `DESIGN.md` §3) and report binaries that print the paper's artifacts:
+//!
+//! * `cargo run -p gsb-bench --bin table1` — Table 1 (kernel table).
+//! * `cargo run -p gsb-bench --bin figure1` — Figure 1 (canonical order).
+//! * `cargo run -p gsb-bench --bin figure2` — Theorem 12 validation sweep.
+//! * `cargo run -p gsb-bench --bin atlas` — solvability atlas (Theorems
+//!   9–11 across parameter sweeps).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gsb_core::{Solvability, SymmetricGsb};
+
+/// Rows of the solvability atlas: one classified task.
+#[derive(Debug, Clone)]
+pub struct AtlasRow {
+    /// The task.
+    pub task: SymmetricGsb,
+    /// Classifier verdict.
+    pub verdict: Solvability,
+    /// Justification string from the classifier.
+    pub justification: String,
+}
+
+/// Classifies every feasible `⟨n, m, −, −⟩` task for `n ∈ 2..=max_n`,
+/// `m ∈ 1..=n`.
+#[must_use]
+pub fn atlas(max_n: usize) -> Vec<AtlasRow> {
+    let mut rows = Vec::new();
+    for n in 2..=max_n {
+        for m in 1..=n {
+            for task in gsb_core::order::feasible_family(n, m).expect("valid family") {
+                let class = task.classify();
+                rows.push(AtlasRow {
+                    task,
+                    verdict: class.solvability,
+                    justification: class.justification,
+                });
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atlas_covers_all_verdicts() {
+        let rows = atlas(6);
+        assert!(!rows.is_empty());
+        let has = |v: Solvability| rows.iter().any(|r| r.verdict == v);
+        assert!(has(Solvability::SolvableWithoutCommunication));
+        assert!(has(Solvability::NotWaitFreeSolvable));
+        assert!(has(Solvability::WaitFreeSolvable));
+        assert!(has(Solvability::Open));
+    }
+}

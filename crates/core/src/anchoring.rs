@@ -1,0 +1,308 @@
+//! Anchored tasks (Definition 5, Theorems 3–4, Corollary 1).
+//!
+//! A task `G = ⟨n, m, ℓ, u⟩-GSB` is *ℓ-anchored* when raising the upper
+//! bound (`u → min(n, u+1)`) does not change the task, and *u-anchored*
+//! when lowering the lower bound (`ℓ → max(0, ℓ−1)`) does not. Anchoring
+//! identifies when a task's bounds are "saturated", which is the key to the
+//! canonical-representative construction of Theorem 7.
+//!
+//! This module offers both the *definitional* checks (kernel-set equality
+//! against the perturbed task) and the paper's *closed forms*
+//! (Theorem 3: ℓ-anchored ⇔ `u ≥ n − ℓ(m−1)`;
+//! Theorem 4: u-anchored ⇔ `ℓ ≤ n − u(m−1)`), and the tests cross-validate
+//! them. The closed form of Theorem 4 is stated by the paper for the
+//! non-trivial case `ℓ ≥ 1`; every `⟨n, m, 0, u⟩` task is *trivially*
+//! u-anchored (lowering `ℓ = 0` is a no-op), which the definitional check
+//! captures — see [`SymmetricGsb::is_trivially_u_anchored`].
+
+use crate::error::{Error, Result};
+use crate::spec::SymmetricGsb;
+
+/// How a feasible task is anchored (Definition 5), with the trivial cases
+/// distinguished the way Figure 1 of the paper annotates them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[non_exhaustive]
+pub enum Anchoring {
+    /// Neither ℓ- nor u-anchored.
+    None,
+    /// ℓ-anchored only.
+    L,
+    /// u-anchored only.
+    U,
+    /// Both ℓ- and u-anchored.
+    Both,
+}
+
+impl Anchoring {
+    /// Whether the task is ℓ-anchored (possibly also u-anchored).
+    #[must_use]
+    pub fn is_l_anchored(self) -> bool {
+        matches!(self, Anchoring::L | Anchoring::Both)
+    }
+
+    /// Whether the task is u-anchored (possibly also ℓ-anchored).
+    #[must_use]
+    pub fn is_u_anchored(self) -> bool {
+        matches!(self, Anchoring::U | Anchoring::Both)
+    }
+}
+
+impl std::fmt::Display for Anchoring {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let text = match self {
+            Anchoring::None => "not anchored",
+            Anchoring::L => "ℓ-anchored",
+            Anchoring::U => "u-anchored",
+            Anchoring::Both => "(ℓ,u)-anchored",
+        };
+        f.write_str(text)
+    }
+}
+
+impl SymmetricGsb {
+    /// Definitional ℓ-anchoring check: is `⟨n,m,ℓ,u⟩` the same task as
+    /// `⟨n,m,ℓ,min(n,u+1)⟩`?
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Infeasible`] for infeasible tasks, for which
+    /// Definition 5 is vacuous.
+    pub fn is_l_anchored(&self) -> Result<bool> {
+        self.require_feasible()?;
+        let bumped = self
+            .with_u((self.u() + 1).min(self.n()))
+            .expect("bumping u within [l..n] keeps the spec well-formed");
+        Ok(self.is_synonym_of(&bumped))
+    }
+
+    /// Definitional u-anchoring check: is `⟨n,m,ℓ,u⟩` the same task as
+    /// `⟨n,m,max(0,ℓ−1),u⟩`?
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Infeasible`] for infeasible tasks.
+    pub fn is_u_anchored(&self) -> Result<bool> {
+        self.require_feasible()?;
+        let lowered = self
+            .with_l(self.l().saturating_sub(1))
+            .expect("lowering l keeps the spec well-formed");
+        Ok(self.is_synonym_of(&lowered))
+    }
+
+    /// Closed-form ℓ-anchoring test of **Theorem 3**:
+    /// a feasible task is ℓ-anchored iff `u ≥ n − ℓ(m−1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Infeasible`] for infeasible tasks.
+    pub fn is_l_anchored_closed_form(&self) -> Result<bool> {
+        self.require_feasible()?;
+        let threshold = self.n() as i64 - (self.l() * (self.m() - 1)) as i64;
+        Ok(self.u() as i64 >= threshold)
+    }
+
+    /// Closed-form u-anchoring test of **Theorem 4**:
+    /// a feasible task with `ℓ ≥ 1` is u-anchored iff `ℓ ≤ n − u(m−1)`.
+    /// Tasks with `ℓ = 0` are trivially u-anchored regardless.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Infeasible`] for infeasible tasks.
+    pub fn is_u_anchored_closed_form(&self) -> Result<bool> {
+        self.require_feasible()?;
+        if self.l() == 0 {
+            return Ok(true);
+        }
+        let threshold = self.n() as i64 - (self.u() * (self.m() - 1)) as i64;
+        Ok(self.l() as i64 <= threshold)
+    }
+
+    /// Whether the task is *trivially* ℓ-anchored, i.e. `u = n` (raising
+    /// the upper bound is a no-op).
+    #[must_use]
+    pub fn is_trivially_l_anchored(&self) -> bool {
+        self.u() == self.n()
+    }
+
+    /// Whether the task is *trivially* u-anchored, i.e. `ℓ = 0` (lowering
+    /// the lower bound is a no-op).
+    #[must_use]
+    pub fn is_trivially_u_anchored(&self) -> bool {
+        self.l() == 0
+    }
+
+    /// Full anchoring classification of a feasible task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Infeasible`] for infeasible tasks.
+    pub fn anchoring(&self) -> Result<Anchoring> {
+        let l_anchored = self.is_l_anchored()?;
+        let u_anchored = self.is_u_anchored()?;
+        Ok(match (l_anchored, u_anchored) {
+            (true, true) => Anchoring::Both,
+            (true, false) => Anchoring::L,
+            (false, true) => Anchoring::U,
+            (false, false) => Anchoring::None,
+        })
+    }
+
+    /// **Corollary 1**, first half: the ℓ-anchored task
+    /// `⟨n, m, ℓ, max(ℓ, n − ℓ(m−1))⟩` for a given `ℓ ≤ n/m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] when `ℓ > n/m` (no feasible task).
+    pub fn l_anchored_with(n: usize, m: usize, l: usize) -> Result<SymmetricGsb> {
+        if l * m > n {
+            return Err(Error::InvalidSpec {
+                reason: format!("no feasible ⟨{n},{m},{l},·⟩ task: ℓ·m > n"),
+            });
+        }
+        let u = l.max(n - l * (m - 1)).min(n);
+        SymmetricGsb::new(n, m, l, u)
+    }
+
+    /// **Corollary 1**, second half: the u-anchored task
+    /// `⟨n, m, max(0, n − u(m−1)), u⟩` for a given `u ≥ n/m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] when `u·m < n` (no feasible task).
+    pub fn u_anchored_with(n: usize, m: usize, u: usize) -> Result<SymmetricGsb> {
+        if u * m < n {
+            return Err(Error::InvalidSpec {
+                reason: format!("no feasible ⟨{n},{m},·,{u}⟩ task: u·m < n"),
+            });
+        }
+        let l = (n as i64 - (u * (m - 1)) as i64).max(0) as usize;
+        SymmetricGsb::new(n, m, l.min(u), u.min(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(n: usize, m: usize, l: usize, u: usize) -> SymmetricGsb {
+        SymmetricGsb::new(n, m, l, u).unwrap()
+    }
+
+    #[test]
+    fn paper_20_4_examples() {
+        // Section 4.2: ⟨20,4,4,8⟩ is ℓ-anchored, ⟨20,4,2,6⟩ is u-anchored,
+        // ⟨20,4,5,5⟩ is (ℓ,u)-anchored, ⟨20,4,4,6⟩ is neither.
+        assert_eq!(task(20, 4, 4, 8).anchoring().unwrap(), Anchoring::L);
+        assert_eq!(task(20, 4, 2, 6).anchoring().unwrap(), Anchoring::U);
+        assert_eq!(task(20, 4, 5, 5).anchoring().unwrap(), Anchoring::Both);
+        assert_eq!(task(20, 4, 4, 6).anchoring().unwrap(), Anchoring::None);
+    }
+
+    #[test]
+    fn theorem_3_closed_form_matches_definition() {
+        for n in 2usize..=9 {
+            for m in 1..=n {
+                for l in 0..=n / m {
+                    for u in l.max(n.div_ceil(m))..=n {
+                        let t = task(n, m, l, u);
+                        assert_eq!(
+                            t.is_l_anchored().unwrap(),
+                            t.is_l_anchored_closed_form().unwrap(),
+                            "Theorem 3 mismatch for {t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_4_closed_form_matches_definition() {
+        for n in 2usize..=9 {
+            for m in 1..=n {
+                for l in 0..=n / m {
+                    for u in l.max(n.div_ceil(m))..=n {
+                        let t = task(n, m, l, u);
+                        assert_eq!(
+                            t.is_u_anchored().unwrap(),
+                            t.is_u_anchored_closed_form().unwrap(),
+                            "Theorem 4 mismatch for {t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trivially_anchored_tasks() {
+        // "all ⟨n,m,ℓ,n⟩ (resp. ⟨n,m,0,u⟩) GSB tasks are ℓ-anchored
+        // (resp. u-anchored)".
+        for n in 2..=8 {
+            for m in 1..=n {
+                for l in 0..=n / m {
+                    let t = task(n, m, l, n);
+                    assert!(t.is_trivially_l_anchored());
+                    assert!(t.is_l_anchored().unwrap(), "{t}");
+                }
+                for u in n.div_ceil(m)..=n {
+                    let t = task(n, m, 0, u);
+                    assert!(t.is_trivially_u_anchored());
+                    assert!(t.is_u_anchored().unwrap(), "{t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn anchoring_on_infeasible_is_an_error() {
+        let t = task(5, 4, 0, 1);
+        assert!(matches!(t.anchoring(), Err(Error::Infeasible { .. })));
+    }
+
+    #[test]
+    fn corollary_1_constructions_are_anchored() {
+        for n in 2..=10 {
+            for m in 2..=n {
+                for l in 0..=n / m {
+                    let t = SymmetricGsb::l_anchored_with(n, m, l).unwrap();
+                    assert!(t.is_feasible(), "{t}");
+                    assert!(t.is_l_anchored().unwrap(), "{t} should be ℓ-anchored");
+                }
+                for u in n.div_ceil(m)..=n {
+                    let t = SymmetricGsb::u_anchored_with(n, m, u).unwrap();
+                    assert!(t.is_feasible(), "{t}");
+                    assert!(t.is_u_anchored().unwrap(), "{t} should be u-anchored");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corollary_1_rejects_impossible_bounds() {
+        assert!(SymmetricGsb::l_anchored_with(6, 3, 3).is_err()); // 3·3 > 6
+        assert!(SymmetricGsb::u_anchored_with(6, 3, 1).is_err()); // 1·3 < 6
+    }
+
+    #[test]
+    fn figure_1_annotations() {
+        // Figure 1 annotates ⟨6,3,0,6⟩/⟨6,3,0,5⟩/⟨6,3,0,4⟩ trivially
+        // u-anchored, ⟨6,3,1,4⟩ ℓ-anchored, ⟨6,3,2,2⟩ (ℓ,u)-anchored,
+        // ⟨6,3,1,3⟩ not anchored.
+        for (l, u) in [(0, 6), (0, 5), (0, 4)] {
+            assert!(task(6, 3, l, u).is_trivially_u_anchored());
+            assert!(task(6, 3, l, u).is_u_anchored().unwrap());
+        }
+        assert!(task(6, 3, 1, 4).anchoring().unwrap().is_l_anchored());
+        assert_eq!(task(6, 3, 2, 2).anchoring().unwrap(), Anchoring::Both);
+        assert_eq!(task(6, 3, 1, 3).anchoring().unwrap(), Anchoring::None);
+    }
+
+    #[test]
+    fn anchoring_display() {
+        assert_eq!(Anchoring::Both.to_string(), "(ℓ,u)-anchored");
+        assert!(Anchoring::L.is_l_anchored());
+        assert!(!Anchoring::L.is_u_anchored());
+    }
+}

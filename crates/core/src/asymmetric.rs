@@ -1,0 +1,282 @@
+//! Structure theory for **asymmetric** GSB tasks — an extension beyond
+//! the paper.
+//!
+//! Section 4 develops synonyms, anchoring and canonical representatives
+//! for *symmetric* tasks only. The same questions make sense for
+//! `⟨n, m, ℓ⃗, u⃗⟩-GSB`: different bound vectors can carve out the same
+//! output set. This module provides:
+//!
+//! * [`GsbSpec::counting_set`] — the set of legal counting vectors, the
+//!   asymmetric analogue of the kernel set (a complete invariant of the
+//!   output set);
+//! * [`GsbSpec::is_same_task`] / [`GsbSpec::is_subtask_of`] — synonym and
+//!   containment tests via counting sets;
+//! * [`GsbSpec::tighten`] — the asymmetric analogue of Theorem 7's fixed
+//!   point: per-value interval tightening
+//!   `ℓ_v ← max(ℓ_v, n − Σ_{w≠v} u_w)`,
+//!   `u_v ← min(u_v, n − Σ_{w≠v} ℓ_w)`
+//!   iterated to a fixed point. The result denotes the same task (each
+//!   step only removes bound slack that no legal output can use) and is
+//!   the canonical representative of its synonym class: on any tightened
+//!   pair of synonyms the bounds coincide (cross-validated exhaustively
+//!   in tests for small `n`).
+
+use std::collections::BTreeSet;
+
+use crate::counting::CountingVector;
+use crate::spec::GsbSpec;
+
+impl GsbSpec {
+    /// The set of legal counting vectors — exactly the images `#v(O)` of
+    /// the task's output vectors (Definition 3 generalized). Two specs
+    /// with equal `n`, `m` describe the same task iff these sets match.
+    ///
+    /// Enumerated by bounded composition search: size is polynomial for
+    /// fixed `m` but grows quickly; intended for moderate parameters.
+    #[must_use]
+    pub fn counting_set(&self) -> BTreeSet<CountingVector> {
+        let mut out = BTreeSet::new();
+        let m = self.m();
+        let mut counts = vec![0usize; m];
+        self.counting_rec(1, self.n(), &mut counts, &mut out);
+        out
+    }
+
+    fn counting_rec(
+        &self,
+        v: usize,
+        remaining: usize,
+        counts: &mut Vec<usize>,
+        out: &mut BTreeSet<CountingVector>,
+    ) {
+        let m = self.m();
+        if v > m {
+            if remaining == 0 {
+                out.insert(CountingVector::new(counts.clone()));
+            }
+            return;
+        }
+        // Remaining values must absorb `remaining` decisions within their
+        // bounds.
+        let min_rest: usize = (v + 1..=m).map(|w| self.lower(w)).sum();
+        let max_rest: usize = (v + 1..=m).map(|w| self.upper(w)).sum();
+        let lo = self.lower(v).max(remaining.saturating_sub(max_rest));
+        let hi = self.upper(v).min(remaining.saturating_sub(min_rest));
+        for c in lo..=hi.min(remaining) {
+            counts[v - 1] = c;
+            self.counting_rec(v + 1, remaining - c, counts, out);
+        }
+        counts[v - 1] = 0;
+    }
+
+    /// Whether `self` and `other` denote the same task (equal `n`, `m`
+    /// and counting sets) — the asymmetric synonym test.
+    #[must_use]
+    pub fn is_same_task(&self, other: &GsbSpec) -> bool {
+        self.n() == other.n()
+            && self.m() == other.m()
+            && self.tighten() == other.tighten()
+    }
+
+    /// Output-set containment `S(self) ⊆ S(other)` for equal `n`, `m`,
+    /// via counting sets.
+    #[must_use]
+    pub fn is_subtask_of(&self, other: &GsbSpec) -> bool {
+        if self.n() != other.n() || self.m() != other.m() {
+            return false;
+        }
+        self.counting_set().is_subset(&other.counting_set())
+    }
+
+    /// One tightening step: clamp every bound to what the other values'
+    /// bounds leave reachable. Returns `self` unchanged when infeasible.
+    #[must_use]
+    pub fn tighten_step(&self) -> GsbSpec {
+        if !self.is_feasible() {
+            return self.clone();
+        }
+        let n = self.n() as i64;
+        let m = self.m();
+        let total_l: i64 = self.lower_bounds().iter().map(|&x| x as i64).sum();
+        let total_u: i64 = self.upper_bounds().iter().map(|&x| x as i64).sum();
+        let mut lower = Vec::with_capacity(m);
+        let mut upper = Vec::with_capacity(m);
+        for v in 1..=m {
+            let l_v = self.lower(v) as i64;
+            let u_v = self.upper(v) as i64;
+            let rest_u = total_u - u_v;
+            let rest_l = total_l - l_v;
+            let new_l = l_v.max(n - rest_u).clamp(0, n);
+            let new_u = u_v.min(n - rest_l).clamp(new_l, n);
+            lower.push(new_l as usize);
+            upper.push(new_u as usize);
+        }
+        GsbSpec::new(self.n(), lower, upper)
+            .expect("tightening a feasible spec keeps it well-formed")
+    }
+
+    /// The canonical representative of this task: the fixed point of
+    /// [`GsbSpec::tighten_step`]. Denotes the same task, with every bound
+    /// attained by some legal output (the asymmetric analogue of the
+    /// paper's Theorem 7).
+    ///
+    /// Infeasible specs are returned unchanged.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gsb_core::GsbSpec;
+    ///
+    /// // "At most 2 deciders of value 1" is vacuous slack when the other
+    /// // two values can absorb at most 1 each out of 4 processes.
+    /// let loose = GsbSpec::new(4, vec![0, 0, 0], vec![4, 1, 1])?;
+    /// let tight = loose.tighten();
+    /// assert_eq!(tight.lower_bounds(), &[2, 0, 0]); // value 1 needs ≥ 2
+    /// assert_eq!(tight.upper_bounds(), &[4, 1, 1]);
+    /// # Ok::<(), gsb_core::Error>(())
+    /// ```
+    #[must_use]
+    pub fn tighten(&self) -> GsbSpec {
+        let mut current = self.clone();
+        loop {
+            let next = current.tighten_step();
+            if next == current {
+                return current;
+            }
+            current = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SymmetricGsb;
+
+    #[test]
+    fn counting_set_matches_output_enumeration() {
+        let specs = vec![
+            GsbSpec::election(4).unwrap(),
+            GsbSpec::committees(5, &[(1, 2), (2, 3), (0, 1)]).unwrap(),
+            SymmetricGsb::wsb(4).unwrap().to_spec(),
+            SymmetricGsb::slot(5, 3).unwrap().to_spec(),
+        ];
+        for spec in specs {
+            let from_outputs: BTreeSet<CountingVector> = spec
+                .legal_outputs()
+                .iter()
+                .map(|o| CountingVector::of_output(o, spec.m()))
+                .collect();
+            assert_eq!(spec.counting_set(), from_outputs, "{spec}");
+        }
+    }
+
+    #[test]
+    fn tighten_preserves_the_task() {
+        // Exhaustive for n = 3, m = 2: the tightened spec has the same
+        // counting set (hence the same outputs).
+        for l1 in 0..=3usize {
+            for u1 in l1..=3 {
+                for l2 in 0..=3usize {
+                    for u2 in l2..=3 {
+                        let Ok(spec) = GsbSpec::new(3, vec![l1, l2], vec![u1, u2]) else {
+                            continue;
+                        };
+                        let tight = spec.tighten();
+                        assert_eq!(
+                            spec.counting_set(),
+                            tight.counting_set(),
+                            "{spec} vs {tight}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tighten_is_canonical_for_synonym_classes() {
+        // Exhaustive n = 3, m = 2: two specs with the same counting set
+        // tighten to identical bounds.
+        let mut by_counting: std::collections::HashMap<String, GsbSpec> =
+            std::collections::HashMap::new();
+        for l1 in 0..=3usize {
+            for u1 in l1..=3 {
+                for l2 in 0..=3usize {
+                    for u2 in l2..=3 {
+                        let Ok(spec) = GsbSpec::new(3, vec![l1, l2], vec![u1, u2]) else {
+                            continue;
+                        };
+                        if !spec.is_feasible() {
+                            continue;
+                        }
+                        let key = format!("{:?}", spec.counting_set());
+                        let tight = spec.tighten();
+                        if let Some(previous) = by_counting.get(&key) {
+                            assert_eq!(
+                                previous.tighten(),
+                                tight,
+                                "synonyms {previous} and {spec} disagree after tightening"
+                            );
+                        } else {
+                            by_counting.insert(key, spec);
+                        }
+                    }
+                }
+            }
+        }
+        assert!(by_counting.len() > 5, "several distinct tasks covered");
+    }
+
+    #[test]
+    fn tighten_agrees_with_symmetric_canonical_on_symmetric_specs() {
+        // On symmetric inputs, tightening refines at least as far as the
+        // paper's canonical map: the symmetric canonical parameters
+        // reappear on the diagonal of the tightened bounds whenever the
+        // tightened spec stays symmetric.
+        for n in 2..=7usize {
+            for m in 1..=n {
+                for l in 0..=n / m {
+                    for u in l.max(n.div_ceil(m))..=n {
+                        let t = SymmetricGsb::new(n, m, l, u).unwrap();
+                        let tight = t.to_spec().tighten();
+                        if let Some(sym) = tight.as_symmetric() {
+                            let canonical = t.canonical().unwrap();
+                            assert!(
+                                sym.is_synonym_of(&canonical),
+                                "{t}: tightened {sym} vs canonical {canonical}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn election_is_already_tight() {
+        let e = GsbSpec::election(5).unwrap();
+        assert_eq!(e.tighten(), e);
+    }
+
+    #[test]
+    fn is_same_task_and_subtask() {
+        // ⟨4, [0,0], [4,4]⟩ and ⟨4, [0,0], [4,4]⟩ trivially; and a slack
+        // variant with an unattainable upper bound.
+        let a = GsbSpec::new(4, vec![1, 1], vec![3, 3]).unwrap();
+        let b = GsbSpec::new(4, vec![1, 1], vec![4, 3]).unwrap(); // u₁=4 unattainable
+        assert!(a.is_same_task(&b));
+        assert!(a.is_subtask_of(&b) && b.is_subtask_of(&a));
+        let c = GsbSpec::new(4, vec![2, 1], vec![3, 2]).unwrap();
+        assert!(c.is_subtask_of(&a));
+        assert!(!a.is_subtask_of(&c));
+        assert!(!a.is_same_task(&c));
+    }
+
+    #[test]
+    fn infeasible_specs_tighten_to_themselves() {
+        let bad = GsbSpec::new(4, vec![3, 3], vec![3, 3]).unwrap();
+        assert!(!bad.is_feasible());
+        assert_eq!(bad.tighten(), bad);
+    }
+}

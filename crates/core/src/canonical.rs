@@ -1,0 +1,303 @@
+//! Canonical representatives and containment (Lemmas 4–5, Theorems 5–7).
+//!
+//! Several parameter 4-tuples can denote the same task (synonyms). The
+//! paper designates one *canonical representative* per synonym class,
+//! obtained as the fixed point of
+//! `f(ℓ, u) = (max(ℓ, n − u(m−1)), min(u, n − ℓ(m−1)))` (Theorem 7).
+//! Theorem 5 identifies `⟨n, m, ⌊n/m⌋, ⌈n/m⌉⟩` as the *hardest* task of
+//! the `⟨n, m, −, −⟩` family: its outputs are contained in every feasible
+//! member's outputs, so a solution to it solves them all.
+
+use crate::error::Result;
+use crate::spec::SymmetricGsb;
+
+impl SymmetricGsb {
+    /// One application of Theorem 7's map
+    /// `f(ℓ, u) = (max(ℓ, n − u(m−1)), min(u, n − ℓ(m−1)))`
+    /// (clamped to stay well-formed; for feasible tasks the clamps are
+    /// inert, see Theorem 7's proof: `0 ≤ ℓ ≤ ℓ' ≤ n/m ≤ u' ≤ u ≤ n`).
+    #[must_use]
+    pub fn canonical_step(&self) -> SymmetricGsb {
+        let (n, m, l, u) = (self.n() as i64, self.m() as i64, self.l() as i64, self.u() as i64);
+        let l_new = l.max(n - u * (m - 1)).clamp(0, n);
+        let u_new = u.min(n - l * (m - 1)).clamp(l_new, n);
+        SymmetricGsb::new(self.n(), self.m(), l_new as usize, u_new as usize)
+            .expect("canonical step preserves well-formedness for feasible tasks")
+    }
+
+    /// The canonical representative of a feasible task (**Theorem 7**): the
+    /// fixed point of [`SymmetricGsb::canonical_step`]. The result is a
+    /// synonym of `self` and is the unique member of the synonym class on
+    /// which `f` is the identity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Infeasible`](crate::Error::Infeasible) for
+    /// infeasible tasks (their synonym class is the empty task and has no
+    /// canonical parameters).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gsb_core::SymmetricGsb;
+    ///
+    /// // Table 1: ⟨6,3,1,6⟩, ⟨6,3,1,5⟩ and ⟨6,3,1,4⟩ all canonicalize to
+    /// // ⟨6,3,1,4⟩.
+    /// let t = SymmetricGsb::new(6, 3, 1, 6)?;
+    /// assert_eq!(t.canonical()?, SymmetricGsb::new(6, 3, 1, 4)?);
+    /// # Ok::<(), gsb_core::Error>(())
+    /// ```
+    pub fn canonical(&self) -> Result<SymmetricGsb> {
+        self.require_feasible()?;
+        let mut current = *self;
+        loop {
+            let next = current.canonical_step();
+            if next == current {
+                return Ok(current);
+            }
+            current = next;
+        }
+    }
+
+    /// Whether this task is its own canonical representative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Infeasible`](crate::Error::Infeasible) for
+    /// infeasible tasks.
+    pub fn is_canonical(&self) -> Result<bool> {
+        Ok(self.canonical()? == *self)
+    }
+
+    /// The *hardest* task of the feasible `⟨n, m, −, −⟩` family
+    /// (**Theorem 5**): `⟨n, m, ⌊n/m⌋, ⌈n/m⌉⟩`. Its output set is included
+    /// in every feasible member's output set, so any algorithm solving it
+    /// solves every task of the family.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gsb_core::SymmetricGsb;
+    ///
+    /// let hardest = SymmetricGsb::hardest(6, 3)?;
+    /// assert_eq!(hardest, SymmetricGsb::new(6, 3, 2, 2)?);
+    /// // Perfect renaming is the hardest ⟨n, n, −, −⟩ task.
+    /// assert_eq!(
+    ///     SymmetricGsb::hardest(5, 5)?,
+    ///     SymmetricGsb::perfect_renaming(5)?
+    /// );
+    /// # Ok::<(), gsb_core::Error>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`](crate::Error::InvalidSpec) if
+    /// `n = 0` or `m = 0`.
+    pub fn hardest(n: usize, m: usize) -> Result<SymmetricGsb> {
+        SymmetricGsb::new(n, m, n / m, n.div_ceil(m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelSet;
+
+    fn task(n: usize, m: usize, l: usize, u: usize) -> SymmetricGsb {
+        SymmetricGsb::new(n, m, l, u).unwrap()
+    }
+
+    /// Iterates all feasible symmetric tasks for given n up to m ≤ n.
+    fn feasible_tasks(n: usize) -> Vec<SymmetricGsb> {
+        let mut out = Vec::new();
+        for m in 1..=n {
+            for l in 0..=n / m {
+                for u in l.max(n.div_ceil(m))..=n {
+                    out.push(task(n, m, l, u));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn canonical_is_a_synonym() {
+        for t in feasible_tasks(8) {
+            let c = t.canonical().unwrap();
+            assert!(t.is_synonym_of(&c), "{t} vs {c}");
+        }
+    }
+
+    #[test]
+    fn canonical_is_idempotent() {
+        for t in feasible_tasks(8) {
+            let c = t.canonical().unwrap();
+            assert_eq!(c.canonical().unwrap(), c, "{t}");
+            assert!(c.is_canonical().unwrap());
+        }
+    }
+
+    #[test]
+    fn canonical_is_unique_per_synonym_class() {
+        // Any two synonyms must canonicalize to the same 4-tuple.
+        let all = feasible_tasks(7);
+        for a in &all {
+            for b in &all {
+                if a.n() == b.n() && a.m() == b.m() && a.is_synonym_of(b) {
+                    assert_eq!(
+                        a.canonical().unwrap(),
+                        b.canonical().unwrap(),
+                        "synonyms {a} and {b} disagree on canonical form"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_7_bounds_ordering() {
+        // Proof of Theorem 7: 0 ≤ ℓ ≤ ℓ' ≤ n/m ≤ u' ≤ u ≤ n.
+        for t in feasible_tasks(9) {
+            let c = t.canonical().unwrap();
+            assert!(t.l() <= c.l());
+            assert!(c.u() <= t.u());
+            assert!(c.l() * t.m() <= t.n(), "{t}: ℓ' ≤ n/m violated");
+            assert!(t.n() <= c.u() * t.m(), "{t}: n/m ≤ u' violated");
+        }
+    }
+
+    #[test]
+    fn paper_table_1_canonical_marks() {
+        // The 7 canonical representatives of Table 1.
+        let canonical = [
+            (0, 6),
+            (0, 5),
+            (0, 4),
+            (1, 4),
+            (0, 3),
+            (1, 3),
+            (2, 2),
+        ];
+        for (l, u) in canonical {
+            assert!(
+                task(6, 3, l, u).is_canonical().unwrap(),
+                "⟨6,3,{l},{u}⟩ should be canonical"
+            );
+        }
+        // The non-canonical rows of Table 1 and their representatives.
+        let non_canonical = [
+            ((1, 6), (1, 4)),
+            ((1, 5), (1, 4)),
+            ((2, 5), (2, 2)),
+            ((2, 4), (2, 2)),
+            ((2, 3), (2, 2)),
+            ((0, 2), (2, 2)),
+            ((1, 2), (2, 2)),
+        ];
+        for ((l, u), (cl, cu)) in non_canonical {
+            let t = task(6, 3, l, u);
+            assert!(!t.is_canonical().unwrap(), "⟨6,3,{l},{u}⟩ must not be canonical");
+            assert_eq!(t.canonical().unwrap(), task(6, 3, cl, cu));
+        }
+    }
+
+    #[test]
+    fn lemma_4_raising_u_grows_outputs() {
+        for t in feasible_tasks(7) {
+            if t.u() < t.n() {
+                let t2 = t.with_u(t.u() + 1).unwrap();
+                assert!(
+                    t.kernel_set().is_subset_of(&t2.kernel_set()),
+                    "Lemma 4 fails for {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_5_lowering_l_grows_outputs() {
+        for t in feasible_tasks(7) {
+            if t.l() > 0 {
+                let t2 = t.with_l(t.l() - 1).unwrap();
+                assert!(
+                    t.kernel_set().is_subset_of(&t2.kernel_set()),
+                    "Lemma 5 fails for {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_5_hardest_task() {
+        for n in 2..=9 {
+            for m in 1..=n {
+                let h = SymmetricGsb::hardest(n, m).unwrap();
+                assert!(h.is_feasible());
+                // The hardest task's kernel set is exactly the balanced kernel.
+                let ks = h.kernel_set();
+                assert_eq!(ks.len(), 1, "{h}");
+                assert!(ks.contains(&h.balanced_kernel()));
+                // It is included in every feasible ⟨n,m,−,−⟩ task.
+                for l in 0..=n / m {
+                    for u in l.max(n.div_ceil(m))..=n {
+                        let t = task(n, m, l, u);
+                        assert!(h.is_subtask_of(&t), "{h} ⊄ {t}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_6_anchored_companions() {
+        // (i) ℓ' = n − u(m−1) ≥ ℓ ⇒ S(⟨n,m,ℓ',u⟩) ⊆ S(⟨n,m,ℓ,u⟩)
+        // (ii) u' = n − ℓ(m−1) ≤ u ⇒ S(⟨n,m,ℓ,u'⟩) ⊆ S(⟨n,m,ℓ,u⟩)
+        for t in feasible_tasks(8) {
+            let (n, m, l, u) = (t.n() as i64, t.m() as i64, t.l() as i64, t.u() as i64);
+            let l_prime = n - u * (m - 1);
+            if l_prime >= l && l_prime >= 0 {
+                let t1 = task(t.n(), t.m(), l_prime as usize, t.u());
+                assert!(
+                    t1.kernel_set().is_subset_of(&t.kernel_set()),
+                    "Theorem 6(i) fails for {t}"
+                );
+            }
+            let u_prime = n - l * (m - 1);
+            if u_prime <= u && u_prime >= l {
+                let t2 = task(t.n(), t.m(), t.l(), u_prime as usize);
+                assert!(
+                    t2.kernel_set().is_subset_of(&t.kernel_set()),
+                    "Theorem 6(ii) fails for {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hardest_10_4_and_10_5_examples() {
+        // Section 4.4 remark: ⟨10,4,2,3⟩ is neither ℓ- nor u-anchored,
+        // while ⟨10,5,2,2⟩ is (ℓ,u)-anchored.
+        use crate::anchoring::Anchoring;
+        let a = SymmetricGsb::hardest(10, 4).unwrap();
+        assert_eq!(a, task(10, 4, 2, 3));
+        assert_eq!(a.anchoring().unwrap(), Anchoring::None);
+        let b = SymmetricGsb::hardest(10, 5).unwrap();
+        assert_eq!(b, task(10, 5, 2, 2));
+        assert_eq!(b.anchoring().unwrap(), Anchoring::Both);
+    }
+
+    #[test]
+    fn canonical_of_infeasible_errors() {
+        let t = task(5, 4, 0, 1);
+        assert!(t.canonical().is_err());
+    }
+
+    #[test]
+    fn kernel_sets_of_canonical_family_nest_linearly_for_fixed_l() {
+        // Sanity: for fixed ℓ, kernel sets grow with u (Lemma 4 chain).
+        let chain: Vec<KernelSet> = (2..=6).map(|u| task(6, 3, 1, u).kernel_set()).collect();
+        for w in chain.windows(2) {
+            assert!(w[0].is_subset_of(&w[1]));
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Counting vectors (Definition 3 of the paper).
+
+use crate::kernel::KernelVector;
+use crate::output::OutputVector;
+
+/// The counting vector of an output vector: entry `v − 1` is `#v(O)`, the
+/// number of processes that decided value `v` (Definition 3).
+///
+/// # Examples
+///
+/// ```
+/// use gsb_core::{CountingVector, OutputVector};
+///
+/// let o = OutputVector::new(vec![2, 1, 2, 2, 3, 2]);
+/// let c = CountingVector::of_output(&o, 3);
+/// assert_eq!(c.counts(), &[1, 4, 1]);
+/// assert_eq!(c.total(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CountingVector(Vec<usize>);
+
+impl CountingVector {
+    /// Wraps raw per-value counts (entry `v − 1` counts deciders of `v`).
+    #[must_use]
+    pub fn new(counts: Vec<usize>) -> Self {
+        CountingVector(counts)
+    }
+
+    /// Computes the counting vector of `output` over the value domain
+    /// `[1..m]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some output value lies outside `[1..m]`.
+    #[must_use]
+    pub fn of_output(output: &OutputVector, m: usize) -> Self {
+        let mut counts = vec![0usize; m];
+        for &v in output.values() {
+            assert!(
+                v >= 1 && v <= m,
+                "output value {v} outside the domain [1..{m}]"
+            );
+            counts[v - 1] += 1;
+        }
+        CountingVector(counts)
+    }
+
+    /// Per-value counts, indexed by `v − 1`.
+    #[must_use]
+    pub fn counts(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of possible output values `m`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of deciders `n = Σ_v #v`.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.0.iter().sum()
+    }
+
+    /// The kernel vector representing this counting vector: the same
+    /// multiset of counts sorted in non-increasing order (Definition 4).
+    #[must_use]
+    pub fn to_kernel(&self) -> KernelVector {
+        KernelVector::from_counts(self.0.clone())
+    }
+
+    /// Whether `other` is a permutation of `self` — i.e. both belong to the
+    /// same set `X` of Definition 4 and share a kernel vector.
+    #[must_use]
+    pub fn is_permutation_of(&self, other: &CountingVector) -> bool {
+        self.to_kernel() == other.to_kernel()
+    }
+}
+
+impl std::fmt::Display for CountingVector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_vector_of_output() {
+        let o = OutputVector::new(vec![1, 1, 2]);
+        let c = CountingVector::of_output(&o, 2);
+        assert_eq!(c.counts(), &[2, 1]);
+        assert_eq!(c.m(), 2);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the domain")]
+    fn of_output_panics_on_out_of_domain() {
+        let o = OutputVector::new(vec![1, 3]);
+        let _ = CountingVector::of_output(&o, 2);
+    }
+
+    #[test]
+    fn permutations_share_a_kernel() {
+        // Paper example: [a,b,c], [b,c,a], [c,a,b] share one kernel vector.
+        let a = CountingVector::new(vec![4, 2, 0]);
+        let b = CountingVector::new(vec![0, 4, 2]);
+        let c = CountingVector::new(vec![2, 0, 4]);
+        assert!(a.is_permutation_of(&b));
+        assert!(b.is_permutation_of(&c));
+        assert_eq!(a.to_kernel().parts(), &[4, 2, 0]);
+        let d = CountingVector::new(vec![3, 3, 0]);
+        assert!(!a.is_permutation_of(&d));
+    }
+}

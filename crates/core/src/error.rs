@@ -1,0 +1,119 @@
+//! Error types for the `gsb-core` crate.
+
+use std::fmt;
+
+/// A specialized [`Result`](std::result::Result) type for `gsb-core` operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The error type returned by fallible `gsb-core` operations.
+///
+/// # Examples
+///
+/// ```
+/// use gsb_core::{Error, SymmetricGsb};
+///
+/// // Upper bound below lower bound is rejected at construction time.
+/// let err = SymmetricGsb::new(6, 3, 4, 2).unwrap_err();
+/// assert!(matches!(err, Error::InvalidSpec { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The parameters do not describe a well-formed GSB specification
+    /// (for example `m = 0`, `ℓ > u`, or `u > n`).
+    InvalidSpec {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// The specification is well-formed but infeasible: its set of output
+    /// vectors is empty (Lemma 1 / Lemma 2 of the paper).
+    Infeasible {
+        /// Number of processes.
+        n: usize,
+        /// Number of output values.
+        m: usize,
+        /// Sum of the lower bounds `Σ ℓ_v`.
+        lower_sum: usize,
+        /// Sum of the upper bounds `Σ u_v`.
+        upper_sum: usize,
+    },
+    /// An identity was outside the admissible space `[1..N]`.
+    IdentityOutOfRange {
+        /// The offending identity value.
+        id: u32,
+        /// The upper bound `N` of the identity space.
+        bound: u32,
+    },
+    /// An input vector contained duplicate identities, which the model
+    /// forbids (Section 2.2: `i ≠ j ⇒ input_i ≠ input_j`).
+    DuplicateIdentity {
+        /// The duplicated identity value.
+        id: u32,
+    },
+    /// A vector had the wrong dimension for the task at hand.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Actual dimension.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidSpec { reason } => write!(f, "invalid GSB specification: {reason}"),
+            Error::Infeasible {
+                n,
+                m,
+                lower_sum,
+                upper_sum,
+            } => write!(
+                f,
+                "infeasible GSB task: need Σℓ ≤ n ≤ Σu but Σℓ = {lower_sum}, n = {n}, \
+                 Σu = {upper_sum} (m = {m})"
+            ),
+            Error::IdentityOutOfRange { id, bound } => {
+                write!(f, "identity {id} outside the identity space [1..{bound}]")
+            }
+            Error::DuplicateIdentity { id } => {
+                write!(f, "duplicate identity {id} in input vector")
+            }
+            Error::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = Error::Infeasible {
+            n: 6,
+            m: 3,
+            lower_sum: 9,
+            upper_sum: 18,
+        };
+        let text = err.to_string();
+        assert!(text.contains("infeasible"));
+        assert!(text.contains("Σℓ = 9"));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let err = Error::DuplicateIdentity { id: 3 };
+        assert!(!format!("{err:?}").is_empty());
+    }
+}

@@ -1,0 +1,436 @@
+//! Process identities and input vectors.
+//!
+//! In the paper's model (Section 2.2), each of the `n` processes starts with
+//! a distinct *identity* drawn from `[1..N]`. Identities are the only input
+//! values of a GSB task; the paper fixes `N = 2n − 1` and proves (Theorem 1)
+//! that larger identity spaces add no power, because processes can first run
+//! an index-independent `(2n−1)`-renaming algorithm.
+
+use crate::error::{Error, Result};
+
+/// A process identity: an integer in `[1..N]`.
+///
+/// Identities are opaque except for comparison; comparison-based algorithms
+/// (Section 2.2) may only apply `<`, `=`, `>` to them, which is exactly the
+/// interface this type exposes through its `Ord` implementation.
+///
+/// # Examples
+///
+/// ```
+/// use gsb_core::Identity;
+///
+/// let a = Identity::new(3).unwrap();
+/// let b = Identity::new(7).unwrap();
+/// assert!(a < b);
+/// assert_eq!(a.get(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Identity(u32);
+
+impl Identity {
+    /// Creates an identity from a raw value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IdentityOutOfRange`] if `id` is zero (identities are
+    /// `1`-based).
+    pub fn new(id: u32) -> Result<Self> {
+        if id == 0 {
+            return Err(Error::IdentityOutOfRange { id, bound: 0 });
+        }
+        Ok(Identity(id))
+    }
+
+    /// Returns the raw identity value.
+    #[must_use]
+    pub fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Identity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "id{}", self.0)
+    }
+}
+
+/// The space of admissible identities `[1..N]` for an `n`-process system.
+///
+/// The paper fixes `N = 2n − 1` (Theorem 1 shows this is without loss of
+/// generality); [`IdentitySpace::paper_default`] builds that space, while
+/// [`IdentitySpace::new`] allows any `N > n` for experiments around
+/// Theorem 1 itself.
+///
+/// # Examples
+///
+/// ```
+/// use gsb_core::IdentitySpace;
+///
+/// let space = IdentitySpace::paper_default(4);
+/// assert_eq!(space.n(), 4);
+/// assert_eq!(space.bound(), 7); // N = 2n − 1
+/// assert_eq!(space.input_vectors().count(), 7 * 6 * 5 * 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct IdentitySpace {
+    n: usize,
+    bound: u32,
+}
+
+impl IdentitySpace {
+    /// Creates an identity space `[1..bound]` for `n` processes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] unless `n ≥ 1` and `bound > n` (the
+    /// model requires strictly more identities than processes: with
+    /// `N = n` the initial configuration would fully determine outputs).
+    pub fn new(n: usize, bound: u32) -> Result<Self> {
+        if n == 0 {
+            return Err(Error::InvalidSpec {
+                reason: "need at least one process".into(),
+            });
+        }
+        if (bound as usize) <= n {
+            return Err(Error::InvalidSpec {
+                reason: format!("identity bound N = {bound} must exceed n = {n}"),
+            });
+        }
+        Ok(IdentitySpace { n, bound })
+    }
+
+    /// Creates the paper's default space with `N = 2n − 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`; a single process has `N = 1 = n`, which the model
+    /// forbids (and for which every GSB task is trivial anyway).
+    #[must_use]
+    pub fn paper_default(n: usize) -> Self {
+        assert!(n >= 2, "paper_default requires n >= 2, got {n}");
+        IdentitySpace {
+            n,
+            bound: (2 * n - 1) as u32,
+        }
+    }
+
+    /// Number of processes `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Upper bound `N` of the identity space.
+    #[must_use]
+    pub fn bound(&self) -> u32 {
+        self.bound
+    }
+
+    /// Checks that `ids` is a valid input vector: dimension `n`, all
+    /// identities within `[1..N]` and pairwise distinct.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`], [`Error::IdentityOutOfRange`]
+    /// or [`Error::DuplicateIdentity`] accordingly.
+    pub fn validate(&self, ids: &[Identity]) -> Result<()> {
+        if ids.len() != self.n {
+            return Err(Error::DimensionMismatch {
+                expected: self.n,
+                actual: ids.len(),
+            });
+        }
+        let mut seen = vec![false; self.bound as usize + 1];
+        for &id in ids {
+            if id.get() > self.bound {
+                return Err(Error::IdentityOutOfRange {
+                    id: id.get(),
+                    bound: self.bound,
+                });
+            }
+            let slot = &mut seen[id.get() as usize];
+            if *slot {
+                return Err(Error::DuplicateIdentity { id: id.get() });
+            }
+            *slot = true;
+        }
+        Ok(())
+    }
+
+    /// Iterates over **all** input vectors (ordered `n`-tuples of distinct
+    /// identities from `[1..N]`).
+    ///
+    /// The number of vectors is `N·(N−1)·…·(N−n+1)`; use only for small
+    /// parameters. Vectors are produced in lexicographic order.
+    pub fn input_vectors(&self) -> InputVectors {
+        InputVectors::new(*self)
+    }
+
+    /// Iterates over all *sets* of `n` distinct identities (unordered),
+    /// i.e. the participating-identity sets. Produced in lexicographic
+    /// order of the sorted representative.
+    pub fn identity_sets(&self) -> IdentitySets {
+        IdentitySets::new(*self)
+    }
+}
+
+/// Iterator over all ordered input vectors of an [`IdentitySpace`].
+///
+/// Created by [`IdentitySpace::input_vectors`].
+#[derive(Debug, Clone)]
+pub struct InputVectors {
+    space: IdentitySpace,
+    /// Current tuple as 1-based identity values; empty once exhausted.
+    current: Vec<u32>,
+    done: bool,
+}
+
+impl InputVectors {
+    fn new(space: IdentitySpace) -> Self {
+        // First lexicographic injective tuple: 1, 2, …, n.
+        let current: Vec<u32> = (1..=space.n as u32).collect();
+        InputVectors {
+            space,
+            current,
+            done: false,
+        }
+    }
+
+    fn used(&self, value: u32, upto: usize) -> bool {
+        self.current[..upto].contains(&value)
+    }
+
+    /// Advances `self.current` to the next injective tuple, returning
+    /// `false` when exhausted.
+    fn advance(&mut self) -> bool {
+        let n = self.space.n;
+        let bound = self.space.bound;
+        let mut pos = n;
+        loop {
+            if pos == 0 {
+                return false;
+            }
+            pos -= 1;
+            // Try to increment position `pos` to the next unused value.
+            let mut candidate = self.current[pos] + 1;
+            loop {
+                if candidate > bound {
+                    break; // must carry to the left
+                }
+                if !self.used(candidate, pos) {
+                    self.current[pos] = candidate;
+                    // Refill positions to the right with smallest unused values.
+                    for fill in pos + 1..n {
+                        let mut v = 1;
+                        while self.used(v, fill) {
+                            v += 1;
+                        }
+                        debug_assert!(v <= bound);
+                        self.current[fill] = v;
+                    }
+                    return true;
+                }
+                candidate += 1;
+            }
+        }
+    }
+}
+
+impl Iterator for InputVectors {
+    type Item = Vec<Identity>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let item = self.current.iter().map(|&v| Identity(v)).collect();
+        if !self.advance() {
+            self.done = true;
+        }
+        Some(item)
+    }
+}
+
+/// Iterator over all unordered identity sets of an [`IdentitySpace`].
+///
+/// Created by [`IdentitySpace::identity_sets`].
+#[derive(Debug, Clone)]
+pub struct IdentitySets {
+    space: IdentitySpace,
+    current: Vec<u32>,
+    done: bool,
+}
+
+impl IdentitySets {
+    fn new(space: IdentitySpace) -> Self {
+        IdentitySets {
+            current: (1..=space.n as u32).collect(),
+            space,
+            done: false,
+        }
+    }
+}
+
+impl Iterator for IdentitySets {
+    type Item = Vec<Identity>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let item: Vec<Identity> = self.current.iter().map(|&v| Identity(v)).collect();
+        // Standard next-combination on sorted tuples.
+        let n = self.space.n;
+        let bound = self.space.bound;
+        let mut i = n;
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            let max_here = bound - (n - 1 - i) as u32;
+            if self.current[i] < max_here {
+                self.current[i] += 1;
+                for j in i + 1..n {
+                    self.current[j] = self.current[j - 1] + 1;
+                }
+                break;
+            }
+        }
+        Some(item)
+    }
+}
+
+/// Returns the rank (0-based) of each identity among `ids`.
+///
+/// This is the canonical "comparison-based view" of an input vector: two
+/// input vectors with the same rank pattern are indistinguishable to a
+/// comparison-based algorithm (Section 2.2). The input must contain
+/// distinct identities.
+///
+/// # Examples
+///
+/// ```
+/// use gsb_core::{identity::ranks, Identity};
+///
+/// let ids: Vec<Identity> = [5, 1, 7]
+///     .iter()
+///     .map(|&v| Identity::new(v).unwrap())
+///     .collect();
+/// assert_eq!(ranks(&ids), vec![1, 0, 2]);
+/// ```
+#[must_use]
+pub fn ranks(ids: &[Identity]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..ids.len()).collect();
+    order.sort_by_key(|&i| ids[i]);
+    let mut out = vec![0usize; ids.len()];
+    for (rank, &i) in order.iter().enumerate() {
+        out[i] = rank;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(v: u32) -> Identity {
+        Identity::new(v).unwrap()
+    }
+
+    #[test]
+    fn identity_rejects_zero() {
+        assert!(Identity::new(0).is_err());
+        assert!(Identity::new(1).is_ok());
+    }
+
+    #[test]
+    fn paper_default_bound_is_2n_minus_1() {
+        for n in 2..20 {
+            let space = IdentitySpace::paper_default(n);
+            assert_eq!(space.bound() as usize, 2 * n - 1);
+        }
+    }
+
+    #[test]
+    fn space_requires_more_ids_than_processes() {
+        assert!(IdentitySpace::new(3, 3).is_err());
+        assert!(IdentitySpace::new(3, 4).is_ok());
+        assert!(IdentitySpace::new(0, 5).is_err());
+    }
+
+    #[test]
+    fn validate_catches_duplicates_and_range() {
+        let space = IdentitySpace::paper_default(3);
+        assert!(space.validate(&[id(1), id(2), id(3)]).is_ok());
+        assert_eq!(
+            space.validate(&[id(1), id(2), id(2)]),
+            Err(Error::DuplicateIdentity { id: 2 })
+        );
+        assert_eq!(
+            space.validate(&[id(1), id(2), id(6)]),
+            Err(Error::IdentityOutOfRange { id: 6, bound: 5 })
+        );
+        assert_eq!(
+            space.validate(&[id(1), id(2)]),
+            Err(Error::DimensionMismatch {
+                expected: 3,
+                actual: 2
+            })
+        );
+    }
+
+    #[test]
+    fn input_vectors_count_matches_falling_factorial() {
+        let space = IdentitySpace::paper_default(3); // N = 5
+        let count = space.input_vectors().count();
+        assert_eq!(count, 5 * 4 * 3);
+    }
+
+    #[test]
+    fn input_vectors_are_distinct_and_valid() {
+        let space = IdentitySpace::paper_default(2); // N = 3, 6 vectors
+        let all: Vec<Vec<Identity>> = space.input_vectors().collect();
+        assert_eq!(all.len(), 6);
+        for v in &all {
+            space.validate(v).unwrap();
+        }
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+    }
+
+    #[test]
+    fn identity_sets_count_matches_binomial() {
+        let space = IdentitySpace::paper_default(3); // C(5,3) = 10
+        assert_eq!(space.identity_sets().count(), 10);
+        let space = IdentitySpace::paper_default(4); // C(7,4) = 35
+        assert_eq!(space.identity_sets().count(), 35);
+    }
+
+    #[test]
+    fn identity_sets_are_sorted_and_distinct() {
+        let space = IdentitySpace::paper_default(3);
+        for set in space.identity_sets() {
+            let mut sorted = set.clone();
+            sorted.sort();
+            assert_eq!(sorted, set);
+        }
+    }
+
+    #[test]
+    fn ranks_examples() {
+        assert_eq!(ranks(&[id(5), id(1), id(7)]), vec![1, 0, 2]);
+        assert_eq!(ranks(&[id(1), id(2), id(3)]), vec![0, 1, 2]);
+        assert_eq!(ranks(&[id(9), id(4)]), vec![1, 0]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(id(4).to_string(), "id4");
+    }
+}

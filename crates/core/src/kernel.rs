@@ -1,0 +1,536 @@
+//! Kernel vectors and kernel sets (Definition 4, Lemma 3).
+//!
+//! A *kernel vector* of an `⟨n, m, ℓ, u⟩`-GSB task is a counting vector
+//! sorted in non-increasing order; it represents all output vectors whose
+//! most frequent value appears `K\[1\]` times, second most frequent `K[2]`
+//! times, and so on. The *kernel set* of a task collects its kernel vectors
+//! and is a complete invariant of the task's output set: two symmetric GSB
+//! tasks are *synonyms* (same task) exactly when their kernel sets coincide.
+
+use std::collections::BTreeSet;
+
+use crate::spec::SymmetricGsb;
+
+/// A kernel vector: `m` non-increasing counts summing to `n`
+/// (Definition 4).
+///
+/// # Examples
+///
+/// ```
+/// use gsb_core::KernelVector;
+///
+/// let k = KernelVector::from_counts(vec![0, 4, 2]);
+/// assert_eq!(k.parts(), &[4, 2, 0]); // sorted non-increasing
+/// assert_eq!(k.total(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct KernelVector(Vec<usize>);
+
+impl KernelVector {
+    /// Builds a kernel vector from arbitrary counts by sorting them in
+    /// non-increasing order.
+    #[must_use]
+    pub fn from_counts(mut counts: Vec<usize>) -> Self {
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        KernelVector(counts)
+    }
+
+    /// The non-increasing parts `K\[1\] ≥ K[2] ≥ … ≥ K[m]`.
+    #[must_use]
+    pub fn parts(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Dimension `m` (number of possible values).
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Sum of the parts (the number of processes `n`).
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.0.iter().sum()
+    }
+
+    /// Largest part `K\[1\]` (the count of the most frequent value).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty kernel vector, which cannot be constructed
+    /// through the public API.
+    #[must_use]
+    pub fn max_part(&self) -> usize {
+        *self.0.first().expect("kernel vectors are non-empty")
+    }
+
+    /// Smallest part `K[m]` (the count of the least frequent value,
+    /// possibly 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty kernel vector, which cannot be constructed
+    /// through the public API.
+    #[must_use]
+    pub fn min_part(&self) -> usize {
+        *self.0.last().expect("kernel vectors are non-empty")
+    }
+
+    /// Number of distinct output vectors represented by this kernel vector
+    /// for a task on `n = total()` processes: the number of ways to assign
+    /// values to counts times the multinomial coefficient. Used by tests to
+    /// cross-check output-set enumeration.
+    #[must_use]
+    pub fn output_vector_count(&self) -> u128 {
+        // Number of counting vectors that sort to this kernel: permutations
+        // of the multiset of parts = m! / Π (multiplicity of each part)!.
+        let m = self.m() as u128;
+        let mut value_assignments = factorial(m);
+        let mut run = 1u128;
+        for w in self.0.windows(2) {
+            if w[0] == w[1] {
+                run += 1;
+            } else {
+                value_assignments /= factorial(run);
+                run = 1;
+            }
+        }
+        value_assignments /= factorial(run);
+        // For each counting vector: multinomial n! / Π K[i]!.
+        let mut multinomial = factorial(self.total() as u128);
+        for &p in &self.0 {
+            multinomial /= factorial(p as u128);
+        }
+        value_assignments * multinomial
+    }
+}
+
+fn factorial(x: u128) -> u128 {
+    (1..=x).product::<u128>().max(1)
+}
+
+impl std::fmt::Display for KernelVector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, p) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// The kernel set of a task: all of its kernel vectors (Definition 4).
+///
+/// Lemma 3: a kernel set is totally ordered by the lexicographic order on
+/// kernel vectors; iteration yields vectors in *descending* lexicographic
+/// order (the paper's Table 1 column order: `[6,0,0]`, `[5,1,0]`, …).
+///
+/// # Examples
+///
+/// ```
+/// use gsb_core::{KernelSet, SymmetricGsb};
+///
+/// let t = SymmetricGsb::new(6, 3, 0, 4)?;
+/// let ks = KernelSet::of_task(&t);
+/// let shown: Vec<String> = ks.iter().map(|k| k.to_string()).collect();
+/// assert_eq!(
+///     shown,
+///     ["[4, 2, 0]", "[4, 1, 1]", "[3, 3, 0]", "[3, 2, 1]", "[2, 2, 2]"]
+/// );
+/// # Ok::<(), gsb_core::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct KernelSet {
+    /// Kernel vectors in descending lexicographic order.
+    vectors: Vec<KernelVector>,
+}
+
+impl KernelSet {
+    /// Computes the kernel set of a symmetric GSB task by enumerating all
+    /// partitions of `n` into exactly `m` parts, each within `[ℓ..u]`
+    /// (parts may be zero when `ℓ = 0`).
+    ///
+    /// Infeasible tasks yield the empty kernel set.
+    #[must_use]
+    pub fn of_task(task: &SymmetricGsb) -> Self {
+        let mut vectors = Vec::new();
+        let mut parts = Vec::with_capacity(task.m());
+        enumerate_bounded_partitions(
+            task.n(),
+            task.m(),
+            task.u().min(task.n()),
+            task.l(),
+            task.u(),
+            &mut parts,
+            &mut vectors,
+        );
+        // The recursion produces descending-lex order already, but sort
+        // defensively (descending) to keep the invariant locally checkable.
+        vectors.sort_unstable_by(|a, b| b.cmp(a));
+        KernelSet { vectors }
+    }
+
+    /// Builds a kernel set from explicit vectors (deduplicated, reordered).
+    #[must_use]
+    pub fn from_vectors<I: IntoIterator<Item = KernelVector>>(vectors: I) -> Self {
+        let set: BTreeSet<KernelVector> = vectors.into_iter().collect();
+        let mut vectors: Vec<KernelVector> = set.into_iter().collect();
+        vectors.reverse(); // descending lexicographic
+        KernelSet { vectors }
+    }
+
+    /// Kernel vectors in descending lexicographic order.
+    pub fn iter(&self) -> std::slice::Iter<'_, KernelVector> {
+        self.vectors.iter()
+    }
+
+    /// Number of kernel vectors.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether the set is empty (the task is infeasible).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Whether `kernel` belongs to this set.
+    #[must_use]
+    pub fn contains(&self, kernel: &KernelVector) -> bool {
+        // Descending order ⇒ binary search with reversed comparator.
+        self.vectors
+            .binary_search_by(|probe| kernel.cmp(probe))
+            .is_ok()
+    }
+
+    /// Set inclusion: does every kernel vector of `self` belong to `other`?
+    ///
+    /// For symmetric tasks with equal `n` and `m`, this is equivalent to
+    /// output-set inclusion `S(T₁) ⊆ S(T₂)`, the relation the paper writes
+    /// `T₁ ⊂ T₂` — "any algorithm solving T₁ also solves T₂".
+    #[must_use]
+    pub fn is_subset_of(&self, other: &KernelSet) -> bool {
+        self.vectors.iter().all(|k| other.contains(k))
+    }
+}
+
+impl<'a> IntoIterator for &'a KernelSet {
+    type Item = &'a KernelVector;
+    type IntoIter = std::slice::Iter<'a, KernelVector>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl std::fmt::Display for KernelSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, k) in self.vectors.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Recursively enumerates non-increasing sequences of `m` parts in `[lo..hi]`
+/// summing to `n`, with each new part also bounded by the previous part
+/// (`cap`). Produces descending lexicographic order.
+fn enumerate_bounded_partitions(
+    n: usize,
+    m: usize,
+    cap: usize,
+    lo: usize,
+    hi: usize,
+    parts: &mut Vec<usize>,
+    out: &mut Vec<KernelVector>,
+) {
+    if m == 0 {
+        if n == 0 {
+            out.push(KernelVector(parts.clone()));
+        }
+        return;
+    }
+    let upper = cap.min(hi).min(n);
+    // Remaining parts must each be ≥ lo, so this part can take at most
+    // n − (m−1)·lo; and it must leave no more than (m−1)·min(itself, hi).
+    let reserve = (m - 1) * lo;
+    if n < reserve {
+        return;
+    }
+    let upper = upper.min(n - reserve);
+    for part in (lo..=upper).rev() {
+        // Prune: the remaining m−1 parts can carry at most (m−1)·min(part,hi).
+        if n - part > (m - 1) * part.min(hi) {
+            continue;
+        }
+        parts.push(part);
+        enumerate_bounded_partitions(n - part, m - 1, part, lo, hi, parts, out);
+        parts.pop();
+    }
+}
+
+/// Extension methods on [`SymmetricGsb`] that depend on kernel sets.
+impl SymmetricGsb {
+    /// The kernel set of this task (Definition 4).
+    #[must_use]
+    pub fn kernel_set(&self) -> KernelSet {
+        KernelSet::of_task(self)
+    }
+
+    /// The *balanced kernel vector* `[⌈n/m⌉, …, ⌊n/m⌋]` (Definition 4): the
+    /// first `n mod m` entries are `⌈n/m⌉`, the rest `⌊n/m⌋`. It belongs to
+    /// the kernel set of every feasible `⟨n, m, −, −⟩` task (Theorem 5's
+    /// hardest task has exactly this one vector).
+    #[must_use]
+    pub fn balanced_kernel(&self) -> KernelVector {
+        let (n, m) = (self.n(), self.m());
+        let q = n / m;
+        let r = n % m;
+        let mut parts = vec![q + 1; r];
+        parts.extend(std::iter::repeat(q).take(m - r));
+        KernelVector(parts)
+    }
+
+    /// Whether `self` and `other` denote the *same* task — synonyms in the
+    /// paper's terminology (Section 4): equal `n`, `m`, and kernel sets.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gsb_core::SymmetricGsb;
+    ///
+    /// // Paper: ⟨n,2,1,n−1⟩, ⟨n,2,0,n−1⟩ and ⟨n,2,1,n⟩ are synonyms... for
+    /// // WSB the first and third coincide; ⟨6,3,1,6⟩ / ⟨6,3,1,5⟩ / ⟨6,3,1,4⟩
+    /// // are the paper's Table-1 synonym class.
+    /// let a = SymmetricGsb::new(6, 3, 1, 6)?;
+    /// let b = SymmetricGsb::new(6, 3, 1, 4)?;
+    /// assert!(a.is_synonym_of(&b));
+    /// # Ok::<(), gsb_core::Error>(())
+    /// ```
+    #[must_use]
+    pub fn is_synonym_of(&self, other: &SymmetricGsb) -> bool {
+        self.n() == other.n() && self.m() == other.m() && self.kernel_set() == other.kernel_set()
+    }
+
+    /// Output-set inclusion `S(self) ⊆ S(other)` via kernel sets; requires
+    /// equal `n` and `m` to be meaningful (returns `false` otherwise).
+    #[must_use]
+    pub fn is_subtask_of(&self, other: &SymmetricGsb) -> bool {
+        self.n() == other.n()
+            && self.m() == other.m()
+            && self.kernel_set().is_subset_of(&other.kernel_set())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::CountingVector;
+    use crate::output::OutputVector;
+
+    fn task(n: usize, m: usize, l: usize, u: usize) -> SymmetricGsb {
+        SymmetricGsb::new(n, m, l, u).unwrap()
+    }
+
+    fn kernel_strings(t: &SymmetricGsb) -> Vec<String> {
+        t.kernel_set().iter().map(|k| k.to_string()).collect()
+    }
+
+    #[test]
+    fn paper_example_6_3_0_4() {
+        // Section 4.1: kernel set of ⟨6,3,0,4⟩ is
+        // {[4,2,0],[4,1,1],[3,3,0],[3,2,1],[2,2,2]}.
+        assert_eq!(
+            kernel_strings(&task(6, 3, 0, 4)),
+            [
+                "[4, 2, 0]",
+                "[4, 1, 1]",
+                "[3, 3, 0]",
+                "[3, 2, 1]",
+                "[2, 2, 2]"
+            ]
+        );
+    }
+
+    #[test]
+    fn paper_example_all_seven_kernels() {
+        // ⟨6,3,0,6⟩ has all seven kernel vectors, in Table 1's column order.
+        assert_eq!(
+            kernel_strings(&task(6, 3, 0, 6)),
+            [
+                "[6, 0, 0]",
+                "[5, 1, 0]",
+                "[4, 2, 0]",
+                "[4, 1, 1]",
+                "[3, 3, 0]",
+                "[3, 2, 1]",
+                "[2, 2, 2]"
+            ]
+        );
+    }
+
+    #[test]
+    fn lemma_3_total_lexicographic_order() {
+        // Kernel sets come out strictly descending in lex order.
+        for u in 2..=6 {
+            for l in 0..=2 {
+                let t = task(6, 3, l, u);
+                let ks = t.kernel_set();
+                let v: Vec<_> = ks.iter().collect();
+                for w in v.windows(2) {
+                    assert!(w[0] > w[1], "not strictly descending in {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_kernel_examples() {
+        assert_eq!(task(6, 3, 0, 6).balanced_kernel().parts(), &[2, 2, 2]);
+        assert_eq!(task(7, 3, 0, 7).balanced_kernel().parts(), &[3, 2, 2]);
+        assert_eq!(task(5, 4, 0, 5).balanced_kernel().parts(), &[2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn balanced_kernel_in_every_feasible_task() {
+        // Definition 4 / Table 1 observation: [2,2,2] belongs to all tasks.
+        for n in 2usize..=9 {
+            for m in 1..=n {
+                for l in 0..=n / m {
+                    for u in l.max(n.div_ceil(m))..=n {
+                        let t = task(n, m, l, u);
+                        assert!(t.is_feasible(), "{t}");
+                        assert!(
+                            t.kernel_set().contains(&t.balanced_kernel()),
+                            "balanced kernel missing from {t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_synonym_classes() {
+        // Section 4.1: ⟨6,3,2,5⟩, ⟨6,3,2,4⟩, ⟨6,3,2,3⟩, ⟨6,3,0,2⟩,
+        // ⟨6,3,1,2⟩ and ⟨6,3,2,2⟩ are synonyms.
+        let class_a = [
+            task(6, 3, 2, 5),
+            task(6, 3, 2, 4),
+            task(6, 3, 2, 3),
+            task(6, 3, 0, 2),
+            task(6, 3, 1, 2),
+            task(6, 3, 2, 2),
+        ];
+        for t in &class_a {
+            assert!(t.is_synonym_of(&class_a[0]), "{t}");
+            assert_eq!(kernel_strings(t), ["[2, 2, 2]"]);
+        }
+        // ⟨6,3,1,6⟩, ⟨6,3,1,5⟩ and ⟨6,3,1,4⟩ are synonyms.
+        let class_b = [task(6, 3, 1, 6), task(6, 3, 1, 5), task(6, 3, 1, 4)];
+        for t in &class_b {
+            assert!(t.is_synonym_of(&class_b[0]), "{t}");
+        }
+        // And the two classes are different tasks.
+        assert!(!class_a[0].is_synonym_of(&class_b[0]));
+    }
+
+    #[test]
+    fn incomparable_tasks_from_paper() {
+        // "⟨6,3,1,4⟩-GSB and ⟨6,3,0,3⟩-GSB tasks are not included one in
+        // the other."
+        let a = task(6, 3, 1, 4);
+        let b = task(6, 3, 0, 3);
+        assert!(!a.is_subtask_of(&b));
+        assert!(!b.is_subtask_of(&a));
+        // But both include ⟨6,3,1,3⟩ strictly.
+        let c = task(6, 3, 1, 3);
+        assert!(c.is_subtask_of(&a));
+        assert!(c.is_subtask_of(&b));
+        assert!(!a.is_subtask_of(&c));
+    }
+
+    #[test]
+    fn infeasible_task_has_empty_kernel_set() {
+        let t = task(5, 4, 0, 1); // 4 · 1 < 5
+        assert!(!t.is_feasible());
+        assert!(t.kernel_set().is_empty());
+    }
+
+    #[test]
+    fn kernel_set_matches_output_enumeration() {
+        // The kernel set must equal the set of kernels of all legal outputs.
+        for (n, m, l, u) in [(4, 2, 1, 3), (5, 3, 0, 2), (6, 3, 1, 4), (4, 4, 1, 1)] {
+            let t = task(n, m, l, u);
+            let from_outputs: BTreeSet<KernelVector> = t
+                .to_spec()
+                .legal_outputs()
+                .iter()
+                .map(|o| CountingVector::of_output(o, m).to_kernel())
+                .collect();
+            let direct: BTreeSet<KernelVector> = t.kernel_set().iter().cloned().collect();
+            assert_eq!(from_outputs, direct, "{t}");
+        }
+    }
+
+    #[test]
+    fn output_vector_count_cross_check() {
+        // Σ over kernel vectors of output_vector_count == |legal_outputs|.
+        for (n, m, l, u) in [(4, 2, 1, 3), (5, 3, 0, 2), (6, 3, 0, 6), (4, 4, 1, 1)] {
+            let t = task(n, m, l, u);
+            let total: u128 = t.kernel_set().iter().map(KernelVector::output_vector_count).sum();
+            assert_eq!(
+                total,
+                t.to_spec().legal_outputs().len() as u128,
+                "{t}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_of_counting_vector() {
+        let o = OutputVector::new(vec![1, 2, 2, 3, 2, 1]);
+        let c = CountingVector::of_output(&o, 3);
+        assert_eq!(c.to_kernel().parts(), &[3, 2, 1]);
+    }
+
+    #[test]
+    fn from_vectors_dedups_and_orders() {
+        let ks = KernelSet::from_vectors(vec![
+            KernelVector::from_counts(vec![2, 2, 2]),
+            KernelVector::from_counts(vec![4, 1, 1]),
+            KernelVector::from_counts(vec![2, 2, 2]),
+        ]);
+        assert_eq!(ks.len(), 2);
+        assert_eq!(ks.iter().next().unwrap().parts(), &[4, 1, 1]);
+    }
+
+    #[test]
+    fn contains_uses_order_correctly() {
+        let t = task(6, 3, 0, 6);
+        let ks = t.kernel_set();
+        for k in ks.iter() {
+            assert!(ks.contains(k));
+        }
+        assert!(!ks.contains(&KernelVector::from_counts(vec![6, 1, 0])));
+    }
+
+    #[test]
+    fn max_min_parts() {
+        let k = KernelVector::from_counts(vec![1, 4, 1]);
+        assert_eq!(k.max_part(), 4);
+        assert_eq!(k.min_part(), 1);
+        assert_eq!(k.m(), 3);
+        assert_eq!(k.total(), 6);
+    }
+}

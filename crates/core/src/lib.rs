@@ -1,0 +1,97 @@
+//! # gsb-core — the universe of generalized symmetry breaking tasks
+//!
+//! This crate implements the task-theoretic core of
+//! *The Universe of Symmetry Breaking Tasks* (Imbs, Rajsbaum, Raynal,
+//! IRISA PI-1965 / PODC 2011): the family of **generalized symmetry
+//! breaking (GSB)** tasks `⟨n, m, ℓ⃗, u⃗⟩-GSB`, in which each of `n`
+//! processes (distinguished only by identities from `[1..2n−1]`) must
+//! decide a value in `[1..m]` such that each value `v` is decided by at
+//! least `ℓ_v` and at most `u_v` processes.
+//!
+//! The family uniformly captures election, (perfect/loose) renaming, weak
+//! symmetry breaking, `k`-slot and many other tasks previously studied in
+//! isolation.
+//!
+//! ## What lives where
+//!
+//! * [`spec`] — task specifications ([`GsbSpec`], [`SymmetricGsb`]) and the
+//!   task zoo; feasibility (Lemmas 1–2).
+//! * [`identity`] / [`output`] / [`counting`] — the model's vocabulary:
+//!   identities, output vectors, counting vectors.
+//! * [`kernel`] — kernel vectors and kernel sets (Definition 4, Lemma 3);
+//!   synonym and sub-task tests.
+//! * [`anchoring`] — ℓ-/u-anchored tasks (Definition 5, Theorems 3–4).
+//! * [`canonical`] — canonical representatives (Theorem 7) and the hardest
+//!   task (Theorem 5).
+//! * [`order`] — the inclusion partial order of canonical tasks and its
+//!   Hasse diagram (the paper's Figure 1).
+//! * [`table`] — paper-style kernel tables (the paper's Table 1).
+//! * [`solvability`] — the wait-free solvability classifier (Theorems
+//!   8–11, Corollaries 2–5).
+//! * [`asymmetric`] — an extension beyond the paper: counting sets,
+//!   synonyms and canonical (tightened) representatives for *asymmetric*
+//!   tasks.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gsb_core::{Solvability, SymmetricGsb};
+//!
+//! // Weak symmetry breaking for 6 processes…
+//! let wsb = SymmetricGsb::wsb(6)?;
+//! // …is the same task as the 2-slot task…
+//! assert!(wsb.is_synonym_of(&SymmetricGsb::slot(6, 2)?));
+//! // …and is wait-free solvable precisely because 6 is not a prime power.
+//! assert_eq!(wsb.classify().solvability, Solvability::WaitFreeSolvable);
+//!
+//! // Perfect renaming is the hardest ⟨6,6,−,−⟩ task and is universal for
+//! // the whole GSB family (Theorem 8) — but not wait-free solvable.
+//! let pr = SymmetricGsb::perfect_renaming(6)?;
+//! assert_eq!(pr.classify().solvability, Solvability::NotWaitFreeSolvable);
+//! # Ok::<(), gsb_core::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod anchoring;
+pub mod asymmetric;
+pub mod canonical;
+pub mod counting;
+mod error;
+pub mod identity;
+pub mod kernel;
+pub mod order;
+pub mod output;
+pub mod solvability;
+pub mod spec;
+pub mod table;
+pub mod zoo;
+
+pub use anchoring::Anchoring;
+pub use counting::CountingVector;
+pub use error::{Error, Result};
+pub use identity::{Identity, IdentitySpace};
+pub use kernel::{KernelSet, KernelVector};
+pub use order::{TaskClass, TaskOrder};
+pub use output::OutputVector;
+pub use solvability::{Classification, Solvability};
+pub use spec::{GsbSpec, SymmetricGsb};
+pub use table::{KernelTable, KernelTableRow};
+pub use zoo::{catalog, ZooEntry};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prelude_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GsbSpec>();
+        assert_send_sync::<SymmetricGsb>();
+        assert_send_sync::<KernelSet>();
+        assert_send_sync::<TaskOrder>();
+        assert_send_sync::<Classification>();
+    }
+}

@@ -1,0 +1,505 @@
+//! The containment partial order on canonical GSB tasks (Figure 1).
+//!
+//! For fixed `n` and `m`, the canonical representatives of the feasible
+//! `⟨n, m, −, −⟩` tasks are partially ordered by strict inclusion of their
+//! kernel sets (equivalently, of their output sets). The paper's Figure 1
+//! draws this order for `n = 6, m = 3` with an arrow `A → B` meaning
+//! "`A` strictly includes `B`" (so `B` is the harder task). This module
+//! computes the full family, its synonym classes, the canonical order and
+//! its Hasse diagram (transitive reduction), and renders it as text or DOT.
+
+use std::collections::BTreeMap;
+
+use crate::anchoring::Anchoring;
+use crate::error::Result;
+use crate::kernel::KernelSet;
+use crate::spec::SymmetricGsb;
+
+/// A node of the canonical task order: one synonym class of feasible
+/// `⟨n, m, −, −⟩` tasks.
+#[derive(Debug, Clone)]
+pub struct TaskClass {
+    /// The canonical representative (Theorem 7).
+    pub representative: SymmetricGsb,
+    /// Every member `(ℓ, u)` of the synonym class, in Table-1 row order
+    /// (descending `u`, then ascending `ℓ`).
+    pub members: Vec<SymmetricGsb>,
+    /// The shared kernel set.
+    pub kernel_set: KernelSet,
+    /// Anchoring classification of the representative.
+    pub anchoring: Anchoring,
+}
+
+/// The partial order of canonical `⟨n, m, −, −⟩` tasks under output-set
+/// inclusion (the object drawn in Figure 1).
+///
+/// # Examples
+///
+/// ```
+/// use gsb_core::TaskOrder;
+///
+/// let order = TaskOrder::new(6, 3)?;
+/// assert_eq!(order.classes().len(), 7); // the 7 canonical tasks of Table 1
+/// // The hardest task ⟨6,3,2,2⟩ is the unique minimum.
+/// let minima = order.minimal_elements();
+/// assert_eq!(minima.len(), 1);
+/// assert_eq!(minima[0].representative.to_string(), "⟨6, 3, 2, 2⟩-GSB");
+/// # Ok::<(), gsb_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaskOrder {
+    n: usize,
+    m: usize,
+    classes: Vec<TaskClass>,
+    /// `strict[i][j]` ⇔ class `i` strictly includes class `j`
+    /// (`S(j) ⊂ S(i)`, i.e. `j` is harder).
+    strict: Vec<Vec<bool>>,
+    /// Hasse edges `(i, j)`: `i` strictly includes `j` with no class in
+    /// between — exactly the arrows of Figure 1.
+    hasse: Vec<(usize, usize)>,
+}
+
+impl TaskOrder {
+    /// Computes the canonical order of all feasible `⟨n, m, −, −⟩` tasks
+    /// with `u ≤ n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`](crate::Error::InvalidSpec) if no
+    /// feasible task exists (e.g. `m > n` forces `ℓ = 0` infeasibility…
+    /// which cannot happen for `m ≤ 2n−1`; in practice only `n = 0` or
+    /// `m = 0` fail).
+    pub fn new(n: usize, m: usize) -> Result<Self> {
+        // Group every feasible (ℓ, u) by canonical representative.
+        let mut groups: BTreeMap<(usize, usize), Vec<SymmetricGsb>> = BTreeMap::new();
+        for task in feasible_family(n, m)? {
+            let canon = task.canonical()?;
+            groups.entry((canon.l(), canon.u())).or_default().push(task);
+        }
+        let mut classes = Vec::with_capacity(groups.len());
+        for ((cl, cu), mut members) in groups {
+            let representative = SymmetricGsb::new(n, m, cl, cu)?;
+            // Table-1 row order: descending u, ascending ℓ.
+            members.sort_by(|a, b| b.u().cmp(&a.u()).then(a.l().cmp(&b.l())));
+            let kernel_set = representative.kernel_set();
+            let anchoring = representative.anchoring()?;
+            classes.push(TaskClass {
+                representative,
+                members,
+                kernel_set,
+                anchoring,
+            });
+        }
+        // Sort classes by decreasing kernel-set size then lexicographic
+        // representative, which reproduces Figure 1's left-to-right layout.
+        classes.sort_by(|a, b| {
+            b.kernel_set
+                .len()
+                .cmp(&a.kernel_set.len())
+                .then_with(|| (a.representative.l(), a.representative.u())
+                    .cmp(&(b.representative.l(), b.representative.u())))
+        });
+        let k = classes.len();
+        let mut strict = vec![vec![false; k]; k];
+        for i in 0..k {
+            for j in 0..k {
+                if i != j
+                    && classes[j].kernel_set.is_subset_of(&classes[i].kernel_set)
+                    && classes[j].kernel_set.len() < classes[i].kernel_set.len()
+                {
+                    strict[i][j] = true;
+                }
+            }
+        }
+        let mut hasse = Vec::new();
+        for i in 0..k {
+            for j in 0..k {
+                if strict[i][j] {
+                    let via = (0..k).any(|x| strict[i][x] && strict[x][j]);
+                    if !via {
+                        hasse.push((i, j));
+                    }
+                }
+            }
+        }
+        Ok(TaskOrder {
+            n,
+            m,
+            classes,
+            strict,
+            hasse,
+        })
+    }
+
+    /// Number of processes `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of output values `m`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The synonym classes (one per canonical task), largest output set
+    /// first.
+    #[must_use]
+    pub fn classes(&self) -> &[TaskClass] {
+        &self.classes
+    }
+
+    /// Whether class `i` strictly includes class `j` (the arrow `i → j` of
+    /// Figure 1, possibly transitive).
+    #[must_use]
+    pub fn strictly_includes(&self, i: usize, j: usize) -> bool {
+        self.strict[i][j]
+    }
+
+    /// The Hasse edges (transitive reduction) as index pairs `(i, j)` into
+    /// [`TaskOrder::classes`], meaning `i` strictly includes `j`.
+    #[must_use]
+    pub fn hasse_edges(&self) -> &[(usize, usize)] {
+        &self.hasse
+    }
+
+    /// Classes that are minimal in the inclusion order — the *hardest*
+    /// tasks. By Theorem 5 this is always the singleton
+    /// `⟨n, m, ⌊n/m⌋, ⌈n/m⌉⟩`.
+    #[must_use]
+    pub fn minimal_elements(&self) -> Vec<&TaskClass> {
+        (0..self.classes.len())
+            .filter(|&j| (0..self.classes.len()).all(|i| !self.strict[j][i]))
+            .map(|j| &self.classes[j])
+            .collect()
+    }
+
+    /// Classes that are maximal — the *easiest* tasks (always the single
+    /// trivially-anchored `⟨n, m, 0, n⟩` class).
+    #[must_use]
+    pub fn maximal_elements(&self) -> Vec<&TaskClass> {
+        (0..self.classes.len())
+            .filter(|&j| (0..self.classes.len()).all(|i| !self.strict[i][j]))
+            .map(|j| &self.classes[j])
+            .collect()
+    }
+
+    /// Pairs of incomparable classes (e.g. `⟨6,3,1,4⟩` and `⟨6,3,0,3⟩` in
+    /// the paper). Answers the open question "are there incomparable
+    /// tasks?" constructively for given `(n, m)`.
+    #[must_use]
+    pub fn incomparable_pairs(&self) -> Vec<(usize, usize)> {
+        let k = self.classes.len();
+        let mut out = Vec::new();
+        for i in 0..k {
+            for j in i + 1..k {
+                if !self.strict[i][j] && !self.strict[j][i] {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the Hasse diagram in Graphviz DOT syntax, mirroring
+    /// Figure 1 (arrows point from includer to included).
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph gsb_order_{}_{} {{", self.n, self.m);
+        let _ = writeln!(s, "  rankdir=LR;");
+        for (i, class) in self.classes.iter().enumerate() {
+            let r = &class.representative;
+            let _ = writeln!(
+                s,
+                "  t{i} [label=\"⟨{},{},{},{}⟩\\n{}\"];",
+                r.n(),
+                r.m(),
+                r.l(),
+                r.u(),
+                class.anchoring
+            );
+        }
+        for &(i, j) in &self.hasse {
+            let _ = writeln!(s, "  t{i} -> t{j};");
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// Renders the order as layered ASCII art in the spirit of the
+    /// paper's Figure 1: one column per "inclusion depth" (longest chain
+    /// from a maximal element), arrows listed underneath.
+    #[must_use]
+    pub fn to_ascii(&self) -> String {
+        use std::fmt::Write as _;
+        let k = self.classes.len();
+        // Depth = longest path from any maximal element.
+        let mut depth = vec![0usize; k];
+        // Process in an order compatible with inclusion (larger sets first
+        // — classes are already sorted by descending kernel-set size).
+        for j in 0..k {
+            for i in 0..k {
+                if self.strict[i][j] {
+                    depth[j] = depth[j].max(depth[i] + 1);
+                }
+            }
+        }
+        let max_depth = depth.iter().copied().max().unwrap_or(0);
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "Figure 1 layout — ⟨{}, {}, −, −⟩ canonical tasks by inclusion depth",
+            self.n, self.m
+        );
+        for d in 0..=max_depth {
+            let row: Vec<String> = (0..k)
+                .filter(|&i| depth[i] == d)
+                .map(|i| {
+                    let r = &self.classes[i].representative;
+                    format!("⟨{},{},{},{}⟩", r.n(), r.m(), r.l(), r.u())
+                })
+                .collect();
+            let _ = writeln!(s, "  depth {d}: {}", row.join("   "));
+        }
+        let _ = writeln!(s, "  arrows (A → B: A strictly includes B):");
+        for &(i, j) in &self.hasse {
+            let a = &self.classes[i].representative;
+            let b = &self.classes[j].representative;
+            let _ = writeln!(
+                s,
+                "    ⟨{},{},{},{}⟩ → ⟨{},{},{},{}⟩",
+                a.n(),
+                a.m(),
+                a.l(),
+                a.u(),
+                b.n(),
+                b.m(),
+                b.l(),
+                b.u()
+            );
+        }
+        s
+    }
+
+    /// Renders a compact text report: one line per class (representative,
+    /// anchoring, members, kernel set) followed by the Hasse edges.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "Canonical ⟨{}, {}, -, -⟩-GSB tasks ordered by output-set inclusion",
+            self.n, self.m
+        );
+        for (i, class) in self.classes.iter().enumerate() {
+            let members: Vec<String> = class
+                .members
+                .iter()
+                .map(|t| format!("({},{})", t.l(), t.u()))
+                .collect();
+            let _ = writeln!(
+                s,
+                "  [{i}] {} — {} — members {{{}}} — kernels {}",
+                class.representative,
+                class.anchoring,
+                members.join(", "),
+                class.kernel_set
+            );
+        }
+        let _ = writeln!(s, "Hasse edges (A → B means A strictly includes B):");
+        for &(i, j) in &self.hasse {
+            let _ = writeln!(
+                s,
+                "  {} → {}",
+                self.classes[i].representative, self.classes[j].representative
+            );
+        }
+        s
+    }
+}
+
+/// Enumerates every feasible `⟨n, m, ℓ, u⟩` task with `u ≤ n`, in Table-1
+/// row order (descending `u`, then ascending `ℓ`).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidSpec`](crate::Error::InvalidSpec) if `n = 0` or
+/// `m = 0`.
+pub fn feasible_family(n: usize, m: usize) -> Result<Vec<SymmetricGsb>> {
+    // Validate (n, m) via a probe construction.
+    let _probe = SymmetricGsb::new(n, m, 0, n)?;
+    let mut out = Vec::new();
+    let u_min = n.div_ceil(m);
+    for u in (u_min..=n).rev() {
+        for l in 0..=(n / m).min(u) {
+            out.push(SymmetricGsb::new(n, m, l, u)?);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_1_classes_and_edges() {
+        let order = TaskOrder::new(6, 3).unwrap();
+        let reps: Vec<(usize, usize)> = order
+            .classes()
+            .iter()
+            .map(|c| (c.representative.l(), c.representative.u()))
+            .collect();
+        // 7 canonical representatives, largest output set first.
+        assert_eq!(
+            reps,
+            [(0, 6), (0, 5), (0, 4), (0, 3), (1, 4), (1, 3), (2, 2)]
+        );
+
+        // Figure 1 arrows (transitive reduction).
+        let edge_names: Vec<(String, String)> = order
+            .hasse_edges()
+            .iter()
+            .map(|&(i, j)| {
+                (
+                    order.classes()[i].representative.to_string(),
+                    order.classes()[j].representative.to_string(),
+                )
+            })
+            .collect();
+        let expect = |a: &str, b: &str| {
+            assert!(
+                edge_names
+                    .iter()
+                    .any(|(x, y)| x.contains(a) && y.contains(b)),
+                "missing Figure 1 edge {a} → {b}; got {edge_names:?}"
+            );
+        };
+        expect("0, 6", "0, 5");
+        expect("0, 5", "0, 4");
+        expect("0, 4", "1, 4");
+        expect("0, 4", "0, 3");
+        expect("1, 4", "1, 3");
+        expect("0, 3", "1, 3");
+        expect("1, 3", "2, 2");
+        assert_eq!(edge_names.len(), 7, "Figure 1 has exactly 7 arrows");
+    }
+
+    #[test]
+    fn figure_1_incomparable_pair() {
+        let order = TaskOrder::new(6, 3).unwrap();
+        let pairs = order.incomparable_pairs();
+        // ⟨6,3,1,4⟩ and ⟨6,3,0,3⟩ are the unique incomparable pair.
+        assert_eq!(pairs.len(), 1);
+        let (i, j) = pairs[0];
+        let mut names = [
+            order.classes()[i].representative.to_string(),
+            order.classes()[j].representative.to_string(),
+        ];
+        names.sort();
+        assert_eq!(names[0], "⟨6, 3, 0, 3⟩-GSB");
+        assert_eq!(names[1], "⟨6, 3, 1, 4⟩-GSB");
+    }
+
+    #[test]
+    fn minimum_is_theorem_5_hardest() {
+        for n in 2..=9 {
+            for m in 1..=n {
+                let order = TaskOrder::new(n, m).unwrap();
+                let minima = order.minimal_elements();
+                assert_eq!(minima.len(), 1, "n={n} m={m}");
+                assert_eq!(
+                    minima[0].representative,
+                    SymmetricGsb::hardest(n, m).unwrap().canonical().unwrap(),
+                    "n={n} m={m}"
+                );
+                let maxima = order.maximal_elements();
+                assert_eq!(maxima.len(), 1);
+                assert_eq!(
+                    maxima[0].representative,
+                    SymmetricGsb::new(n, m, 0, n)
+                        .unwrap()
+                        .canonical()
+                        .unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn feasible_family_counts() {
+        // For n=6, m=3: u ∈ {2..6}, ℓ ∈ {0,1,2} (ℓ ≤ 2 and ℓ ≤ u) → 15
+        // members (the paper's Table 1 lists 14, omitting ⟨6,3,2,6⟩ —
+        // a synonym of ⟨6,3,2,2⟩; see EXPERIMENTS.md).
+        let family = feasible_family(6, 3).unwrap();
+        assert_eq!(family.len(), 15);
+        assert!(family.iter().all(SymmetricGsb::is_feasible));
+        // Row order: descending u then ascending ℓ.
+        assert_eq!(
+            (family[0].l(), family[0].u(), family[1].l(), family[1].u()),
+            (0, 6, 1, 6)
+        );
+    }
+
+    #[test]
+    fn strict_inclusion_is_transitive_and_antisymmetric() {
+        let order = TaskOrder::new(8, 4).unwrap();
+        let k = order.classes().len();
+        for i in 0..k {
+            assert!(!order.strictly_includes(i, i));
+            for j in 0..k {
+                assert!(!(order.strictly_includes(i, j) && order.strictly_includes(j, i)));
+                for x in 0..k {
+                    if order.strictly_includes(i, j) && order.strictly_includes(j, x) {
+                        assert!(order.strictly_includes(i, x));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot_and_text_render() {
+        let order = TaskOrder::new(6, 3).unwrap();
+        let dot = order.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert_eq!(dot.matches(" -> ").count(), 7);
+        let text = order.to_text();
+        assert!(text.contains("⟨6, 3, 2, 2⟩-GSB"));
+        assert!(text.contains("Hasse edges"));
+    }
+
+    #[test]
+    fn ascii_layout_matches_figure_1_depths() {
+        let order = TaskOrder::new(6, 3).unwrap();
+        let art = order.to_ascii();
+        // Figure 1's chain: depth 0 = ⟨6,3,0,6⟩ … depth 5 = ⟨6,3,2,2⟩,
+        // with the incomparable pair sharing depth 3.
+        assert!(art.contains("depth 0: ⟨6,3,0,6⟩"));
+        assert!(art.contains("depth 1: ⟨6,3,0,5⟩"));
+        assert!(art.contains("depth 2: ⟨6,3,0,4⟩"));
+        let depth3: &str = art
+            .lines()
+            .find(|l| l.contains("depth 3"))
+            .expect("depth 3 row");
+        assert!(depth3.contains("⟨6,3,0,3⟩") && depth3.contains("⟨6,3,1,4⟩"));
+        assert!(art.contains("depth 4: ⟨6,3,1,3⟩"));
+        assert!(art.contains("depth 5: ⟨6,3,2,2⟩"));
+        let arrow_lines = art
+            .lines()
+            .filter(|l| l.starts_with("    ⟨") && l.contains(" → "))
+            .count();
+        assert_eq!(arrow_lines, 7);
+    }
+
+    #[test]
+    fn every_feasible_task_lands_in_exactly_one_class() {
+        let order = TaskOrder::new(6, 3).unwrap();
+        let total: usize = order.classes().iter().map(|c| c.members.len()).sum();
+        assert_eq!(total, feasible_family(6, 3).unwrap().len());
+    }
+}

@@ -1,0 +1,149 @@
+//! Output vectors of decision tasks.
+
+use crate::error::{Error, Result};
+
+/// An `n`-dimensional decision vector: entry `i` is the value decided by the
+/// process with index `i` (values are `1`-based, in `[1..m]`).
+///
+/// `OutputVector` is a thin, validated wrapper — legality with respect to a
+/// particular task is checked by
+/// [`GsbSpec::is_legal_output`](crate::GsbSpec::is_legal_output).
+///
+/// # Examples
+///
+/// ```
+/// use gsb_core::{OutputVector, SymmetricGsb};
+///
+/// let wsb = SymmetricGsb::wsb(3)?;
+/// let o = OutputVector::new(vec![1, 2, 2]);
+/// assert!(wsb.is_legal_output(&o));
+/// # Ok::<(), gsb_core::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OutputVector(Vec<usize>);
+
+impl OutputVector {
+    /// Wraps a vector of decided values.
+    #[must_use]
+    pub fn new(values: Vec<usize>) -> Self {
+        OutputVector(values)
+    }
+
+    /// Builds an output vector from per-process decisions, failing if any
+    /// process is still undecided.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] naming the first undecided index.
+    pub fn from_decisions(decisions: &[Option<usize>]) -> Result<Self> {
+        let mut values = Vec::with_capacity(decisions.len());
+        for (i, d) in decisions.iter().enumerate() {
+            match d {
+                Some(v) => values.push(*v),
+                None => {
+                    return Err(Error::InvalidSpec {
+                        reason: format!("process index {i} has not decided"),
+                    })
+                }
+            }
+        }
+        Ok(OutputVector(values))
+    }
+
+    /// The decided values, indexed by process index.
+    #[must_use]
+    pub fn values(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Dimension `n` of the vector.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the vector is empty (dimension 0).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of entries equal to `x` — the paper's `#x(V)` notation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gsb_core::OutputVector;
+    ///
+    /// let o = OutputVector::new(vec![2, 1, 2, 2]);
+    /// assert_eq!(o.count_of(2), 3);
+    /// assert_eq!(o.count_of(7), 0);
+    /// ```
+    #[must_use]
+    pub fn count_of(&self, x: usize) -> usize {
+        self.0.iter().filter(|&&v| v == x).count()
+    }
+
+    /// Consumes the wrapper, returning the underlying values.
+    #[must_use]
+    pub fn into_inner(self) -> Vec<usize> {
+        self.0
+    }
+}
+
+impl From<Vec<usize>> for OutputVector {
+    fn from(values: Vec<usize>) -> Self {
+        OutputVector(values)
+    }
+}
+
+impl AsRef<[usize]> for OutputVector {
+    fn as_ref(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for OutputVector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_of_matches_paper_notation() {
+        let o = OutputVector::new(vec![1, 3, 3, 2, 3]);
+        assert_eq!(o.count_of(3), 3);
+        assert_eq!(o.count_of(1), 1);
+        assert_eq!(o.count_of(4), 0);
+    }
+
+    #[test]
+    fn from_decisions_requires_all_decided() {
+        let ok = OutputVector::from_decisions(&[Some(1), Some(2)]).unwrap();
+        assert_eq!(ok.values(), &[1, 2]);
+        let err = OutputVector::from_decisions(&[Some(1), None]).unwrap_err();
+        assert!(err.to_string().contains("index 1"));
+    }
+
+    #[test]
+    fn display_and_conversions() {
+        let o = OutputVector::from(vec![2, 1]);
+        assert_eq!(o.to_string(), "[2, 1]");
+        assert_eq!(o.as_ref(), &[2, 1]);
+        assert_eq!(o.clone().into_inner(), vec![2, 1]);
+        assert_eq!(o.len(), 2);
+        assert!(!o.is_empty());
+    }
+}

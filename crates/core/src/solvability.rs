@@ -1,0 +1,725 @@
+//! Computability of GSB tasks (Section 5 of the paper).
+//!
+//! This module implements the paper's solvability results as an executable
+//! classifier:
+//!
+//! * **Theorem 9** — a symmetric task with `m > 1` is solvable with *no
+//!   communication* iff `ℓ = 0 ∧ ⌈(2n−1)/m⌉ ≤ u`; we also provide the
+//!   witness partition of the identity space and a brute-force
+//!   cross-validator, plus an interval-based generalization to asymmetric
+//!   tasks.
+//! * **Theorem 10** — if `gcd{ C(n,i) : 1 ≤ i ≤ ⌊n/2⌋ } > 1` (the set is
+//!   "not prime"), then `⟨n,m,1,u⟩` is not wait-free solvable for any `u`;
+//!   by output-set containment this extends to every `ℓ ≥ 1`.
+//! * **Theorem 11 / Corollary 5** — election and perfect renaming are not
+//!   wait-free solvable.
+//! * Known positive results quoted by the paper: `(2n−1)`-renaming is
+//!   trivially solvable, `(2n−2)`-renaming and WSB are wait-free
+//!   equivalent and solvable exactly when the binomial gcd is 1.
+
+use crate::spec::{GsbSpec, SymmetricGsb};
+
+/// The solvability status of a GSB task in the wait-free model
+/// `ASM_{n,n−1}[∅]`, as established by the paper's results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[non_exhaustive]
+pub enum Solvability {
+    /// The output set is empty (Lemma 1/2); nothing to solve.
+    Infeasible,
+    /// Solvable with **no communication at all** (Theorem 9).
+    SolvableWithoutCommunication,
+    /// Wait-free solvable using read/write registers (communication
+    /// needed).
+    WaitFreeSolvable,
+    /// Not wait-free solvable by any read/write algorithm.
+    NotWaitFreeSolvable,
+    /// Not settled by the paper's results (several such frontiers are the
+    /// paper's §7 open problems).
+    Open,
+}
+
+impl std::fmt::Display for Solvability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let text = match self {
+            Solvability::Infeasible => "infeasible",
+            Solvability::SolvableWithoutCommunication => "solvable with no communication",
+            Solvability::WaitFreeSolvable => "wait-free solvable",
+            Solvability::NotWaitFreeSolvable => "not wait-free solvable",
+            Solvability::Open => "open",
+        };
+        f.write_str(text)
+    }
+}
+
+/// A solvability verdict together with the paper result justifying it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Classification {
+    /// The verdict.
+    pub solvability: Solvability,
+    /// Which theorem/corollary (or chain of reductions) justifies it.
+    pub justification: String,
+}
+
+impl std::fmt::Display for Classification {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.solvability, self.justification)
+    }
+}
+
+/// `gcd{ C(n,i) : 1 ≤ i ≤ ⌊n/2⌋ }`, the quantity of Theorem 10 (due to
+/// Castañeda and Rajsbaum, the paper's \[17\]).
+///
+/// The set is called *prime* when this gcd is 1. A classical fact (checked
+/// in tests): the gcd exceeds 1 exactly when `n` is a prime power, in which
+/// case it equals that prime.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `n > 130` (the binomials would overflow `u128`).
+///
+/// # Examples
+///
+/// ```
+/// use gsb_core::solvability::binomial_gcd;
+///
+/// assert_eq!(binomial_gcd(4), 2);  // 4 = 2²: C(4,1)=4, C(4,2)=6 → gcd 2
+/// assert_eq!(binomial_gcd(6), 1);  // 6 = 2·3: gcd{6,15,20} = 1
+/// ```
+#[must_use]
+pub fn binomial_gcd(n: usize) -> u128 {
+    assert!(n >= 2, "binomial_gcd needs n ≥ 2");
+    assert!(n <= 130, "binomial_gcd overflows u128 beyond n = 130");
+    let mut g: u128 = 0;
+    let mut c: u128 = 1; // C(n, 0)
+    for i in 1..=n / 2 {
+        // C(n,i) = C(n,i−1)·(n−i+1)/i, always divisible.
+        c = c * (n as u128 - i as u128 + 1) / i as u128;
+        g = gcd(g, c);
+        if g == 1 {
+            break;
+        }
+    }
+    g
+}
+
+/// Whether the set `{C(n,i)}` is **not** prime (gcd > 1) — the hypothesis
+/// of Theorem 10 under which `⟨n,m,1,u⟩`-GSB is not wait-free solvable.
+#[must_use]
+pub fn binomials_not_prime(n: usize) -> bool {
+    binomial_gcd(n) > 1
+}
+
+fn gcd(a: u128, b: u128) -> u128 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Whether `n` is a prime power `p^k`, `k ≥ 1`. Used to cross-check
+/// [`binomial_gcd`] against the classical characterization.
+#[must_use]
+pub fn is_prime_power(n: usize) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let mut x = n;
+    let mut d = 2usize;
+    while d * d <= x {
+        if x % d == 0 {
+            while x % d == 0 {
+                x /= d;
+            }
+            return x == 1;
+        }
+        d += 1;
+    }
+    // x is prime.
+    true
+}
+
+impl SymmetricGsb {
+    /// **Theorem 9**: whether the task is solvable with no communication.
+    /// For `m = 1` every feasible task qualifies; for `m > 1` the
+    /// characterization is `ℓ = 0 ∧ ⌈(2n−1)/m⌉ ≤ u`.
+    #[must_use]
+    pub fn no_communication_solvable(&self) -> bool {
+        if !self.is_feasible() {
+            return false;
+        }
+        if self.m() == 1 {
+            return true;
+        }
+        self.l() == 0 && (2 * self.n() - 1).div_ceil(self.m()) <= self.u()
+    }
+
+    /// The witness decision function of Theorem 9's proof: a partition of
+    /// the identity space `[1..2n−1]` into `m` groups of size
+    /// `⌈(2n−1)/m⌉` or `⌊(2n−1)/m⌋`; a process with identity `id` decides
+    /// `witness[id − 1]`.
+    ///
+    /// Returns `None` when the task is not solvable without communication.
+    #[must_use]
+    pub fn no_communication_witness(&self) -> Option<Vec<usize>> {
+        if !self.no_communication_solvable() {
+            return None;
+        }
+        let ids = 2 * self.n() - 1;
+        let m = self.m();
+        // Deterministic balanced partition: identity id ∈ [1..2n−1] maps to
+        // ⌈id·m/(2n−1)⌉, giving groups within one of each other in size.
+        Some(
+            (1..=ids)
+                .map(|id| (id * m).div_ceil(ids))
+                .collect(),
+        )
+    }
+
+    /// Wait-free solvability classification per the paper's Section 5
+    /// results (see module docs for the rule-by-rule provenance).
+    #[must_use]
+    pub fn classify(&self) -> Classification {
+        classify_symmetric(self)
+    }
+}
+
+fn classify_symmetric(t: &SymmetricGsb) -> Classification {
+    if !t.is_feasible() {
+        return Classification {
+            solvability: Solvability::Infeasible,
+            justification: "Lemma 2: m·ℓ ≤ n ≤ m·u fails".into(),
+        };
+    }
+    if t.no_communication_solvable() {
+        return Classification {
+            solvability: Solvability::SolvableWithoutCommunication,
+            justification: if t.m() == 1 {
+                "single output value".into()
+            } else {
+                "Theorem 9: ℓ = 0 and ⌈(2n−1)/m⌉ ≤ u".into()
+            },
+        };
+    }
+    let n = t.n();
+    if n == 1 {
+        // One process, feasible ⇒ it can decide any value v with ℓ ≤ 1 ≤ u.
+        return Classification {
+            solvability: Solvability::SolvableWithoutCommunication,
+            justification: "single process decides a value with ℓ ≤ 1 ≤ u_v".into(),
+        };
+    }
+    let canonical = t
+        .canonical()
+        .expect("feasible tasks always have a canonical form");
+    // Perfect renaming and its synonyms (e.g. n-renaming ⟨n,n,0,1⟩).
+    let perfect =
+        SymmetricGsb::perfect_renaming(n).expect("n ≥ 1 makes perfect renaming well-formed");
+    if canonical == perfect {
+        return Classification {
+            solvability: Solvability::NotWaitFreeSolvable,
+            justification: "Corollary 5: perfect renaming is not wait-free solvable".into(),
+        };
+    }
+    let gcd_not_prime = binomials_not_prime(n);
+    if t.l() >= 1 && t.m() > 1 && gcd_not_prime {
+        let base = "Theorem 10: {C(n,i)} not prime ⇒ ⟨n,m,1,u⟩ unsolvable";
+        let justification = if t.l() == 1 {
+            base.to_string()
+        } else {
+            format!("{base}; ℓ ≥ 1 tasks have outputs ⊆ ⟨n,m,1,u⟩'s (Lemma 5)")
+        };
+        return Classification {
+            solvability: Solvability::NotWaitFreeSolvable,
+            justification,
+        };
+    }
+    // WSB and its synonyms: ⟨n,2,1,·⟩ always collapses to the WSB class.
+    if let Ok(wsb) = SymmetricGsb::wsb(n) {
+        if t.is_synonym_of(&wsb) {
+            return if gcd_not_prime {
+                Classification {
+                    solvability: Solvability::NotWaitFreeSolvable,
+                    justification:
+                        "Theorem 10 via WSB ≡ (2n−2)-renaming ([29]) and [17]'s lower bound"
+                            .into(),
+                }
+            } else {
+                Classification {
+                    solvability: Solvability::WaitFreeSolvable,
+                    justification:
+                        "WSB ≡ (2n−2)-renaming ([29]); solvable for exceptional n ([17], gcd = 1)"
+                            .into(),
+                }
+            };
+        }
+    }
+    // Renaming tasks ⟨n, m, 0, 1⟩ below the trivial 2n−1 bound.
+    if t.l() == 0 && t.u() == 1 {
+        let m = t.m();
+        if m >= 2 * n - 1 {
+            unreachable!("covered by Theorem 9");
+        }
+        if m == 2 * n - 2 {
+            return if gcd_not_prime {
+                Classification {
+                    solvability: Solvability::NotWaitFreeSolvable,
+                    justification: "[17]: (2n−2)-renaming unsolvable when {C(n,i)} not prime"
+                        .into(),
+                }
+            } else {
+                Classification {
+                    solvability: Solvability::WaitFreeSolvable,
+                    justification: "[17]: (2n−2)-renaming solvable for exceptional n (gcd = 1)"
+                        .into(),
+                }
+            };
+        }
+        if gcd_not_prime {
+            // m-renaming with m ≤ 2n−2 solves (2n−2)-renaming.
+            return Classification {
+                solvability: Solvability::NotWaitFreeSolvable,
+                justification:
+                    "m ≤ 2n−2 renaming solves (2n−2)-renaming, unsolvable by [17] (gcd > 1)"
+                        .into(),
+            };
+        }
+        return Classification {
+            solvability: Solvability::Open,
+            justification: format!(
+                "renaming with n ≤ m = {m} < 2n−2 names and gcd = 1: not settled by the paper"
+            ),
+        };
+    }
+    Classification {
+        solvability: Solvability::Open,
+        justification: "no paper result applies; see §7 open problems".into(),
+    }
+}
+
+impl GsbSpec {
+    /// Generalization of Theorem 9 to asymmetric tasks: the task is
+    /// solvable with no communication iff the identity space `[1..2n−1]`
+    /// can be partitioned into groups `G_1 … G_m` (a process with identity
+    /// in `G_v` decides `v`) such that **every** adversarial choice of `n`
+    /// identities yields legal counts. Group `v` of size `g_v` can
+    /// contribute between `max(0, g_v − (n−1))` and `min(g_v, n)` deciders,
+    /// so the condition is an interval-feasibility problem:
+    /// `Σ lo_v ≤ 2n−1 ≤ Σ hi_v` with
+    /// `lo_v = n−1+ℓ_v` if `ℓ_v ≥ 1` else `0`, and
+    /// `hi_v = u_v` if `u_v < n` else `2n−1`.
+    ///
+    /// For symmetric tasks this reduces exactly to Theorem 9 (checked by
+    /// tests, alongside brute force on small systems).
+    #[must_use]
+    pub fn no_communication_solvable(&self) -> bool {
+        if !self.is_feasible() {
+            return false;
+        }
+        let n = self.n();
+        if n == 1 {
+            // One process with one identity… of 2·1−1 = 1 possibilities:
+            // it decides some value v with ℓ_w = 0 for all w ≠ v.
+            return (1..=self.m()).any(|v| {
+                self.upper(v) >= 1 && (1..=self.m()).all(|w| w == v || self.lower(w) == 0)
+            });
+        }
+        let ids = 2 * n - 1;
+        let mut lo_sum = 0usize;
+        let mut hi_sum = 0usize;
+        for v in 1..=self.m() {
+            let lo = if self.lower(v) >= 1 {
+                n - 1 + self.lower(v)
+            } else {
+                0
+            };
+            let hi = if self.upper(v) < n { self.upper(v) } else { ids };
+            if lo > hi {
+                return false;
+            }
+            lo_sum += lo;
+            hi_sum = hi_sum.saturating_add(hi);
+        }
+        lo_sum <= ids && ids <= hi_sum
+    }
+
+    /// A witness decision map for
+    /// [`GsbSpec::no_communication_solvable`]: entry `id − 1` is the value
+    /// decided by a process holding identity `id ∈ [1..2n−1]`. Returns
+    /// `None` when no such map exists.
+    #[must_use]
+    pub fn no_communication_witness(&self) -> Option<Vec<usize>> {
+        if !self.no_communication_solvable() {
+            return None;
+        }
+        let n = self.n();
+        let ids = 2 * n - 1;
+        let m = self.m();
+        if n == 1 {
+            let v = (1..=m).find(|&v| {
+                self.upper(v) >= 1 && (1..=m).all(|w| w == v || self.lower(w) == 0)
+            })?;
+            return Some(vec![v]);
+        }
+        // Start every group at its lower requirement, then distribute the
+        // remaining identities up to the upper limits.
+        let lo: Vec<usize> = (1..=m)
+            .map(|v| if self.lower(v) >= 1 { n - 1 + self.lower(v) } else { 0 })
+            .collect();
+        let hi: Vec<usize> = (1..=m)
+            .map(|v| if self.upper(v) < n { self.upper(v) } else { ids })
+            .collect();
+        let mut sizes = lo.clone();
+        let mut remaining = ids - sizes.iter().sum::<usize>();
+        for v in 0..m {
+            let slack = hi[v] - sizes[v];
+            let take = slack.min(remaining);
+            sizes[v] += take;
+            remaining -= take;
+        }
+        debug_assert_eq!(remaining, 0);
+        let mut map = Vec::with_capacity(ids);
+        for (v, &size) in sizes.iter().enumerate() {
+            map.extend(std::iter::repeat(v + 1).take(size));
+        }
+        Some(map)
+    }
+
+    /// Brute-force validator for the no-communication characterizations:
+    /// exhaustively searches all `m^(2n−1)` decision maps and all
+    /// `C(2n−1, n)` adversarial identity sets. Exponential — intended for
+    /// `n ≤ 4` in tests only.
+    #[must_use]
+    pub fn no_communication_brute_force(&self) -> bool {
+        let n = self.n();
+        let ids = 2 * n - 1;
+        let m = self.m();
+        let mut map = vec![1usize; ids];
+        loop {
+            if self.map_beats_all_subsets(&map) {
+                return true;
+            }
+            // Next map in lexicographic order.
+            let mut i = 0;
+            loop {
+                if i == ids {
+                    return false;
+                }
+                if map[i] < m {
+                    map[i] += 1;
+                    break;
+                }
+                map[i] = 1;
+                i += 1;
+            }
+        }
+    }
+
+    /// Whether the decision map `map` (identity `id` decides
+    /// `map[id − 1]`) solves the task against every `n`-subset of
+    /// identities.
+    #[must_use]
+    pub fn map_beats_all_subsets(&self, map: &[usize]) -> bool {
+        let n = self.n();
+        let ids = map.len();
+        debug_assert_eq!(ids, 2 * n - 1);
+        let m = self.m();
+        // Iterate over all n-subsets of [0..ids).
+        let mut subset: Vec<usize> = (0..n).collect();
+        loop {
+            let mut counts = vec![0usize; m];
+            let mut ok = true;
+            for &i in &subset {
+                let v = map[i];
+                if v == 0 || v > m {
+                    ok = false;
+                    break;
+                }
+                counts[v - 1] += 1;
+            }
+            if ok {
+                ok = (1..=m).all(|v| {
+                    let c = counts[v - 1];
+                    self.lower(v) <= c && c <= self.upper(v)
+                });
+            }
+            if !ok {
+                return false;
+            }
+            // Next combination.
+            let mut i = n;
+            loop {
+                if i == 0 {
+                    return true;
+                }
+                i -= 1;
+                if subset[i] < ids - (n - i) {
+                    subset[i] += 1;
+                    for j in i + 1..n {
+                        subset[j] = subset[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Solvability classification; for symmetric specs this delegates to
+    /// [`SymmetricGsb::classify`], and it recognizes election (Theorem 11).
+    #[must_use]
+    pub fn classify(&self) -> Classification {
+        if let Some(sym) = self.as_symmetric() {
+            return sym.classify();
+        }
+        if !self.is_feasible() {
+            return Classification {
+                solvability: Solvability::Infeasible,
+                justification: "Lemma 1: Σℓ ≤ n ≤ Σu fails".into(),
+            };
+        }
+        if self.no_communication_solvable() {
+            return Classification {
+                solvability: Solvability::SolvableWithoutCommunication,
+                justification: "interval-partition generalization of Theorem 9".into(),
+            };
+        }
+        if self.n() >= 2 && *self == GsbSpec::election(self.n()).expect("n ≥ 2 checked") {
+            return Classification {
+                solvability: Solvability::NotWaitFreeSolvable,
+                justification: "Theorem 11: election is not wait-free solvable".into(),
+            };
+        }
+        Classification {
+            solvability: Solvability::Open,
+            justification: "asymmetric task outside the paper's settled results".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(n: usize, m: usize, l: usize, u: usize) -> SymmetricGsb {
+        SymmetricGsb::new(n, m, l, u).unwrap()
+    }
+
+    #[test]
+    fn binomial_gcd_small_values() {
+        // n:            2  3  4  5  6  7  8  9  10 11 12
+        let expected = [2, 3, 2, 5, 1, 7, 2, 3, 1, 11, 1];
+        for (i, &g) in expected.iter().enumerate() {
+            assert_eq!(binomial_gcd(i + 2), g, "n = {}", i + 2);
+        }
+    }
+
+    #[test]
+    fn binomial_gcd_matches_prime_power_characterization() {
+        for n in 2..=100 {
+            assert_eq!(
+                binomial_gcd(n) > 1,
+                is_prime_power(n),
+                "gcd characterization fails at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_9_characterization_examples() {
+        // (2n−1)-renaming: solvable with no communication.
+        assert!(SymmetricGsb::loose_renaming(4).unwrap().no_communication_solvable());
+        // WSB: not (Corollary 3).
+        assert!(!SymmetricGsb::wsb(4).unwrap().no_communication_solvable());
+        // Homonymous renaming (Corollary 2).
+        for n in 2..=8 {
+            for x in 1..=n {
+                assert!(
+                    SymmetricGsb::homonymous_renaming(n, x)
+                        .unwrap()
+                        .no_communication_solvable(),
+                    "n={n} x={x}"
+                );
+            }
+        }
+        // Perfect renaming: certainly not.
+        assert!(!SymmetricGsb::perfect_renaming(4).unwrap().no_communication_solvable());
+    }
+
+    #[test]
+    fn theorem_9_matches_brute_force_small() {
+        // Exhaustive cross-validation for n ≤ 3, every (m, ℓ, u).
+        for n in 2..=3usize {
+            for m in 1..=(2 * n - 1) {
+                for l in 0..=n {
+                    for u in l..=n {
+                        let Ok(t) = SymmetricGsb::new(n, m, l, u) else {
+                            continue;
+                        };
+                        let spec = t.to_spec();
+                        let closed = t.no_communication_solvable();
+                        let brute = spec.is_feasible() && spec.no_communication_brute_force();
+                        assert_eq!(closed, brute, "mismatch for {t}");
+                        // The asymmetric generalization must agree too.
+                        assert_eq!(spec.no_communication_solvable(), closed, "{t}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn witnesses_actually_win() {
+        for n in 2..=5usize {
+            for m in 1..=(2 * n - 1) {
+                for u in 1..=n {
+                    let Ok(t) = SymmetricGsb::new(n, m, 0, u) else {
+                        continue;
+                    };
+                    if let Some(w) = t.no_communication_witness() {
+                        assert_eq!(w.len(), 2 * n - 1);
+                        assert!(
+                            t.to_spec().map_beats_all_subsets(&w),
+                            "witness fails for {t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_witnesses_win() {
+        let spec = GsbSpec::committees(4, &[(0, 2), (0, 2), (0, 4)]).unwrap();
+        if let Some(w) = spec.no_communication_witness() {
+            assert!(spec.map_beats_all_subsets(&w));
+        }
+        // And election has none.
+        assert_eq!(GsbSpec::election(4).unwrap().no_communication_witness(), None);
+    }
+
+    #[test]
+    fn asymmetric_generalization_matches_brute_force() {
+        // All asymmetric specs with n = 2, m = 2 and n = 3, m = 2.
+        for n in 2..=3usize {
+            for l1 in 0..=n {
+                for u1 in l1..=n {
+                    for l2 in 0..=n {
+                        for u2 in l2..=n {
+                            let Ok(spec) = GsbSpec::new(n, vec![l1, l2], vec![u1, u2]) else {
+                                continue;
+                            };
+                            let closed = spec.no_communication_solvable();
+                            let brute =
+                                spec.is_feasible() && spec.no_communication_brute_force();
+                            assert_eq!(closed, brute, "mismatch for {spec}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classify_zoo() {
+        use Solvability::*;
+        // Trivial renaming.
+        assert_eq!(
+            SymmetricGsb::loose_renaming(5).unwrap().classify().solvability,
+            SolvableWithoutCommunication
+        );
+        // Perfect renaming (Corollary 5) — and its synonym n-renaming.
+        assert_eq!(
+            SymmetricGsb::perfect_renaming(5).unwrap().classify().solvability,
+            NotWaitFreeSolvable
+        );
+        assert_eq!(
+            SymmetricGsb::renaming(5, 5).unwrap().classify().solvability,
+            NotWaitFreeSolvable
+        );
+        // WSB: unsolvable at prime powers, solvable at n = 6, 10, 12.
+        for n in [2, 3, 4, 5, 7, 8, 9, 11, 16] {
+            assert_eq!(
+                SymmetricGsb::wsb(n).unwrap().classify().solvability,
+                NotWaitFreeSolvable,
+                "WSB n = {n}"
+            );
+        }
+        for n in [6, 10, 12, 14, 15, 18, 20] {
+            assert_eq!(
+                SymmetricGsb::wsb(n).unwrap().classify().solvability,
+                WaitFreeSolvable,
+                "WSB n = {n}"
+            );
+        }
+        // (2n−2)-renaming mirrors WSB (they are equivalent, [29]).
+        assert_eq!(
+            SymmetricGsb::renaming(6, 10).unwrap().classify().solvability,
+            WaitFreeSolvable
+        );
+        assert_eq!(
+            SymmetricGsb::renaming(4, 6).unwrap().classify().solvability,
+            NotWaitFreeSolvable
+        );
+        // Election (Theorem 11).
+        assert_eq!(
+            GsbSpec::election(4).unwrap().classify().solvability,
+            NotWaitFreeSolvable
+        );
+        // k-slot with gcd > 1 (Theorem 10).
+        assert_eq!(
+            SymmetricGsb::slot(4, 3).unwrap().classify().solvability,
+            NotWaitFreeSolvable
+        );
+        // k-slot, k ≥ 3, exceptional n: open.
+        assert_eq!(
+            SymmetricGsb::slot(6, 4).unwrap().classify().solvability,
+            Open
+        );
+        // Infeasible.
+        assert_eq!(task(5, 4, 0, 1).classify().solvability, Infeasible);
+    }
+
+    #[test]
+    fn theorem_10_generalization_to_l_geq_2() {
+        // ⟨8,2,2,6⟩: ℓ = 2 ≥ 1, gcd{C(8,i)} = 2 > 1 ⇒ unsolvable.
+        let c = task(8, 2, 2, 6).classify();
+        assert_eq!(c.solvability, Solvability::NotWaitFreeSolvable);
+        assert!(c.justification.contains("Theorem 10"));
+    }
+
+    #[test]
+    fn election_vs_wsb_strictness() {
+        // Election's outputs are contained in WSB's, so election solves
+        // WSB; the converse fails (Theorem 11 + [17] for n = 6).
+        let election = GsbSpec::election(6).unwrap();
+        let wsb = SymmetricGsb::wsb(6).unwrap().to_spec();
+        for o in election.legal_outputs() {
+            assert!(wsb.is_legal_output(&o));
+        }
+        assert_eq!(
+            election.classify().solvability,
+            Solvability::NotWaitFreeSolvable
+        );
+        assert_eq!(wsb.classify().solvability, Solvability::WaitFreeSolvable);
+    }
+
+    #[test]
+    fn single_process_and_single_value() {
+        assert_eq!(
+            task(1, 1, 1, 1).classify().solvability,
+            Solvability::SolvableWithoutCommunication
+        );
+        assert_eq!(
+            task(4, 1, 0, 4).classify().solvability,
+            Solvability::SolvableWithoutCommunication
+        );
+    }
+
+    #[test]
+    fn classification_displays() {
+        let c = SymmetricGsb::wsb(6).unwrap().classify();
+        let shown = c.to_string();
+        assert!(shown.contains("wait-free solvable"));
+    }
+}

@@ -1,0 +1,773 @@
+//! GSB task specifications (Definition 2 of the paper).
+//!
+//! A *generalized symmetry breaking* task `⟨n, m, ℓ⃗, u⃗⟩-GSB` requires each
+//! of `n` processes to decide a value in `[1..m]` such that each value `v`
+//! is decided by at least `ℓ_v` and at most `u_v` processes. When all lower
+//! bounds equal `ℓ` and all upper bounds equal `u` the task is *symmetric*
+//! and written `⟨n, m, ℓ, u⟩-GSB`.
+//!
+//! The module provides the asymmetric [`GsbSpec`] and the symmetric
+//! [`SymmetricGsb`], plus constructors for every task instance named in the
+//! paper (election, weak symmetry breaking, renaming, slots, …).
+
+use crate::error::{Error, Result};
+use crate::output::OutputVector;
+
+/// An asymmetric generalized symmetry breaking task `⟨n, m, ℓ⃗, u⃗⟩-GSB`.
+///
+/// Invariants enforced at construction: `m ≥ 1`, `ℓ_v ≤ u_v` and `u_v ≤ n`
+/// for every value `v`. Feasibility (Lemma 1) is *not* required — the paper
+/// studies infeasible specs too — but is queryable via
+/// [`GsbSpec::is_feasible`].
+///
+/// # Examples
+///
+/// ```
+/// use gsb_core::GsbSpec;
+///
+/// // Election: exactly one process outputs 1, exactly n−1 output 2.
+/// let election = GsbSpec::election(5).unwrap();
+/// assert_eq!(election.n(), 5);
+/// assert_eq!(election.m(), 2);
+/// assert!(election.is_feasible());
+/// assert!(!election.is_symmetric());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GsbSpec {
+    n: usize,
+    lower: Vec<usize>,
+    upper: Vec<usize>,
+}
+
+impl GsbSpec {
+    /// Creates an asymmetric GSB specification.
+    ///
+    /// `lower[v-1]` and `upper[v-1]` bound how many processes may decide
+    /// value `v ∈ [1..m]` where `m = lower.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] if `m = 0`, the two vectors have
+    /// different lengths, some `ℓ_v > u_v`, or some `u_v > n`.
+    pub fn new(n: usize, lower: Vec<usize>, upper: Vec<usize>) -> Result<Self> {
+        if n == 0 {
+            return Err(Error::InvalidSpec {
+                reason: "need at least one process".into(),
+            });
+        }
+        if lower.is_empty() {
+            return Err(Error::InvalidSpec {
+                reason: "need at least one output value (m ≥ 1)".into(),
+            });
+        }
+        if lower.len() != upper.len() {
+            return Err(Error::InvalidSpec {
+                reason: format!(
+                    "lower bounds have dimension {} but upper bounds {}",
+                    lower.len(),
+                    upper.len()
+                ),
+            });
+        }
+        for (v, (&l, &u)) in lower.iter().zip(&upper).enumerate() {
+            if l > u {
+                return Err(Error::InvalidSpec {
+                    reason: format!("value {}: lower bound {l} exceeds upper bound {u}", v + 1),
+                });
+            }
+            if u > n {
+                return Err(Error::InvalidSpec {
+                    reason: format!(
+                        "value {}: upper bound {u} exceeds the number of processes {n}",
+                        v + 1
+                    ),
+                });
+            }
+        }
+        Ok(GsbSpec { n, lower, upper })
+    }
+
+    /// The *election* asymmetric GSB task (Section 3.2): exactly one process
+    /// outputs `1` and exactly `n − 1` processes output `2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] for `n < 2`.
+    pub fn election(n: usize) -> Result<Self> {
+        if n < 2 {
+            return Err(Error::InvalidSpec {
+                reason: "election needs at least two processes".into(),
+            });
+        }
+        GsbSpec::new(n, vec![1, n - 1], vec![1, n - 1])
+    }
+
+    /// The *committee assignment* task from the paper's introduction: each
+    /// of `n` persons joins exactly one of `m` committees, committee `v`
+    /// having between `bounds[v].0` and `bounds[v].1` members.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] if the bounds are malformed.
+    pub fn committees(n: usize, bounds: &[(usize, usize)]) -> Result<Self> {
+        let lower = bounds.iter().map(|&(l, _)| l).collect();
+        let upper = bounds.iter().map(|&(_, u)| u).collect();
+        GsbSpec::new(n, lower, upper)
+    }
+
+    /// Number of processes `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of output values `m`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Lower bound `ℓ_v` for value `v ∈ [1..m]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside `[1..m]`.
+    #[must_use]
+    pub fn lower(&self, v: usize) -> usize {
+        self.lower[v - 1]
+    }
+
+    /// Upper bound `u_v` for value `v ∈ [1..m]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside `[1..m]`.
+    #[must_use]
+    pub fn upper(&self, v: usize) -> usize {
+        self.upper[v - 1]
+    }
+
+    /// All lower bounds, indexed by `v − 1`.
+    #[must_use]
+    pub fn lower_bounds(&self) -> &[usize] {
+        &self.lower
+    }
+
+    /// All upper bounds, indexed by `v − 1`.
+    #[must_use]
+    pub fn upper_bounds(&self) -> &[usize] {
+        &self.upper
+    }
+
+    /// Whether the task is feasible, i.e. has at least one legal output
+    /// vector (Lemma 1): `Σ ℓ_v ≤ n ≤ Σ u_v`.
+    #[must_use]
+    pub fn is_feasible(&self) -> bool {
+        let lo: usize = self.lower.iter().sum();
+        let hi: usize = self.upper.iter().sum();
+        lo <= self.n && self.n <= hi
+    }
+
+    /// Returns `Ok(())` if feasible, an [`Error::Infeasible`] otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Infeasible`] when the output set is empty.
+    pub fn require_feasible(&self) -> Result<()> {
+        if self.is_feasible() {
+            Ok(())
+        } else {
+            Err(Error::Infeasible {
+                n: self.n,
+                m: self.m(),
+                lower_sum: self.lower.iter().sum(),
+                upper_sum: self.upper.iter().sum(),
+            })
+        }
+    }
+
+    /// Whether all lower bounds are equal and all upper bounds are equal,
+    /// i.e. the spec is expressible as a [`SymmetricGsb`].
+    #[must_use]
+    pub fn is_symmetric(&self) -> bool {
+        self.lower.windows(2).all(|w| w[0] == w[1]) && self.upper.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Converts to a [`SymmetricGsb`] if [`GsbSpec::is_symmetric`] holds.
+    #[must_use]
+    pub fn as_symmetric(&self) -> Option<SymmetricGsb> {
+        if self.is_symmetric() {
+            Some(SymmetricGsb {
+                n: self.n,
+                m: self.m(),
+                l: self.lower[0],
+                u: self.upper[0],
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Whether `output` satisfies the task's asymmetric agreement property:
+    /// every value `v ∈ [1..m]` is decided at least `ℓ_v` and at most `u_v`
+    /// times, and no other value appears.
+    #[must_use]
+    pub fn is_legal_output(&self, output: &OutputVector) -> bool {
+        if output.len() != self.n {
+            return false;
+        }
+        let m = self.m();
+        let mut counts = vec![0usize; m];
+        for &v in output.values() {
+            if v == 0 || v > m {
+                return false;
+            }
+            counts[v - 1] += 1;
+        }
+        counts
+            .iter()
+            .zip(&self.lower)
+            .zip(&self.upper)
+            .all(|((&c, &l), &u)| l <= c && c <= u)
+    }
+
+    /// Deterministically enumerates all legal output vectors, in
+    /// lexicographic order. Exponential in `n`; intended for small systems
+    /// (tests, the topology checker, and the universal construction's
+    /// "first legal vector" rule of Theorem 8).
+    #[must_use]
+    pub fn legal_outputs(&self) -> Vec<OutputVector> {
+        let mut out = Vec::new();
+        let mut current = vec![0usize; self.n];
+        let mut counts = vec![0usize; self.m()];
+        self.enumerate_rec(0, &mut current, &mut counts, &mut out);
+        out
+    }
+
+    /// The lexicographically first legal output vector, if any.
+    ///
+    /// This is the deterministic choice rule used by the universal
+    /// construction for asymmetric tasks (proof of Theorem 8: "order these
+    /// vectors in the same, deterministic way, and pick the first one").
+    /// Computed greedily without materializing the whole output set.
+    #[must_use]
+    pub fn first_legal_output(&self) -> Option<OutputVector> {
+        let m = self.m();
+        let mut counts = vec![0usize; m];
+        let mut values = Vec::with_capacity(self.n);
+        // Greedy: at each position try the smallest value whose upper bound
+        // is not yet saturated and such that the remaining positions can
+        // still satisfy every remaining lower bound.
+        for pos in 0..self.n {
+            let remaining_after = self.n - pos - 1;
+            let mut chosen = None;
+            for v in 1..=m {
+                if counts[v - 1] >= self.upper[v - 1] {
+                    continue;
+                }
+                counts[v - 1] += 1;
+                let deficit: usize = self
+                    .lower
+                    .iter()
+                    .zip(&counts)
+                    .map(|(&l, &c)| l.saturating_sub(c))
+                    .sum();
+                if deficit <= remaining_after {
+                    chosen = Some(v);
+                    break;
+                }
+                counts[v - 1] -= 1;
+            }
+            match chosen {
+                Some(v) => values.push(v),
+                None => return None,
+            }
+        }
+        Some(OutputVector::new(values))
+    }
+
+    fn enumerate_rec(
+        &self,
+        pos: usize,
+        current: &mut Vec<usize>,
+        counts: &mut Vec<usize>,
+        out: &mut Vec<OutputVector>,
+    ) {
+        if pos == self.n {
+            let legal = counts
+                .iter()
+                .zip(&self.lower)
+                .all(|(&c, &l)| c >= l);
+            if legal {
+                out.push(OutputVector::new(current.clone()));
+            }
+            return;
+        }
+        let remaining_after = self.n - pos - 1;
+        for v in 1..=self.m() {
+            if counts[v - 1] >= self.upper[v - 1] {
+                continue;
+            }
+            counts[v - 1] += 1;
+            // Prune: remaining positions must cover all outstanding lower bounds.
+            let deficit: usize = self
+                .lower
+                .iter()
+                .zip(counts.iter())
+                .map(|(&l, &c)| l.saturating_sub(c))
+                .sum();
+            if deficit <= remaining_after {
+                current[pos] = v;
+                self.enumerate_rec(pos + 1, current, counts, out);
+            }
+            counts[v - 1] -= 1;
+        }
+    }
+}
+
+impl std::fmt::Display for GsbSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(sym) = self.as_symmetric() {
+            return write!(f, "{sym}");
+        }
+        write!(f, "⟨{}, {}, {:?}, {:?}⟩-GSB", self.n, self.m(), self.lower, self.upper)
+    }
+}
+
+impl From<SymmetricGsb> for GsbSpec {
+    fn from(sym: SymmetricGsb) -> Self {
+        GsbSpec {
+            n: sym.n,
+            lower: vec![sym.l; sym.m],
+            upper: vec![sym.u; sym.m],
+        }
+    }
+}
+
+/// A symmetric generalized symmetry breaking task `⟨n, m, ℓ, u⟩-GSB`.
+///
+/// Every value must be decided at least `ℓ` and at most `u` times. This is
+/// the sub-family whose combinatorial structure Section 4 of the paper
+/// develops (kernel vectors, anchoring, canonical representatives); those
+/// operations live in the [`kernel`](crate::kernel),
+/// [`anchoring`](crate::anchoring) and [`canonical`](crate::canonical)
+/// modules and take `SymmetricGsb` receivers.
+///
+/// # Examples
+///
+/// ```
+/// use gsb_core::SymmetricGsb;
+///
+/// // Perfect renaming ⟨n, n, 1, 1⟩: n processes acquire the names 1..n.
+/// let pr = SymmetricGsb::perfect_renaming(4).unwrap();
+/// assert_eq!((pr.n(), pr.m(), pr.l(), pr.u()), (4, 4, 1, 1));
+///
+/// // Weak symmetry breaking is the 2-slot task.
+/// let wsb = SymmetricGsb::wsb(4).unwrap();
+/// let slot2 = SymmetricGsb::slot(4, 2).unwrap();
+/// assert!(wsb.is_synonym_of(&slot2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SymmetricGsb {
+    n: usize,
+    m: usize,
+    l: usize,
+    u: usize,
+}
+
+impl SymmetricGsb {
+    /// Creates the symmetric task `⟨n, m, ℓ, u⟩-GSB`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] if `n = 0`, `m = 0`, `ℓ > u` or
+    /// `u > n`.
+    pub fn new(n: usize, m: usize, l: usize, u: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(Error::InvalidSpec {
+                reason: "need at least one process".into(),
+            });
+        }
+        if m == 0 {
+            return Err(Error::InvalidSpec {
+                reason: "need at least one output value (m ≥ 1)".into(),
+            });
+        }
+        if l > u {
+            return Err(Error::InvalidSpec {
+                reason: format!("lower bound {l} exceeds upper bound {u}"),
+            });
+        }
+        if u > n {
+            return Err(Error::InvalidSpec {
+                reason: format!("upper bound {u} exceeds the number of processes {n}"),
+            });
+        }
+        Ok(SymmetricGsb { n, m, l, u })
+    }
+
+    /// The `m`-renaming task `⟨n, m, 0, 1⟩-GSB`: processes decide distinct
+    /// names in `[1..m]` (Section 3.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] on malformed parameters (e.g. `m = 0`).
+    pub fn renaming(n: usize, m: usize) -> Result<Self> {
+        SymmetricGsb::new(n, m, 0, 1)
+    }
+
+    /// *Perfect renaming* `⟨n, n, 1, 1⟩-GSB`: the optimal name space
+    /// `[1..n]`. Universal for the whole GSB family (Theorem 8) and not
+    /// wait-free solvable (Corollary 5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] if `n = 0`.
+    pub fn perfect_renaming(n: usize) -> Result<Self> {
+        SymmetricGsb::new(n, n, 1, 1)
+    }
+
+    /// The trivially solvable `(2n−1)`-renaming task `⟨n, 2n−1, 0, 1⟩-GSB`
+    /// (processes may simply decide their own identity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] if `n = 0`.
+    pub fn loose_renaming(n: usize) -> Result<Self> {
+        SymmetricGsb::new(n, 2 * n - 1, 0, 1)
+    }
+
+    /// *Weak symmetry breaking* `⟨n, 2, 1, n−1⟩-GSB`: binary decisions, not
+    /// all equal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] if `n < 2`.
+    pub fn wsb(n: usize) -> Result<Self> {
+        if n < 2 {
+            return Err(Error::InvalidSpec {
+                reason: "weak symmetry breaking needs at least two processes".into(),
+            });
+        }
+        SymmetricGsb::new(n, 2, 1, n - 1)
+    }
+
+    /// *k-weak symmetry breaking* `⟨n, 2, k, n−k⟩-GSB` with `k ≤ n/2`
+    /// (Section 3.2); `k = 1` is [`SymmetricGsb::wsb`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] if `k = 0` or `k > n/2`.
+    pub fn k_wsb(n: usize, k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(Error::InvalidSpec {
+                reason: "k-WSB requires k ≥ 1".into(),
+            });
+        }
+        if 2 * k > n {
+            return Err(Error::InvalidSpec {
+                reason: format!("k-WSB requires k ≤ n/2 but k = {k}, n = {n}"),
+            });
+        }
+        SymmetricGsb::new(n, 2, k, n - k)
+    }
+
+    /// The *k-slot* task `⟨n, k, 1, n⟩-GSB`: every value in `[1..k]` is
+    /// decided at least once (Section 3.2). Clamps the redundant upper
+    /// bound to `n` as the paper does; note `⟨n, k, 1, n−k+1⟩` is a synonym.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] if `k = 0` or `k > n`.
+    pub fn slot(n: usize, k: usize) -> Result<Self> {
+        if k > n {
+            return Err(Error::InvalidSpec {
+                reason: format!("{k}-slot infeasible for {n} processes (k ≤ n required)"),
+            });
+        }
+        SymmetricGsb::new(n, k, 1, n)
+    }
+
+    /// *x-bounded homonymous renaming* `⟨n, ⌈(2n−1)/x⌉, 0, x⟩-GSB`
+    /// (Corollary 2): at most `x` processes share any name; solvable with
+    /// no communication by deciding `⌈id/x⌉`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] if `x = 0` or `x > n`.
+    pub fn homonymous_renaming(n: usize, x: usize) -> Result<Self> {
+        if x == 0 {
+            return Err(Error::InvalidSpec {
+                reason: "homonymous renaming requires x ≥ 1".into(),
+            });
+        }
+        let m = (2 * n - 1).div_ceil(x);
+        SymmetricGsb::new(n, m, 0, x)
+    }
+
+    /// Number of processes `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of output values `m`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Common lower bound `ℓ`.
+    #[must_use]
+    pub fn l(&self) -> usize {
+        self.l
+    }
+
+    /// Common upper bound `u`.
+    #[must_use]
+    pub fn u(&self) -> usize {
+        self.u
+    }
+
+    /// Feasibility per Lemma 2: `m·ℓ ≤ n ≤ m·u`.
+    #[must_use]
+    pub fn is_feasible(&self) -> bool {
+        self.m * self.l <= self.n && self.n <= self.m * self.u
+    }
+
+    /// Returns `Ok(())` if feasible, an [`Error::Infeasible`] otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Infeasible`] when the output set is empty.
+    pub fn require_feasible(&self) -> Result<()> {
+        if self.is_feasible() {
+            Ok(())
+        } else {
+            Err(Error::Infeasible {
+                n: self.n,
+                m: self.m,
+                lower_sum: self.m * self.l,
+                upper_sum: self.m * self.u,
+            })
+        }
+    }
+
+    /// Converts into the general asymmetric representation.
+    #[must_use]
+    pub fn to_spec(&self) -> GsbSpec {
+        GsbSpec::from(*self)
+    }
+
+    /// Whether `output` is a legal output vector of this task.
+    #[must_use]
+    pub fn is_legal_output(&self, output: &OutputVector) -> bool {
+        self.to_spec().is_legal_output(output)
+    }
+
+    /// Replaces the upper bound, keeping everything else (used by the
+    /// anchoring definitions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] if the new bounds are malformed.
+    pub fn with_u(&self, u: usize) -> Result<Self> {
+        SymmetricGsb::new(self.n, self.m, self.l, u)
+    }
+
+    /// Replaces the lower bound, keeping everything else.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] if the new bounds are malformed.
+    pub fn with_l(&self, l: usize) -> Result<Self> {
+        SymmetricGsb::new(self.n, self.m, l, self.u)
+    }
+}
+
+impl std::fmt::Display for SymmetricGsb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⟨{}, {}, {}, {}⟩-GSB", self.n, self.m, self.l, self.u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma_1_feasibility_asymmetric() {
+        // Σℓ ≤ n ≤ Σu required.
+        let ok = GsbSpec::new(6, vec![1, 1, 1], vec![4, 4, 4]).unwrap();
+        assert!(ok.is_feasible());
+        let too_low = GsbSpec::new(6, vec![3, 3, 3], vec![3, 3, 3]).unwrap();
+        assert!(!too_low.is_feasible()); // Σℓ = 9 > 6
+        let too_high = GsbSpec::new(6, vec![0, 0, 0], vec![1, 1, 1]).unwrap();
+        assert!(!too_high.is_feasible()); // Σu = 3 < 6
+    }
+
+    #[test]
+    fn lemma_2_feasibility_symmetric() {
+        for n in 1..=8 {
+            for m in 1..=n {
+                for l in 0..=n {
+                    for u in l..=n {
+                        let Ok(t) = SymmetricGsb::new(n, m, l, u) else {
+                            continue;
+                        };
+                        let by_lemma = m * l <= n && n <= m * u;
+                        assert_eq!(t.is_feasible(), by_lemma, "{t}");
+                        // Cross-check against actual output enumeration for
+                        // small sizes: feasible ⇔ at least one legal output.
+                        if n <= 5 {
+                            let any = !t.to_spec().legal_outputs().is_empty();
+                            assert_eq!(t.is_feasible(), any, "{t}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn election_shape() {
+        let e = GsbSpec::election(4).unwrap();
+        assert_eq!(e.lower_bounds(), &[1, 3]);
+        assert_eq!(e.upper_bounds(), &[1, 3]);
+        assert!(e.is_feasible());
+        assert!(GsbSpec::election(1).is_err());
+        // n = 2 election: one leader, one follower.
+        let e2 = GsbSpec::election(2).unwrap();
+        assert_eq!(e2.legal_outputs().len(), 2); // [1,2] and [2,1]
+    }
+
+    #[test]
+    fn election_legal_outputs_have_one_leader() {
+        let e = GsbSpec::election(4).unwrap();
+        let outs = e.legal_outputs();
+        assert_eq!(outs.len(), 4); // choose the leader position
+        for o in &outs {
+            assert_eq!(o.values().iter().filter(|&&v| v == 1).count(), 1);
+        }
+    }
+
+    #[test]
+    fn renaming_is_0_1_gsb() {
+        let r = SymmetricGsb::renaming(5, 9).unwrap();
+        assert_eq!((r.l(), r.u()), (0, 1));
+        assert!(r.is_feasible());
+        // m < n infeasible.
+        let r = SymmetricGsb::renaming(5, 4).unwrap();
+        assert!(!r.is_feasible());
+    }
+
+    #[test]
+    fn perfect_renaming_outputs_are_permutations() {
+        let pr = SymmetricGsb::perfect_renaming(3).unwrap();
+        let outs = pr.to_spec().legal_outputs();
+        assert_eq!(outs.len(), 6); // 3! permutations
+    }
+
+    #[test]
+    fn wsb_is_2_slot() {
+        // WSB ⟨n,2,1,n−1⟩ and 2-slot ⟨n,2,1,n⟩ have the same outputs
+        // (not all processes can take the same value anyway when each of
+        // the 2 values must appear).
+        for n in 2..7 {
+            let wsb = SymmetricGsb::wsb(n).unwrap().to_spec();
+            let slot = SymmetricGsb::slot(n, 2).unwrap().to_spec();
+            assert_eq!(wsb.legal_outputs(), slot.legal_outputs(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn k_wsb_bounds() {
+        assert!(SymmetricGsb::k_wsb(6, 0).is_err());
+        assert!(SymmetricGsb::k_wsb(6, 4).is_err()); // k > n/2
+        let t = SymmetricGsb::k_wsb(6, 3).unwrap();
+        assert_eq!((t.l(), t.u()), (3, 3));
+    }
+
+    #[test]
+    fn homonymous_renaming_parameters() {
+        // n = 5, x = 3 ⇒ m = ⌈9/3⌉ = 3.
+        let t = SymmetricGsb::homonymous_renaming(5, 3).unwrap();
+        assert_eq!((t.m(), t.l(), t.u()), (3, 0, 3));
+        assert!(t.is_feasible());
+    }
+
+    #[test]
+    fn legal_output_checking() {
+        let wsb = SymmetricGsb::wsb(3).unwrap();
+        assert!(wsb.is_legal_output(&OutputVector::new(vec![1, 2, 1])));
+        assert!(!wsb.is_legal_output(&OutputVector::new(vec![1, 1, 1])));
+        assert!(!wsb.is_legal_output(&OutputVector::new(vec![1, 2, 3]))); // 3 > m
+        assert!(!wsb.is_legal_output(&OutputVector::new(vec![1, 2]))); // wrong len
+    }
+
+    #[test]
+    fn first_legal_output_matches_enumeration() {
+        let cases: Vec<GsbSpec> = vec![
+            GsbSpec::election(4).unwrap(),
+            SymmetricGsb::wsb(4).unwrap().to_spec(),
+            SymmetricGsb::perfect_renaming(4).unwrap().to_spec(),
+            SymmetricGsb::slot(5, 3).unwrap().to_spec(),
+            SymmetricGsb::renaming(3, 5).unwrap().to_spec(),
+            GsbSpec::committees(5, &[(1, 2), (2, 3), (0, 1)]).unwrap(),
+        ];
+        for spec in cases {
+            let all = spec.legal_outputs();
+            assert_eq!(
+                spec.first_legal_output().as_ref(),
+                all.first(),
+                "spec {spec}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_legal_output_none_when_infeasible() {
+        let spec = SymmetricGsb::renaming(5, 4).unwrap().to_spec();
+        assert_eq!(spec.first_legal_output(), None);
+        assert!(spec.legal_outputs().is_empty());
+    }
+
+    #[test]
+    fn symmetric_round_trip() {
+        let t = SymmetricGsb::new(6, 3, 1, 4).unwrap();
+        let spec = t.to_spec();
+        assert!(spec.is_symmetric());
+        assert_eq!(spec.as_symmetric(), Some(t));
+        let asym = GsbSpec::election(3).unwrap();
+        assert_eq!(asym.as_symmetric(), None);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(SymmetricGsb::new(0, 1, 0, 0).is_err());
+        assert!(SymmetricGsb::new(3, 0, 0, 1).is_err());
+        assert!(SymmetricGsb::new(3, 2, 2, 1).is_err()); // l > u
+        assert!(SymmetricGsb::new(3, 2, 1, 4).is_err()); // u > n
+        assert!(GsbSpec::new(3, vec![1, 0], vec![1]).is_err()); // dim mismatch
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = SymmetricGsb::new(6, 3, 1, 4).unwrap();
+        assert_eq!(t.to_string(), "⟨6, 3, 1, 4⟩-GSB");
+        let e = GsbSpec::election(3).unwrap();
+        assert!(e.to_string().contains("[1, 2]"));
+    }
+
+    #[test]
+    fn legal_outputs_count_wsb() {
+        // WSB on n processes: 2^n − 2 output vectors (all binary vectors
+        // except the two constant ones).
+        for n in 2..=8 {
+            let wsb = SymmetricGsb::wsb(n).unwrap().to_spec();
+            assert_eq!(wsb.legal_outputs().len(), (1usize << n) - 2, "n = {n}");
+        }
+    }
+}

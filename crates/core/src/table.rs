@@ -1,0 +1,264 @@
+//! Paper-style kernel tables (Table 1 of the paper, for any `(n, m)`).
+//!
+//! Table 1 lists every feasible `⟨6, 3, ℓ, u⟩`-GSB task with `u ≤ n` as a
+//! row, every kernel vector of `⟨6, 3, 0, 6⟩` as a column, marks with an
+//! `x` the kernel vectors belonging to each task, and flags canonical
+//! representatives with "yes". [`KernelTable`] regenerates that artifact
+//! from first principles for arbitrary `n` and `m`.
+
+use crate::error::Result;
+use crate::kernel::KernelVector;
+use crate::order::feasible_family;
+use crate::spec::SymmetricGsb;
+
+/// One row of a [`KernelTable`]: a feasible task, its canonical flag, and
+/// its membership marks against the table's kernel columns.
+#[derive(Debug, Clone)]
+pub struct KernelTableRow {
+    /// The task of this row.
+    pub task: SymmetricGsb,
+    /// Whether the task is the canonical representative of its synonym
+    /// class (the "yes" column of Table 1).
+    pub canonical: bool,
+    /// `marks[c]` ⇔ the `c`-th kernel column belongs to this task's kernel
+    /// set (the `x` marks of Table 1).
+    pub marks: Vec<bool>,
+}
+
+/// A reproduction of the paper's Table 1 for arbitrary `(n, m)`.
+///
+/// # Examples
+///
+/// ```
+/// use gsb_core::KernelTable;
+///
+/// let table = KernelTable::new(6, 3)?;
+/// assert_eq!(table.columns().len(), 7);  // 7 kernel vectors
+/// assert_eq!(table.rows().len(), 15);    // all feasible (ℓ,u), u ≤ 6
+/// let rendered = table.render();
+/// assert!(rendered.contains("[4, 2, 0]"));
+/// # Ok::<(), gsb_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelTable {
+    n: usize,
+    m: usize,
+    columns: Vec<KernelVector>,
+    rows: Vec<KernelTableRow>,
+}
+
+impl KernelTable {
+    /// Builds the kernel table of the feasible `⟨n, m, −, −⟩` family.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`](crate::Error::InvalidSpec) if `n = 0`
+    /// or `m = 0`.
+    pub fn new(n: usize, m: usize) -> Result<Self> {
+        // Columns: the kernel set of the loosest task ⟨n, m, 0, n⟩, in the
+        // paper's descending lexicographic order.
+        let loosest = SymmetricGsb::new(n, m, 0, n)?;
+        let columns: Vec<KernelVector> = loosest.kernel_set().iter().cloned().collect();
+        let mut rows = Vec::new();
+        for task in feasible_family(n, m)? {
+            let ks = task.kernel_set();
+            let marks = columns.iter().map(|k| ks.contains(k)).collect();
+            rows.push(KernelTableRow {
+                canonical: task.is_canonical()?,
+                task,
+                marks,
+            });
+        }
+        Ok(KernelTable { n, m, columns, rows })
+    }
+
+    /// Number of processes `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of output values `m`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The kernel-vector columns, in descending lexicographic order.
+    #[must_use]
+    pub fn columns(&self) -> &[KernelVector] {
+        &self.columns
+    }
+
+    /// The task rows, in the paper's order (descending `u`, ascending `ℓ`).
+    #[must_use]
+    pub fn rows(&self) -> &[KernelTableRow] {
+        &self.rows
+    }
+
+    /// Looks up the row for `(ℓ, u)`.
+    #[must_use]
+    pub fn row(&self, l: usize, u: usize) -> Option<&KernelTableRow> {
+        self.rows
+            .iter()
+            .find(|r| r.task.l() == l && r.task.u() == u)
+    }
+
+    /// Renders the table as aligned text in the layout of the paper's
+    /// Table 1: one column per kernel vector, `x` marks for membership,
+    /// `yes` for canonical rows.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let task_width = format!("⟨{}, {}, {}, {}⟩", self.n, self.m, self.n, self.n).len() + 2;
+        let col_width = self
+            .columns
+            .iter()
+            .map(|k| k.to_string().len())
+            .max()
+            .unwrap_or(4)
+            + 2;
+        let _ = write!(s, "{:<task_width$}{:<10}", "task", "canonical");
+        for k in &self.columns {
+            let _ = write!(s, "{:<col_width$}", k.to_string());
+        }
+        s.push('\n');
+        for row in &self.rows {
+            let t = &row.task;
+            let name = format!("⟨{}, {}, {}, {}⟩", t.n(), t.m(), t.l(), t.u());
+            let _ = write!(
+                s,
+                "{:<task_width$}{:<10}",
+                name,
+                if row.canonical { "yes" } else { "" }
+            );
+            for &mark in &row.marks {
+                let _ = write!(s, "{:<col_width$}", if mark { "x" } else { "" });
+            }
+            // Trim trailing spaces for cleanliness.
+            while s.ends_with(' ') {
+                s.pop();
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table 1, transcribed: (ℓ, u, canonical, marks over the
+    /// 7 columns [6,0,0] [5,1,0] [4,2,0] [4,1,1] [3,3,0] [3,2,1] [2,2,2]).
+    const PAPER_TABLE_1: &[(usize, usize, bool, [u8; 7])] = &[
+        (0, 6, true, [1, 1, 1, 1, 1, 1, 1]),
+        (1, 6, false, [0, 0, 0, 1, 0, 1, 1]),
+        (0, 5, true, [0, 1, 1, 1, 1, 1, 1]),
+        (1, 5, false, [0, 0, 0, 1, 0, 1, 1]),
+        (2, 5, false, [0, 0, 0, 0, 0, 0, 1]),
+        (0, 4, true, [0, 0, 1, 1, 1, 1, 1]),
+        (1, 4, true, [0, 0, 0, 1, 0, 1, 1]),
+        (2, 4, false, [0, 0, 0, 0, 0, 0, 1]),
+        (0, 3, true, [0, 0, 0, 0, 1, 1, 1]),
+        (1, 3, true, [0, 0, 0, 0, 0, 1, 1]),
+        (2, 3, false, [0, 0, 0, 0, 0, 0, 1]),
+        (0, 2, false, [0, 0, 0, 0, 0, 0, 1]),
+        (1, 2, false, [0, 0, 0, 0, 0, 0, 1]),
+        (2, 2, true, [0, 0, 0, 0, 0, 0, 1]),
+    ];
+
+    #[test]
+    fn reproduces_paper_table_1_exactly() {
+        let table = KernelTable::new(6, 3).unwrap();
+        // Columns in the paper's order.
+        let cols: Vec<String> = table.columns().iter().map(|k| k.to_string()).collect();
+        assert_eq!(
+            cols,
+            [
+                "[6, 0, 0]",
+                "[5, 1, 0]",
+                "[4, 2, 0]",
+                "[4, 1, 1]",
+                "[3, 3, 0]",
+                "[3, 2, 1]",
+                "[2, 2, 2]"
+            ]
+        );
+        for &(l, u, canonical, marks) in PAPER_TABLE_1 {
+            let row = table
+                .row(l, u)
+                .unwrap_or_else(|| panic!("missing row ⟨6,3,{l},{u}⟩"));
+            assert_eq!(
+                row.canonical, canonical,
+                "canonical flag mismatch for ⟨6,3,{l},{u}⟩"
+            );
+            let expected: Vec<bool> = marks.iter().map(|&b| b == 1).collect();
+            assert_eq!(row.marks, expected, "marks mismatch for ⟨6,3,{l},{u}⟩");
+        }
+    }
+
+    #[test]
+    fn includes_the_row_the_paper_omits() {
+        // ⟨6,3,2,6⟩ is feasible (2 ≤ 6/3 ≤ 6) but absent from the paper's
+        // Table 1; it is a synonym of ⟨6,3,2,2⟩ with the single kernel
+        // [2,2,2]. Our generator includes it — see EXPERIMENTS.md E1.
+        let table = KernelTable::new(6, 3).unwrap();
+        assert_eq!(table.rows().len(), PAPER_TABLE_1.len() + 1);
+        let extra = table.row(2, 6).unwrap();
+        assert!(!extra.canonical);
+        assert_eq!(
+            extra.marks,
+            [false, false, false, false, false, false, true]
+        );
+    }
+
+    #[test]
+    fn canonical_rows_count_matches_classes() {
+        use crate::order::TaskOrder;
+        for (n, m) in [(4, 2), (6, 3), (8, 4), (7, 3)] {
+            let table = KernelTable::new(n, m).unwrap();
+            let canonical_rows = table.rows().iter().filter(|r| r.canonical).count();
+            let classes = TaskOrder::new(n, m).unwrap().classes().len();
+            assert_eq!(canonical_rows, classes, "n={n} m={m}");
+        }
+    }
+
+    #[test]
+    fn render_has_all_rows_and_marks() {
+        let table = KernelTable::new(6, 3).unwrap();
+        let text = table.render();
+        assert_eq!(text.lines().count(), 1 + table.rows().len());
+        // Total x marks equals total kernel-set sizes.
+        let marks: usize = text.matches(" x").count() + text.matches("x ").count();
+        let _ = marks; // alignment-dependent; check via rows instead:
+        let total_marks: usize = table
+            .rows()
+            .iter()
+            .map(|r| r.marks.iter().filter(|&&b| b).count())
+            .sum();
+        let total_kernels: usize = table
+            .rows()
+            .iter()
+            .map(|r| r.task.kernel_set().len())
+            .sum();
+        assert_eq!(total_marks, total_kernels);
+        assert!(text.contains("yes"));
+    }
+
+    #[test]
+    fn small_tables() {
+        // n = 2, m = 2: feasible (ℓ,u): u ∈ {1, 2}, ℓ ∈ {0, 1}.
+        let table = KernelTable::new(2, 2).unwrap();
+        assert_eq!(
+            table.columns().iter().map(|k| k.to_string()).collect::<Vec<_>>(),
+            ["[2, 0]", "[1, 1]"]
+        );
+        // Rows: (0,2), (1,2), (0,1), (1,1).
+        assert_eq!(table.rows().len(), 4);
+        // Perfect renaming row ⟨2,2,1,1⟩ has only [1,1].
+        let pr = table.row(1, 1).unwrap();
+        assert_eq!(pr.marks, [false, true]);
+    }
+}

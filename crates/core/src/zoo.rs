@@ -1,0 +1,170 @@
+//! The task zoo: every named GSB task of the paper, cataloged.
+//!
+//! Section 3.2 introduces the family's notable members; this module
+//! gathers them behind one enumerable catalog so that atlases, examples
+//! and sweep tests iterate the same list.
+
+use crate::error::Result;
+use crate::spec::{GsbSpec, SymmetricGsb};
+
+/// A named member of the GSB task zoo.
+#[derive(Debug, Clone)]
+pub struct ZooEntry {
+    /// Human-readable name as the paper uses it.
+    pub name: &'static str,
+    /// Where the paper introduces it.
+    pub reference: &'static str,
+    /// The task, instantiated for the requested `n`.
+    pub spec: GsbSpec,
+}
+
+/// Instantiates every named task of the paper for `n` processes
+/// (entries whose side conditions fail at this `n` are skipped —
+/// e.g. `k`-WSB needs `k ≤ n/2`).
+///
+/// # Errors
+///
+/// Returns an error only for `n < 2` (no symmetry to break).
+///
+/// # Examples
+///
+/// ```
+/// use gsb_core::zoo::catalog;
+///
+/// let tasks = catalog(6)?;
+/// assert!(tasks.iter().any(|e| e.name == "perfect renaming"));
+/// assert!(tasks.iter().any(|e| e.name == "election"));
+/// # Ok::<(), gsb_core::Error>(())
+/// ```
+pub fn catalog(n: usize) -> Result<Vec<ZooEntry>> {
+    let mut entries = vec![
+        ZooEntry {
+            name: "election",
+            reference: "§3.2 (asymmetric)",
+            spec: GsbSpec::election(n)?,
+        },
+        ZooEntry {
+            name: "weak symmetry breaking",
+            reference: "§3.2, ⟨n,2,1,n−1⟩",
+            spec: SymmetricGsb::wsb(n)?.to_spec(),
+        },
+        ZooEntry {
+            name: "perfect renaming",
+            reference: "§3.2, ⟨n,n,1,1⟩",
+            spec: SymmetricGsb::perfect_renaming(n)?.to_spec(),
+        },
+        ZooEntry {
+            name: "(2n−1)-renaming",
+            reference: "§3.2, ⟨n,2n−1,0,1⟩",
+            spec: SymmetricGsb::loose_renaming(n)?.to_spec(),
+        },
+        ZooEntry {
+            name: "(n+1)-renaming",
+            reference: "§6 (Figure 2's target)",
+            spec: SymmetricGsb::renaming(n, n + 1)?.to_spec(),
+        },
+        ZooEntry {
+            name: "hardest ⟨n,m,·,·⟩ (m = 2)",
+            reference: "Theorem 5",
+            spec: SymmetricGsb::hardest(n, 2)?.to_spec(),
+        },
+    ];
+    if n >= 2 {
+        entries.push(ZooEntry {
+            name: "(2n−2)-renaming",
+            reference: "§5.3, WSB-equivalent",
+            spec: SymmetricGsb::renaming(n, (2 * n - 2).max(1))?.to_spec(),
+        });
+    }
+    if n >= 3 {
+        entries.push(ZooEntry {
+            name: "(n−1)-slot",
+            reference: "§3.2/§6, ⟨n,n−1,1,n⟩ (the KS object)",
+            spec: SymmetricGsb::slot(n, n - 1)?.to_spec(),
+        });
+    }
+    for k in 2..=n / 2 {
+        entries.push(ZooEntry {
+            name: "k-WSB",
+            reference: "§3.2, ⟨n,2,k,n−k⟩",
+            spec: SymmetricGsb::k_wsb(n, k)?.to_spec(),
+        });
+    }
+    for x in [2usize, 3] {
+        if x <= n {
+            entries.push(ZooEntry {
+                name: "x-bounded homonymous renaming",
+                reference: "Corollary 2",
+                spec: SymmetricGsb::homonymous_renaming(n, x)?.to_spec(),
+            });
+        }
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_the_papers_zoo() {
+        let entries = catalog(6).unwrap();
+        let names: Vec<&str> = entries.iter().map(|e| e.name).collect();
+        for expected in [
+            "election",
+            "weak symmetry breaking",
+            "perfect renaming",
+            "(2n−1)-renaming",
+            "(2n−2)-renaming",
+            "(n+1)-renaming",
+            "(n−1)-slot",
+            "k-WSB",
+            "x-bounded homonymous renaming",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn all_catalog_entries_are_feasible() {
+        for n in 2..=10 {
+            for entry in catalog(n).unwrap() {
+                assert!(
+                    entry.spec.is_feasible(),
+                    "{} infeasible at n = {n}",
+                    entry.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k_wsb_entries_respect_the_side_condition() {
+        let entries = catalog(4).unwrap();
+        let k_wsbs = entries.iter().filter(|e| e.name == "k-WSB").count();
+        assert_eq!(k_wsbs, 1); // only k = 2 at n = 4
+        let entries = catalog(9).unwrap();
+        let k_wsbs = entries.iter().filter(|e| e.name == "k-WSB").count();
+        assert_eq!(k_wsbs, 3); // k ∈ {2, 3, 4}
+    }
+
+    #[test]
+    fn catalog_classifications_are_consistent() {
+        // Every entry classifies without panicking, and no entry is both
+        // no-communication-solvable and NotWaitFreeSolvable.
+        use crate::solvability::Solvability;
+        for n in [2usize, 4, 6] {
+            for entry in catalog(n).unwrap() {
+                let c = entry.spec.classify();
+                if entry.spec.no_communication_solvable() {
+                    assert_eq!(
+                        c.solvability,
+                        Solvability::SolvableWithoutCommunication,
+                        "{} at n = {n}",
+                        entry.name
+                    );
+                }
+            }
+        }
+    }
+}

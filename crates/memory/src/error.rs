@@ -1,0 +1,89 @@
+//! Error types for the `gsb-memory` crate.
+
+use std::fmt;
+
+use crate::process::Pid;
+
+/// A specialized [`Result`](std::result::Result) type for `gsb-memory`
+/// operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The error type returned by fallible simulation operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A run exceeded its step budget without every live process deciding —
+    /// the simulator's proxy for a non-wait-free execution.
+    StepLimitExceeded {
+        /// The configured budget.
+        limit: usize,
+        /// Processes that had not decided when the budget ran out.
+        undecided: Vec<Pid>,
+    },
+    /// A protocol issued an operation that the executor cannot satisfy
+    /// (e.g. reading a register index out of range, invoking a missing
+    /// oracle, or acting after deciding).
+    ProtocolViolation {
+        /// The offending process.
+        pid: Pid,
+        /// Human-readable description.
+        reason: String,
+    },
+    /// An oracle object rejected an invocation (e.g. a one-shot object
+    /// invoked twice by the same process).
+    OracleViolation {
+        /// The offending process.
+        pid: Pid,
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Simulation configuration is malformed (e.g. zero processes, or a
+    /// crash plan referring to an unknown process).
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::StepLimitExceeded { limit, undecided } => write!(
+                f,
+                "step limit {limit} exceeded with {} undecided process(es): {undecided:?}",
+                undecided.len()
+            ),
+            Error::ProtocolViolation { pid, reason } => {
+                write!(f, "protocol violation by {pid}: {reason}")
+            }
+            Error::OracleViolation { pid, reason } => {
+                write!(f, "oracle violation by {pid}: {reason}")
+            }
+            Error::InvalidConfig { reason } => write!(f, "invalid simulation config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = Error::StepLimitExceeded {
+            limit: 100,
+            undecided: vec![Pid::new(0), Pid::new(2)],
+        };
+        let text = err.to_string();
+        assert!(text.contains("100"));
+        assert!(text.contains("2 undecided"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,134 @@
+//! Run histories: the step-by-step event log of a simulated execution.
+
+use crate::process::Pid;
+use crate::register::Value;
+
+/// One shared-memory (or oracle/decision) event of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Global step number (0-based, dense).
+    pub step: usize,
+    /// The process that took the step.
+    pub pid: Pid,
+    /// What happened.
+    pub kind: EventKind,
+    /// Register-array logical time *after* the step (number of writes so
+    /// far) — lets checkers reconstruct memory states.
+    pub version: u64,
+}
+
+/// The kind of a simulated step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// The process wrote `value` to its own register.
+    Write(Value),
+    /// The process read register `cell`, observing `value`.
+    ReadCell {
+        /// Register index read.
+        cell: usize,
+        /// Value observed (`None` = still ⊥).
+        value: Option<Value>,
+    },
+    /// The process took an atomic snapshot of the whole array.
+    Snapshot,
+    /// The process invoked oracle object `object` and got `reply`.
+    OracleCall {
+        /// Index of the oracle object.
+        object: usize,
+        /// Invocation argument.
+        input: u64,
+        /// The oracle's reply.
+        reply: u64,
+    },
+    /// The process decided `value` (wrote its write-once output register).
+    Decide(usize),
+    /// The process crashed (injected by the crash plan).
+    Crash,
+}
+
+/// The full event log of a run.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    events: Vec<Event>,
+}
+
+impl History {
+    /// Creates an empty history.
+    #[must_use]
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Appends an event.
+    pub fn record(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// All events in execution order.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The schedule of the run: the sequence of process indexes that took
+    /// steps (crash markers excluded), as in the paper's definition of a
+    /// schedule.
+    #[must_use]
+    pub fn schedule(&self) -> Vec<Pid> {
+        self.events
+            .iter()
+            .filter(|e| !matches!(e.kind, EventKind::Crash))
+            .map(|e| e.pid)
+            .collect()
+    }
+
+    /// Events taken by one process, in order.
+    pub fn by_pid(&self, pid: Pid) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.pid == pid)
+    }
+
+    /// Number of events (including crash markers).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the history is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_excludes_crashes() {
+        let mut h = History::new();
+        h.record(Event {
+            step: 0,
+            pid: Pid::new(0),
+            kind: EventKind::Write(vec![1]),
+            version: 1,
+        });
+        h.record(Event {
+            step: 1,
+            pid: Pid::new(1),
+            kind: EventKind::Crash,
+            version: 1,
+        });
+        h.record(Event {
+            step: 1,
+            pid: Pid::new(2),
+            kind: EventKind::Decide(1),
+            version: 1,
+        });
+        assert_eq!(h.schedule(), vec![Pid::new(0), Pid::new(2)]);
+        assert_eq!(h.by_pid(Pid::new(0)).count(), 1);
+        assert_eq!(h.len(), 3);
+        assert!(!h.is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! # gsb-memory — the wait-free shared-memory substrate
+//!
+//! This crate builds the computation model of *The Universe of Symmetry
+//! Breaking Tasks* (Section 2): `n` asynchronous crash-prone processes
+//! communicating through single-writer/multi-reader atomic registers, with
+//! snapshot `READ`s, executed wait-free (`t = n − 1`).
+//!
+//! Because the paper's correctness notions quantify over **all** runs, the
+//! substrate is a deterministic, schedule-controllable simulator rather
+//! than a best-effort threaded runtime:
+//!
+//! * [`sim`] — the step-level executor: [`Protocol`] state machines,
+//!   [`Action`]/[`Observation`] at one-atomic-op granularity, crash plans,
+//!   and dynamic checkers for the paper's *index-independent* and
+//!   *comparison-based* restrictions.
+//! * [`scheduler`] — round-robin, seeded-random, adversarial (solo bursts)
+//!   and scripted schedules.
+//! * [`enumerate`] — exhaustive schedule enumeration for small systems
+//!   (every run, not a sample).
+//! * [`register`] — the 1WnR register array with a write log.
+//! * [`snapshot`] — the AADGMS wait-free atomic snapshot implemented from
+//!   single-cell reads, with a linearizability checker against the write
+//!   log (discharging the paper's "snapshots are implementable" footnote).
+//! * [`immediate`] — the Borowsky–Gafni one-shot immediate snapshot, whose
+//!   executions generate the chromatic subdivisions used by `gsb-topology`.
+//! * [`oracle`] — black-box task objects for enriched models
+//!   `ASM_{n,t}[T]`: a universal [`GsbOracle`] (any feasible GSB task,
+//!   adversarial reply policies), test&set, consensus.
+//! * [`threaded`] — the same primitives on real OS threads and hardware
+//!   atomics (splitters, grid renaming, double-collect scans).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod enumerate;
+mod error;
+pub mod history;
+pub mod immediate;
+pub mod oracle;
+pub mod process;
+pub mod register;
+pub mod scheduler;
+pub mod sim;
+pub mod snapshot;
+pub mod threaded;
+pub mod trace;
+
+pub use enumerate::{collect_all_runs, enumerate_schedules, EnumerationStats};
+pub use error::{Error, Result};
+pub use history::{Event, EventKind, History};
+pub use immediate::{IsMachine, IsProtocol, IsStep};
+pub use oracle::{ConsensusOracle, GsbOracle, Oracle, OraclePolicy, TestAndSetOracle};
+pub use process::{Pid, ProcessStatus};
+pub use register::{RegisterArray, Value, Word};
+pub use scheduler::{
+    AdversarialScheduler, FixedScheduler, RoundRobinScheduler, Scheduler, SeededScheduler,
+};
+pub use sim::{
+    build_executor, partial_decisions_completable, replay_index_permuted,
+    replay_order_isomorphic, Action, CrashPlan, Executor, Observation, Protocol,
+    ProtocolFactory, RunOutcome,
+};
+pub use snapshot::{ScanMachine, ScanStep, SnapshotCell, UpdateMachine, UpdateStep};
+pub use trace::{render_event, render_history, render_outcome};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prelude_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Executor>();
+        assert_send::<RunOutcome>();
+        assert_send::<CrashPlan>();
+    }
+}

@@ -1,0 +1,363 @@
+//! Oracle task objects for enriched models `ASM_{n,t}[T]` (Section 5–6).
+//!
+//! The paper's reductions ("solve T₂ given any solution to T₁") are stated
+//! relative to a black-box object solving T₁. An [`Oracle`] is the
+//! canonical such black box: a sequentially-specified one-shot object whose
+//! invocations are atomic simulator steps. [`GsbOracle`] implements *any*
+//! feasible GSB task online (never painting itself into a corner), with
+//! pluggable reply policies including a seeded-adversarial one;
+//! [`TestAndSetOracle`] and [`ConsensusOracle`] cover the adaptive objects
+//! the paper contrasts GSB tasks with.
+
+use gsb_core::GsbSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{Error, Result};
+use crate::process::Pid;
+
+/// A one-shot shared object invoked atomically by processes.
+///
+/// Invocations happen at simulator-step granularity, so the object's
+/// sequential specification is trivially respected; what an oracle models
+/// is a *linearizable implementation* of its task.
+pub trait Oracle: std::fmt::Debug + Send {
+    /// Process `pid` invokes the object with argument `input` (meaning is
+    /// object-specific; GSB oracles ignore it) and receives a reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OracleViolation`] if the invocation breaks the
+    /// object's usage contract (e.g. a second invocation by the same
+    /// process on a one-shot object).
+    fn invoke(&mut self, pid: Pid, input: u64) -> Result<u64>;
+
+    /// A short human-readable name for traces.
+    fn name(&self) -> &str;
+
+    /// Clones the oracle with its current state (schedule enumeration
+    /// replays runs from scratch, but tooling also snapshots executors).
+    fn boxed_clone(&self) -> Box<dyn Oracle>;
+}
+
+impl Clone for Box<dyn Oracle> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
+}
+
+/// Reply-selection policy for [`GsbOracle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OraclePolicy {
+    /// Reply with the smallest legal value. Deterministic; e.g. for
+    /// perfect renaming it assigns names in invocation order.
+    FirstFit,
+    /// Reply with the largest legal value. Deterministic; stresses
+    /// different code paths than [`OraclePolicy::FirstFit`].
+    LastFit,
+    /// Reply with a uniformly random legal value, from a seeded generator
+    /// — a randomized adversary over all legal oracle behaviours.
+    Seeded(u64),
+}
+
+/// An oracle implementing an arbitrary feasible GSB task online.
+///
+/// The object replies to each invocation with a value that keeps the final
+/// output vector completable: value `v` is *legal* for the `k`-th
+/// invocation iff `counts[v] + 1 ≤ u_v` and the remaining `n − k`
+/// invocations can still cover every outstanding lower bound.
+///
+/// # Examples
+///
+/// ```
+/// use gsb_core::SymmetricGsb;
+/// use gsb_memory::{GsbOracle, Oracle, OraclePolicy, Pid};
+///
+/// // A perfect-renaming object for 3 processes.
+/// let spec = SymmetricGsb::perfect_renaming(3)?.to_spec();
+/// let mut oracle = GsbOracle::new(spec, OraclePolicy::FirstFit)?;
+/// let a = oracle.invoke(Pid::new(2), 0).unwrap();
+/// let b = oracle.invoke(Pid::new(0), 0).unwrap();
+/// let c = oracle.invoke(Pid::new(1), 0).unwrap();
+/// let mut names = [a, b, c];
+/// names.sort();
+/// assert_eq!(names, [1, 2, 3]);
+/// # Ok::<(), gsb_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GsbOracle {
+    spec: GsbSpec,
+    policy: OraclePolicy,
+    counts: Vec<usize>,
+    invoked: Vec<bool>,
+    replies: Vec<Option<usize>>,
+    done: usize,
+    rng: Option<StdRng>,
+}
+
+impl GsbOracle {
+    /// Creates an oracle for `spec` with the given reply policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`gsb_core::Error::Infeasible`] if the task has no legal
+    /// output vector (converted into [`Error::InvalidConfig`]).
+    pub fn new(spec: GsbSpec, policy: OraclePolicy) -> std::result::Result<Self, gsb_core::Error> {
+        spec.require_feasible()?;
+        let n = spec.n();
+        let m = spec.m();
+        let rng = match policy {
+            OraclePolicy::Seeded(seed) => Some(StdRng::seed_from_u64(seed)),
+            _ => None,
+        };
+        Ok(GsbOracle {
+            counts: vec![0; m],
+            invoked: vec![false; n],
+            replies: vec![None; n],
+            done: 0,
+            spec,
+            policy,
+            rng,
+        })
+    }
+
+    /// The task this oracle implements.
+    #[must_use]
+    pub fn spec(&self) -> &GsbSpec {
+        &self.spec
+    }
+
+    /// The replies handed out so far, indexed by process.
+    #[must_use]
+    pub fn replies(&self) -> &[Option<usize>] {
+        &self.replies
+    }
+
+    fn legal_values(&self) -> Vec<usize> {
+        let m = self.spec.m();
+        let remaining_after = self.spec.n() - self.done - 1;
+        (1..=m)
+            .filter(|&v| {
+                if self.counts[v - 1] + 1 > self.spec.upper(v) {
+                    return false;
+                }
+                let deficit: usize = (1..=m)
+                    .map(|w| {
+                        let c = self.counts[w - 1] + usize::from(w == v);
+                        self.spec.lower(w).saturating_sub(c)
+                    })
+                    .sum();
+                deficit <= remaining_after
+            })
+            .collect()
+    }
+}
+
+impl Oracle for GsbOracle {
+    fn invoke(&mut self, pid: Pid, _input: u64) -> Result<u64> {
+        let i = pid.index();
+        if i >= self.invoked.len() {
+            return Err(Error::OracleViolation {
+                pid,
+                reason: format!("process index out of range for {}-process oracle", self.invoked.len()),
+            });
+        }
+        if self.invoked[i] {
+            return Err(Error::OracleViolation {
+                pid,
+                reason: "one-shot GSB object invoked twice".into(),
+            });
+        }
+        let legal = self.legal_values();
+        debug_assert!(
+            !legal.is_empty(),
+            "feasible GSB oracle must always have a legal reply"
+        );
+        let v = match self.policy {
+            OraclePolicy::FirstFit => legal[0],
+            OraclePolicy::LastFit => *legal.last().expect("legal set non-empty"),
+            OraclePolicy::Seeded(_) => {
+                let rng = self.rng.as_mut().expect("seeded policy has an rng");
+                legal[rng.gen_range(0..legal.len())]
+            }
+        };
+        self.invoked[i] = true;
+        self.replies[i] = Some(v);
+        self.counts[v - 1] += 1;
+        self.done += 1;
+        Ok(v as u64)
+    }
+
+    fn name(&self) -> &str {
+        "gsb-oracle"
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Oracle> {
+        Box::new(self.clone())
+    }
+}
+
+/// The adaptive test&set object (Section 1): the first invoker receives 1,
+/// every later invoker receives 2. Unlike the election GSB task its
+/// guarantee ("at least one process outputs 1") holds in every execution,
+/// even when fewer than `n` processes participate.
+#[derive(Debug, Clone, Default)]
+pub struct TestAndSetOracle {
+    taken: bool,
+}
+
+impl TestAndSetOracle {
+    /// Creates a fresh (unset) object.
+    #[must_use]
+    pub fn new() -> Self {
+        TestAndSetOracle::default()
+    }
+}
+
+impl Oracle for TestAndSetOracle {
+    fn invoke(&mut self, _pid: Pid, _input: u64) -> Result<u64> {
+        if self.taken {
+            Ok(2)
+        } else {
+            self.taken = true;
+            Ok(1)
+        }
+    }
+
+    fn name(&self) -> &str {
+        "test-and-set"
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Oracle> {
+        Box::new(self.clone())
+    }
+}
+
+/// A one-shot consensus object: every invoker receives the first proposed
+/// input.
+#[derive(Debug, Clone, Default)]
+pub struct ConsensusOracle {
+    decided: Option<u64>,
+}
+
+impl ConsensusOracle {
+    /// Creates an undecided consensus object.
+    #[must_use]
+    pub fn new() -> Self {
+        ConsensusOracle::default()
+    }
+}
+
+impl Oracle for ConsensusOracle {
+    fn invoke(&mut self, _pid: Pid, input: u64) -> Result<u64> {
+        Ok(*self.decided.get_or_insert(input))
+    }
+
+    fn name(&self) -> &str {
+        "consensus"
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Oracle> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsb_core::SymmetricGsb;
+
+    fn pid(i: usize) -> Pid {
+        Pid::new(i)
+    }
+
+    #[test]
+    fn perfect_renaming_oracle_assigns_distinct_names() {
+        for policy in [
+            OraclePolicy::FirstFit,
+            OraclePolicy::LastFit,
+            OraclePolicy::Seeded(7),
+        ] {
+            let spec = SymmetricGsb::perfect_renaming(5).unwrap().to_spec();
+            let mut o = GsbOracle::new(spec.clone(), policy).unwrap();
+            let mut names: Vec<u64> =
+                (0..5).map(|i| o.invoke(pid(i), 0).unwrap()).collect();
+            names.sort_unstable();
+            assert_eq!(names, [1, 2, 3, 4, 5], "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn slot_oracle_covers_every_slot() {
+        // ⟨n, k, 1, n⟩ with n = 6, k = 5 under the adversarial policy:
+        // after all 6 invocations every slot 1..5 is hit.
+        for seed in 0..50 {
+            let spec = SymmetricGsb::slot(6, 5).unwrap().to_spec();
+            let mut o = GsbOracle::new(spec.clone(), OraclePolicy::Seeded(seed)).unwrap();
+            let replies: Vec<u64> = (0..6).map(|i| o.invoke(pid(i), 0).unwrap()).collect();
+            let out =
+                gsb_core::OutputVector::new(replies.iter().map(|&v| v as usize).collect());
+            assert!(spec.is_legal_output(&out), "seed {seed}: {out}");
+        }
+    }
+
+    #[test]
+    fn gsb_oracle_always_produces_legal_outputs() {
+        // Sweep several specs × seeds; the final vector must be legal.
+        let specs = vec![
+            SymmetricGsb::wsb(5).unwrap().to_spec(),
+            SymmetricGsb::k_wsb(6, 3).unwrap().to_spec(),
+            GsbSpec::election(4).unwrap(),
+            GsbSpec::committees(5, &[(1, 2), (2, 3), (0, 1)]).unwrap(),
+        ];
+        for spec in specs {
+            for seed in 0..30 {
+                let n = spec.n();
+                let mut o = GsbOracle::new(spec.clone(), OraclePolicy::Seeded(seed)).unwrap();
+                let replies: Vec<usize> =
+                    (0..n).map(|i| o.invoke(pid(i), 0).unwrap() as usize).collect();
+                let out = gsb_core::OutputVector::new(replies);
+                assert!(spec.is_legal_output(&out), "{spec} seed {seed}: {out}");
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_rejects_double_invocation() {
+        let spec = SymmetricGsb::wsb(3).unwrap().to_spec();
+        let mut o = GsbOracle::new(spec, OraclePolicy::FirstFit).unwrap();
+        o.invoke(pid(0), 0).unwrap();
+        let err = o.invoke(pid(0), 0).unwrap_err();
+        assert!(matches!(err, Error::OracleViolation { .. }));
+    }
+
+    #[test]
+    fn oracle_rejects_infeasible_spec() {
+        let spec = SymmetricGsb::renaming(5, 4).unwrap().to_spec();
+        assert!(GsbOracle::new(spec, OraclePolicy::FirstFit).is_err());
+    }
+
+    #[test]
+    fn test_and_set_elects_exactly_one() {
+        let mut o = TestAndSetOracle::new();
+        let replies: Vec<u64> = (0..4).map(|i| o.invoke(pid(i), 0).unwrap()).collect();
+        assert_eq!(replies.iter().filter(|&&r| r == 1).count(), 1);
+        assert_eq!(replies[0], 1, "first invoker wins");
+    }
+
+    #[test]
+    fn consensus_returns_first_proposal() {
+        let mut o = ConsensusOracle::new();
+        assert_eq!(o.invoke(pid(2), 42).unwrap(), 42);
+        assert_eq!(o.invoke(pid(0), 7).unwrap(), 42);
+        assert_eq!(o.invoke(pid(1), 9).unwrap(), 42);
+    }
+
+    #[test]
+    fn boxed_clone_preserves_state() {
+        let mut o = TestAndSetOracle::new();
+        o.invoke(pid(0), 0).unwrap();
+        let mut copy: Box<dyn Oracle> = o.boxed_clone();
+        assert_eq!(copy.invoke(pid(1), 0).unwrap(), 2);
+    }
+}

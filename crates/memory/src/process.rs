@@ -1,0 +1,87 @@
+//! Process indexes and crash state.
+//!
+//! Section 2.1 of the paper distinguishes a process's *index* `i` (an
+//! addressing mechanism: `p_i` writes register `A[i]`) from its *identity*
+//! `id_i` (the only input, used by comparison-based computation). [`Pid`]
+//! is the index; identities are [`gsb_core::Identity`].
+
+/// A process index `i ∈ [0..n)`, used only for register addressing.
+///
+/// The paper's index-independence requirement (Section 2.2) means protocol
+/// decisions may not depend on `Pid` values; the executor's permutation
+/// replay harness ([`crate::sim::Executor::run`] plus
+/// [`crate::sim::replay_index_permuted`])
+/// checks this dynamically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(usize);
+
+impl Pid {
+    /// Wraps a raw index.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        Pid(index)
+    }
+
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Pid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0 + 1) // the paper numbers processes p1..pn
+    }
+}
+
+impl From<usize> for Pid {
+    fn from(index: usize) -> Self {
+        Pid(index)
+    }
+}
+
+/// The liveness status of a process within a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcessStatus {
+    /// Still taking steps; has not decided.
+    Running,
+    /// Wrote its output register (decided); takes no further steps in the
+    /// simulation (a decided process's remaining steps are irrelevant to
+    /// task correctness).
+    Decided,
+    /// Crashed: takes no further steps.
+    Crashed,
+}
+
+impl ProcessStatus {
+    /// Whether the process can be scheduled.
+    #[must_use]
+    pub fn is_active(self) -> bool {
+        matches!(self, ProcessStatus::Running)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_display_is_one_based_like_the_paper() {
+        assert_eq!(Pid::new(0).to_string(), "p1");
+        assert_eq!(Pid::new(4).to_string(), "p5");
+    }
+
+    #[test]
+    fn status_activity() {
+        assert!(ProcessStatus::Running.is_active());
+        assert!(!ProcessStatus::Decided.is_active());
+        assert!(!ProcessStatus::Crashed.is_active());
+    }
+
+    #[test]
+    fn pid_conversions() {
+        let p: Pid = 3usize.into();
+        assert_eq!(p.index(), 3);
+    }
+}

@@ -1,0 +1,174 @@
+//! Simulated single-writer multi-reader atomic registers (Section 2.1).
+//!
+//! The model's shared memory is one array `A[1..n]` of 1WnR atomic
+//! registers: only `p_i` writes `A[i]`, anyone reads any entry. The
+//! simulator executes one operation per scheduler tick, so operations are
+//! trivially atomic; a version log supports the linearizability checks for
+//! objects *built from* registers (e.g. the AADGMS snapshot of
+//! [`crate::snapshot`]).
+
+use crate::process::Pid;
+
+/// The unit of register content. Full-information protocols serialize
+/// their local state into a vector of words.
+pub type Word = u64;
+
+/// A register value: a vector of [`Word`]s (registers are unbounded in the
+/// model; a `Vec` keeps encodings simple).
+pub type Value = Vec<Word>;
+
+/// The shared array `A[1..n]` of single-writer multi-reader registers.
+///
+/// # Examples
+///
+/// ```
+/// use gsb_memory::{Pid, RegisterArray};
+///
+/// let mut array = RegisterArray::new(3);
+/// array.write(Pid::new(1), vec![42]);
+/// assert_eq!(array.read(1), Some(&vec![42]));
+/// assert_eq!(array.read(0), None); // never written
+/// let snap = array.snapshot();
+/// assert_eq!(snap, vec![None, Some(vec![42]), None]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegisterArray {
+    cells: Vec<Option<Value>>,
+    /// Total number of writes so far — a logical clock whose value stamps
+    /// the write-event log.
+    version: u64,
+    /// Write log `(version, pid, value)` used by history checkers.
+    log: Vec<(u64, Pid, Value)>,
+}
+
+impl RegisterArray {
+    /// Creates an array of `n` registers, all initialized to `⊥` (`None`).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        RegisterArray {
+            cells: vec![None; n],
+            version: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// Number of registers `n`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the array is empty (zero registers).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Atomically writes `value` into `A[pid]` (the caller's own cell —
+    /// single-writer discipline is the executor's responsibility and is
+    /// asserted here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn write(&mut self, pid: Pid, value: Value) {
+        let i = pid.index();
+        assert!(i < self.cells.len(), "register index {i} out of range");
+        self.version += 1;
+        self.log.push((self.version, pid, value.clone()));
+        self.cells[i] = Some(value);
+    }
+
+    /// Atomically reads `A[j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    #[must_use]
+    pub fn read(&self, j: usize) -> Option<&Value> {
+        assert!(j < self.cells.len(), "register index {j} out of range");
+        self.cells[j].as_ref()
+    }
+
+    /// Atomically reads the whole array — the model's `READ` snapshot
+    /// primitive (the paper assumes it w.l.o.g.; the
+    /// [`crate::snapshot`] module demonstrates its implementability from
+    /// single-cell reads).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Option<Value>> {
+        self.cells.clone()
+    }
+
+    /// Current logical time (number of writes performed).
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The write log: `(version, writer, value)` triples in order.
+    #[must_use]
+    pub fn write_log(&self) -> &[(u64, Pid, Value)] {
+        &self.log
+    }
+
+    /// Reconstructs the array contents as of logical time `version`
+    /// (after the `version`-th write). Used by linearizability checks.
+    #[must_use]
+    pub fn state_at(&self, version: u64) -> Vec<Option<Value>> {
+        let mut cells = vec![None; self.cells.len()];
+        for (v, pid, value) in &self.log {
+            if *v > version {
+                break;
+            }
+            cells[pid.index()] = Some(value.clone());
+        }
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read() {
+        let mut a = RegisterArray::new(2);
+        assert_eq!(a.read(0), None);
+        a.write(Pid::new(0), vec![7, 8]);
+        assert_eq!(a.read(0), Some(&vec![7, 8]));
+        a.write(Pid::new(0), vec![9]);
+        assert_eq!(a.read(0), Some(&vec![9]));
+        assert_eq!(a.version(), 2);
+    }
+
+    #[test]
+    fn state_at_reconstructs_history() {
+        let mut a = RegisterArray::new(3);
+        a.write(Pid::new(0), vec![1]); // version 1
+        a.write(Pid::new(1), vec![2]); // version 2
+        a.write(Pid::new(0), vec![3]); // version 3
+        assert_eq!(a.state_at(0), vec![None, None, None]);
+        assert_eq!(a.state_at(1), vec![Some(vec![1]), None, None]);
+        assert_eq!(a.state_at(2), vec![Some(vec![1]), Some(vec![2]), None]);
+        assert_eq!(a.state_at(3), vec![Some(vec![3]), Some(vec![2]), None]);
+        assert_eq!(a.snapshot(), a.state_at(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn read_out_of_range_panics() {
+        let a = RegisterArray::new(1);
+        let _ = a.read(1);
+    }
+
+    #[test]
+    fn write_log_records_everything() {
+        let mut a = RegisterArray::new(2);
+        a.write(Pid::new(1), vec![5]);
+        a.write(Pid::new(0), vec![6]);
+        let log = a.write_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0], (1, Pid::new(1), vec![5]));
+        assert_eq!(log[1], (2, Pid::new(0), vec![6]));
+    }
+}

@@ -1,0 +1,235 @@
+//! Schedulers: who takes the next step (Section 2.2's runs and schedules).
+//!
+//! A *schedule* is the sequence of process steps of a run. Wait-free
+//! correctness quantifies over all schedules and crash patterns, so the
+//! simulator makes the schedule a first-class, pluggable object:
+//!
+//! * [`RoundRobinScheduler`] — fully synchronous rounds.
+//! * [`SeededScheduler`] — uniformly random among active processes, from a
+//!   seeded generator (reproducible).
+//! * [`AdversarialScheduler`] — solo bursts, reversals and biased picks
+//!   driven by a seeded generator; stresses the interleavings renaming
+//!   algorithms are sensitive to.
+//! * [`FixedScheduler`] — replays an explicit schedule (used by the
+//!   exhaustive enumerator and the permutation-replay harness).
+//!
+//! Crash *plans* are orthogonal to schedulers: see
+//! [`CrashPlan`](crate::sim::CrashPlan).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::process::Pid;
+
+/// Chooses which active process takes the next step.
+pub trait Scheduler: std::fmt::Debug {
+    /// Picks one of `active` (guaranteed non-empty, sorted by index).
+    fn next(&mut self, active: &[Pid]) -> Pid;
+}
+
+/// Cycles through processes in index order, skipping inactive ones — the
+/// fully synchronous schedule.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobinScheduler {
+    cursor: usize,
+}
+
+impl RoundRobinScheduler {
+    /// Creates a scheduler starting at process index 0.
+    #[must_use]
+    pub fn new() -> Self {
+        RoundRobinScheduler::default()
+    }
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn next(&mut self, active: &[Pid]) -> Pid {
+        // First active pid with index ≥ cursor, else wrap.
+        let pick = active
+            .iter()
+            .find(|p| p.index() >= self.cursor)
+            .or_else(|| active.first())
+            .copied()
+            .expect("active set is non-empty");
+        self.cursor = pick.index() + 1;
+        pick
+    }
+}
+
+/// Picks uniformly at random among active processes (seeded, reproducible).
+#[derive(Debug, Clone)]
+pub struct SeededScheduler {
+    rng: StdRng,
+}
+
+impl SeededScheduler {
+    /// Creates a scheduler from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SeededScheduler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for SeededScheduler {
+    fn next(&mut self, active: &[Pid]) -> Pid {
+        active[self.rng.gen_range(0..active.len())]
+    }
+}
+
+/// An adversarial scheduler: alternates *solo bursts* (one process runs
+/// many steps alone — the executions behind Theorem 11's solo-run
+/// argument), *reversed sweeps*, and heavily biased random picks.
+#[derive(Debug, Clone)]
+pub struct AdversarialScheduler {
+    rng: StdRng,
+    /// Current burst: process and remaining steps.
+    burst: Option<(Pid, usize)>,
+    max_burst: usize,
+}
+
+impl AdversarialScheduler {
+    /// Creates an adversary with bursts of up to `max_burst` solo steps.
+    #[must_use]
+    pub fn new(seed: u64, max_burst: usize) -> Self {
+        AdversarialScheduler {
+            rng: StdRng::seed_from_u64(seed),
+            burst: None,
+            max_burst: max_burst.max(1),
+        }
+    }
+}
+
+impl Scheduler for AdversarialScheduler {
+    fn next(&mut self, active: &[Pid]) -> Pid {
+        if let Some((pid, remaining)) = self.burst {
+            if remaining > 0 && active.contains(&pid) {
+                self.burst = Some((pid, remaining - 1));
+                return pid;
+            }
+            self.burst = None;
+        }
+        // Start a new burst 50% of the time, otherwise a biased one-off
+        // pick (favouring extremal indexes, where rank-based algorithms
+        // have their corner cases).
+        let pick = if self.rng.gen_bool(0.5) {
+            let pid = active[self.rng.gen_range(0..active.len())];
+            let len = self.rng.gen_range(1..=self.max_burst);
+            self.burst = Some((pid, len.saturating_sub(1)));
+            pid
+        } else if self.rng.gen_bool(0.5) {
+            active[0]
+        } else {
+            *active.last().expect("active set is non-empty")
+        };
+        pick
+    }
+}
+
+/// Replays an explicit schedule; when the script runs out (or names an
+/// inactive process), falls back to the first active process. Used by the
+/// exhaustive schedule enumerator, which scripts every prefix explicitly.
+#[derive(Debug, Clone)]
+pub struct FixedScheduler {
+    script: Vec<Pid>,
+    cursor: usize,
+}
+
+impl FixedScheduler {
+    /// Creates a scheduler replaying `script`.
+    #[must_use]
+    pub fn new(script: Vec<Pid>) -> Self {
+        FixedScheduler { script, cursor: 0 }
+    }
+
+    /// How many scripted steps have been consumed.
+    #[must_use]
+    pub fn consumed(&self) -> usize {
+        self.cursor
+    }
+}
+
+impl Scheduler for FixedScheduler {
+    fn next(&mut self, active: &[Pid]) -> Pid {
+        while self.cursor < self.script.len() {
+            let pid = self.script[self.cursor];
+            self.cursor += 1;
+            if active.contains(&pid) {
+                return pid;
+            }
+            // Scripted step for an inactive process: skip it (the process
+            // decided or crashed earlier than the script anticipated).
+        }
+        active[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pids(ixs: &[usize]) -> Vec<Pid> {
+        ixs.iter().map(|&i| Pid::new(i)).collect()
+    }
+
+    #[test]
+    fn round_robin_cycles_in_order() {
+        let mut s = RoundRobinScheduler::new();
+        let active = pids(&[0, 1, 2]);
+        let picks: Vec<usize> = (0..6).map(|_| s.next(&active).index()).collect();
+        assert_eq!(picks, [0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_inactive() {
+        let mut s = RoundRobinScheduler::new();
+        assert_eq!(s.next(&pids(&[0, 2])).index(), 0);
+        assert_eq!(s.next(&pids(&[0, 2])).index(), 2);
+        assert_eq!(s.next(&pids(&[0, 2])).index(), 0);
+    }
+
+    #[test]
+    fn seeded_is_reproducible() {
+        let active = pids(&[0, 1, 2, 3]);
+        let run = |seed| {
+            let mut s = SeededScheduler::new(seed);
+            (0..20).map(|_| s.next(&active).index()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds should differ");
+    }
+
+    #[test]
+    fn adversarial_emits_solo_bursts() {
+        let mut s = AdversarialScheduler::new(1, 8);
+        let active = pids(&[0, 1, 2]);
+        let picks: Vec<usize> = (0..200).map(|_| s.next(&active).index()).collect();
+        // There must exist a run of ≥ 4 identical consecutive picks.
+        let mut best = 1;
+        let mut cur = 1;
+        for w in picks.windows(2) {
+            if w[0] == w[1] {
+                cur += 1;
+                best = best.max(cur);
+            } else {
+                cur = 1;
+            }
+        }
+        assert!(best >= 4, "no solo burst found in {picks:?}");
+    }
+
+    #[test]
+    fn fixed_replays_and_falls_back() {
+        let mut s = FixedScheduler::new(pids(&[1, 1, 0, 2]));
+        let all = pids(&[0, 1, 2]);
+        assert_eq!(s.next(&all).index(), 1);
+        assert_eq!(s.next(&all).index(), 1);
+        // Process 0 is inactive now: the scripted 0 is skipped.
+        let without_0 = pids(&[1, 2]);
+        assert_eq!(s.next(&without_0).index(), 2);
+        assert_eq!(s.consumed(), 4);
+        // Script exhausted → first active.
+        assert_eq!(s.next(&without_0).index(), 1);
+    }
+}

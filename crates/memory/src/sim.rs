@@ -1,0 +1,710 @@
+//! The step-level wait-free simulator (the model of Section 2).
+//!
+//! A [`Protocol`] is a per-process state machine that emits one
+//! shared-memory [`Action`] at a time and receives an [`Observation`] in
+//! return; the [`Executor`] interleaves `n` such machines under a pluggable
+//! [`Scheduler`](crate::scheduler::Scheduler#) with an optional
+//! [`CrashPlan`]. One scheduler tick = one atomic operation, so registers
+//! and oracle objects are linearizable by construction, and quantifying
+//! over schedules quantifies over the model's runs.
+//!
+//! The paper's two algorithmic hygiene conditions are checkable
+//! dynamically:
+//!
+//! * **index-independence** (decisions don't depend on register indexes) —
+//!   [`replay_index_permuted`];
+//! * **comparison-based** (decisions depend only on the relative order of
+//!   identities) — [`replay_order_isomorphic`].
+
+use gsb_core::{GsbSpec, Identity, OutputVector};
+
+use crate::error::{Error, Result};
+use crate::history::{Event, EventKind, History};
+use crate::oracle::Oracle;
+use crate::process::{Pid, ProcessStatus};
+use crate::register::{RegisterArray, Value};
+use crate::scheduler::{FixedScheduler, Scheduler};
+
+/// A single shared-memory operation requested by a protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Action {
+    /// Write a value to the process's own register `A[i]`.
+    Write(Value),
+    /// Read one register `A[j]`.
+    ReadCell(usize),
+    /// Atomically read the whole array (the model's `READ`).
+    Snapshot,
+    /// Invoke oracle object `object` with argument `input`.
+    Oracle {
+        /// Index into the executor's oracle table.
+        object: usize,
+        /// Invocation argument.
+        input: u64,
+    },
+    /// Decide: write the write-once output register and stop.
+    Decide(usize),
+}
+
+/// What a protocol observes when activated: the result of its previous
+/// action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Observation {
+    /// First activation; no previous action.
+    Start,
+    /// The previous write completed.
+    Written,
+    /// Result of [`Action::ReadCell`].
+    CellValue(Option<Value>),
+    /// Result of [`Action::Snapshot`]: one entry per register.
+    Snapshot(Vec<Option<Value>>),
+    /// Result of [`Action::Oracle`].
+    OracleReply(u64),
+}
+
+/// A per-process distributed algorithm, driven one atomic step at a time.
+///
+/// Implementations are state machines: `next_action` is called when the
+/// scheduler picks the process, receives the [`Observation`] produced by
+/// the process's previous action, and returns the next action. After
+/// returning [`Action::Decide`] the protocol is never activated again.
+pub trait Protocol: std::fmt::Debug + Send {
+    /// Produces the next shared-memory operation.
+    fn next_action(&mut self, observation: Observation) -> Action;
+
+    /// Clones the machine with its current state (the exhaustive schedule
+    /// enumerator forks executors at branch points).
+    fn boxed_clone(&self) -> Box<dyn Protocol>;
+}
+
+impl Clone for Box<dyn Protocol> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
+}
+
+/// When each process crashes, if ever.
+///
+/// `crash_after[i] = Some(k)` crashes process `i` once it has taken `k`
+/// steps (`Some(0)` = never participates, the paper's non-participating
+/// faulty process).
+#[derive(Debug, Clone, Default)]
+pub struct CrashPlan {
+    crash_after: Vec<Option<usize>>,
+}
+
+impl CrashPlan {
+    /// No crashes at all.
+    #[must_use]
+    pub fn none(n: usize) -> Self {
+        CrashPlan {
+            crash_after: vec![None; n],
+        }
+    }
+
+    /// Crashes the listed processes after the given step counts.
+    #[must_use]
+    pub fn with_crashes(n: usize, crashes: &[(Pid, usize)]) -> Self {
+        let mut plan = CrashPlan::none(n);
+        for &(pid, after) in crashes {
+            plan.crash_after[pid.index()] = Some(after);
+        }
+        plan
+    }
+
+    /// Crash threshold for `pid`.
+    #[must_use]
+    pub fn crash_after(&self, pid: Pid) -> Option<usize> {
+        self.crash_after.get(pid.index()).copied().flatten()
+    }
+
+    /// Number of processes that crash under this plan.
+    #[must_use]
+    pub fn crash_count(&self) -> usize {
+        self.crash_after.iter().filter(|c| c.is_some()).count()
+    }
+}
+
+/// The result of a simulated run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Per-process decision (`None` = crashed before deciding).
+    pub decisions: Vec<Option<usize>>,
+    /// Final status of each process.
+    pub statuses: Vec<ProcessStatus>,
+    /// Total steps executed.
+    pub steps: usize,
+    /// The event log.
+    pub history: History,
+}
+
+impl RunOutcome {
+    /// The full output vector, if every process decided.
+    #[must_use]
+    pub fn output_vector(&self) -> Option<OutputVector> {
+        OutputVector::from_decisions(&self.decisions).ok()
+    }
+
+    /// Whether every process decided (crash-free complete run).
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.decisions.iter().all(Option::is_some)
+    }
+
+    /// The decided values of the processes that did decide.
+    #[must_use]
+    pub fn decided_values(&self) -> Vec<usize> {
+        self.decisions.iter().flatten().copied().collect()
+    }
+
+    /// Task-correctness check that also covers crashed runs: decided
+    /// values must be *completable* to a legal output vector of `spec`
+    /// (for complete runs this is exactly legality).
+    ///
+    /// Completability is the right partial-run condition because the
+    /// paper's validity quantifies over crash-free extensions of the
+    /// decision prefix (Definition 1).
+    #[must_use]
+    pub fn satisfies(&self, spec: &GsbSpec) -> bool {
+        partial_decisions_completable(spec, &self.decisions)
+    }
+}
+
+/// Whether partially-decided values can be extended to a legal output of
+/// `spec` by assigning values to the undecided processes.
+#[must_use]
+pub fn partial_decisions_completable(spec: &GsbSpec, decisions: &[Option<usize>]) -> bool {
+    if decisions.len() != spec.n() {
+        return false;
+    }
+    let m = spec.m();
+    let mut counts = vec![0usize; m];
+    let mut undecided = 0usize;
+    for d in decisions {
+        match d {
+            Some(v) if *v >= 1 && *v <= m => counts[*v - 1] += 1,
+            Some(_) => return false,
+            None => undecided += 1,
+        }
+    }
+    let mut deficit = 0usize;
+    let mut capacity = 0usize;
+    for v in 1..=m {
+        let c = counts[v - 1];
+        if c > spec.upper(v) {
+            return false;
+        }
+        deficit += spec.lower(v).saturating_sub(c);
+        capacity += spec.upper(v) - c;
+    }
+    deficit <= undecided && undecided <= capacity
+}
+
+/// The wait-free shared-memory machine: registers, oracles, and `n`
+/// protocol instances.
+///
+/// # Examples
+///
+/// ```
+/// use gsb_memory::{Action, CrashPlan, Executor, Observation, Protocol,
+///                  RoundRobinScheduler};
+///
+/// /// A protocol that writes its id then decides 1.
+/// #[derive(Debug, Clone)]
+/// struct WriteThenDecide(u64);
+///
+/// impl Protocol for WriteThenDecide {
+///     fn next_action(&mut self, obs: Observation) -> Action {
+///         match obs {
+///             Observation::Start => Action::Write(vec![self.0]),
+///             _ => Action::Decide(1),
+///         }
+///     }
+///     fn boxed_clone(&self) -> Box<dyn Protocol> {
+///         Box::new(self.clone())
+///     }
+/// }
+///
+/// let protocols: Vec<Box<dyn Protocol>> =
+///     (0..3).map(|i| Box::new(WriteThenDecide(i)) as Box<dyn Protocol>).collect();
+/// let mut exec = Executor::new(protocols, vec![]);
+/// let outcome = exec
+///     .run(&mut RoundRobinScheduler::new(), &CrashPlan::none(3), 100)
+///     .unwrap();
+/// assert!(outcome.is_complete());
+/// assert_eq!(outcome.decisions, vec![Some(1), Some(1), Some(1)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Executor {
+    n: usize,
+    registers: RegisterArray,
+    oracles: Vec<Box<dyn Oracle>>,
+    protocols: Vec<Box<dyn Protocol>>,
+    statuses: Vec<ProcessStatus>,
+    pending: Vec<Observation>,
+    decisions: Vec<Option<usize>>,
+    steps_taken: Vec<usize>,
+    steps: usize,
+    history: History,
+}
+
+impl Executor {
+    /// Creates an executor for the given protocol instances (one per
+    /// process) and shared oracle objects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `protocols` is empty.
+    #[must_use]
+    pub fn new(protocols: Vec<Box<dyn Protocol>>, oracles: Vec<Box<dyn Oracle>>) -> Self {
+        let n = protocols.len();
+        assert!(n > 0, "need at least one process");
+        Executor {
+            n,
+            registers: RegisterArray::new(n),
+            oracles,
+            protocols,
+            statuses: vec![ProcessStatus::Running; n],
+            pending: vec![Observation::Start; n],
+            decisions: vec![None; n],
+            steps_taken: vec![0; n],
+            steps: 0,
+            history: History::new(),
+        }
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Processes currently schedulable.
+    #[must_use]
+    pub fn active(&self) -> Vec<Pid> {
+        (0..self.n)
+            .filter(|&i| self.statuses[i].is_active())
+            .map(Pid::new)
+            .collect()
+    }
+
+    /// Whether the run is over (no active processes remain).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.statuses.iter().all(|s| !s.is_active())
+    }
+
+    /// Executes one step by process `pid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ProtocolViolation`] for malformed actions and
+    /// propagates oracle errors.
+    pub fn step(&mut self, pid: Pid) -> Result<()> {
+        let i = pid.index();
+        if i >= self.n || !self.statuses[i].is_active() {
+            return Err(Error::ProtocolViolation {
+                pid,
+                reason: "stepping an inactive or unknown process".into(),
+            });
+        }
+        let observation = std::mem::replace(&mut self.pending[i], Observation::Start);
+        let action = self.protocols[i].next_action(observation);
+        let kind = match action {
+            Action::Write(value) => {
+                self.registers.write(pid, value.clone());
+                self.pending[i] = Observation::Written;
+                EventKind::Write(value)
+            }
+            Action::ReadCell(j) => {
+                if j >= self.n {
+                    return Err(Error::ProtocolViolation {
+                        pid,
+                        reason: format!("read of register {j} out of range"),
+                    });
+                }
+                let value = self.registers.read(j).cloned();
+                self.pending[i] = Observation::CellValue(value.clone());
+                EventKind::ReadCell { cell: j, value }
+            }
+            Action::Snapshot => {
+                let snap = self.registers.snapshot();
+                self.pending[i] = Observation::Snapshot(snap);
+                EventKind::Snapshot
+            }
+            Action::Oracle { object, input } => {
+                let oracle = self.oracles.get_mut(object).ok_or_else(|| {
+                    Error::ProtocolViolation {
+                        pid,
+                        reason: format!("no oracle object {object}"),
+                    }
+                })?;
+                let reply = oracle.invoke(pid, input)?;
+                self.pending[i] = Observation::OracleReply(reply);
+                EventKind::OracleCall {
+                    object,
+                    input,
+                    reply,
+                }
+            }
+            Action::Decide(v) => {
+                self.decisions[i] = Some(v);
+                self.statuses[i] = ProcessStatus::Decided;
+                EventKind::Decide(v)
+            }
+        };
+        self.history.record(Event {
+            step: self.steps,
+            pid,
+            kind,
+            version: self.registers.version(),
+        });
+        self.steps += 1;
+        self.steps_taken[i] += 1;
+        Ok(())
+    }
+
+    /// Marks a process crashed (no further steps).
+    pub fn crash(&mut self, pid: Pid) {
+        let i = pid.index();
+        if self.statuses[i].is_active() {
+            self.statuses[i] = ProcessStatus::Crashed;
+            self.history.record(Event {
+                step: self.steps,
+                pid,
+                kind: EventKind::Crash,
+                version: self.registers.version(),
+            });
+        }
+    }
+
+    /// Runs to completion under `scheduler` and `crash_plan`, with a step
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::StepLimitExceeded`] if live undecided processes
+    /// remain after `step_limit` steps (evidence of non-termination),
+    /// [`Error::InvalidConfig`] for a malformed crash plan, and propagates
+    /// protocol/oracle violations.
+    pub fn run(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        crash_plan: &CrashPlan,
+        step_limit: usize,
+    ) -> Result<RunOutcome> {
+        if crash_plan.crash_after.len() != self.n && !crash_plan.crash_after.is_empty() {
+            return Err(Error::InvalidConfig {
+                reason: format!(
+                    "crash plan covers {} processes, executor has {}",
+                    crash_plan.crash_after.len(),
+                    self.n
+                ),
+            });
+        }
+        // Initially-crashed processes never take a step.
+        for i in 0..self.n {
+            if crash_plan.crash_after(Pid::new(i)) == Some(0) {
+                self.crash(Pid::new(i));
+            }
+        }
+        while !self.is_done() {
+            if self.steps >= step_limit {
+                return Err(Error::StepLimitExceeded {
+                    limit: step_limit,
+                    undecided: self.active(),
+                });
+            }
+            let active = self.active();
+            let pid = scheduler.next(&active);
+            self.step(pid)?;
+            if let Some(limit) = crash_plan.crash_after(pid) {
+                if self.steps_taken[pid.index()] >= limit {
+                    self.crash(pid);
+                }
+            }
+        }
+        Ok(self.outcome())
+    }
+
+    /// The current outcome snapshot (decisions, statuses, history so far).
+    #[must_use]
+    pub fn outcome(&self) -> RunOutcome {
+        RunOutcome {
+            decisions: self.decisions.clone(),
+            statuses: self.statuses.clone(),
+            steps: self.steps,
+            history: self.history.clone(),
+        }
+    }
+
+    /// Read access to the register array (checkers, debugging).
+    #[must_use]
+    pub fn registers(&self) -> &RegisterArray {
+        &self.registers
+    }
+}
+
+/// A factory building the `n` protocol instances of an algorithm from the
+/// input identities. `pid` is passed for register addressing only; an
+/// index-independent algorithm must not let it influence decisions.
+pub type ProtocolFactory<'a> = dyn Fn(Pid, Identity, usize) -> Box<dyn Protocol> + 'a;
+
+/// Builds an executor from a factory and an identity assignment.
+#[must_use]
+pub fn build_executor(
+    factory: &ProtocolFactory<'_>,
+    ids: &[Identity],
+    oracles: Vec<Box<dyn Oracle>>,
+) -> Executor {
+    let n = ids.len();
+    let protocols = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| factory(Pid::new(i), id, n))
+        .collect();
+    Executor::new(protocols, oracles)
+}
+
+/// **Index-independence harness** (Section 2.2): replays a recorded run
+/// under an index permutation `π` and checks the decisions permute
+/// accordingly: `output_{π(i)}` in the replay equals `output_i` in the
+/// original.
+///
+/// `schedule` is the original run's schedule
+/// ([`History::schedule`](crate::history::History::schedule));
+/// `oracle_factory` must build oracles afresh (deterministic policies make
+/// the replay meaningful).
+///
+/// # Errors
+///
+/// Propagates simulation errors from the replay.
+pub fn replay_index_permuted(
+    factory: &ProtocolFactory<'_>,
+    ids: &[Identity],
+    schedule: &[Pid],
+    original_decisions: &[Option<usize>],
+    permutation: &[usize],
+    oracle_factory: &dyn Fn() -> Vec<Box<dyn Oracle>>,
+) -> Result<bool> {
+    let n = ids.len();
+    // Permute inputs: process π(i) now holds identity ids[i]…
+    let mut permuted_ids = vec![ids[0]; n];
+    for i in 0..n {
+        permuted_ids[permutation[i]] = ids[i];
+    }
+    // …and the schedule replaces each step of i by a step of π(i).
+    let permuted_schedule: Vec<Pid> = schedule
+        .iter()
+        .map(|p| Pid::new(permutation[p.index()]))
+        .collect();
+    let mut exec = build_executor(factory, &permuted_ids, oracle_factory());
+    let mut sched = FixedScheduler::new(permuted_schedule);
+    let outcome = exec.run(&mut sched, &CrashPlan::none(n), 1_000_000)?;
+    Ok((0..n).all(|i| outcome.decisions[permutation[i]] == original_decisions[i]))
+}
+
+/// **Comparison-based harness** (Section 2.2): replays a recorded run with
+/// an order-isomorphic identity assignment (same ranks, different values)
+/// under the *same* schedule, and checks every process decides the same
+/// value.
+///
+/// # Errors
+///
+/// Propagates simulation errors from the replay.
+pub fn replay_order_isomorphic(
+    factory: &ProtocolFactory<'_>,
+    fresh_ids: &[Identity],
+    schedule: &[Pid],
+    original_decisions: &[Option<usize>],
+    oracle_factory: &dyn Fn() -> Vec<Box<dyn Oracle>>,
+) -> Result<bool> {
+    let n = fresh_ids.len();
+    let mut exec = build_executor(factory, fresh_ids, oracle_factory());
+    let mut sched = FixedScheduler::new(schedule.to_vec());
+    let outcome = exec.run(&mut sched, &CrashPlan::none(n), 1_000_000)?;
+    Ok(outcome.decisions == original_decisions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{RoundRobinScheduler, SeededScheduler};
+
+    /// Writes its identity, snapshots, decides its rank + 1 among the ids
+    /// it saw (a simple comparison-based, index-independent protocol).
+    #[derive(Debug, Clone)]
+    struct RankProtocol {
+        id: u64,
+        wrote: bool,
+    }
+
+    impl RankProtocol {
+        fn new(id: Identity) -> Self {
+            RankProtocol {
+                id: u64::from(id.get()),
+                wrote: false,
+            }
+        }
+    }
+
+    impl Protocol for RankProtocol {
+        fn next_action(&mut self, obs: Observation) -> Action {
+            match obs {
+                Observation::Start => {
+                    self.wrote = true;
+                    Action::Write(vec![self.id])
+                }
+                Observation::Written => Action::Snapshot,
+                Observation::Snapshot(snap) => {
+                    let mut seen: Vec<u64> =
+                        snap.iter().flatten().map(|v| v[0]).collect();
+                    seen.sort_unstable();
+                    let rank = seen.iter().position(|&x| x == self.id).unwrap();
+                    Action::Decide(rank + 1)
+                }
+                _ => unreachable!("RankProtocol never reads cells or oracles"),
+            }
+        }
+
+        fn boxed_clone(&self) -> Box<dyn Protocol> {
+            Box::new(self.clone())
+        }
+    }
+
+    fn rank_factory() -> Box<ProtocolFactory<'static>> {
+        Box::new(|_pid, id, _n| Box::new(RankProtocol::new(id)))
+    }
+
+    fn ids(values: &[u32]) -> Vec<Identity> {
+        values.iter().map(|&v| Identity::new(v).unwrap()).collect()
+    }
+
+    #[test]
+    fn synchronous_rank_run_decides_exact_ranks() {
+        let factory = rank_factory();
+        let mut exec = build_executor(&factory, &ids(&[5, 2, 9]), vec![]);
+        let outcome = exec
+            .run(&mut RoundRobinScheduler::new(), &CrashPlan::none(3), 100)
+            .unwrap();
+        // Synchronous schedule ⇒ everyone sees everyone.
+        assert_eq!(outcome.decisions, vec![Some(2), Some(1), Some(3)]);
+        assert_eq!(outcome.steps, 9);
+    }
+
+    #[test]
+    fn solo_run_decides_rank_one() {
+        let factory = rank_factory();
+        let mut exec = build_executor(&factory, &ids(&[5, 2, 9]), vec![]);
+        // Crash p2, p3 before they start; p1 runs solo.
+        let plan = CrashPlan::with_crashes(3, &[(Pid::new(1), 0), (Pid::new(2), 0)]);
+        let outcome = exec
+            .run(&mut RoundRobinScheduler::new(), &plan, 100)
+            .unwrap();
+        assert_eq!(outcome.decisions, vec![Some(1), None, None]);
+        assert_eq!(outcome.statuses[1], ProcessStatus::Crashed);
+    }
+
+    #[test]
+    fn mid_run_crash_freezes_register() {
+        let factory = rank_factory();
+        let mut exec = build_executor(&factory, &ids(&[5, 2, 9]), vec![]);
+        // p1 writes (1 step) then crashes; others still see its id.
+        let plan = CrashPlan::with_crashes(3, &[(Pid::new(0), 1)]);
+        let outcome = exec
+            .run(&mut RoundRobinScheduler::new(), &plan, 100)
+            .unwrap();
+        assert_eq!(outcome.decisions[0], None);
+        // p2 (id 2) still ranks itself 1st, p3 (id 9) 3rd (it saw 5).
+        assert_eq!(outcome.decisions[1], Some(1));
+        assert_eq!(outcome.decisions[2], Some(3));
+    }
+
+    #[test]
+    fn step_limit_is_enforced() {
+        let factory = rank_factory();
+        let mut exec = build_executor(&factory, &ids(&[5, 2, 9]), vec![]);
+        let err = exec
+            .run(&mut RoundRobinScheduler::new(), &CrashPlan::none(3), 2)
+            .unwrap_err();
+        assert!(matches!(err, Error::StepLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn index_independence_of_rank_protocol() {
+        let factory = rank_factory();
+        let the_ids = ids(&[5, 2, 9]);
+        let mut exec = build_executor(&factory, &the_ids, vec![]);
+        let outcome = exec
+            .run(&mut SeededScheduler::new(11), &CrashPlan::none(3), 100)
+            .unwrap();
+        let schedule = outcome.history.schedule();
+        for permutation in [[1, 2, 0], [2, 1, 0], [0, 2, 1]] {
+            assert!(replay_index_permuted(
+                &factory,
+                &the_ids,
+                &schedule,
+                &outcome.decisions,
+                &permutation,
+                &|| vec![],
+            )
+            .unwrap());
+        }
+    }
+
+    #[test]
+    fn comparison_basedness_of_rank_protocol() {
+        let factory = rank_factory();
+        let the_ids = ids(&[5, 2, 9]);
+        let mut exec = build_executor(&factory, &the_ids, vec![]);
+        let outcome = exec
+            .run(&mut SeededScheduler::new(3), &CrashPlan::none(3), 100)
+            .unwrap();
+        let schedule = outcome.history.schedule();
+        // Same order type (2 < 5 < 9 → 10 < 40 < 77).
+        assert!(replay_order_isomorphic(
+            &factory,
+            &ids(&[40, 10, 77]),
+            &schedule,
+            &outcome.decisions,
+            &|| vec![],
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn partial_completability() {
+        let wsb = gsb_core::SymmetricGsb::wsb(4).unwrap().to_spec();
+        // Two processes decided 1; two undecided → completable (add a 2).
+        assert!(partial_decisions_completable(
+            &wsb,
+            &[Some(1), None, Some(1), None]
+        ));
+        // All four decided 1 → illegal.
+        assert!(!partial_decisions_completable(
+            &wsb,
+            &[Some(1), Some(1), Some(1), Some(1)]
+        ));
+        // Perfect renaming: duplicate name is immediately illegal.
+        let pr = gsb_core::SymmetricGsb::perfect_renaming(3).unwrap().to_spec();
+        assert!(!partial_decisions_completable(
+            &pr,
+            &[Some(2), Some(2), None]
+        ));
+        assert!(partial_decisions_completable(&pr, &[Some(2), None, None]));
+    }
+
+    #[test]
+    fn history_schedule_matches_run() {
+        let factory = rank_factory();
+        let mut exec = build_executor(&factory, &ids(&[3, 1]), vec![]);
+        let outcome = exec
+            .run(&mut RoundRobinScheduler::new(), &CrashPlan::none(2), 100)
+            .unwrap();
+        let schedule = outcome.history.schedule();
+        assert_eq!(schedule.len(), outcome.steps);
+        assert_eq!(schedule[0], Pid::new(0));
+        assert_eq!(schedule[1], Pid::new(1));
+    }
+}

@@ -1,0 +1,359 @@
+//! Real-thread backend: the register-level primitives on hardware atomics.
+//!
+//! The simulator quantifies over schedules; this module complements it by
+//! running the same algorithmic ideas on *real* OS threads and
+//! `std::sync::atomic` primitives, as a sanity check that nothing relies
+//! on simulator artifacts. It provides:
+//!
+//! * [`Splitter`] — the classic wait-free splitter (Moir–Anderson style)
+//!   from two atomic registers;
+//! * [`SplitterGrid`] — a triangular grid of splitters giving wait-free
+//!   renaming into `n(n+1)/2` names;
+//! * [`AtomicScanArray`] — a double-collect snapshot over versioned cells
+//!   (lock-free reads of per-cell `(version, value)` pairs via
+//!   `parking_lot`-guarded writes and atomic version stamps).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Outcome of passing through a splitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitterOutcome {
+    /// The process stopped here (at most one per splitter).
+    Stop,
+    /// The process was deflected right.
+    Right,
+    /// The process was deflected down.
+    Down,
+}
+
+/// A wait-free splitter: of the `k` processes that enter, at most one
+/// stops, at most `k − 1` go right, and at most `k − 1` go down.
+///
+/// # Examples
+///
+/// ```
+/// use gsb_memory::threaded::{Splitter, SplitterOutcome};
+///
+/// let s = Splitter::new();
+/// // A solo process always stops.
+/// assert_eq!(s.acquire(7), SplitterOutcome::Stop);
+/// ```
+#[derive(Debug, Default)]
+pub struct Splitter {
+    /// Last identity through the doorway (0 = nobody).
+    x: AtomicU64,
+    /// Door closed?
+    y: AtomicBool,
+}
+
+impl Splitter {
+    /// Creates an open splitter.
+    #[must_use]
+    pub fn new() -> Self {
+        Splitter::default()
+    }
+
+    /// Runs a process with (non-zero) identity `id` through the splitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is zero (reserved for "nobody").
+    pub fn acquire(&self, id: u64) -> SplitterOutcome {
+        assert_ne!(id, 0, "identity 0 is reserved");
+        self.x.store(id, Ordering::SeqCst);
+        if self.y.load(Ordering::SeqCst) {
+            return SplitterOutcome::Right;
+        }
+        self.y.store(true, Ordering::SeqCst);
+        if self.x.load(Ordering::SeqCst) == id {
+            SplitterOutcome::Stop
+        } else {
+            SplitterOutcome::Down
+        }
+    }
+}
+
+/// A triangular grid of splitters implementing wait-free renaming into
+/// `n(n+1)/2` names: a process walks from the corner, moving right or
+/// down as deflected, and takes the name of the splitter where it stops.
+///
+/// # Examples
+///
+/// ```
+/// use gsb_memory::threaded::SplitterGrid;
+///
+/// let grid = SplitterGrid::new(4);
+/// let name = grid.rename(9);
+/// assert!((1..=10).contains(&name)); // n(n+1)/2 = 10 names
+/// ```
+#[derive(Debug)]
+pub struct SplitterGrid {
+    n: usize,
+    /// Row-major upper-left triangle: position `(r, d)` with
+    /// `r + d ≤ n − 1` at index `triangle_index(r, d)`.
+    splitters: Vec<Splitter>,
+}
+
+impl SplitterGrid {
+    /// Creates the grid for up to `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one process");
+        let count = n * (n + 1) / 2;
+        SplitterGrid {
+            n,
+            splitters: (0..count).map(|_| Splitter::new()).collect(),
+        }
+    }
+
+    /// Number of names `n(n+1)/2`.
+    #[must_use]
+    pub fn name_space(&self) -> usize {
+        self.n * (self.n + 1) / 2
+    }
+
+    fn triangle_index(&self, r: usize, d: usize) -> usize {
+        // Diagonal s = r + d starts at index s(s+1)/2; offset by r.
+        let s = r + d;
+        s * (s + 1) / 2 + r
+    }
+
+    /// Walks identity `id` through the grid; returns its name in
+    /// `[1 ..= n(n+1)/2]`.
+    ///
+    /// Wait-free: on every step right or down, the set of processes still
+    /// moving together shrinks by one, so a process stops within `n − 1`
+    /// moves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is zero.
+    pub fn rename(&self, id: u64) -> usize {
+        let (mut r, mut d) = (0usize, 0usize);
+        loop {
+            let index = self.triangle_index(r, d);
+            match self.splitters[index].acquire(id) {
+                SplitterOutcome::Stop => return index + 1,
+                SplitterOutcome::Right => r += 1,
+                SplitterOutcome::Down => d += 1,
+            }
+            assert!(
+                r + d < self.n,
+                "splitter guarantee violated: walked off the grid"
+            );
+        }
+    }
+}
+
+/// A versioned cell array supporting a double-collect snapshot on real
+/// threads: writes bump an atomic version; a scan retries until it sees
+/// two identical version vectors.
+///
+/// Writers never block readers (readers only load atomics and briefly
+/// clone the value under a per-cell mutex that writers hold only during
+/// the value swap).
+#[derive(Debug)]
+pub struct AtomicScanArray {
+    cells: Vec<(AtomicU64, Mutex<Option<Vec<u64>>>)>,
+}
+
+impl AtomicScanArray {
+    /// Creates an array of `n` cells initialized to `⊥`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        AtomicScanArray {
+            cells: (0..n)
+                .map(|_| (AtomicU64::new(0), Mutex::new(None)))
+                .collect(),
+        }
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the array has no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Writes `value` into cell `i` (single-writer discipline is the
+    /// caller's responsibility, as in the model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn write(&self, i: usize, value: Vec<u64>) {
+        let (version, cell) = &self.cells[i];
+        {
+            let mut guard = cell.lock();
+            *guard = Some(value);
+        }
+        version.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn collect(&self) -> (Vec<u64>, Vec<Option<Vec<u64>>>) {
+        let versions: Vec<u64> = self
+            .cells
+            .iter()
+            .map(|(v, _)| v.load(Ordering::SeqCst))
+            .collect();
+        let values: Vec<Option<Vec<u64>>> =
+            self.cells.iter().map(|(_, c)| c.lock().clone()).collect();
+        (versions, values)
+    }
+
+    /// Double-collect snapshot: retries until two consecutive collects
+    /// observe identical version vectors. Obstruction-free (terminates
+    /// whenever writers pause); the simulator's AADGMS variant
+    /// ([`crate::snapshot`]) is the wait-free construction.
+    #[must_use]
+    pub fn scan(&self) -> Vec<Option<Vec<u64>>> {
+        let (mut versions, _) = self.collect();
+        loop {
+            let (versions2, values2) = self.collect();
+            if versions == versions2 {
+                return values2;
+            }
+            versions = versions2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn splitter_solo_stops() {
+        let s = Splitter::new();
+        assert_eq!(s.acquire(3), SplitterOutcome::Stop);
+        // A later arrival is deflected.
+        assert_ne!(s.acquire(4), SplitterOutcome::Stop);
+    }
+
+    #[test]
+    fn splitter_concurrent_properties() {
+        // k threads through one splitter: ≤ 1 stop, ≤ k−1 right, ≤ k−1 down.
+        for trial in 0..50 {
+            let splitter = Splitter::new();
+            let stops = AtomicUsize::new(0);
+            let rights = AtomicUsize::new(0);
+            let downs = AtomicUsize::new(0);
+            let k = 8;
+            crossbeam::thread::scope(|scope| {
+                for t in 0..k {
+                    let splitter = &splitter;
+                    let (stops, rights, downs) = (&stops, &rights, &downs);
+                    scope.spawn(move |_| {
+                        match splitter.acquire(t as u64 + 1 + trial * 100) {
+                            SplitterOutcome::Stop => stops.fetch_add(1, Ordering::SeqCst),
+                            SplitterOutcome::Right => rights.fetch_add(1, Ordering::SeqCst),
+                            SplitterOutcome::Down => downs.fetch_add(1, Ordering::SeqCst),
+                        };
+                    });
+                }
+            })
+            .unwrap();
+            assert!(stops.load(Ordering::SeqCst) <= 1, "trial {trial}");
+            assert!(rights.load(Ordering::SeqCst) <= k - 1, "trial {trial}");
+            assert!(downs.load(Ordering::SeqCst) <= k - 1, "trial {trial}");
+            assert_eq!(
+                stops.load(Ordering::SeqCst)
+                    + rights.load(Ordering::SeqCst)
+                    + downs.load(Ordering::SeqCst),
+                k
+            );
+        }
+    }
+
+    #[test]
+    fn grid_renaming_names_are_distinct() {
+        for trial in 0..30 {
+            let n = 6;
+            let grid = SplitterGrid::new(n);
+            let names = Mutex::new(Vec::new());
+            crossbeam::thread::scope(|scope| {
+                for t in 0..n {
+                    let grid = &grid;
+                    let names = &names;
+                    scope.spawn(move |_| {
+                        let name = grid.rename(t as u64 + 1 + trial * 64);
+                        names.lock().push(name);
+                    });
+                }
+            })
+            .unwrap();
+            let mut names = names.into_inner();
+            names.sort_unstable();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(names.len(), before, "trial {trial}: duplicate names");
+            assert!(names.iter().all(|&x| (1..=grid.name_space()).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn grid_solo_gets_name_one() {
+        let grid = SplitterGrid::new(5);
+        assert_eq!(grid.rename(42), 1);
+    }
+
+    #[test]
+    fn atomic_scan_array_sees_writes() {
+        let array = AtomicScanArray::new(3);
+        assert_eq!(array.len(), 3);
+        array.write(1, vec![7]);
+        let snap = array.scan();
+        assert_eq!(snap, vec![None, Some(vec![7]), None]);
+    }
+
+    #[test]
+    fn concurrent_scans_are_consistent_prefixes() {
+        // Writers write monotonically increasing values; every scan must
+        // observe, per cell, a monotone value (no time travel).
+        let array = AtomicScanArray::new(4);
+        let observations = Mutex::new(Vec::new());
+        crossbeam::thread::scope(|scope| {
+            for w in 0..4usize {
+                let array = &array;
+                scope.spawn(move |_| {
+                    for v in 1..=20u64 {
+                        array.write(w, vec![v]);
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let array = &array;
+                let observations = &observations;
+                scope.spawn(move |_| {
+                    let mut last = vec![0u64; 4];
+                    for _ in 0..50 {
+                        let snap = array.scan();
+                        let current: Vec<u64> = snap
+                            .iter()
+                            .map(|c| c.as_ref().map_or(0, |v| v[0]))
+                            .collect();
+                        for i in 0..4 {
+                            assert!(current[i] >= last[i], "per-cell regression");
+                        }
+                        last = current.clone();
+                        observations.lock().push(current);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(observations.into_inner().len(), 200);
+    }
+}

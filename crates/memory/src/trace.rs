@@ -1,0 +1,134 @@
+//! Human-readable rendering of run histories.
+//!
+//! Wait-free executions are hard to eyeball; [`render_history`] prints one
+//! line per step in the notation of the paper's runs
+//! (`C0 s0 C1 …` flattened to the step sequence), and
+//! [`render_outcome`] summarizes decisions per process. Used by examples
+//! and invaluable when a sweep reports a violating schedule.
+
+use crate::history::{Event, EventKind, History};
+use crate::sim::RunOutcome;
+
+/// Renders one event as a single line, e.g. `p2: write [5, 1]` or
+/// `p1: KS[0](0) -> 2`.
+#[must_use]
+pub fn render_event(event: &Event) -> String {
+    let what = match &event.kind {
+        EventKind::Write(value) => format!("write {value:?}"),
+        EventKind::ReadCell { cell, value } => match value {
+            Some(v) => format!("read A[{}] -> {v:?}", cell + 1),
+            None => format!("read A[{}] -> ⊥", cell + 1),
+        },
+        EventKind::Snapshot => "snapshot".to_string(),
+        EventKind::OracleCall {
+            object,
+            input,
+            reply,
+        } => format!("oracle[{object}]({input}) -> {reply}"),
+        EventKind::Decide(v) => format!("decide {v}"),
+        EventKind::Crash => "crash".to_string(),
+    };
+    format!("{:>4}  {}: {}", event.step, event.pid, what)
+}
+
+/// Renders a whole history, one line per event.
+#[must_use]
+pub fn render_history(history: &History) -> String {
+    let mut out = String::new();
+    for event in history.events() {
+        out.push_str(&render_event(event));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a run outcome: per-process status and decision plus totals.
+#[must_use]
+pub fn render_outcome(outcome: &RunOutcome) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (i, (decision, status)) in outcome
+        .decisions
+        .iter()
+        .zip(&outcome.statuses)
+        .enumerate()
+    {
+        let shown = match decision {
+            Some(v) => format!("decided {v}"),
+            None => format!("{status:?}"),
+        };
+        let _ = writeln!(out, "  p{}: {shown}", i + 1);
+    }
+    let _ = writeln!(out, "  {} steps total", outcome.steps);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Pid;
+
+    #[test]
+    fn events_render_compactly() {
+        let event = Event {
+            step: 3,
+            pid: Pid::new(1),
+            kind: EventKind::OracleCall {
+                object: 0,
+                input: 0,
+                reply: 2,
+            },
+            version: 1,
+        };
+        assert_eq!(render_event(&event), "   3  p2: oracle[0](0) -> 2");
+        let write = Event {
+            step: 0,
+            pid: Pid::new(0),
+            kind: EventKind::Write(vec![5, 1]),
+            version: 1,
+        };
+        assert!(render_event(&write).contains("write [5, 1]"));
+        let read = Event {
+            step: 1,
+            pid: Pid::new(0),
+            kind: EventKind::ReadCell {
+                cell: 2,
+                value: None,
+            },
+            version: 1,
+        };
+        assert!(render_event(&read).contains("A[3] -> ⊥"));
+    }
+
+    #[test]
+    fn histories_and_outcomes_render() {
+        use crate::scheduler::RoundRobinScheduler;
+        use crate::sim::{Action, CrashPlan, Executor, Observation, Protocol};
+
+        #[derive(Debug, Clone)]
+        struct One;
+        impl Protocol for One {
+            fn next_action(&mut self, obs: Observation) -> Action {
+                match obs {
+                    Observation::Start => Action::Write(vec![1]),
+                    _ => Action::Decide(1),
+                }
+            }
+            fn boxed_clone(&self) -> Box<dyn Protocol> {
+                Box::new(self.clone())
+            }
+        }
+        let mut exec = Executor::new(
+            vec![Box::new(One) as Box<dyn Protocol>, Box::new(One)],
+            vec![],
+        );
+        let outcome = exec
+            .run(&mut RoundRobinScheduler::new(), &CrashPlan::none(2), 100)
+            .unwrap();
+        let text = render_history(&outcome.history);
+        assert_eq!(text.lines().count(), outcome.steps);
+        let summary = render_outcome(&outcome);
+        assert!(summary.contains("p1: decided 1"));
+        assert!(summary.contains("4 steps total"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the oracle and simulator machinery — the
+//! load-bearing components of experiments E3/E4.
+
+use gsb_core::{GsbSpec, OutputVector};
+use gsb_memory::{partial_decisions_completable, GsbOracle, Oracle, OraclePolicy, Pid};
+use proptest::prelude::*;
+
+/// Strategy: a feasible asymmetric GSB spec with n ∈ [1..7], m ∈ [1..4].
+fn feasible_spec() -> impl Strategy<Value = GsbSpec> {
+    (1usize..=7, 1usize..=4)
+        .prop_flat_map(|(n, m)| {
+            (
+                Just(n),
+                proptest::collection::vec((0usize..=7, 0usize..=7), m..=m),
+            )
+        })
+        .prop_map(|(n, bounds)| {
+            let lower: Vec<usize> = bounds.iter().map(|&(a, b)| a.min(b).min(n)).collect();
+            let upper: Vec<usize> = bounds.iter().map(|&(a, b)| a.max(b).min(n)).collect();
+            GsbSpec::new(n, lower, upper).expect("well-formed")
+        })
+        .prop_filter("feasible", GsbSpec::is_feasible)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    #[test]
+    fn oracle_outputs_are_always_legal(spec in feasible_spec(), seed in 0u64..1000) {
+        // Whatever the reply policy and invocation order, the completed
+        // oracle's replies form a legal output vector.
+        for policy in [
+            OraclePolicy::FirstFit,
+            OraclePolicy::LastFit,
+            OraclePolicy::Seeded(seed),
+        ] {
+            let n = spec.n();
+            let mut oracle = GsbOracle::new(spec.clone(), policy).expect("feasible");
+            // Invocation order driven by the seed.
+            let mut order: Vec<usize> = (0..n).collect();
+            let rotation = (seed as usize) % n.max(1);
+            order.rotate_left(rotation);
+            let mut replies = vec![0usize; n];
+            for &i in &order {
+                replies[i] = oracle.invoke(Pid::new(i), 0).unwrap() as usize;
+            }
+            let out = OutputVector::new(replies);
+            prop_assert!(spec.is_legal_output(&out), "{spec} {policy:?}: {out}");
+        }
+    }
+
+    #[test]
+    fn oracle_prefixes_stay_completable(spec in feasible_spec(), cut in 0usize..8) {
+        // Stopping the oracle after any prefix of invocations leaves a
+        // completable partial decision vector — the property crash-runs
+        // of oracle-based algorithms rely on.
+        let n = spec.n();
+        let cut = cut.min(n);
+        let mut oracle = GsbOracle::new(spec.clone(), OraclePolicy::LastFit).expect("feasible");
+        let mut partial: Vec<Option<usize>> = vec![None; n];
+        for i in 0..cut {
+            partial[i] = Some(oracle.invoke(Pid::new(i), 0).unwrap() as usize);
+        }
+        prop_assert!(partial_decisions_completable(&spec, &partial));
+    }
+
+    #[test]
+    fn completability_is_monotone_under_undeciding(
+        spec in feasible_spec(),
+        seed in 0u64..500,
+    ) {
+        // Erasing a decision never makes a completable vector
+        // incompletable.
+        let outputs = spec.legal_outputs();
+        prop_assume!(!outputs.is_empty());
+        let output = &outputs[(seed as usize) % outputs.len()];
+        let n = spec.n();
+        let mut partial: Vec<Option<usize>> =
+            output.values().iter().map(|&v| Some(v)).collect();
+        prop_assert!(partial_decisions_completable(&spec, &partial));
+        // Erase positions one at a time in a seed-driven order.
+        for step in 0..n {
+            let i = ((seed as usize) + step * 7) % n;
+            partial[i] = None;
+            prop_assert!(
+                partial_decisions_completable(&spec, &partial),
+                "{spec}: erasing position {i} broke completability"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_cell_encoding_round_trips(
+        data in any::<u64>(),
+        seq in any::<u64>(),
+        view in proptest::collection::vec(proptest::option::of(any::<u64>()), 0..6),
+    ) {
+        use gsb_memory::SnapshotCell;
+        let cell = SnapshotCell { data, seq, view };
+        prop_assert_eq!(SnapshotCell::decode(&cell.encode()), Some(cell));
+    }
+}

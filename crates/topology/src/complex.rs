@@ -1,0 +1,244 @@
+//! Chromatic simplicial complexes in facet representation.
+//!
+//! The protocol complexes of wait-free computability theory are *chromatic*
+//! (pure, properly colored) simplicial complexes: every facet has exactly
+//! one vertex per process. This module provides the shared container used
+//! by the subdivision builder and the solvability checker, plus the
+//! structural checks Theorem 11's proof leans on (pseudomanifoldness and
+//! facet connectivity).
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::views::View;
+
+/// Index of a vertex within a [`ChromaticComplex`].
+pub type VertexId = usize;
+
+/// A vertex: a process (color) together with its local view.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Vertex {
+    /// The process identity (color), in `[1..n]`.
+    pub color: u32,
+    /// The process's local state.
+    pub view: View,
+}
+
+/// A pure, properly colored simplicial complex given by its facets.
+///
+/// Facets are stored as sorted vertex-id vectors of uniform dimension
+/// `n − 1` (one vertex per color).
+#[derive(Debug, Clone)]
+pub struct ChromaticComplex {
+    n: usize,
+    vertices: Vec<Vertex>,
+    index: HashMap<Vertex, VertexId>,
+    facets: Vec<Vec<VertexId>>,
+}
+
+impl ChromaticComplex {
+    /// Creates an empty complex over `n` colors.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        ChromaticComplex {
+            n,
+            vertices: Vec::new(),
+            index: HashMap::new(),
+            facets: Vec::new(),
+        }
+    }
+
+    /// Number of colors (processes).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Interns a vertex, returning its id (existing id if already present).
+    pub fn intern(&mut self, vertex: Vertex) -> VertexId {
+        if let Some(&id) = self.index.get(&vertex) {
+            return id;
+        }
+        let id = self.vertices.len();
+        self.vertices.push(vertex.clone());
+        self.index.insert(vertex, id);
+        id
+    }
+
+    /// Adds a facet from one vertex per color.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the facet does not have exactly one vertex of each color
+    /// `1..n` (chromatic purity).
+    pub fn add_facet(&mut self, vertex_ids: Vec<VertexId>) {
+        assert_eq!(vertex_ids.len(), self.n, "facet must have n vertices");
+        let colors: BTreeSet<u32> = vertex_ids
+            .iter()
+            .map(|&v| self.vertices[v].color)
+            .collect();
+        assert_eq!(colors.len(), self.n, "facet colors must be distinct");
+        let mut sorted = vertex_ids;
+        sorted.sort_unstable();
+        self.facets.push(sorted);
+    }
+
+    /// Deduplicates facets (subdivision builders may generate repeats).
+    pub fn dedup_facets(&mut self) {
+        self.facets.sort();
+        self.facets.dedup();
+    }
+
+    /// All vertices.
+    #[must_use]
+    pub fn vertices(&self) -> &[Vertex] {
+        &self.vertices
+    }
+
+    /// All facets (sorted vertex-id vectors).
+    #[must_use]
+    pub fn facets(&self) -> &[Vec<VertexId>] {
+        &self.facets
+    }
+
+    /// Number of facets.
+    #[must_use]
+    pub fn facet_count(&self) -> usize {
+        self.facets.len()
+    }
+
+    /// Whether every `(n−2)`-face lies in at most two facets, i.e. the
+    /// complex is a pseudomanifold (with boundary). This is the structural
+    /// property Theorem 11's proof invokes for IS protocol complexes.
+    #[must_use]
+    pub fn is_pseudomanifold(&self) -> bool {
+        self.ridge_incidence().values().all(|&c| c <= 2)
+    }
+
+    /// The number of boundary ridges (`(n−2)`-faces in exactly one facet).
+    #[must_use]
+    pub fn boundary_ridge_count(&self) -> usize {
+        self.ridge_incidence().values().filter(|&&c| c == 1).count()
+    }
+
+    /// Whether the facet graph (facets adjacent when sharing a ridge) is
+    /// connected — the second ingredient of Theorem 11's argument.
+    #[must_use]
+    pub fn is_strongly_connected(&self) -> bool {
+        if self.facets.len() <= 1 {
+            return true;
+        }
+        // Build ridge → facet incidence, then BFS over facets.
+        let mut ridge_to_facets: HashMap<Vec<VertexId>, Vec<usize>> = HashMap::new();
+        for (f, facet) in self.facets.iter().enumerate() {
+            for skip in 0..facet.len() {
+                let mut ridge = facet.clone();
+                ridge.remove(skip);
+                ridge_to_facets.entry(ridge).or_default().push(f);
+            }
+        }
+        let mut seen = vec![false; self.facets.len()];
+        let mut queue = vec![0usize];
+        seen[0] = true;
+        let mut reached = 1usize;
+        while let Some(f) = queue.pop() {
+            let facet = &self.facets[f];
+            for skip in 0..facet.len() {
+                let mut ridge = facet.clone();
+                ridge.remove(skip);
+                if let Some(neighbours) = ridge_to_facets.get(&ridge) {
+                    for &g in neighbours {
+                        if !seen[g] {
+                            seen[g] = true;
+                            reached += 1;
+                            queue.push(g);
+                        }
+                    }
+                }
+            }
+        }
+        reached == self.facets.len()
+    }
+
+    fn ridge_incidence(&self) -> HashMap<Vec<VertexId>, usize> {
+        let mut counts: HashMap<Vec<VertexId>, usize> = HashMap::new();
+        for facet in &self.facets {
+            for skip in 0..facet.len() {
+                let mut ridge = facet.clone();
+                ridge.remove(skip);
+                *counts.entry(ridge).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vertex(color: u32, seen: &[u32]) -> Vertex {
+        Vertex {
+            color,
+            view: View::one_round(color, seen),
+        }
+    }
+
+    #[test]
+    fn intern_deduplicates() {
+        let mut c = ChromaticComplex::new(2);
+        let a = c.intern(vertex(1, &[1]));
+        let b = c.intern(vertex(1, &[1]));
+        let d = c.intern(vertex(1, &[1, 2]));
+        assert_eq!(a, b);
+        assert_ne!(a, d);
+        assert_eq!(c.vertices().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "colors must be distinct")]
+    fn facets_must_be_properly_colored() {
+        let mut c = ChromaticComplex::new(2);
+        let a = c.intern(vertex(1, &[1]));
+        let b = c.intern(vertex(1, &[1, 2]));
+        c.add_facet(vec![a, b]);
+    }
+
+    #[test]
+    fn a_path_of_two_triangles_is_a_pseudomanifold() {
+        let mut c = ChromaticComplex::new(2);
+        // 1-dimensional "triangles" (edges) sharing a vertex: three
+        // vertices a—b—c where edges {a,b}, {b,c}.
+        let a = c.intern(vertex(1, &[1]));
+        let b = c.intern(vertex(2, &[1, 2]));
+        let d = c.intern(vertex(1, &[1, 2]));
+        c.add_facet(vec![a, b]);
+        c.add_facet(vec![b, d]);
+        assert!(c.is_pseudomanifold());
+        assert!(c.is_strongly_connected());
+        // Boundary: vertices a and d each in exactly one edge.
+        assert_eq!(c.boundary_ridge_count(), 2);
+    }
+
+    #[test]
+    fn disconnected_facets_detected() {
+        let mut c = ChromaticComplex::new(2);
+        let a = c.intern(vertex(1, &[1]));
+        let b = c.intern(vertex(2, &[2]));
+        let d = c.intern(vertex(1, &[1, 2]));
+        let e = c.intern(vertex(2, &[1, 2]));
+        c.add_facet(vec![a, b]);
+        c.add_facet(vec![d, e]);
+        assert!(!c.is_strongly_connected());
+    }
+
+    #[test]
+    fn dedup_facets_removes_repeats() {
+        let mut c = ChromaticComplex::new(2);
+        let a = c.intern(vertex(1, &[1]));
+        let b = c.intern(vertex(2, &[1, 2]));
+        c.add_facet(vec![a, b]);
+        c.add_facet(vec![b, a]);
+        c.dedup_facets();
+        assert_eq!(c.facet_count(), 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! # gsb-topology — combinatorial topology for wait-free computability
+//!
+//! The machinery behind the paper's impossibility results (Theorem 11 and
+//! the renaming lower bounds it cites), made executable for small `n`:
+//!
+//! * [`views`] — IIS process views and their order-type canonicalization
+//!   (the comparison-based restriction of Section 2.2, mechanized).
+//! * [`complex`] — chromatic simplicial complexes, pseudomanifold and
+//!   strong-connectivity checks (the structural facts Theorem 11 uses).
+//! * [`protocol`] — the standard chromatic subdivision `χ^r(Δ^{n−1})`:
+//!   protocol complexes of `r`-round immediate-snapshot full-information
+//!   algorithms.
+//! * [`solvability`] — exhaustive search for *symmetric* simplicial
+//!   decision maps: decides whether a GSB task is solvable by an
+//!   `r`-round comparison-based IIS protocol, reproducing election's and
+//!   WSB's impossibilities and renaming's small-`n` boundaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod complex;
+pub mod protocol;
+pub mod solvability;
+pub mod theorem11;
+pub mod views;
+
+pub use complex::{ChromaticComplex, Vertex, VertexId};
+pub use protocol::{ordered_bell, protocol_complex};
+pub use solvability::{solvable_in_rounds, SearchResult, SymmetricSearch};
+pub use theorem11::{check_election_certificate, election_impossibility_certificate, CertificateFailure};
+pub use views::View;

@@ -1,0 +1,189 @@
+//! Iterated immediate-snapshot protocol complexes (standard chromatic
+//! subdivisions).
+//!
+//! One round of immediate snapshot among processes `1..n` corresponds to
+//! an *ordered partition* `(B_1, …, B_k)` of `{1..n}`: a process in block
+//! `B_j` sees exactly `B_1 ∪ … ∪ B_j`. The complex whose facets are these
+//! executions is the standard chromatic subdivision `χ(Δ^{n−1})`;
+//! iterating `r` times gives `χ^r(Δ^{n−1})`, the protocol complex of the
+//! `r`-round full-information IIS algorithm. A one-shot comparison-based
+//! task is solvable by such an algorithm iff a *symmetric* simplicial
+//! decision map exists on some `χ^r` (see
+//! [`solvability`](crate::solvability)).
+
+use crate::complex::{ChromaticComplex, Vertex};
+use crate::views::{ordered_partitions, View};
+
+/// Builds the `r`-round IIS protocol complex `χ^r(Δ^{n−1})` for processes
+/// with identities `1..n`.
+///
+/// Facet counts grow as (ordered Bell number of `n`)^`r` before
+/// deduplication — keep `n ≤ 4`, `r ≤ 2` for interactive use.
+///
+/// # Panics
+///
+/// Panics if `n = 0`.
+///
+/// # Examples
+///
+/// ```
+/// use gsb_topology::protocol_complex;
+///
+/// let one_round = protocol_complex(3, 1);
+/// assert_eq!(one_round.facet_count(), 13); // ordered partitions of 3
+/// ```
+#[must_use]
+pub fn protocol_complex(n: usize, rounds: usize) -> ChromaticComplex {
+    assert!(n > 0, "need at least one process");
+    let ids: Vec<u32> = (1..=n as u32).collect();
+    // State: per-process current view, starting with the initial states.
+    let initial: Vec<View> = ids.iter().map(|&id| View::Initial { id }).collect();
+    let mut complex = ChromaticComplex::new(n);
+    let partitions = ordered_partitions(&ids);
+    build_rec(&ids, &initial, rounds, &partitions, &mut complex);
+    complex.dedup_facets();
+    complex
+}
+
+fn build_rec(
+    ids: &[u32],
+    views: &[View],
+    rounds_left: usize,
+    partitions: &[Vec<Vec<u32>>],
+    complex: &mut ChromaticComplex,
+) {
+    if rounds_left == 0 {
+        let facet: Vec<_> = ids
+            .iter()
+            .zip(views)
+            .map(|(&id, view)| {
+                complex.intern(Vertex {
+                    color: id,
+                    view: view.clone(),
+                })
+            })
+            .collect();
+        complex.add_facet(facet);
+        return;
+    }
+    for partition in partitions {
+        // Apply one IS round: a process in block j sees blocks 1..=j.
+        let mut next_views = views.to_vec();
+        let mut seen_so_far: Vec<(u32, View)> = Vec::new();
+        for block in partition {
+            for &q in block {
+                let qi = ids.iter().position(|&x| x == q).expect("id in range");
+                seen_so_far.push((q, views[qi].clone()));
+            }
+            for &p in block {
+                let pi = ids.iter().position(|&x| x == p).expect("id in range");
+                let mut seen = seen_so_far.clone();
+                seen.sort();
+                next_views[pi] = View::Round { id: p, seen };
+            }
+        }
+        build_rec(ids, &next_views, rounds_left - 1, partitions, complex);
+    }
+}
+
+/// Facet counts of `χ^r(Δ^{n−1})` known in closed form for one round: the
+/// ordered Bell numbers. Exposed for tests and benches.
+#[must_use]
+pub fn ordered_bell(n: usize) -> usize {
+    // a(n) = Σ_{k=1..n} C(n,k)·a(n−k), a(0) = 1.
+    let mut a = vec![0usize; n + 1];
+    a[0] = 1;
+    for i in 1..=n {
+        let mut total = 0usize;
+        let mut binom = 1usize; // C(i, k)
+        for k in 1..=i {
+            binom = binom * (i - k + 1) / k;
+            total += binom * a[i - k];
+        }
+        a[i] = total;
+    }
+    a[n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_bell_numbers() {
+        assert_eq!(ordered_bell(0), 1);
+        assert_eq!(ordered_bell(1), 1);
+        assert_eq!(ordered_bell(2), 3);
+        assert_eq!(ordered_bell(3), 13);
+        assert_eq!(ordered_bell(4), 75);
+        assert_eq!(ordered_bell(5), 541);
+    }
+
+    #[test]
+    fn one_round_facet_counts_match_ordered_bell() {
+        for n in 1..=4 {
+            let complex = protocol_complex(n, 1);
+            assert_eq!(complex.facet_count(), ordered_bell(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn two_round_facet_count_n2() {
+        // χ²(Δ¹): the edge subdivided twice: 3² = 9 facets.
+        let complex = protocol_complex(2, 2);
+        assert_eq!(complex.facet_count(), 9);
+    }
+
+    #[test]
+    fn zero_rounds_is_a_single_simplex() {
+        let complex = protocol_complex(3, 0);
+        assert_eq!(complex.facet_count(), 1);
+        assert_eq!(complex.vertices().len(), 3);
+    }
+
+    #[test]
+    fn subdivisions_are_pseudomanifolds() {
+        for (n, r) in [(2usize, 1usize), (2, 2), (2, 3), (3, 1), (3, 2), (4, 1)] {
+            let complex = protocol_complex(n, r);
+            assert!(complex.is_pseudomanifold(), "χ^{r}(Δ^{}) n={n}", n - 1);
+            assert!(complex.is_strongly_connected(), "χ^{r} n={n}");
+        }
+    }
+
+    #[test]
+    fn boundary_of_subdivided_edge() {
+        // χ(Δ¹) is a path: exactly 2 boundary vertices (the corners).
+        let complex = protocol_complex(2, 1);
+        assert_eq!(complex.boundary_ridge_count(), 2);
+        // χ(Δ²)'s boundary is the subdivided triangle boundary: each of
+        // the 3 edges of Δ² is subdivided into a path of 3 edges → 9
+        // boundary ridges.
+        let complex = protocol_complex(3, 1);
+        assert_eq!(complex.boundary_ridge_count(), 9);
+    }
+
+    #[test]
+    fn vertex_views_have_expected_depth() {
+        let complex = protocol_complex(3, 2);
+        for v in complex.vertices() {
+            assert_eq!(v.view.depth(), 2);
+            assert_eq!(v.view.id(), v.color);
+        }
+    }
+
+    #[test]
+    fn solo_corner_exists_per_color() {
+        // In χ(Δ²) each color has a corner vertex seeing only itself.
+        let complex = protocol_complex(3, 1);
+        for color in 1..=3u32 {
+            let solo = View::one_round(color, &[color]);
+            assert!(
+                complex
+                    .vertices()
+                    .iter()
+                    .any(|v| v.color == color && v.view == solo),
+                "missing solo corner for color {color}"
+            );
+        }
+    }
+}

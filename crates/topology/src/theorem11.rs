@@ -1,0 +1,246 @@
+//! A mechanized **Theorem 11 certificate**: election is not solvable by
+//! any symmetric decision map on `χ^r(Δ^{n−1})` — verified by checking
+//! the *structure* of the complex rather than searching over maps.
+//!
+//! The paper's proof goes: (i) the protocol complex is a connected
+//! pseudomanifold; (ii) in any map solving election, two facets sharing a
+//! ridge give the *same* decision to their two private vertices (both
+//! privates have the ridge's missing color; if the shared ridge already
+//! contains the unique 1, both privates decide 2, otherwise both decide
+//! 1); (iii) hence each process decides one fixed value in the whole
+//! complex; (iv) solo corners are order-isomorphic, so a comparison-based
+//! map gives all processes the same fixed value — contradicting "exactly
+//! one process decides 1".
+//!
+//! [`election_impossibility_certificate`] checks the two structural facts
+//! that make (ii)–(iv) go through:
+//!
+//! * **per-color linkage**: for every color, the graph on that color's
+//!   vertices linking the private vertices of ridge-adjacent facets is
+//!   connected (this yields step (iii)); and
+//! * **corner symmetry**: the `n` solo corners share one view signature
+//!   (this yields step (iv)).
+//!
+//! Unlike the search in [`solvability`](crate::solvability) — which is
+//! exponential and stalls on index-lemma-style instances — the
+//! certificate is polynomial in the complex size, so it verifies
+//! Theorem 11 for every `(n, r)` whose complex fits in memory (e.g.
+//! `n = 4, r = 1` with 75 facets, or `n = 5, r = 1` with 541).
+
+use std::collections::HashMap;
+
+use crate::complex::{ChromaticComplex, VertexId};
+use crate::protocol::protocol_complex;
+use crate::views::View;
+
+/// Why a certificate attempt failed (the structure did not support the
+/// argument — *not* evidence that election is solvable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CertificateFailure {
+    /// Some ridge is contained in more than two facets (not a
+    /// pseudomanifold), so "the two private vertices" is ill-defined.
+    NotPseudomanifold,
+    /// The per-color linkage graph is disconnected for this color, so
+    /// step (iii) (one fixed decision per process) does not follow.
+    ColorLinkageDisconnected {
+        /// The color whose vertices do not all link up.
+        color: u32,
+    },
+    /// The solo corners are not all order-isomorphic, so step (iv) does
+    /// not follow.
+    CornersNotSymmetric,
+    /// A color has no solo corner (malformed complex).
+    MissingCorner {
+        /// The color lacking a solo corner.
+        color: u32,
+    },
+}
+
+impl std::fmt::Display for CertificateFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertificateFailure::NotPseudomanifold => {
+                write!(f, "complex is not a pseudomanifold")
+            }
+            CertificateFailure::ColorLinkageDisconnected { color } => {
+                write!(f, "per-color linkage disconnected for color {color}")
+            }
+            CertificateFailure::CornersNotSymmetric => {
+                write!(f, "solo corners are not order-isomorphic")
+            }
+            CertificateFailure::MissingCorner { color } => {
+                write!(f, "no solo corner for color {color}")
+            }
+        }
+    }
+}
+
+/// Checks the Theorem 11 certificate on an explicit complex.
+///
+/// On success, election (one process decides 1, the rest 2) admits **no**
+/// symmetric decision map on this complex — for `χ^r(Δ^{n−1})` this is
+/// exactly "no `r`-round comparison-based IIS protocol elects a leader".
+///
+/// # Errors
+///
+/// Returns the first [`CertificateFailure`] encountered; see its variants
+/// for what each means.
+pub fn check_election_certificate(
+    complex: &ChromaticComplex,
+) -> Result<(), CertificateFailure> {
+    let n = complex.n();
+    // Build ridge → (facet, private vertex) incidence.
+    let mut ridge_privates: HashMap<Vec<VertexId>, Vec<VertexId>> = HashMap::new();
+    for facet in complex.facets() {
+        for skip in 0..facet.len() {
+            let mut ridge = facet.clone();
+            let private = ridge.remove(skip);
+            ridge_privates.entry(ridge).or_default().push(private);
+        }
+    }
+    // Pseudomanifold: at most two facets per ridge.
+    if ridge_privates.values().any(|p| p.len() > 2) {
+        return Err(CertificateFailure::NotPseudomanifold);
+    }
+    // Per-color union-find over vertices, linked through interior ridges.
+    let vertex_count = complex.vertices().len();
+    let mut parent: Vec<usize> = (0..vertex_count).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    for privates in ridge_privates.values() {
+        if let [a, b] = privates.as_slice() {
+            debug_assert_eq!(
+                complex.vertices()[*a].color,
+                complex.vertices()[*b].color,
+                "private vertices carry the ridge's missing color"
+            );
+            let (ra, rb) = (find(&mut parent, *a), find(&mut parent, *b));
+            parent[ra] = rb;
+        }
+    }
+    for color in 1..=n as u32 {
+        let members: Vec<usize> = (0..vertex_count)
+            .filter(|&v| complex.vertices()[v].color == color)
+            .collect();
+        let Some(&first) = members.first() else {
+            return Err(CertificateFailure::MissingCorner { color });
+        };
+        let root = find(&mut parent, first);
+        for &v in &members[1..] {
+            if find(&mut parent, v) != root {
+                return Err(CertificateFailure::ColorLinkageDisconnected { color });
+            }
+        }
+    }
+    // Corner symmetry: one signature shared by all solo corners. A solo
+    // corner is the vertex whose view mentions only its own identity.
+    let mut corner_signatures: Vec<View> = Vec::new();
+    for color in 1..=n as u32 {
+        let corner = complex
+            .vertices()
+            .iter()
+            .find(|v| v.color == color && v.view.id_support().len() == 1);
+        match corner {
+            Some(v) => corner_signatures.push(v.view.signature()),
+            None => return Err(CertificateFailure::MissingCorner { color }),
+        }
+    }
+    if corner_signatures.windows(2).any(|w| w[0] != w[1]) {
+        return Err(CertificateFailure::CornersNotSymmetric);
+    }
+    Ok(())
+}
+
+/// Convenience: certify Theorem 11 for the `r`-round IIS protocol complex
+/// on `n ≥ 2` processes.
+///
+/// # Errors
+///
+/// Propagates [`CertificateFailure`] from
+/// [`check_election_certificate`]; complexes built by
+/// [`protocol_complex`] are expected to always pass.
+pub fn election_impossibility_certificate(
+    n: usize,
+    rounds: usize,
+) -> Result<(), CertificateFailure> {
+    let complex = protocol_complex(n, rounds);
+    check_election_certificate(&complex)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Vertex;
+
+    #[test]
+    fn certificate_holds_for_small_complexes() {
+        // Beyond the search's reach: n = 4 (75 facets) and n = 5 (541)
+        // certify in milliseconds.
+        for (n, r) in [
+            (2usize, 1usize),
+            (2, 2),
+            (2, 3),
+            (3, 1),
+            (3, 2),
+            (4, 1),
+            (5, 1),
+        ] {
+            election_impossibility_certificate(n, r)
+                .unwrap_or_else(|e| panic!("n={n} r={r}: {e}"));
+        }
+    }
+
+    #[test]
+    fn certificate_agrees_with_the_search() {
+        // Where the DPLL search runs, both methods must agree that
+        // election is unsolvable.
+        use crate::solvability::solvable_in_rounds;
+        for (n, r) in [(2usize, 1usize), (2, 2), (3, 1), (3, 2)] {
+            assert!(election_impossibility_certificate(n, r).is_ok());
+            let spec = gsb_core::GsbSpec::election(n).unwrap();
+            assert!(!solvable_in_rounds(&spec, r).is_solvable(), "n={n} r={r}");
+        }
+    }
+
+    #[test]
+    fn certificate_rejects_a_disconnected_complex() {
+        // Two disjoint edges (n = 2): color linkage cannot connect.
+        let mut c = ChromaticComplex::new(2);
+        let a = c.intern(Vertex {
+            color: 1,
+            view: View::one_round(1, &[1]),
+        });
+        let b = c.intern(Vertex {
+            color: 2,
+            view: View::one_round(2, &[2]),
+        });
+        let d = c.intern(Vertex {
+            color: 1,
+            view: View::one_round(1, &[1, 2]),
+        });
+        let e = c.intern(Vertex {
+            color: 2,
+            view: View::one_round(2, &[1, 2]),
+        });
+        c.add_facet(vec![a, b]);
+        c.add_facet(vec![d, e]);
+        let err = check_election_certificate(&c).unwrap_err();
+        assert!(matches!(
+            err,
+            CertificateFailure::ColorLinkageDisconnected { .. }
+        ));
+    }
+
+    #[test]
+    fn certificate_failure_messages_are_informative() {
+        let err = CertificateFailure::ColorLinkageDisconnected { color: 2 };
+        assert!(err.to_string().contains("color 2"));
+        assert!(!CertificateFailure::NotPseudomanifold.to_string().is_empty());
+    }
+}

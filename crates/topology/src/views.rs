@@ -1,0 +1,267 @@
+//! Process views in iterated immediate snapshot (IIS) executions, and
+//! their order-type canonicalization.
+//!
+//! A comparison-based algorithm cannot distinguish two local states whose
+//! identity content is *order-isomorphic* (Section 2.2); the decision map
+//! of any such algorithm is therefore constant on order-isomorphism
+//! classes of views. [`View::signature`] computes a canonical form —
+//! identities relabelled `1..k` preserving order, recursively — so that
+//! two views get equal signatures iff they are order-isomorphic.
+
+use std::collections::BTreeSet;
+
+/// The local state (view) of a process after some IIS rounds.
+///
+/// Identities are abstract positive integers; only their relative order is
+/// meaningful (the solvability checker fixes them to `1..n`, justified by
+/// Theorem 2).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum View {
+    /// Initial state: the process knows only its own identity.
+    Initial {
+        /// The process's identity.
+        id: u32,
+    },
+    /// State after one more IS round: the process saw the previous-round
+    /// views of a set of processes (always including itself).
+    Round {
+        /// The observing process's identity.
+        id: u32,
+        /// `(identity, previous view)` for every process seen, sorted by
+        /// identity.
+        seen: Vec<(u32, View)>,
+    },
+}
+
+impl View {
+    /// The identity of the process holding this view.
+    #[must_use]
+    pub fn id(&self) -> u32 {
+        match self {
+            View::Initial { id } | View::Round { id, .. } => *id,
+        }
+    }
+
+    /// The set of identities occurring anywhere in the view.
+    #[must_use]
+    pub fn id_support(&self) -> BTreeSet<u32> {
+        let mut out = BTreeSet::new();
+        self.collect_ids(&mut out);
+        out
+    }
+
+    fn collect_ids(&self, out: &mut BTreeSet<u32>) {
+        match self {
+            View::Initial { id } => {
+                out.insert(*id);
+            }
+            View::Round { id, seen } => {
+                out.insert(*id);
+                for (q, view) in seen {
+                    out.insert(*q);
+                    view.collect_ids(out);
+                }
+            }
+        }
+    }
+
+    /// Rewrites every identity through `relabel` (an order-preserving map
+    /// is supplied by [`View::signature`]).
+    fn relabelled(&self, relabel: &dyn Fn(u32) -> u32) -> View {
+        match self {
+            View::Initial { id } => View::Initial { id: relabel(*id) },
+            View::Round { id, seen } => View::Round {
+                id: relabel(*id),
+                seen: seen
+                    .iter()
+                    .map(|(q, v)| (relabel(*q), v.relabelled(relabel)))
+                    .collect(),
+            },
+        }
+    }
+
+    /// The canonical order-type signature: identities relabelled to
+    /// `1..k` by rank within [`View::id_support`]. Two views are
+    /// order-isomorphic — indistinguishable to a comparison-based
+    /// process — iff their signatures are equal.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gsb_topology::View;
+    ///
+    /// // Seeing {2,5} with own id 2 ≅ seeing {1,4} with own id 1…
+    /// let a = View::one_round(2, &[2, 5]);
+    /// let b = View::one_round(1, &[1, 4]);
+    /// assert_eq!(a.signature(), b.signature());
+    /// // …but not ≅ seeing {1,4} with own id 4.
+    /// let c = View::one_round(4, &[1, 4]);
+    /// assert_ne!(a.signature(), c.signature());
+    /// ```
+    #[must_use]
+    pub fn signature(&self) -> View {
+        let support: Vec<u32> = self.id_support().into_iter().collect();
+        let relabel = |id: u32| -> u32 {
+            (support
+                .binary_search(&id)
+                .expect("id is in its own support") as u32)
+                + 1
+        };
+        self.relabelled(&relabel)
+    }
+
+    /// Convenience constructor for a one-round view: process `id` saw the
+    /// initial states of `seen_ids` (must contain `id`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seen_ids` does not contain `id`.
+    #[must_use]
+    pub fn one_round(id: u32, seen_ids: &[u32]) -> View {
+        assert!(seen_ids.contains(&id), "a process always sees itself");
+        let mut seen: Vec<(u32, View)> = seen_ids
+            .iter()
+            .map(|&q| (q, View::Initial { id: q }))
+            .collect();
+        seen.sort();
+        View::Round { id, seen }
+    }
+
+    /// Number of rounds this view has been through.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        match self {
+            View::Initial { .. } => 0,
+            View::Round { seen, .. } => {
+                1 + seen.iter().map(|(_, v)| v.depth()).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+/// All *ordered partitions* (sequences of disjoint non-empty blocks
+/// covering `items`) — the combinatorial skeleton of one-round IS
+/// executions: processes in earlier blocks are seen by later blocks.
+///
+/// The count is the ordered Bell number: 1, 1, 3, 13, 75, 541, … for
+/// `|items|` = 0, 1, 2, 3, 4, 5.
+///
+/// # Examples
+///
+/// ```
+/// use gsb_topology::views::ordered_partitions;
+///
+/// assert_eq!(ordered_partitions(&[1, 2]).len(), 3);
+/// assert_eq!(ordered_partitions(&[1, 2, 3]).len(), 13);
+/// ```
+#[must_use]
+pub fn ordered_partitions(items: &[u32]) -> Vec<Vec<Vec<u32>>> {
+    if items.is_empty() {
+        return vec![vec![]];
+    }
+    let mut out = Vec::new();
+    // Choose each non-empty subset as the first block (bitmask), recurse.
+    let n = items.len();
+    for mask in 1u32..(1 << n) {
+        let mut block = Vec::new();
+        let mut rest = Vec::new();
+        for (i, &item) in items.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                block.push(item);
+            } else {
+                rest.push(item);
+            }
+        }
+        for mut tail in ordered_partitions(&rest) {
+            let mut partition = vec![block.clone()];
+            partition.append(&mut tail);
+            out.push(partition);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_partition_counts_are_fubini_numbers() {
+        assert_eq!(ordered_partitions(&[]).len(), 1);
+        assert_eq!(ordered_partitions(&[1]).len(), 1);
+        assert_eq!(ordered_partitions(&[1, 2]).len(), 3);
+        assert_eq!(ordered_partitions(&[1, 2, 3]).len(), 13);
+        assert_eq!(ordered_partitions(&[1, 2, 3, 4]).len(), 75);
+    }
+
+    #[test]
+    fn ordered_partitions_cover_and_are_disjoint() {
+        for partition in ordered_partitions(&[1, 2, 3]) {
+            let mut all: Vec<u32> = partition.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, vec![1, 2, 3]);
+            assert!(partition.iter().all(|b| !b.is_empty()));
+        }
+    }
+
+    #[test]
+    fn signatures_identify_order_isomorphic_views() {
+        // Solo views are all isomorphic regardless of id.
+        let solo_a = View::one_round(3, &[3]);
+        let solo_b = View::one_round(7, &[7]);
+        assert_eq!(solo_a.signature(), solo_b.signature());
+
+        // Own-rank-within-seen matters.
+        let low = View::one_round(1, &[1, 5]);
+        let high = View::one_round(5, &[1, 5]);
+        assert_ne!(low.signature(), high.signature());
+
+        // Size matters.
+        let pair = View::one_round(1, &[1, 2]);
+        let triple = View::one_round(1, &[1, 2, 3]);
+        assert_ne!(pair.signature(), triple.signature());
+    }
+
+    #[test]
+    fn signature_is_idempotent() {
+        let v = View::one_round(4, &[2, 4, 9]);
+        assert_eq!(v.signature(), v.signature().signature());
+    }
+
+    #[test]
+    fn nested_views_canonicalize_recursively() {
+        // p3 saw p1's solo view in round 2; relabelling must reach inside.
+        let inner_a = View::one_round(1, &[1]);
+        let outer_a = View::Round {
+            id: 3,
+            seen: vec![(1, inner_a.clone()), (3, View::one_round(3, &[1, 3]))],
+        };
+        let inner_b = View::one_round(2, &[2]);
+        let outer_b = View::Round {
+            id: 9,
+            seen: vec![(2, inner_b.clone()), (9, View::one_round(9, &[2, 9]))],
+        };
+        assert_eq!(outer_a.signature(), outer_b.signature());
+    }
+
+    #[test]
+    fn depth_counts_rounds() {
+        assert_eq!(View::Initial { id: 1 }.depth(), 0);
+        assert_eq!(View::one_round(1, &[1, 2]).depth(), 1);
+        let nested = View::Round {
+            id: 1,
+            seen: vec![(1, View::one_round(1, &[1]))],
+        };
+        assert_eq!(nested.depth(), 2);
+    }
+
+    #[test]
+    fn id_support_collects_nested_ids() {
+        let nested = View::Round {
+            id: 5,
+            seen: vec![(2, View::one_round(2, &[2, 7])), (5, View::Initial { id: 5 })],
+        };
+        let support: Vec<u32> = nested.id_support().into_iter().collect();
+        assert_eq!(support, vec![2, 5, 7]);
+    }
+}

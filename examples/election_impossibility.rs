@@ -1,0 +1,87 @@
+//! Why no wait-free algorithm elects a leader (Theorem 11), shown three
+//! ways.
+//!
+//! ```text
+//! cargo run --example election_impossibility
+//! ```
+//!
+//! 1. **Search**: exhaustive symmetric decision-map search on the
+//!    iterated immediate-snapshot protocol complex finds no map.
+//! 2. **Certificate**: the paper's actual proof — ridge-linked private
+//!    vertices must decide alike, so each process's decision is global,
+//!    and solo corners are symmetric — verified structurally (scales to
+//!    n = 5 where search cannot go).
+//! 3. **Contrast**: with a test&set object (the *adaptive* cousin of
+//!    election), leadership is easy — the gap between adaptive and
+//!    non-adaptive symmetry breaking that motivates the GSB family.
+
+use gsb_universe::algorithms::harness::{run_synchronous, AlgorithmUnderTest};
+use gsb_universe::algorithms::ElectionFromTestAndSet;
+use gsb_universe::core::{GsbSpec, Identity};
+use gsb_universe::memory::{Oracle, ProtocolFactory, TestAndSetOracle};
+use gsb_universe::topology::{
+    election_impossibility_certificate, protocol_complex, solvable_in_rounds,
+};
+
+fn main() {
+    // ── 1. Search ───────────────────────────────────────────────────────
+    println!("Search for a symmetric decision map (election, small n):");
+    for (n, max_r) in [(2usize, 3usize), (3, 2)] {
+        let spec = GsbSpec::election(n).expect("n ≥ 2");
+        for r in 0..=max_r {
+            let verdict = if solvable_in_rounds(&spec, r).is_solvable() {
+                "SAT (?!)"
+            } else {
+                "no map"
+            };
+            println!("  n = {n}, {r} IIS round(s): {verdict}");
+        }
+    }
+
+    // ── 2. Certificate ──────────────────────────────────────────────────
+    println!("\nTheorem 11 certificate (structure of χ^r(Δ^{{n−1}})):");
+    for (n, r) in [(2usize, 2usize), (3, 1), (3, 2), (4, 1), (5, 1)] {
+        let complex = protocol_complex(n, r);
+        match election_impossibility_certificate(n, r) {
+            Ok(()) => println!(
+                "  n = {n}, r = {r}: certified impossible \
+                 ({} facets, pseudomanifold, per-color linkage connected, \
+                 corners symmetric)",
+                complex.facet_count()
+            ),
+            Err(e) => println!("  n = {n}, r = {r}: certificate failed — {e}"),
+        }
+    }
+    println!(
+        "  (the proof: ridge-adjacent facets share all but one vertex, so\n\
+         \u{20}  their private vertices — same color — must decide alike in any\n\
+         \u{20}  election map; linkage-connectivity makes each process's decision\n\
+         \u{20}  global; corner symmetry then forces ALL processes to the same\n\
+         \u{20}  value — contradicting 'exactly one leader'.)"
+    );
+
+    // ── 3. The adaptive contrast ────────────────────────────────────────
+    println!("\nWith a test&set object (adaptive), election is immediate:");
+    let n = 5;
+    let factory: Box<ProtocolFactory<'static>> =
+        Box::new(|_pid, _id, _n| Box::new(ElectionFromTestAndSet::new()));
+    let oracles = || vec![Box::new(TestAndSetOracle::new()) as Box<dyn Oracle>];
+    let algo = AlgorithmUnderTest {
+        spec: GsbSpec::election(n).expect("n ≥ 2"),
+        factory: &factory,
+        oracles: &oracles,
+    };
+    let ids: Vec<Identity> = (1..=n as u32)
+        .map(|v| Identity::new(v).expect("non-zero"))
+        .collect();
+    let outcome = run_synchronous(&algo, &ids).expect("run succeeds");
+    println!(
+        "  decisions: {} (exactly one 1)",
+        outcome.output_vector().expect("all decided")
+    );
+    println!(
+        "  — test&set guarantees a winner among *participants* (adaptive);\n\
+         \u{20} election GSB fixes the output spectrum for all n processes\n\
+         \u{20} statically (non-adaptive), and that is what registers cannot do."
+    );
+}

@@ -1,0 +1,89 @@
+//! Quickstart: the GSB task family in five minutes.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Walks through: defining tasks, synonyms and kernel sets, canonical
+//! representatives, solvability classification, and running one actual
+//! wait-free algorithm on the simulator.
+
+use gsb_universe::algorithms::harness::{run_synchronous, AlgorithmUnderTest};
+use gsb_universe::algorithms::SlotRenamingProtocol;
+use gsb_universe::core::{Identity, KernelTable, SymmetricGsb};
+use gsb_universe::memory::{GsbOracle, Oracle, OraclePolicy, ProtocolFactory};
+
+fn main() {
+    // ── 1. Tasks ────────────────────────────────────────────────────────
+    // ⟨n, m, ℓ, u⟩-GSB: n processes decide values in 1..=m, each value
+    // decided between ℓ and u times.
+    let wsb = SymmetricGsb::wsb(6).expect("valid parameters");
+    let two_slot = SymmetricGsb::slot(6, 2).expect("valid parameters");
+    println!("WSB           = {wsb}");
+    println!("2-slot        = {two_slot}");
+
+    // ── 2. Synonyms & kernel sets ───────────────────────────────────────
+    // Different 4-tuples can denote the same task; kernel sets decide.
+    println!(
+        "same task?      {} (kernel set {})",
+        wsb.is_synonym_of(&two_slot),
+        wsb.kernel_set()
+    );
+
+    // ── 3. Canonical representatives & the hardest task ────────────────
+    let t = SymmetricGsb::new(6, 3, 1, 6).expect("valid parameters");
+    println!(
+        "canonical form of {t} is {}",
+        t.canonical().expect("feasible")
+    );
+    println!(
+        "hardest ⟨6,3,·,·⟩ task: {}",
+        SymmetricGsb::hardest(6, 3).expect("valid parameters")
+    );
+
+    // ── 4. Solvability ─────────────────────────────────────────────────
+    for task in [
+        SymmetricGsb::loose_renaming(6).unwrap(),
+        SymmetricGsb::wsb(6).unwrap(),
+        SymmetricGsb::wsb(8).unwrap(),
+        SymmetricGsb::perfect_renaming(6).unwrap(),
+    ] {
+        println!("{task}: {}", task.classify());
+    }
+
+    // ── 5. Run an algorithm: Figure 2 (Theorem 12) ─────────────────────
+    // (n+1)-renaming from an (n−1)-slot object, on the simulator.
+    let n = 5;
+    let spec = SymmetricGsb::renaming(n, n + 1).unwrap().to_spec();
+    let factory: Box<ProtocolFactory<'static>> =
+        Box::new(|_pid, id, n| Box::new(SlotRenamingProtocol::new(id, n)));
+    let oracles = move || -> Vec<Box<dyn Oracle>> {
+        let slot_spec = SymmetricGsb::slot(n, n - 1).unwrap().to_spec();
+        vec![Box::new(
+            GsbOracle::new(slot_spec, OraclePolicy::FirstFit).unwrap(),
+        )]
+    };
+    let algo = AlgorithmUnderTest {
+        spec: spec.clone(),
+        factory: &factory,
+        oracles: &oracles,
+    };
+    let ids: Vec<Identity> = [9u32, 2, 7, 4, 1]
+        .iter()
+        .map(|&v| Identity::new(v).unwrap())
+        .collect();
+    let outcome = run_synchronous(&algo, &ids).expect("run succeeds");
+    let output = outcome.output_vector().expect("everyone decided");
+    println!(
+        "\nFigure 2 run (n = {n}): ids {:?} → names {output} (legal: {})",
+        ids.iter().map(|i| i.get()).collect::<Vec<_>>(),
+        spec.is_legal_output(&output)
+    );
+
+    // ── 6. The paper's Table 1, regenerated ────────────────────────────
+    println!("\nTable 1 (n = 6, m = 3):");
+    print!(
+        "{}",
+        KernelTable::new(6, 3).expect("valid parameters").render()
+    );
+}

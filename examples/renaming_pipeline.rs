@@ -1,0 +1,122 @@
+//! The renaming pipeline: from raw identities to tight name spaces.
+//!
+//! ```text
+//! cargo run --example renaming_pipeline
+//! ```
+//!
+//! Demonstrates the chain of renaming results the paper organizes:
+//!
+//! 1. identities from a large space `[1..N]` → `(2n−1)` names with the
+//!    classic wait-free algorithm (Theorems 1–2's tool);
+//! 2. `(n−1)`-slot object → `(n+1)` names (Figure 2 / Theorem 12);
+//! 3. `(2n−2)`-renaming object → weak symmetry breaking (the reduction
+//!    behind Theorem 10);
+//! 4. one immediate-snapshot round → `n(n+1)/2` names (the IS route);
+//! 5. real threads and hardware atomics → `n(n+1)/2` names via a
+//!    splitter grid.
+
+use gsb_universe::algorithms::harness::{run_synchronous, AlgorithmUnderTest};
+use gsb_universe::algorithms::{
+    IsRenamingProtocol, RenamingProtocol, SlotRenamingProtocol, WsbFromRenamingProtocol,
+};
+use gsb_universe::core::{Identity, SymmetricGsb};
+use gsb_universe::memory::threaded::SplitterGrid;
+use gsb_universe::memory::{GsbOracle, Oracle, OraclePolicy, ProtocolFactory};
+
+fn ids(values: &[u32]) -> Vec<Identity> {
+    values.iter().map(|&v| Identity::new(v).unwrap()).collect()
+}
+
+fn main() {
+    let n = 5;
+    let raw = [83u32, 12, 57, 91, 34]; // identities from a large space
+    println!("raw identities: {raw:?}\n");
+
+    // 1. (2n−1)-renaming from registers.
+    let spec = SymmetricGsb::renaming(n, 2 * n - 1).unwrap().to_spec();
+    let factory: Box<ProtocolFactory<'static>> =
+        Box::new(|_pid, id, _n| Box::new(RenamingProtocol::new(id)));
+    let algo = AlgorithmUnderTest {
+        spec: spec.clone(),
+        factory: &factory,
+        oracles: &Vec::new,
+    };
+    let outcome = run_synchronous(&algo, &ids(&raw)).expect("run succeeds");
+    let names = outcome.output_vector().expect("all decided");
+    println!("(2n−1)-renaming  → {names}  (space 1..={})", 2 * n - 1);
+
+    // 2. Figure 2: (n+1)-renaming from an (n−1)-slot object.
+    let spec = SymmetricGsb::renaming(n, n + 1).unwrap().to_spec();
+    let factory: Box<ProtocolFactory<'static>> =
+        Box::new(|_pid, id, n| Box::new(SlotRenamingProtocol::new(id, n)));
+    let oracles = move || -> Vec<Box<dyn Oracle>> {
+        let slot = SymmetricGsb::slot(n, n - 1).unwrap().to_spec();
+        vec![Box::new(GsbOracle::new(slot, OraclePolicy::Seeded(5)).unwrap())]
+    };
+    let algo = AlgorithmUnderTest {
+        spec: spec.clone(),
+        factory: &factory,
+        oracles: &oracles,
+    };
+    let outcome = run_synchronous(&algo, &ids(&raw)).expect("run succeeds");
+    let names = outcome.output_vector().expect("all decided");
+    println!("slot → renaming  → {names}  (space 1..={})", n + 1);
+
+    // 3. WSB from (2n−2)-renaming.
+    let spec = SymmetricGsb::wsb(n).unwrap().to_spec();
+    let factory: Box<ProtocolFactory<'static>> =
+        Box::new(|_pid, _id, n| Box::new(WsbFromRenamingProtocol::new(n).unwrap()));
+    let oracles = move || -> Vec<Box<dyn Oracle>> {
+        let renaming = SymmetricGsb::renaming(n, 2 * n - 2).unwrap().to_spec();
+        vec![Box::new(GsbOracle::new(renaming, OraclePolicy::Seeded(9)).unwrap())]
+    };
+    let algo = AlgorithmUnderTest {
+        spec: spec.clone(),
+        factory: &factory,
+        oracles: &oracles,
+    };
+    let outcome = run_synchronous(&algo, &ids(&raw)).expect("run succeeds");
+    let bits = outcome.output_vector().expect("all decided");
+    println!("renaming → WSB   → {bits}  (not all equal)");
+
+    // 4. IS-based renaming.
+    let spec = SymmetricGsb::renaming(n, IsRenamingProtocol::name_space(n))
+        .unwrap()
+        .to_spec();
+    let factory: Box<ProtocolFactory<'static>> =
+        Box::new(|_pid, id, n| Box::new(IsRenamingProtocol::new(id, n)));
+    let algo = AlgorithmUnderTest {
+        spec: spec.clone(),
+        factory: &factory,
+        oracles: &Vec::new,
+    };
+    let outcome = run_synchronous(&algo, &ids(&raw)).expect("run succeeds");
+    let names = outcome.output_vector().expect("all decided");
+    println!(
+        "IS renaming      → {names}  (space 1..={})",
+        IsRenamingProtocol::name_space(n)
+    );
+
+    // 5. Real threads: splitter-grid renaming on hardware atomics.
+    let grid = SplitterGrid::new(n);
+    let mut thread_names = vec![0usize; n];
+    crossbeam_scope(&grid, &raw, &mut thread_names);
+    println!(
+        "splitter grid    → {thread_names:?}  (space 1..={}, real threads)",
+        grid.name_space()
+    );
+    let mut sorted = thread_names.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), n, "names must be distinct");
+}
+
+fn crossbeam_scope(grid: &SplitterGrid, raw: &[u32], out: &mut [usize]) {
+    std::thread::scope(|scope| {
+        for (slot, &id) in out.iter_mut().zip(raw) {
+            scope.spawn(move || {
+                *slot = grid.rename(u64::from(id));
+            });
+        }
+    });
+}

@@ -1,0 +1,97 @@
+//! The solvability atlas: where every small GSB task sits between
+//! "trivial" and "impossible".
+//!
+//! ```text
+//! cargo run --example solvability_atlas
+//! ```
+//!
+//! Combines the three verdict sources this repository implements:
+//!
+//! * the closed-form classifier (Theorems 9–11, Corollaries 2–5);
+//! * brute-force no-communication map search (cross-check, small n);
+//! * the topological decision-map search (comparison-based IIS rounds).
+
+use gsb_universe::core::{GsbSpec, Solvability, SymmetricGsb};
+use gsb_universe::topology::solvable_in_rounds;
+
+fn main() {
+    println!("── Closed-form classification (n = 6) ──────────────────────");
+    for m in 1..=6usize {
+        for task in gsb_universe::core::order::feasible_family(6, m).unwrap() {
+            let c = task.classify();
+            if task.is_canonical().unwrap_or(false) {
+                println!("  {task}: {c}");
+            }
+        }
+    }
+
+    println!("\n── Cross-check: Theorem 9 vs. brute force (n = 3) ──────────");
+    let mut agreements = 0usize;
+    let mut total = 0usize;
+    for m in 1..=5usize {
+        for l in 0..=3usize {
+            for u in l..=3usize {
+                let Ok(t) = SymmetricGsb::new(3, m, l, u) else { continue };
+                let spec = t.to_spec();
+                let closed = t.no_communication_solvable();
+                let brute = spec.is_feasible() && spec.no_communication_brute_force();
+                assert_eq!(closed, brute, "mismatch at {t}");
+                agreements += 1;
+                total += 1;
+            }
+        }
+    }
+    println!("  {agreements}/{total} parameterizations agree exactly");
+
+    println!("\n── Topological search (comparison-based IIS, small n) ──────");
+    let checks: Vec<(&str, GsbSpec, usize)> = vec![
+        ("election n=2", GsbSpec::election(2).unwrap(), 3),
+        ("election n=3", GsbSpec::election(3).unwrap(), 1),
+        ("WSB n=3", SymmetricGsb::wsb(3).unwrap().to_spec(), 1),
+        (
+            "perfect renaming n=2",
+            SymmetricGsb::perfect_renaming(2).unwrap().to_spec(),
+            3,
+        ),
+        (
+            "3-renaming n=2",
+            SymmetricGsb::renaming(2, 3).unwrap().to_spec(),
+            1,
+        ),
+        (
+            "6-renaming n=3",
+            SymmetricGsb::renaming(3, 6).unwrap().to_spec(),
+            1,
+        ),
+    ];
+    for (name, spec, max_rounds) in checks {
+        let mut verdict = format!("UNSAT through {max_rounds} round(s)");
+        for r in 0..=max_rounds {
+            if solvable_in_rounds(&spec, r).is_solvable() {
+                verdict = format!("SAT at {r} round(s)");
+                break;
+            }
+        }
+        println!("  {name:<22} {verdict}");
+    }
+
+    println!("\n── The gcd frontier (Theorem 10) ───────────────────────────");
+    println!("  WSB / (2n−2)-renaming is wait-free solvable exactly at the");
+    println!("  'exceptional' n where gcd{{C(n,i)}} = 1 (n not a prime power):");
+    let exceptional: Vec<usize> = (2..=30)
+        .filter(|&n| !gsb_universe::core::solvability::binomials_not_prime(n))
+        .collect();
+    println!("  exceptional n ≤ 30: {exceptional:?}");
+    for n in [6usize, 8] {
+        let wsb = SymmetricGsb::wsb(n).unwrap();
+        let verdict = wsb.classify().solvability;
+        println!(
+            "  WSB at n = {n}: {verdict}{}",
+            if verdict == Solvability::WaitFreeSolvable {
+                " — 6 = 2·3 escapes the lower bound"
+            } else {
+                " — 8 = 2³ is a prime power"
+            }
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # gsb-universe
+//!
+//! A production-quality Rust reproduction of *The Universe of Symmetry
+//! Breaking Tasks* (Imbs, Rajsbaum, Raynal — IRISA PI-1965 / PODC 2011).
+//!
+//! This façade crate re-exports the four subsystem crates:
+//!
+//! * [`core`] (`gsb-core`) — the GSB task family: specifications, kernel
+//!   structure theory, canonical representatives, Table 1 / Figure 1
+//!   generators, and the solvability classifier.
+//! * [`memory`] (`gsb-memory`) — the wait-free shared-memory substrate:
+//!   step-level simulator, schedulers, exhaustive enumeration, AADGMS
+//!   snapshots, immediate snapshots, oracle task objects, and a
+//!   real-thread backend.
+//! * [`algorithms`] (`gsb-algorithms`) — the paper's algorithms and
+//!   reductions: `(2n−1)`-renaming, communication-free solvers, the
+//!   universal construction (Theorem 8), the Figure 2 slot→renaming
+//!   algorithm (Theorem 12), WSB reductions, election.
+//! * [`topology`] (`gsb-topology`) — protocol complexes and the
+//!   symmetric decision-map search behind the impossibility results
+//!   (Theorem 11).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gsb_universe::core::{Solvability, SymmetricGsb};
+//!
+//! let wsb = SymmetricGsb::wsb(6)?;
+//! assert_eq!(wsb.classify().solvability, Solvability::WaitFreeSolvable);
+//! # Ok::<(), gsb_universe::core::Error>(())
+//! ```
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use gsb_algorithms as algorithms;
+pub use gsb_core as core;
+pub use gsb_memory as memory;
+pub use gsb_topology as topology;

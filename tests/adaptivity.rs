@@ -1,0 +1,117 @@
+//! Integration: the adaptive / non-adaptive distinction of Section 1.
+//!
+//! "The classic test-and-set task looks similar to the election GSB task:
+//! in both cases exactly one process outputs 1. But test-and-set is
+//! adaptive: in every execution, even if less than n processes
+//! participate, at least one process outputs 1. That is, election GSB is
+//! a non-adaptive form of test-and-set."
+//!
+//! These tests make the distinction executable: under partial
+//! participation, a test&set-based leader always exists among the
+//! participants, whereas a perfect-renaming-based election can leave the
+//! participants leaderless (their "leader" is a non-participant) — which
+//! is *allowed* by the GSB specification, because GSB tasks constrain
+//! only full output vectors.
+
+use gsb_universe::algorithms::{ElectionFromPerfectRenaming, ElectionFromTestAndSet};
+use gsb_universe::core::{GsbSpec, Identity, SymmetricGsb};
+use gsb_universe::memory::{
+    build_executor, CrashPlan, GsbOracle, Oracle, OraclePolicy, Pid, ProtocolFactory,
+    RoundRobinScheduler, TestAndSetOracle,
+};
+
+fn ids(n: usize) -> Vec<Identity> {
+    (1..=n as u32).map(|v| Identity::new(v).unwrap()).collect()
+}
+
+/// Runs `factory` with only the first `p` processes participating;
+/// returns the participants' decisions.
+fn run_with_participants(
+    factory: &ProtocolFactory<'_>,
+    oracles: Vec<Box<dyn Oracle>>,
+    n: usize,
+    p: usize,
+) -> Vec<usize> {
+    let mut exec = build_executor(factory, &ids(n), oracles);
+    let crashes: Vec<(Pid, usize)> = (p..n).map(|i| (Pid::new(i), 0usize)).collect();
+    let plan = CrashPlan::with_crashes(n, &crashes);
+    let outcome = exec
+        .run(&mut RoundRobinScheduler::new(), &plan, 10_000)
+        .unwrap();
+    outcome.decided_values()
+}
+
+#[test]
+fn test_and_set_always_elects_among_participants() {
+    // Adaptivity: for every participation level, some participant wins.
+    let n = 5;
+    for p in 1..=n {
+        let factory: Box<ProtocolFactory<'static>> =
+            Box::new(|_pid, _id, _n| Box::new(ElectionFromTestAndSet::new()));
+        let decisions = run_with_participants(
+            &factory,
+            vec![Box::new(TestAndSetOracle::new())],
+            n,
+            p,
+        );
+        assert_eq!(decisions.len(), p);
+        assert_eq!(
+            decisions.iter().filter(|&&d| d == 1).count(),
+            1,
+            "test&set must crown exactly one participating leader (p = {p})"
+        );
+    }
+}
+
+#[test]
+fn perfect_renaming_election_can_leave_participants_leaderless() {
+    // Non-adaptivity: with the LastFit perfect-renaming oracle, a lone
+    // participant receives name n ≠ 1 and decides 2 — no leader among
+    // participants. The run still satisfies election *as a GSB task*
+    // (the decided prefix extends to a legal full vector where the name-1
+    // holder is a crashed process).
+    let n = 4;
+    let factory: Box<ProtocolFactory<'static>> =
+        Box::new(|_pid, _id, _n| Box::new(ElectionFromPerfectRenaming::new()));
+    let pr = SymmetricGsb::perfect_renaming(n).unwrap().to_spec();
+    let oracle: Vec<Box<dyn Oracle>> =
+        vec![Box::new(GsbOracle::new(pr, OraclePolicy::LastFit).unwrap())];
+    let decisions = run_with_participants(&factory, oracle, n, 1);
+    assert_eq!(decisions, vec![2], "the lone participant is not the leader");
+    // And yet the partial run is legal for the election GSB task.
+    let election = GsbSpec::election(n).unwrap();
+    let partial = vec![Some(2), None, None, None];
+    assert!(gsb_universe::memory::partial_decisions_completable(
+        &election, &partial
+    ));
+}
+
+#[test]
+fn full_participation_erases_the_difference() {
+    // With all n processes running, both routes elect exactly one leader.
+    let n = 4;
+    let election = GsbSpec::election(n).unwrap();
+    let tas_factory: Box<ProtocolFactory<'static>> =
+        Box::new(|_pid, _id, _n| Box::new(ElectionFromTestAndSet::new()));
+    let tas = run_with_participants(
+        &tas_factory,
+        vec![Box::new(TestAndSetOracle::new())],
+        n,
+        n,
+    );
+    let pr_factory: Box<ProtocolFactory<'static>> =
+        Box::new(|_pid, _id, _n| Box::new(ElectionFromPerfectRenaming::new()));
+    let pr_spec = SymmetricGsb::perfect_renaming(n).unwrap().to_spec();
+    let pr = run_with_participants(
+        &pr_factory,
+        vec![Box::new(
+            GsbOracle::new(pr_spec, OraclePolicy::LastFit).unwrap(),
+        )],
+        n,
+        n,
+    );
+    for (label, decisions) in [("test&set", tas), ("perfect renaming", pr)] {
+        let out = gsb_universe::core::OutputVector::new(decisions);
+        assert!(election.is_legal_output(&out), "{label}: {out}");
+    }
+}

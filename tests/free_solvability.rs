@@ -1,0 +1,140 @@
+//! E5 integration: the communication-free solvability frontier
+//! (Theorem 9, Corollaries 2–3) — closed form vs. brute force vs. an
+//! actual protocol on the simulator.
+
+use gsb_universe::algorithms::harness::{sweep_random, AlgorithmUnderTest};
+use gsb_universe::algorithms::FreeDecisionProtocol;
+use gsb_universe::core::{GsbSpec, SymmetricGsb};
+use gsb_universe::memory::ProtocolFactory;
+
+#[test]
+fn theorem_9_frontier_exact_on_full_sweep() {
+    // Exhaustive agreement between the closed form and brute-force map
+    // search, for every (m, ℓ, u) at n = 2 and n = 3.
+    let mut checked = 0usize;
+    for n in 2..=3usize {
+        for m in 1..=(2 * n - 1) {
+            for l in 0..=n {
+                for u in l..=n {
+                    let Ok(t) = SymmetricGsb::new(n, m, l, u) else {
+                        continue;
+                    };
+                    let spec = t.to_spec();
+                    let closed = t.no_communication_solvable();
+                    let brute = spec.is_feasible() && spec.no_communication_brute_force();
+                    assert_eq!(closed, brute, "Theorem 9 mismatch at {t}");
+                    checked += 1;
+                }
+            }
+        }
+    }
+    // n = 2: 6 (ℓ,u) pairs × 3 values of m; n = 3: 10 pairs × 5 values.
+    assert_eq!(checked, 68, "swept {checked} parameterizations");
+}
+
+#[test]
+fn theorem_9_boundary_cases() {
+    // The characterization is tight: at u = ⌈(2n−1)/m⌉ it flips.
+    for n in 2..=8usize {
+        for m in 2..=(2 * n - 1) {
+            let threshold = (2 * n - 1).div_ceil(m);
+            if threshold <= n && n <= m * threshold {
+                let at = SymmetricGsb::new(n, m, 0, threshold).unwrap();
+                assert!(
+                    at.no_communication_solvable(),
+                    "{at} should be solvable (at threshold)"
+                );
+            }
+            if threshold - 1 >= 1 && n <= m * (threshold - 1) && threshold - 1 <= n {
+                let below = SymmetricGsb::new(n, m, 0, threshold - 1).unwrap();
+                assert!(
+                    !below.no_communication_solvable(),
+                    "{below} should not be solvable (below threshold)"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corollary_3_wsb_needs_communication() {
+    for n in 2..=9 {
+        let wsb = SymmetricGsb::wsb(n).unwrap();
+        assert!(!wsb.no_communication_solvable(), "n = {n}");
+        assert_eq!(wsb.no_communication_witness(), None);
+    }
+}
+
+#[test]
+fn corollary_2_homonymous_renaming_runs_on_the_simulator() {
+    for n in [3usize, 5, 7] {
+        for x in [1usize, 2, 3] {
+            let spec = SymmetricGsb::homonymous_renaming(n, x).unwrap().to_spec();
+            let spec_owned = spec.clone();
+            let factory: Box<ProtocolFactory<'static>> = Box::new(move |_pid, id, _n| {
+                Box::new(FreeDecisionProtocol::new(&spec_owned, id).expect("solvable"))
+            });
+            let algo = AlgorithmUnderTest {
+                spec,
+                factory: &factory,
+                oracles: &Vec::new,
+            };
+            sweep_random(&algo, (2 * n - 1) as u32, 30, 79)
+                .unwrap_or_else(|e| panic!("n={n} x={x}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn witnesses_beat_every_adversarial_subset() {
+    // For every no-communication-solvable task at n ≤ 5, the witness map
+    // must survive all C(2n−1, n) identity subsets.
+    for n in 2..=5usize {
+        for m in 1..=(2 * n - 1) {
+            for u in 1..=n {
+                let Ok(t) = SymmetricGsb::new(n, m, 0, u) else {
+                    continue;
+                };
+                if let Some(witness) = t.no_communication_witness() {
+                    assert!(
+                        t.to_spec().map_beats_all_subsets(&witness),
+                        "witness of {t} loses to some subset"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn asymmetric_generalization_matches_brute_force() {
+    // The interval-based asymmetric extension agrees with brute force on
+    // all two-value specs at n = 3.
+    let n = 3usize;
+    for l1 in 0..=n {
+        for u1 in l1..=n {
+            for l2 in 0..=n {
+                for u2 in l2..=n {
+                    let Ok(spec) = GsbSpec::new(n, vec![l1, l2], vec![u1, u2]) else {
+                        continue;
+                    };
+                    let closed = spec.no_communication_solvable();
+                    let brute = spec.is_feasible() && spec.no_communication_brute_force();
+                    assert_eq!(closed, brute, "asymmetric mismatch at {spec}");
+                    if let Some(w) = spec.no_communication_witness() {
+                        assert!(spec.map_beats_all_subsets(&w), "witness fails for {spec}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn election_has_no_free_solution() {
+    for n in 2..=6 {
+        let election = GsbSpec::election(n).unwrap();
+        assert!(!election.no_communication_solvable(), "n = {n}");
+        assert_eq!(election.no_communication_witness(), None, "n = {n}");
+    }
+}

@@ -1,0 +1,143 @@
+//! E3/E10 integration: Theorem 12 end-to-end — the Figure 2 algorithm
+//! solves `(n+1)`-renaming from an `(n−1)`-slot object — plus the
+//! WSB/2-slot/(2n−2)-renaming endpoints of the paper's §6 discussion.
+
+use gsb_universe::algorithms::harness::{
+    check_hygiene, sweep_adversarial, sweep_exhaustive, sweep_random, AlgorithmUnderTest,
+};
+use gsb_universe::algorithms::{SlotRenamingProtocol, WsbFromRenamingProtocol};
+use gsb_universe::core::{Identity, SymmetricGsb};
+use gsb_universe::memory::{GsbOracle, Oracle, OraclePolicy, ProtocolFactory};
+
+fn ids(values: &[u32]) -> Vec<Identity> {
+    values.iter().map(|&v| Identity::new(v).unwrap()).collect()
+}
+
+fn slot_oracles(n: usize, k: usize, policy: OraclePolicy) -> Vec<Box<dyn Oracle>> {
+    let spec = SymmetricGsb::slot(n, k).unwrap().to_spec();
+    vec![Box::new(GsbOracle::new(spec, policy).unwrap())]
+}
+
+#[test]
+fn theorem_12_full_validation_matrix() {
+    // n × policy × scheduler sweeps, every outcome checked against
+    // ⟨n, n+1, 0, 1⟩-GSB.
+    for n in [2usize, 3, 4, 5, 7, 9] {
+        let spec = SymmetricGsb::renaming(n, n + 1).unwrap().to_spec();
+        let factory: Box<ProtocolFactory<'static>> =
+            Box::new(|_pid, id, n| Box::new(SlotRenamingProtocol::new(id, n)));
+        for policy in [
+            OraclePolicy::FirstFit,
+            OraclePolicy::LastFit,
+            OraclePolicy::Seeded(n as u64),
+        ] {
+            let oracles = move || slot_oracles(n, n - 1, policy);
+            let algo = AlgorithmUnderTest {
+                spec: spec.clone(),
+                factory: &factory,
+                oracles: &oracles,
+            };
+            sweep_random(&algo, (2 * n - 1) as u32, 50, 61)
+                .unwrap_or_else(|e| panic!("n={n} {policy:?} random: {e}"));
+            sweep_adversarial(&algo, (2 * n - 1) as u32, 50, 67)
+                .unwrap_or_else(|e| panic!("n={n} {policy:?} adversarial: {e}"));
+        }
+    }
+}
+
+#[test]
+fn theorem_12_exhaustive_n3_all_id_orders() {
+    // Every schedule × every identity order type, n = 3.
+    let n = 3;
+    let spec = SymmetricGsb::renaming(n, n + 1).unwrap().to_spec();
+    let factory: Box<ProtocolFactory<'static>> =
+        Box::new(|_pid, id, n| Box::new(SlotRenamingProtocol::new(id, n)));
+    let oracles = || slot_oracles(3, 2, OraclePolicy::FirstFit);
+    let algo = AlgorithmUnderTest {
+        spec,
+        factory: &factory,
+        oracles: &oracles,
+    };
+    for assignment in [
+        [1u32, 2, 3],
+        [1, 3, 2],
+        [2, 1, 3],
+        [2, 3, 1],
+        [3, 1, 2],
+        [3, 2, 1],
+    ] {
+        sweep_exhaustive(&algo, &ids(&assignment), 100_000)
+            .unwrap_or_else(|e| panic!("ids {assignment:?}: {e}"));
+    }
+}
+
+#[test]
+fn theorem_12_hygiene() {
+    // Figure 2 is index-independent and comparison-based (Section 2.2).
+    let spec = SymmetricGsb::renaming(4, 5).unwrap().to_spec();
+    let factory: Box<ProtocolFactory<'static>> =
+        Box::new(|_pid, id, n| Box::new(SlotRenamingProtocol::new(id, n)));
+    let oracles = || slot_oracles(4, 3, OraclePolicy::FirstFit);
+    let algo = AlgorithmUnderTest {
+        spec,
+        factory: &factory,
+        oracles: &oracles,
+    };
+    check_hygiene(&algo, &ids(&[6, 2, 7, 4]), &ids(&[5, 1, 7, 3]), 71).unwrap();
+}
+
+#[test]
+fn k_slot_endpoint_k2_gives_wsb() {
+    // §6: "the (2n−2)-renaming task and the 2-slot task are equivalent".
+    // Synonym half: 2-slot IS WSB.
+    for n in 2..=8 {
+        assert!(SymmetricGsb::slot(n, 2)
+            .unwrap()
+            .is_synonym_of(&SymmetricGsb::wsb(n).unwrap()));
+    }
+    // Reduction half we implement: (2n−2)-renaming object → WSB.
+    let n = 5;
+    let factory: Box<ProtocolFactory<'static>> =
+        Box::new(|_pid, _id, n| Box::new(WsbFromRenamingProtocol::new(n).unwrap()));
+    let oracles = move || -> Vec<Box<dyn Oracle>> {
+        let renaming = SymmetricGsb::renaming(n, 2 * n - 2).unwrap().to_spec();
+        vec![Box::new(
+            GsbOracle::new(renaming, OraclePolicy::Seeded(3)).unwrap(),
+        )]
+    };
+    let algo = AlgorithmUnderTest {
+        spec: SymmetricGsb::wsb(n).unwrap().to_spec(),
+        factory: &factory,
+        oracles: &oracles,
+    };
+    sweep_random(&algo, (2 * n - 1) as u32, 60, 73).unwrap();
+}
+
+#[test]
+fn slot_oracle_vs_spec_containment() {
+    // The (n−1)-slot object's replies always form a legal ⟨n,n−1,1,n⟩
+    // output — including under the adversarial policy — which is what
+    // Theorem 12's proof relies on ("exactly one duplicated slot").
+    use gsb_universe::core::OutputVector;
+    for seed in 0..40u64 {
+        let n = 6;
+        let spec = SymmetricGsb::slot(n, n - 1).unwrap().to_spec();
+        let mut oracle = GsbOracle::new(spec.clone(), OraclePolicy::Seeded(seed)).unwrap();
+        let replies: Vec<usize> = (0..n)
+            .map(|i| {
+                oracle
+                    .invoke(gsb_universe::memory::Pid::new(i), 0)
+                    .unwrap() as usize
+            })
+            .collect();
+        let out = OutputVector::new(replies.clone());
+        assert!(spec.is_legal_output(&out), "seed {seed}: {out}");
+        // Exactly one duplicated slot value.
+        let mut counts = vec![0usize; n - 1];
+        for &r in &replies {
+            counts[r - 1] += 1;
+        }
+        assert_eq!(counts.iter().filter(|&&c| c == 2).count(), 1, "seed {seed}");
+        assert_eq!(counts.iter().filter(|&&c| c == 1).count(), n - 2, "seed {seed}");
+    }
+}

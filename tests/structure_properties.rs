@@ -1,0 +1,186 @@
+//! E8 integration: property-based tests of the structure theory
+//! (Sections 3–4) — the paper's lemmas and theorems as proptest
+//! invariants over randomly drawn parameters.
+
+use proptest::prelude::*;
+
+use gsb_universe::core::{CountingVector, GsbSpec, KernelVector, SymmetricGsb};
+
+/// Strategy: a well-formed symmetric task with n ∈ [1..10].
+fn any_task() -> impl Strategy<Value = SymmetricGsb> {
+    (1usize..=10)
+        .prop_flat_map(|n| (Just(n), 1usize..=n))
+        .prop_flat_map(|(n, m)| (Just(n), Just(m), 0usize..=n))
+        .prop_flat_map(|(n, m, l)| (Just(n), Just(m), Just(l), l..=n))
+        .prop_map(|(n, m, l, u)| SymmetricGsb::new(n, m, l, u).expect("well-formed"))
+}
+
+/// Strategy: a feasible symmetric task.
+fn feasible_task() -> impl Strategy<Value = SymmetricGsb> {
+    any_task().prop_filter("feasible", SymmetricGsb::is_feasible)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn lemma_2_feasibility_matches_kernel_nonemptiness(t in any_task()) {
+        prop_assert_eq!(t.is_feasible(), !t.kernel_set().is_empty());
+    }
+
+    #[test]
+    fn lemma_3_kernel_sets_strictly_descending(t in feasible_task()) {
+        let ks = t.kernel_set();
+        let v: Vec<KernelVector> = ks.iter().cloned().collect();
+        for w in v.windows(2) {
+            prop_assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn kernel_vectors_sum_to_n_with_m_parts(t in feasible_task()) {
+        for k in t.kernel_set().iter() {
+            prop_assert_eq!(k.total(), t.n());
+            prop_assert_eq!(k.m(), t.m());
+            prop_assert!(k.max_part() <= t.u());
+            prop_assert!(k.min_part() >= t.l());
+        }
+    }
+
+    #[test]
+    fn balanced_kernel_always_present(t in feasible_task()) {
+        prop_assert!(t.kernel_set().contains(&t.balanced_kernel()));
+    }
+
+    #[test]
+    fn theorem_3_closed_form(t in feasible_task()) {
+        prop_assert_eq!(
+            t.is_l_anchored().unwrap(),
+            t.is_l_anchored_closed_form().unwrap()
+        );
+    }
+
+    #[test]
+    fn theorem_4_closed_form(t in feasible_task()) {
+        prop_assert_eq!(
+            t.is_u_anchored().unwrap(),
+            t.is_u_anchored_closed_form().unwrap()
+        );
+    }
+
+    #[test]
+    fn theorem_7_canonical_is_idempotent_synonym(t in feasible_task()) {
+        let c = t.canonical().unwrap();
+        prop_assert!(t.is_synonym_of(&c));
+        prop_assert_eq!(c.canonical().unwrap(), c);
+        // Bounds move inward: ℓ ≤ ℓ' and u' ≤ u.
+        prop_assert!(t.l() <= c.l());
+        prop_assert!(c.u() <= t.u());
+    }
+
+    #[test]
+    fn theorem_5_hardest_is_subtask_of_everything(t in feasible_task()) {
+        let hardest = SymmetricGsb::hardest(t.n(), t.m()).unwrap();
+        prop_assert!(hardest.is_subtask_of(&t));
+    }
+
+    #[test]
+    fn lemmas_4_and_5_monotonicity(t in feasible_task()) {
+        if t.u() < t.n() {
+            let wider = t.with_u(t.u() + 1).unwrap();
+            prop_assert!(t.is_subtask_of(&wider));
+        }
+        if t.l() > 0 {
+            let wider = t.with_l(t.l() - 1).unwrap();
+            prop_assert!(t.is_subtask_of(&wider));
+        }
+    }
+
+    #[test]
+    fn synonymy_is_an_equivalence_compatible_with_canonical(
+        a in feasible_task(),
+        b in feasible_task(),
+    ) {
+        if a.n() == b.n() && a.m() == b.m() && a.is_synonym_of(&b) {
+            prop_assert_eq!(a.canonical().unwrap(), b.canonical().unwrap());
+        }
+    }
+
+    #[test]
+    fn counting_vectors_of_legal_outputs_are_kernel_members(t in feasible_task()) {
+        // Keep enumeration small.
+        if t.n() <= 6 {
+            let ks = t.kernel_set();
+            for o in t.to_spec().legal_outputs() {
+                let kernel = CountingVector::of_output(&o, t.m()).to_kernel();
+                prop_assert!(ks.contains(&kernel));
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_9_witness_is_complete_and_legal(t in feasible_task()) {
+        if let Some(w) = t.no_communication_witness() {
+            prop_assert_eq!(w.len(), 2 * t.n() - 1);
+            prop_assert!(w.iter().all(|&v| (1..=t.m()).contains(&v)));
+            if t.n() <= 5 {
+                prop_assert!(t.to_spec().map_beats_all_subsets(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn universal_mod_rule_yields_balanced_kernel(t in feasible_task()) {
+        // Theorem 8's symmetric rule lands exactly on the balanced kernel.
+        let mut counts = vec![0usize; t.m()];
+        for name in 1..=t.n() {
+            counts[(name - 1) % t.m()] += 1;
+        }
+        let kernel = KernelVector::from_counts(counts);
+        prop_assert_eq!(kernel, t.balanced_kernel());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn asymmetric_feasibility_lemma_1(
+        n in 1usize..=8,
+        bounds in proptest::collection::vec((0usize..=8, 0usize..=8), 1..=4),
+    ) {
+        let lower: Vec<usize> = bounds.iter().map(|&(a, b)| a.min(b).min(n)).collect();
+        let upper: Vec<usize> = bounds.iter().map(|&(a, b)| a.max(b).min(n)).collect();
+        let spec = GsbSpec::new(n, lower.clone(), upper.clone()).unwrap();
+        let lo: usize = lower.iter().sum();
+        let hi: usize = upper.iter().sum();
+        prop_assert_eq!(spec.is_feasible(), lo <= n && n <= hi);
+        if spec.is_feasible() && n <= 5 {
+            let outputs = spec.legal_outputs();
+            prop_assert!(!outputs.is_empty());
+            let first = spec.first_legal_output();
+            prop_assert_eq!(first.as_ref(), outputs.first());
+        }
+    }
+
+    #[test]
+    fn partial_completability_respects_extensions(
+        n in 2usize..=6,
+        seed in 0u64..1000,
+    ) {
+        // Randomly decide a prefix of a legal output; it must be
+        // completable; the full output must be legal.
+        use gsb_universe::memory::partial_decisions_completable;
+        let t = SymmetricGsb::wsb(n).unwrap().to_spec();
+        let outputs = t.legal_outputs();
+        let output = &outputs[(seed as usize) % outputs.len()];
+        let cut = (seed as usize / 7) % (n + 1);
+        let partial: Vec<Option<usize>> = output
+            .values()
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if i < cut { Some(v) } else { None })
+            .collect();
+        prop_assert!(partial_decisions_completable(&t, &partial));
+    }
+}

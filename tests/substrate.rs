@@ -1,0 +1,140 @@
+//! E9 integration: the shared-memory substrate through the façade crate —
+//! AADGMS snapshot linearizability, immediate-snapshot properties, and
+//! scheduler/crash machinery, exercised together.
+
+use gsb_universe::core::Identity;
+use gsb_universe::memory::snapshot::{
+    check_embedded_scan_linearizability, SnapshotStressProtocol,
+};
+use gsb_universe::memory::{
+    build_executor, AdversarialScheduler, CrashPlan, Executor, IsProtocol, Pid, Protocol,
+    RoundRobinScheduler, SeededScheduler, Word,
+};
+
+fn stress_executor(n: usize, rounds: usize) -> Executor {
+    let protocols = (0..n)
+        .map(|i| {
+            Box::new(SnapshotStressProtocol::new(i as Word + 1, n, rounds))
+                as Box<dyn Protocol>
+        })
+        .collect();
+    Executor::new(protocols, vec![])
+}
+
+#[test]
+fn aadgms_linearizable_across_schedulers_and_crashes() {
+    for n in [2usize, 3, 5] {
+        for seed in 0..10u64 {
+            let mut exec = stress_executor(n, 2);
+            let plan = if seed % 2 == 0 {
+                CrashPlan::none(n)
+            } else {
+                CrashPlan::with_crashes(n, &[(Pid::new(seed as usize % n), 7)])
+            };
+            let outcome = exec
+                .run(&mut SeededScheduler::new(seed), &plan, 1_000_000)
+                .unwrap();
+            check_embedded_scan_linearizability(&outcome.history, exec.registers(), n)
+                .unwrap_or_else(|e| panic!("n={n} seed={seed}: {e}"));
+        }
+        let mut exec = stress_executor(n, 2);
+        let outcome = exec
+            .run(
+                &mut AdversarialScheduler::new(99, 16),
+                &CrashPlan::none(n),
+                1_000_000,
+            )
+            .unwrap();
+        check_embedded_scan_linearizability(&outcome.history, exec.registers(), n).unwrap();
+        assert!(outcome.is_complete());
+    }
+}
+
+#[test]
+fn immediate_snapshot_view_sizes_form_valid_level_assignments() {
+    for seed in 0..25u64 {
+        let n = 5;
+        let protocols = (0..n)
+            .map(|i| Box::new(IsProtocol::new(i as Word + 1, n)) as Box<dyn Protocol>)
+            .collect();
+        let mut exec = Executor::new(protocols, vec![]);
+        let outcome = exec
+            .run(&mut SeededScheduler::new(seed), &CrashPlan::none(n), 100_000)
+            .unwrap();
+        // The protocol decides its view size; sizes sorted ascending must
+        // dominate their index (IS level structure).
+        let mut sizes: Vec<usize> = outcome.decided_values();
+        sizes.sort_unstable();
+        for (i, &s) in sizes.iter().enumerate() {
+            assert!(s >= i + 1, "seed {seed}: sizes {sizes:?}");
+            assert!(s <= n, "seed {seed}: sizes {sizes:?}");
+        }
+    }
+}
+
+#[test]
+fn run_histories_replay_deterministically() {
+    // A recorded schedule, replayed via FixedScheduler, reproduces the
+    // run exactly (the property the hygiene replays build on).
+    use gsb_universe::memory::FixedScheduler;
+    let ids: Vec<Identity> = [9u32, 4, 7].iter().map(|&v| Identity::new(v).unwrap()).collect();
+    let factory: Box<gsb_universe::memory::ProtocolFactory<'static>> =
+        Box::new(|_pid, id, n| {
+            Box::new(gsb_universe::algorithms::IsRenamingProtocol::new(id, n))
+        });
+    let mut original = build_executor(&factory, &ids, vec![]);
+    let outcome = original
+        .run(&mut SeededScheduler::new(5), &CrashPlan::none(3), 100_000)
+        .unwrap();
+    let schedule = outcome.history.schedule();
+    let mut replay = build_executor(&factory, &ids, vec![]);
+    let replayed = replay
+        .run(&mut FixedScheduler::new(schedule), &CrashPlan::none(3), 100_000)
+        .unwrap();
+    assert_eq!(outcome.decisions, replayed.decisions);
+    assert_eq!(outcome.steps, replayed.steps);
+}
+
+#[test]
+fn crash_plans_respect_t_resilience_budgets() {
+    // With t = n − 1 crashes the lone survivor still decides (wait-free
+    // termination), for a register-only protocol.
+    let n = 4;
+    let factory: Box<gsb_universe::memory::ProtocolFactory<'static>> =
+        Box::new(|_pid, id, _n| {
+            Box::new(gsb_universe::algorithms::RenamingProtocol::new(id))
+        });
+    let ids: Vec<Identity> = (1..=n as u32).map(|v| Identity::new(v).unwrap()).collect();
+    for survivor in 0..n {
+        let mut exec = build_executor(&factory, &ids, vec![]);
+        let crashes: Vec<(Pid, usize)> = (0..n)
+            .filter(|&i| i != survivor)
+            .map(|i| (Pid::new(i), 1)) // everyone else takes one step, then dies
+            .collect();
+        let plan = CrashPlan::with_crashes(n, &crashes);
+        assert_eq!(plan.crash_count(), n - 1);
+        let outcome = exec
+            .run(&mut RoundRobinScheduler::new(), &plan, 100_000)
+            .unwrap();
+        assert!(
+            outcome.decisions[survivor].is_some(),
+            "survivor p{} must decide wait-free",
+            survivor + 1
+        );
+    }
+}
+
+#[test]
+fn trace_rendering_covers_all_event_kinds() {
+    use gsb_universe::memory::{render_history, render_outcome};
+    let mut exec = stress_executor(2, 1);
+    let outcome = exec
+        .run(&mut RoundRobinScheduler::new(), &CrashPlan::none(2), 100_000)
+        .unwrap();
+    let text = render_history(&outcome.history);
+    assert!(text.contains("read A["));
+    assert!(text.contains("write"));
+    assert!(text.contains("decide"));
+    let summary = render_outcome(&outcome);
+    assert!(summary.contains("steps total"));
+}

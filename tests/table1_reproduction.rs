@@ -1,0 +1,164 @@
+//! E1/E2 integration: exact reproduction of the paper's Table 1 and
+//! Figure 1 through the public API of the façade crate.
+
+use gsb_universe::core::{Anchoring, KernelTable, SymmetricGsb, TaskOrder};
+
+/// The paper's Table 1, fully transcribed: `(ℓ, u, canonical, marks)` over
+/// the column order `[6,0,0] [5,1,0] [4,2,0] [4,1,1] [3,3,0] [3,2,1]
+/// [2,2,2]`.
+const PAPER_TABLE_1: &[(usize, usize, bool, [u8; 7])] = &[
+    (0, 6, true, [1, 1, 1, 1, 1, 1, 1]),
+    (1, 6, false, [0, 0, 0, 1, 0, 1, 1]),
+    (0, 5, true, [0, 1, 1, 1, 1, 1, 1]),
+    (1, 5, false, [0, 0, 0, 1, 0, 1, 1]),
+    (2, 5, false, [0, 0, 0, 0, 0, 0, 1]),
+    (0, 4, true, [0, 0, 1, 1, 1, 1, 1]),
+    (1, 4, true, [0, 0, 0, 1, 0, 1, 1]),
+    (2, 4, false, [0, 0, 0, 0, 0, 0, 1]),
+    (0, 3, true, [0, 0, 0, 0, 1, 1, 1]),
+    (1, 3, true, [0, 0, 0, 0, 0, 1, 1]),
+    (2, 3, false, [0, 0, 0, 0, 0, 0, 1]),
+    (0, 2, false, [0, 0, 0, 0, 0, 0, 1]),
+    (1, 2, false, [0, 0, 0, 0, 0, 0, 1]),
+    (2, 2, true, [0, 0, 0, 0, 0, 0, 1]),
+];
+
+#[test]
+fn table_1_rows_match_the_paper() {
+    let table = KernelTable::new(6, 3).expect("valid parameters");
+    let columns: Vec<String> = table.columns().iter().map(|k| k.to_string()).collect();
+    assert_eq!(
+        columns,
+        [
+            "[6, 0, 0]",
+            "[5, 1, 0]",
+            "[4, 2, 0]",
+            "[4, 1, 1]",
+            "[3, 3, 0]",
+            "[3, 2, 1]",
+            "[2, 2, 2]"
+        ],
+        "Table 1 column order"
+    );
+    for &(l, u, canonical, marks) in PAPER_TABLE_1 {
+        let row = table
+            .row(l, u)
+            .unwrap_or_else(|| panic!("row ⟨6,3,{l},{u}⟩ missing"));
+        assert_eq!(row.canonical, canonical, "canonical flag of ⟨6,3,{l},{u}⟩");
+        let expected: Vec<bool> = marks.iter().map(|&b| b == 1).collect();
+        assert_eq!(row.marks, expected, "kernel marks of ⟨6,3,{l},{u}⟩");
+    }
+}
+
+#[test]
+fn table_1_contains_one_extra_synonym_row() {
+    // The paper omits ⟨6,3,2,6⟩ although it is feasible; it is a synonym
+    // of ⟨6,3,2,2⟩. Documented in EXPERIMENTS.md (E1).
+    let table = KernelTable::new(6, 3).expect("valid parameters");
+    assert_eq!(table.rows().len(), PAPER_TABLE_1.len() + 1);
+    let extra = table.row(2, 6).expect("the omitted row");
+    assert!(!extra.canonical);
+    assert!(
+        SymmetricGsb::new(6, 3, 2, 6)
+            .unwrap()
+            .is_synonym_of(&SymmetricGsb::new(6, 3, 2, 2).unwrap())
+    );
+}
+
+#[test]
+fn figure_1_nodes_edges_and_annotations() {
+    let order = TaskOrder::new(6, 3).expect("valid parameters");
+    // The 7 canonical classes, in Figure 1's layout order.
+    let reps: Vec<String> = order
+        .classes()
+        .iter()
+        .map(|c| c.representative.to_string())
+        .collect();
+    assert_eq!(
+        reps,
+        [
+            "⟨6, 3, 0, 6⟩-GSB",
+            "⟨6, 3, 0, 5⟩-GSB",
+            "⟨6, 3, 0, 4⟩-GSB",
+            "⟨6, 3, 0, 3⟩-GSB",
+            "⟨6, 3, 1, 4⟩-GSB",
+            "⟨6, 3, 1, 3⟩-GSB",
+            "⟨6, 3, 2, 2⟩-GSB"
+        ]
+    );
+    // The 7 arrows of Figure 1 (A → B: A strictly includes B).
+    let edges: Vec<(String, String)> = order
+        .hasse_edges()
+        .iter()
+        .map(|&(i, j)| {
+            (
+                order.classes()[i].representative.to_string(),
+                order.classes()[j].representative.to_string(),
+            )
+        })
+        .collect();
+    let expected = [
+        ("⟨6, 3, 0, 6⟩-GSB", "⟨6, 3, 0, 5⟩-GSB"),
+        ("⟨6, 3, 0, 5⟩-GSB", "⟨6, 3, 0, 4⟩-GSB"),
+        ("⟨6, 3, 0, 4⟩-GSB", "⟨6, 3, 1, 4⟩-GSB"),
+        ("⟨6, 3, 0, 4⟩-GSB", "⟨6, 3, 0, 3⟩-GSB"),
+        ("⟨6, 3, 1, 4⟩-GSB", "⟨6, 3, 1, 3⟩-GSB"),
+        ("⟨6, 3, 0, 3⟩-GSB", "⟨6, 3, 1, 3⟩-GSB"),
+        ("⟨6, 3, 1, 3⟩-GSB", "⟨6, 3, 2, 2⟩-GSB"),
+    ];
+    assert_eq!(edges.len(), expected.len());
+    for (a, b) in expected {
+        assert!(
+            edges.iter().any(|(x, y)| x == a && y == b),
+            "missing Figure 1 arrow {a} → {b}"
+        );
+    }
+    // Figure 1's anchoring annotations.
+    let anchoring_of = |l: usize, u: usize| {
+        order
+            .classes()
+            .iter()
+            .find(|c| c.representative.l() == l && c.representative.u() == u)
+            .expect("class exists")
+            .anchoring
+    };
+    assert!(anchoring_of(0, 6).is_u_anchored()); // trivially u-anchored
+    assert!(anchoring_of(0, 5).is_u_anchored());
+    assert!(anchoring_of(0, 4).is_u_anchored());
+    assert!(anchoring_of(1, 4).is_l_anchored()); // ℓ-anchored
+    assert_eq!(anchoring_of(2, 2), Anchoring::Both); // (ℓ,u)-anchored
+    assert_eq!(anchoring_of(1, 3), Anchoring::None); // not anchored
+}
+
+#[test]
+fn figure_1_incomparability_answers_the_open_question() {
+    // §7 asks whether the hierarchy is a total order; already at
+    // n = 6, m = 3 it is not: ⟨6,3,1,4⟩ ∥ ⟨6,3,0,3⟩.
+    let order = TaskOrder::new(6, 3).expect("valid parameters");
+    let pairs = order.incomparable_pairs();
+    assert_eq!(pairs.len(), 1);
+    let a = SymmetricGsb::new(6, 3, 1, 4).unwrap();
+    let b = SymmetricGsb::new(6, 3, 0, 3).unwrap();
+    assert!(!a.is_subtask_of(&b));
+    assert!(!b.is_subtask_of(&a));
+}
+
+#[test]
+fn kernel_tables_scale_beyond_the_paper() {
+    // The generator is not hard-coded to (6,3): spot-check invariants on
+    // other parameters.
+    for (n, m) in [(4usize, 2usize), (7, 3), (8, 4), (9, 3)] {
+        let table = KernelTable::new(n, m).unwrap();
+        let order = TaskOrder::new(n, m).unwrap();
+        assert_eq!(
+            table.rows().iter().filter(|r| r.canonical).count(),
+            order.classes().len(),
+            "canonical rows vs classes at n={n} m={m}"
+        );
+        // Every row's marks are consistent with its own kernel set.
+        for row in table.rows() {
+            let marked = row.marks.iter().filter(|&&b| b).count();
+            assert_eq!(marked, row.task.kernel_set().len());
+        }
+    }
+}

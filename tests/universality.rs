@@ -1,0 +1,119 @@
+//! E4 integration: Theorem 8 end-to-end — perfect renaming solves every
+//! GSB task — across the full zoo, schedules, oracle adversaries and
+//! crash plans.
+
+use gsb_universe::algorithms::harness::{
+    sweep_adversarial, sweep_exhaustive, sweep_random, AlgorithmUnderTest,
+};
+use gsb_universe::algorithms::UniversalGsbProtocol;
+use gsb_universe::core::{GsbSpec, Identity, SymmetricGsb};
+use gsb_universe::memory::{GsbOracle, Oracle, OraclePolicy, ProtocolFactory};
+
+fn perfect_oracles(n: usize, policy: OraclePolicy) -> Vec<Box<dyn Oracle>> {
+    let spec = SymmetricGsb::perfect_renaming(n)
+        .expect("valid parameters")
+        .to_spec();
+    vec![Box::new(GsbOracle::new(spec, policy).expect("feasible"))]
+}
+
+fn zoo(n: usize) -> Vec<GsbSpec> {
+    let mut tasks = vec![
+        SymmetricGsb::wsb(n).unwrap().to_spec(),
+        SymmetricGsb::slot(n, n - 1).unwrap().to_spec(),
+        SymmetricGsb::perfect_renaming(n).unwrap().to_spec(),
+        SymmetricGsb::renaming(n, n + 1).unwrap().to_spec(),
+        SymmetricGsb::hardest(n, 2).unwrap().to_spec(),
+        GsbSpec::election(n).unwrap(),
+    ];
+    if n >= 4 {
+        tasks.push(SymmetricGsb::k_wsb(n, 2).unwrap().to_spec());
+        tasks.push(GsbSpec::committees(n, &[(1, 2), (1, n - 2), (0, n)]).unwrap());
+    }
+    tasks
+}
+
+#[test]
+fn universal_construction_random_sweeps() {
+    for n in [3usize, 5, 7] {
+        for target in zoo(n) {
+            let target_owned = target.clone();
+            let factory: Box<ProtocolFactory<'static>> = Box::new(move |_pid, _id, _n| {
+                Box::new(UniversalGsbProtocol::new(&target_owned).expect("feasible"))
+            });
+            let oracles = move || perfect_oracles(n, OraclePolicy::Seeded(n as u64));
+            let algo = AlgorithmUnderTest {
+                spec: target.clone(),
+                factory: &factory,
+                oracles: &oracles,
+            };
+            sweep_random(&algo, (2 * n - 1) as u32, 40, 51)
+                .unwrap_or_else(|e| panic!("{target} at n={n}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn universal_construction_adversarial_sweeps() {
+    let n = 6;
+    for target in zoo(n) {
+        let target_owned = target.clone();
+        let factory: Box<ProtocolFactory<'static>> = Box::new(move |_pid, _id, _n| {
+            Box::new(UniversalGsbProtocol::new(&target_owned).expect("feasible"))
+        });
+        let oracles = move || perfect_oracles(n, OraclePolicy::LastFit);
+        let algo = AlgorithmUnderTest {
+            spec: target.clone(),
+            factory: &factory,
+            oracles: &oracles,
+        };
+        sweep_adversarial(&algo, (2 * n - 1) as u32, 40, 53)
+            .unwrap_or_else(|e| panic!("{target}: {e}"));
+    }
+}
+
+#[test]
+fn universal_construction_exhaustive_n3() {
+    // Every schedule, for every zoo target, n = 3.
+    let n = 3;
+    let ids: Vec<Identity> = [5u32, 1, 4]
+        .iter()
+        .map(|&v| Identity::new(v).unwrap())
+        .collect();
+    for target in zoo(n) {
+        let target_owned = target.clone();
+        let factory: Box<ProtocolFactory<'static>> = Box::new(move |_pid, _id, _n| {
+            Box::new(UniversalGsbProtocol::new(&target_owned).expect("feasible"))
+        });
+        let oracles = move || perfect_oracles(n, OraclePolicy::FirstFit);
+        let algo = AlgorithmUnderTest {
+            spec: target.clone(),
+            factory: &factory,
+            oracles: &oracles,
+        };
+        let report = sweep_exhaustive(&algo, &ids, 10_000)
+            .unwrap_or_else(|e| panic!("{target}: {e}"));
+        assert_eq!(report.runs, 90, "{target}"); // 6!/(2!·2!·2!)
+    }
+}
+
+#[test]
+fn universality_covers_every_feasible_small_task() {
+    // Not just the zoo: every feasible ⟨4, m, ℓ, u⟩ task.
+    let n = 4;
+    for m in 1..=n {
+        for task in gsb_universe::core::order::feasible_family(n, m).unwrap() {
+            let target = task.to_spec();
+            let target_owned = target.clone();
+            let factory: Box<ProtocolFactory<'static>> = Box::new(move |_pid, _id, _n| {
+                Box::new(UniversalGsbProtocol::new(&target_owned).expect("feasible"))
+            });
+            let oracles = move || perfect_oracles(n, OraclePolicy::Seeded(7));
+            let algo = AlgorithmUnderTest {
+                spec: target.clone(),
+                factory: &factory,
+                oracles: &oracles,
+            };
+            sweep_random(&algo, 7, 10, 59).unwrap_or_else(|e| panic!("{task}: {e}"));
+        }
+    }
+}

@@ -19,7 +19,6 @@ use gsb_memory::{Action, Observation, Protocol, Value, Word};
 
 use crate::renaming::RenamingProtocol;
 
-
 /// Tag separating the renaming layer's `[id, name]` prefix from the
 /// inner protocol's payload in a composite register value.
 const INNER_TAG: Word = u64::MAX - 1;
@@ -179,14 +178,15 @@ mod tests {
         // slot→renaming, running on renamed identities, raw ids huge.
         let n = 3;
         let spec = SymmetricGsb::renaming(n, n + 1).unwrap().to_spec();
-        let build: Arc<InnerFactory> =
-            Arc::new(|id, n| Box::new(SlotRenamingProtocol::new(id, n)));
+        let build: Arc<InnerFactory> = Arc::new(|id, n| Box::new(SlotRenamingProtocol::new(id, n)));
         let factory: Box<ProtocolFactory<'static>> = Box::new(move |_pid, id, n| {
             Box::new(RenameThenProtocol::new(id, n, Arc::clone(&build)))
         });
         let oracles = move || -> Vec<Box<dyn Oracle>> {
             let slot = SymmetricGsb::slot(n, n - 1).unwrap().to_spec();
-            vec![Box::new(GsbOracle::new(slot, OraclePolicy::Seeded(13)).unwrap())]
+            vec![Box::new(
+                GsbOracle::new(slot, OraclePolicy::Seeded(13)).unwrap(),
+            )]
         };
         let algo = AlgorithmUnderTest {
             spec,

@@ -66,10 +66,7 @@ mod tests {
     fn conversions_and_display() {
         let core: Error = gsb_core::Error::DuplicateIdentity { id: 3 }.into();
         assert!(core.to_string().contains("duplicate"));
-        let mem: Error = gsb_memory::Error::InvalidConfig {
-            reason: "x".into(),
-        }
-        .into();
+        let mem: Error = gsb_memory::Error::InvalidConfig { reason: "x".into() }.into();
         assert!(mem.to_string().contains("simulation error"));
         use std::error::Error as _;
         assert!(core.source().is_some());

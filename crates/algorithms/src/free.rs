@@ -228,10 +228,7 @@ mod tests {
                 let map: Vec<usize> = (1..=(2 * n - 1) as u32)
                     .map(|id| homonymous_decision(id, x))
                     .collect();
-                assert!(
-                    spec.to_spec().map_beats_all_subsets(&map),
-                    "n={n} x={x}"
-                );
+                assert!(spec.to_spec().map_beats_all_subsets(&map), "n={n} x={x}");
             }
         }
     }

@@ -276,10 +276,7 @@ pub fn check_hygiene(
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn run_synchronous(
-    algo: &AlgorithmUnderTest<'_>,
-    ids: &[Identity],
-) -> Result<RunOutcome> {
+pub fn run_synchronous(algo: &AlgorithmUnderTest<'_>, ids: &[Identity]) -> Result<RunOutcome> {
     let mut exec = build_executor(algo.factory, ids, (algo.oracles)());
     let outcome = exec.run(
         &mut RoundRobinScheduler::new(),

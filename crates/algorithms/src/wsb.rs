@@ -51,7 +51,11 @@ impl Protocol for WsbFromRenamingProtocol {
                 input: 0,
             },
             Observation::OracleReply(name) => {
-                Action::Decide(if (name as usize) <= self.threshold { 1 } else { 2 })
+                Action::Decide(if (name as usize) <= self.threshold {
+                    1
+                } else {
+                    2
+                })
             }
             other => unreachable!("WSB-from-renaming never observes {other:?}"),
         }
@@ -103,7 +107,11 @@ impl Protocol for KWsbFromRenamingProtocol {
                 input: 0,
             },
             Observation::OracleReply(name) => {
-                Action::Decide(if (name as usize) <= self.threshold { 1 } else { 2 })
+                Action::Decide(if (name as usize) <= self.threshold {
+                    1
+                } else {
+                    2
+                })
             }
             other => unreachable!("k-WSB-from-renaming never observes {other:?}"),
         }
@@ -222,7 +230,7 @@ mod tests {
         // distinct names in [1..2n−2] has one ≤ n−1 and one ≥ n.
         let n = 5;
         let names: Vec<usize> = (n - 1..2 * n - 1).collect(); // worst case high
-        assert!(names.iter().any(|&x| x <= n - 1));
+        assert!(names.iter().any(|&x| x < n));
         assert!(names.iter().any(|&x| x >= n));
     }
 }

@@ -1,0 +1,27 @@
+//! Bench E9: the solvability atlas — parallel memoized engine vs. the
+//! seed's naive serial path (see `DESIGN.md` §4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_atlas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atlas");
+    for n in [6usize, 8, 9] {
+        group.bench_with_input(BenchmarkId::new("engine", n), &n, |b, &n| {
+            b.iter(|| gsb_bench::atlas(n));
+        });
+        group.bench_with_input(BenchmarkId::new("naive_serial", n), &n, |b, &n| {
+            b.iter(|| gsb_bench::atlas_naive(n));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_atlas
+}
+criterion_main!(benches);

@@ -10,7 +10,9 @@ use gsb_memory::{
 };
 
 fn ids(n: usize) -> Vec<Identity> {
-    (0..n as u32).map(|i| Identity::new(1 + 2 * i).unwrap()).collect()
+    (0..n as u32)
+        .map(|i| Identity::new(1 + 2 * i).unwrap())
+        .collect()
 }
 
 fn slot_oracles(n: usize, policy: OraclePolicy) -> Vec<Box<dyn Oracle>> {
@@ -45,11 +47,8 @@ fn bench_slot_renaming(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let mut exec = build_executor(
-                    &factory,
-                    &ids(n),
-                    slot_oracles(n, OraclePolicy::LastFit),
-                );
+                let mut exec =
+                    build_executor(&factory, &ids(n), slot_oracles(n, OraclePolicy::LastFit));
                 exec.run(
                     &mut AdversarialScheduler::new(seed, 24),
                     &CrashPlan::none(n),

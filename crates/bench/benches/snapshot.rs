@@ -6,8 +6,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gsb_memory::snapshot::SnapshotStressProtocol;
 use gsb_memory::threaded::AtomicScanArray;
 use gsb_memory::{
-    build_executor, Action, CrashPlan, Observation, Protocol, ProtocolFactory,
-    SeededScheduler, Word,
+    build_executor, Action, CrashPlan, Observation, Protocol, ProtocolFactory, SeededScheduler,
+    Word,
 };
 
 /// Native-snapshot counterpart of the stress protocol: same update/scan
@@ -44,9 +44,7 @@ impl Protocol for NativeStressProtocol {
                 self.phase = if self.round < self.rounds { 0 } else { 2 };
                 Action::Snapshot
             }
-            (2, Observation::Snapshot(snap)) => {
-                Action::Decide(snap.iter().flatten().count())
-            }
+            (2, Observation::Snapshot(snap)) => Action::Decide(snap.iter().flatten().count()),
             (phase, obs) => unreachable!("native stress: {obs:?} in phase {phase}"),
         }
     }
@@ -61,9 +59,13 @@ fn run_stress(factory: &ProtocolFactory<'_>, n: usize, seed: u64) -> usize {
         .map(|i| gsb_core::Identity::new(i + 1).unwrap())
         .collect();
     let mut exec = build_executor(factory, &ids, vec![]);
-    exec.run(&mut SeededScheduler::new(seed), &CrashPlan::none(n), 1_000_000)
-        .unwrap()
-        .steps
+    exec.run(
+        &mut SeededScheduler::new(seed),
+        &CrashPlan::none(n),
+        1_000_000,
+    )
+    .unwrap()
+    .steps
 }
 
 fn bench_snapshot(c: &mut Criterion) {
@@ -81,9 +83,8 @@ fn bench_snapshot(c: &mut Criterion) {
             });
         });
         // Native snapshot primitive (one step per scan).
-        let native: Box<ProtocolFactory<'static>> = Box::new(|_pid, id, _n| {
-            Box::new(NativeStressProtocol::new(u64::from(id.get()), 2))
-        });
+        let native: Box<ProtocolFactory<'static>> =
+            Box::new(|_pid, id, _n| Box::new(NativeStressProtocol::new(u64::from(id.get()), 2)));
         group.bench_with_input(BenchmarkId::new("native_primitive", n), &n, |b, &n| {
             let mut seed = 0u64;
             b.iter(|| {

@@ -5,29 +5,35 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gsb_algorithms::UniversalGsbProtocol;
 use gsb_core::{GsbSpec, Identity, SymmetricGsb};
 use gsb_memory::{
-    build_executor, CrashPlan, GsbOracle, Oracle, OraclePolicy, ProtocolFactory,
-    SeededScheduler,
+    build_executor, CrashPlan, GsbOracle, Oracle, OraclePolicy, ProtocolFactory, SeededScheduler,
 };
 
 fn ids(n: usize) -> Vec<Identity> {
-    (0..n as u32).map(|i| Identity::new(1 + 2 * i).unwrap()).collect()
+    (0..n as u32)
+        .map(|i| Identity::new(1 + 2 * i).unwrap())
+        .collect()
 }
 
 fn perfect_oracles(n: usize) -> Vec<Box<dyn Oracle>> {
     let spec = SymmetricGsb::perfect_renaming(n).unwrap().to_spec();
-    vec![Box::new(GsbOracle::new(spec, OraclePolicy::FirstFit).unwrap())]
+    vec![Box::new(
+        GsbOracle::new(spec, OraclePolicy::FirstFit).unwrap(),
+    )]
 }
 
 fn run_target(target: &GsbSpec, seed: u64) -> usize {
     let n = target.n();
     let target_owned = target.clone();
-    let factory: Box<ProtocolFactory<'static>> = Box::new(move |_pid, _id, _n| {
-        Box::new(UniversalGsbProtocol::new(&target_owned).unwrap())
-    });
+    let factory: Box<ProtocolFactory<'static>> =
+        Box::new(move |_pid, _id, _n| Box::new(UniversalGsbProtocol::new(&target_owned).unwrap()));
     let mut exec = build_executor(&factory, &ids(n), perfect_oracles(n));
-    exec.run(&mut SeededScheduler::new(seed), &CrashPlan::none(n), 100_000)
-        .unwrap()
-        .steps
+    exec.run(
+        &mut SeededScheduler::new(seed),
+        &CrashPlan::none(n),
+        100_000,
+    )
+    .unwrap()
+    .steps
 }
 
 fn bench_universal(c: &mut Criterion) {

@@ -43,9 +43,7 @@ fn main() {
         let adversarial =
             sweep_adversarial(&algo, (2 * n - 1) as u32, 300, 2).expect("adversarial sweep");
         let exhaustive = if n <= 3 {
-            let ids: Vec<Identity> = (1..=n as u32)
-                .map(|v| Identity::new(v).unwrap())
-                .collect();
+            let ids: Vec<Identity> = (1..=n as u32).map(|v| Identity::new(v).unwrap()).collect();
             let report = sweep_exhaustive(&algo, &ids, 100_000).expect("exhaustive sweep");
             format!("{} runs", report.runs)
         } else {

@@ -148,6 +148,25 @@ impl SymmetricGsb {
         })
     }
 
+    /// Full anchoring classification via the paper's closed forms
+    /// (Theorems 3–4) — O(1) arithmetic instead of the definitional
+    /// kernel-set comparisons of [`SymmetricGsb::anchoring`]. The two are
+    /// property-tested equivalent; the atlas engine uses this path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Infeasible`] for infeasible tasks.
+    pub fn anchoring_closed_form(&self) -> Result<Anchoring> {
+        let l_anchored = self.is_l_anchored_closed_form()?;
+        let u_anchored = self.is_u_anchored_closed_form()?;
+        Ok(match (l_anchored, u_anchored) {
+            (true, true) => Anchoring::Both,
+            (true, false) => Anchoring::L,
+            (false, true) => Anchoring::U,
+            (false, false) => Anchoring::None,
+        })
+    }
+
     /// **Corollary 1**, first half: the ℓ-anchored task
     /// `⟨n, m, ℓ, max(ℓ, n − ℓ(m−1))⟩` for a given `ℓ ≤ n/m`.
     ///

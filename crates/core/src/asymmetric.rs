@@ -73,9 +73,7 @@ impl GsbSpec {
     /// and counting sets) — the asymmetric synonym test.
     #[must_use]
     pub fn is_same_task(&self, other: &GsbSpec) -> bool {
-        self.n() == other.n()
-            && self.m() == other.m()
-            && self.tighten() == other.tighten()
+        self.n() == other.n() && self.m() == other.m() && self.tighten() == other.tighten()
     }
 
     /// Output-set containment `S(self) ⊆ S(other)` for equal `n`, `m`,

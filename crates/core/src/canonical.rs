@@ -18,7 +18,12 @@ impl SymmetricGsb {
     /// inert, see Theorem 7's proof: `0 ≤ ℓ ≤ ℓ' ≤ n/m ≤ u' ≤ u ≤ n`).
     #[must_use]
     pub fn canonical_step(&self) -> SymmetricGsb {
-        let (n, m, l, u) = (self.n() as i64, self.m() as i64, self.l() as i64, self.u() as i64);
+        let (n, m, l, u) = (
+            self.n() as i64,
+            self.m() as i64,
+            self.l() as i64,
+            self.u() as i64,
+        );
         let l_new = l.max(n - u * (m - 1)).clamp(0, n);
         let u_new = u.min(n - l * (m - 1)).clamp(l_new, n);
         SymmetricGsb::new(self.n(), self.m(), l_new as usize, u_new as usize)
@@ -169,15 +174,7 @@ mod tests {
     #[test]
     fn paper_table_1_canonical_marks() {
         // The 7 canonical representatives of Table 1.
-        let canonical = [
-            (0, 6),
-            (0, 5),
-            (0, 4),
-            (1, 4),
-            (0, 3),
-            (1, 3),
-            (2, 2),
-        ];
+        let canonical = [(0, 6), (0, 5), (0, 4), (1, 4), (0, 3), (1, 3), (2, 2)];
         for (l, u) in canonical {
             assert!(
                 task(6, 3, l, u).is_canonical().unwrap(),
@@ -196,7 +193,10 @@ mod tests {
         ];
         for ((l, u), (cl, cu)) in non_canonical {
             let t = task(6, 3, l, u);
-            assert!(!t.is_canonical().unwrap(), "⟨6,3,{l},{u}⟩ must not be canonical");
+            assert!(
+                !t.is_canonical().unwrap(),
+                "⟨6,3,{l},{u}⟩ must not be canonical"
+            );
             assert_eq!(t.canonical().unwrap(), task(6, 3, cl, cu));
         }
     }

@@ -79,35 +79,77 @@ impl KernelVector {
 
     /// Number of distinct output vectors represented by this kernel vector
     /// for a task on `n = total()` processes: the number of ways to assign
-    /// values to counts times the multinomial coefficient. Used by tests to
+    /// values to counts times the multinomial coefficient. Used by the
+    /// atlas's symmetry-reduced output counting and by tests to
     /// cross-check output-set enumeration.
+    ///
+    /// Computed as a product of binomials (never a bare factorial), so the
+    /// value is exact whenever it fits `u128` — for any `n`, `m` in the
+    /// classifier's range — and saturates at `u128::MAX` beyond that. (The
+    /// seed divided `m!` by multiplicity factorials, which silently
+    /// wrapped in release builds once `m > 34`.)
     #[must_use]
     pub fn output_vector_count(&self) -> u128 {
-        // Number of counting vectors that sort to this kernel: permutations
-        // of the multiset of parts = m! / Π (multiplicity of each part)!.
-        let m = self.m() as u128;
-        let mut value_assignments = factorial(m);
-        let mut run = 1u128;
+        // Number of counting vectors that sort to this kernel: the
+        // multinomial m! / Π (multiplicity of each part)! over the runs of
+        // equal parts.
+        let mut run_lengths = Vec::with_capacity(self.0.len());
+        let mut run = 1usize;
         for w in self.0.windows(2) {
             if w[0] == w[1] {
                 run += 1;
             } else {
-                value_assignments /= factorial(run);
+                run_lengths.push(run);
                 run = 1;
             }
         }
-        value_assignments /= factorial(run);
+        run_lengths.push(run);
+        let value_assignments = multinomial_saturating(&run_lengths);
         // For each counting vector: multinomial n! / Π K[i]!.
-        let mut multinomial = factorial(self.total() as u128);
-        for &p in &self.0 {
-            multinomial /= factorial(p as u128);
-        }
-        value_assignments * multinomial
+        let arrangements = multinomial_saturating(&self.0);
+        value_assignments.saturating_mul(arrangements)
     }
 }
 
-fn factorial(x: u128) -> u128 {
-    (1..=x).product::<u128>().max(1)
+/// `C(n, k)`, exact whenever the result fits `u128` (every intermediate
+/// equals `C(n−k+i, i) ≤ C(n, k)`, and the denominator is cancelled
+/// before multiplying when the naive product would overflow), saturating
+/// to `u128::MAX` only when the binomial itself does not fit.
+fn binomial_saturating(n: usize, k: usize) -> u128 {
+    let k = k.min(n - k) as u128;
+    let n = n as u128;
+    let mut c = 1u128;
+    for i in 1..=k {
+        let num = n - k + i;
+        c = match c.checked_mul(num) {
+            Some(product) => product / i,
+            None => {
+                // c·num/i is the integer C(n−k+i, i); cancel i into the
+                // factors so the multiplication stays in range whenever
+                // the result does (same cancellation as
+                // `solvability::binomial_gcd_uncached`).
+                let g1 = crate::solvability::gcd(c, i);
+                let g2 = crate::solvability::gcd(num, i / g1);
+                debug_assert_eq!(i / g1 / g2, 1, "binomial recurrence must divide");
+                match (c / g1).checked_mul(num / g2) {
+                    Some(product) => product,
+                    None => return u128::MAX,
+                }
+            }
+        };
+    }
+    c
+}
+
+/// `(Σ groups)! / Π groupᵢ!` as a product of binomials, saturating.
+fn multinomial_saturating(groups: &[usize]) -> u128 {
+    let mut taken = 0usize;
+    let mut result = 1u128;
+    for &g in groups {
+        taken += g;
+        result = result.saturating_mul(binomial_saturating(taken, g));
+    }
+    result
 }
 
 impl std::fmt::Display for KernelVector {
@@ -279,12 +321,96 @@ fn enumerate_bounded_partitions(
     }
 }
 
+/// Cache key: the `(n, m, ℓ, u)` parameter tuple.
+type TaskKey = (usize, usize, usize, usize);
+
+/// A process-wide memo table keyed by task parameters, for quantities
+/// that are pure functions of `(n, m, ℓ, u)` (kernel sets, output
+/// counts, classifications, …). Lazily initialized, lock-poisoning
+/// tolerant, growth bounded by the number of distinct tasks touched.
+///
+/// Usable as a `static`:
+///
+/// ```
+/// use gsb_core::kernel::TaskMemo;
+/// use gsb_core::SymmetricGsb;
+///
+/// static DOUBLED_N: TaskMemo<usize> = TaskMemo::new();
+/// let wsb = SymmetricGsb::wsb(4)?;
+/// assert_eq!(DOUBLED_N.get_or_compute(&wsb, |t| t.n() * 2), 8);
+/// # Ok::<(), gsb_core::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct TaskMemo<V> {
+    table: std::sync::OnceLock<std::sync::RwLock<std::collections::HashMap<TaskKey, V>>>,
+}
+
+impl<V> Default for TaskMemo<V> {
+    fn default() -> Self {
+        TaskMemo::new()
+    }
+}
+
+impl<V> TaskMemo<V> {
+    /// An empty memo table (const, so it can back a `static`).
+    #[must_use]
+    pub const fn new() -> Self {
+        TaskMemo {
+            table: std::sync::OnceLock::new(),
+        }
+    }
+}
+
+impl<V: Clone> TaskMemo<V> {
+    /// Returns the cached value for `task`'s parameters, computing and
+    /// inserting it on first use.
+    pub fn get_or_compute(
+        &self,
+        task: &SymmetricGsb,
+        compute: impl FnOnce(&SymmetricGsb) -> V,
+    ) -> V {
+        let cache = self
+            .table
+            .get_or_init(|| std::sync::RwLock::new(std::collections::HashMap::new()));
+        let key = (task.n(), task.m(), task.l(), task.u());
+        if let Some(hit) = cache
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
+            return hit.clone();
+        }
+        let computed = compute(task);
+        cache
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entry(key)
+            .or_insert(computed)
+            .clone()
+    }
+}
+
+/// Process-wide kernel-set cache: every structure-theory operation
+/// (synonymy, containment, counting, classification) consults kernel
+/// sets, so an atlas sweep recomputes each one dozens of times without
+/// this table.
+static KERNEL_SETS: TaskMemo<std::sync::Arc<KernelSet>> = TaskMemo::new();
+
 /// Extension methods on [`SymmetricGsb`] that depend on kernel sets.
 impl SymmetricGsb {
-    /// The kernel set of this task (Definition 4).
+    /// The kernel set of this task (Definition 4), computed fresh.
     #[must_use]
     pub fn kernel_set(&self) -> KernelSet {
         KernelSet::of_task(self)
+    }
+
+    /// The kernel set of this task, served from the process-wide memo
+    /// table (computed on first use). All derived predicates
+    /// ([`SymmetricGsb::is_synonym_of`], [`SymmetricGsb::is_subtask_of`],
+    /// [`SymmetricGsb::legal_output_count`]) go through this path.
+    #[must_use]
+    pub fn kernel_set_cached(&self) -> std::sync::Arc<KernelSet> {
+        KERNEL_SETS.get_or_compute(self, |t| std::sync::Arc::new(KernelSet::of_task(t)))
     }
 
     /// The *balanced kernel vector* `[⌈n/m⌉, …, ⌊n/m⌋]` (Definition 4): the
@@ -297,7 +423,7 @@ impl SymmetricGsb {
         let q = n / m;
         let r = n % m;
         let mut parts = vec![q + 1; r];
-        parts.extend(std::iter::repeat(q).take(m - r));
+        parts.extend(std::iter::repeat_n(q, m - r));
         KernelVector(parts)
     }
 
@@ -319,7 +445,9 @@ impl SymmetricGsb {
     /// ```
     #[must_use]
     pub fn is_synonym_of(&self, other: &SymmetricGsb) -> bool {
-        self.n() == other.n() && self.m() == other.m() && self.kernel_set() == other.kernel_set()
+        self.n() == other.n()
+            && self.m() == other.m()
+            && self.kernel_set_cached() == other.kernel_set_cached()
     }
 
     /// Output-set inclusion `S(self) ⊆ S(other)` via kernel sets; requires
@@ -328,7 +456,29 @@ impl SymmetricGsb {
     pub fn is_subtask_of(&self, other: &SymmetricGsb) -> bool {
         self.n() == other.n()
             && self.m() == other.m()
-            && self.kernel_set().is_subset_of(&other.kernel_set())
+            && self
+                .kernel_set_cached()
+                .is_subset_of(&other.kernel_set_cached())
+    }
+
+    /// Number of legal output vectors, computed **symmetry-reduced**: the
+    /// kernel set enumerates only orbit representatives (partitions of
+    /// `n`), and each contributes
+    /// [`KernelVector::output_vector_count`] vectors — so the count costs
+    /// `O(p(n))` partitions instead of enumerating up to `m^n` vectors.
+    /// Cross-checked against [`GsbSpec::legal_output_count`]'s dynamic
+    /// program in tests.
+    ///
+    /// [`GsbSpec::legal_output_count`]: crate::spec::GsbSpec::legal_output_count
+    #[must_use]
+    pub fn legal_output_count(&self) -> u128 {
+        static COUNTS: TaskMemo<u128> = TaskMemo::new();
+        COUNTS.get_or_compute(self, |t| {
+            t.kernel_set_cached()
+                .iter()
+                .map(KernelVector::output_vector_count)
+                .fold(0u128, u128::saturating_add)
+        })
     }
 }
 
@@ -484,16 +634,61 @@ mod tests {
     }
 
     #[test]
+    fn binomial_counting_is_exact_at_the_classifier_ceiling() {
+        // C(130, 65) fits u128 but the naive multiply-then-divide
+        // overflows on the way there; the cancellation fallback must
+        // stay exact (regression: a saturate-then-divide version
+        // silently returned a wrong, non-MAX value).
+        let t = SymmetricGsb::new(130, 2, 65, 65).unwrap();
+        assert_eq!(
+            t.legal_output_count(),
+            95_067_625_827_960_698_145_584_333_020_095_113_100u128
+        );
+    }
+
+    #[test]
+    fn output_counts_beyond_the_factorial_range() {
+        // Loose renaming at n = 20 has m = 39: factorial-quotient
+        // counting silently wrapped here in the seed (39! overflows
+        // u128). Exact value: 39!/19! — injections of 20 processes into
+        // 39 names — and the two independent fast paths must agree.
+        let t = SymmetricGsb::loose_renaming(20).unwrap();
+        let expected: u128 = (20u128..=39).product();
+        assert_eq!(t.legal_output_count(), expected);
+        assert_eq!(t.to_spec().legal_output_count(), expected);
+    }
+
+    #[test]
+    fn kernel_count_matches_dp_count() {
+        // Two independent fast paths (orbit counting vs. the spec DP)
+        // must agree on every feasible symmetric task up to n = 9.
+        for n in 1usize..=9 {
+            for m in 1..=n {
+                for l in 0..=n / m {
+                    for u in l.max(n.div_ceil(m))..=n {
+                        let t = task(n, m, l, u);
+                        assert_eq!(
+                            t.legal_output_count(),
+                            t.to_spec().legal_output_count(),
+                            "{t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn output_vector_count_cross_check() {
         // Σ over kernel vectors of output_vector_count == |legal_outputs|.
         for (n, m, l, u) in [(4, 2, 1, 3), (5, 3, 0, 2), (6, 3, 0, 6), (4, 4, 1, 1)] {
             let t = task(n, m, l, u);
-            let total: u128 = t.kernel_set().iter().map(KernelVector::output_vector_count).sum();
-            assert_eq!(
-                total,
-                t.to_spec().legal_outputs().len() as u128,
-                "{t}"
-            );
+            let total: u128 = t
+                .kernel_set()
+                .iter()
+                .map(KernelVector::output_vector_count)
+                .sum();
+            assert_eq!(total, t.to_spec().legal_outputs().len() as u128, "{t}");
         }
     }
 

@@ -77,7 +77,7 @@ pub use kernel::{KernelSet, KernelVector};
 pub use order::{TaskClass, TaskOrder};
 pub use output::OutputVector;
 pub use solvability::{Classification, Solvability};
-pub use spec::{GsbSpec, SymmetricGsb};
+pub use spec::{GsbSpec, LegalOutputs, SymmetricGsb};
 pub use table::{KernelTable, KernelTableRow};
 pub use zoo::{catalog, ZooEntry};
 

@@ -93,11 +93,10 @@ impl TaskOrder {
         // Sort classes by decreasing kernel-set size then lexicographic
         // representative, which reproduces Figure 1's left-to-right layout.
         classes.sort_by(|a, b| {
-            b.kernel_set
-                .len()
-                .cmp(&a.kernel_set.len())
-                .then_with(|| (a.representative.l(), a.representative.u())
-                    .cmp(&(b.representative.l(), b.representative.u())))
+            b.kernel_set.len().cmp(&a.kernel_set.len()).then_with(|| {
+                (a.representative.l(), a.representative.u())
+                    .cmp(&(b.representative.l(), b.representative.u()))
+            })
         });
         let k = classes.len();
         let mut strict = vec![vec![false; k]; k];
@@ -421,10 +420,7 @@ mod tests {
                 assert_eq!(maxima.len(), 1);
                 assert_eq!(
                     maxima[0].representative,
-                    SymmetricGsb::new(n, m, 0, n)
-                        .unwrap()
-                        .canonical()
-                        .unwrap()
+                    SymmetricGsb::new(n, m, 0, n).unwrap().canonical().unwrap()
                 );
             }
         }

@@ -67,12 +67,21 @@ impl std::fmt::Display for Classification {
     }
 }
 
+/// Largest `n` accepted by [`binomial_gcd`] (`C(n, n/2)` must fit `u128`).
+pub const BINOMIAL_GCD_MAX_N: usize = 130;
+
 /// `gcd{ C(n,i) : 1 ≤ i ≤ ⌊n/2⌋ }`, the quantity of Theorem 10 (due to
 /// Castañeda and Rajsbaum, the paper's \[17\]).
 ///
 /// The set is called *prime* when this gcd is 1. A classical fact (checked
 /// in tests): the gcd exceeds 1 exactly when `n` is a prime power, in which
 /// case it equals that prime.
+///
+/// The full table up to [`BINOMIAL_GCD_MAX_N`] is computed once and served
+/// from a process-wide [`OnceLock`](std::sync::OnceLock) cache — the
+/// classifier consults this quantity for every task of an atlas sweep.
+/// [`binomial_gcd_uncached`] retains the direct computation (the cache's
+/// initializer and the cross-check tests).
 ///
 /// # Panics
 ///
@@ -89,12 +98,42 @@ impl std::fmt::Display for Classification {
 #[must_use]
 pub fn binomial_gcd(n: usize) -> u128 {
     assert!(n >= 2, "binomial_gcd needs n ≥ 2");
-    assert!(n <= 130, "binomial_gcd overflows u128 beyond n = 130");
+    assert!(
+        n <= BINOMIAL_GCD_MAX_N,
+        "binomial_gcd overflows u128 beyond n = {BINOMIAL_GCD_MAX_N}"
+    );
+    static TABLE: std::sync::OnceLock<Vec<u128>> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        (0..=BINOMIAL_GCD_MAX_N)
+            .map(|k| if k < 2 { 0 } else { binomial_gcd_uncached(k) })
+            .collect()
+    })[n]
+}
+
+/// The direct (uncached) computation behind [`binomial_gcd`].
+///
+/// # Panics
+///
+/// Same contract as [`binomial_gcd`].
+#[must_use]
+pub fn binomial_gcd_uncached(n: usize) -> u128 {
+    assert!(n >= 2, "binomial_gcd needs n ≥ 2");
+    assert!(
+        n <= BINOMIAL_GCD_MAX_N,
+        "binomial_gcd overflows u128 beyond n = {BINOMIAL_GCD_MAX_N}"
+    );
     let mut g: u128 = 0;
     let mut c: u128 = 1; // C(n, 0)
     for i in 1..=n / 2 {
-        // C(n,i) = C(n,i−1)·(n−i+1)/i, always divisible.
-        c = c * (n as u128 - i as u128 + 1) / i as u128;
+        // C(n,i) = C(n,i−1)·(n−i+1)/i, always divisible — but the naive
+        // multiply-then-divide overflows u128 near n = 130, so cancel the
+        // denominator into both factors first (c·num/den stays ≤ C(n,⌊n/2⌋)).
+        let num = n as u128 - i as u128 + 1;
+        let den = i as u128;
+        let g1 = gcd(c, den);
+        let g2 = gcd(num, den / g1);
+        debug_assert_eq!(den / g1 / g2, 1, "binomial recurrence must divide");
+        c = (c / g1) * (num / g2);
         g = gcd(g, c);
         if g == 1 {
             break;
@@ -110,12 +149,14 @@ pub fn binomials_not_prime(n: usize) -> bool {
     binomial_gcd(n) > 1
 }
 
-fn gcd(a: u128, b: u128) -> u128 {
-    if b == 0 {
-        a
-    } else {
-        gcd(b, a % b)
+/// Iterative Euclid, shared with the kernel-counting helpers.
+pub(crate) fn gcd(mut a: u128, mut b: u128) -> u128 {
+    // Iterative Euclid: the recursive form recursed once per quotient
+    // step with no depth bound.
+    while b != 0 {
+        (a, b) = (b, a % b);
     }
+    a
 }
 
 /// Whether `n` is a prime power `p^k`, `k ≥ 1`. Used to cross-check
@@ -128,8 +169,8 @@ pub fn is_prime_power(n: usize) -> bool {
     let mut x = n;
     let mut d = 2usize;
     while d * d <= x {
-        if x % d == 0 {
-            while x % d == 0 {
+        if x.is_multiple_of(d) {
+            while x.is_multiple_of(d) {
                 x /= d;
             }
             return x == 1;
@@ -170,11 +211,7 @@ impl SymmetricGsb {
         let m = self.m();
         // Deterministic balanced partition: identity id ∈ [1..2n−1] maps to
         // ⌈id·m/(2n−1)⌉, giving groups within one of each other in size.
-        Some(
-            (1..=ids)
-                .map(|id| (id * m).div_ceil(ids))
-                .collect(),
-        )
+        Some((1..=ids).map(|id| (id * m).div_ceil(ids)).collect())
     }
 
     /// Wait-free solvability classification per the paper's Section 5
@@ -210,13 +247,27 @@ fn classify_symmetric(t: &SymmetricGsb) -> Classification {
             justification: "single process decides a value with ℓ ≤ 1 ≤ u_v".into(),
         };
     }
+    // Solvability is a property of the output set, so classify the
+    // canonical representative (Theorem 7): synonyms such as ⟨4,2,0,2⟩
+    // and ⟨4,2,2,2⟩ must — and now do — receive the same verdict.
     let canonical = t
         .canonical()
         .expect("feasible tasks always have a canonical form");
+    let mut classification = classify_canonical(&canonical);
+    if canonical != *t {
+        use std::fmt::Write as _;
+        let _ = write!(classification.justification, "; via canonical {canonical}");
+    }
+    classification
+}
+
+/// Branch logic of the classifier, on a canonical representative.
+fn classify_canonical(t: &SymmetricGsb) -> Classification {
+    let n = t.n();
     // Perfect renaming and its synonyms (e.g. n-renaming ⟨n,n,0,1⟩).
     let perfect =
         SymmetricGsb::perfect_renaming(n).expect("n ≥ 1 makes perfect renaming well-formed");
-    if canonical == perfect {
+    if *t == perfect {
         return Classification {
             solvability: Solvability::NotWaitFreeSolvable,
             justification: "Corollary 5: perfect renaming is not wait-free solvable".into(),
@@ -237,13 +288,13 @@ fn classify_symmetric(t: &SymmetricGsb) -> Classification {
     }
     // WSB and its synonyms: ⟨n,2,1,·⟩ always collapses to the WSB class.
     if let Ok(wsb) = SymmetricGsb::wsb(n) {
-        if t.is_synonym_of(&wsb) {
+        let wsb_canonical = wsb.canonical().expect("WSB is feasible for every n ≥ 2");
+        if *t == wsb_canonical {
             return if gcd_not_prime {
                 Classification {
                     solvability: Solvability::NotWaitFreeSolvable,
                     justification:
-                        "Theorem 10 via WSB ≡ (2n−2)-renaming ([29]) and [17]'s lower bound"
-                            .into(),
+                        "Theorem 10 via WSB ≡ (2n−2)-renaming ([29]) and [17]'s lower bound".into(),
                 }
             } else {
                 Classification {
@@ -281,8 +332,7 @@ fn classify_symmetric(t: &SymmetricGsb) -> Classification {
             return Classification {
                 solvability: Solvability::NotWaitFreeSolvable,
                 justification:
-                    "m ≤ 2n−2 renaming solves (2n−2)-renaming, unsolvable by [17] (gcd > 1)"
-                        .into(),
+                    "m ≤ 2n−2 renaming solves (2n−2)-renaming, unsolvable by [17] (gcd > 1)".into(),
             };
         }
         return Classification {
@@ -334,7 +384,11 @@ impl GsbSpec {
             } else {
                 0
             };
-            let hi = if self.upper(v) < n { self.upper(v) } else { ids };
+            let hi = if self.upper(v) < n {
+                self.upper(v)
+            } else {
+                ids
+            };
             if lo > hi {
                 return false;
             }
@@ -357,18 +411,29 @@ impl GsbSpec {
         let ids = 2 * n - 1;
         let m = self.m();
         if n == 1 {
-            let v = (1..=m).find(|&v| {
-                self.upper(v) >= 1 && (1..=m).all(|w| w == v || self.lower(w) == 0)
-            })?;
+            let v = (1..=m)
+                .find(|&v| self.upper(v) >= 1 && (1..=m).all(|w| w == v || self.lower(w) == 0))?;
             return Some(vec![v]);
         }
         // Start every group at its lower requirement, then distribute the
         // remaining identities up to the upper limits.
         let lo: Vec<usize> = (1..=m)
-            .map(|v| if self.lower(v) >= 1 { n - 1 + self.lower(v) } else { 0 })
+            .map(|v| {
+                if self.lower(v) >= 1 {
+                    n - 1 + self.lower(v)
+                } else {
+                    0
+                }
+            })
             .collect();
         let hi: Vec<usize> = (1..=m)
-            .map(|v| if self.upper(v) < n { self.upper(v) } else { ids })
+            .map(|v| {
+                if self.upper(v) < n {
+                    self.upper(v)
+                } else {
+                    ids
+                }
+            })
             .collect();
         let mut sizes = lo.clone();
         let mut remaining = ids - sizes.iter().sum::<usize>();
@@ -381,7 +446,7 @@ impl GsbSpec {
         debug_assert_eq!(remaining, 0);
         let mut map = Vec::with_capacity(ids);
         for (v, &size) in sizes.iter().enumerate() {
-            map.extend(std::iter::repeat(v + 1).take(size));
+            map.extend(std::iter::repeat_n(v + 1, size));
         }
         Some(map)
     }
@@ -528,7 +593,9 @@ mod tests {
     #[test]
     fn theorem_9_characterization_examples() {
         // (2n−1)-renaming: solvable with no communication.
-        assert!(SymmetricGsb::loose_renaming(4).unwrap().no_communication_solvable());
+        assert!(SymmetricGsb::loose_renaming(4)
+            .unwrap()
+            .no_communication_solvable());
         // WSB: not (Corollary 3).
         assert!(!SymmetricGsb::wsb(4).unwrap().no_communication_solvable());
         // Homonymous renaming (Corollary 2).
@@ -543,7 +610,9 @@ mod tests {
             }
         }
         // Perfect renaming: certainly not.
-        assert!(!SymmetricGsb::perfect_renaming(4).unwrap().no_communication_solvable());
+        assert!(!SymmetricGsb::perfect_renaming(4)
+            .unwrap()
+            .no_communication_solvable());
     }
 
     #[test]
@@ -595,7 +664,10 @@ mod tests {
             assert!(spec.map_beats_all_subsets(&w));
         }
         // And election has none.
-        assert_eq!(GsbSpec::election(4).unwrap().no_communication_witness(), None);
+        assert_eq!(
+            GsbSpec::election(4).unwrap().no_communication_witness(),
+            None
+        );
     }
 
     #[test]
@@ -610,8 +682,7 @@ mod tests {
                                 continue;
                             };
                             let closed = spec.no_communication_solvable();
-                            let brute =
-                                spec.is_feasible() && spec.no_communication_brute_force();
+                            let brute = spec.is_feasible() && spec.no_communication_brute_force();
                             assert_eq!(closed, brute, "mismatch for {spec}");
                         }
                     }
@@ -625,12 +696,18 @@ mod tests {
         use Solvability::*;
         // Trivial renaming.
         assert_eq!(
-            SymmetricGsb::loose_renaming(5).unwrap().classify().solvability,
+            SymmetricGsb::loose_renaming(5)
+                .unwrap()
+                .classify()
+                .solvability,
             SolvableWithoutCommunication
         );
         // Perfect renaming (Corollary 5) — and its synonym n-renaming.
         assert_eq!(
-            SymmetricGsb::perfect_renaming(5).unwrap().classify().solvability,
+            SymmetricGsb::perfect_renaming(5)
+                .unwrap()
+                .classify()
+                .solvability,
             NotWaitFreeSolvable
         );
         assert_eq!(
@@ -654,7 +731,10 @@ mod tests {
         }
         // (2n−2)-renaming mirrors WSB (they are equivalent, [29]).
         assert_eq!(
-            SymmetricGsb::renaming(6, 10).unwrap().classify().solvability,
+            SymmetricGsb::renaming(6, 10)
+                .unwrap()
+                .classify()
+                .solvability,
             WaitFreeSolvable
         );
         assert_eq!(
@@ -678,6 +758,44 @@ mod tests {
         );
         // Infeasible.
         assert_eq!(task(5, 4, 0, 1).classify().solvability, Infeasible);
+    }
+
+    #[test]
+    fn classification_is_synonym_invariant() {
+        // Regression: ⟨4,2,0,2⟩ is a synonym of the hardest ⟨4,2,2,2⟩
+        // (both have the single kernel [2,2]), but the seed classifier
+        // branched on the raw ℓ and left the former Open while ruling the
+        // latter unsolvable (Theorem 10). Verdicts are properties of the
+        // output set, so synonyms must agree.
+        let a = task(4, 2, 0, 2);
+        let b = task(4, 2, 2, 2);
+        assert!(a.is_synonym_of(&b));
+        assert_eq!(a.classify().solvability, Solvability::NotWaitFreeSolvable);
+        assert_eq!(a.classify().solvability, b.classify().solvability);
+        // Sweep: every synonym pair in small families agrees.
+        for n in 2..=8usize {
+            for m in 1..=n {
+                let family = crate::order::feasible_family(n, m).unwrap();
+                for x in &family {
+                    for y in &family {
+                        if x.is_synonym_of(y) {
+                            assert_eq!(
+                                x.classify().solvability,
+                                y.classify().solvability,
+                                "synonyms {x} and {y} disagree"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_gcd_matches_uncached() {
+        for n in 2..=BINOMIAL_GCD_MAX_N {
+            assert_eq!(binomial_gcd(n), binomial_gcd_uncached(n), "n = {n}");
+        }
     }
 
     #[test]

@@ -236,13 +236,70 @@ impl GsbSpec {
     /// lexicographic order. Exponential in `n`; intended for small systems
     /// (tests, the topology checker, and the universal construction's
     /// "first legal vector" rule of Theorem 8).
+    ///
+    /// This is a thin `collect` over [`GsbSpec::legal_outputs_iter`];
+    /// prefer the iterator (streaming, O(n + m) memory) or
+    /// [`GsbSpec::legal_output_count`] (closed-form counting, no
+    /// enumeration at all) when the materialized `Vec` is not needed.
     #[must_use]
     pub fn legal_outputs(&self) -> Vec<OutputVector> {
-        let mut out = Vec::new();
-        let mut current = vec![0usize; self.n];
-        let mut counts = vec![0usize; self.m()];
-        self.enumerate_rec(0, &mut current, &mut counts, &mut out);
-        out
+        self.legal_outputs_iter().collect()
+    }
+
+    /// Lazily enumerates all legal output vectors in lexicographic order
+    /// without materializing the (exponentially large) output set.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gsb_core::SymmetricGsb;
+    ///
+    /// let wsb = SymmetricGsb::wsb(12)?.to_spec();
+    /// // 2^12 − 2 vectors — stream the first few without allocating all.
+    /// let head: Vec<_> = wsb.legal_outputs_iter().take(3).collect();
+    /// assert_eq!(head.len(), 3);
+    /// assert_eq!(wsb.legal_output_count(), (1 << 12) - 2);
+    /// # Ok::<(), gsb_core::Error>(())
+    /// ```
+    #[must_use]
+    pub fn legal_outputs_iter(&self) -> LegalOutputs<'_> {
+        LegalOutputs {
+            spec: self,
+            values: Vec::with_capacity(self.n),
+            counts: vec![0; self.m()],
+            deficit: self.lower.iter().sum(),
+            started: false,
+            done: false,
+        }
+    }
+
+    /// Counts the legal output vectors by dynamic programming over
+    /// per-value count profiles — `O(n²·m)` arithmetic instead of the
+    /// exponential enumeration. Saturates at `u128::MAX` for
+    /// astronomically large families.
+    #[must_use]
+    pub fn legal_output_count(&self) -> u128 {
+        // ways[r] = number of ways to fill r remaining slots using the
+        // values processed so far (scanning v = m down to 1).
+        let n = self.n;
+        let binomial = binomial_table(n);
+        let mut ways = vec![0u128; n + 1];
+        ways[0] = 1;
+        for v in (1..=self.m()).rev() {
+            let (l, u) = (self.lower[v - 1], self.upper[v - 1]);
+            let mut next = vec![0u128; n + 1];
+            for r in 0..=n {
+                let mut total = 0u128;
+                for c in l..=u.min(r) {
+                    let picks = binomial[r][c];
+                    let rest = ways[r - c];
+                    total = total.saturating_add(picks.saturating_mul(rest));
+                }
+                next[r] = total;
+            }
+            ways = next;
+        }
+        ways[n]
     }
 
     /// The lexicographically first legal output vector, if any.
@@ -286,42 +343,141 @@ impl GsbSpec {
         }
         Some(OutputVector::new(values))
     }
+}
 
-    fn enumerate_rec(
-        &self,
-        pos: usize,
-        current: &mut Vec<usize>,
-        counts: &mut Vec<usize>,
-        out: &mut Vec<OutputVector>,
-    ) {
-        if pos == self.n {
-            let legal = counts
-                .iter()
-                .zip(&self.lower)
-                .all(|(&c, &l)| c >= l);
-            if legal {
-                out.push(OutputVector::new(current.clone()));
+/// Pascal's triangle up to row `n`, saturating.
+fn binomial_table(n: usize) -> Vec<Vec<u128>> {
+    let mut table: Vec<Vec<u128>> = Vec::with_capacity(n + 1);
+    for r in 0..=n {
+        let mut row = vec![0u128; n + 1];
+        row[0] = 1;
+        if let Some(prev) = table.last() {
+            for (c, pair) in prev.windows(2).enumerate().take(r) {
+                row[c + 1] = pair[0].saturating_add(pair[1]);
             }
-            return;
         }
-        let remaining_after = self.n - pos - 1;
-        for v in 1..=self.m() {
-            if counts[v - 1] >= self.upper[v - 1] {
-                continue;
+        table.push(row);
+    }
+    table
+}
+
+/// Lazy lexicographic enumeration of a spec's legal output vectors (see
+/// [`GsbSpec::legal_outputs_iter`]).
+///
+/// Holds O(n + m) state: the current partial assignment, per-value
+/// counts, and the running lower-bound deficit used for pruning. Each
+/// `next()` backtrack-advances from the previously emitted vector, so the
+/// full output set is never materialized.
+#[derive(Debug, Clone)]
+pub struct LegalOutputs<'a> {
+    spec: &'a GsbSpec,
+    /// The current (partial or complete) assignment, 1-based values.
+    values: Vec<usize>,
+    /// How many times each value is used in `values`.
+    counts: Vec<usize>,
+    /// `Σ_v max(ℓ_v − counts[v], 0)` — slots still owed to lower bounds.
+    deficit: usize,
+    started: bool,
+    done: bool,
+}
+
+impl LegalOutputs<'_> {
+    /// Membership fast path: `O(n + m)` legality check, no enumeration
+    /// (delegates to [`GsbSpec::is_legal_output`]).
+    #[must_use]
+    pub fn contains(&self, output: &OutputVector) -> bool {
+        self.spec.is_legal_output(output)
+    }
+
+    /// Counting fast path: closed-form count of the *full* output set
+    /// (independent of how far this iterator has advanced); see
+    /// [`GsbSpec::legal_output_count`].
+    #[must_use]
+    pub fn total_count(&self) -> u128 {
+        self.spec.legal_output_count()
+    }
+
+    /// Places `v` at the current position, maintaining counts + deficit.
+    fn place(&mut self, v: usize) {
+        if self.counts[v - 1] < self.spec.lower[v - 1] {
+            self.deficit -= 1;
+        }
+        self.counts[v - 1] += 1;
+        self.values.push(v);
+    }
+
+    /// Removes the last placed value, returning it.
+    fn unplace(&mut self) -> Option<usize> {
+        let v = self.values.pop()?;
+        self.counts[v - 1] -= 1;
+        if self.counts[v - 1] < self.spec.lower[v - 1] {
+            self.deficit += 1;
+        }
+        Some(v)
+    }
+
+    /// Whether value `v` may be placed at position `values.len()` and
+    /// still leave the suffix completable.
+    fn admissible(&self, v: usize) -> bool {
+        if self.counts[v - 1] >= self.spec.upper[v - 1] {
+            return false;
+        }
+        let remaining_after = self.spec.n - self.values.len() - 1;
+        let deficit_after = if self.counts[v - 1] < self.spec.lower[v - 1] {
+            self.deficit - 1
+        } else {
+            self.deficit
+        };
+        deficit_after <= remaining_after
+    }
+
+    /// Completes the assignment to the lexicographically smallest legal
+    /// vector, trying values `≥ min_v` at the current position and
+    /// backtracking as needed. Returns `false` when the whole space is
+    /// exhausted.
+    fn extend(&mut self, mut min_v: usize) -> bool {
+        let (n, m) = (self.spec.n, self.spec.m());
+        loop {
+            if self.values.len() == n {
+                debug_assert_eq!(self.deficit, 0, "prune guarantees legality");
+                return true;
             }
-            counts[v - 1] += 1;
-            // Prune: remaining positions must cover all outstanding lower bounds.
-            let deficit: usize = self
-                .lower
-                .iter()
-                .zip(counts.iter())
-                .map(|(&l, &c)| l.saturating_sub(c))
-                .sum();
-            if deficit <= remaining_after {
-                current[pos] = v;
-                self.enumerate_rec(pos + 1, current, counts, out);
+            match (min_v..=m).find(|&v| self.admissible(v)) {
+                Some(v) => {
+                    self.place(v);
+                    min_v = 1;
+                }
+                None => match self.unplace() {
+                    Some(v) => min_v = v + 1,
+                    None => return false,
+                },
             }
-            counts[v - 1] -= 1;
+        }
+    }
+}
+
+impl Iterator for LegalOutputs<'_> {
+    type Item = OutputVector;
+
+    fn next(&mut self) -> Option<OutputVector> {
+        if self.done {
+            return None;
+        }
+        let found = if self.started {
+            // Backtrack off the previously emitted leaf, then advance.
+            match self.unplace() {
+                Some(v) => self.extend(v + 1),
+                None => false,
+            }
+        } else {
+            self.started = true;
+            self.extend(1)
+        };
+        if found {
+            Some(OutputVector::new(self.values.clone()))
+        } else {
+            self.done = true;
+            None
         }
     }
 }
@@ -331,7 +487,14 @@ impl std::fmt::Display for GsbSpec {
         if let Some(sym) = self.as_symmetric() {
             return write!(f, "{sym}");
         }
-        write!(f, "⟨{}, {}, {:?}, {:?}⟩-GSB", self.n, self.m(), self.lower, self.upper)
+        write!(
+            f,
+            "⟨{}, {}, {:?}, {:?}⟩-GSB",
+            self.n,
+            self.m(),
+            self.lower,
+            self.upper
+        )
     }
 }
 
@@ -768,6 +931,85 @@ mod tests {
         for n in 2..=8 {
             let wsb = SymmetricGsb::wsb(n).unwrap().to_spec();
             assert_eq!(wsb.legal_outputs().len(), (1usize << n) - 2, "n = {n}");
+            assert_eq!(wsb.legal_output_count(), (1u128 << n) - 2, "n = {n}");
         }
+    }
+
+    /// A small bank of structurally different specs for iterator tests.
+    fn sample_specs() -> Vec<GsbSpec> {
+        vec![
+            GsbSpec::election(4).unwrap(),
+            SymmetricGsb::wsb(5).unwrap().to_spec(),
+            SymmetricGsb::perfect_renaming(4).unwrap().to_spec(),
+            SymmetricGsb::slot(5, 3).unwrap().to_spec(),
+            SymmetricGsb::renaming(3, 5).unwrap().to_spec(),
+            SymmetricGsb::renaming(5, 4).unwrap().to_spec(), // infeasible
+            GsbSpec::committees(5, &[(1, 2), (2, 3), (0, 1)]).unwrap(),
+            GsbSpec::committees(4, &[(0, 2), (0, 2), (0, 4)]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn lazy_iterator_streams_the_materialized_set() {
+        for spec in sample_specs() {
+            let eager = spec.legal_outputs();
+            let lazy: Vec<OutputVector> = spec.legal_outputs_iter().collect();
+            assert_eq!(eager, lazy, "{spec}");
+            // Lexicographic order.
+            for w in lazy.windows(2) {
+                assert!(w[0].values() < w[1].values(), "{spec} not sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn count_fast_path_matches_enumeration() {
+        for spec in sample_specs() {
+            assert_eq!(
+                spec.legal_output_count(),
+                spec.legal_outputs_iter().count() as u128,
+                "{spec}"
+            );
+        }
+    }
+
+    #[test]
+    fn count_fast_path_scales_beyond_enumeration() {
+        // ⟨20, 20, 1, 1⟩: 20! permutations — far beyond materialization,
+        // instant by DP.
+        let pr = SymmetricGsb::perfect_renaming(20).unwrap().to_spec();
+        let factorial_20: u128 = (1..=20u128).product();
+        assert_eq!(pr.legal_output_count(), factorial_20);
+        // Unconstrained ⟨16, 4, 0, 16⟩: every assignment is legal.
+        let free = SymmetricGsb::new(16, 4, 0, 16).unwrap().to_spec();
+        assert_eq!(free.legal_output_count(), 4u128.pow(16));
+    }
+
+    #[test]
+    fn iterator_contains_fast_path() {
+        let wsb = SymmetricGsb::wsb(4).unwrap().to_spec();
+        let iter = wsb.legal_outputs_iter();
+        assert!(iter.contains(&OutputVector::new(vec![1, 2, 1, 1])));
+        assert!(!iter.contains(&OutputVector::new(vec![1, 1, 1, 1])));
+        assert_eq!(iter.total_count(), 14);
+    }
+
+    #[test]
+    fn iterator_head_does_not_need_the_tail() {
+        // Streaming the first vector of a huge family is O(n), not O(m^n).
+        let big = SymmetricGsb::new(24, 6, 0, 24).unwrap().to_spec();
+        let first = big.legal_outputs_iter().next().unwrap();
+        assert_eq!(first.values(), &[1usize; 24][..]);
+        assert_eq!(big.first_legal_output().as_ref(), Some(&first));
+    }
+
+    #[test]
+    fn iterator_is_fused_after_exhaustion() {
+        let spec = GsbSpec::election(2).unwrap();
+        let mut iter = spec.legal_outputs_iter();
+        assert!(iter.next().is_some());
+        assert!(iter.next().is_some());
+        assert!(iter.next().is_none());
+        assert!(iter.next().is_none());
     }
 }

@@ -69,7 +69,12 @@ impl KernelTable {
                 marks,
             });
         }
-        Ok(KernelTable { n, m, columns, rows })
+        Ok(KernelTable {
+            n,
+            m,
+            columns,
+            rows,
+        })
     }
 
     /// Number of processes `n`.
@@ -238,11 +243,7 @@ mod tests {
             .iter()
             .map(|r| r.marks.iter().filter(|&&b| b).count())
             .sum();
-        let total_kernels: usize = table
-            .rows()
-            .iter()
-            .map(|r| r.task.kernel_set().len())
-            .sum();
+        let total_kernels: usize = table.rows().iter().map(|r| r.task.kernel_set().len()).sum();
         assert_eq!(total_marks, total_kernels);
         assert!(text.contains("yes"));
     }
@@ -252,7 +253,11 @@ mod tests {
         // n = 2, m = 2: feasible (ℓ,u): u ∈ {1, 2}, ℓ ∈ {0, 1}.
         let table = KernelTable::new(2, 2).unwrap();
         assert_eq!(
-            table.columns().iter().map(|k| k.to_string()).collect::<Vec<_>>(),
+            table
+                .columns()
+                .iter()
+                .map(|k| k.to_string())
+                .collect::<Vec<_>>(),
             ["[2, 0]", "[1, 1]"]
         );
         // Rows: (0,2), (1,2), (0,1), (1,1).

@@ -1,14 +1,48 @@
 //! Exhaustive schedule enumeration for small systems.
 //!
 //! Wait-free correctness quantifies over *all* runs. For small `n` and
-//! bounded algorithms the simulator can enumerate every schedule exactly:
-//! a depth-first search that forks the executor at each step over every
-//! active process. Crash-containing runs need no separate enumeration for
-//! task validity — every prefix of a crash-free schedule is reached by the
-//! DFS, and [`partial_decisions_completable`](crate::sim::partial_decisions_completable)
-//! is checked at every node (the decided values of any prefix must remain
-//! completable, which is exactly the validity requirement of Definition 1
-//! restated prefix-wise).
+//! bounded algorithms the simulator can enumerate every schedule exactly.
+//! Two engines are provided:
+//!
+//! * [`enumerate_schedules`] — the exact walk over every schedule prefix,
+//!   driven by an **explicit-stack worklist** (no recursion) over
+//!   copy-on-write executor forks. Callbacks see every prefix and every
+//!   complete run, with full event histories.
+//! * [`enumerate_decisions_memoized`] — the fast path for the common
+//!   question "what is the multiset of decision vectors over all runs?".
+//!   It prunes the schedule tree with two sound reductions:
+//!
+//!   1. a **canonical-state memo table**: executor states reached along
+//!      different interleavings (commuting steps) are explored once —
+//!      states are fingerprinted via [`Protocol::state_key`] and, under
+//!      [`Symmetry::Exchangeable`], canonicalized over all process
+//!      relabelings so an entire symmetry orbit shares one entry;
+//!   2. **orbit pruning** of never-stepped processes: when the machines
+//!      are exchangeable, the subtree of "process `q` moves first" is a
+//!      relabeling of the subtree of the lowest-index idle process, so it
+//!      is derived by a transposition instead of explored.
+//!
+//!   The result is *identical* to the naive walk (the multiset, including
+//!   multiplicities, is reconstructed exactly — property-tested in
+//!   `tests/enumeration_equivalence.rs`) while visiting strictly fewer
+//!   nodes on symmetric protocols.
+//!
+//! [`Symmetry::Exchangeable`] asserts a contract the enumerator cannot
+//! check: all `n` machines are identical state machines whose behaviour
+//! depends on a snapshot view only up to process relabeling (the paper's
+//! index-independence, strengthened to the full executor state). All of
+//! the paper's symmetric GSB protocols satisfy it; protocols seeded with
+//! distinct identities generally do not — use [`Symmetry::None`], which
+//! still merges states reached along commuting interleavings.
+//!
+//! Crash-containing runs need no separate enumeration for task validity —
+//! every prefix of a crash-free schedule is reached, and
+//! [`partial_decisions_completable`](crate::sim::partial_decisions_completable)
+//! can be checked at every node (the decided values of any prefix must
+//! remain completable, which is exactly the validity requirement of
+//! Definition 1 restated prefix-wise).
+
+use std::collections::{BTreeMap, HashMap};
 
 use crate::error::Result;
 use crate::process::Pid;
@@ -17,17 +51,45 @@ use crate::sim::{Executor, RunOutcome};
 /// Statistics of an exhaustive enumeration.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EnumerationStats {
-    /// Number of complete runs (leaves) explored.
+    /// Number of complete runs accounted for (including runs reconstructed
+    /// from memo hits and orbit derivations — always equal to the naive
+    /// engine's count on the same executor).
     pub runs: usize,
-    /// Number of DFS nodes (prefixes) visited.
+    /// Number of nodes visited (prefixes explored, plus one per memo hit
+    /// or orbit derivation, which terminate immediately).
     pub nodes: usize,
     /// Maximum schedule length seen.
     pub max_depth: usize,
+    /// Subtrees answered from the canonical-state memo table.
+    pub memo_hits: usize,
+    /// Subtrees derived by process-relabeling instead of exploration.
+    pub orbit_skips: usize,
 }
+
+/// How aggressively [`enumerate_decisions_memoized`] may exploit process
+/// symmetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symmetry {
+    /// No relabeling: only *identical* executor states are merged. Sound
+    /// for every protocol family.
+    None,
+    /// Process-relabeling symmetry: the `n` machines are asserted to be
+    /// exchangeable (identical machines, view-relabeling-covariant
+    /// behaviour). Orbits of states share one memo entry and idle-process
+    /// branches are derived by transposition. Executors with installed
+    /// oracle objects get no symmetry reduction (oracle hidden state may
+    /// depend on process indices), only exact-state merging.
+    Exchangeable,
+}
+
+/// A multiset of complete-run decision vectors: `vector → multiplicity`.
+pub type DecisionMultiset = BTreeMap<Vec<usize>, u64>;
 
 /// Exhaustively explores every schedule of `executor` (which must not have
 /// taken steps yet), invoking `on_prefix` at every intermediate node and
-/// `on_complete` at every finished run.
+/// `on_complete` at every finished run, via an explicit-stack worklist
+/// (prefixes are visited in the same depth-first order as the recursive
+/// reference implementation).
 ///
 /// Either callback may return `false` to abort the whole enumeration early
 /// (e.g. on the first counterexample).
@@ -37,6 +99,76 @@ pub struct EnumerationStats {
 /// Propagates simulator errors ([`crate::Error::StepLimitExceeded`] when a
 /// branch exceeds `step_limit`, protocol/oracle violations).
 pub fn enumerate_schedules(
+    executor: &Executor,
+    step_limit: usize,
+    on_prefix: &mut dyn FnMut(&Executor) -> bool,
+    on_complete: &mut dyn FnMut(&RunOutcome) -> bool,
+) -> Result<EnumerationStats> {
+    // Children are forked and stepped *lazily* — when popped, not when
+    // pushed — so step errors and callback aborts surface in exactly the
+    // prefix order the recursive reference visits (an error on process
+    // q's branch must not preempt the complete enumeration of process
+    // p < q's subtree).
+    enum WorkItem {
+        Root(Box<Executor>),
+        Child {
+            parent: std::rc::Rc<Executor>,
+            pid: Pid,
+            depth: usize,
+        },
+    }
+    let mut stats = EnumerationStats::default();
+    let mut stack: Vec<WorkItem> = vec![WorkItem::Root(Box::new(executor.clone()))];
+    while let Some(item) = stack.pop() {
+        let (exec, depth) = match item {
+            WorkItem::Root(exec) => (*exec, 0),
+            WorkItem::Child { parent, pid, depth } => {
+                let mut fork = (*parent).clone();
+                fork.step(pid)?;
+                (fork, depth)
+            }
+        };
+        stats.nodes += 1;
+        stats.max_depth = stats.max_depth.max(depth);
+        if exec.is_done() {
+            stats.runs += 1;
+            if !on_complete(&exec.outcome()) {
+                return Ok(stats);
+            }
+            continue;
+        }
+        if depth >= step_limit {
+            return Err(crate::error::Error::StepLimitExceeded {
+                limit: step_limit,
+                undecided: exec.active(),
+            });
+        }
+        if !on_prefix(&exec) {
+            return Ok(stats);
+        }
+        // Reverse push order so the lowest pid is popped (visited) first,
+        // matching the recursive reference's child order.
+        let active = exec.active();
+        let parent = std::rc::Rc::new(exec);
+        for pid in active.into_iter().rev() {
+            stack.push(WorkItem::Child {
+                parent: parent.clone(),
+                pid,
+                depth: depth + 1,
+            });
+        }
+    }
+    Ok(stats)
+}
+
+/// The retained **naive reference DFS**: plain recursion, full clones, no
+/// pruning. Semantically identical to [`enumerate_schedules`]; kept as the
+/// oracle the property tests compare the memoized engine against.
+///
+/// # Errors
+///
+/// Same contract as [`enumerate_schedules`].
+pub fn enumerate_schedules_reference(
     executor: &Executor,
     step_limit: usize,
     on_prefix: &mut dyn FnMut(&Executor) -> bool,
@@ -106,6 +238,303 @@ fn dfs(
     Ok(())
 }
 
+/// Collects the decision-vector multiset of all complete runs with the
+/// naive reference DFS — the oracle side of the equivalence property.
+///
+/// # Errors
+///
+/// Same contract as [`enumerate_schedules`].
+pub fn enumerate_decisions_naive(
+    executor: &Executor,
+    step_limit: usize,
+) -> Result<(DecisionMultiset, EnumerationStats)> {
+    let mut multiset = DecisionMultiset::new();
+    let stats = enumerate_schedules_reference(executor, step_limit, &mut |_| true, &mut |o| {
+        let decisions: Vec<usize> = o
+            .decisions
+            .iter()
+            .map(|d| d.expect("complete run has all decisions"))
+            .collect();
+        *multiset.entry(decisions).or_insert(0) += 1;
+        true
+    })?;
+    Ok((multiset, stats))
+}
+
+/// One planned child of a worklist frame.
+#[derive(Debug, Clone, Copy)]
+enum ChildPlan {
+    /// Fork and explore (or answer from the memo).
+    Expand(Pid),
+    /// The subtree of `dst` is the `(src dst)`-transposition of the
+    /// (already expanded) subtree of `src` — exchangeable idle processes.
+    Derived { src: Pid, dst: Pid },
+}
+
+/// A node of the explicit-stack worklist.
+#[derive(Debug)]
+struct Frame {
+    exec: Executor,
+    depth: usize,
+    plans: Vec<ChildPlan>,
+    next: usize,
+    /// Decision multiset of the subtree, accumulated as children finish.
+    acc: DecisionMultiset,
+    /// Longest path from this node to a leaf, accumulated likewise.
+    height: usize,
+    /// Subtree multisets (and heights) of expanded children that later
+    /// `Derived` siblings still need, keyed by pid index.
+    keep: BTreeMap<usize, (DecisionMultiset, usize)>,
+    /// Pids whose expanded subtrees later `Derived` siblings reference
+    /// (fixed at frame creation).
+    needed: Vec<usize>,
+    /// Canonical key and relabeling to publish at frame exit.
+    canon: Option<(Vec<u64>, Vec<usize>)>,
+    /// Which pid of the parent frame this frame expands.
+    from_pid: Option<usize>,
+}
+
+impl Frame {
+    fn new(
+        exec: Executor,
+        depth: usize,
+        symmetry: Symmetry,
+        canon: Option<(Vec<u64>, Vec<usize>)>,
+        from_pid: Option<usize>,
+    ) -> Self {
+        let active = exec.active();
+        let mut plans = Vec::with_capacity(active.len());
+        let mut idle_rep: Option<Pid> = None;
+        // Oracle hidden state may depend on process indices (the trait
+        // hands `invoke` the real pid), so orbit derivation — like the
+        // state memo — is only sound without oracles.
+        let orbits_sound = symmetry == Symmetry::Exchangeable && exec.oracle_count() == 0;
+        for pid in active {
+            if orbits_sound && exec.steps_taken(pid) == 0 {
+                match idle_rep {
+                    None => {
+                        idle_rep = Some(pid);
+                        plans.push(ChildPlan::Expand(pid));
+                    }
+                    Some(rep) => plans.push(ChildPlan::Derived { src: rep, dst: pid }),
+                }
+            } else {
+                plans.push(ChildPlan::Expand(pid));
+            }
+        }
+        let needed: Vec<usize> = plans
+            .iter()
+            .filter_map(|p| match p {
+                ChildPlan::Derived { src, .. } => Some(src.index()),
+                ChildPlan::Expand(_) => None,
+            })
+            .collect();
+        Frame {
+            exec,
+            depth,
+            plans,
+            next: 0,
+            acc: DecisionMultiset::new(),
+            height: 0,
+            keep: BTreeMap::new(),
+            needed,
+            canon,
+            from_pid,
+        }
+    }
+
+    /// Folds one finished child (pid `pid`, multiset `sub`, height `h`)
+    /// into the accumulator.
+    fn absorb(&mut self, pid: usize, sub: DecisionMultiset, h: usize) {
+        self.height = self.height.max(h + 1);
+        if self.needed.contains(&pid) {
+            self.keep.insert(pid, (sub.clone(), h));
+        }
+        merge_into(&mut self.acc, sub);
+    }
+}
+
+fn merge_into(acc: &mut DecisionMultiset, sub: DecisionMultiset) {
+    for (vector, count) in sub {
+        *acc.entry(vector).or_insert(0) += count;
+    }
+}
+
+/// Relabels every vector of `ms` by `perm` (entry `i` moves to `perm[i]`).
+fn apply_perm(ms: &DecisionMultiset, perm: &[usize]) -> DecisionMultiset {
+    ms.iter()
+        .map(|(v, &c)| {
+            let mut out = vec![0usize; v.len()];
+            for (i, &d) in v.iter().enumerate() {
+                out[perm[i]] = d;
+            }
+            (out, c)
+        })
+        .collect()
+}
+
+/// Inverse of [`apply_perm`]: entry `perm[i]` moves back to `i`.
+fn unapply_perm(ms: &DecisionMultiset, perm: &[usize]) -> DecisionMultiset {
+    ms.iter()
+        .map(|(v, &c)| {
+            let out: Vec<usize> = perm.iter().map(|&j| v[j]).collect();
+            (out, c)
+        })
+        .collect()
+}
+
+/// Swaps entries `a` and `b` of every vector.
+fn transpose(ms: &DecisionMultiset, a: usize, b: usize) -> DecisionMultiset {
+    ms.iter()
+        .map(|(v, &c)| {
+            let mut out = v.clone();
+            out.swap(a, b);
+            (out, c)
+        })
+        .collect()
+}
+
+/// Minimal permuted state encoding over `perms`, with the minimizing
+/// relabeling. `None` when the state is not fingerprintable.
+fn canonicalize(exec: &Executor, perms: &[Vec<usize>]) -> Option<(Vec<u64>, Vec<usize>)> {
+    let mut best: Option<(Vec<u64>, Vec<usize>)> = None;
+    for perm in perms {
+        let key = exec.state_key_permuted(perm)?;
+        if best.as_ref().is_none_or(|(b, _)| key < *b) {
+            best = Some((key, perm.clone()));
+        }
+    }
+    best
+}
+
+/// Enumerates the decision-vector multiset of all complete runs with the
+/// **memoized symmetry-reduced worklist engine** (see the module docs for
+/// the two reductions and the [`Symmetry::Exchangeable`] contract).
+///
+/// The returned multiset — including multiplicities — is exactly what
+/// [`enumerate_decisions_naive`] computes, at a fraction of the visited
+/// nodes. The memo table holds one decision multiset per canonical state,
+/// so memory is proportional to the number of distinct states; this is
+/// the intended trade for small-`n` exhaustive checks (`n ≤ 4`).
+///
+/// # Errors
+///
+/// Propagates simulator errors; reports
+/// [`StepLimitExceeded`](crate::Error::StepLimitExceeded) exactly when the
+/// naive walk would (memo entries carry subtree heights, so limit
+/// violations inside shared subtrees are still detected).
+pub fn enumerate_decisions_memoized(
+    executor: &Executor,
+    step_limit: usize,
+    symmetry: Symmetry,
+) -> Result<(DecisionMultiset, EnumerationStats)> {
+    let mut stats = EnumerationStats::default();
+    let mut root = executor.clone();
+    root.set_instrumentation(false);
+    let n = root.n();
+    let perms: Vec<Vec<usize>> = match symmetry {
+        Symmetry::Exchangeable => permutations(n),
+        Symmetry::None => vec![(0..n).collect()],
+    };
+    let mut memo: HashMap<Vec<u64>, (DecisionMultiset, usize)> = HashMap::new();
+
+    stats.nodes += 1; // the root
+    let root_canon = canonicalize(&root, &perms);
+    let mut stack: Vec<Frame> = vec![Frame::new(root, 0, symmetry, root_canon, None)];
+    let mut result: Option<(DecisionMultiset, usize)> = None;
+
+    while !stack.is_empty() {
+        let top = stack.len() - 1;
+        if stack[top].next < stack[top].plans.len() {
+            let plan = stack[top].plans[stack[top].next];
+            stack[top].next += 1;
+            match plan {
+                ChildPlan::Derived { src, dst } => {
+                    stats.nodes += 1;
+                    stats.orbit_skips += 1;
+                    let (sub, h) = stack[top]
+                        .keep
+                        .get(&src.index())
+                        .expect("representative subtree expanded before derivation")
+                        .clone();
+                    let transposed = transpose(&sub, src.index(), dst.index());
+                    stack[top].absorb(dst.index(), transposed, h);
+                }
+                ChildPlan::Expand(pid) => {
+                    let mut fork = stack[top].exec.clone();
+                    fork.step(pid)?;
+                    let depth = stack[top].depth + 1;
+                    stats.nodes += 1;
+                    stats.max_depth = stats.max_depth.max(depth);
+                    if fork.is_done() {
+                        let decisions: Vec<usize> = fork
+                            .decisions()
+                            .iter()
+                            .map(|d| d.expect("complete run has all decisions"))
+                            .collect();
+                        let mut leaf = DecisionMultiset::new();
+                        leaf.insert(decisions, 1);
+                        stack[top].absorb(pid.index(), leaf, 0);
+                        continue;
+                    }
+                    if depth >= step_limit {
+                        return Err(crate::error::Error::StepLimitExceeded {
+                            limit: step_limit,
+                            undecided: fork.active(),
+                        });
+                    }
+                    let canon = canonicalize(&fork, &perms);
+                    if let Some((key, perm)) = &canon {
+                        if let Some((cached, height)) = memo.get(key) {
+                            // The subtree's non-done nodes sit at depths
+                            // `depth..depth + height` (its leaves, at
+                            // `depth + height`, are done), so the naive
+                            // walk errors iff the deepest non-done node
+                            // reaches the limit: depth + height − 1 ≥
+                            // limit.
+                            if depth + height > step_limit {
+                                return Err(crate::error::Error::StepLimitExceeded {
+                                    limit: step_limit,
+                                    undecided: fork.active(),
+                                });
+                            }
+                            stats.memo_hits += 1;
+                            let sub = unapply_perm(cached, perm);
+                            let h = *height;
+                            stack[top].absorb(pid.index(), sub, h);
+                            continue;
+                        }
+                    }
+                    stack.push(Frame::new(fork, depth, symmetry, canon, Some(pid.index())));
+                }
+            }
+        } else {
+            let frame = stack.pop().expect("stack is non-empty");
+            if let Some((key, perm)) = &frame.canon {
+                memo.insert(key.clone(), (apply_perm(&frame.acc, perm), frame.height));
+            }
+            match stack.last_mut() {
+                Some(parent) => {
+                    parent.absorb(
+                        frame.from_pid.expect("non-root frame records its origin"),
+                        frame.acc,
+                        frame.height,
+                    );
+                }
+                None => result = Some((frame.acc, frame.height)),
+            }
+        }
+    }
+
+    let (multiset, root_height) = result.expect("worklist always finishes the root frame");
+    stats.runs = multiset
+        .values()
+        .map(|&c| usize::try_from(c).expect("run count fits usize"))
+        .sum();
+    stats.max_depth = stats.max_depth.max(root_height);
+    Ok((multiset, stats))
+}
+
 /// Convenience wrapper: enumerates all schedules and returns every
 /// complete-run outcome (use only when the run count is small).
 ///
@@ -122,9 +551,14 @@ pub fn collect_all_runs(executor: &Executor, step_limit: usize) -> Result<Vec<Ru
 }
 
 /// All permutations of `0..n` — the index/rank permutations used when
-/// sweeping input assignments and checking index-independence.
+/// sweeping input assignments, checking index-independence, and
+/// canonicalizing states in the memoized enumerator. `permutations(0)` is
+/// the singleton `[[]]` (the empty permutation), matching `0! = 1`.
 #[must_use]
 pub fn permutations(n: usize) -> Vec<Vec<usize>> {
+    if n == 0 {
+        return vec![Vec::new()];
+    }
     let mut out = Vec::new();
     let mut current: Vec<usize> = (0..n).collect();
     heap_permutations(&mut current, n, &mut out);
@@ -133,12 +567,14 @@ pub fn permutations(n: usize) -> Vec<Vec<usize>> {
 
 fn heap_permutations(current: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
     if k <= 1 {
+        // Covers k = 0 as well (guarded by `permutations`, but kept safe
+        // for direct callers): the only permutation is `current` itself.
         out.push(current.clone());
         return;
     }
     for i in 0..k {
         heap_permutations(current, k - 1, out);
-        if k % 2 == 0 {
+        if k.is_multiple_of(2) {
             current.swap(i, k - 1);
         } else {
             current.swap(0, k - 1);
@@ -152,10 +588,7 @@ fn heap_permutations(current: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize
 /// # Errors
 ///
 /// Propagates simulator errors.
-pub fn collect_all_schedules(
-    executor: &Executor,
-    step_limit: usize,
-) -> Result<Vec<Vec<Pid>>> {
+pub fn collect_all_schedules(executor: &Executor, step_limit: usize) -> Result<Vec<Vec<Pid>>> {
     Ok(collect_all_runs(executor, step_limit)?
         .into_iter()
         .map(|o| o.history.schedule())
@@ -177,14 +610,15 @@ mod tests {
             match obs {
                 Observation::Start => Action::Write(vec![1]),
                 Observation::Written => Action::Snapshot,
-                Observation::Snapshot(snap) => {
-                    Action::Decide(snap.iter().flatten().count())
-                }
+                Observation::Snapshot(snap) => Action::Decide(snap.iter().flatten().count()),
                 _ => unreachable!(),
             }
         }
         fn boxed_clone(&self) -> Box<dyn Protocol> {
             Box::new(self.clone())
+        }
+        fn state_key(&self) -> Option<Vec<u64>> {
+            Some(Vec::new()) // stateless machine
         }
     }
 
@@ -214,6 +648,89 @@ mod tests {
     }
 
     #[test]
+    fn worklist_matches_reference_dfs() {
+        for n in 1..=3 {
+            let mut worklist_runs = Vec::new();
+            let a = enumerate_schedules(&exec(n), 100, &mut |_| true, &mut |o| {
+                worklist_runs.push(o.decisions.clone());
+                true
+            })
+            .unwrap();
+            let mut reference_runs = Vec::new();
+            let b = enumerate_schedules_reference(&exec(n), 100, &mut |_| true, &mut |o| {
+                reference_runs.push(o.decisions.clone());
+                true
+            })
+            .unwrap();
+            assert_eq!(a, b, "stats diverge at n = {n}");
+            assert_eq!(
+                worklist_runs, reference_runs,
+                "run order diverges at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn memoized_engine_matches_naive_multiset() {
+        for n in 1..=3 {
+            let (naive, naive_stats) = enumerate_decisions_naive(&exec(n), 100).unwrap();
+            for symmetry in [Symmetry::None, Symmetry::Exchangeable] {
+                let (memoized, stats) =
+                    enumerate_decisions_memoized(&exec(n), 100, symmetry).unwrap();
+                assert_eq!(naive, memoized, "n = {n}, {symmetry:?}");
+                assert_eq!(stats.runs, naive_stats.runs, "n = {n}, {symmetry:?}");
+                assert_eq!(stats.max_depth, naive_stats.max_depth);
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_engine_visits_strictly_fewer_nodes() {
+        for n in [2usize, 3] {
+            let (_, naive) = enumerate_decisions_naive(&exec(n), 100).unwrap();
+            let (_, merged) = enumerate_decisions_memoized(&exec(n), 100, Symmetry::None).unwrap();
+            let (_, reduced) =
+                enumerate_decisions_memoized(&exec(n), 100, Symmetry::Exchangeable).unwrap();
+            assert!(
+                merged.nodes < naive.nodes,
+                "state merging saves nothing at n = {n}: {merged:?} vs {naive:?}"
+            );
+            assert!(
+                reduced.nodes < merged.nodes,
+                "symmetry saves nothing at n = {n}: {reduced:?} vs {merged:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_step_limit_boundary_matches_naive() {
+        // n = 2 SeenCount runs are exactly 6 steps deep: a limit of 6
+        // accommodates every run (non-done nodes all sit at depth ≤ 5),
+        // so every engine must succeed; a limit of 5 must fail in every
+        // engine. Regression for an off-by-one in the memo-hit check.
+        let (naive, _) = enumerate_decisions_naive(&exec(2), 6).unwrap();
+        for symmetry in [Symmetry::None, Symmetry::Exchangeable] {
+            let (memoized, _) = enumerate_decisions_memoized(&exec(2), 6, symmetry).unwrap();
+            assert_eq!(naive, memoized, "{symmetry:?}");
+            let err = enumerate_decisions_memoized(&exec(2), 5, symmetry).unwrap_err();
+            assert!(matches!(err, crate::Error::StepLimitExceeded { .. }));
+        }
+        assert!(enumerate_decisions_naive(&exec(2), 5).is_err());
+    }
+
+    #[test]
+    fn step_limit_violations_survive_memoization() {
+        // Depth 6 is needed for n = 2; a limit of 4 must error in every
+        // engine even when subtrees come from the memo.
+        for symmetry in [Symmetry::None, Symmetry::Exchangeable] {
+            let err = enumerate_decisions_memoized(&exec(2), 4, symmetry).unwrap_err();
+            assert!(matches!(err, crate::Error::StepLimitExceeded { .. }));
+        }
+        let err = enumerate_decisions_naive(&exec(2), 4).unwrap_err();
+        assert!(matches!(err, crate::Error::StepLimitExceeded { .. }));
+    }
+
+    #[test]
     fn seen_counts_respect_snapshot_containment() {
         // In every run the multiset of decisions must contain at least one
         // process that saw everyone (the last to snapshot) and every
@@ -239,6 +756,7 @@ mod tests {
 
     #[test]
     fn permutations_count() {
+        assert_eq!(permutations(0), vec![Vec::<usize>::new()]);
         assert_eq!(permutations(1).len(), 1);
         assert_eq!(permutations(3).len(), 6);
         assert_eq!(permutations(4).len(), 24);

@@ -64,7 +64,7 @@ impl IsMachine {
     }
 
     fn descend(&mut self) -> IsStep {
-        debug_assert!(self.level > 1 || self.level == 1, "levels stay positive");
+        debug_assert!(self.level >= 1, "levels stay positive");
         self.level -= 1;
         self.awaiting_snapshot = false;
         IsStep::Write(vec![self.id, self.level as Word])
@@ -167,11 +167,8 @@ impl Protocol for IsProtocol {
             IsStep::Write(value) => Action::Write(value),
             IsStep::Snapshot => Action::Snapshot,
             IsStep::Done(view) => {
-                let mut published = vec![
-                    self.machine.id,
-                    self.machine.level() as Word,
-                    VIEW_MARKER,
-                ];
+                let mut published =
+                    vec![self.machine.id, self.machine.level() as Word, VIEW_MARKER];
                 published.extend(&view);
                 self.view = Some(view);
                 Action::Write(published)
@@ -343,7 +340,7 @@ mod tests {
             let mut sizes: Vec<usize> = views.iter().map(|(_, v)| v.len()).collect();
             sizes.sort_unstable();
             for (count, &size) in sizes.iter().enumerate() {
-                assert!(size >= count + 1, "seed {seed}: sizes {sizes:?}");
+                assert!(size > count, "seed {seed}: sizes {sizes:?}");
             }
         }
     }

@@ -46,7 +46,10 @@ pub mod snapshot;
 pub mod threaded;
 pub mod trace;
 
-pub use enumerate::{collect_all_runs, enumerate_schedules, EnumerationStats};
+pub use enumerate::{
+    collect_all_runs, enumerate_decisions_memoized, enumerate_decisions_naive, enumerate_schedules,
+    enumerate_schedules_reference, permutations, DecisionMultiset, EnumerationStats, Symmetry,
+};
 pub use error::{Error, Result};
 pub use history::{Event, EventKind, History};
 pub use immediate::{IsMachine, IsProtocol, IsStep};
@@ -57,9 +60,8 @@ pub use scheduler::{
     AdversarialScheduler, FixedScheduler, RoundRobinScheduler, Scheduler, SeededScheduler,
 };
 pub use sim::{
-    build_executor, partial_decisions_completable, replay_index_permuted,
-    replay_order_isomorphic, Action, CrashPlan, Executor, Observation, Protocol,
-    ProtocolFactory, RunOutcome,
+    build_executor, partial_decisions_completable, replay_index_permuted, replay_order_isomorphic,
+    Action, CrashPlan, Executor, Observation, Protocol, ProtocolFactory, RunOutcome,
 };
 pub use snapshot::{ScanMachine, ScanStep, SnapshotCell, UpdateMachine, UpdateStep};
 pub use trace::{render_event, render_history, render_outcome};

@@ -159,7 +159,10 @@ impl Oracle for GsbOracle {
         if i >= self.invoked.len() {
             return Err(Error::OracleViolation {
                 pid,
-                reason: format!("process index out of range for {}-process oracle", self.invoked.len()),
+                reason: format!(
+                    "process index out of range for {}-process oracle",
+                    self.invoked.len()
+                ),
             });
         }
         if self.invoked[i] {
@@ -280,8 +283,7 @@ mod tests {
         ] {
             let spec = SymmetricGsb::perfect_renaming(5).unwrap().to_spec();
             let mut o = GsbOracle::new(spec.clone(), policy).unwrap();
-            let mut names: Vec<u64> =
-                (0..5).map(|i| o.invoke(pid(i), 0).unwrap()).collect();
+            let mut names: Vec<u64> = (0..5).map(|i| o.invoke(pid(i), 0).unwrap()).collect();
             names.sort_unstable();
             assert_eq!(names, [1, 2, 3, 4, 5], "{policy:?}");
         }
@@ -295,8 +297,7 @@ mod tests {
             let spec = SymmetricGsb::slot(6, 5).unwrap().to_spec();
             let mut o = GsbOracle::new(spec.clone(), OraclePolicy::Seeded(seed)).unwrap();
             let replies: Vec<u64> = (0..6).map(|i| o.invoke(pid(i), 0).unwrap()).collect();
-            let out =
-                gsb_core::OutputVector::new(replies.iter().map(|&v| v as usize).collect());
+            let out = gsb_core::OutputVector::new(replies.iter().map(|&v| v as usize).collect());
             assert!(spec.is_legal_output(&out), "seed {seed}: {out}");
         }
     }
@@ -314,8 +315,9 @@ mod tests {
             for seed in 0..30 {
                 let n = spec.n();
                 let mut o = GsbOracle::new(spec.clone(), OraclePolicy::Seeded(seed)).unwrap();
-                let replies: Vec<usize> =
-                    (0..n).map(|i| o.invoke(pid(i), 0).unwrap() as usize).collect();
+                let replies: Vec<usize> = (0..n)
+                    .map(|i| o.invoke(pid(i), 0).unwrap() as usize)
+                    .collect();
                 let out = gsb_core::OutputVector::new(replies);
                 assert!(spec.is_legal_output(&out), "{spec} seed {seed}: {out}");
             }

@@ -39,6 +39,9 @@ pub struct RegisterArray {
     version: u64,
     /// Write log `(version, pid, value)` used by history checkers.
     log: Vec<(u64, Pid, Value)>,
+    /// Whether writes are appended to the log (the enumerator's lean mode
+    /// switches this off so forks stop paying O(writes) per clone).
+    logging: bool,
 }
 
 impl RegisterArray {
@@ -49,7 +52,15 @@ impl RegisterArray {
             cells: vec![None; n],
             version: 0,
             log: Vec::new(),
+            logging: true,
         }
+    }
+
+    /// Switches the write log on or off (off = lean enumeration mode;
+    /// [`RegisterArray::write_log`] and [`RegisterArray::state_at`] then
+    /// only cover the logged prefix).
+    pub fn set_logging(&mut self, on: bool) {
+        self.logging = on;
     }
 
     /// Number of registers `n`.
@@ -75,7 +86,9 @@ impl RegisterArray {
         let i = pid.index();
         assert!(i < self.cells.len(), "register index {i} out of range");
         self.version += 1;
-        self.log.push((self.version, pid, value.clone()));
+        if self.logging {
+            self.log.push((self.version, pid, value.clone()));
+        }
         self.cells[i] = Some(value);
     }
 

@@ -69,13 +69,32 @@ pub enum Observation {
 /// scheduler picks the process, receives the [`Observation`] produced by
 /// the process's previous action, and returns the next action. After
 /// returning [`Action::Decide`] the protocol is never activated again.
-pub trait Protocol: std::fmt::Debug + Send {
+///
+/// `Sync` is required so the exhaustive enumerator can share un-forked
+/// machines between executor forks (copy-on-write); protocols are plain
+/// state machines mutated only through `&mut self`, so the bound is
+/// vacuous in practice.
+pub trait Protocol: std::fmt::Debug + Send + Sync {
     /// Produces the next shared-memory operation.
     fn next_action(&mut self, observation: Observation) -> Action;
 
     /// Clones the machine with its current state (the exhaustive schedule
     /// enumerator forks executors at branch points).
     fn boxed_clone(&self) -> Box<dyn Protocol>;
+
+    /// Optional stable fingerprint of the machine's *current* state.
+    ///
+    /// Two machines of the same algorithm whose fingerprints are equal
+    /// must behave identically on every future observation sequence. When
+    /// every process of an executor provides a fingerprint, the memoized
+    /// enumerator
+    /// ([`enumerate_decisions_memoized`](crate::enumerate::enumerate_decisions_memoized))
+    /// merges executor states reached along different schedules instead of
+    /// re-exploring them. The default `None` opts out of state
+    /// memoization (prefix-level symmetry pruning still applies).
+    fn state_key(&self) -> Option<Vec<u64>> {
+        None
+    }
 }
 
 impl Clone for Box<dyn Protocol> {
@@ -240,13 +259,20 @@ pub struct Executor {
     n: usize,
     registers: RegisterArray,
     oracles: Vec<Box<dyn Oracle>>,
-    protocols: Vec<Box<dyn Protocol>>,
+    /// Machines are behind `Arc` so that forking the executor (which the
+    /// exhaustive enumerator does at every branch point) is
+    /// copy-on-write: only the machine that actually takes a step in a
+    /// fork is deep-cloned, the other `n − 1` stay shared.
+    protocols: Vec<std::sync::Arc<dyn Protocol>>,
     statuses: Vec<ProcessStatus>,
     pending: Vec<Observation>,
     decisions: Vec<Option<usize>>,
     steps_taken: Vec<usize>,
     steps: usize,
     history: History,
+    /// When `false`, the event history is not recorded (the enumerator's
+    /// lean mode: decision vectors only, O(1) forks).
+    instrumented: bool,
 }
 
 impl Executor {
@@ -264,14 +290,44 @@ impl Executor {
             n,
             registers: RegisterArray::new(n),
             oracles,
-            protocols,
+            protocols: protocols.into_iter().map(std::sync::Arc::from).collect(),
             statuses: vec![ProcessStatus::Running; n],
             pending: vec![Observation::Start; n],
             decisions: vec![None; n],
             steps_taken: vec![0; n],
             steps: 0,
             history: History::new(),
+            instrumented: true,
         }
+    }
+
+    /// Switches event-history recording and the register write log on or
+    /// off. The enumerator's memoized fast path turns both off (*lean
+    /// mode*): outcomes then carry decisions and statuses but an empty
+    /// [`History`], and forking stops paying O(depth) per clone.
+    pub fn set_instrumentation(&mut self, on: bool) {
+        self.instrumented = on;
+        self.registers.set_logging(on);
+    }
+
+    /// Number of steps process `pid` has taken so far.
+    #[must_use]
+    pub fn steps_taken(&self, pid: Pid) -> usize {
+        self.steps_taken[pid.index()]
+    }
+
+    /// Number of installed oracle objects. Oracle hidden state is not
+    /// observable, so the enumerator's symmetry reductions switch off
+    /// when this is non-zero.
+    #[must_use]
+    pub fn oracle_count(&self) -> usize {
+        self.oracles.len()
+    }
+
+    /// The per-process decisions so far (`None` = not yet decided).
+    #[must_use]
+    pub fn decisions(&self) -> &[Option<usize>] {
+        &self.decisions
     }
 
     /// Number of processes.
@@ -310,12 +366,27 @@ impl Executor {
             });
         }
         let observation = std::mem::replace(&mut self.pending[i], Observation::Start);
-        let action = self.protocols[i].next_action(observation);
+        let action = {
+            // Copy-on-write: clone the machine only if this executor shares
+            // it with a fork.
+            let slot = &mut self.protocols[i];
+            if std::sync::Arc::get_mut(slot).is_none() {
+                *slot = std::sync::Arc::from(slot.boxed_clone());
+            }
+            std::sync::Arc::get_mut(slot)
+                .expect("machine is unique after copy-on-write")
+                .next_action(observation)
+        };
         let kind = match action {
             Action::Write(value) => {
-                self.registers.write(pid, value.clone());
+                let kind = if self.instrumented {
+                    Some(EventKind::Write(value.clone()))
+                } else {
+                    None
+                };
+                self.registers.write(pid, value);
                 self.pending[i] = Observation::Written;
-                EventKind::Write(value)
+                kind
             }
             Action::ReadCell(j) => {
                 if j >= self.n {
@@ -325,41 +396,48 @@ impl Executor {
                     });
                 }
                 let value = self.registers.read(j).cloned();
-                self.pending[i] = Observation::CellValue(value.clone());
-                EventKind::ReadCell { cell: j, value }
+                let kind = self.instrumented.then(|| EventKind::ReadCell {
+                    cell: j,
+                    value: value.clone(),
+                });
+                self.pending[i] = Observation::CellValue(value);
+                kind
             }
             Action::Snapshot => {
                 let snap = self.registers.snapshot();
                 self.pending[i] = Observation::Snapshot(snap);
-                EventKind::Snapshot
+                self.instrumented.then_some(EventKind::Snapshot)
             }
             Action::Oracle { object, input } => {
-                let oracle = self.oracles.get_mut(object).ok_or_else(|| {
-                    Error::ProtocolViolation {
-                        pid,
-                        reason: format!("no oracle object {object}"),
-                    }
-                })?;
+                let oracle =
+                    self.oracles
+                        .get_mut(object)
+                        .ok_or_else(|| Error::ProtocolViolation {
+                            pid,
+                            reason: format!("no oracle object {object}"),
+                        })?;
                 let reply = oracle.invoke(pid, input)?;
                 self.pending[i] = Observation::OracleReply(reply);
-                EventKind::OracleCall {
+                self.instrumented.then_some(EventKind::OracleCall {
                     object,
                     input,
                     reply,
-                }
+                })
             }
             Action::Decide(v) => {
                 self.decisions[i] = Some(v);
                 self.statuses[i] = ProcessStatus::Decided;
-                EventKind::Decide(v)
+                self.instrumented.then_some(EventKind::Decide(v))
             }
         };
-        self.history.record(Event {
-            step: self.steps,
-            pid,
-            kind,
-            version: self.registers.version(),
-        });
+        if let Some(kind) = kind {
+            self.history.record(Event {
+                step: self.steps,
+                pid,
+                kind,
+                version: self.registers.version(),
+            });
+        }
         self.steps += 1;
         self.steps_taken[i] += 1;
         Ok(())
@@ -370,13 +448,89 @@ impl Executor {
         let i = pid.index();
         if self.statuses[i].is_active() {
             self.statuses[i] = ProcessStatus::Crashed;
-            self.history.record(Event {
-                step: self.steps,
-                pid,
-                kind: EventKind::Crash,
-                version: self.registers.version(),
-            });
+            if self.instrumented {
+                self.history.record(Event {
+                    step: self.steps,
+                    pid,
+                    kind: EventKind::Crash,
+                    version: self.registers.version(),
+                });
+            }
         }
+    }
+
+    /// Serializes the executor's behavioural state under a process
+    /// relabeling `perm` (process `i` becomes `perm[i]`), for the
+    /// enumerator's canonical-state memo table.
+    ///
+    /// Returns `None` when the state is not fingerprintable: some machine
+    /// declines [`Protocol::state_key`], or oracle objects are installed
+    /// (their hidden state is not observable).
+    ///
+    /// The encoding covers everything that determines future behaviour —
+    /// machine fingerprints, pending observations (with positional
+    /// snapshot views relabeled), statuses, decisions, and register
+    /// contents — and deliberately excludes instrumentation (history,
+    /// write log, step counters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..n`.
+    #[must_use]
+    pub fn state_key_permuted(&self, perm: &[usize]) -> Option<Vec<u64>> {
+        assert_eq!(perm.len(), self.n, "permutation arity mismatch");
+        if !self.oracles.is_empty() {
+            return None;
+        }
+        // inv[j] = the original index relabeled to position j.
+        let mut inv = vec![usize::MAX; self.n];
+        for (i, &j) in perm.iter().enumerate() {
+            assert!(j < self.n && inv[j] == usize::MAX, "not a permutation");
+            inv[j] = i;
+        }
+        let mut key = Vec::with_capacity(self.n * 8);
+        let encode_value = |key: &mut Vec<u64>, value: Option<&crate::register::Value>| match value
+        {
+            None => key.push(0),
+            Some(v) => {
+                key.push(1 + v.len() as u64);
+                key.extend_from_slice(v);
+            }
+        };
+        for &i in &inv {
+            let machine = self.protocols[i].state_key()?;
+            key.push(machine.len() as u64);
+            key.extend_from_slice(&machine);
+            key.push(match self.statuses[i] {
+                ProcessStatus::Running => 0,
+                ProcessStatus::Decided => 1,
+                ProcessStatus::Crashed => 2,
+            });
+            key.push(self.decisions[i].map_or(0, |d| d as u64 + 1));
+            match &self.pending[i] {
+                Observation::Start => key.push(0),
+                Observation::Written => key.push(1),
+                Observation::CellValue(v) => {
+                    key.push(2);
+                    encode_value(&mut key, v.as_ref());
+                }
+                Observation::Snapshot(view) => {
+                    key.push(3);
+                    // The view is positional: relabel its cells too.
+                    for &c in &inv {
+                        encode_value(&mut key, view[c].as_ref());
+                    }
+                }
+                Observation::OracleReply(r) => {
+                    key.push(4);
+                    key.push(*r);
+                }
+            }
+        }
+        for &i in &inv {
+            encode_value(&mut key, self.registers.read(i));
+        }
+        Some(key)
     }
 
     /// Runs to completion under `scheduler` and `crash_plan`, with a step
@@ -558,8 +712,7 @@ mod tests {
                 }
                 Observation::Written => Action::Snapshot,
                 Observation::Snapshot(snap) => {
-                    let mut seen: Vec<u64> =
-                        snap.iter().flatten().map(|v| v[0]).collect();
+                    let mut seen: Vec<u64> = snap.iter().flatten().map(|v| v[0]).collect();
                     seen.sort_unstable();
                     let rank = seen.iter().position(|&x| x == self.id).unwrap();
                     Action::Decide(rank + 1)
@@ -687,7 +840,9 @@ mod tests {
             &[Some(1), Some(1), Some(1), Some(1)]
         ));
         // Perfect renaming: duplicate name is immediately illegal.
-        let pr = gsb_core::SymmetricGsb::perfect_renaming(3).unwrap().to_spec();
+        let pr = gsb_core::SymmetricGsb::perfect_renaming(3)
+            .unwrap()
+            .to_spec();
         assert!(!partial_decisions_completable(
             &pr,
             &[Some(2), Some(2), None]

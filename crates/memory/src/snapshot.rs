@@ -145,6 +145,7 @@ impl ScanMachine {
         self.collects_done += 1;
         if let Some(prev) = &self.previous {
             let mut clean = true;
+            #[allow(clippy::needless_range_loop)] // parallel indexing into 3 arrays
             for j in 0..self.n {
                 let seq_prev = prev[j].as_ref().map(|c| c.seq).unwrap_or(0);
                 let seq_cur = self.current[j].as_ref().map(|c| c.seq).unwrap_or(0);
@@ -291,8 +292,7 @@ impl SnapshotStressProtocol {
         if self.round < self.rounds {
             self.round += 1;
             self.seq += 1;
-            let update =
-                UpdateMachine::new(self.n, self.id * 1000 + self.round as Word, self.seq);
+            let update = UpdateMachine::new(self.n, self.id * 1000 + self.round as Word, self.seq);
             let first = update.start();
             self.phase = StressPhase::Updating(update);
             match first {
@@ -323,14 +323,10 @@ impl Protocol for SnapshotStressProtocol {
                 }
             }
             (StressPhase::Updating(_), Observation::Written) => self.begin_round(),
-            (StressPhase::FinalScan(scan), Observation::CellValue(v)) => {
-                match scan.absorb(v) {
-                    ScanStep::Read(j) => Action::ReadCell(j),
-                    ScanStep::Done(view) => {
-                        Action::Decide(view.iter().flatten().count())
-                    }
-                }
-            }
+            (StressPhase::FinalScan(scan), Observation::CellValue(v)) => match scan.absorb(v) {
+                ScanStep::Read(j) => Action::ReadCell(j),
+                ScanStep::Done(view) => Action::Decide(view.iter().flatten().count()),
+            },
             (phase, obs) => unreachable!("unexpected observation {obs:?} in phase {phase:?}"),
         }
     }
@@ -414,8 +410,7 @@ mod tests {
     fn stress_executor(n: usize, rounds: usize) -> Executor {
         let protocols = (0..n)
             .map(|i| {
-                Box::new(SnapshotStressProtocol::new(i as Word + 1, n, rounds))
-                    as Box<dyn Protocol>
+                Box::new(SnapshotStressProtocol::new(i as Word + 1, n, rounds)) as Box<dyn Protocol>
             })
             .collect();
         Executor::new(protocols, vec![])
@@ -457,7 +452,11 @@ mod tests {
         for seed in 0..40 {
             let mut exec = stress_executor(4, 2);
             let outcome = exec
-                .run(&mut SeededScheduler::new(seed), &CrashPlan::none(4), 100_000)
+                .run(
+                    &mut SeededScheduler::new(seed),
+                    &CrashPlan::none(4),
+                    100_000,
+                )
                 .unwrap();
             check_embedded_scan_linearizability(&outcome.history, exec.registers(), 4)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
@@ -470,11 +469,7 @@ mod tests {
             let mut exec = stress_executor(4, 2);
             let plan = CrashPlan::with_crashes(4, &[(Pid::new(seed as usize % 4), 5)]);
             let outcome = exec
-                .run(
-                    &mut AdversarialScheduler::new(seed, 12),
-                    &plan,
-                    100_000,
-                )
+                .run(&mut AdversarialScheduler::new(seed, 12), &plan, 100_000)
                 .unwrap();
             check_embedded_scan_linearizability(&outcome.history, exec.registers(), 4)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
@@ -493,7 +488,11 @@ mod tests {
         for seed in 0..20 {
             let mut exec = stress_executor(4, 3);
             let outcome = exec
-                .run(&mut SeededScheduler::new(seed), &CrashPlan::none(4), 100_000)
+                .run(
+                    &mut SeededScheduler::new(seed),
+                    &CrashPlan::none(4),
+                    100_000,
+                )
                 .unwrap();
             // 4 processes × (3 updates + final scan), each scan ≤ (n+2)·n
             // reads plus one write: generous bound check via total steps.

@@ -251,11 +251,11 @@ mod tests {
             let rights = AtomicUsize::new(0);
             let downs = AtomicUsize::new(0);
             let k = 8;
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for t in 0..k {
                     let splitter = &splitter;
                     let (stops, rights, downs) = (&stops, &rights, &downs);
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         match splitter.acquire(t as u64 + 1 + trial * 100) {
                             SplitterOutcome::Stop => stops.fetch_add(1, Ordering::SeqCst),
                             SplitterOutcome::Right => rights.fetch_add(1, Ordering::SeqCst),
@@ -263,11 +263,10 @@ mod tests {
                         };
                     });
                 }
-            })
-            .unwrap();
+            });
             assert!(stops.load(Ordering::SeqCst) <= 1, "trial {trial}");
-            assert!(rights.load(Ordering::SeqCst) <= k - 1, "trial {trial}");
-            assert!(downs.load(Ordering::SeqCst) <= k - 1, "trial {trial}");
+            assert!(rights.load(Ordering::SeqCst) < k, "trial {trial}");
+            assert!(downs.load(Ordering::SeqCst) < k, "trial {trial}");
             assert_eq!(
                 stops.load(Ordering::SeqCst)
                     + rights.load(Ordering::SeqCst)
@@ -283,17 +282,16 @@ mod tests {
             let n = 6;
             let grid = SplitterGrid::new(n);
             let names = Mutex::new(Vec::new());
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for t in 0..n {
                     let grid = &grid;
                     let names = &names;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let name = grid.rename(t as u64 + 1 + trial * 64);
                         names.lock().push(name);
                     });
                 }
-            })
-            .unwrap();
+            });
             let mut names = names.into_inner();
             names.sort_unstable();
             let before = names.len();
@@ -324,10 +322,10 @@ mod tests {
         // observe, per cell, a monotone value (no time travel).
         let array = AtomicScanArray::new(4);
         let observations = Mutex::new(Vec::new());
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for w in 0..4usize {
                 let array = &array;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for v in 1..=20u64 {
                         array.write(w, vec![v]);
                     }
@@ -336,7 +334,7 @@ mod tests {
             for _ in 0..4 {
                 let array = &array;
                 let observations = &observations;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut last = vec![0u64; 4];
                     for _ in 0..50 {
                         let snap = array.scan();
@@ -352,8 +350,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(observations.into_inner().len(), 200);
     }
 }

@@ -47,12 +47,7 @@ pub fn render_history(history: &History) -> String {
 pub fn render_outcome(outcome: &RunOutcome) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    for (i, (decision, status)) in outcome
-        .decisions
-        .iter()
-        .zip(&outcome.statuses)
-        .enumerate()
-    {
+    for (i, (decision, status)) in outcome.decisions.iter().zip(&outcome.statuses).enumerate() {
         let shown = match decision {
             Some(v) => format!("decided {v}"),
             None => format!("{status:?}"),

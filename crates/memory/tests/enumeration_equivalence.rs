@@ -1,0 +1,256 @@
+//! Equivalence of the enumeration engines over a protocol zoo.
+//!
+//! The memoized symmetry-reduced worklist enumerator must produce the
+//! same multiset of decision vectors as the retained naive reference DFS
+//! for every protocol in the zoo at `n ∈ {2, 3}` — while visiting
+//! strictly fewer nodes on the symmetric (exchangeable) members.
+
+use gsb_memory::{
+    enumerate_decisions_memoized, enumerate_decisions_naive, enumerate_schedules,
+    enumerate_schedules_reference, Action, Executor, Observation, Protocol, Symmetry,
+};
+use proptest::prelude::*;
+
+/// Writes, snapshots, decides how many cells it saw non-empty.
+/// Exchangeable, fingerprinted.
+#[derive(Debug, Clone)]
+struct SeenCount;
+
+impl Protocol for SeenCount {
+    fn next_action(&mut self, obs: Observation) -> Action {
+        match obs {
+            Observation::Start => Action::Write(vec![1]),
+            Observation::Written => Action::Snapshot,
+            Observation::Snapshot(view) => Action::Decide(view.iter().flatten().count()),
+            _ => unreachable!(),
+        }
+    }
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+    fn state_key(&self) -> Option<Vec<u64>> {
+        Some(Vec::new())
+    }
+}
+
+/// Writes once, then snapshots twice; the decision combines both views'
+/// censuses, so the machine is genuinely stateful across rounds.
+/// Exchangeable, fingerprinted (phase + first census), deeper tree than
+/// [`SeenCount`] without an exponential run-count blow-up.
+#[derive(Debug, Clone, Default)]
+struct TwoRoundCollector {
+    first_census: Option<u64>,
+}
+
+impl Protocol for TwoRoundCollector {
+    fn next_action(&mut self, obs: Observation) -> Action {
+        match obs {
+            Observation::Start => Action::Write(vec![1]),
+            Observation::Written => Action::Snapshot,
+            Observation::Snapshot(view) => {
+                let census = view.iter().flatten().count() as u64;
+                match self.first_census {
+                    None => {
+                        self.first_census = Some(census);
+                        Action::Snapshot
+                    }
+                    Some(first) => Action::Decide((first + census) as usize % 3 + 1),
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+    fn state_key(&self) -> Option<Vec<u64>> {
+        match self.first_census {
+            None => Some(vec![0]),
+            Some(c) => Some(vec![1, c]),
+        }
+    }
+}
+
+/// Decides 1 when it saw every process, 2 otherwise. Exchangeable, but
+/// deliberately *not* fingerprinted — exercises pure orbit pruning.
+#[derive(Debug, Clone)]
+struct ThresholdVoterNoKey;
+
+impl Protocol for ThresholdVoterNoKey {
+    fn next_action(&mut self, obs: Observation) -> Action {
+        match obs {
+            Observation::Start => Action::Write(vec![1]),
+            Observation::Written => Action::Snapshot,
+            Observation::Snapshot(view) => {
+                let n = view.len();
+                let seen = view.iter().flatten().count();
+                Action::Decide(if seen == n { 1 } else { 2 })
+            }
+            _ => unreachable!(),
+        }
+    }
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+    // Default state_key(): None — opts out of the memo table.
+}
+
+/// Writes its identity and decides its rank among the identities it saw.
+/// NOT exchangeable (distinct identities); fingerprinted by identity.
+#[derive(Debug, Clone)]
+struct RankByIdentity {
+    id: u64,
+}
+
+impl Protocol for RankByIdentity {
+    fn next_action(&mut self, obs: Observation) -> Action {
+        match obs {
+            Observation::Start => Action::Write(vec![self.id]),
+            Observation::Written => Action::Snapshot,
+            Observation::Snapshot(view) => {
+                let mut seen: Vec<u64> = view.iter().flatten().map(|v| v[0]).collect();
+                seen.sort_unstable();
+                let rank = seen.iter().position(|&x| x == self.id).unwrap();
+                Action::Decide(rank + 1)
+            }
+            _ => unreachable!(),
+        }
+    }
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
+    fn state_key(&self) -> Option<Vec<u64>> {
+        Some(vec![self.id])
+    }
+}
+
+fn uniform_executor<P: Protocol + Clone + 'static>(proto: &P, n: usize) -> Executor {
+    let protocols = (0..n)
+        .map(|_| Box::new(proto.clone()) as Box<dyn Protocol>)
+        .collect();
+    Executor::new(protocols, vec![])
+}
+
+/// The exchangeable zoo members, by name.
+fn exchangeable_zoo(n: usize) -> Vec<(&'static str, Executor)> {
+    vec![
+        ("seen-count", uniform_executor(&SeenCount, n)),
+        (
+            "two-round-collector",
+            uniform_executor(&TwoRoundCollector::default(), n),
+        ),
+        (
+            "threshold-voter-no-key",
+            uniform_executor(&ThresholdVoterNoKey, n),
+        ),
+    ]
+}
+
+const LIMIT: usize = 100_000;
+
+#[test]
+fn memoized_matches_naive_on_the_exchangeable_zoo() {
+    for n in [2usize, 3] {
+        for (name, exec) in exchangeable_zoo(n) {
+            let (naive_set, naive_stats) = enumerate_decisions_naive(&exec, LIMIT).unwrap();
+            for symmetry in [Symmetry::None, Symmetry::Exchangeable] {
+                let (memo_set, stats) =
+                    enumerate_decisions_memoized(&exec, LIMIT, symmetry).unwrap();
+                assert_eq!(naive_set, memo_set, "{name} n={n} {symmetry:?}");
+                assert_eq!(stats.runs, naive_stats.runs, "{name} n={n} {symmetry:?}");
+                assert_eq!(stats.max_depth, naive_stats.max_depth, "{name} n={n}");
+            }
+        }
+    }
+}
+
+#[test]
+fn memoized_visits_strictly_fewer_nodes_on_symmetric_protocols() {
+    // The acceptance gate: at n = 3 every symmetric zoo member must show
+    // a strict node reduction (and n = 2 comes along for free).
+    for n in [2usize, 3] {
+        for (name, exec) in exchangeable_zoo(n) {
+            let (_, naive_stats) = enumerate_decisions_naive(&exec, LIMIT).unwrap();
+            let (_, stats) =
+                enumerate_decisions_memoized(&exec, LIMIT, Symmetry::Exchangeable).unwrap();
+            assert!(
+                stats.nodes < naive_stats.nodes,
+                "{name} n={n}: memoized {} nodes vs naive {}",
+                stats.nodes,
+                naive_stats.nodes
+            );
+            assert!(
+                stats.memo_hits > 0 || stats.orbit_skips > 0,
+                "{name} n={n}: no reduction mechanism fired"
+            );
+        }
+    }
+}
+
+#[test]
+fn orbit_pruning_alone_reduces_nodes_without_fingerprints() {
+    // ThresholdVoterNoKey opts out of the memo table; the symmetry
+    // reduction must still come from orbit derivation.
+    let exec = uniform_executor(&ThresholdVoterNoKey, 3);
+    let (_, stats) = enumerate_decisions_memoized(&exec, LIMIT, Symmetry::Exchangeable).unwrap();
+    assert_eq!(stats.memo_hits, 0, "no fingerprints, no memo hits");
+    assert!(stats.orbit_skips > 0);
+    // Under Symmetry::None nothing can be pruned for this protocol.
+    let (_, none_stats) = enumerate_decisions_memoized(&exec, LIMIT, Symmetry::None).unwrap();
+    let (_, naive_stats) = enumerate_decisions_naive(&exec, LIMIT).unwrap();
+    assert_eq!(none_stats.nodes, naive_stats.nodes);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn rank_protocol_matches_naive_under_plain_state_merging(
+        ids in proptest::collection::vec(1u64..=64, 2..=3),
+    ) {
+        // Identity-seeded protocols are not exchangeable, but the
+        // Symmetry::None engine (exact-state merging only) must still
+        // reproduce the naive multiset for any identity assignment.
+        prop_assume!({
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            sorted.len() == ids.len()
+        });
+        let protocols: Vec<Box<dyn Protocol>> = ids
+            .iter()
+            .map(|&id| Box::new(RankByIdentity { id }) as Box<dyn Protocol>)
+            .collect();
+        let exec = Executor::new(protocols, vec![]);
+        let (naive_set, _) = enumerate_decisions_naive(&exec, LIMIT).unwrap();
+        let (memo_set, stats) =
+            enumerate_decisions_memoized(&exec, LIMIT, Symmetry::None).unwrap();
+        prop_assert_eq!(naive_set, memo_set);
+        prop_assert!(stats.orbit_skips == 0);
+    }
+
+    #[test]
+    fn worklist_and_reference_agree_under_early_abort(abort_after in 1usize..=30) {
+        // The explicit-stack worklist must visit runs in the reference
+        // order, so aborting after k complete runs yields identical
+        // prefixes of the run sequence.
+        let exec = uniform_executor(&SeenCount, 3);
+        let mut worklist_runs = Vec::new();
+        let mut count = 0usize;
+        enumerate_schedules(&exec, LIMIT, &mut |_| true, &mut |o| {
+            worklist_runs.push(o.decisions.clone());
+            count += 1;
+            count < abort_after
+        })
+        .unwrap();
+        let mut reference_runs = Vec::new();
+        let mut count = 0usize;
+        enumerate_schedules_reference(&exec, LIMIT, &mut |_| true, &mut |o| {
+            reference_runs.push(o.decisions.clone());
+            count += 1;
+            count < abort_after
+        })
+        .unwrap();
+        prop_assert_eq!(worklist_runs, reference_runs);
+    }
+}

@@ -58,8 +58,8 @@ proptest! {
         let cut = cut.min(n);
         let mut oracle = GsbOracle::new(spec.clone(), OraclePolicy::LastFit).expect("feasible");
         let mut partial: Vec<Option<usize>> = vec![None; n];
-        for i in 0..cut {
-            partial[i] = Some(oracle.invoke(Pid::new(i), 0).unwrap() as usize);
+        for (i, slot) in partial.iter_mut().enumerate().take(cut) {
+            *slot = Some(oracle.invoke(Pid::new(i), 0).unwrap() as usize);
         }
         prop_assert!(partial_decisions_completable(&spec, &partial));
     }

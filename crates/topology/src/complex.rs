@@ -72,10 +72,7 @@ impl ChromaticComplex {
     /// `1..n` (chromatic purity).
     pub fn add_facet(&mut self, vertex_ids: Vec<VertexId>) {
         assert_eq!(vertex_ids.len(), self.n, "facet must have n vertices");
-        let colors: BTreeSet<u32> = vertex_ids
-            .iter()
-            .map(|&v| self.vertices[v].color)
-            .collect();
+        let colors: BTreeSet<u32> = vertex_ids.iter().map(|&v| self.vertices[v].color).collect();
         assert_eq!(colors.len(), self.n, "facet colors must be distinct");
         let mut sorted = vertex_ids;
         sorted.sort_unstable();

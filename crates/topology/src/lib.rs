@@ -28,5 +28,7 @@ pub mod views;
 pub use complex::{ChromaticComplex, Vertex, VertexId};
 pub use protocol::{ordered_bell, protocol_complex};
 pub use solvability::{solvable_in_rounds, SearchResult, SymmetricSearch};
-pub use theorem11::{check_election_certificate, election_impossibility_certificate, CertificateFailure};
+pub use theorem11::{
+    check_election_certificate, election_impossibility_certificate, CertificateFailure,
+};
 pub use views::View;

@@ -89,10 +89,12 @@ impl SymmetricSearch {
         for vertex in complex.vertices() {
             let signature = vertex.view.signature();
             let next = classes.len();
-            let class = *class_of_signature.entry(signature.clone()).or_insert_with(|| {
-                classes.push(signature);
-                next
-            });
+            let class = *class_of_signature
+                .entry(signature.clone())
+                .or_insert_with(|| {
+                    classes.push(signature);
+                    next
+                });
             vertex_class.push(class);
         }
         // Facets with the same class multiset impose the same constraint;
@@ -102,8 +104,7 @@ impl SymmetricSearch {
             .facets()
             .iter()
             .map(|facet| {
-                let mut classes: Vec<usize> =
-                    facet.iter().map(|&v| vertex_class[v]).collect();
+                let mut classes: Vec<usize> = facet.iter().map(|&v| vertex_class[v]).collect();
                 classes.sort_unstable();
                 classes
             })
@@ -158,7 +159,10 @@ impl SymmetricSearch {
         let value_symmetric = self.spec.is_symmetric();
         if self.backtrack(&order, 0, &mut assignment, value_symmetric) {
             SearchResult::Solvable {
-                assignment: assignment.into_iter().map(|v| v.expect("complete")).collect(),
+                assignment: assignment
+                    .into_iter()
+                    .map(|v| v.expect("complete"))
+                    .collect(),
             }
         } else {
             SearchResult::Unsolvable
@@ -213,7 +217,7 @@ impl SymmetricSearch {
         &self,
         class: usize,
         value: usize,
-        assignment: &mut Vec<Option<usize>>,
+        assignment: &mut [Option<usize>],
         trail: &mut Vec<usize>,
     ) -> bool {
         let m = self.spec.m();
@@ -434,10 +438,7 @@ mod tests {
     fn class_counts_are_small() {
         // Documents the symmetry quotient's effectiveness: χ²(Δ²) has
         // hundreds of vertices but far fewer classes.
-        let search = SymmetricSearch::new(
-            SymmetricGsb::wsb(3).unwrap().to_spec(),
-            2,
-        );
+        let search = SymmetricSearch::new(SymmetricGsb::wsb(3).unwrap().to_spec(), 2);
         assert!(search.classes().len() < 100, "{}", search.classes().len());
         assert_eq!(search.facet_count(), 169);
     }

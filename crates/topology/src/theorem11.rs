@@ -86,9 +86,7 @@ impl std::fmt::Display for CertificateFailure {
 ///
 /// Returns the first [`CertificateFailure`] encountered; see its variants
 /// for what each means.
-pub fn check_election_certificate(
-    complex: &ChromaticComplex,
-) -> Result<(), CertificateFailure> {
+pub fn check_election_certificate(complex: &ChromaticComplex) -> Result<(), CertificateFailure> {
     let n = complex.n();
     // Build ridge → (facet, private vertex) incidence.
     let mut ridge_privates: HashMap<Vec<VertexId>, Vec<VertexId>> = HashMap::new();
@@ -191,8 +189,7 @@ mod tests {
             (4, 1),
             (5, 1),
         ] {
-            election_impossibility_certificate(n, r)
-                .unwrap_or_else(|e| panic!("n={n} r={r}: {e}"));
+            election_impossibility_certificate(n, r).unwrap_or_else(|e| panic!("n={n} r={r}: {e}"));
         }
     }
 

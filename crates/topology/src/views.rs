@@ -132,9 +132,7 @@ impl View {
     pub fn depth(&self) -> usize {
         match self {
             View::Initial { .. } => 0,
-            View::Round { seen, .. } => {
-                1 + seen.iter().map(|(_, v)| v.depth()).max().unwrap_or(0)
-            }
+            View::Round { seen, .. } => 1 + seen.iter().map(|(_, v)| v.depth()).max().unwrap_or(0),
         }
     }
 }
@@ -259,7 +257,10 @@ mod tests {
     fn id_support_collects_nested_ids() {
         let nested = View::Round {
             id: 5,
-            seen: vec![(2, View::one_round(2, &[2, 7])), (5, View::Initial { id: 5 })],
+            seen: vec![
+                (2, View::one_round(2, &[2, 7])),
+                (5, View::Initial { id: 5 }),
+            ],
         };
         let support: Vec<u32> = nested.id_support().into_iter().collect();
         assert_eq!(support, vec![2, 5, 7]);

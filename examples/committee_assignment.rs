@@ -11,9 +11,7 @@
 //! construction (Theorem 8) on top of a perfect-renaming object, then
 //! stress it over random and adversarial schedules with crash injection.
 
-use gsb_universe::algorithms::harness::{
-    sweep_adversarial, sweep_random, AlgorithmUnderTest,
-};
+use gsb_universe::algorithms::harness::{sweep_adversarial, sweep_random, AlgorithmUnderTest};
 use gsb_universe::algorithms::UniversalGsbProtocol;
 use gsb_universe::core::{GsbSpec, SymmetricGsb};
 use gsb_universe::memory::{GsbOracle, Oracle, OraclePolicy, ProtocolFactory};
@@ -40,7 +38,9 @@ fn main() {
     });
     let oracles = move || -> Vec<Box<dyn Oracle>> {
         let pr = SymmetricGsb::perfect_renaming(n).unwrap().to_spec();
-        vec![Box::new(GsbOracle::new(pr, OraclePolicy::Seeded(2024)).unwrap())]
+        vec![Box::new(
+            GsbOracle::new(pr, OraclePolicy::Seeded(2024)).unwrap(),
+        )]
     };
     let algo = AlgorithmUnderTest {
         spec: spec.clone(),
@@ -54,8 +54,7 @@ fn main() {
         "  random:      {} runs ({} with crashes), max {} steps",
         random.runs, random.crashed_runs, random.max_steps
     );
-    let adversarial =
-        sweep_adversarial(&algo, (2 * n - 1) as u32, 500, 8).expect("no violations");
+    let adversarial = sweep_adversarial(&algo, (2 * n - 1) as u32, 500, 8).expect("no violations");
     println!(
         "  adversarial: {} runs ({} with crashes), max {} steps",
         adversarial.runs, adversarial.crashed_runs, adversarial.max_steps
@@ -65,8 +64,8 @@ fn main() {
     let ids: Vec<gsb_universe::core::Identity> = (1..=n as u32)
         .map(|v| gsb_universe::core::Identity::new(v).unwrap())
         .collect();
-    let outcome = gsb_universe::algorithms::harness::run_synchronous(&algo, &ids)
-        .expect("run succeeds");
+    let outcome =
+        gsb_universe::algorithms::harness::run_synchronous(&algo, &ids).expect("run succeeds");
     let output = outcome.output_vector().expect("everyone decided");
     println!("\nOne assignment (person i → committee):");
     for (i, &v) in output.values().iter().enumerate() {

@@ -51,7 +51,9 @@ fn main() {
         Box::new(|_pid, id, n| Box::new(SlotRenamingProtocol::new(id, n)));
     let oracles = move || -> Vec<Box<dyn Oracle>> {
         let slot = SymmetricGsb::slot(n, n - 1).unwrap().to_spec();
-        vec![Box::new(GsbOracle::new(slot, OraclePolicy::Seeded(5)).unwrap())]
+        vec![Box::new(
+            GsbOracle::new(slot, OraclePolicy::Seeded(5)).unwrap(),
+        )]
     };
     let algo = AlgorithmUnderTest {
         spec: spec.clone(),
@@ -68,7 +70,9 @@ fn main() {
         Box::new(|_pid, _id, n| Box::new(WsbFromRenamingProtocol::new(n).unwrap()));
     let oracles = move || -> Vec<Box<dyn Oracle>> {
         let renaming = SymmetricGsb::renaming(n, 2 * n - 2).unwrap().to_spec();
-        vec![Box::new(GsbOracle::new(renaming, OraclePolicy::Seeded(9)).unwrap())]
+        vec![Box::new(
+            GsbOracle::new(renaming, OraclePolicy::Seeded(9)).unwrap(),
+        )]
     };
     let algo = AlgorithmUnderTest {
         spec: spec.clone(),

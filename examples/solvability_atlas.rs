@@ -31,7 +31,9 @@ fn main() {
     for m in 1..=5usize {
         for l in 0..=3usize {
             for u in l..=3usize {
-                let Ok(t) = SymmetricGsb::new(3, m, l, u) else { continue };
+                let Ok(t) = SymmetricGsb::new(3, m, l, u) else {
+                    continue;
+                };
                 let spec = t.to_spec();
                 let closed = t.no_communication_solvable();
                 let brute = spec.is_feasible() && spec.no_communication_brute_force();

@@ -48,12 +48,8 @@ fn test_and_set_always_elects_among_participants() {
     for p in 1..=n {
         let factory: Box<ProtocolFactory<'static>> =
             Box::new(|_pid, _id, _n| Box::new(ElectionFromTestAndSet::new()));
-        let decisions = run_with_participants(
-            &factory,
-            vec![Box::new(TestAndSetOracle::new())],
-            n,
-            p,
-        );
+        let decisions =
+            run_with_participants(&factory, vec![Box::new(TestAndSetOracle::new())], n, p);
         assert_eq!(decisions.len(), p);
         assert_eq!(
             decisions.iter().filter(|&&d| d == 1).count(),
@@ -93,12 +89,7 @@ fn full_participation_erases_the_difference() {
     let election = GsbSpec::election(n).unwrap();
     let tas_factory: Box<ProtocolFactory<'static>> =
         Box::new(|_pid, _id, _n| Box::new(ElectionFromTestAndSet::new()));
-    let tas = run_with_participants(
-        &tas_factory,
-        vec![Box::new(TestAndSetOracle::new())],
-        n,
-        n,
-    );
+    let tas = run_with_participants(&tas_factory, vec![Box::new(TestAndSetOracle::new())], n, n);
     let pr_factory: Box<ProtocolFactory<'static>> =
         Box::new(|_pid, _id, _n| Box::new(ElectionFromPerfectRenaming::new()));
     let pr_spec = SymmetricGsb::perfect_renaming(n).unwrap().to_spec();

@@ -45,7 +45,7 @@ fn theorem_9_boundary_cases() {
                     "{at} should be solvable (at threshold)"
                 );
             }
-            if threshold - 1 >= 1 && n <= m * (threshold - 1) && threshold - 1 <= n {
+            if threshold > 1 && n <= m * (threshold - 1) && threshold - 1 <= n {
                 let below = SymmetricGsb::new(n, m, 0, threshold - 1).unwrap();
                 assert!(
                     !below.no_communication_solvable(),

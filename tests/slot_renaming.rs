@@ -124,11 +124,7 @@ fn slot_oracle_vs_spec_containment() {
         let spec = SymmetricGsb::slot(n, n - 1).unwrap().to_spec();
         let mut oracle = GsbOracle::new(spec.clone(), OraclePolicy::Seeded(seed)).unwrap();
         let replies: Vec<usize> = (0..n)
-            .map(|i| {
-                oracle
-                    .invoke(gsb_universe::memory::Pid::new(i), 0)
-                    .unwrap() as usize
-            })
+            .map(|i| oracle.invoke(gsb_universe::memory::Pid::new(i), 0).unwrap() as usize)
             .collect();
         let out = OutputVector::new(replies.clone());
         assert!(spec.is_legal_output(&out), "seed {seed}: {out}");
@@ -138,6 +134,10 @@ fn slot_oracle_vs_spec_containment() {
             counts[r - 1] += 1;
         }
         assert_eq!(counts.iter().filter(|&&c| c == 2).count(), 1, "seed {seed}");
-        assert_eq!(counts.iter().filter(|&&c| c == 1).count(), n - 2, "seed {seed}");
+        assert_eq!(
+            counts.iter().filter(|&&c| c == 1).count(),
+            n - 2,
+            "seed {seed}"
+        );
     }
 }

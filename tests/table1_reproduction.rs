@@ -58,11 +58,9 @@ fn table_1_contains_one_extra_synonym_row() {
     assert_eq!(table.rows().len(), PAPER_TABLE_1.len() + 1);
     let extra = table.row(2, 6).expect("the omitted row");
     assert!(!extra.canonical);
-    assert!(
-        SymmetricGsb::new(6, 3, 2, 6)
-            .unwrap()
-            .is_synonym_of(&SymmetricGsb::new(6, 3, 2, 2).unwrap())
-    );
+    assert!(SymmetricGsb::new(6, 3, 2, 6)
+        .unwrap()
+        .is_synonym_of(&SymmetricGsb::new(6, 3, 2, 2).unwrap()));
 }
 
 #[test]

@@ -90,8 +90,8 @@ fn universal_construction_exhaustive_n3() {
             factory: &factory,
             oracles: &oracles,
         };
-        let report = sweep_exhaustive(&algo, &ids, 10_000)
-            .unwrap_or_else(|e| panic!("{target}: {e}"));
+        let report =
+            sweep_exhaustive(&algo, &ids, 10_000).unwrap_or_else(|e| panic!("{target}: {e}"));
         assert_eq!(report.runs, 90, "{target}"); // 6!/(2!·2!·2!)
     }
 }

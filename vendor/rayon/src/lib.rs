@@ -1,0 +1,212 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the `par_iter` surface this workspace uses with
+//! order-preserving chunked fan-out on `std::thread::scope`: the input is
+//! split into `available_parallelism()` contiguous chunks, each chunk is
+//! mapped on its own scoped thread, and results are concatenated in chunk
+//! order — so `collect::<Vec<_>>()` observes exactly the sequential order,
+//! like real rayon's indexed parallel iterators.
+//!
+//! Differences from the real crate: no work stealing (chunk sizes are
+//! static), no nested-parallelism pool sharing, and only the
+//! `into_par_iter().map(..).collect()` / `for_each` / `flat_map` subset is
+//! provided. On a single-core host everything degrades to a plain serial
+//! loop with no thread spawns.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads the stand-in fans out to.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f` over `items` preserving order, chunked across scoped threads.
+fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut items = items;
+    while !items.is_empty() {
+        let tail = items.split_off(items.len().min(chunk_len));
+        chunks.push(std::mem::replace(&mut items, tail));
+    }
+    let f = &f;
+    let mut out: Vec<R> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("rayon stand-in worker panicked"));
+        }
+    });
+    out
+}
+
+/// A materialized parallel iterator (items are owned up front).
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f` in parallel.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item in parallel, discarding results.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map(self.items, f);
+    }
+
+    /// Maps every item to an iterator and flattens, preserving order.
+    pub fn flat_map<R, I, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        I: IntoIterator<Item = R>,
+        F: Fn(T) -> I + Sync,
+    {
+        let nested = parallel_map(self.items, |x| f(x).into_iter().collect::<Vec<R>>());
+        ParIter {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Collects the (already materialized) items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// A pending parallel map; executes on `collect`/`for_each`.
+#[derive(Debug)]
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    /// Executes the map in parallel and collects in sequential order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_map(self.items, self.f).into_iter().collect()
+    }
+
+    /// Executes the map and flattens nested iterators, preserving order.
+    pub fn flatten_collect<C, I>(self) -> C
+    where
+        R: IntoIterator<Item = I>,
+        I: Send,
+        C: FromIterator<I>,
+    {
+        parallel_map(self.items, self.f)
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Executes the map, discarding results.
+    pub fn for_each_drop(self) {
+        parallel_map(self.items, self.f);
+    }
+}
+
+/// Conversion into a parallel iterator (owning).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Materializes the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Borrowing conversion (`.par_iter()` on slices and vecs).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// Materializes a parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The glob-import module mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let doubled: Vec<usize> = (0..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ref_iter_borrows() {
+        let data = vec![1u64, 2, 3];
+        let sum: u64 = data
+            .par_iter()
+            .map(|&x| x)
+            .collect::<Vec<u64>>()
+            .iter()
+            .sum();
+        assert_eq!(sum, 6);
+        assert_eq!(data.len(), 3);
+    }
+
+    #[test]
+    fn flat_map_flattens_in_order() {
+        let out: Vec<usize> = (0..4)
+            .into_par_iter()
+            .flat_map(|x| vec![x, x + 10])
+            .collect();
+        assert_eq!(out, vec![0, 10, 1, 11, 2, 12, 3, 13]);
+    }
+}

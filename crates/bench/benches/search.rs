@@ -1,0 +1,60 @@
+//! Bench: the conflict-driven decision-map search — the frontier
+//! instances the seed's backtracking could not certify, plus the shared
+//! subdivision and quotient preparation feeding the solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsb_core::SymmetricGsb;
+use gsb_topology::{protocol_complex, CdclConfig, SymmetricSearch};
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search");
+
+    // The headline UNSAT frontier: 81-class NAE system on χ²(Δ²).
+    let wsb3 = SymmetricGsb::wsb(3).unwrap().to_spec();
+    let wsb_search = SymmetricSearch::new(wsb3.clone(), 2);
+    group.bench_function("cdcl_wsb3_r2_unsat", |b| {
+        b.iter(|| {
+            let (result, _) = wsb_search.solve_with(&CdclConfig::default());
+            assert!(!result.is_solvable());
+        });
+    });
+
+    // The same instance through the retained baseline, budget-capped so
+    // the bench stays fast: measures baseline node throughput (the full
+    // verdict needs ~10 s; `--bin search -- --full` records it).
+    group.bench_function("baseline_wsb3_r2_100k_nodes", |b| {
+        b.iter(|| {
+            assert!(wsb_search.solve_reference_budgeted(100_000).is_none());
+        });
+    });
+
+    // The SAT frontier: 865 classes / 5625 facets, solved by CDCL.
+    let renaming4 = SymmetricGsb::loose_renaming(4).unwrap().to_spec();
+    let renaming_search = SymmetricSearch::new(renaming4, 2);
+    group.bench_function("cdcl_loose_renaming4_r2_sat", |b| {
+        b.iter(|| {
+            let (result, _) = renaming_search.solve_with(&CdclConfig::default());
+            assert!(result.is_solvable());
+        });
+    });
+
+    // Input pipeline: fresh subdivision build vs. quotient preparation.
+    group.bench_function("protocol_complex_n3_r2", |b| {
+        b.iter(|| protocol_complex(3, 2).facet_count());
+    });
+    group.bench_function("prepare_wsb3_r2", |b| {
+        b.iter(|| SymmetricSearch::new(wsb3.clone(), 2).classes().len());
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_search
+}
+criterion_main!(benches);

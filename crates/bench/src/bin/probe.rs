@@ -1,17 +1,104 @@
-//! Internal diagnostics: class/facet counts of solvability-search
-//! instances (kept as a bin target for quick inspection).
+//! Internal diagnostics: class/facet counts and engine timings of
+//! solvability-search instances (kept as a bin target for quick
+//! inspection).
+
+use std::time::Instant;
+
+use gsb_topology::{CdclConfig, SymmetricSearch};
+
+fn probe(label: &str, spec: gsb_core::GsbSpec, rounds: usize) {
+    let t = Instant::now();
+    let search = SymmetricSearch::new(spec, rounds);
+    let prep = t.elapsed();
+    let t = Instant::now();
+    let (result, stats) = search.solve_with(&CdclConfig::default());
+    println!(
+        "{label} r={rounds}: classes={} facets={} prep={prep:?} solve={:?} solvable={} \
+         conflicts={} decisions={} props={} learned={} images={} restarts={}",
+        search.classes().len(),
+        search.facet_count(),
+        t.elapsed(),
+        result.is_solvable(),
+        stats.conflicts,
+        stats.decisions,
+        stats.propagations,
+        stats.learned,
+        stats.symmetric_images,
+        stats.restarts,
+    );
+}
 
 fn main() {
-    for (n, r) in [(3usize, 1usize), (3, 2)] {
-        let spec = gsb_core::SymmetricGsb::wsb(n).unwrap().to_spec();
-        let complex = gsb_topology::protocol_complex(n, r);
-        let search = gsb_topology::SymmetricSearch::over_complex(spec, &complex);
+    let which = std::env::args().nth(1).unwrap_or_default();
+    probe(
+        "wsb(3)",
+        gsb_core::SymmetricGsb::wsb(3).unwrap().to_spec(),
+        1,
+    );
+    probe(
+        "wsb(3)",
+        gsb_core::SymmetricGsb::wsb(3).unwrap().to_spec(),
+        2,
+    );
+    probe("election(3)", gsb_core::GsbSpec::election(3).unwrap(), 2);
+    if which.contains("r1") {
+        for m in [10, 9, 8, 7] {
+            probe(
+                &format!("renaming(4,{m})"),
+                gsb_core::SymmetricGsb::renaming(4, m).unwrap().to_spec(),
+                1,
+            );
+        }
+    }
+    if which.contains("n4") {
+        for m in [10, 9, 8, 7] {
+            probe(
+                &format!("renaming(4,{m})"),
+                gsb_core::SymmetricGsb::renaming(4, m).unwrap().to_spec(),
+                2,
+            );
+        }
+    }
+    if which.contains("budget") {
+        for (label, spec, r, budget) in [
+            (
+                "wsb(3)",
+                gsb_core::SymmetricGsb::wsb(3).unwrap().to_spec(),
+                2usize,
+                1_000_000u64,
+            ),
+            (
+                "loose_renaming(4)",
+                gsb_core::SymmetricGsb::loose_renaming(4).unwrap().to_spec(),
+                2,
+                100_000,
+            ),
+            (
+                "election(3)",
+                gsb_core::GsbSpec::election(3).unwrap(),
+                2,
+                1_000_000,
+            ),
+        ] {
+            let search = SymmetricSearch::new(spec, r);
+            let t = Instant::now();
+            let out = search.solve_reference_budgeted(budget);
+            println!(
+                "{label} r={r} budget={budget}: {:?} verdict={:?}",
+                t.elapsed(),
+                out.map(|o| o.is_solvable())
+            );
+        }
+    }
+    if which.contains("ref") {
+        let spec = gsb_core::SymmetricGsb::wsb(3).unwrap().to_spec();
+        let search = SymmetricSearch::new(spec, 2);
+        let t = Instant::now();
+        let result = search.solve_reference();
         println!(
-            "n={n} r={r}: vertices={} classes={} facets_raw={} facets_dedup={}",
-            complex.vertices().len(),
-            search.classes().len(),
-            complex.facet_count(),
-            search.facet_count()
+            "wsb(3) r=2 reference: solvable={} in {:?}",
+            result.is_solvable(),
+            t.elapsed()
         );
     }
 }

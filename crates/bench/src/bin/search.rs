@@ -1,0 +1,73 @@
+//! The **solvability-frontier search bench**: the CDCL decision-map
+//! engine vs. the retained backtracking baseline on the frontier
+//! instances (WSB/election `r = 2` UNSAT at `n = 3`, the two-round
+//! `(2n−1)`-renaming map at `n = 4`), recorded in `BENCH_search.json`
+//! (see `DESIGN.md` §6).
+//!
+//! ```text
+//! cargo run --release -p gsb-bench --bin search [-- --quick | --full]
+//! ```
+//!
+//! * default — per-row baseline budgets (censored rows take ~1 s each).
+//! * `--quick` — CI smoke: one small node cap for every baseline row;
+//!   still asserts the frontier verdicts.
+//! * `--full` — uncensored `wsb(3) r=2` baseline (~10 s) and a deep
+//!   (but still bounded) `loose_renaming(4) r=2` probe; use this when
+//!   refreshing the committed `BENCH_search.json`.
+
+use gsb_bench::{search_report_budgeted, write_search_json, BaselineBudget};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mode = if args.iter().any(|a| a == "--full") {
+        BaselineBudget::Full
+    } else if args.iter().any(|a| a == "--quick") {
+        BaselineBudget::Capped(100_000)
+    } else {
+        BaselineBudget::Default
+    };
+
+    println!("Decision-map search: CDCL engine vs. retained backtracking baseline\n");
+    let report = search_report_budgeted(mode);
+    println!(
+        "{:<24} {:>7} {:>7} {:>9} {:>12} {:>12} {:>10}  verdict",
+        "instance", "classes", "facets", "conflicts", "cdcl", "baseline", "speedup"
+    );
+    for row in &report.rows {
+        println!(
+            "{:<24} {:>7} {:>7} {:>9} {:>11.3}ms {:>11.1}ms {:>9.0}x{} {}",
+            row.instance,
+            row.classes,
+            row.facets,
+            row.cdcl_stats.conflicts,
+            row.cdcl_wall.as_secs_f64() * 1e3,
+            row.baseline_wall.as_secs_f64() * 1e3,
+            row.speedup(),
+            if row.baseline_censored { "+" } else { " " },
+            if row.solvable { "solvable" } else { "UNSAT" },
+        );
+    }
+    println!(
+        "\n('+' marks censored baselines: the budget ran out, so the speedup is a lower bound.)"
+    );
+
+    // The frontier must stay closed, whatever the budgets.
+    let wsb = report
+        .rows
+        .iter()
+        .find(|r| r.instance.starts_with("wsb"))
+        .expect("wsb row");
+    assert!(!wsb.solvable, "WSB n=3 r=2 must be UNSAT");
+    let renaming = report
+        .rows
+        .iter()
+        .find(|r| r.instance.starts_with("loose_renaming"))
+        .expect("renaming row");
+    assert!(renaming.solvable, "(2n−1)-renaming n=4 must solve at r=2");
+
+    let path = std::path::Path::new("BENCH_search.json");
+    match write_search_json(&report, path) {
+        Ok(()) => println!("\nRecord written to {}", path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
+}

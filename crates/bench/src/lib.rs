@@ -517,6 +517,218 @@ pub fn write_bench_json(report: &AtlasReport, path: &std::path::Path) -> std::io
     std::fs::write(path, report.to_json())
 }
 
+/// One row of the decision-map search performance record
+/// (`BENCH_search.json`): the CDCL engine vs. the retained backtracking
+/// baseline on a named instance.
+#[derive(Debug, Clone)]
+pub struct SearchBenchRow {
+    /// Instance label, e.g. `"wsb(3) r=2"`.
+    pub instance: String,
+    /// Symmetry classes of the quotiented instance.
+    pub classes: usize,
+    /// Deduplicated facet constraints.
+    pub facets: usize,
+    /// Whether a decision map exists.
+    pub solvable: bool,
+    /// CDCL wall time (best of 3).
+    pub cdcl_wall: Duration,
+    /// Winner's solver counters.
+    pub cdcl_stats: gsb_topology::SearchStats,
+    /// Wall time of the backtracking baseline run.
+    pub baseline_wall: Duration,
+    /// `true` when the baseline hit its node budget before a verdict —
+    /// its wall time is then a *lower bound*, and so is the speedup.
+    pub baseline_censored: bool,
+}
+
+impl SearchBenchRow {
+    /// Baseline-over-CDCL wall ratio (a lower bound when censored).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.baseline_wall.as_secs_f64() / self.cdcl_wall.as_secs_f64().max(f64::EPSILON)
+    }
+}
+
+/// The machine-readable record emitted as `BENCH_search.json`.
+#[derive(Debug, Clone)]
+pub struct SearchReport {
+    /// Per-instance engine comparison.
+    pub rows: Vec<SearchBenchRow>,
+    /// Worker threads available to the portfolio.
+    pub threads: usize,
+}
+
+impl SearchReport {
+    /// Serializes the report as JSON (hand-rolled; the offline build has
+    /// no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"threads\": ");
+        out.push_str(&self.threads.to_string());
+        out.push_str(",\n  \"instances\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let s = &row.cdcl_stats;
+            out.push_str(&format!(
+                "    {{\n      \"instance\": \"{}\",\n      \"classes\": {},\n      \
+                 \"facets\": {},\n      \"solvable\": {},\n      \
+                 \"cdcl_wall_ms\": {:.3},\n      \"baseline_wall_ms\": {:.3},\n      \
+                 \"baseline_censored\": {},\n      \"speedup\": {:.1},\n      \
+                 \"conflicts\": {},\n      \"decisions\": {},\n      \
+                 \"propagations\": {},\n      \"learned\": {},\n      \
+                 \"symmetric_images\": {},\n      \"restarts\": {}\n    }}{}\n",
+                row.instance,
+                row.classes,
+                row.facets,
+                row.solvable,
+                row.cdcl_wall.as_secs_f64() * 1e3,
+                row.baseline_wall.as_secs_f64() * 1e3,
+                row.baseline_censored,
+                row.speedup(),
+                s.conflicts,
+                s.decisions,
+                s.propagations,
+                s.learned,
+                s.symmetric_images,
+                s.restarts,
+                if i + 1 == self.rows.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// The search-bench instance suite: the frontier certificates plus fast
+/// sanity rows. `(label, spec, rounds, default node budget, full node
+/// budget)` for the backtracking baseline — the default budgets keep the
+/// exponential baseline from dominating a smoke run (~1 s censored
+/// rows); `--full` budgets let the `wsb(3) r=2` row run to its ~10 s
+/// verdict while still bounding `loose_renaming(4) r=2`, whose plain
+/// search would not terminate in any useful time (the row is then an
+/// explicit lower bound).
+#[must_use]
+pub fn search_suite() -> Vec<(String, gsb_core::GsbSpec, usize, u64, u64)> {
+    vec![
+        (
+            "renaming(3,6) r=1".into(),
+            SymmetricGsb::renaming(3, 6).expect("well-formed").to_spec(),
+            1,
+            u64::MAX,
+            u64::MAX,
+        ),
+        (
+            "wsb(3) r=2".into(),
+            SymmetricGsb::wsb(3).expect("well-formed").to_spec(),
+            2,
+            1_000_000,
+            u64::MAX,
+        ),
+        (
+            "election(3) r=2".into(),
+            gsb_core::GsbSpec::election(3).expect("well-formed"),
+            2,
+            u64::MAX,
+            u64::MAX,
+        ),
+        (
+            "loose_renaming(4) r=2".into(),
+            SymmetricGsb::loose_renaming(4)
+                .expect("well-formed")
+                .to_spec(),
+            2,
+            1_000_000,
+            100_000_000,
+        ),
+    ]
+}
+
+/// How much baseline work [`search_report_budgeted`] may spend per row.
+#[derive(Debug, Clone, Copy)]
+pub enum BaselineBudget {
+    /// The suite's per-row default budgets (~1 s censored rows).
+    Default,
+    /// The suite's per-row full budgets (the `wsb(3) r=2` baseline runs
+    /// to its ~10 s verdict; `loose_renaming(4) r=2` stays bounded).
+    Full,
+    /// One explicit node cap for every row (CI smoke, tests).
+    Capped(u64),
+}
+
+/// Benchmarks the suite with [`BaselineBudget::Full`] or
+/// [`BaselineBudget::Default`]; see [`search_report_budgeted`].
+#[must_use]
+pub fn search_report(full_baseline: bool) -> SearchReport {
+    search_report_budgeted(if full_baseline {
+        BaselineBudget::Full
+    } else {
+        BaselineBudget::Default
+    })
+}
+
+/// Benchmarks the suite: CDCL best-of-3 vs. the budgeted backtracking
+/// baseline, cross-checking verdicts where the baseline finishes.
+///
+/// # Panics
+///
+/// Panics if the engines disagree on an uncensored row (that would be a
+/// soundness bug).
+#[must_use]
+pub fn search_report_budgeted(budget_mode: BaselineBudget) -> SearchReport {
+    use gsb_topology::{CdclConfig, SearchResult, SymmetricSearch};
+    let mut rows = Vec::new();
+    for (instance, spec, rounds, default_budget, full_budget) in search_suite() {
+        let search = SymmetricSearch::new(spec, rounds);
+        let config = CdclConfig::default();
+        let mut cdcl_wall = Duration::MAX;
+        let mut outcome = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let (r, s) = search.solve_with(&config);
+            cdcl_wall = cdcl_wall.min(start.elapsed());
+            outcome = Some((r, s));
+        }
+        let (result, stats) = outcome.expect("three timed trials ran");
+        let budget = match budget_mode {
+            BaselineBudget::Default => default_budget,
+            BaselineBudget::Full => full_budget,
+            BaselineBudget::Capped(cap) => cap,
+        };
+        let start = Instant::now();
+        let baseline = search.solve_reference_budgeted(budget);
+        let baseline_wall = start.elapsed();
+        if let Some(baseline) = &baseline {
+            assert_eq!(
+                baseline.is_solvable(),
+                result.is_solvable(),
+                "engines disagree on {instance}"
+            );
+        }
+        rows.push(SearchBenchRow {
+            instance,
+            classes: search.classes().len(),
+            facets: search.facet_count(),
+            solvable: matches!(result, SearchResult::Solvable { .. }),
+            cdcl_wall,
+            cdcl_stats: stats,
+            baseline_wall,
+            baseline_censored: baseline.is_none(),
+        });
+    }
+    SearchReport {
+        rows,
+        threads: rayon::current_num_threads(),
+    }
+}
+
+/// Writes `BENCH_search.json` (see [`SearchReport::to_json`]) to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_search_json(report: &SearchReport, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, report.to_json())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -567,6 +779,40 @@ mod tests {
         let cmp = compare_enumeration_engines(3);
         assert_eq!(cmp.runs, 1680);
         assert!(cmp.memoized_nodes < cmp.naive_nodes);
+    }
+
+    #[test]
+    fn search_report_rows_and_json_shape() {
+        // Tiny baseline cap: the censored rows exercise the lower-bound
+        // path without the multi-second budgets of the default mode.
+        let report = search_report_budgeted(BaselineBudget::Capped(20_000));
+        assert_eq!(report.rows.len(), search_suite().len());
+        let wsb = report
+            .rows
+            .iter()
+            .find(|r| r.instance.starts_with("wsb"))
+            .expect("wsb row present");
+        assert!(!wsb.solvable, "WSB n=3 r=2 is the UNSAT frontier row");
+        assert!(wsb.cdcl_stats.conflicts > 0);
+        let renaming = report
+            .rows
+            .iter()
+            .find(|r| r.instance.starts_with("loose_renaming"))
+            .expect("renaming row present");
+        assert!(renaming.solvable, "(2n−1)-renaming n=4 solves at r=2");
+        let json = report.to_json();
+        for key in [
+            "\"threads\"",
+            "\"instance\"",
+            "\"cdcl_wall_ms\"",
+            "\"baseline_wall_ms\"",
+            "\"baseline_censored\"",
+            "\"speedup\"",
+            "\"conflicts\"",
+            "\"symmetric_images\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 
     #[test]

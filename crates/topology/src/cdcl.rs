@@ -1,0 +1,1454 @@
+//! Conflict-driven search for symmetric decision maps.
+//!
+//! The quotiented solvability instance — "assign each view-signature
+//! class a value in `1..m` so every facet's value multiset falls inside
+//! the spec's per-value windows" — is solved here as a CDCL
+//! (conflict-driven clause-learning) problem instead of the seed's plain
+//! backtracking:
+//!
+//! * **Encoding.** Boolean variable `x_{c,v}` ⟺ "class `c` decides value
+//!   `v`". At-least-one and pairwise at-most-one clauses make the
+//!   per-class domain exact; facet cardinality windows stay *native*
+//!   (counter propagators that explain their implications as clauses on
+//!   demand), so no cardinality-to-CNF blow-up is ever materialized.
+//! * **Propagation.** Clausal constraints (domain clauses, value
+//!   precedence, learned clauses) use the classic two-watched-literal
+//!   scheme; facet windows keep per-`(facet, value)` assigned/forbidden
+//!   weight counters that fire upper-saturation and lower-deficit
+//!   implications with eagerly materialized reason clauses.
+//! * **Learning.** First-UIP conflict analysis with VSIDS-style variable
+//!   activities (seeded by facet-occurrence `class_weight`, decayed
+//!   geometrically), phase saving, Luby restarts, and LBD-guarded
+//!   learned-clause reduction.
+//! * **Orbit pruning.** Each learned clause that was derived purely from
+//!   symmetry-invariant constraints (taint tracking over antecedents)
+//!   is replayed through the instance's verified symmetries — the
+//!   order-reversal class permutation of the view-signature quotient and,
+//!   for fully symmetric specs, adjacent value transpositions — so one
+//!   conflict prunes its entire (small) orbit. Value-interchangeable
+//!   specs additionally get static value-precedence breaking; clauses
+//!   touching those constraints are tainted and never imaged.
+//! * **Portfolio.** [`solve_portfolio`] fans diversified configurations
+//!   (seed, phase, restart cadence, random-decision rate) across scoped
+//!   threads — sized by `rayon::current_num_threads()`, which honors
+//!   `RAYON_NUM_THREADS`, so the 1-core container runs exactly one
+//!   deterministic solver — with first-finisher-wins cancellation and
+//!   optional sharing of short learned clauses.
+//!
+//! The seed's backtracking engine is retained in
+//! [`solvability`](crate::solvability) as the reference oracle; the
+//! equivalence of the two engines is property-tested over a task zoo.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// The quotiented decision-map instance handed to the CDCL engine.
+///
+/// Built by [`SymmetricSearch`](crate::solvability::SymmetricSearch);
+/// all constraint soundness obligations (facet windows, symmetry
+/// verification, precedence applicability) are discharged there.
+#[derive(Debug, Clone)]
+pub(crate) struct Instance {
+    /// Number of symmetry classes (`k`).
+    pub classes: usize,
+    /// Number of output values (`m`).
+    pub values: usize,
+    /// Per-value lower window bound, indexed by `v − 1`.
+    pub lower: Vec<u32>,
+    /// Per-value upper window bound, indexed by `v − 1`.
+    pub upper: Vec<u32>,
+    /// Facet constraints as `(class, multiplicity)` runs (classes
+    /// strictly increasing within a facet; multiplicities sum to `n`).
+    pub facets: Vec<Vec<(u32, u32)>>,
+    /// Facet-occurrence weight per class (VSIDS seeding).
+    pub class_weight: Vec<usize>,
+    /// Whether all values are interchangeable (`spec.is_symmetric()`):
+    /// gates value-precedence breaking and value-transposition images.
+    pub value_symmetric: bool,
+    /// Class order used for value-precedence breaking (weight-descending,
+    /// mirroring the reference engine's branching order).
+    pub precedence_order: Vec<u32>,
+    /// Verified class permutations (beyond identity) under which the
+    /// facet family is invariant — the view-signature symmetries.
+    pub class_perms: Vec<Vec<u32>>,
+}
+
+/// Tuning knobs of one CDCL solver; the portfolio diversifies these.
+#[derive(Debug, Clone)]
+pub struct CdclConfig {
+    /// Seed of the solver's xorshift RNG (random decisions, jitter).
+    pub seed: u64,
+    /// Initial saved phase used for branching decisions.
+    pub default_phase: bool,
+    /// Luby restart unit, in conflicts.
+    pub restart_base: u64,
+    /// Percentage (`0..100`) of decisions taken on a random variable.
+    pub random_decision_pct: u32,
+    /// Whether to learn orbit images of symmetric conflict clauses.
+    pub symmetric_learning: bool,
+    /// Longest clause replayed through the symmetry group.
+    pub symmetric_image_max_len: usize,
+    /// Whether to jitter initial activities (portfolio diversity).
+    pub activity_jitter: bool,
+    /// Whether portfolio members exchange short learned clauses.
+    pub share_learned: bool,
+    /// Longest clause exported to the portfolio pool.
+    pub share_max_len: usize,
+}
+
+impl Default for CdclConfig {
+    fn default() -> Self {
+        CdclConfig {
+            seed: 0x9E37_79B9_7F4A_7C15,
+            default_phase: false,
+            restart_base: 64,
+            random_decision_pct: 2,
+            symmetric_learning: true,
+            symmetric_image_max_len: 16,
+            activity_jitter: false,
+            share_learned: true,
+            share_max_len: 8,
+        }
+    }
+}
+
+/// Counters reported by one solve (the portfolio returns the winner's).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Branching decisions taken.
+    pub decisions: u64,
+    /// Conflicts analyzed.
+    pub conflicts: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Clauses learned from conflicts.
+    pub learned: u64,
+    /// Learned clauses added as symmetry-orbit images.
+    pub symmetric_images: u64,
+    /// Clauses imported from the portfolio pool.
+    pub imported: u64,
+    /// Learned clauses deleted by DB reduction.
+    pub deleted: u64,
+    /// Portfolio workers that ran (1 outside portfolio mode).
+    pub workers: usize,
+}
+
+/// Outcome of a CDCL run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum CdclResult {
+    /// A satisfying decision map: value (`1..=m`) per class.
+    Sat(Vec<usize>),
+    /// The instance admits no decision map.
+    Unsat,
+    /// Another portfolio member finished first.
+    Interrupted,
+}
+
+/// A literal over the `x_{c,v}` variables, `code = var · 2 + negated`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct Lit(u32);
+
+impl Lit {
+    fn new(var: u32, positive: bool) -> Lit {
+        Lit(var << 1 | u32::from(!positive))
+    }
+    fn var(self) -> u32 {
+        self.0 >> 1
+    }
+    fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+    fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+    fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+const UNDEF: u8 = 0;
+const TRUE: u8 = 1;
+const FALSE: u8 = 2;
+
+/// Why a variable is assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reason {
+    /// Branching decision (or root fact).
+    None,
+    /// Propagated by the clause at this index (implied lit at `lits[0]`).
+    Clause(u32),
+    /// Propagated by a facet window; the eagerly materialized reason
+    /// clause lives at this index of the explanation arena.
+    Explained(u32),
+}
+
+/// xorshift64* — deterministic, dependency-free randomness.
+#[derive(Debug)]
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learned: bool,
+    /// Derived purely from symmetry-invariant constraints (see module
+    /// docs); only such clauses may be replayed through the group.
+    symmetric: bool,
+    lbd: u32,
+    deleted: bool,
+}
+
+/// Indexed binary max-heap over variable activities (MiniSat's order).
+#[derive(Debug)]
+struct VarOrder {
+    heap: Vec<u32>,
+    pos: Vec<u32>,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl VarOrder {
+    fn new(nvars: usize) -> VarOrder {
+        VarOrder {
+            heap: Vec::with_capacity(nvars),
+            pos: vec![ABSENT; nvars],
+        }
+    }
+
+    fn contains(&self, v: u32) -> bool {
+        self.pos[v as usize] != ABSENT
+    }
+
+    fn insert(&mut self, v: u32, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v as usize] = self.heap.len() as u32;
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn pop(&mut self, act: &[f64]) -> Option<u32> {
+        let top = *self.heap.first()?;
+        self.pos[top as usize] = ABSENT;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn bump(&mut self, v: u32, act: &[f64]) {
+        let p = self.pos[v as usize];
+        if p != ABSENT {
+            self.sift_up(p as usize, act);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i] as usize] <= act[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l] as usize] > act[self.heap[best] as usize] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r] as usize] > act[self.heap[best] as usize] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a] as usize] = a as u32;
+        self.pos[self.heap[b] as usize] = b as u32;
+    }
+}
+
+/// Pool of short learned clauses exchanged between portfolio members.
+#[derive(Debug, Default)]
+pub(crate) struct SharedPool {
+    clauses: Mutex<Vec<(Vec<Lit>, bool)>>,
+}
+
+impl SharedPool {
+    fn export(&self, lits: Vec<Lit>, symmetric: bool) {
+        self.clauses
+            .lock()
+            .expect("pool poisoned")
+            .push((lits, symmetric));
+    }
+
+    fn import_from(&self, cursor: usize) -> Vec<(Vec<Lit>, bool)> {
+        let pool = self.clauses.lock().expect("pool poisoned");
+        pool[cursor.min(pool.len())..].to_vec()
+    }
+}
+
+struct Solver<'a> {
+    inst: &'a Instance,
+    cfg: CdclConfig,
+    nvars: usize,
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<u32>>,
+    value: Vec<u8>,
+    level: Vec<u32>,
+    reason: Vec<Reason>,
+    /// For variables assigned at level 0: whether the root fact's
+    /// derivation touched a non-symmetric constraint. Conflict analysis
+    /// silently drops level-0 literals, so learned clauses must inherit
+    /// this taint or orbit images of them would be unsound.
+    root_tainted: Vec<bool>,
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: VarOrder,
+    saved_phase: Vec<bool>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    explanations: Vec<Vec<Lit>>,
+    expl_lim: Vec<usize>,
+    /// Per-`(facet, value)` weight assigned to the value / forbidden it.
+    true_w: Vec<u32>,
+    false_w: Vec<u32>,
+    /// Facets containing each class, with the class's multiplicity.
+    class_facets: Vec<Vec<(u32, u32)>>,
+    /// Total weight (`n`) of each facet.
+    facet_total: Vec<u32>,
+    seen: Vec<bool>,
+    rng: XorShift,
+    /// Variable permutations of the verified symmetry group (identity
+    /// excluded), used to replay symmetric learned clauses.
+    var_maps: Vec<Vec<u32>>,
+    pending: Vec<(Vec<Lit>, bool)>,
+    image_seen: HashSet<Vec<Lit>>,
+    learned_live: usize,
+    learned_limit: usize,
+    pool_cursor: usize,
+    /// Set when input installation already refutes the instance (a unit
+    /// conflict or a facet whose lower window exceeds its weight).
+    root_conflict: bool,
+    stats: SearchStats,
+}
+
+impl<'a> Solver<'a> {
+    fn var_of(&self, class: u32, value_index: usize) -> u32 {
+        class * self.inst.values as u32 + value_index as u32
+    }
+
+    fn new(inst: &'a Instance, cfg: CdclConfig) -> Solver<'a> {
+        let m = inst.values;
+        let nvars = inst.classes * m;
+        let mut class_facets: Vec<Vec<(u32, u32)>> = vec![Vec::new(); inst.classes];
+        let mut facet_total = vec![0u32; inst.facets.len()];
+        for (f, facet) in inst.facets.iter().enumerate() {
+            for &(c, mult) in facet {
+                class_facets[c as usize].push((f as u32, mult));
+                facet_total[f] += mult;
+            }
+        }
+        let mut rng = XorShift(cfg.seed | 1);
+        let max_weight = inst.class_weight.iter().copied().max().unwrap_or(1).max(1);
+        let mut activity = vec![0.0f64; nvars];
+        for c in 0..inst.classes {
+            let base = inst.class_weight[c] as f64 / max_weight as f64;
+            for vi in 0..m {
+                let jitter = if cfg.activity_jitter {
+                    1.0 + (rng.next() % 1000) as f64 / 10_000.0
+                } else {
+                    1.0
+                };
+                activity[c * m + vi] = base * jitter;
+            }
+        }
+        let mut order = VarOrder::new(nvars);
+        for v in 0..nvars as u32 {
+            order.insert(v, &activity);
+        }
+        let var_maps = build_var_maps(inst, m);
+        let mut solver = Solver {
+            inst,
+            nvars,
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); nvars * 2],
+            value: vec![UNDEF; nvars],
+            level: vec![0; nvars],
+            reason: vec![Reason::None; nvars],
+            root_tainted: vec![false; nvars],
+            activity,
+            var_inc: 1.0,
+            order,
+            saved_phase: vec![cfg.default_phase; nvars],
+            trail: Vec::with_capacity(nvars),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            explanations: Vec::new(),
+            expl_lim: Vec::new(),
+            true_w: vec![0; inst.facets.len() * m],
+            false_w: vec![0; inst.facets.len() * m],
+            class_facets,
+            facet_total,
+            seen: vec![false; nvars],
+            rng,
+            var_maps,
+            pending: Vec::new(),
+            image_seen: HashSet::new(),
+            learned_live: 0,
+            learned_limit: 4000,
+            pool_cursor: 0,
+            root_conflict: false,
+            stats: SearchStats::default(),
+            cfg,
+        };
+        // A facet whose lower window exceeds its total weight can never
+        // be satisfied, and — with `m = 1` — never produces the false
+        // literals the counter propagators watch; refute it up front.
+        if let Some(&min_total) = solver.facet_total.iter().min() {
+            if solver.inst.lower.iter().any(|&l| l > min_total) {
+                solver.root_conflict = true;
+            }
+        }
+        solver.install_domain_constraints();
+        solver
+    }
+
+    /// At-least-one / at-most-one domain clauses, plus value-precedence
+    /// breaking for interchangeable values (tainted: `symmetric = false`).
+    fn install_domain_constraints(&mut self) {
+        let m = self.inst.values;
+        for c in 0..self.inst.classes as u32 {
+            let alo: Vec<Lit> = (0..m)
+                .map(|vi| Lit::new(self.var_of(c, vi), true))
+                .collect();
+            self.add_input_clause(alo, true);
+            for vi in 0..m {
+                for wi in vi + 1..m {
+                    self.add_input_clause(
+                        vec![
+                            Lit::new(self.var_of(c, vi), false),
+                            Lit::new(self.var_of(c, wi), false),
+                        ],
+                        true,
+                    );
+                }
+            }
+        }
+        if self.inst.value_symmetric && m >= 2 {
+            // Value v may first appear at position t of the precedence
+            // order only after v−1 appeared strictly earlier: with fully
+            // interchangeable values every solution has a relabelling
+            // whose first occurrences come in value order.
+            let order = self.inst.precedence_order.clone();
+            for (t, &c) in order.iter().enumerate() {
+                for vi in 1..m {
+                    let mut lits = vec![Lit::new(self.var_of(c, vi), false)];
+                    lits.extend(
+                        order[..t]
+                            .iter()
+                            .map(|&c2| Lit::new(self.var_of(c2, vi - 1), true)),
+                    );
+                    self.add_input_clause(lits, false);
+                }
+            }
+        }
+    }
+
+    /// Installs an input clause at level 0 (before search starts).
+    fn add_input_clause(&mut self, lits: Vec<Lit>, symmetric: bool) {
+        debug_assert!(self.trail_lim.is_empty());
+        match lits.len() {
+            0 => unreachable!("input clauses are non-empty"),
+            1 => {
+                // Root fact; a contradicting unit refutes the instance.
+                if !self.enqueue_root(lits[0], !symmetric) {
+                    self.root_conflict = true;
+                }
+            }
+            _ => {
+                self.attach_clause(lits, false, symmetric, 0);
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learned: bool, symmetric: bool, lbd: u32) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as u32;
+        self.watches[lits[0].code()].push(cref);
+        self.watches[lits[1].code()].push(cref);
+        if learned {
+            self.learned_live += 1;
+        }
+        self.clauses.push(Clause {
+            lits,
+            learned,
+            symmetric,
+            lbd,
+            deleted: false,
+        });
+        cref
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn lit_value(&self, lit: Lit) -> u8 {
+        match self.value[lit.var() as usize] {
+            UNDEF => UNDEF,
+            v => {
+                if (v == TRUE) == lit.is_positive() {
+                    TRUE
+                } else {
+                    FALSE
+                }
+            }
+        }
+    }
+
+    /// Assigns `lit` (updating facet counters) unless already decided;
+    /// `false` means `lit` is currently false (the caller has a conflict
+    /// discovered outside the propagation queue — only possible for root
+    /// facts and pending-clause absorption at level 0).
+    fn enqueue(&mut self, lit: Lit, reason: Reason) -> bool {
+        match self.lit_value(lit) {
+            TRUE => true,
+            FALSE => false,
+            _ => {
+                let var = lit.var() as usize;
+                let root = self.trail_lim.is_empty();
+                if root {
+                    self.root_tainted[var] = self.reason_root_taint(lit, reason);
+                }
+                self.value[var] = if lit.is_positive() { TRUE } else { FALSE };
+                self.level[var] = self.decision_level() as u32;
+                self.reason[var] = reason;
+                self.trail.push(lit);
+                // Counters move at enqueue (and symmetrically at undo) so
+                // trail and counters never disagree; threshold checks run
+                // when the literal is dequeued.
+                let m = self.inst.values;
+                let (c, vi) = ((lit.var() as usize) / m, (lit.var() as usize) % m);
+                let w = if lit.is_positive() {
+                    &mut self.true_w
+                } else {
+                    &mut self.false_w
+                };
+                for &(f, mult) in &self.class_facets[c] {
+                    w[f as usize * m + vi] += mult;
+                }
+                true
+            }
+        }
+    }
+
+    /// Taint of a fresh level-0 assignment: the propagating constraint's
+    /// own taint, or-ed with the taint of the root facts it leans on.
+    /// `Reason::None` roots are conservatively tainted — callers with
+    /// exact knowledge use [`enqueue_root`](Self::enqueue_root).
+    fn reason_root_taint(&self, lit: Lit, reason: Reason) -> bool {
+        let others_tainted = |lits: &[Lit]| {
+            lits.iter()
+                .any(|&l| l.var() != lit.var() && self.root_tainted[l.var() as usize])
+        };
+        match reason {
+            Reason::None => true,
+            Reason::Clause(cref) => {
+                let clause = &self.clauses[cref as usize];
+                !clause.symmetric || others_tainted(&clause.lits)
+            }
+            Reason::Explained(idx) => others_tainted(&self.explanations[idx as usize]),
+        }
+    }
+
+    /// Enqueues a level-0 fact with an explicit taint (input units,
+    /// learned units, absorbed pending units).
+    fn enqueue_root(&mut self, lit: Lit, tainted: bool) -> bool {
+        debug_assert!(self.trail_lim.is_empty());
+        let fresh = self.lit_value(lit) == UNDEF;
+        let ok = self.enqueue(lit, Reason::None);
+        if ok && fresh {
+            self.root_tainted[lit.var() as usize] = tainted;
+        }
+        ok
+    }
+
+    fn assume(&mut self, lit: Lit) {
+        self.trail_lim.push(self.trail.len());
+        self.expl_lim.push(self.explanations.len());
+        let ok = self.enqueue(lit, Reason::None);
+        debug_assert!(ok, "decisions pick unassigned variables");
+    }
+
+    fn cancel_until(&mut self, target: usize) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let m = self.inst.values;
+        let keep = self.trail_lim[target];
+        while self.trail.len() > keep {
+            let lit = self.trail.pop().expect("non-empty trail");
+            let var = lit.var() as usize;
+            let (c, vi) = (var / m, var % m);
+            let w = if lit.is_positive() {
+                &mut self.true_w
+            } else {
+                &mut self.false_w
+            };
+            for &(f, mult) in &self.class_facets[c] {
+                w[f as usize * m + vi] -= mult;
+            }
+            self.value[var] = UNDEF;
+            self.reason[var] = Reason::None;
+            self.saved_phase[var] = lit.is_positive();
+            self.order.insert(lit.var(), &self.activity);
+        }
+        self.qhead = keep;
+        self.explanations.truncate(self.expl_lim[target]);
+        self.trail_lim.truncate(target);
+        self.expl_lim.truncate(target);
+    }
+
+    /// Propagates to fixpoint; a conflict comes back as the violated
+    /// clause's literals (all false) plus its symmetry taint.
+    fn propagate(&mut self) -> Option<(Vec<Lit>, bool)> {
+        while self.qhead < self.trail.len() {
+            let lit = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            if let Some(conflict) = self.propagate_facets(lit) {
+                return Some(conflict);
+            }
+            if let Some(conflict) = self.propagate_watches(lit) {
+                return Some(conflict);
+            }
+        }
+        None
+    }
+
+    /// Threshold checks for every facet containing the class of `lit`.
+    ///
+    /// Counters were already moved at enqueue time; this pass only fires
+    /// conflicts and implications. Implied literals always concern a
+    /// *different* class of the same facet (the dequeued class is
+    /// assigned on this value), and the implied polarity updates the
+    /// opposite counter, so thresholds are stable across the scan.
+    fn propagate_facets(&mut self, lit: Lit) -> Option<(Vec<Lit>, bool)> {
+        let m = self.inst.values;
+        let var = lit.var() as usize;
+        let (c, vi) = (var / m, var % m);
+        for k in 0..self.class_facets[c].len() {
+            let (f, _) = self.class_facets[c][k];
+            let fi = f as usize;
+            let idx = fi * m + vi;
+            if lit.is_positive() {
+                // Σ mult(c')·x_{c',v} ≤ u_v: saturation forbids the value
+                // for the facet's remaining classes.
+                let u = self.inst.upper[vi];
+                if self.true_w[idx] > u {
+                    return Some((self.upper_reason(fi, vi, None), true));
+                }
+                for j in 0..self.inst.facets[fi].len() {
+                    let (c2, mult2) = self.inst.facets[fi][j];
+                    let v2 = Lit::new(self.var_of(c2, vi), false);
+                    if self.lit_value(v2) == UNDEF && self.true_w[idx] + mult2 > u {
+                        let expl = self.upper_reason(fi, vi, Some(v2));
+                        let idx_e = self.push_explanation(expl);
+                        let ok = self.enqueue(v2, Reason::Explained(idx_e));
+                        debug_assert!(ok);
+                    }
+                }
+            } else {
+                // Σ mult(c')·x_{c',v} ≥ l_v ⇔ forbidden weight ≤ n − l_v:
+                // a deficit forces the value on the remaining classes.
+                let slack = self.facet_total[fi] - self.inst.lower[vi].min(self.facet_total[fi]);
+                if self.false_w[idx] > slack {
+                    return Some((self.lower_reason(fi, vi, None), true));
+                }
+                for j in 0..self.inst.facets[fi].len() {
+                    let (c2, mult2) = self.inst.facets[fi][j];
+                    let v2 = Lit::new(self.var_of(c2, vi), true);
+                    if self.lit_value(v2) == UNDEF && self.false_w[idx] + mult2 > slack {
+                        let expl = self.lower_reason(fi, vi, Some(v2));
+                        let idx_e = self.push_explanation(expl);
+                        let ok = self.enqueue(v2, Reason::Explained(idx_e));
+                        debug_assert!(ok);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Reason clause for an upper-window event on `(facet, value)`: the
+    /// implied literal (if any) followed by the negations of the
+    /// assignments that saturated the window.
+    fn upper_reason(&self, f: usize, vi: usize, implied: Option<Lit>) -> Vec<Lit> {
+        let mut lits = Vec::new();
+        lits.extend(implied);
+        for &(c2, _) in &self.inst.facets[f] {
+            let x = Lit::new(self.var_of(c2, vi), true);
+            if self.lit_value(x) == TRUE {
+                lits.push(x.negated());
+            }
+        }
+        lits
+    }
+
+    /// Reason clause for a lower-window event on `(facet, value)`.
+    fn lower_reason(&self, f: usize, vi: usize, implied: Option<Lit>) -> Vec<Lit> {
+        let mut lits = Vec::new();
+        lits.extend(implied);
+        for &(c2, _) in &self.inst.facets[f] {
+            let x = Lit::new(self.var_of(c2, vi), true);
+            if self.lit_value(x) == FALSE {
+                lits.push(x);
+            }
+        }
+        lits
+    }
+
+    fn push_explanation(&mut self, lits: Vec<Lit>) -> u32 {
+        let idx = self.explanations.len() as u32;
+        self.explanations.push(lits);
+        idx
+    }
+
+    /// Two-watched-literal clause propagation for a newly true `lit`.
+    fn propagate_watches(&mut self, lit: Lit) -> Option<(Vec<Lit>, bool)> {
+        let false_lit = lit.negated();
+        let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
+        let mut i = 0;
+        let mut conflict = None;
+        'next_clause: while i < ws.len() {
+            let cref = ws[i];
+            if self.clauses[cref as usize].deleted {
+                ws.swap_remove(i);
+                continue;
+            }
+            // Normalize: the false watcher sits at position 1.
+            {
+                let lits = &mut self.clauses[cref as usize].lits;
+                if lits[0] == false_lit {
+                    lits.swap(0, 1);
+                }
+            }
+            let first = self.clauses[cref as usize].lits[0];
+            if self.lit_value(first) == TRUE {
+                i += 1;
+                continue;
+            }
+            // Look for a non-false replacement watch.
+            let len = self.clauses[cref as usize].lits.len();
+            for j in 2..len {
+                let lj = self.clauses[cref as usize].lits[j];
+                if self.lit_value(lj) != FALSE {
+                    let lits = &mut self.clauses[cref as usize].lits;
+                    lits.swap(1, j);
+                    self.watches[lj.code()].push(cref);
+                    ws.swap_remove(i);
+                    continue 'next_clause;
+                }
+            }
+            // Unit or conflicting.
+            if self.lit_value(first) == UNDEF {
+                let ok = self.enqueue(first, Reason::Clause(cref));
+                debug_assert!(ok);
+                i += 1;
+            } else {
+                let clause = &self.clauses[cref as usize];
+                conflict = Some((clause.lits.clone(), clause.symmetric));
+                break;
+            }
+        }
+        let watched = &mut self.watches[false_lit.code()];
+        debug_assert!(watched.is_empty());
+        *watched = ws;
+        conflict
+    }
+
+    fn bump_var(&mut self, v: u32) {
+        self.activity[v as usize] += self.var_inc;
+        if self.activity[v as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.bump(v, &self.activity);
+    }
+
+    fn reason_lits(&self, var: u32) -> (Vec<Lit>, bool) {
+        match self.reason[var as usize] {
+            Reason::None => unreachable!("decisions are never resolved"),
+            Reason::Clause(cref) => {
+                let clause = &self.clauses[cref as usize];
+                (clause.lits.clone(), clause.symmetric)
+            }
+            Reason::Explained(idx) => (self.explanations[idx as usize].clone(), true),
+        }
+    }
+
+    /// First-UIP analysis; returns the learned clause (asserting literal
+    /// first, a max-level literal second), backtrack level, LBD, and the
+    /// clause's symmetry taint.
+    fn analyze(&mut self, conflict: (Vec<Lit>, bool)) -> (Vec<Lit>, usize, u32, bool) {
+        let current = self.decision_level() as u32;
+        let mut learnt: Vec<Lit> = vec![Lit(0)];
+        let mut symmetric = conflict.1;
+        let mut reason = conflict.0;
+        let mut skip_first = false;
+        let mut path = 0usize;
+        let mut index = self.trail.len();
+        let p;
+        loop {
+            for (i, &q) in reason.iter().enumerate() {
+                if skip_first && i == 0 {
+                    continue;
+                }
+                let v = q.var() as usize;
+                if self.level[v] == 0 {
+                    // The root fact is silently resolved away; the clause
+                    // still *depends* on it, so its taint must flow into
+                    // the learned clause (or orbit images would be
+                    // implied only by the tainted system).
+                    symmetric &= !self.root_tainted[v];
+                } else if !self.seen[v] {
+                    self.seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.level[v] == current {
+                        path += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var() as usize] {
+                    break;
+                }
+            }
+            let pivot = self.trail[index];
+            self.seen[pivot.var() as usize] = false;
+            path -= 1;
+            if path == 0 {
+                p = pivot;
+                break;
+            }
+            let (r, r_sym) = self.reason_lits(pivot.var());
+            debug_assert_eq!(r[0], pivot, "implied literal leads its reason");
+            symmetric &= r_sym;
+            reason = r;
+            skip_first = true;
+        }
+        learnt[0] = p.negated();
+        for &q in &learnt[1..] {
+            self.seen[q.var() as usize] = false;
+        }
+        // Backtrack level: the highest level below `current` in the
+        // clause; its literal moves to the second watch position.
+        let mut backtrack = 0usize;
+        if learnt.len() > 1 {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var() as usize] > self.level[learnt[max_i].var() as usize] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            backtrack = self.level[learnt[1].var() as usize] as usize;
+        }
+        let mut levels: Vec<u32> = learnt
+            .iter()
+            .map(|l| self.level[l.var() as usize])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        (learnt, backtrack, levels.len() as u32, symmetric)
+    }
+
+    /// Installs a learned clause (after backtracking), exports it to the
+    /// portfolio pool, and queues its symmetry-orbit images.
+    fn record(&mut self, learnt: Vec<Lit>, lbd: u32, symmetric: bool, pool: Option<&SharedPool>) {
+        self.stats.learned += 1;
+        if learnt.len() == 1 {
+            let ok = self.enqueue_root(learnt[0], !symmetric);
+            debug_assert!(ok, "asserting literal is unassigned after backtrack");
+        } else {
+            let cref = self.attach_clause(learnt.clone(), true, symmetric, lbd);
+            let ok = self.enqueue(learnt[0], Reason::Clause(cref));
+            debug_assert!(ok, "asserting literal is unassigned after backtrack");
+        }
+        // Every own clause goes into the dedup set, so pool imports never
+        // hand this solver back its own exports as duplicates.
+        let mut canonical = learnt.clone();
+        canonical.sort_unstable();
+        self.image_seen.insert(canonical);
+        if let Some(pool) = pool {
+            if self.cfg.share_learned && learnt.len() <= self.cfg.share_max_len {
+                pool.export(learnt.clone(), symmetric);
+            }
+        }
+        if symmetric
+            && self.cfg.symmetric_learning
+            && learnt.len() <= self.cfg.symmetric_image_max_len
+        {
+            for map_index in 0..self.var_maps.len() {
+                let mut image: Vec<Lit> = learnt
+                    .iter()
+                    .map(|l| Lit::new(self.var_maps[map_index][l.var() as usize], l.is_positive()))
+                    .collect();
+                image.sort_unstable();
+                image.dedup();
+                if self.image_seen.insert(image.clone()) {
+                    self.pending.push((image, true));
+                }
+            }
+        }
+    }
+
+    /// Absorbs queued clauses (symmetry images, portfolio imports) at
+    /// decision level 0; `false` means the instance is now UNSAT.
+    fn absorb_pending(&mut self, pool: Option<&SharedPool>) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        if let Some(pool) = pool {
+            if self.cfg.share_learned {
+                let imported = pool.import_from(self.pool_cursor);
+                self.pool_cursor += imported.len();
+                for (lits, symmetric) in imported {
+                    let mut canonical = lits.clone();
+                    canonical.sort_unstable();
+                    if self.image_seen.insert(canonical) {
+                        self.stats.imported += 1;
+                        self.pending.push((lits, symmetric));
+                    }
+                }
+            }
+        }
+        let pending = std::mem::take(&mut self.pending);
+        for (lits, mut symmetric) in pending {
+            let mut reduced: Vec<Lit> = Vec::with_capacity(lits.len());
+            let mut satisfied = false;
+            for &l in &lits {
+                match self.lit_value(l) {
+                    TRUE => {
+                        satisfied = true;
+                        break;
+                    }
+                    FALSE => {
+                        // Simplified away against a root fact: the stored
+                        // clause depends on it, so inherit its taint.
+                        symmetric &= !self.root_tainted[l.var() as usize];
+                    }
+                    _ => reduced.push(l),
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match reduced.len() {
+                0 => return false,
+                1 => {
+                    if !self.enqueue_root(reduced[0], !symmetric) {
+                        return false;
+                    }
+                }
+                _ => {
+                    self.stats.symmetric_images += u64::from(symmetric);
+                    let lbd = reduced.len() as u32;
+                    self.attach_clause(reduced, true, symmetric, lbd);
+                }
+            }
+        }
+        true
+    }
+
+    /// Drops the worst half of the learned clauses (by LBD, then length),
+    /// keeping binary, low-LBD, and locked clauses. Runs at level 0 with
+    /// a propagation fixpoint, so watch rebuilding is straightforward.
+    fn reduce_db(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        debug_assert_eq!(self.qhead, self.trail.len());
+        let mut candidates: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&cref| {
+                let c = &self.clauses[cref as usize];
+                c.learned && !c.deleted && c.lits.len() > 2 && c.lbd > 3 && !self.is_locked(cref)
+            })
+            .collect();
+        candidates.sort_by_key(|&cref| {
+            let c = &self.clauses[cref as usize];
+            std::cmp::Reverse((c.lbd, c.lits.len() as u32))
+        });
+        for &cref in candidates.iter().take(candidates.len() / 2) {
+            self.clauses[cref as usize].deleted = true;
+            self.learned_live -= 1;
+            self.stats.deleted += 1;
+        }
+        // Rebuild all watches; deleted clauses drop out. For each
+        // survivor move two non-false (or one true) literal(s) up front —
+        // sound at a level-0 fixpoint, where every clause is satisfied or
+        // has two non-false literals.
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for cref in 0..self.clauses.len() as u32 {
+            if self.clauses[cref as usize].deleted {
+                continue;
+            }
+            let mut lits = std::mem::take(&mut self.clauses[cref as usize].lits);
+            let mut front = 0;
+            for j in 0..lits.len() {
+                if self.lit_value(lits[j]) != FALSE {
+                    lits.swap(front, j);
+                    front += 1;
+                    if front == 2 {
+                        break;
+                    }
+                }
+            }
+            debug_assert!(
+                front == 2 || lits.iter().any(|&l| self.lit_value(l) == TRUE),
+                "level-0 fixpoint leaves clauses satisfied or 2-watchable"
+            );
+            self.watches[lits[0].code()].push(cref);
+            self.watches[lits[1].code()].push(cref);
+            self.clauses[cref as usize].lits = lits;
+        }
+        self.learned_limit = self.learned_limit + self.learned_limit / 5;
+    }
+
+    fn is_locked(&self, cref: u32) -> bool {
+        let first = self.clauses[cref as usize].lits[0];
+        self.lit_value(first) == TRUE && self.reason[first.var() as usize] == Reason::Clause(cref)
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        self.stats.decisions += 1;
+        if self.cfg.random_decision_pct > 0
+            && (self.rng.next() % 100) < u64::from(self.cfg.random_decision_pct)
+            && self.nvars > 0
+        {
+            let start = (self.rng.next() % self.nvars as u64) as usize;
+            for i in 0..self.nvars {
+                let v = (start + i) % self.nvars;
+                if self.value[v] == UNDEF {
+                    return Some(Lit::new(v as u32, self.saved_phase[v]));
+                }
+            }
+            return None;
+        }
+        loop {
+            let v = self.order.pop(&self.activity)?;
+            if self.value[v as usize] == UNDEF {
+                return Some(Lit::new(v, self.saved_phase[v as usize]));
+            }
+        }
+    }
+
+    fn extract_assignment(&self) -> Vec<usize> {
+        let m = self.inst.values;
+        (0..self.inst.classes)
+            .map(|c| {
+                (0..m)
+                    .find(|&vi| self.value[c * m + vi] == TRUE)
+                    .map(|vi| vi + 1)
+                    .expect("exactly-one domain constraints hold at SAT")
+            })
+            .collect()
+    }
+
+    fn solve(
+        mut self,
+        cancel: Option<&AtomicBool>,
+        pool: Option<&SharedPool>,
+    ) -> (CdclResult, SearchStats) {
+        self.stats.workers = 1;
+        if self.root_conflict {
+            return (CdclResult::Unsat, self.stats);
+        }
+        let mut conflicts_since_restart = 0u64;
+        let mut restart_threshold = luby(1) * self.cfg.restart_base;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    return (CdclResult::Unsat, self.stats);
+                }
+                let (learnt, backtrack, lbd, symmetric) = self.analyze(conflict);
+                self.cancel_until(backtrack);
+                self.record(learnt, lbd, symmetric, pool);
+                self.var_inc /= 0.95;
+                if self.stats.conflicts.is_multiple_of(1024) {
+                    if let Some(flag) = cancel {
+                        if flag.load(Ordering::Relaxed) {
+                            return (CdclResult::Interrupted, self.stats);
+                        }
+                    }
+                }
+            } else if conflicts_since_restart >= restart_threshold {
+                self.stats.restarts += 1;
+                conflicts_since_restart = 0;
+                restart_threshold = luby(self.stats.restarts + 1) * self.cfg.restart_base;
+                self.cancel_until(0);
+                if self.propagate().is_some() || !self.absorb_pending(pool) {
+                    return (CdclResult::Unsat, self.stats);
+                }
+                if self.learned_live > self.learned_limit {
+                    if self.propagate().is_some() {
+                        return (CdclResult::Unsat, self.stats);
+                    }
+                    self.reduce_db();
+                }
+            } else {
+                // Poll cancellation here too: a losing portfolio member
+                // deep in a low-conflict SAT dive would otherwise only
+                // notice the winner at its next conflict burst.
+                if self.stats.decisions.is_multiple_of(2048) {
+                    if let Some(flag) = cancel {
+                        if flag.load(Ordering::Relaxed) {
+                            return (CdclResult::Interrupted, self.stats);
+                        }
+                    }
+                }
+                match self.pick_branch() {
+                    None => {
+                        let assignment = self.extract_assignment();
+                        return (CdclResult::Sat(assignment), self.stats);
+                    }
+                    Some(lit) => self.assume(lit),
+                }
+            }
+        }
+    }
+}
+
+/// Variable permutations of the symmetry group elements: verified class
+/// permutations, adjacent value transpositions (symmetric specs), and
+/// their products — identity excluded.
+fn build_var_maps(inst: &Instance, m: usize) -> Vec<Vec<u32>> {
+    let identity_class: Vec<u32> = (0..inst.classes as u32).collect();
+    let mut class_choices: Vec<&[u32]> = vec![&identity_class];
+    for perm in &inst.class_perms {
+        class_choices.push(perm);
+    }
+    let mut value_choices: Vec<Vec<usize>> = vec![(0..m).collect()];
+    if inst.value_symmetric {
+        for vi in 0..m.saturating_sub(1) {
+            let mut swap: Vec<usize> = (0..m).collect();
+            swap.swap(vi, vi + 1);
+            value_choices.push(swap);
+        }
+    }
+    let mut maps = Vec::new();
+    for (ci, classes) in class_choices.iter().enumerate() {
+        for (vj, values) in value_choices.iter().enumerate() {
+            if ci == 0 && vj == 0 {
+                continue; // identity
+            }
+            let map: Vec<u32> = (0..inst.classes * m)
+                .map(|var| {
+                    let (c, vi) = (var / m, var % m);
+                    classes[c] * m as u32 + values[vi] as u32
+                })
+                .collect();
+            maps.push(map);
+        }
+    }
+    maps
+}
+
+/// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, …
+fn luby(mut i: u64) -> u64 {
+    // Find the finite subsequence containing i, then recurse.
+    let mut k = 1u64;
+    while (1u64 << (k + 1)) - 1 <= i {
+        k += 1;
+    }
+    while i != (1u64 << k) - 1 {
+        i -= (1u64 << k) - 1;
+        k = 1;
+        while (1u64 << (k + 1)) - 1 <= i {
+            k += 1;
+        }
+    }
+    1u64 << (k - 1)
+}
+
+/// Upper bound on portfolio width (beyond this, diversification returns
+/// diminishing variety for these instance sizes).
+const MAX_PORTFOLIO: usize = 8;
+
+/// Diversified configurations for `width` portfolio members; member 0 is
+/// the base configuration, so a 1-wide portfolio is exactly the
+/// deterministic single solver.
+fn diversify(base: &CdclConfig, width: usize) -> Vec<CdclConfig> {
+    (0..width)
+        .map(|i| {
+            let mut cfg = base.clone();
+            if i > 0 {
+                cfg.seed = base
+                    .seed
+                    .wrapping_mul(0x100_0000_01B3)
+                    .wrapping_add(i as u64);
+                cfg.default_phase = i % 2 == 1;
+                cfg.restart_base = match i % 3 {
+                    0 => 64,
+                    1 => 256,
+                    _ => 1024,
+                };
+                cfg.random_decision_pct = [2, 5, 0, 10][i % 4];
+                cfg.activity_jitter = true;
+            }
+            cfg
+        })
+        .collect()
+}
+
+/// Solves `inst` with a first-finisher-wins portfolio sized by
+/// `rayon::current_num_threads()` (which honors `RAYON_NUM_THREADS`):
+/// width 1 — the 1-core container case — runs one deterministic solver
+/// inline, wider runs exchange short learned clauses through a shared
+/// pool when the base configuration allows it.
+pub(crate) fn solve_portfolio(inst: &Instance, base: &CdclConfig) -> (CdclResult, SearchStats) {
+    let width = rayon::current_num_threads().clamp(1, MAX_PORTFOLIO);
+    solve_portfolio_width(inst, base, width)
+}
+
+/// [`solve_portfolio`] at an explicit width (tests exercise the
+/// multi-worker path regardless of host core count).
+pub(crate) fn solve_portfolio_width(
+    inst: &Instance,
+    base: &CdclConfig,
+    width: usize,
+) -> (CdclResult, SearchStats) {
+    let configs = diversify(base, width.max(1));
+    if configs.len() == 1 {
+        let cfg = configs.into_iter().next().expect("width 1");
+        return Solver::new(inst, cfg).solve(None, None);
+    }
+    let workers = configs.len();
+    let pool = SharedPool::default();
+    let pool = base.share_learned.then_some(&pool);
+    let done = AtomicBool::new(false);
+    let winner: Mutex<Option<(CdclResult, SearchStats)>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for cfg in configs {
+            let (done, winner, pool) = (&done, &winner, pool);
+            scope.spawn(move || {
+                let (result, stats) = Solver::new(inst, cfg).solve(Some(done), pool);
+                if !matches!(result, CdclResult::Interrupted) {
+                    let mut slot = winner.lock().expect("winner poisoned");
+                    if slot.is_none() {
+                        *slot = Some((result, stats));
+                        done.store(true, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let (result, mut stats) = winner
+        .into_inner()
+        .expect("winner poisoned")
+        .expect("some member finishes");
+    stats.workers = workers;
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let prefix: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(prefix, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    fn nae_triangle() -> Instance {
+        // Three classes, two values, every pair must not be constant:
+        // the 3-cycle NAE instance — satisfiable (2-colorable cycle is
+        // not, but pairs only need a non-constant pair... this one is
+        // UNSAT for odd cycles with "both values present" per edge).
+        Instance {
+            classes: 3,
+            values: 2,
+            lower: vec![1, 1],
+            upper: vec![1, 1],
+            facets: vec![
+                vec![(0, 1), (1, 1)],
+                vec![(1, 1), (2, 1)],
+                vec![(0, 1), (2, 1)],
+            ],
+            class_weight: vec![2, 2, 2],
+            value_symmetric: true,
+            precedence_order: vec![0, 1, 2],
+            class_perms: vec![],
+        }
+    }
+
+    #[test]
+    fn odd_nae_cycle_is_unsat() {
+        // Each edge needs one 1 and one 2: a proper 2-coloring of an odd
+        // cycle, which does not exist.
+        let inst = nae_triangle();
+        let (result, stats) = solve_portfolio(&inst, &CdclConfig::default());
+        assert_eq!(result, CdclResult::Unsat);
+        assert!(stats.conflicts >= 1);
+    }
+
+    #[test]
+    fn even_nae_path_is_sat() {
+        let inst = Instance {
+            classes: 2,
+            values: 2,
+            lower: vec![1, 1],
+            upper: vec![1, 1],
+            facets: vec![vec![(0, 1), (1, 1)]],
+            class_weight: vec![1, 1],
+            value_symmetric: true,
+            precedence_order: vec![0, 1],
+            class_perms: vec![],
+        };
+        let (result, _) = solve_portfolio(&inst, &CdclConfig::default());
+        match result {
+            CdclResult::Sat(assignment) => {
+                assert_eq!(assignment.len(), 2);
+                assert_ne!(assignment[0], assignment[1]);
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiplicity_windows_respected() {
+        // One facet [c, c, c] with window exactly-3 of one value: the
+        // single class must take a value with u ≥ 3 — here only value 1.
+        let inst = Instance {
+            classes: 1,
+            values: 2,
+            lower: vec![0, 0],
+            upper: vec![3, 2],
+            facets: vec![vec![(0, 3)]],
+            class_weight: vec![1],
+            value_symmetric: false,
+            precedence_order: vec![0],
+            class_perms: vec![],
+        };
+        let (result, _) = solve_portfolio(&inst, &CdclConfig::default());
+        assert_eq!(result, CdclResult::Sat(vec![1]));
+    }
+
+    #[test]
+    fn symmetric_images_stay_sound_on_unsat_instances() {
+        // The triangle with its rotation as a class symmetry: orbit
+        // learning must not change the verdict.
+        let mut inst = nae_triangle();
+        inst.class_perms = vec![vec![1, 2, 0], vec![2, 0, 1]];
+        let (result, _) = solve_portfolio(&inst, &CdclConfig::default());
+        assert_eq!(result, CdclResult::Unsat);
+    }
+
+    #[test]
+    fn precedence_taint_does_not_poison_symmetric_images() {
+        // A SAT even NAE cycle with genuine class symmetries and
+        // interchangeable values: value precedence plants tainted root
+        // facts, and any orbit image of a clause that silently resolved
+        // against them would wrongly exclude the remaining solutions.
+        // Aggressive restarts force image absorption early.
+        let inst = Instance {
+            classes: 4,
+            values: 2,
+            lower: vec![1, 1],
+            upper: vec![1, 1],
+            facets: vec![
+                vec![(0, 1), (1, 1)],
+                vec![(1, 1), (2, 1)],
+                vec![(2, 1), (3, 1)],
+                vec![(0, 1), (3, 1)],
+            ],
+            class_weight: vec![2, 2, 2, 2],
+            value_symmetric: true,
+            precedence_order: vec![0, 1, 2, 3],
+            class_perms: vec![vec![2, 3, 0, 1], vec![1, 0, 3, 2]],
+        };
+        for restart_base in [1, 64] {
+            let config = CdclConfig {
+                restart_base,
+                ..CdclConfig::default()
+            };
+            let (result, _) = solve_portfolio(&inst, &config);
+            match result {
+                CdclResult::Sat(assignment) => {
+                    for pair in [(0, 1), (1, 2), (2, 3), (0, 3)] {
+                        assert_ne!(assignment[pair.0], assignment[pair.1]);
+                    }
+                }
+                other => panic!("expected SAT, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_width_three_agrees_on_both_verdicts() {
+        // Exercise the scoped-thread path (first-finisher-wins, shared
+        // pool, cancellation) even on a 1-core host.
+        let unsat = nae_triangle();
+        let (result, stats) = solve_portfolio_width(&unsat, &CdclConfig::default(), 3);
+        assert_eq!(result, CdclResult::Unsat);
+        assert_eq!(stats.workers, 3);
+        let sat = Instance {
+            classes: 2,
+            values: 2,
+            lower: vec![1, 1],
+            upper: vec![1, 1],
+            facets: vec![vec![(0, 1), (1, 1)]],
+            class_weight: vec![1, 1],
+            value_symmetric: true,
+            precedence_order: vec![0, 1],
+            class_perms: vec![],
+        };
+        let (result, _) = solve_portfolio_width(&sat, &CdclConfig::default(), 3);
+        assert!(matches!(result, CdclResult::Sat(_)));
+    }
+
+    #[test]
+    fn diversify_keeps_member_zero_deterministic() {
+        let base = CdclConfig::default();
+        let configs = diversify(&base, 4);
+        assert_eq!(configs[0].seed, base.seed);
+        assert_eq!(configs[0].default_phase, base.default_phase);
+        assert!(configs.iter().skip(1).any(|c| c.seed != base.seed));
+    }
+}

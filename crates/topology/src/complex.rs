@@ -6,13 +6,18 @@
 //! by the subdivision builder and the solvability checker, plus the
 //! structural checks Theorem 11's proof leans on (pseudomanifoldness and
 //! facet connectivity).
+//!
+//! Vertex ids are dense `u32`s and facets are packed sorted id slices;
+//! ridges ((n−2)-faces) key hash maps through [`RidgeKey`], an exact
+//! `u128` bit-packing of up to four sorted ids, so the ridge-incidence
+//! passes underlying the structural checks allocate nothing per ridge.
 
 use std::collections::{BTreeSet, HashMap};
 
-use crate::views::View;
+use crate::views::{View, ViewArena};
 
 /// Index of a vertex within a [`ChromaticComplex`].
-pub type VertexId = usize;
+pub type VertexId = u32;
 
 /// A vertex: a process (color) together with its local view.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -23,16 +28,60 @@ pub struct Vertex {
     pub view: View,
 }
 
+/// Exact key of a ridge ((n−2)-face, a facet minus one vertex).
+///
+/// Vertex ids are 32-bit, so up to four sorted ids pack exactly into one
+/// `u128` word; wider ridges (n > 5) fall back to the boxed id list.
+/// Within one complex all ridges have the same length, so packed keys are
+/// collision-free — this is an identity, not a lossy hash.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RidgeKey {
+    /// Up to four sorted ids packed little-endian into one word.
+    Packed(u128),
+    /// Five or more ids, kept explicit.
+    Wide(Box<[VertexId]>),
+}
+
+/// Builds the [`RidgeKey`] of `facet` with position `skip` removed.
+#[must_use]
+pub fn ridge_key(facet: &[VertexId], skip: usize) -> RidgeKey {
+    let ids = facet
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != skip)
+        .map(|(_, &v)| v);
+    if facet.len() <= 5 {
+        let mut packed = 0u128;
+        for (slot, id) in ids.enumerate() {
+            packed |= u128::from(id) << (32 * slot);
+        }
+        RidgeKey::Packed(packed)
+    } else {
+        RidgeKey::Wide(ids.collect())
+    }
+}
+
+/// The quotient of a complex's vertex set by view order-isomorphism
+/// ([`View::signature`]): the symmetry classes a comparison-based
+/// decision map must be constant on.
+#[derive(Debug, Clone)]
+pub struct SignatureQuotient {
+    /// Canonical signature of each class, in first-appearance order.
+    pub classes: Vec<View>,
+    /// Class index of each vertex.
+    pub vertex_class: Vec<u32>,
+}
+
 /// A pure, properly colored simplicial complex given by its facets.
 ///
-/// Facets are stored as sorted vertex-id vectors of uniform dimension
-/// `n − 1` (one vertex per color).
+/// Facets are stored as packed sorted vertex-id slices of uniform
+/// dimension `n − 1` (one vertex per color).
 #[derive(Debug, Clone)]
 pub struct ChromaticComplex {
     n: usize,
     vertices: Vec<Vertex>,
     index: HashMap<Vertex, VertexId>,
-    facets: Vec<Vec<VertexId>>,
+    facets: Vec<Box<[VertexId]>>,
 }
 
 impl ChromaticComplex {
@@ -58,7 +107,7 @@ impl ChromaticComplex {
         if let Some(&id) = self.index.get(&vertex) {
             return id;
         }
-        let id = self.vertices.len();
+        let id = VertexId::try_from(self.vertices.len()).expect("vertex ids fit in u32");
         self.vertices.push(vertex.clone());
         self.index.insert(vertex, id);
         id
@@ -72,11 +121,14 @@ impl ChromaticComplex {
     /// `1..n` (chromatic purity).
     pub fn add_facet(&mut self, vertex_ids: Vec<VertexId>) {
         assert_eq!(vertex_ids.len(), self.n, "facet must have n vertices");
-        let colors: BTreeSet<u32> = vertex_ids.iter().map(|&v| self.vertices[v].color).collect();
+        let colors: BTreeSet<u32> = vertex_ids
+            .iter()
+            .map(|&v| self.vertices[v as usize].color)
+            .collect();
         assert_eq!(colors.len(), self.n, "facet colors must be distinct");
         let mut sorted = vertex_ids;
         sorted.sort_unstable();
-        self.facets.push(sorted);
+        self.facets.push(sorted.into_boxed_slice());
     }
 
     /// Deduplicates facets (subdivision builders may generate repeats).
@@ -91,9 +143,9 @@ impl ChromaticComplex {
         &self.vertices
     }
 
-    /// All facets (sorted vertex-id vectors).
+    /// All facets (packed sorted vertex-id slices).
     #[must_use]
-    pub fn facets(&self) -> &[Vec<VertexId>] {
+    pub fn facets(&self) -> &[Box<[VertexId]>] {
         &self.facets
     }
 
@@ -101,6 +153,36 @@ impl ChromaticComplex {
     #[must_use]
     pub fn facet_count(&self) -> usize {
         self.facets.len()
+    }
+
+    /// Quotients the vertex set by view order-isomorphism, interning
+    /// signatures once (each canonical [`View`] is materialized exactly
+    /// once, when its class first appears) and indexing vertices by dense
+    /// class id.
+    #[must_use]
+    pub fn signature_quotient(&self) -> SignatureQuotient {
+        let mut arena = ViewArena::new();
+        let mut class_of: HashMap<crate::views::ViewKey, u32> = HashMap::new();
+        let mut classes: Vec<View> = Vec::new();
+        let mut vertex_class: Vec<u32> = Vec::with_capacity(self.vertices.len());
+        for vertex in &self.vertices {
+            let key = arena.intern(&vertex.view);
+            let sig = arena.signature(key);
+            let class = match class_of.get(&sig) {
+                Some(&c) => c,
+                None => {
+                    let c = u32::try_from(classes.len()).expect("classes fit in u32");
+                    classes.push(arena.view(sig));
+                    class_of.insert(sig, c);
+                    c
+                }
+            };
+            vertex_class.push(class);
+        }
+        SignatureQuotient {
+            classes,
+            vertex_class,
+        }
     }
 
     /// Whether every `(n−2)`-face lies in at most two facets, i.e. the
@@ -125,12 +207,13 @@ impl ChromaticComplex {
             return true;
         }
         // Build ridge → facet incidence, then BFS over facets.
-        let mut ridge_to_facets: HashMap<Vec<VertexId>, Vec<usize>> = HashMap::new();
+        let mut ridge_to_facets: HashMap<RidgeKey, Vec<usize>> = HashMap::new();
         for (f, facet) in self.facets.iter().enumerate() {
             for skip in 0..facet.len() {
-                let mut ridge = facet.clone();
-                ridge.remove(skip);
-                ridge_to_facets.entry(ridge).or_default().push(f);
+                ridge_to_facets
+                    .entry(ridge_key(facet, skip))
+                    .or_default()
+                    .push(f);
             }
         }
         let mut seen = vec![false; self.facets.len()];
@@ -140,9 +223,7 @@ impl ChromaticComplex {
         while let Some(f) = queue.pop() {
             let facet = &self.facets[f];
             for skip in 0..facet.len() {
-                let mut ridge = facet.clone();
-                ridge.remove(skip);
-                if let Some(neighbours) = ridge_to_facets.get(&ridge) {
+                if let Some(neighbours) = ridge_to_facets.get(&ridge_key(facet, skip)) {
                     for &g in neighbours {
                         if !seen[g] {
                             seen[g] = true;
@@ -156,13 +237,11 @@ impl ChromaticComplex {
         reached == self.facets.len()
     }
 
-    fn ridge_incidence(&self) -> HashMap<Vec<VertexId>, usize> {
-        let mut counts: HashMap<Vec<VertexId>, usize> = HashMap::new();
+    fn ridge_incidence(&self) -> HashMap<RidgeKey, usize> {
+        let mut counts: HashMap<RidgeKey, usize> = HashMap::new();
         for facet in &self.facets {
             for skip in 0..facet.len() {
-                let mut ridge = facet.clone();
-                ridge.remove(skip);
-                *counts.entry(ridge).or_insert(0) += 1;
+                *counts.entry(ridge_key(facet, skip)).or_insert(0) += 1;
             }
         }
         counts
@@ -237,5 +316,44 @@ mod tests {
         c.add_facet(vec![b, a]);
         c.dedup_facets();
         assert_eq!(c.facet_count(), 1);
+    }
+
+    #[test]
+    fn ridge_keys_are_exact() {
+        // Same multiset of ids → same key; different ids → different key.
+        let facet_a = [3u32, 7, 9];
+        let facet_b = [3u32, 7, 11];
+        assert_eq!(ridge_key(&facet_a, 2), ridge_key(&facet_b, 2));
+        assert_ne!(ridge_key(&facet_a, 0), ridge_key(&facet_a, 1));
+        assert_ne!(ridge_key(&facet_a, 1), ridge_key(&facet_b, 1));
+        // Wide facets (n > 5) fall back to explicit ids, still exact.
+        let wide: Vec<u32> = (1..=7).collect();
+        assert_eq!(ridge_key(&wide, 6), ridge_key(&wide, 6));
+        assert_ne!(ridge_key(&wide, 0), ridge_key(&wide, 6));
+        assert!(matches!(ridge_key(&wide, 0), RidgeKey::Wide(_)));
+        assert!(matches!(ridge_key(&facet_a, 0), RidgeKey::Packed(_)));
+    }
+
+    #[test]
+    fn signature_quotient_groups_isomorphic_views() {
+        let mut c = ChromaticComplex::new(2);
+        // Both solo corners are order-isomorphic; the two "saw both"
+        // vertices split by own rank.
+        let a = c.intern(vertex(1, &[1]));
+        let b = c.intern(vertex(2, &[2]));
+        let d = c.intern(vertex(1, &[1, 2]));
+        let e = c.intern(vertex(2, &[1, 2]));
+        let q = c.signature_quotient();
+        assert_eq!(q.vertex_class.len(), 4);
+        assert_eq!(q.vertex_class[a as usize], q.vertex_class[b as usize]);
+        assert_ne!(q.vertex_class[d as usize], q.vertex_class[e as usize]);
+        assert_eq!(q.classes.len(), 3);
+        for (v, &class) in q.vertex_class.iter().enumerate() {
+            assert_eq!(
+                q.classes[class as usize],
+                c.vertices()[v].view.signature(),
+                "vertex {v}"
+            );
+        }
     }
 }

@@ -3,32 +3,40 @@
 //! The machinery behind the paper's impossibility results (Theorem 11 and
 //! the renaming lower bounds it cites), made executable for small `n`:
 //!
-//! * [`views`] — IIS process views and their order-type canonicalization
-//!   (the comparison-based restriction of Section 2.2, mechanized).
-//! * [`complex`] — chromatic simplicial complexes, pseudomanifold and
-//!   strong-connectivity checks (the structural facts Theorem 11 uses).
+//! * [`views`] — IIS process views, their order-type canonicalization
+//!   (the comparison-based restriction of Section 2.2, mechanized), and
+//!   the hash-consing [`ViewArena`] the builders run on.
+//! * [`complex`] — chromatic simplicial complexes with packed `u32`
+//!   vertex ids and exact `u128` ridge keys, pseudomanifold and
+//!   strong-connectivity checks (the structural facts Theorem 11 uses),
+//!   and the signature quotient feeding the solver.
 //! * [`protocol`] — the standard chromatic subdivision `χ^r(Δ^{n−1})`:
 //!   protocol complexes of `r`-round immediate-snapshot full-information
-//!   algorithms.
-//! * [`solvability`] — exhaustive search for *symmetric* simplicial
-//!   decision maps: decides whether a GSB task is solvable by an
-//!   `r`-round comparison-based IIS protocol, reproducing election's and
-//!   WSB's impossibilities and renaming's small-`n` boundaries.
+//!   algorithms, memoized process-wide per `(n, r)`.
+//! * [`solvability`] — the symmetric decision-map search: decides whether
+//!   a GSB task is solvable by an `r`-round comparison-based IIS
+//!   protocol, reproducing election's and WSB's impossibilities and
+//!   renaming's small-`n` boundaries.
+//! * [`cdcl`] — the conflict-driven engine behind the search: clause
+//!   learning, symmetry-orbit pruning, and the solver portfolio that
+//!   pushed the solvability frontier to the `r = 2` UNSAT certificates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cdcl;
 pub mod complex;
 pub mod protocol;
 pub mod solvability;
 pub mod theorem11;
 pub mod views;
 
-pub use complex::{ChromaticComplex, Vertex, VertexId};
-pub use protocol::{ordered_bell, protocol_complex};
+pub use cdcl::{CdclConfig, SearchStats};
+pub use complex::{ridge_key, ChromaticComplex, RidgeKey, SignatureQuotient, Vertex, VertexId};
+pub use protocol::{ordered_bell, protocol_complex, shared_protocol_complex};
 pub use solvability::{solvable_in_rounds, SearchResult, SymmetricSearch};
 pub use theorem11::{
     check_election_certificate, election_impossibility_certificate, CertificateFailure,
 };
-pub use views::View;
+pub use views::{View, ViewArena, ViewKey};

@@ -10,9 +10,20 @@
 //! task is solvable by such an algorithm iff a *symmetric* simplicial
 //! decision map exists on some `χ^r` (see
 //! [`solvability`](crate::solvability)).
+//!
+//! The builder works over a [`ViewArena`]: each round maps facet view
+//! tuples (as `u32` keys) through the ordered partitions, so no recursive
+//! [`View`](crate::views::View) tree is ever cloned; full views are
+//! materialized once per distinct vertex at the end.
+//! [`shared_protocol_complex`] memoizes the finished complex per
+//! `(n, rounds)` behind a process-wide table, mirroring the atlas memo
+//! pattern — repeated searches at the same parameters share one build.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::complex::{ChromaticComplex, Vertex};
-use crate::views::{ordered_partitions, View};
+use crate::views::{ordered_partitions, ViewArena, ViewKey};
 
 /// Builds the `r`-round IIS protocol complex `χ^r(Δ^{n−1})` for processes
 /// with identities `1..n`.
@@ -36,54 +47,89 @@ use crate::views::{ordered_partitions, View};
 pub fn protocol_complex(n: usize, rounds: usize) -> ChromaticComplex {
     assert!(n > 0, "need at least one process");
     let ids: Vec<u32> = (1..=n as u32).collect();
-    // State: per-process current view, starting with the initial states.
-    let initial: Vec<View> = ids.iter().map(|&id| View::Initial { id }).collect();
-    let mut complex = ChromaticComplex::new(n);
     let partitions = ordered_partitions(&ids);
-    build_rec(&ids, &initial, rounds, &partitions, &mut complex);
+    let mut arena = ViewArena::new();
+    // Facet frontier: per-execution view tuples, one key per process.
+    let initial: Vec<ViewKey> = ids.iter().map(|&id| arena.initial(id)).collect();
+    let mut frontier: Vec<Vec<ViewKey>> = vec![initial];
+    for _ in 0..rounds {
+        let mut next: Vec<Vec<ViewKey>> = Vec::with_capacity(frontier.len() * partitions.len());
+        for views in &frontier {
+            for partition in &partitions {
+                // Apply one IS round: a process in block j sees blocks 1..=j.
+                let mut next_views = views.clone();
+                let mut seen_so_far: Vec<(u32, ViewKey)> = Vec::new();
+                for block in partition {
+                    for &q in block {
+                        let qi = (q - 1) as usize;
+                        seen_so_far.push((q, views[qi]));
+                    }
+                    for &p in block {
+                        let pi = (p - 1) as usize;
+                        next_views[pi] = arena.round(p, seen_so_far.clone());
+                    }
+                }
+                next.push(next_views);
+            }
+        }
+        // Distinct schedules can merge into one view tuple; dedup early so
+        // the next round's fan-out works on distinct executions only.
+        next.sort_unstable();
+        next.dedup();
+        frontier = next;
+    }
+    // Materialize: one recursive View per distinct (color, key) vertex.
+    let mut complex = ChromaticComplex::new(n);
+    let mut vertex_of: HashMap<ViewKey, crate::complex::VertexId> = HashMap::new();
+    for views in &frontier {
+        let facet: Vec<_> = ids
+            .iter()
+            .zip(views)
+            .map(|(&id, &key)| match vertex_of.get(&key) {
+                Some(&v) => v,
+                None => {
+                    let v = complex.intern(Vertex {
+                        color: id,
+                        view: arena.view(key),
+                    });
+                    vertex_of.insert(key, v);
+                    v
+                }
+            })
+            .collect();
+        complex.add_facet(facet);
+    }
     complex.dedup_facets();
     complex
 }
 
-fn build_rec(
-    ids: &[u32],
-    views: &[View],
-    rounds_left: usize,
-    partitions: &[Vec<Vec<u32>>],
-    complex: &mut ChromaticComplex,
-) {
-    if rounds_left == 0 {
-        let facet: Vec<_> = ids
-            .iter()
-            .zip(views)
-            .map(|(&id, view)| {
-                complex.intern(Vertex {
-                    color: id,
-                    view: view.clone(),
-                })
-            })
-            .collect();
-        complex.add_facet(facet);
-        return;
+/// The process-wide memoized `χ^r(Δ^{n−1})`: built once per `(n, rounds)`
+/// and shared behind an [`Arc`] — searches, certificates, and benches at
+/// the same parameters reuse one complex instead of re-running the
+/// subdivision fan-out.
+#[must_use]
+pub fn shared_protocol_complex(n: usize, rounds: usize) -> Arc<ChromaticComplex> {
+    type Cache = Mutex<HashMap<(usize, usize), Arc<ChromaticComplex>>>;
+    static CACHE: OnceLock<Cache> = OnceLock::new();
+    let cache = CACHE.get_or_init(Mutex::default);
+    if let Some(hit) = cache
+        .lock()
+        .expect("subdivision cache poisoned")
+        .get(&(n, rounds))
+    {
+        return Arc::clone(hit);
     }
-    for partition in partitions {
-        // Apply one IS round: a process in block j sees blocks 1..=j.
-        let mut next_views = views.to_vec();
-        let mut seen_so_far: Vec<(u32, View)> = Vec::new();
-        for block in partition {
-            for &q in block {
-                let qi = ids.iter().position(|&x| x == q).expect("id in range");
-                seen_so_far.push((q, views[qi].clone()));
-            }
-            for &p in block {
-                let pi = ids.iter().position(|&x| x == p).expect("id in range");
-                let mut seen = seen_so_far.clone();
-                seen.sort();
-                next_views[pi] = View::Round { id: p, seen };
-            }
-        }
-        build_rec(ids, &next_views, rounds_left - 1, partitions, complex);
-    }
+    // Build outside the lock: subdivisions can take milliseconds and other
+    // threads may want different parameters meanwhile. A racing builder at
+    // the same key just loses its copy.
+    let built = Arc::new(protocol_complex(n, rounds));
+    Arc::clone(
+        cache
+            .lock()
+            .expect("subdivision cache poisoned")
+            .entry((n, rounds))
+            .or_insert(built),
+    )
 }
 
 /// Facet counts of `χ^r(Δ^{n−1})` known in closed form for one round: the
@@ -108,6 +154,7 @@ pub fn ordered_bell(n: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::views::View;
 
     #[test]
     fn ordered_bell_numbers() {
@@ -185,5 +232,15 @@ mod tests {
                 "missing solo corner for color {color}"
             );
         }
+    }
+
+    #[test]
+    fn shared_complex_is_memoized_and_identical() {
+        let a = shared_protocol_complex(3, 1);
+        let b = shared_protocol_complex(3, 1);
+        assert!(Arc::ptr_eq(&a, &b), "same (n, r) must share one build");
+        let fresh = protocol_complex(3, 1);
+        assert_eq!(a.facet_count(), fresh.facet_count());
+        assert_eq!(a.vertices().len(), fresh.vertices().len());
     }
 }

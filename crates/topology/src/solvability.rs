@@ -13,6 +13,16 @@
 //! protocol. This is the finite certificate used in the renaming
 //! literature (the paper's \[10\], \[16\], \[17\]).
 //!
+//! **Engines.** [`SymmetricSearch::solve`] runs the conflict-driven
+//! solver of [`cdcl`](crate::cdcl) — clause learning, orbit pruning,
+//! and (on multi-core hosts) a first-finisher-wins portfolio — which
+//! certifies instances the seed's plain backtracking could not reach in
+//! reasonable time, such as the WSB `n = 3, r = 2` index-lemma UNSAT.
+//! The seed engine is retained verbatim as
+//! [`SymmetricSearch::solve_reference`], the oracle the CDCL engine is
+//! property-tested against (same pattern as the enumeration crate's
+//! `enumerate_schedules_reference`).
+//!
 //! **Scope of conclusions.** `Unsolvable` here means "by protocols of at
 //! most the checked round count"; the classical model-equivalence results
 //! (IIS ≡ wait-free read/write, e.g. Borowsky–Gafni) lift bounded-round
@@ -22,12 +32,13 @@
 //! checker *reproduces* those facts at small `n` rather than re-proving
 //! them in full generality.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use gsb_core::GsbSpec;
 
+use crate::cdcl::{self, CdclConfig, CdclResult, SearchStats};
 use crate::complex::ChromaticComplex;
-use crate::protocol::protocol_complex;
+use crate::protocol::shared_protocol_complex;
 use crate::views::View;
 
 /// The result of a decision-map search.
@@ -69,34 +80,26 @@ pub struct SymmetricSearch {
 
 impl SymmetricSearch {
     /// Prepares the search for `spec` over the `rounds`-round protocol
-    /// complex (`spec.n()` processes).
+    /// complex (`spec.n()` processes), served from the process-wide
+    /// memoized subdivision table.
     ///
     /// # Panics
     ///
     /// Panics if `spec.n() = 0`.
     #[must_use]
     pub fn new(spec: GsbSpec, rounds: usize) -> Self {
-        let complex = protocol_complex(spec.n(), rounds);
+        let complex = shared_protocol_complex(spec.n(), rounds);
         Self::over_complex(spec, &complex)
     }
 
     /// Prepares the search for `spec` over an explicit complex.
+    ///
+    /// Signatures are interned once per class through the complex's
+    /// [`signature_quotient`](ChromaticComplex::signature_quotient) —
+    /// no per-vertex signature clones.
     #[must_use]
     pub fn over_complex(spec: GsbSpec, complex: &ChromaticComplex) -> Self {
-        let mut class_of_signature: HashMap<View, usize> = HashMap::new();
-        let mut classes: Vec<View> = Vec::new();
-        let mut vertex_class: Vec<usize> = Vec::with_capacity(complex.vertices().len());
-        for vertex in complex.vertices() {
-            let signature = vertex.view.signature();
-            let next = classes.len();
-            let class = *class_of_signature
-                .entry(signature.clone())
-                .or_insert_with(|| {
-                    classes.push(signature);
-                    next
-                });
-            vertex_class.push(class);
-        }
+        let quotient = complex.signature_quotient();
         // Facets with the same class multiset impose the same constraint;
         // deduplicating them collapses the subdivision's symmetry and is
         // what makes r = 2 searches tractable.
@@ -104,13 +107,17 @@ impl SymmetricSearch {
             .facets()
             .iter()
             .map(|facet| {
-                let mut classes: Vec<usize> = facet.iter().map(|&v| vertex_class[v]).collect();
+                let mut classes: Vec<usize> = facet
+                    .iter()
+                    .map(|&v| quotient.vertex_class[v as usize] as usize)
+                    .collect();
                 classes.sort_unstable();
                 classes
             })
             .collect();
         facet_classes.sort();
         facet_classes.dedup();
+        let classes = quotient.classes;
         let mut class_weight = vec![0usize; classes.len()];
         for facet in &facet_classes {
             for &c in facet {
@@ -147,9 +154,56 @@ impl SymmetricSearch {
         self.facet_classes.len()
     }
 
-    /// Runs the backtracking search.
+    /// Runs the conflict-driven search (the default engine) with default
+    /// configuration.
     #[must_use]
     pub fn solve(&self) -> SearchResult {
+        self.solve_with(&CdclConfig::default()).0
+    }
+
+    /// Runs the conflict-driven search with an explicit configuration,
+    /// returning the solver counters alongside the verdict.
+    ///
+    /// SAT answers are independently re-checked facet-by-facet before
+    /// being returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solver produces an assignment that fails the
+    /// facet-by-facet re-check (that would be a soundness bug).
+    #[must_use]
+    pub fn solve_with(&self, config: &CdclConfig) -> (SearchResult, SearchStats) {
+        let instance = self.instance();
+        let (result, stats) = cdcl::solve_portfolio(&instance, config);
+        match result {
+            CdclResult::Sat(assignment) => {
+                let checked: Vec<Option<usize>> = assignment.iter().map(|&v| Some(v)).collect();
+                assert!(
+                    self.all_facets_legal(&checked),
+                    "CDCL assignment must satisfy every facet"
+                );
+                (SearchResult::Solvable { assignment }, stats)
+            }
+            CdclResult::Unsat => (SearchResult::Unsolvable, stats),
+            CdclResult::Interrupted => unreachable!("portfolio returns a finished member"),
+        }
+    }
+
+    /// The retained seed engine: weight-ordered backtracking with unit
+    /// propagation — the reference oracle the CDCL engine is tested
+    /// against.
+    #[must_use]
+    pub fn solve_reference(&self) -> SearchResult {
+        self.solve_reference_budgeted(u64::MAX)
+            .expect("unbounded budget cannot exhaust")
+    }
+
+    /// [`solve_reference`](Self::solve_reference) with a node budget
+    /// (counted in propagation-augmented assignments); `None` means the
+    /// budget was exhausted before a verdict — used by the benchmark
+    /// harness to time out the baseline deterministically.
+    #[must_use]
+    pub fn solve_reference_budgeted(&self, max_nodes: u64) -> Option<SearchResult> {
         let k = self.classes.len();
         // Order classes by descending weight: most-constrained first.
         let mut order: Vec<usize> = (0..k).collect();
@@ -157,7 +211,9 @@ impl SymmetricSearch {
         let mut assignment: Vec<Option<usize>> = vec![None; k];
         // Value symmetry breaking is sound only for fully symmetric specs.
         let value_symmetric = self.spec.is_symmetric();
-        if self.backtrack(&order, 0, &mut assignment, value_symmetric) {
+        let mut budget = max_nodes;
+        let solvable = self.backtrack(&order, 0, &mut assignment, value_symmetric, &mut budget)?;
+        Some(if solvable {
             SearchResult::Solvable {
                 assignment: assignment
                     .into_iter()
@@ -166,7 +222,84 @@ impl SymmetricSearch {
             }
         } else {
             SearchResult::Unsolvable
+        })
+    }
+
+    /// The quotiented instance handed to the CDCL engine.
+    fn instance(&self) -> cdcl::Instance {
+        let m = self.spec.m();
+        let facets: Vec<Vec<(u32, u32)>> = self
+            .facet_classes
+            .iter()
+            .map(|facet| {
+                let mut runs: Vec<(u32, u32)> = Vec::with_capacity(facet.len());
+                for &c in facet {
+                    match runs.last_mut() {
+                        Some((class, mult)) if *class == c as u32 => *mult += 1,
+                        _ => runs.push((c as u32, 1)),
+                    }
+                }
+                runs
+            })
+            .collect();
+        // Precedence order mirrors the reference engine's branching
+        // order: descending facet-occurrence weight.
+        let mut precedence_order: Vec<u32> = (0..self.classes.len() as u32).collect();
+        precedence_order.sort_by_key(|&c| std::cmp::Reverse(self.class_weight[c as usize]));
+        cdcl::Instance {
+            classes: self.classes.len(),
+            values: m,
+            lower: (1..=m).map(|v| self.spec.lower(v) as u32).collect(),
+            upper: (1..=m).map(|v| self.spec.upper(v) as u32).collect(),
+            facets,
+            class_weight: self.class_weight.clone(),
+            value_symmetric: self.spec.is_symmetric(),
+            precedence_order,
+            class_perms: self.class_symmetries(),
         }
+    }
+
+    /// Verified class permutations of the quotient: candidate maps come
+    /// from order-reversal of view signatures
+    /// ([`View::reversed_signature`]); a candidate is kept only if it is
+    /// a bijection on classes under which the facet multiset family is
+    /// invariant, so orbit learning never uses an unsound symmetry.
+    fn class_symmetries(&self) -> Vec<Vec<u32>> {
+        let index: HashMap<&View, u32> = self
+            .classes
+            .iter()
+            .enumerate()
+            .map(|(i, sig)| (sig, i as u32))
+            .collect();
+        let candidate: Option<Vec<u32>> = self
+            .classes
+            .iter()
+            .map(|sig| index.get(&sig.reversed_signature()).copied())
+            .collect();
+        let Some(perm) = candidate else {
+            return Vec::new();
+        };
+        // Identity or non-bijective maps are useless/unsound.
+        let mut targets: Vec<u32> = perm.clone();
+        targets.sort_unstable();
+        targets.dedup();
+        if targets.len() != perm.len() || perm.iter().enumerate().all(|(i, &p)| p == i as u32) {
+            return Vec::new();
+        }
+        // Facet family invariance.
+        let facet_set: HashSet<&[usize]> = self
+            .facet_classes
+            .iter()
+            .map(std::vec::Vec::as_slice)
+            .collect();
+        for facet in &self.facet_classes {
+            let mut image: Vec<usize> = facet.iter().map(|&c| perm[c] as usize).collect();
+            image.sort_unstable();
+            if !facet_set.contains(image.as_slice()) {
+                return Vec::new();
+            }
+        }
+        vec![perm]
     }
 
     fn backtrack(
@@ -175,14 +308,15 @@ impl SymmetricSearch {
         depth: usize,
         assignment: &mut Vec<Option<usize>>,
         value_symmetric: bool,
-    ) -> bool {
+        budget: &mut u64,
+    ) -> Option<bool> {
         // Skip classes already fixed by propagation.
         let mut idx = depth;
         while idx < order.len() && assignment[order[idx]].is_some() {
             idx += 1;
         }
         if idx == order.len() {
-            return self.all_facets_legal(assignment);
+            return Some(self.all_facets_legal(assignment));
         }
         let class = order[idx];
         let max_used = assignment.iter().flatten().copied().max().unwrap_or(0);
@@ -196,17 +330,23 @@ impl SymmetricSearch {
             self.spec.m()
         };
         for value in 1..=value_cap {
+            if *budget == 0 {
+                return None;
+            }
+            *budget -= 1;
             let mut trail = Vec::new();
-            if self.assign_and_propagate(class, value, assignment, &mut trail)
-                && self.backtrack(order, idx + 1, assignment, value_symmetric)
-            {
-                return true;
+            if self.assign_and_propagate(class, value, assignment, &mut trail) {
+                match self.backtrack(order, idx + 1, assignment, value_symmetric, budget) {
+                    Some(true) => return Some(true),
+                    Some(false) => {}
+                    None => return None,
+                }
             }
             for c in trail {
                 assignment[c] = None;
             }
         }
-        false
+        Some(false)
     }
 
     /// Assigns `class := value`, then runs unit propagation: any facet
@@ -325,6 +465,7 @@ pub fn solvable_in_rounds(spec: &GsbSpec, rounds: usize) -> SearchResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::protocol_complex;
     use gsb_core::SymmetricGsb;
 
     #[test]
@@ -369,17 +510,17 @@ mod tests {
     fn wsb_unsolvable_at_prime_power_n() {
         // n = 2, 3 are prime powers: WSB unsolvable (Theorem 10 + [17]).
         //
-        // Round bounds: n = 3 is checked through r = 1 only. At r = 2 the
-        // instance is an 81-variable not-all-equal system whose
-        // unsolvability is a *global* counting fact (the index-lemma
-        // argument of [17]), which plain DPLL search cannot certify in
-        // reasonable time — see EXPERIMENTS.md E7 for the recorded bounds.
+        // n = 3 through r = 2 — the 81-class not-all-equal system whose
+        // unsolvability is the index-lemma counting fact of [17]. The
+        // seed's backtracking needed ~100 s for the r = 2 certificate;
+        // the CDCL engine closes it in well under a second (see
+        // `tests/search_frontier.rs` for the pinned frontier).
         let wsb2 = SymmetricGsb::wsb(2).unwrap().to_spec();
         for r in 0..=3 {
             assert!(!solvable_in_rounds(&wsb2, r).is_solvable(), "n=2 r={r}");
         }
         let wsb3 = SymmetricGsb::wsb(3).unwrap().to_spec();
-        for r in 0..=1 {
+        for r in 0..=2 {
             assert!(!solvable_in_rounds(&wsb3, r).is_solvable(), "n=3 r={r}");
         }
     }
@@ -403,9 +544,7 @@ mod tests {
 
     #[test]
     fn slot_tasks_match_wsb_when_k_is_2() {
-        // 2-slot ≡ WSB: same search outcome at every checked round
-        // (r ≤ 1 for n = 3; see wsb_unsolvable_at_prime_power_n on why
-        // r = 2 UNSAT certificates are out of reach for plain search).
+        // 2-slot ≡ WSB: same search outcome at every checked round.
         let wsb = SymmetricGsb::wsb(3).unwrap().to_spec();
         let slot = SymmetricGsb::slot(3, 2).unwrap().to_spec();
         for r in 0..=1 {
@@ -449,5 +588,68 @@ mod tests {
         for r in 0..=2 {
             assert!(solvable_in_rounds(&spec, r).is_solvable());
         }
+    }
+
+    #[test]
+    fn reference_engine_matches_cdcl_on_small_instances() {
+        // Spot equivalence on both verdict kinds; the full zoo sweep
+        // lives in `tests/engine_equivalence.rs`.
+        for (spec, r) in [
+            (SymmetricGsb::renaming(2, 3).unwrap().to_spec(), 1),
+            (SymmetricGsb::wsb(3).unwrap().to_spec(), 1),
+            (SymmetricGsb::renaming(3, 6).unwrap().to_spec(), 1),
+        ] {
+            let search = SymmetricSearch::new(spec, r);
+            assert_eq!(
+                search.solve().is_solvable(),
+                search.solve_reference().is_solvable()
+            );
+        }
+    }
+
+    #[test]
+    fn reference_budget_exhausts_cleanly() {
+        let spec = SymmetricGsb::wsb(3).unwrap().to_spec();
+        let search = SymmetricSearch::new(spec, 1);
+        assert!(search.solve_reference_budgeted(0).is_none());
+        assert!(search.solve_reference_budgeted(u64::MAX).is_some());
+    }
+
+    #[test]
+    fn class_symmetries_are_verified_permutations() {
+        let search = SymmetricSearch::new(SymmetricGsb::wsb(3).unwrap().to_spec(), 1);
+        for perm in search.class_symmetries() {
+            let mut sorted = perm.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), search.classes().len(), "bijection");
+            assert!(
+                perm.iter().enumerate().any(|(i, &p)| p != i as u32),
+                "identity is filtered out"
+            );
+        }
+    }
+
+    #[test]
+    fn multiworker_portfolio_agrees_on_the_frontier_instance() {
+        // Force the scoped-thread portfolio (with learned-clause sharing
+        // and cancellation) on the real 81-class instance, independent of
+        // host core count.
+        let search = SymmetricSearch::new(SymmetricGsb::wsb(3).unwrap().to_spec(), 2);
+        let instance = search.instance();
+        let (result, stats) =
+            crate::cdcl::solve_portfolio_width(&instance, &CdclConfig::default(), 4);
+        assert_eq!(result, CdclResult::Unsat);
+        assert_eq!(stats.workers, 4);
+    }
+
+    #[test]
+    fn solver_stats_reflect_work() {
+        let search = SymmetricSearch::new(SymmetricGsb::wsb(3).unwrap().to_spec(), 2);
+        let (result, stats) = search.solve_with(&CdclConfig::default());
+        assert!(!result.is_solvable());
+        assert!(stats.conflicts > 0);
+        assert!(stats.propagations > 0);
+        assert!(stats.workers >= 1);
     }
 }

@@ -21,16 +21,17 @@
 //! * **corner symmetry**: the `n` solo corners share one view signature
 //!   (this yields step (iv)).
 //!
-//! Unlike the search in [`solvability`](crate::solvability) — which is
-//! exponential and stalls on index-lemma-style instances — the
-//! certificate is polynomial in the complex size, so it verifies
-//! Theorem 11 for every `(n, r)` whose complex fits in memory (e.g.
-//! `n = 4, r = 1` with 75 facets, or `n = 5, r = 1` with 541).
+//! Unlike the search in [`solvability`](crate::solvability) — worst-case
+//! exponential even with its CDCL engine — the certificate is polynomial
+//! in the complex size, so it verifies Theorem 11 for every `(n, r)`
+//! whose complex fits in memory (e.g. `n = 4, r = 1` with 75 facets, or
+//! `n = 5, r = 1` with 541); where both run, the frontier tests
+//! cross-check them against each other.
 
 use std::collections::HashMap;
 
-use crate::complex::{ChromaticComplex, VertexId};
-use crate::protocol::protocol_complex;
+use crate::complex::{ridge_key, ChromaticComplex, RidgeKey, VertexId};
+use crate::protocol::shared_protocol_complex;
 use crate::views::View;
 
 /// Why a certificate attempt failed (the structure did not support the
@@ -76,6 +77,32 @@ impl std::fmt::Display for CertificateFailure {
     }
 }
 
+/// Up to two private vertices sharing one ridge (the pseudomanifold
+/// bound); a third arrival aborts the certificate.
+#[derive(Debug, Default, Clone, Copy)]
+struct RidgeSlot {
+    count: u8,
+    privates: [VertexId; 2],
+}
+
+impl RidgeSlot {
+    /// Records another private vertex; `false` when the ridge already
+    /// holds two (the complex is not a pseudomanifold).
+    fn push(&mut self, v: VertexId) -> bool {
+        if self.count >= 2 {
+            return false;
+        }
+        self.privates[self.count as usize] = v;
+        self.count += 1;
+        true
+    }
+
+    /// The two privates of an interior ridge, if both are present.
+    fn pair(&self) -> Option<(VertexId, VertexId)> {
+        (self.count == 2).then(|| (self.privates[0], self.privates[1]))
+    }
+}
+
 /// Checks the Theorem 11 certificate on an explicit complex.
 ///
 /// On success, election (one process decides 1, the rest 2) admits **no**
@@ -88,49 +115,52 @@ impl std::fmt::Display for CertificateFailure {
 /// for what each means.
 pub fn check_election_certificate(complex: &ChromaticComplex) -> Result<(), CertificateFailure> {
     let n = complex.n();
-    // Build ridge → (facet, private vertex) incidence.
-    let mut ridge_privates: HashMap<Vec<VertexId>, Vec<VertexId>> = HashMap::new();
+    // Build ridge → private-vertex incidence, keyed by the exact packed
+    // ridge key (no per-ridge id-vector allocation). A ridge meets at
+    // most two facets in a pseudomanifold, so two slots suffice.
+    let mut ridge_privates: HashMap<RidgeKey, RidgeSlot> = HashMap::new();
     for facet in complex.facets() {
         for skip in 0..facet.len() {
-            let mut ridge = facet.clone();
-            let private = ridge.remove(skip);
-            ridge_privates.entry(ridge).or_default().push(private);
+            let private = facet[skip];
+            let slot = ridge_privates.entry(ridge_key(facet, skip)).or_default();
+            if !slot.push(private) {
+                return Err(CertificateFailure::NotPseudomanifold);
+            }
         }
-    }
-    // Pseudomanifold: at most two facets per ridge.
-    if ridge_privates.values().any(|p| p.len() > 2) {
-        return Err(CertificateFailure::NotPseudomanifold);
     }
     // Per-color union-find over vertices, linked through interior ridges.
     let vertex_count = complex.vertices().len();
-    let mut parent: Vec<usize> = (0..vertex_count).collect();
-    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
-        if parent[x] != x {
-            let root = find(parent, parent[x]);
-            parent[x] = root;
+    let mut parent: Vec<u32> = (0..vertex_count as u32).collect();
+    // Iterative path-halving find: every other node on the walk is
+    // re-pointed at its grandparent, so trees stay shallow without the
+    // recursion the seed used (a stack-overflow risk on large complexes).
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            let grandparent = parent[parent[x as usize] as usize];
+            parent[x as usize] = grandparent;
+            x = grandparent;
         }
-        parent[x]
+        x
     }
-    for privates in ridge_privates.values() {
-        if let [a, b] = privates.as_slice() {
+    for slot in ridge_privates.values() {
+        if let Some((a, b)) = slot.pair() {
             debug_assert_eq!(
-                complex.vertices()[*a].color,
-                complex.vertices()[*b].color,
+                complex.vertices()[a as usize].color,
+                complex.vertices()[b as usize].color,
                 "private vertices carry the ridge's missing color"
             );
-            let (ra, rb) = (find(&mut parent, *a), find(&mut parent, *b));
-            parent[ra] = rb;
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            parent[ra as usize] = rb;
         }
     }
     for color in 1..=n as u32 {
-        let members: Vec<usize> = (0..vertex_count)
-            .filter(|&v| complex.vertices()[v].color == color)
-            .collect();
-        let Some(&first) = members.first() else {
+        let mut members =
+            (0..vertex_count as u32).filter(|&v| complex.vertices()[v as usize].color == color);
+        let Some(first) = members.next() else {
             return Err(CertificateFailure::MissingCorner { color });
         };
         let root = find(&mut parent, first);
-        for &v in &members[1..] {
+        for v in members {
             if find(&mut parent, v) != root {
                 return Err(CertificateFailure::ColorLinkageDisconnected { color });
             }
@@ -162,12 +192,14 @@ pub fn check_election_certificate(complex: &ChromaticComplex) -> Result<(), Cert
 ///
 /// Propagates [`CertificateFailure`] from
 /// [`check_election_certificate`]; complexes built by
-/// [`protocol_complex`] are expected to always pass.
+/// [`crate::protocol::protocol_complex`] are expected to always pass.
+/// The complex comes from the process-wide [`shared_protocol_complex`]
+/// memo, so repeated certificates at one `(n, r)` share a single build.
 pub fn election_impossibility_certificate(
     n: usize,
     rounds: usize,
 ) -> Result<(), CertificateFailure> {
-    let complex = protocol_complex(n, rounds);
+    let complex = shared_protocol_complex(n, rounds);
     check_election_certificate(&complex)
 }
 

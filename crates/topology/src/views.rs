@@ -8,7 +8,7 @@
 //! identities relabelled `1..k` preserving order, recursively — so that
 //! two views get equal signatures iff they are order-isomorphic.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 /// The local state (view) of a process after some IIS rounds.
 ///
@@ -110,6 +110,41 @@ impl View {
         self.relabelled(&relabel)
     }
 
+    /// The canonical signature of this view with the identity *order
+    /// reversed* (largest ↔ smallest).
+    ///
+    /// Order-reversal normalizes order-isomorphism: if `v ≅ w` then
+    /// `rev(v) ≅ rev(w)` (conjugating an order-preserving support
+    /// bijection by two reversals is again order-preserving), so this
+    /// descends to a well-defined involution on signature classes — the
+    /// one nontrivial view-signature symmetry the comparison-based
+    /// quotient retains from the `S_n` relabelling group. The solver uses
+    /// it (after re-verifying facet invariance) for orbit learning.
+    #[must_use]
+    pub fn reversed_signature(&self) -> View {
+        fn reverse(view: &View, s: u32) -> View {
+            match view {
+                View::Initial { id } => View::Initial { id: s + 1 - id },
+                View::Round { id, seen } => {
+                    let mut seen: Vec<(u32, View)> = seen
+                        .iter()
+                        .map(|(q, inner)| (s + 1 - q, reverse(inner, s)))
+                        .collect();
+                    seen.sort();
+                    View::Round {
+                        id: s + 1 - id,
+                        seen,
+                    }
+                }
+            }
+        }
+        let signature = self.signature();
+        let s = signature.id_support().len() as u32;
+        // A signature's support is exactly 1..=s, so id ↦ s+1−id is a
+        // bijection on it; seen-lists are re-sorted on the way.
+        reverse(&signature, s).signature()
+    }
+
     /// Convenience constructor for a one-round view: process `id` saw the
     /// initial states of `seen_ids` (must contain `id`).
     ///
@@ -134,6 +169,180 @@ impl View {
             View::Initial { .. } => 0,
             View::Round { seen, .. } => 1 + seen.iter().map(|(_, v)| v.depth()).max().unwrap_or(0),
         }
+    }
+}
+
+/// Handle to a view interned in a [`ViewArena`].
+///
+/// Keys are dense `u32` indices: equality of keys from the same arena is
+/// equality of views, so the subdivision builder and the solvability
+/// front-end compare and hash views in O(1) instead of walking the
+/// recursive [`View`] tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ViewKey(u32);
+
+impl ViewKey {
+    /// The dense arena index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One interned view: the observer's identity plus what it saw, as keys.
+/// An empty `seen` encodes [`View::Initial`]; a [`View::Round`] always
+/// sees at least itself, so the encoding is unambiguous.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ViewNode {
+    id: u32,
+    seen: Box<[(u32, ViewKey)]>,
+}
+
+/// A hash-consing arena for [`View`]s.
+///
+/// Structurally equal views share one `u32` key, nested views share
+/// subtrees, and canonical signatures ([`View::signature`]) are memoized
+/// per key — the subdivision builder interns each round's views instead
+/// of deep-cloning recursive trees, and the solvability front-end maps
+/// vertices to symmetry classes by key without re-hashing whole views.
+#[derive(Debug, Default)]
+pub struct ViewArena {
+    nodes: Vec<ViewNode>,
+    index: HashMap<ViewNode, ViewKey>,
+    signatures: HashMap<ViewKey, ViewKey>,
+}
+
+impl ViewArena {
+    /// Creates an empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct views interned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn intern_node(&mut self, node: ViewNode) -> ViewKey {
+        if let Some(&key) = self.index.get(&node) {
+            return key;
+        }
+        let key = ViewKey(u32::try_from(self.nodes.len()).expect("arena fits in u32"));
+        self.nodes.push(node.clone());
+        self.index.insert(node, key);
+        key
+    }
+
+    /// Interns the initial view of process `id`.
+    pub fn initial(&mut self, id: u32) -> ViewKey {
+        self.intern_node(ViewNode {
+            id,
+            seen: Box::new([]),
+        })
+    }
+
+    /// Interns a one-more-round view: process `id` saw `seen`
+    /// (`(identity, previous view)` pairs; sorted here, must be
+    /// non-empty — a process always sees itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seen` is empty.
+    pub fn round(&mut self, id: u32, mut seen: Vec<(u32, ViewKey)>) -> ViewKey {
+        assert!(!seen.is_empty(), "a process always sees itself");
+        seen.sort_unstable();
+        self.intern_node(ViewNode {
+            id,
+            seen: seen.into_boxed_slice(),
+        })
+    }
+
+    /// Interns a recursive [`View`], sharing any subtrees already present.
+    pub fn intern(&mut self, view: &View) -> ViewKey {
+        match view {
+            View::Initial { id } => self.initial(*id),
+            View::Round { id, seen } => {
+                let seen_keys: Vec<(u32, ViewKey)> = seen
+                    .iter()
+                    .map(|(q, inner)| (*q, self.intern(inner)))
+                    .collect();
+                self.round(*id, seen_keys)
+            }
+        }
+    }
+
+    /// Materializes the recursive [`View`] behind `key`.
+    #[must_use]
+    pub fn view(&self, key: ViewKey) -> View {
+        let node = &self.nodes[key.index()];
+        if node.seen.is_empty() {
+            View::Initial { id: node.id }
+        } else {
+            View::Round {
+                id: node.id,
+                seen: node
+                    .seen
+                    .iter()
+                    .map(|&(q, inner)| (q, self.view(inner)))
+                    .collect(),
+            }
+        }
+    }
+
+    /// The identity of the process holding view `key`.
+    #[must_use]
+    pub fn id(&self, key: ViewKey) -> u32 {
+        self.nodes[key.index()].id
+    }
+
+    fn collect_support(&self, key: ViewKey, out: &mut BTreeSet<u32>) {
+        let node = &self.nodes[key.index()];
+        out.insert(node.id);
+        for &(q, inner) in node.seen.iter() {
+            out.insert(q);
+            self.collect_support(inner, out);
+        }
+    }
+
+    fn relabel(&mut self, key: ViewKey, map: &HashMap<u32, u32>) -> ViewKey {
+        let node = self.nodes[key.index()].clone();
+        let seen: Vec<(u32, ViewKey)> = node
+            .seen
+            .iter()
+            .map(|&(q, inner)| (map[&q], self.relabel(inner, map)))
+            .collect();
+        if seen.is_empty() {
+            self.initial(map[&node.id])
+        } else {
+            self.round(map[&node.id], seen)
+        }
+    }
+
+    /// The canonical order-type signature of `key`, as a key — identities
+    /// relabelled to `1..k` by rank within the support, exactly like
+    /// [`View::signature`], but memoized per interned view.
+    pub fn signature(&mut self, key: ViewKey) -> ViewKey {
+        if let Some(&sig) = self.signatures.get(&key) {
+            return sig;
+        }
+        let mut support = BTreeSet::new();
+        self.collect_support(key, &mut support);
+        let map: HashMap<u32, u32> = support
+            .into_iter()
+            .enumerate()
+            .map(|(rank, id)| (id, rank as u32 + 1))
+            .collect();
+        let sig = self.relabel(key, &map);
+        self.signatures.insert(key, sig);
+        sig
     }
 }
 
@@ -251,6 +460,82 @@ mod tests {
             seen: vec![(1, View::one_round(1, &[1]))],
         };
         assert_eq!(nested.depth(), 2);
+    }
+
+    #[test]
+    fn reversed_signature_is_an_involution_swapping_ranks() {
+        // "Self low of a pair" ↔ "self high of a pair".
+        let low = View::one_round(1, &[1, 5]).signature();
+        let high = View::one_round(5, &[1, 5]).signature();
+        assert_eq!(low.reversed_signature(), high);
+        assert_eq!(high.reversed_signature(), low);
+        // Involution on a deeper view.
+        let nested = View::Round {
+            id: 3,
+            seen: vec![
+                (1, View::one_round(1, &[1])),
+                (3, View::one_round(3, &[1, 3])),
+            ],
+        };
+        let rev = nested.reversed_signature();
+        assert_eq!(rev.reversed_signature(), nested.signature());
+        // Solo views are rank-symmetric: fixed by reversal.
+        let solo = View::one_round(4, &[4]);
+        assert_eq!(solo.reversed_signature(), solo.signature());
+    }
+
+    #[test]
+    fn arena_interning_matches_structural_equality() {
+        let mut arena = ViewArena::new();
+        let a = arena.intern(&View::one_round(2, &[2, 5]));
+        let b = arena.intern(&View::one_round(2, &[2, 5]));
+        let c = arena.intern(&View::one_round(2, &[2, 4]));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(arena.view(a), View::one_round(2, &[2, 5]));
+    }
+
+    #[test]
+    fn arena_signature_agrees_with_view_signature() {
+        let mut arena = ViewArena::new();
+        let views = [
+            View::one_round(2, &[2, 5]),
+            View::one_round(1, &[1, 4]),
+            View::one_round(4, &[1, 4]),
+            View::Round {
+                id: 9,
+                seen: vec![
+                    (2, View::one_round(2, &[2])),
+                    (9, View::one_round(9, &[2, 9])),
+                ],
+            },
+        ];
+        for view in &views {
+            let key = arena.intern(view);
+            let sig = arena.signature(key);
+            assert_eq!(arena.view(sig), view.signature(), "{view:?}");
+            // Memoized: second call is the same key.
+            assert_eq!(arena.signature(key), sig);
+        }
+        // Order-isomorphic views share one signature key.
+        let a = arena.intern(&views[0]);
+        let b = arena.intern(&views[1]);
+        assert_eq!(arena.signature(a), arena.signature(b));
+    }
+
+    #[test]
+    fn arena_round_trip_preserves_nested_views() {
+        let mut arena = ViewArena::new();
+        let nested = View::Round {
+            id: 3,
+            seen: vec![
+                (1, View::one_round(1, &[1])),
+                (3, View::one_round(3, &[1, 3])),
+            ],
+        };
+        let key = arena.intern(&nested);
+        assert_eq!(arena.view(key), nested);
+        assert_eq!(arena.id(key), 3);
     }
 
     #[test]

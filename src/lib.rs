@@ -18,7 +18,11 @@
 //!   algorithm (Theorem 12), WSB reductions, election.
 //! * [`topology`] (`gsb-topology`) — protocol complexes and the
 //!   symmetric decision-map search behind the impossibility results
-//!   (Theorem 11).
+//!   (Theorem 11): a conflict-driven (CDCL) engine with symmetry-orbit
+//!   learning and a solver portfolio, plus the retained backtracking
+//!   oracle it is property-tested against. The frontier it certifies —
+//!   WSB/election `r = 2` UNSAT at `n = 3`, two-round `(2n−1)`-renaming
+//!   at `n = 4` — is pinned in `crates/topology/tests/`.
 //!
 //! ## Quick start
 //!

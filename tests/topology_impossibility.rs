@@ -29,9 +29,11 @@ fn perfect_renaming_impossible_small_n() {
     for r in 0..=3 {
         assert!(!solvable_in_rounds(&pr, r).is_solvable(), "r={r}");
     }
-    // And n = 3 through one round.
+    // And n = 3 through two rounds (r = 2 was out of reach for the
+    // seed's backtracking; the CDCL engine certifies it in
+    // milliseconds).
     let pr3 = SymmetricGsb::perfect_renaming(3).unwrap().to_spec();
-    for r in 0..=1 {
+    for r in 0..=2 {
         assert!(!solvable_in_rounds(&pr3, r).is_solvable(), "n=3 r={r}");
     }
 }
@@ -71,8 +73,10 @@ fn classifier_impossibilities_confirmed_by_checker() {
                         continue;
                     };
                     if task.classify().solvability == Solvability::NotWaitFreeSolvable {
+                        // r = 2 at n = 3 became checkable with the CDCL
+                        // engine (the seed capped this sweep at r ≤ 1).
                         let spec = task.to_spec();
-                        let max_r = if n == 2 { 2 } else { 1 };
+                        let max_r = 2;
                         for r in 0..=max_r {
                             assert!(
                                 !solvable_in_rounds(&spec, r).is_solvable(),
@@ -137,7 +141,8 @@ fn election_vs_wsb_strictness_at_n3() {
     assert!(!solvable_in_rounds(&election, 1).is_solvable());
     // (WSB at n = 3 is also impossible — 3 is prime — whereas at n = 6
     // it is solvable but election is not: the classifier records that
-    // separation; the search scale stops at n = 3.)
+    // separation; the search now scales to n = 4 at r = 2 — see
+    // crates/topology/tests/search_frontier.rs.)
     assert_eq!(
         SymmetricGsb::wsb(6).unwrap().classify().solvability,
         Solvability::WaitFreeSolvable

@@ -18,8 +18,21 @@
 use std::num::NonZeroUsize;
 
 /// Number of worker threads the stand-in fans out to.
+///
+/// Honors `RAYON_NUM_THREADS` (like the real crate's default pool): a
+/// positive integer overrides detection, anything else falls back to
+/// `available_parallelism()`. Portfolio-style callers use this to size
+/// their fan-out, so a 1-core container (or an explicit
+/// `RAYON_NUM_THREADS=1`) gets fully deterministic serial behaviour.
 #[must_use]
 pub fn current_num_threads() -> usize {
+    if let Ok(value) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(threads) = value.trim().parse::<usize>() {
+            if threads >= 1 {
+                return threads;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)

@@ -52,6 +52,31 @@ impl FreeDecisionProtocol {
             decision: witness[index - 1],
         })
     }
+
+    /// Builds the protocol from an **externally supplied** witness map
+    /// (entry `id − 1` is the value decided by identity `id`), instead of
+    /// recomputing Theorem 9's partition. This is how the engine crate
+    /// replays a `Verdict`'s no-communication evidence through the actual
+    /// simulator: the map under test is exactly the map that ran.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] if the identity falls outside the
+    /// witness's index space `[1..witness.len()]`.
+    pub fn from_witness(witness: &[usize], id: Identity) -> Result<Self> {
+        let index = id.get() as usize;
+        if index == 0 || index > witness.len() {
+            return Err(Error::Unsupported {
+                reason: format!(
+                    "identity {id} outside the witness map's space [1..{}]",
+                    witness.len()
+                ),
+            });
+        }
+        Ok(FreeDecisionProtocol {
+            decision: witness[index - 1],
+        })
+    }
 }
 
 impl Protocol for FreeDecisionProtocol {
@@ -171,6 +196,26 @@ mod tests {
                 sweep_random(&algo, (2 * n - 1) as u32, 15, 9).unwrap();
             }
         }
+    }
+
+    #[test]
+    fn from_witness_replays_an_external_map() {
+        let spec = SymmetricGsb::loose_renaming(3).unwrap().to_spec();
+        let witness = spec.no_communication_witness().unwrap();
+        let witness_for_factory = witness.clone();
+        let factory: Box<ProtocolFactory<'static>> = Box::new(move |_pid, id, _n| {
+            Box::new(FreeDecisionProtocol::from_witness(&witness_for_factory, id).unwrap())
+        });
+        let algo = AlgorithmUnderTest {
+            spec,
+            factory: &factory,
+            oracles: &Vec::new,
+        };
+        sweep_random(&algo, 5, 30, 3).unwrap();
+        // Out-of-range identities are rejected, as with `new`.
+        let err =
+            FreeDecisionProtocol::from_witness(&witness, Identity::new(42).unwrap()).unwrap_err();
+        assert!(matches!(err, Error::Unsupported { .. }));
     }
 
     #[test]

@@ -4,7 +4,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gsb_core::{GsbSpec, SymmetricGsb};
-use gsb_topology::{protocol_complex, solvable_in_rounds, SymmetricSearch};
+use gsb_topology::{protocol_complex, SearchResult, SymmetricSearch};
+
+/// Engine-path shorthand (the free function of the same name is
+/// deprecated in favor of the engine crate).
+fn solvable_in_rounds(spec: &GsbSpec, rounds: usize) -> SearchResult {
+    SymmetricSearch::new(spec.clone(), rounds).solve()
+}
 
 fn bench_topology(c: &mut Criterion) {
     let mut group = c.benchmark_group("topology");

@@ -44,15 +44,24 @@ fn main() {
     }
 
     println!("\nThe task zoo at n = {max_n} (§3.2's named tasks)\n");
+    // One engine batch over the zoo: rayon fan-out, shared cache,
+    // every verdict's evidence re-checked before printing.
     match gsb_core::zoo::catalog(max_n) {
         Ok(entries) => {
-            for entry in entries {
-                println!(
-                    "  {:<34} {:<38} {}",
-                    entry.name,
-                    entry.reference,
-                    entry.spec.classify()
-                );
+            let batch: gsb_engine::Batch = entries
+                .iter()
+                .map(|entry| gsb_engine::Query::classify(entry.spec.clone()))
+                .collect();
+            for (entry, verdict) in entries.iter().zip(batch.run()) {
+                match verdict {
+                    Ok(verdict) => {
+                        println!("  {:<34} {:<38} {}", entry.name, entry.reference, verdict)
+                    }
+                    Err(e) => println!(
+                        "  {:<34} {:<38} engine error: {e}",
+                        entry.name, entry.reference
+                    ),
+                }
             }
         }
         Err(e) => println!("  (zoo unavailable: {e})"),

@@ -304,13 +304,14 @@ pub fn atlas_naive(max_n: usize) -> Vec<AtlasRow> {
     rows
 }
 
-/// Classification of a canonical representative, served from a
-/// process-wide memo table — verdicts are pure functions of the
-/// parameters and the engine re-enters the same classes on every sweep.
+/// Classification of a canonical representative, served from the
+/// engine's process-global [`EngineCache`](gsb_engine::EngineCache) —
+/// the memo layer this crate used to keep privately, now shared with
+/// every `Query`/`Batch` caller in the process.
 fn classification_cached(canonical: &SymmetricGsb) -> gsb_core::Classification {
-    static CACHE: gsb_core::kernel::TaskMemo<gsb_core::Classification> =
-        gsb_core::kernel::TaskMemo::new();
-    CACHE.get_or_compute(canonical, SymmetricGsb::classify)
+    gsb_engine::EngineCache::global()
+        .classification(&canonical.to_spec())
+        .0
 }
 
 /// Definition-5 anchoring by explicit kernel-set comparison against the
@@ -665,29 +666,48 @@ pub fn search_report(full_baseline: bool) -> SearchReport {
     })
 }
 
-/// Benchmarks the suite: CDCL best-of-3 vs. the budgeted backtracking
-/// baseline, cross-checking verdicts where the baseline finishes.
+/// Benchmarks the suite: the engine's CDCL path best-of-3 vs. the
+/// budgeted backtracking baseline, cross-checking verdicts where the
+/// baseline finishes.
+///
+/// The CDCL side goes through `gsb_engine::Query` — what a production
+/// caller pays end-to-end, including the quotient build — with the
+/// engine cache and evidence checking switched **off** inside the timed
+/// trials so each trial times one real solve; one untimed query with
+/// full evidence checking then replays every SAT witness facet by facet.
 ///
 /// # Panics
 ///
-/// Panics if the engines disagree on an uncensored row (that would be a
-/// soundness bug).
+/// Panics if the engines disagree on an uncensored row, or if any
+/// evidence fails its re-check (either would be a soundness bug).
 #[must_use]
 pub fn search_report_budgeted(budget_mode: BaselineBudget) -> SearchReport {
-    use gsb_topology::{CdclConfig, SearchResult, SymmetricSearch};
+    use gsb_engine::{EngineOpts, Query};
+    use gsb_topology::SymmetricSearch;
     let mut rows = Vec::new();
     for (instance, spec, rounds, default_budget, full_budget) in search_suite() {
-        let search = SymmetricSearch::new(spec, rounds);
-        let config = CdclConfig::default();
+        let timing_opts = EngineOpts {
+            use_cache: false,
+            check_evidence: false,
+            ..EngineOpts::default()
+        };
         let mut cdcl_wall = Duration::MAX;
         let mut outcome = None;
         for _ in 0..3 {
+            let query =
+                Query::solvable_in_rounds(spec.clone(), rounds).with_opts(timing_opts.clone());
             let start = Instant::now();
-            let (r, s) = search.solve_with(&config);
+            let verdict = query.run().expect("the engine answers the bench suite");
             cdcl_wall = cdcl_wall.min(start.elapsed());
-            outcome = Some((r, s));
+            outcome = Some(verdict);
         }
-        let (result, stats) = outcome.expect("three timed trials ran");
+        let verdict = outcome.expect("three timed trials ran");
+        // Untimed verification pass on the held verdict: SAT witnesses
+        // replay facet-by-facet, with no extra solve.
+        verdict.check().expect("evidence re-verifies");
+        let stats = verdict.stats.search.expect("a search ran");
+        let solvable = verdict.evidence.decision_map().is_some();
+        let search = SymmetricSearch::new(spec, rounds);
         let budget = match budget_mode {
             BaselineBudget::Default => default_budget,
             BaselineBudget::Full => full_budget,
@@ -699,7 +719,7 @@ pub fn search_report_budgeted(budget_mode: BaselineBudget) -> SearchReport {
         if let Some(baseline) = &baseline {
             assert_eq!(
                 baseline.is_solvable(),
-                result.is_solvable(),
+                solvable,
                 "engines disagree on {instance}"
             );
         }
@@ -707,7 +727,7 @@ pub fn search_report_budgeted(budget_mode: BaselineBudget) -> SearchReport {
             instance,
             classes: search.classes().len(),
             facets: search.facet_count(),
-            solvable: matches!(result, SearchResult::Solvable { .. }),
+            solvable,
             cdcl_wall,
             cdcl_stats: stats,
             baseline_wall,

@@ -85,6 +85,47 @@ impl std::fmt::Display for CountingVector {
     }
 }
 
+/// Advances `subset` — a strictly increasing `k`-subset of
+/// `[0..universe)` — to its lexicographic successor in place, returning
+/// `false` when `subset` was already the last one (its contents are then
+/// unspecified).
+///
+/// This is the adversarial identity-subset walk shared by the Theorem 9
+/// brute-force checks ([`GsbSpec::map_beats_all_subsets`](crate::GsbSpec::map_beats_all_subsets))
+/// and the engine crate's witness replays.
+///
+/// # Examples
+///
+/// ```
+/// use gsb_core::counting::next_index_subset;
+///
+/// let mut subset = vec![0, 1];
+/// let mut seen = vec![subset.clone()];
+/// while next_index_subset(&mut subset, 4) {
+///     seen.push(subset.clone());
+/// }
+/// assert_eq!(seen.len(), 6); // C(4, 2)
+/// assert_eq!(seen.last().unwrap(), &[2, 3]);
+/// ```
+#[must_use]
+pub fn next_index_subset(subset: &mut [usize], universe: usize) -> bool {
+    let k = subset.len();
+    let mut i = k;
+    loop {
+        if i == 0 {
+            return false;
+        }
+        i -= 1;
+        if subset[i] < universe - (k - i) {
+            subset[i] += 1;
+            for j in i + 1..k {
+                subset[j] = subset[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -39,16 +39,61 @@ pub enum Solvability {
     Open,
 }
 
-impl std::fmt::Display for Solvability {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let text = match self {
+impl Solvability {
+    /// Stable machine-readable label, the inverse of
+    /// [`Solvability::from_label`]. This is what the engine's JSON
+    /// reports emit; [`Display`](std::fmt::Display) uses the same
+    /// strings, so human and machine output never diverge.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
             Solvability::Infeasible => "infeasible",
             Solvability::SolvableWithoutCommunication => "solvable with no communication",
             Solvability::WaitFreeSolvable => "wait-free solvable",
             Solvability::NotWaitFreeSolvable => "not wait-free solvable",
             Solvability::Open => "open",
-        };
-        f.write_str(text)
+        }
+    }
+
+    /// Parses a [`Solvability::label`] back into the verdict (the JSON
+    /// round-trip path). Returns `None` for unknown labels.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        [
+            Solvability::Infeasible,
+            Solvability::SolvableWithoutCommunication,
+            Solvability::WaitFreeSolvable,
+            Solvability::NotWaitFreeSolvable,
+            Solvability::Open,
+        ]
+        .into_iter()
+        .find(|s| s.label() == label)
+    }
+
+    /// Whether the verdict asserts the task **is** wait-free solvable
+    /// (with or without communication).
+    #[must_use]
+    pub fn is_positive(self) -> bool {
+        matches!(
+            self,
+            Solvability::SolvableWithoutCommunication | Solvability::WaitFreeSolvable
+        )
+    }
+
+    /// Whether the verdict asserts the task is **not** wait-free solvable
+    /// (or has no outputs at all).
+    #[must_use]
+    pub fn is_negative(self) -> bool {
+        matches!(
+            self,
+            Solvability::NotWaitFreeSolvable | Solvability::Infeasible
+        )
+    }
+}
+
+impl std::fmt::Display for Solvability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -512,20 +557,8 @@ impl GsbSpec {
             if !ok {
                 return false;
             }
-            // Next combination.
-            let mut i = n;
-            loop {
-                if i == 0 {
-                    return true;
-                }
-                i -= 1;
-                if subset[i] < ids - (n - i) {
-                    subset[i] += 1;
-                    for j in i + 1..n {
-                        subset[j] = subset[j - 1] + 1;
-                    }
-                    break;
-                }
+            if !crate::counting::next_index_subset(&mut subset, ids) {
+                return true;
             }
         }
     }
@@ -839,5 +872,31 @@ mod tests {
         let c = SymmetricGsb::wsb(6).unwrap().classify();
         let shown = c.to_string();
         assert!(shown.contains("wait-free solvable"));
+    }
+
+    #[test]
+    fn solvability_labels_round_trip() {
+        use Solvability::*;
+        for s in [
+            Infeasible,
+            SolvableWithoutCommunication,
+            WaitFreeSolvable,
+            NotWaitFreeSolvable,
+            Open,
+        ] {
+            assert_eq!(Solvability::from_label(s.label()), Some(s));
+            assert_eq!(s.to_string(), s.label());
+        }
+        assert_eq!(Solvability::from_label("no such verdict"), None);
+    }
+
+    #[test]
+    fn polarity_helpers() {
+        use Solvability::*;
+        assert!(WaitFreeSolvable.is_positive() && !WaitFreeSolvable.is_negative());
+        assert!(SolvableWithoutCommunication.is_positive());
+        assert!(NotWaitFreeSolvable.is_negative() && !NotWaitFreeSolvable.is_positive());
+        assert!(Infeasible.is_negative());
+        assert!(!Open.is_positive() && !Open.is_negative());
     }
 }

@@ -1,0 +1,230 @@
+//! The shared [`EngineCache`]: the workspace's formerly scattered
+//! `OnceLock` memo layers, promoted into one injectable object.
+//!
+//! Before the engine, memoization lived in per-crate process-wide
+//! statics: the binomial-gcd table and kernel-set memo in `gsb-core`,
+//! the subdivision memo in `gsb-topology`, and a classification memo
+//! inside the bench crate. Those remain (they cache pure functions of
+//! small keys), but the *query-level* layers — classifications,
+//! no-communication witnesses, and round-bounded search verdicts with
+//! their replayable decision maps — now live here, shared across a
+//! [`Batch`](crate::Batch)'s rayon workers and across queries of one
+//! process via [`EngineCache::global`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use gsb_core::{Classification, GsbSpec};
+use gsb_topology::{CdclConfig, DecisionMap, SearchResult, SearchStats, SymmetricSearch};
+
+/// Hit/miss counters and entry counts of an [`EngineCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Cached classifications.
+    pub classifications: usize,
+    /// Cached no-communication witness answers.
+    pub witnesses: usize,
+    /// Cached round-bounded search verdicts.
+    pub searches: usize,
+}
+
+/// A cached search verdict: result, replayable witness (SAT only), and
+/// the counters of the solve that produced it.
+pub(crate) type SearchEntry = (SearchResult, Option<DecisionMap>, SearchStats);
+
+/// The shared memo layers behind [`Query::run`](crate::Query::run) and
+/// [`Batch`](crate::Batch) fan-out.
+///
+/// All methods take `&self` and are safe to call from rayon workers; the
+/// maps are guarded by plain mutexes (lookups are tiny next to the
+/// computations they save).
+#[derive(Debug, Default)]
+pub struct EngineCache {
+    classifications: Mutex<HashMap<GsbSpec, Classification>>,
+    witnesses: Mutex<HashMap<GsbSpec, Option<Vec<usize>>>>,
+    searches: Mutex<HashMap<(GsbSpec, usize), SearchEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EngineCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        EngineCache::default()
+    }
+
+    /// The process-global cache used by [`Query::run`](crate::Query::run).
+    #[must_use]
+    pub fn global() -> &'static EngineCache {
+        static GLOBAL: OnceLock<EngineCache> = OnceLock::new();
+        GLOBAL.get_or_init(EngineCache::new)
+    }
+
+    /// Classification of `spec`, memoized. Returns the verdict and
+    /// whether it was served from the cache.
+    #[must_use]
+    pub fn classification(&self, spec: &GsbSpec) -> (Classification, bool) {
+        if let Some(hit) = self
+            .classifications
+            .lock()
+            .expect("classification cache poisoned")
+            .get(spec)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (hit.clone(), true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let computed = spec.classify();
+        self.classifications
+            .lock()
+            .expect("classification cache poisoned")
+            .entry(spec.clone())
+            .or_insert_with(|| computed.clone());
+        (computed, false)
+    }
+
+    /// No-communication witness of `spec` (Theorem 9 / its asymmetric
+    /// generalization), memoized. Returns the answer and whether it was
+    /// served from the cache.
+    #[must_use]
+    pub fn no_comm_witness(&self, spec: &GsbSpec) -> (Option<Vec<usize>>, bool) {
+        if let Some(hit) = self
+            .witnesses
+            .lock()
+            .expect("witness cache poisoned")
+            .get(spec)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (hit.clone(), true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let computed = spec.no_communication_witness();
+        self.witnesses
+            .lock()
+            .expect("witness cache poisoned")
+            .entry(spec.clone())
+            .or_insert_with(|| computed.clone());
+        (computed, false)
+    }
+
+    /// Round-bounded CDCL search verdict for `(spec, rounds)`, memoized
+    /// with its replayable decision map and solver counters. Returns the
+    /// entry and whether it was served from the cache.
+    ///
+    /// The key deliberately excludes `config`: verdicts (and witnesses'
+    /// validity) are configuration-independent, so the entry produced by
+    /// the first miss is served to every later configuration. Callers
+    /// that need config-faithful *counters* (benchmarks) bypass the
+    /// cache via [`EngineOpts::use_cache`](crate::EngineOpts::use_cache).
+    #[must_use]
+    pub fn search(
+        &self,
+        spec: &GsbSpec,
+        rounds: usize,
+        config: &CdclConfig,
+    ) -> (SearchEntry, bool) {
+        let key = (spec.clone(), rounds);
+        if let Some(hit) = self
+            .searches
+            .lock()
+            .expect("search cache poisoned")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (hit.clone(), true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let computed = solve_cdcl(spec, rounds, config);
+        self.searches
+            .lock()
+            .expect("search cache poisoned")
+            .entry(key)
+            .or_insert_with(|| computed.clone());
+        (computed, false)
+    }
+
+    /// Current counters and entry counts.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            classifications: self
+                .classifications
+                .lock()
+                .expect("classification cache poisoned")
+                .len(),
+            witnesses: self.witnesses.lock().expect("witness cache poisoned").len(),
+            searches: self.searches.lock().expect("search cache poisoned").len(),
+        }
+    }
+}
+
+/// One uncached CDCL solve, packaging the SAT witness as a replayable
+/// [`DecisionMap`].
+pub(crate) fn solve_cdcl(spec: &GsbSpec, rounds: usize, config: &CdclConfig) -> SearchEntry {
+    let search = SymmetricSearch::new(spec.clone(), rounds);
+    let (result, stats) = search.solve_with(config);
+    let map = search.decision_map(&result);
+    (result, map, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsb_core::SymmetricGsb;
+
+    #[test]
+    fn classification_hits_after_first_miss() {
+        let cache = EngineCache::new();
+        let spec = SymmetricGsb::wsb(6).unwrap().to_spec();
+        let (first, hit1) = cache.classification(&spec);
+        let (second, hit2) = cache.classification(&spec);
+        assert!(!hit1);
+        assert!(hit2);
+        assert_eq!(first, second);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.classifications, 1);
+    }
+
+    #[test]
+    fn search_entries_carry_the_decision_map() {
+        let cache = EngineCache::new();
+        let spec = SymmetricGsb::renaming(2, 3).unwrap().to_spec();
+        let ((result, map, _stats), hit) = cache.search(&spec, 1, &CdclConfig::default());
+        assert!(!hit);
+        assert!(result.is_solvable());
+        let map = map.expect("SAT entries carry a witness");
+        map.check(&spec).unwrap();
+        let ((cached, cached_map, _), hit) = cache.search(&spec, 1, &CdclConfig::default());
+        assert!(hit);
+        assert_eq!(cached, result);
+        assert_eq!(cached_map, Some(map));
+    }
+
+    #[test]
+    fn witness_cache_stores_negative_answers_too() {
+        let cache = EngineCache::new();
+        let wsb = SymmetricGsb::wsb(4).unwrap().to_spec();
+        let (none, hit) = cache.no_comm_witness(&wsb);
+        assert!(none.is_none());
+        assert!(!hit);
+        let (none_again, hit) = cache.no_comm_witness(&wsb);
+        assert!(none_again.is_none());
+        assert!(hit, "negative answers are cached");
+    }
+
+    #[test]
+    fn global_cache_is_one_instance() {
+        let a = EngineCache::global() as *const EngineCache;
+        let b = EngineCache::global() as *const EngineCache;
+        assert_eq!(a, b);
+    }
+}

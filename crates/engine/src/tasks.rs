@@ -1,0 +1,124 @@
+//! Named-task parsing: the zoo's vocabulary as CLI-friendly strings.
+//!
+//! The `gsb` binary (and anything else that takes task names from users)
+//! resolves names like `wsb`, `election` or `renaming` here, instead of
+//! every caller keeping its own constructor table.
+
+use gsb_core::{GsbSpec, SymmetricGsb};
+
+use crate::error::{Error, Result};
+
+/// The task names [`named_task`] understands, with the meaning of the
+/// optional `k` parameter.
+pub const KNOWN_TASKS: &[(&str, &str)] = &[
+    ("election", "one leader, n−1 followers (asymmetric)"),
+    ("wsb", "weak symmetry breaking ⟨n,2,1,n−1⟩"),
+    ("k-wsb", "k-weak symmetry breaking ⟨n,2,k,n−k⟩ (k required)"),
+    ("perfect-renaming", "⟨n,n,1,1⟩ — the hardest renaming"),
+    ("loose-renaming", "(2n−1)-renaming ⟨n,2n−1,0,1⟩"),
+    (
+        "renaming",
+        "m-renaming ⟨n,k,0,1⟩ (k = name-space size, required)",
+    ),
+    ("slot", "k-slot ⟨n,k,1,n⟩ (k required)"),
+    (
+        "homonymous",
+        "x-bounded homonymous renaming (k = x, required)",
+    ),
+    (
+        "hardest",
+        "hardest ⟨n,k,·,·⟩ task of Theorem 5 (k = m, required)",
+    ),
+];
+
+/// Instantiates the named task for `n` processes. Some names take a
+/// parameter `k` (see [`KNOWN_TASKS`]); passing or omitting it wrongly
+/// is an error, as is an unknown name.
+///
+/// Accepts both `kebab-case` and `snake_case` spellings.
+///
+/// # Errors
+///
+/// Returns [`Error::Unsupported`] for unknown names or missing/extra
+/// parameters, and wraps [`gsb_core::Error`] for out-of-range `n`/`k`.
+pub fn named_task(name: &str, n: usize, k: Option<usize>) -> Result<GsbSpec> {
+    let canonical_name = name.replace('_', "-");
+    let require_k = || {
+        k.ok_or_else(|| Error::Unsupported {
+            reason: format!("task '{canonical_name}' needs a parameter (--k)"),
+        })
+    };
+    let forbid_k = |spec: GsbSpec| {
+        if k.is_some() {
+            Err(Error::Unsupported {
+                reason: format!("task '{canonical_name}' takes no parameter"),
+            })
+        } else {
+            Ok(spec)
+        }
+    };
+    match canonical_name.as_str() {
+        "election" => forbid_k(GsbSpec::election(n)?),
+        "wsb" | "weak-symmetry-breaking" => forbid_k(SymmetricGsb::wsb(n)?.to_spec()),
+        "k-wsb" => Ok(SymmetricGsb::k_wsb(n, require_k()?)?.to_spec()),
+        "perfect-renaming" => forbid_k(SymmetricGsb::perfect_renaming(n)?.to_spec()),
+        "loose-renaming" | "2n-1-renaming" => forbid_k(SymmetricGsb::loose_renaming(n)?.to_spec()),
+        "renaming" => Ok(SymmetricGsb::renaming(n, require_k()?)?.to_spec()),
+        "slot" => Ok(SymmetricGsb::slot(n, require_k()?)?.to_spec()),
+        "homonymous" | "homonymous-renaming" => {
+            Ok(SymmetricGsb::homonymous_renaming(n, require_k()?)?.to_spec())
+        }
+        "hardest" => Ok(SymmetricGsb::hardest(n, require_k()?)?.to_spec()),
+        other => Err(Error::Unsupported {
+            reason: format!(
+                "unknown task '{other}'; known: {}",
+                KNOWN_TASKS
+                    .iter()
+                    .map(|&(name, _)| name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_known_task_instantiates() {
+        for &(name, help) in KNOWN_TASKS {
+            let k = help.contains("required").then_some(2);
+            let spec = named_task(name, 6, k).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(spec.n(), 6, "{name}");
+        }
+    }
+
+    #[test]
+    fn snake_case_and_parameters() {
+        assert_eq!(
+            named_task("perfect_renaming", 4, None).unwrap(),
+            SymmetricGsb::perfect_renaming(4).unwrap().to_spec()
+        );
+        assert_eq!(
+            named_task("renaming", 4, Some(7)).unwrap(),
+            SymmetricGsb::loose_renaming(4).unwrap().to_spec()
+        );
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        let err = named_task("no-such-task", 4, None).unwrap_err();
+        assert!(err.to_string().contains("known:"));
+        let err = named_task("slot", 4, None).unwrap_err();
+        assert!(err.to_string().contains("--k"));
+        let err = named_task("wsb", 4, Some(2)).unwrap_err();
+        assert!(err.to_string().contains("no parameter"));
+        // Core errors propagate wrapped.
+        assert!(matches!(
+            named_task("election", 1, None),
+            Err(Error::Core(_))
+        ));
+    }
+}

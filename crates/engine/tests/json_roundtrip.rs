@@ -1,0 +1,102 @@
+//! JSON round-trip: every evidence kind the engine emits must parse
+//! back losslessly and remain machine-checkable afterwards.
+
+use gsb_core::{GsbSpec, SymmetricGsb};
+use gsb_engine::{EngineCache, Evidence, Query, Verdict};
+
+/// One query per evidence kind.
+fn sample_queries() -> Vec<(&'static str, Query)> {
+    vec![
+        (
+            "kernel",
+            Query::classify(SymmetricGsb::wsb(6).unwrap().to_spec()),
+        ),
+        (
+            "no-communication",
+            Query::classify(SymmetricGsb::loose_renaming(4).unwrap().to_spec()),
+        ),
+        (
+            "infeasible",
+            Query::classify(SymmetricGsb::renaming(5, 4).unwrap().to_spec()),
+        ),
+        (
+            "decision-map",
+            Query::solvable_in_rounds(SymmetricGsb::renaming(3, 6).unwrap().to_spec(), 1),
+        ),
+        (
+            "rounds-unsat",
+            Query::solvable_in_rounds(SymmetricGsb::wsb(3).unwrap().to_spec(), 1),
+        ),
+        (
+            "no-comm-impossible",
+            Query::no_comm_witness(SymmetricGsb::wsb(4).unwrap().to_spec()),
+        ),
+        (
+            "election-certificate",
+            Query::certificate(GsbSpec::election(4).unwrap(), 1),
+        ),
+        ("atlas", Query::atlas(3)),
+    ]
+}
+
+#[test]
+fn every_evidence_kind_round_trips() {
+    let cache = EngineCache::new();
+    for (expected_kind, query) in sample_queries() {
+        let verdict = query
+            .run_with(&cache)
+            .unwrap_or_else(|e| panic!("{expected_kind}: {e}"));
+        assert_eq!(
+            verdict.evidence.label(),
+            expected_kind,
+            "query produced unexpected evidence"
+        );
+        let json = verdict.to_json();
+        let parsed = Verdict::from_json(&json)
+            .unwrap_or_else(|e| panic!("{expected_kind} failed to parse: {e}\n{json}"));
+        // Everything except wall time is lossless; wall time survives to
+        // f64 precision, which re-rendering pins exactly.
+        assert_eq!(parsed.solvability, verdict.solvability, "{expected_kind}");
+        assert_eq!(parsed.evidence, verdict.evidence, "{expected_kind}");
+        assert_eq!(parsed.provenance, verdict.provenance, "{expected_kind}");
+        assert_eq!(parsed.stats.search, verdict.stats.search, "{expected_kind}");
+        assert_eq!(parsed.to_json(), json, "{expected_kind} not idempotent");
+        // The parsed verdict is still independently checkable.
+        parsed
+            .check()
+            .unwrap_or_else(|e| panic!("{expected_kind} re-check after parse: {e}"));
+    }
+}
+
+#[test]
+fn tampered_reports_fail_the_recheck() {
+    let spec = SymmetricGsb::renaming(3, 6).unwrap().to_spec();
+    let verdict = Query::solvable_in_rounds(spec, 1)
+        .run_with(&EngineCache::new())
+        .unwrap();
+    let Evidence::DecisionMap(map) = &verdict.evidence else {
+        panic!("expected a decision map");
+    };
+    // Forge the witness (everyone decides 1 — renaming's u = 1 tolerates
+    // no duplicated value inside a facet), ship it through JSON, and
+    // verify the parsed report's facet-by-facet replay rejects it.
+    let forged = gsb_topology::DecisionMap::rebuild(3, 1, vec![1; map.assignment().len()])
+        .expect("right arity");
+    let mut bad = verdict.clone();
+    bad.evidence = Evidence::DecisionMap(forged);
+    let parsed = Verdict::from_json(&bad.to_json()).expect("well-formed JSON");
+    assert!(parsed.check().is_err(), "forged witness must be rejected");
+}
+
+#[test]
+fn malformed_reports_are_rejected_with_context() {
+    for bad in [
+        "",
+        "{}",
+        "{\"solvability\": 3}",
+        "{\"solvability\": \"sideways\", \"evidence\": {\"kind\": \"no-comm-impossible\"}}",
+    ] {
+        let err = Verdict::from_json(bad).unwrap_err();
+        assert!(matches!(err, gsb_engine::Error::Json { .. }), "{bad}");
+    }
+}

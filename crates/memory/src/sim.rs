@@ -190,6 +190,18 @@ impl RunOutcome {
     }
 }
 
+/// Fallible conversion into the decided output vector: the evidence
+/// accessor the engine crate uses when replaying witnesses through the
+/// simulator (unlike [`RunOutcome::output_vector`], the *reason* an
+/// incomplete run cannot be converted is preserved in the error).
+impl TryFrom<&RunOutcome> for OutputVector {
+    type Error = gsb_core::Error;
+
+    fn try_from(outcome: &RunOutcome) -> std::result::Result<OutputVector, gsb_core::Error> {
+        OutputVector::from_decisions(&outcome.decisions)
+    }
+}
+
 /// Whether partially-decided values can be extended to a legal output of
 /// `spec` by assigning values to the undecided processes.
 #[must_use]

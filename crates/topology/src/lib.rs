@@ -27,6 +27,7 @@
 
 pub mod cdcl;
 pub mod complex;
+mod error;
 pub mod protocol;
 pub mod solvability;
 pub mod theorem11;
@@ -34,8 +35,11 @@ pub mod views;
 
 pub use cdcl::{CdclConfig, SearchStats};
 pub use complex::{ridge_key, ChromaticComplex, RidgeKey, SignatureQuotient, Vertex, VertexId};
+pub use error::{Error, Result};
 pub use protocol::{ordered_bell, protocol_complex, shared_protocol_complex};
-pub use solvability::{solvable_in_rounds, SearchResult, SymmetricSearch};
+#[allow(deprecated)]
+pub use solvability::solvable_in_rounds;
+pub use solvability::{DecisionMap, SearchResult, SymmetricSearch};
 pub use theorem11::{
     check_election_certificate, election_impossibility_certificate, CertificateFailure,
 };

@@ -38,7 +38,8 @@ use gsb_core::GsbSpec;
 
 use crate::cdcl::{self, CdclConfig, CdclResult, SearchStats};
 use crate::complex::ChromaticComplex;
-use crate::protocol::shared_protocol_complex;
+use crate::error::Error;
+use crate::protocol::{protocol_complex, shared_protocol_complex};
 use crate::views::View;
 
 /// The result of a decision-map search.
@@ -61,6 +62,197 @@ impl SearchResult {
     pub fn is_solvable(&self) -> bool {
         matches!(self, SearchResult::Solvable { .. })
     }
+
+    /// The per-class assignment of a SAT result, if any.
+    #[must_use]
+    pub fn assignment(&self) -> Option<&[usize]> {
+        match self {
+            SearchResult::Solvable { assignment } => Some(assignment),
+            SearchResult::Unsolvable => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SearchResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchResult::Solvable { assignment } => {
+                write!(
+                    f,
+                    "solvable: symmetric decision map over {} classes",
+                    assignment.len()
+                )
+            }
+            SearchResult::Unsolvable => f.write_str("unsolvable at the checked round count"),
+        }
+    }
+}
+
+/// A **replayable symmetric decision map**: the SAT witness of a
+/// round-bounded solvability search, packaged so that anyone — not just
+/// the engine that found it — can re-verify it facet by facet.
+///
+/// The map assigns one value to every order-isomorphism class of views of
+/// `χ^rounds(Δ^{n−1})`. [`DecisionMap::check`] rebuilds that protocol
+/// complex from scratch (bypassing the process-wide memo) and replays the
+/// assignment over **every raw facet** — not the deduplicated constraint
+/// system the solvers work on — so a bug in the search's quotienting or
+/// clause encoding cannot also hide in the checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecisionMap {
+    n: usize,
+    rounds: usize,
+    /// Canonical signature of each symmetry class (quotient order).
+    classes: Vec<View>,
+    /// Value decided by each class.
+    assignment: Vec<usize>,
+}
+
+impl DecisionMap {
+    /// Reconstructs a decision map from `(n, rounds, assignment)` alone —
+    /// the serialized form — by rebuilding the signature quotient of
+    /// `χ^rounds(Δ^{n−1})`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ClassCountMismatch`] if `assignment` does not
+    /// have one value per symmetry class of that complex.
+    pub fn rebuild(n: usize, rounds: usize, assignment: Vec<usize>) -> Result<Self, Error> {
+        let complex = shared_protocol_complex(n, rounds);
+        let quotient = complex.signature_quotient();
+        if quotient.classes.len() != assignment.len() {
+            return Err(Error::ClassCountMismatch {
+                witness: assignment.len(),
+                complex: quotient.classes.len(),
+            });
+        }
+        Ok(DecisionMap {
+            n,
+            rounds,
+            classes: quotient.classes,
+            assignment,
+        })
+    }
+
+    /// Number of processes (colors of the underlying complex).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Protocol rounds of the underlying subdivision.
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// The symmetry classes (canonical view signatures), quotient order.
+    #[must_use]
+    pub fn classes(&self) -> &[View] {
+        &self.classes
+    }
+
+    /// Value decided by each class, aligned with [`DecisionMap::classes`].
+    #[must_use]
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// The value this map decides for `view` (any view of the complex —
+    /// looked up through its canonical signature), or `None` if the view
+    /// belongs to no recorded class.
+    #[must_use]
+    pub fn value_of(&self, view: &View) -> Option<usize> {
+        let signature = view.signature();
+        self.classes
+            .iter()
+            .position(|c| *c == signature)
+            .map(|i| self.assignment[i])
+    }
+
+    /// Independently re-verifies the witness against `spec`, **facet by
+    /// facet**: rebuilds `χ^rounds(Δ^{n−1})` from scratch, maps every
+    /// vertex through its signature class, and checks the decision vector
+    /// of every raw facet against the task's counting bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns the structured [`Error`] describing the first replay
+    /// failure (process-count, class-coverage, value-range, or a facet
+    /// whose counts violate the bounds).
+    pub fn check(&self, spec: &GsbSpec) -> Result<(), Error> {
+        if spec.n() != self.n {
+            return Err(Error::ProcessCountMismatch {
+                spec: spec.n(),
+                complex: self.n,
+            });
+        }
+        let m = spec.m();
+        for (class, &value) in self.assignment.iter().enumerate() {
+            if value == 0 || value > m {
+                return Err(Error::ValueOutOfRange {
+                    class,
+                    value,
+                    values: m,
+                });
+            }
+        }
+        // A fresh build — deliberately not the shared memo — so the replay
+        // does not trust any state the search populated.
+        let complex = protocol_complex(self.n, self.rounds);
+        let quotient = complex.signature_quotient();
+        if quotient.classes.len() != self.classes.len() {
+            return Err(Error::ClassCountMismatch {
+                witness: self.classes.len(),
+                complex: quotient.classes.len(),
+            });
+        }
+        // Map the fresh quotient's classes onto the witness's class order
+        // by signature (robust to any future reordering of the quotient).
+        let index: HashMap<&View, usize> = self
+            .classes
+            .iter()
+            .enumerate()
+            .map(|(i, sig)| (sig, i))
+            .collect();
+        let mut fresh_to_witness = Vec::with_capacity(quotient.classes.len());
+        for (class, sig) in quotient.classes.iter().enumerate() {
+            match index.get(sig) {
+                Some(&i) => fresh_to_witness.push(i),
+                None => return Err(Error::UnknownClassSignature { class }),
+            }
+        }
+        let mut counts = vec![0usize; m];
+        for (f, facet) in complex.facets().iter().enumerate() {
+            counts.iter_mut().for_each(|c| *c = 0);
+            for &v in facet.iter() {
+                let fresh_class = quotient.vertex_class[v as usize] as usize;
+                let value = self.assignment[fresh_to_witness[fresh_class]];
+                counts[value - 1] += 1;
+            }
+            for v in 1..=m {
+                if counts[v - 1] < spec.lower(v) || counts[v - 1] > spec.upper(v) {
+                    return Err(Error::IllegalFacet {
+                        facet: f,
+                        counts: counts.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for DecisionMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "decision map on χ^{}(Δ^{}) over {} classes",
+            self.rounds,
+            self.n.saturating_sub(1),
+            self.classes.len()
+        )
+    }
 }
 
 /// A prepared search instance: the protocol complex quotiented by view
@@ -68,6 +260,9 @@ impl SearchResult {
 #[derive(Debug, Clone)]
 pub struct SymmetricSearch {
     spec: GsbSpec,
+    /// Round count of the underlying subdivision (`None` when the search
+    /// was prepared over an explicit complex of unknown provenance).
+    rounds: Option<usize>,
     /// Canonical signature of each symmetry class.
     classes: Vec<View>,
     /// Facet constraints as sorted class multisets, deduplicated.
@@ -89,7 +284,9 @@ impl SymmetricSearch {
     #[must_use]
     pub fn new(spec: GsbSpec, rounds: usize) -> Self {
         let complex = shared_protocol_complex(spec.n(), rounds);
-        Self::over_complex(spec, &complex)
+        let mut search = Self::over_complex(spec, &complex);
+        search.rounds = Some(rounds);
+        search
     }
 
     /// Prepares the search for `spec` over an explicit complex.
@@ -135,6 +332,7 @@ impl SymmetricSearch {
         }
         SymmetricSearch {
             spec,
+            rounds: None,
             classes,
             facet_classes,
             class_weight,
@@ -146,6 +344,37 @@ impl SymmetricSearch {
     #[must_use]
     pub fn classes(&self) -> &[View] {
         &self.classes
+    }
+
+    /// The task specification this search decides.
+    #[must_use]
+    pub fn spec(&self) -> &GsbSpec {
+        &self.spec
+    }
+
+    /// Round count of the subdivision, when known (searches prepared via
+    /// [`SymmetricSearch::new`]; `None` after
+    /// [`SymmetricSearch::over_complex`]).
+    #[must_use]
+    pub fn rounds(&self) -> Option<usize> {
+        self.rounds
+    }
+
+    /// Packages a SAT result as a public, replayable [`DecisionMap`].
+    ///
+    /// Returns `None` for UNSAT results and for searches prepared over an
+    /// explicit complex (whose round count is unknown, so the witness
+    /// could not be replayed).
+    #[must_use]
+    pub fn decision_map(&self, result: &SearchResult) -> Option<DecisionMap> {
+        let assignment = result.assignment()?;
+        let rounds = self.rounds?;
+        Some(DecisionMap {
+            n: self.spec.n(),
+            rounds,
+            classes: self.classes.clone(),
+            assignment: assignment.to_vec(),
+        })
     }
 
     /// Number of facet constraints.
@@ -457,6 +686,13 @@ impl SymmetricSearch {
 
 /// Convenience: is `spec` solvable by an `r`-round comparison-based IIS
 /// protocol?
+#[deprecated(
+    since = "0.1.0",
+    note = "route round-bounded queries through the engine \
+            (`gsb_engine::Query::solvable_in_rounds`), which adds caching, \
+            replayable evidence and cross-engine agreement; or use \
+            `SymmetricSearch::new(spec, rounds).solve()` directly"
+)]
 #[must_use]
 pub fn solvable_in_rounds(spec: &GsbSpec, rounds: usize) -> SearchResult {
     SymmetricSearch::new(spec.clone(), rounds).solve()
@@ -465,8 +701,21 @@ pub fn solvable_in_rounds(spec: &GsbSpec, rounds: usize) -> SearchResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::protocol_complex;
     use gsb_core::SymmetricGsb;
+
+    /// Local (non-deprecated) shorthand shadowing the deprecated free
+    /// function; `deprecated_free_function_still_answers` keeps the
+    /// public shim itself covered.
+    fn solvable_in_rounds(spec: &GsbSpec, rounds: usize) -> SearchResult {
+        SymmetricSearch::new(spec.clone(), rounds).solve()
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_free_function_still_answers() {
+        let spec = SymmetricGsb::renaming(2, 3).unwrap().to_spec();
+        assert!(super::solvable_in_rounds(&spec, 1).is_solvable());
+    }
 
     #[test]
     fn zero_rounds_allows_only_constant_maps() {
@@ -641,6 +890,80 @@ mod tests {
             crate::cdcl::solve_portfolio_width(&instance, &CdclConfig::default(), 4);
         assert_eq!(result, CdclResult::Unsat);
         assert_eq!(stats.workers, 4);
+    }
+
+    #[test]
+    fn decision_map_replays_facet_by_facet() {
+        let spec = SymmetricGsb::renaming(3, 6).unwrap().to_spec();
+        let search = SymmetricSearch::new(spec.clone(), 1);
+        let result = search.solve();
+        let map = search
+            .decision_map(&result)
+            .expect("SAT result with known rounds");
+        assert_eq!(map.rounds(), 1);
+        assert_eq!(map.n(), 3);
+        map.check(&spec).expect("genuine witness must replay");
+        // Lookup by view signature agrees with the raw assignment.
+        for (i, class) in map.classes().iter().enumerate() {
+            assert_eq!(map.value_of(class), Some(map.assignment()[i]));
+        }
+    }
+
+    #[test]
+    fn decision_map_check_rejects_tampering() {
+        let spec = SymmetricGsb::renaming(3, 6).unwrap().to_spec();
+        let search = SymmetricSearch::new(spec.clone(), 1);
+        let classes = search.classes().len();
+        // All-ones violates u = 1 on every facet.
+        let forged = DecisionMap::rebuild(3, 1, vec![1; classes]).unwrap();
+        assert!(matches!(
+            forged.check(&spec),
+            Err(Error::IllegalFacet { .. })
+        ));
+        // A value outside [1..m].
+        let out_of_range = DecisionMap::rebuild(3, 1, vec![99; classes]).unwrap();
+        assert!(matches!(
+            out_of_range.check(&spec),
+            Err(Error::ValueOutOfRange { .. })
+        ));
+        // Wrong arity for the complex.
+        assert!(matches!(
+            DecisionMap::rebuild(3, 1, vec![1; classes + 1]),
+            Err(Error::ClassCountMismatch { .. })
+        ));
+        // Wrong process count.
+        let other = SymmetricGsb::renaming(2, 3).unwrap().to_spec();
+        let map = search.decision_map(&search.solve()).unwrap();
+        assert!(matches!(
+            map.check(&other),
+            Err(Error::ProcessCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn decision_map_unavailable_when_unsat_or_rounds_unknown() {
+        let wsb = SymmetricGsb::wsb(3).unwrap().to_spec();
+        let search = SymmetricSearch::new(wsb.clone(), 1);
+        let result = search.solve();
+        assert!(!result.is_solvable());
+        assert!(search.decision_map(&result).is_none());
+        assert_eq!(result.assignment(), None);
+        // Explicit complexes have no recorded round count.
+        let spec = SymmetricGsb::renaming(3, 6).unwrap().to_spec();
+        let complex = protocol_complex(3, 1);
+        let search = SymmetricSearch::over_complex(spec, &complex);
+        assert_eq!(search.rounds(), None);
+        let sat = search.solve();
+        assert!(sat.is_solvable());
+        assert!(search.decision_map(&sat).is_none());
+    }
+
+    #[test]
+    fn search_result_display_is_uniform() {
+        let spec = SymmetricGsb::renaming(2, 3).unwrap().to_spec();
+        let sat = SymmetricSearch::new(spec, 1).solve();
+        assert!(sat.to_string().contains("solvable"));
+        assert!(SearchResult::Unsolvable.to_string().contains("unsolvable"));
     }
 
     #[test]

@@ -229,11 +229,14 @@ mod tests {
     fn certificate_agrees_with_the_search() {
         // Where the DPLL search runs, both methods must agree that
         // election is unsolvable.
-        use crate::solvability::solvable_in_rounds;
+        use crate::solvability::SymmetricSearch;
         for (n, r) in [(2usize, 1usize), (2, 2), (3, 1), (3, 2)] {
             assert!(election_impossibility_certificate(n, r).is_ok());
             let spec = gsb_core::GsbSpec::election(n).unwrap();
-            assert!(!solvable_in_rounds(&spec, r).is_solvable(), "n={n} r={r}");
+            assert!(
+                !SymmetricSearch::new(spec, r).solve().is_solvable(),
+                "n={n} r={r}"
+            );
         }
     }
 

@@ -12,10 +12,14 @@
 //!   has 865 classes and 5625 facet constraints; one round provably
 //!   needs 10 names, two rounds reach the wait-free optimum of 7.
 
-use gsb_core::SymmetricGsb;
-use gsb_topology::{
-    election_impossibility_certificate, solvable_in_rounds, SearchResult, SymmetricSearch,
-};
+use gsb_core::{GsbSpec, SymmetricGsb};
+use gsb_topology::{election_impossibility_certificate, SearchResult, SymmetricSearch};
+
+/// Engine-path shorthand (the free function of the same name is
+/// deprecated in favor of the engine crate).
+fn solvable_in_rounds(spec: &GsbSpec, rounds: usize) -> SearchResult {
+    SymmetricSearch::new(spec.clone(), rounds).solve()
+}
 
 #[test]
 fn wsb_n3_r2_unsat_certificate() {

@@ -15,6 +15,7 @@ use gsb_universe::algorithms::harness::{sweep_adversarial, sweep_random, Algorit
 use gsb_universe::algorithms::UniversalGsbProtocol;
 use gsb_universe::core::{GsbSpec, SymmetricGsb};
 use gsb_universe::memory::{GsbOracle, Oracle, OraclePolicy, ProtocolFactory};
+use gsb_universe::Query;
 
 fn main() {
     // Nine engineers, three committees:
@@ -29,7 +30,26 @@ fn main() {
     let spec = GsbSpec::committees(n, &bounds).expect("well-formed committee bounds");
     println!("Committee task: {spec}");
     println!("feasible: {} (Lemma 1: Σℓ ≤ n ≤ Σu)", spec.is_feasible());
-    println!("classification: {}", spec.classify());
+    let verdict = Query::classify(spec.clone()).run().expect("engine answers");
+    println!(
+        "classification: {} ({})",
+        verdict.solvability.expect("task-level verdict"),
+        verdict.provenance.justification
+    );
+    // Asymmetric tasks go through the interval-partition generalization
+    // of Theorem 9; a positive witness is replayed against every
+    // adversarial identity subset AND through the actual simulator.
+    let mut witness_query = Query::no_comm_witness(spec.clone());
+    witness_query.opts_mut().simulate_witness = true;
+    let witness_verdict = witness_query.run().expect("engine answers");
+    match witness_verdict.evidence.witness() {
+        Some(map) => println!(
+            "no-communication witness (identity → committee): {map:?} \
+             [{} simulator replays]",
+            witness_verdict.stats.simulated_runs
+        ),
+        None => println!("no no-communication solution — coordination is required"),
+    }
 
     // Theorem 8: solve it from a perfect-renaming object.
     let spec_for_factory = spec.clone();

@@ -19,9 +19,7 @@ use gsb_universe::algorithms::harness::{run_synchronous, AlgorithmUnderTest};
 use gsb_universe::algorithms::ElectionFromTestAndSet;
 use gsb_universe::core::{GsbSpec, Identity};
 use gsb_universe::memory::{Oracle, ProtocolFactory, TestAndSetOracle};
-use gsb_universe::topology::{
-    election_impossibility_certificate, protocol_complex, solvable_in_rounds,
-};
+use gsb_universe::{Evidence, Query};
 
 fn main() {
     // ── 1. Search ───────────────────────────────────────────────────────
@@ -29,26 +27,39 @@ fn main() {
     for (n, max_r) in [(2usize, 3usize), (3, 2)] {
         let spec = GsbSpec::election(n).expect("n ≥ 2");
         for r in 0..=max_r {
-            let verdict = if solvable_in_rounds(&spec, r).is_solvable() {
-                "SAT (?!)"
-            } else {
-                "no map"
+            let verdict = Query::solvable_in_rounds(spec.clone(), r)
+                .run()
+                .expect("engine answers");
+            let answer = match &verdict.evidence {
+                Evidence::DecisionMap(_) => "SAT (?!)".to_string(),
+                Evidence::RoundsUnsat { stats, .. } => {
+                    format!("no map ({} conflicts)", stats.conflicts)
+                }
+                other => format!("unexpected evidence '{}'", other.label()),
             };
-            println!("  n = {n}, {r} IIS round(s): {verdict}");
+            println!("  n = {n}, {r} IIS round(s): {answer}");
         }
     }
 
     // ── 2. Certificate ──────────────────────────────────────────────────
+    // `Query::certificate` recognizes election and produces the
+    // polynomial structural certificate, which scales past the search
+    // (n = 4, 5); its evidence re-checks on a freshly built complex.
     println!("\nTheorem 11 certificate (structure of χ^r(Δ^{{n−1}})):");
     for (n, r) in [(2usize, 2usize), (3, 1), (3, 2), (4, 1), (5, 1)] {
-        let complex = protocol_complex(n, r);
-        match election_impossibility_certificate(n, r) {
-            Ok(()) => println!(
-                "  n = {n}, r = {r}: certified impossible \
-                 ({} facets, pseudomanifold, per-color linkage connected, \
-                 corners symmetric)",
-                complex.facet_count()
-            ),
+        let spec = GsbSpec::election(n).expect("n ≥ 2");
+        match Query::certificate(spec, r).run() {
+            Ok(verdict) => match verdict.evidence {
+                Evidence::ElectionCertificate { facets, .. } => println!(
+                    "  n = {n}, r = {r}: certified impossible \
+                     ({facets} facets, pseudomanifold, per-color linkage connected, \
+                     corners symmetric)"
+                ),
+                other => println!(
+                    "  n = {n}, r = {r}: unexpected evidence '{}'",
+                    other.label()
+                ),
+            },
             Err(e) => println!("  n = {n}, r = {r}: certificate failed — {e}"),
         }
     }

@@ -5,13 +5,15 @@
 //! ```
 //!
 //! Walks through: defining tasks, synonyms and kernel sets, canonical
-//! representatives, solvability classification, and running one actual
-//! wait-free algorithm on the simulator.
+//! representatives, solvability verdicts through the query→verdict
+//! engine (with machine-checkable evidence and JSON reports), and
+//! running one actual wait-free algorithm on the simulator.
 
 use gsb_universe::algorithms::harness::{run_synchronous, AlgorithmUnderTest};
 use gsb_universe::algorithms::SlotRenamingProtocol;
 use gsb_universe::core::{Identity, KernelTable, SymmetricGsb};
 use gsb_universe::memory::{GsbOracle, Oracle, OraclePolicy, ProtocolFactory};
+use gsb_universe::{Query, Verdict};
 
 fn main() {
     // ── 1. Tasks ────────────────────────────────────────────────────────
@@ -41,15 +43,34 @@ fn main() {
         SymmetricGsb::hardest(6, 3).expect("valid parameters")
     );
 
-    // ── 4. Solvability ─────────────────────────────────────────────────
+    // ── 4. Solvability, through the query→verdict engine ───────────────
+    // One typed entry point answers every solvability question; every
+    // verdict carries evidence that `Verdict::check` re-verifies
+    // independently of the engine that produced it.
     for task in [
         SymmetricGsb::loose_renaming(6).unwrap(),
         SymmetricGsb::wsb(6).unwrap(),
         SymmetricGsb::wsb(8).unwrap(),
         SymmetricGsb::perfect_renaming(6).unwrap(),
     ] {
-        println!("{task}: {}", task.classify());
+        let verdict = Query::classify(task.to_spec())
+            .run()
+            .expect("engine answers");
+        println!("{verdict}");
     }
+
+    // Verdicts serialize to JSON and parse back, still checkable — this
+    // is exactly what `gsb classify wsb --n 6 --json` prints.
+    let verdict = Query::classify(SymmetricGsb::wsb(6).unwrap().to_spec())
+        .run()
+        .expect("engine answers");
+    let parsed = Verdict::from_json(&verdict.to_json()).expect("reports parse back");
+    parsed.check().expect("parsed evidence still verifies");
+    println!(
+        "(JSON report round-trips: {} bytes, evidence '{}' re-checked)",
+        verdict.to_json().len(),
+        parsed.evidence.label()
+    );
 
     // ── 5. Run an algorithm: Figure 2 (Theorem 12) ─────────────────────
     // (n+1)-renaming from an (n−1)-slot object, on the simulator.

@@ -22,6 +22,7 @@ use gsb_universe::algorithms::{
 use gsb_universe::core::{Identity, SymmetricGsb};
 use gsb_universe::memory::threaded::SplitterGrid;
 use gsb_universe::memory::{GsbOracle, Oracle, OraclePolicy, ProtocolFactory};
+use gsb_universe::{Batch, Query};
 
 fn ids(values: &[u32]) -> Vec<Identity> {
     values.iter().map(|&v| Identity::new(v).unwrap()).collect()
@@ -31,6 +32,34 @@ fn main() {
     let n = 5;
     let raw = [83u32, 12, 57, 91, 34]; // identities from a large space
     println!("raw identities: {raw:?}\n");
+
+    // Before running anything, ask the engine where each pipeline stage
+    // sits in the solvability landscape — one batch, shared cache.
+    let stages = [
+        (
+            "(2n−1)-renaming",
+            SymmetricGsb::renaming(n, 2 * n - 1).unwrap(),
+        ),
+        ("(n+1)-renaming", SymmetricGsb::renaming(n, n + 1).unwrap()),
+        ("WSB", SymmetricGsb::wsb(n).unwrap()),
+        (
+            "perfect renaming",
+            SymmetricGsb::perfect_renaming(n).unwrap(),
+        ),
+    ];
+    let batch: Batch = stages
+        .iter()
+        .map(|(_, task)| Query::classify(task.to_spec()))
+        .collect();
+    println!("engine verdicts for the pipeline's tasks:");
+    for ((name, _), verdict) in stages.iter().zip(batch.run()) {
+        let verdict = verdict.expect("engine answers");
+        println!(
+            "  {name:<18} {}",
+            verdict.solvability.expect("task-level verdict")
+        );
+    }
+    println!();
 
     // 1. (2n−1)-renaming from registers.
     let spec = SymmetricGsb::renaming(n, 2 * n - 1).unwrap().to_spec();

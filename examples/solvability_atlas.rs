@@ -1,51 +1,69 @@
 //! The solvability atlas: where every small GSB task sits between
-//! "trivial" and "impossible".
+//! "trivial" and "impossible" — asked entirely through the
+//! query→verdict engine.
 //!
 //! ```text
 //! cargo run --example solvability_atlas
 //! ```
 //!
-//! Combines the three verdict sources this repository implements:
+//! One API, three verdict sources:
 //!
-//! * the closed-form classifier (Theorems 9–11, Corollaries 2–5);
-//! * brute-force no-communication map search (cross-check, small n);
-//! * the topological decision-map search (comparison-based IIS rounds).
+//! * `Query::atlas` — the closed-form classifier over every feasible
+//!   task (Theorems 9–11, Corollaries 2–5), every row re-checked;
+//! * `Query::no_comm_witness` — Theorem 9 witnesses, brute-force
+//!   verified against every adversarial identity subset;
+//! * `Query::solvable_in_rounds` — the topological decision-map search
+//!   (comparison-based IIS rounds), batched over a query set with one
+//!   shared cache.
 
 use gsb_universe::core::{GsbSpec, Solvability, SymmetricGsb};
-use gsb_universe::topology::solvable_in_rounds;
+use gsb_universe::{Batch, Evidence, Query};
 
 fn main() {
-    println!("── Closed-form classification (n = 6) ──────────────────────");
-    for m in 1..=6usize {
-        for task in gsb_universe::core::order::feasible_family(6, m).unwrap() {
-            let c = task.classify();
-            if task.is_canonical().unwrap_or(false) {
-                println!("  {task}: {c}");
-            }
+    // ── Closed-form classification (n ≤ 6), one atlas query ─────────────
+    println!("── Atlas sweep (every feasible task, n ≤ 6) ────────────────");
+    let verdict = Query::atlas(6).run().expect("atlas sweeps");
+    let rows = verdict.evidence.atlas_rows().expect("atlas evidence");
+    for row in rows.iter().filter(|r| r.task.n() == 6) {
+        if row.task.is_canonical().unwrap_or(false) {
+            println!(
+                "  {}: {} ({})",
+                row.task, row.solvability, row.justification
+            );
         }
     }
+    println!(
+        "  [{} rows total through n = 6, every one re-classified by the checker]",
+        rows.len()
+    );
 
-    println!("\n── Cross-check: Theorem 9 vs. brute force (n = 3) ──────────");
-    let mut agreements = 0usize;
-    let mut total = 0usize;
+    // ── Theorem 9 witnesses, replayed ───────────────────────────────────
+    println!("\n── No-communication witnesses (Theorem 9, n = 3) ───────────");
+    let mut witnesses = 0usize;
+    let mut refuted = 0usize;
     for m in 1..=5usize {
         for l in 0..=3usize {
             for u in l..=3usize {
                 let Ok(t) = SymmetricGsb::new(3, m, l, u) else {
                     continue;
                 };
-                let spec = t.to_spec();
-                let closed = t.no_communication_solvable();
-                let brute = spec.is_feasible() && spec.no_communication_brute_force();
-                assert_eq!(closed, brute, "mismatch at {t}");
-                agreements += 1;
-                total += 1;
+                let verdict = Query::no_comm_witness(t.to_spec())
+                    .run()
+                    .expect("witness query answers");
+                match verdict.evidence {
+                    Evidence::NoCommunication { .. } => witnesses += 1,
+                    _ => refuted += 1,
+                }
             }
         }
     }
-    println!("  {agreements}/{total} parameterizations agree exactly");
+    println!(
+        "  {witnesses} tasks carry a brute-force-verified witness, \
+         {refuted} provably have none"
+    );
 
-    println!("\n── Topological search (comparison-based IIS, small n) ──────");
+    // ── Topological search, batched ─────────────────────────────────────
+    println!("\n── Topological search (comparison-based IIS, batched) ──────");
     let checks: Vec<(&str, GsbSpec, usize)> = vec![
         ("election n=2", GsbSpec::election(2).unwrap(), 3),
         ("election n=3", GsbSpec::election(3).unwrap(), 1),
@@ -66,17 +84,29 @@ fn main() {
             1,
         ),
     ];
-    for (name, spec, max_rounds) in checks {
-        let mut verdict = format!("UNSAT through {max_rounds} round(s)");
-        for r in 0..=max_rounds {
-            if solvable_in_rounds(&spec, r).is_solvable() {
-                verdict = format!("SAT at {r} round(s)");
+    // One batch over all (task, round) pairs: rayon fan-out, shared cache.
+    let batch: Batch = checks
+        .iter()
+        .flat_map(|(_, spec, max_rounds)| {
+            (0..=*max_rounds).map(|r| Query::solvable_in_rounds(spec.clone(), r))
+        })
+        .collect();
+    let verdicts = batch.run();
+    let mut base = 0usize;
+    for (name, _, max_rounds) in &checks {
+        let mut summary = format!("UNSAT through {max_rounds} round(s)");
+        for r in 0..=*max_rounds {
+            let verdict = verdicts[base + r].as_ref().expect("search answers");
+            if verdict.evidence.decision_map().is_some() {
+                summary = format!("SAT at {r} round(s), witness replayed facet-by-facet");
                 break;
             }
         }
-        println!("  {name:<22} {verdict}");
+        base += max_rounds + 1;
+        println!("  {name:<22} {summary}");
     }
 
+    // ── The gcd frontier (Theorem 10) ───────────────────────────────────
     println!("\n── The gcd frontier (Theorem 10) ───────────────────────────");
     println!("  WSB / (2n−2)-renaming is wait-free solvable exactly at the");
     println!("  'exceptional' n where gcd{{C(n,i)}} = 1 (n not a prime power):");
@@ -85,11 +115,13 @@ fn main() {
         .collect();
     println!("  exceptional n ≤ 30: {exceptional:?}");
     for n in [6usize, 8] {
-        let wsb = SymmetricGsb::wsb(n).unwrap();
-        let verdict = wsb.classify().solvability;
+        let verdict = Query::classify(SymmetricGsb::wsb(n).unwrap().to_spec())
+            .run()
+            .expect("classify answers");
         println!(
-            "  WSB at n = {n}: {verdict}{}",
-            if verdict == Solvability::WaitFreeSolvable {
+            "  WSB at n = {n}: {}{}",
+            verdict.solvability.expect("task-level verdict"),
+            if verdict.solvability == Some(Solvability::WaitFreeSolvable) {
                 " — 6 = 2·3 escapes the lower bound"
             } else {
                 " — 8 = 2³ is a prime power"

@@ -1,0 +1,377 @@
+//! `gsb` — the query→verdict engine from the shell.
+//!
+//! ```text
+//! gsb classify <task|--spec n,m,l,u> --n N [--k K] [--json]
+//! gsb solvable <task> --n N --rounds R [--engine cdcl|reference|both] [--json]
+//! gsb frontier --task <task> --n N --rounds R [--json]
+//! gsb witness  <task> --n N [--simulate] [--json]
+//! gsb certify  <task> --n N --rounds R [--json]
+//! gsb atlas    <max_n> [--rows] [--json]
+//! gsb tasks
+//! ```
+//!
+//! Every subcommand is a thin shell over `gsb_universe::Query`; `--json`
+//! prints the verdict report verbatim (`Verdict::to_json`), which can be
+//! parsed back and re-checked offline with `Verdict::from_json`.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use gsb_universe::core::GsbSpec;
+use gsb_universe::engine::Json;
+use gsb_universe::{named_task, Error, Query, SearchEngine, Verdict, KNOWN_TASKS};
+
+const USAGE: &str = "\
+gsb — unified solvability queries over the GSB task universe
+
+USAGE:
+  gsb classify <task|--spec n,m,l,u> --n N [--k K] [--agree R] [--json]
+  gsb solvable <task> --n N --rounds R [--engine cdcl|reference|both] [--json]
+  gsb frontier --task <task> --n N --rounds R [--json]
+  gsb witness  <task> --n N [--simulate] [--json]
+  gsb certify  <task> --n N --rounds R [--json]
+  gsb atlas    <max_n> [--rows] [--json]
+  gsb tasks
+
+OPTIONS:
+  --n N          number of processes
+  --k K          task parameter (renaming name space, slot count, …)
+  --spec n,m,l,u explicit symmetric ⟨n,m,ℓ,u⟩ spec instead of a task name
+  --rounds R     round bound for the topological engines
+  --engine E     search engine: cdcl (default), reference, or both
+  --agree R      cross-engine agreement mode through R rounds (classify)
+  --simulate     replay witness evidence through the simulator (witness)
+  --rows         print every atlas row, not just the totals
+  --json         emit the machine-readable verdict report
+
+Run `gsb tasks` for the known task names.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run_cli(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("gsb: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Minimal flag parser: positionals plus `--name value` / boolean flags.
+struct Args {
+    positionals: Vec<String>,
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+const BOOLEAN_FLAGS: &[&str] = &["json", "simulate", "rows"];
+const VALUE_FLAGS: &[&str] = &[
+    "n", "k", "spec", "rounds", "engine", "agree", "task", "max-n",
+];
+
+impl Args {
+    fn parse(args: &[String]) -> Result<Args, String> {
+        let mut parsed = Args {
+            positionals: Vec::new(),
+            values: BTreeMap::new(),
+            switches: Vec::new(),
+        };
+        let mut iter = args.iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if BOOLEAN_FLAGS.contains(&name) {
+                    parsed.switches.push(name.to_string());
+                } else if VALUE_FLAGS.contains(&name) {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    parsed.values.insert(name.to_string(), value.clone());
+                } else {
+                    return Err(format!(
+                        "unknown option --{name} (see `gsb help` for the option list)"
+                    ));
+                }
+            } else {
+                parsed.positionals.push(arg.clone());
+            }
+        }
+        Ok(parsed)
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    fn usize_value(&self, name: &str) -> Result<Option<usize>, String> {
+        self.value(name)
+            .map(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| format!("--{name} must be a number, got '{v}'"))
+            })
+            .transpose()
+    }
+
+    fn require_usize(&self, name: &str) -> Result<usize, String> {
+        self.usize_value(name)?
+            .ok_or_else(|| format!("--{name} is required"))
+    }
+}
+
+fn run_cli(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first().map(String::as_str) else {
+        println!("{USAGE}");
+        return Ok(());
+    };
+    let rest = Args::parse(&args[1..])?;
+    match command {
+        "classify" => classify(&rest),
+        "solvable" => solvable(&rest),
+        "frontier" => frontier(&rest),
+        "witness" => witness(&rest),
+        "certify" | "certificate" => certify(&rest),
+        "atlas" => atlas(&rest),
+        "tasks" => {
+            println!("Known task names (`gsb classify <name> --n N`):\n");
+            for &(name, help) in KNOWN_TASKS {
+                println!("  {name:<20} {help}");
+            }
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'; try `gsb help`")),
+    }
+}
+
+/// Resolves the task under query: a named task + `--n` (+ `--k`), or an
+/// explicit `--spec n,m,l,u`.
+fn resolve_spec(args: &Args) -> Result<GsbSpec, String> {
+    if let Some(spec) = args.value("spec") {
+        let parts: Vec<usize> = spec
+            .split(',')
+            .map(|p| {
+                p.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("--spec component '{p}' is not a number"))
+            })
+            .collect::<Result<_, _>>()?;
+        let [n, m, l, u] = parts.as_slice() else {
+            return Err("--spec takes four components: n,m,l,u".into());
+        };
+        return gsb_universe::core::SymmetricGsb::new(*n, *m, *l, *u)
+            .map(|t| t.to_spec())
+            .map_err(|e| e.to_string());
+    }
+    let name = args
+        .value("task")
+        .map(str::to_string)
+        .or_else(|| args.positionals.first().cloned())
+        .ok_or_else(|| "name a task (e.g. `wsb`) or pass --spec n,m,l,u".to_string())?;
+    let n = args.require_usize("n")?;
+    named_task(&name, n, args.usize_value("k")?).map_err(|e| e.to_string())
+}
+
+fn emit(verdict: &Verdict, json: bool) {
+    if json {
+        print!("{}", verdict.to_json());
+    } else {
+        println!("{verdict}");
+        println!("  evidence:   {}", verdict.evidence);
+        println!(
+            "  provenance: {} via [{}]{}",
+            verdict.provenance.question,
+            verdict.provenance.engines.join(", "),
+            if verdict.provenance.cache_hit {
+                " (cached)"
+            } else {
+                ""
+            }
+        );
+        println!(
+            "  stats:      {:.3} ms{}{}",
+            verdict.stats.wall.as_secs_f64() * 1e3,
+            if verdict.stats.evidence_checked {
+                ", evidence re-checked"
+            } else {
+                ""
+            },
+            match verdict.stats.simulated_runs {
+                0 => String::new(),
+                runs => format!(", {runs} simulator replays"),
+            }
+        );
+    }
+}
+
+fn run_query(query: Query) -> Result<Verdict, String> {
+    query.run().map_err(|e| render_error(&e))
+}
+
+fn render_error(e: &Error) -> String {
+    match e {
+        Error::Disagreement { question, details } => {
+            format!("cross-engine disagreement on {question}: {details} (this is a bug)")
+        }
+        other => other.to_string(),
+    }
+}
+
+fn classify(args: &Args) -> Result<(), String> {
+    let spec = resolve_spec(args)?;
+    let mut query = Query::classify(spec);
+    if let Some(rounds) = args.usize_value("agree")? {
+        query.opts_mut().agreement_rounds = Some(rounds);
+    }
+    let verdict = run_query(query)?;
+    emit(&verdict, args.switch("json"));
+    Ok(())
+}
+
+fn parse_engine(args: &Args) -> Result<SearchEngine, String> {
+    match args.value("engine") {
+        None | Some("cdcl") => Ok(SearchEngine::Cdcl),
+        Some("reference") => Ok(SearchEngine::Reference),
+        Some("both") => Ok(SearchEngine::Both),
+        Some(other) => Err(format!(
+            "unknown engine '{other}' (cdcl, reference, or both)"
+        )),
+    }
+}
+
+fn solvable(args: &Args) -> Result<(), String> {
+    let spec = resolve_spec(args)?;
+    let rounds = args.require_usize("rounds")?;
+    let mut query = Query::solvable_in_rounds(spec, rounds);
+    query.opts_mut().search = parse_engine(args)?;
+    let verdict = run_query(query)?;
+    emit(&verdict, args.switch("json"));
+    Ok(())
+}
+
+fn frontier(args: &Args) -> Result<(), String> {
+    let spec = resolve_spec(args)?;
+    let max_rounds = args.require_usize("rounds")?;
+    let engine = parse_engine(args)?;
+    let mut verdicts = Vec::with_capacity(max_rounds + 1);
+    for rounds in 0..=max_rounds {
+        let mut query = Query::solvable_in_rounds(spec.clone(), rounds);
+        query.opts_mut().search = engine;
+        verdicts.push(run_query(query)?);
+    }
+    if args.switch("json") {
+        let report = Json::Arr(verdicts.iter().map(Verdict::to_json_value).collect());
+        print!("{}", report.render());
+        return Ok(());
+    }
+    println!("Solvability frontier for {spec}:");
+    println!(
+        "{:<8} {:<10} {:>10} {:>12}",
+        "rounds", "verdict", "conflicts", "wall"
+    );
+    for (rounds, verdict) in verdicts.iter().enumerate() {
+        let (answer, conflicts) = match verdict.evidence.decision_map() {
+            Some(map) => (
+                "SAT".to_string(),
+                format!("{} classes", map.classes().len()),
+            ),
+            None => (
+                "UNSAT".to_string(),
+                verdict
+                    .stats
+                    .search
+                    .map_or_else(String::new, |s| s.conflicts.to_string()),
+            ),
+        };
+        println!(
+            "{rounds:<8} {answer:<10} {conflicts:>10} {:>9.3} ms",
+            verdict.stats.wall.as_secs_f64() * 1e3
+        );
+    }
+    if let Some(last) = verdicts.last() {
+        println!(
+            "\noverall: {} ({})",
+            last.solvability
+                .map_or_else(|| "—".to_string(), |s| s.to_string()),
+            last.provenance.justification
+        );
+    }
+    Ok(())
+}
+
+fn witness(args: &Args) -> Result<(), String> {
+    let spec = resolve_spec(args)?;
+    let mut query = Query::no_comm_witness(spec);
+    query.opts_mut().simulate_witness = args.switch("simulate");
+    let verdict = run_query(query)?;
+    if !args.switch("json") {
+        if let Some(map) = verdict.evidence.witness() {
+            println!("witness (identity → value): {map:?}");
+        }
+    }
+    emit(&verdict, args.switch("json"));
+    Ok(())
+}
+
+fn certify(args: &Args) -> Result<(), String> {
+    let spec = resolve_spec(args)?;
+    let rounds = args.require_usize("rounds")?;
+    let verdict = run_query(Query::certificate(spec, rounds))?;
+    emit(&verdict, args.switch("json"));
+    Ok(())
+}
+
+fn atlas(args: &Args) -> Result<(), String> {
+    let max_n = args
+        .usize_value("max-n")?
+        .or(args
+            .positionals
+            .first()
+            .map(|p| p.parse::<usize>().map_err(|_| format!("bad max_n '{p}'")))
+            .transpose()?)
+        .ok_or_else(|| "pass the largest n to sweep, e.g. `gsb atlas 9`".to_string())?;
+    let verdict = run_query(Query::atlas(max_n))?;
+    if args.switch("json") {
+        print!("{}", verdict.to_json());
+        return Ok(());
+    }
+    let rows = verdict
+        .evidence
+        .atlas_rows()
+        .ok_or_else(|| "atlas produced unexpected evidence".to_string())?;
+    if args.switch("rows") {
+        println!("{:<24} {:<30} justification", "task", "verdict");
+        for row in rows {
+            println!(
+                "{:<24} {:<30} {}",
+                row.task.to_string(),
+                row.solvability.to_string(),
+                row.justification
+            );
+        }
+        println!();
+    }
+    let mut totals: BTreeMap<String, usize> = BTreeMap::new();
+    for row in rows {
+        *totals.entry(row.solvability.to_string()).or_default() += 1;
+    }
+    println!(
+        "Atlas through n = {max_n}: {} feasible tasks ({:.3} ms{})",
+        rows.len(),
+        verdict.stats.wall.as_secs_f64() * 1e3,
+        if verdict.stats.evidence_checked {
+            ", every row re-checked"
+        } else {
+            ""
+        }
+    );
+    for (verdict_label, count) in totals {
+        println!("  {verdict_label:<32} {count}");
+    }
+    Ok(())
+}

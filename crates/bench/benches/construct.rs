@@ -1,0 +1,29 @@
+//! Criterion bench: streaming vs. reference subdivision construction on
+//! the `χ²(Δ³)` acceptance row (5,625 facets) and the streaming-only
+//! `χ³(Δ²)` column. The full frontier (including `χ³(Δ³)`) is recorded
+//! by the `construct` bin into `BENCH_construct.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsb_topology::{protocol_complex, protocol_complex_reference};
+
+fn construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct");
+    group.bench_function("streaming_chi2_delta3", |b| {
+        b.iter(|| protocol_complex(4, 2).facet_count());
+    });
+    group.bench_function("reference_chi2_delta3", |b| {
+        b.iter(|| {
+            let complex = protocol_complex_reference(4, 2);
+            // The reference pipeline pays its quotient separately; fold
+            // it in for the like-for-like end-to-end comparison.
+            complex.signature_quotient().classes.len()
+        });
+    });
+    group.bench_function("streaming_chi3_delta2", |b| {
+        b.iter(|| protocol_complex(3, 3).facet_count());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, construction);
+criterion_main!(benches);

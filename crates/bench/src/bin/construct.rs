@@ -1,0 +1,69 @@
+//! The **construction bench**: the streaming template-stamping
+//! subdivision pipeline vs. the retained reference builder, recorded in
+//! `BENCH_construct.json` (see `DESIGN.md` §8).
+//!
+//! ```text
+//! cargo run --release -p gsb-bench --bin construct [-- --quick]
+//! ```
+//!
+//! * default — the full suite, including the `χ³(Δ³)` flagship row
+//!   (421,875 facets, ~1 s on one core); use this when refreshing the
+//!   committed `BENCH_construct.json`.
+//! * `--quick` — CI smoke: the sub-100 ms rows only. Either mode fails
+//!   on facet/vertex/class-count drift against the pinned frontier
+//!   (`gsb_bench::CONSTRUCT_PINNED`).
+
+use gsb_bench::{construct_report, write_construct_json};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!(
+        "Protocol-complex construction: streaming pipeline vs. reference builder{}\n",
+        if quick { " (--quick)" } else { "" }
+    );
+    let report = construct_report(quick);
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "complex",
+        "facets",
+        "vertices",
+        "classes",
+        "streaming",
+        "reference",
+        "ref+quot",
+        "build x",
+        "total x"
+    );
+    for row in &report.rows {
+        let wall = |d: Option<std::time::Duration>| {
+            d.map_or("—".to_string(), |d| {
+                format!("{:.3}ms", d.as_secs_f64() * 1e3)
+            })
+        };
+        let ratio = |s: Option<f64>| s.map_or("—".to_string(), |s| format!("{s:.1}x"));
+        println!(
+            "χ^{}(Δ^{})   {:>9} {:>9} {:>9} {:>11.3}ms {:>12} {:>12} {:>8} {:>8}",
+            row.rounds,
+            row.n - 1,
+            row.stats.facets,
+            row.stats.vertices,
+            row.stats.classes,
+            row.streaming_wall.as_secs_f64() * 1e3,
+            wall(row.reference_wall),
+            wall(row.reference_total_wall),
+            ratio(row.build_speedup()),
+            ratio(row.total_speedup()),
+        );
+    }
+    println!(
+        "\n(streaming walls include incremental signature-class tracking: the built \
+         complex carries its quotient; 'ref+quot' adds the reference builder's \
+         separate quotient pass for the like-for-like end-to-end cost.)"
+    );
+
+    let path = std::path::Path::new("BENCH_construct.json");
+    match write_construct_json(&report, path) {
+        Ok(()) => println!("\nRecord written to {}", path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
+}

@@ -640,7 +640,46 @@ pub fn search_suite() -> Vec<(String, gsb_core::GsbSpec, usize, u64, u64)> {
             1_000_000,
             100_000_000,
         ),
+        // The n = 5 frontier, opened by the streaming construction
+        // pipeline: χ(Δ⁴) (541 facets) streams through prep in under a
+        // millisecond. One round renames 5 processes into
+        // n(n+1)/2 = 15 names and provably not into 2n−1 = 9.
+        (
+            "renaming(5,15) r=1".into(),
+            SymmetricGsb::renaming(5, 15)
+                .expect("well-formed")
+                .to_spec(),
+            1,
+            u64::MAX,
+            u64::MAX,
+        ),
+        (
+            "loose_renaming(5) r=1".into(),
+            SymmetricGsb::loose_renaming(5)
+                .expect("well-formed")
+                .to_spec(),
+            1,
+            u64::MAX,
+            u64::MAX,
+        ),
     ]
+}
+
+/// [`search_suite`] plus the heavyweight `--full`-only rows: the
+/// `wsb(3) r = 3` index-lemma UNSAT over `χ³(Δ²)`'s 1,086 classes
+/// (~125k conflicts, seconds of CDCL — kept out of smoke runs and the
+/// test suite, pinned `#[ignore]`d in `tests/search_frontier.rs`).
+#[must_use]
+pub fn search_suite_full() -> Vec<(String, gsb_core::GsbSpec, usize, u64, u64)> {
+    let mut suite = search_suite();
+    suite.push((
+        "wsb(3) r=3".into(),
+        SymmetricGsb::wsb(3).expect("well-formed").to_spec(),
+        3,
+        1_000_000,
+        1_000_000,
+    ));
+    suite
 }
 
 /// How much baseline work [`search_report_budgeted`] may spend per row.
@@ -684,8 +723,12 @@ pub fn search_report(full_baseline: bool) -> SearchReport {
 pub fn search_report_budgeted(budget_mode: BaselineBudget) -> SearchReport {
     use gsb_engine::{EngineOpts, Query};
     use gsb_topology::SymmetricSearch;
+    let suite = match budget_mode {
+        BaselineBudget::Full => search_suite_full(),
+        BaselineBudget::Default | BaselineBudget::Capped(_) => search_suite(),
+    };
     let mut rows = Vec::new();
-    for (instance, spec, rounds, default_budget, full_budget) in search_suite() {
+    for (instance, spec, rounds, default_budget, full_budget) in suite {
         let timing_opts = EngineOpts {
             use_cache: false,
             check_evidence: false,
@@ -746,6 +789,215 @@ pub fn search_report_budgeted(budget_mode: BaselineBudget) -> SearchReport {
 ///
 /// Propagates filesystem errors.
 pub fn write_search_json(report: &SearchReport, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, report.to_json())
+}
+
+/// One row of the construction performance record
+/// (`BENCH_construct.json`): the streaming template-stamping subdivision
+/// builder on `χ^r(Δ^{n−1})`, against the retained reference builder
+/// where that is affordable.
+#[derive(Debug, Clone)]
+pub struct ConstructRow {
+    /// `(n, rounds)` of the subdivision.
+    pub n: usize,
+    /// Protocol rounds.
+    pub rounds: usize,
+    /// Construction counters of the streaming build (facet/vertex/class
+    /// counts, peak frontier rows).
+    pub stats: gsb_topology::BuildStats,
+    /// Streaming build wall time — **includes** the incremental
+    /// signature-class tracking, so the finished complex carries its
+    /// quotient (best of 3).
+    pub streaming_wall: Duration,
+    /// Reference (seed) builder wall time, construction only.
+    pub reference_wall: Option<Duration>,
+    /// Reference builder + quotient computation — the like-for-like
+    /// end-to-end cost of what the streaming build delivers.
+    pub reference_total_wall: Option<Duration>,
+}
+
+impl ConstructRow {
+    /// Streaming speedup over the reference builder's raw construction.
+    #[must_use]
+    pub fn build_speedup(&self) -> Option<f64> {
+        self.reference_wall
+            .map(|r| r.as_secs_f64() / self.streaming_wall.as_secs_f64().max(f64::EPSILON))
+    }
+
+    /// Streaming speedup over reference construction **plus** quotient —
+    /// both sides then produce a complex with its signature classes.
+    #[must_use]
+    pub fn total_speedup(&self) -> Option<f64> {
+        self.reference_total_wall
+            .map(|r| r.as_secs_f64() / self.streaming_wall.as_secs_f64().max(f64::EPSILON))
+    }
+}
+
+/// The machine-readable record emitted as `BENCH_construct.json`.
+#[derive(Debug, Clone)]
+pub struct ConstructReport {
+    /// Per-`(n, r)` construction measurements.
+    pub rows: Vec<ConstructRow>,
+    /// Worker threads available to the chunked fan-out.
+    pub threads: usize,
+}
+
+impl ConstructReport {
+    /// Serializes the report as JSON (hand-rolled; the offline build has
+    /// no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"threads\": ");
+        out.push_str(&self.threads.to_string());
+        out.push_str(",\n  \"complexes\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let wall = |d: Option<Duration>| {
+                d.map_or("null".to_string(), |d| {
+                    format!("{:.3}", d.as_secs_f64() * 1e3)
+                })
+            };
+            let ratio =
+                |s: Option<f64>| s.map_or("null".to_string(), |value| format!("{value:.1}"));
+            out.push_str(&format!(
+                "    {{\n      \"n\": {},\n      \"rounds\": {},\n      \
+                 \"facets\": {},\n      \"vertices\": {},\n      \"classes\": {},\n      \
+                 \"peak_frontier_rows\": {},\n      \"chunks\": {},\n      \
+                 \"streaming_wall_ms\": {:.3},\n      \"reference_wall_ms\": {},\n      \
+                 \"reference_total_wall_ms\": {},\n      \"build_speedup\": {},\n      \
+                 \"total_speedup\": {}\n    }}{}\n",
+                row.n,
+                row.rounds,
+                row.stats.facets,
+                row.stats.vertices,
+                row.stats.classes,
+                row.stats.peak_frontier_rows,
+                row.stats.chunks,
+                row.streaming_wall.as_secs_f64() * 1e3,
+                wall(row.reference_wall),
+                wall(row.reference_total_wall),
+                ratio(row.build_speedup()),
+                ratio(row.total_speedup()),
+                if i + 1 == self.rows.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Pinned `(n, r, facets, vertices, classes)` of the construction
+/// frontier — the drift gate the construction bench enforces in CI
+/// (`--quick`) and in full runs. Mirrored by
+/// `crates/topology/tests/streaming_equivalence.rs`.
+pub const CONSTRUCT_PINNED: &[(usize, usize, usize, usize, usize)] = &[
+    (3, 3, 2_197, 1_140, 1_086),
+    (4, 2, 5_625, 1_124, 865),
+    (4, 3, 421_875, 72_560, 69_250),
+    (5, 1, 541, 80, 15),
+    (5, 2, 292_681, 14_805, 10_945),
+];
+
+/// The construction-bench suite: `(n, rounds, run reference builder)`.
+/// `quick` drops `χ³(Δ³)` (the ~1 s flagship row, still covered by the
+/// full run that produces the committed record) and skips the slower
+/// reference builds.
+#[must_use]
+pub fn construct_suite(quick: bool) -> Vec<(usize, usize, bool)> {
+    if quick {
+        vec![(3, 3, true), (4, 2, true), (5, 1, true), (5, 2, false)]
+    } else {
+        vec![
+            (3, 3, true),
+            (4, 2, true),
+            (4, 3, false),
+            (5, 1, true),
+            (5, 2, true),
+        ]
+    }
+}
+
+/// Benchmarks the streaming subdivision pipeline: best-of-3 streaming
+/// builds (each delivering the complex *with* its signature quotient)
+/// vs. the retained reference builder (timed both bare and with its
+/// quotient computation), with every row's facet/vertex/class counts
+/// checked against [`CONSTRUCT_PINNED`].
+///
+/// # Panics
+///
+/// Panics if any measured row drifts from the pinned counts (that would
+/// mean the subdivision pipeline changed the complexes it builds).
+#[must_use]
+pub fn construct_report(quick: bool) -> ConstructReport {
+    use gsb_topology::{protocol_complex_reference, protocol_complex_with_stats};
+    let mut rows = Vec::new();
+    for (n, rounds, run_reference) in construct_suite(quick) {
+        let mut streaming_wall = Duration::MAX;
+        let mut stats = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let (complex, build_stats) = protocol_complex_with_stats(n, rounds);
+            streaming_wall = streaming_wall.min(start.elapsed());
+            // The quotient must be a lookup on the streamed complex; fold
+            // it into the timed region to keep the row honest end-to-end.
+            assert_eq!(
+                complex.signature_quotient().classes.len(),
+                build_stats.classes
+            );
+            stats = Some(build_stats);
+        }
+        let stats = stats.expect("three timed trials ran");
+        if let Some(&(_, _, facets, vertices, classes)) = CONSTRUCT_PINNED
+            .iter()
+            .find(|&&(pn, pr, ..)| (pn, pr) == (n, rounds))
+        {
+            assert_eq!(
+                (stats.facets, stats.vertices, stats.classes),
+                (facets, vertices, classes),
+                "construction drift at χ^{rounds}(Δ^{})",
+                n - 1
+            );
+        }
+        let (reference_wall, reference_total_wall) = if run_reference {
+            let start = Instant::now();
+            let reference = protocol_complex_reference(n, rounds);
+            let build = start.elapsed();
+            let reference_quotient = reference.signature_quotient();
+            let total = start.elapsed();
+            assert_eq!(reference.facet_count(), stats.facets, "builders disagree");
+            assert_eq!(
+                reference_quotient.classes.len(),
+                stats.classes,
+                "builders disagree on classes"
+            );
+            (Some(build), Some(total))
+        } else {
+            (None, None)
+        };
+        rows.push(ConstructRow {
+            n,
+            rounds,
+            stats,
+            streaming_wall,
+            reference_wall,
+            reference_total_wall,
+        });
+    }
+    ConstructReport {
+        rows,
+        threads: rayon::current_num_threads(),
+    }
+}
+
+/// Writes `BENCH_construct.json` (see [`ConstructReport::to_json`]) to
+/// `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_construct_json(
+    report: &ConstructReport,
+    path: &std::path::Path,
+) -> std::io::Result<()> {
     std::fs::write(path, report.to_json())
 }
 
@@ -833,6 +1085,43 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn construct_report_rows_and_json_shape() {
+        // The quick suite (sub-100 ms rows) exercises the drift gate and
+        // both speedup columns.
+        let report = construct_report(true);
+        assert_eq!(report.rows.len(), construct_suite(true).len());
+        let acceptance = report
+            .rows
+            .iter()
+            .find(|r| (r.n, r.rounds) == (4, 2))
+            .expect("the χ²(Δ³) acceptance row is in every suite");
+        assert!(acceptance.build_speedup().is_some());
+        assert!(acceptance.total_speedup().unwrap() >= acceptance.build_speedup().unwrap());
+        let n5 = report
+            .rows
+            .iter()
+            .find(|r| (r.n, r.rounds) == (5, 2))
+            .expect("the n = 5 reach is in the quick suite");
+        assert!(n5.reference_wall.is_none(), "quick mode skips slow refs");
+        let json = report.to_json();
+        for key in [
+            "\"threads\"",
+            "\"facets\"",
+            "\"peak_frontier_rows\"",
+            "\"streaming_wall_ms\"",
+            "\"reference_wall_ms\"",
+            "\"build_speedup\"",
+            "\"total_speedup\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(
+            json.contains("null"),
+            "skipped references serialize as null"
+        );
     }
 
     #[test]

@@ -15,8 +15,13 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+use std::sync::Arc;
+
 use gsb_core::{Classification, GsbSpec};
-use gsb_topology::{CdclConfig, DecisionMap, SearchResult, SearchStats, SymmetricSearch};
+use gsb_topology::{
+    shared_protocol_complex, CdclConfig, ChromaticComplex, DecisionMap, SearchResult, SearchStats,
+    SymmetricSearch,
+};
 
 /// Hit/miss counters and entry counts of an [`EngineCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -31,6 +36,8 @@ pub struct CacheStats {
     pub witnesses: usize,
     /// Cached round-bounded search verdicts.
     pub searches: usize,
+    /// Protocol complexes served through the engine's construction layer.
+    pub complexes: usize,
 }
 
 /// A cached search verdict: result, replayable witness (SAT only), and
@@ -48,6 +55,7 @@ pub struct EngineCache {
     classifications: Mutex<HashMap<GsbSpec, Classification>>,
     witnesses: Mutex<HashMap<GsbSpec, Option<Vec<usize>>>>,
     searches: Mutex<HashMap<(GsbSpec, usize), SearchEntry>>,
+    complexes: Mutex<HashMap<(usize, usize), Arc<ChromaticComplex>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -149,6 +157,33 @@ impl EngineCache {
         (computed, false)
     }
 
+    /// The streamed protocol complex `χ^rounds(Δ^{n−1})`, served through
+    /// the engine's construction layer: first use per `(n, rounds)` pulls
+    /// the process-wide [`shared_protocol_complex`] build (which carries
+    /// its signature quotient from the streaming pipeline) into this
+    /// cache, so batch fan-outs and repeated queries account construction
+    /// reuse in [`CacheStats`] like every other memo layer.
+    #[must_use]
+    pub fn complex(&self, n: usize, rounds: usize) -> (Arc<ChromaticComplex>, bool) {
+        if let Some(hit) = self
+            .complexes
+            .lock()
+            .expect("complex cache poisoned")
+            .get(&(n, rounds))
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(hit), true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = shared_protocol_complex(n, rounds);
+        self.complexes
+            .lock()
+            .expect("complex cache poisoned")
+            .entry((n, rounds))
+            .or_insert_with(|| Arc::clone(&built));
+        (built, false)
+    }
+
     /// Current counters and entry counts.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
@@ -162,6 +197,7 @@ impl EngineCache {
                 .len(),
             witnesses: self.witnesses.lock().expect("witness cache poisoned").len(),
             searches: self.searches.lock().expect("search cache poisoned").len(),
+            complexes: self.complexes.lock().expect("complex cache poisoned").len(),
         }
     }
 }
@@ -219,6 +255,20 @@ mod tests {
         let (none_again, hit) = cache.no_comm_witness(&wsb);
         assert!(none_again.is_none());
         assert!(hit, "negative answers are cached");
+    }
+
+    #[test]
+    fn complex_layer_serves_the_streamed_build() {
+        let cache = EngineCache::new();
+        let (first, hit1) = cache.complex(3, 1);
+        let (second, hit2) = cache.complex(3, 1);
+        assert!(!hit1);
+        assert!(hit2);
+        assert!(std::sync::Arc::ptr_eq(&first, &second));
+        assert_eq!(first.facet_count(), 13);
+        // The streamed build carries its quotient: this is a lookup.
+        assert_eq!(first.signature_quotient().classes.len(), 6);
+        assert_eq!(cache.stats().complexes, 1);
     }
 
     #[test]

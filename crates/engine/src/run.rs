@@ -374,7 +374,14 @@ fn run_certificate(
     let n = spec.n();
     if n >= 2 && *spec == GsbSpec::election(n)? {
         election_impossibility_certificate(n, rounds).map_err(gsb_topology::Error::from)?;
-        let facets = shared_protocol_complex(n, rounds).facet_count();
+        // The streamed complex, through the engine's construction layer
+        // (accounted in the cache stats) — the certificate above used
+        // the same shared build.
+        let facets = if opts.use_cache {
+            cache.complex(n, rounds).0.facet_count()
+        } else {
+            shared_protocol_complex(n, rounds).facet_count()
+        };
         return Ok(Verdict {
             solvability: Some(Solvability::NotWaitFreeSolvable),
             evidence: Evidence::ElectionCertificate { rounds, facets },

@@ -13,6 +13,7 @@
 //! passes underlying the structural checks allocate nothing per ridge.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, OnceLock};
 
 use crate::views::{View, ViewArena};
 
@@ -81,7 +82,14 @@ pub struct ChromaticComplex {
     n: usize,
     vertices: Vec<Vertex>,
     index: HashMap<Vertex, VertexId>,
-    facets: Vec<Box<[VertexId]>>,
+    /// Flat CSR facet storage: `n` sorted vertex ids per facet, no
+    /// per-facet boxes (421,875 `χ³(Δ³)` facets are one allocation).
+    facet_data: Vec<VertexId>,
+    /// The signature quotient, computed lazily on first demand — or
+    /// attached up front by the streaming subdivision builder, which
+    /// tracks classes incrementally per round; either way
+    /// [`ChromaticComplex::signature_quotient`] is a lookup afterwards.
+    quotient: OnceLock<Arc<SignatureQuotient>>,
 }
 
 impl ChromaticComplex {
@@ -92,7 +100,8 @@ impl ChromaticComplex {
             n,
             vertices: Vec::new(),
             index: HashMap::new(),
-            facets: Vec::new(),
+            facet_data: Vec::new(),
+            quotient: OnceLock::new(),
         }
     }
 
@@ -104,12 +113,43 @@ impl ChromaticComplex {
 
     /// Interns a vertex, returning its id (existing id if already present).
     pub fn intern(&mut self, vertex: Vertex) -> VertexId {
+        // The streaming builder appends via `push_vertex` without
+        // maintaining the dedup index (its vertices are distinct by
+        // construction); re-sync lazily if interning resumes afterwards.
+        if self.index.len() != self.vertices.len() {
+            self.index = self
+                .vertices
+                .iter()
+                .enumerate()
+                .map(|(id, v)| (v.clone(), id as VertexId))
+                .collect();
+        }
         if let Some(&id) = self.index.get(&vertex) {
             return id;
         }
+        // A new vertex invalidates any computed quotient.
+        self.quotient = OnceLock::new();
         let id = VertexId::try_from(self.vertices.len()).expect("vertex ids fit in u32");
         self.vertices.push(vertex.clone());
         self.index.insert(vertex, id);
+        id
+    }
+
+    /// Pre-sizes the vertex and facet stores (the streaming builder
+    /// knows both counts up front).
+    pub(crate) fn reserve(&mut self, vertices: usize, facets: usize) {
+        self.vertices.reserve(vertices);
+        self.facet_data.reserve(facets * self.n);
+    }
+
+    /// Appends a vertex known to be new (the streaming builder's path:
+    /// hash-consed view keys guarantee distinctness, so the dedup index
+    /// is skipped — [`ChromaticComplex::intern`] rebuilds it lazily if
+    /// ever needed again).
+    pub(crate) fn push_vertex(&mut self, vertex: Vertex) -> VertexId {
+        self.quotient = OnceLock::new();
+        let id = VertexId::try_from(self.vertices.len()).expect("vertex ids fit in u32");
+        self.vertices.push(vertex);
         id
     }
 
@@ -128,13 +168,39 @@ impl ChromaticComplex {
         assert_eq!(colors.len(), self.n, "facet colors must be distinct");
         let mut sorted = vertex_ids;
         sorted.sort_unstable();
-        self.facets.push(sorted.into_boxed_slice());
+        self.facet_data.extend_from_slice(&sorted);
+    }
+
+    /// Appends a facet from one **sorted** vertex-id slice whose proper
+    /// coloring the caller guarantees (the streaming builder emits one
+    /// vertex per color by construction; checked in debug builds).
+    pub(crate) fn push_facet_sorted(&mut self, vertex_ids: &[VertexId]) {
+        debug_assert_eq!(vertex_ids.len(), self.n, "facet must have n vertices");
+        debug_assert!(vertex_ids.windows(2).all(|w| w[0] < w[1]), "sorted ids");
+        debug_assert_eq!(
+            vertex_ids
+                .iter()
+                .map(|&v| self.vertices[v as usize].color)
+                .collect::<BTreeSet<u32>>()
+                .len(),
+            self.n,
+            "facet colors must be distinct"
+        );
+        self.facet_data.extend_from_slice(vertex_ids);
     }
 
     /// Deduplicates facets (subdivision builders may generate repeats).
     pub fn dedup_facets(&mut self) {
-        self.facets.sort();
-        self.facets.dedup();
+        let n = self.n.max(1);
+        let mut order: Vec<usize> = (0..self.facet_count()).collect();
+        let data = &self.facet_data;
+        order.sort_unstable_by(|&a, &b| data[a * n..a * n + n].cmp(&data[b * n..b * n + n]));
+        order.dedup_by(|&mut a, &mut b| data[a * n..a * n + n] == data[b * n..b * n + n]);
+        let mut deduped = Vec::with_capacity(order.len() * n);
+        for f in order {
+            deduped.extend_from_slice(&self.facet_data[f * n..f * n + n]);
+        }
+        self.facet_data = deduped;
     }
 
     /// All vertices.
@@ -143,24 +209,61 @@ impl ChromaticComplex {
         &self.vertices
     }
 
-    /// All facets (packed sorted vertex-id slices).
+    /// All facets, as packed sorted vertex-id slices over the flat CSR
+    /// store.
+    pub fn facets(&self) -> std::slice::ChunksExact<'_, VertexId> {
+        self.facet_data.chunks_exact(self.n.max(1))
+    }
+
+    /// One facet's packed sorted vertex ids.
     #[must_use]
-    pub fn facets(&self) -> &[Box<[VertexId]>] {
-        &self.facets
+    pub fn facet(&self, f: usize) -> &[VertexId] {
+        let n = self.n.max(1);
+        &self.facet_data[f * n..f * n + n]
+    }
+
+    /// The flat facet store (`n` sorted ids per facet, concatenated) —
+    /// for consumers that fan windows of facets out in parallel.
+    #[must_use]
+    pub fn facet_data(&self) -> &[VertexId] {
+        &self.facet_data
     }
 
     /// Number of facets.
     #[must_use]
     pub fn facet_count(&self) -> usize {
-        self.facets.len()
+        self.facet_data.len() / self.n.max(1)
     }
 
     /// Quotients the vertex set by view order-isomorphism, interning
     /// signatures once (each canonical [`View`] is materialized exactly
     /// once, when its class first appears) and indexing vertices by dense
     /// class id.
+    ///
+    /// The quotient is computed at most once per complex and shared
+    /// behind an [`Arc`]: complexes from the streaming builder carry the
+    /// classes tracked incrementally during construction, and any other
+    /// complex memoizes the first computation — so the searches,
+    /// replayable-witness checks, and benches that all quotient the same
+    /// shared complex pay for it once.
     #[must_use]
-    pub fn signature_quotient(&self) -> SignatureQuotient {
+    pub fn signature_quotient(&self) -> Arc<SignatureQuotient> {
+        Arc::clone(
+            self.quotient
+                .get_or_init(|| Arc::new(self.compute_quotient())),
+        )
+    }
+
+    /// Attaches a quotient computed during construction (the streaming
+    /// builder's incremental class tracking). Must match what
+    /// [`ChromaticComplex::signature_quotient`] would compute: one class
+    /// entry per vertex, classes in first-appearance order.
+    pub(crate) fn set_quotient(&mut self, quotient: SignatureQuotient) {
+        debug_assert_eq!(quotient.vertex_class.len(), self.vertices.len());
+        self.quotient = OnceLock::from(Arc::new(quotient));
+    }
+
+    fn compute_quotient(&self) -> SignatureQuotient {
         let mut arena = ViewArena::new();
         let mut class_of: HashMap<crate::views::ViewKey, u32> = HashMap::new();
         let mut classes: Vec<View> = Vec::new();
@@ -203,12 +306,13 @@ impl ChromaticComplex {
     /// connected — the second ingredient of Theorem 11's argument.
     #[must_use]
     pub fn is_strongly_connected(&self) -> bool {
-        if self.facets.len() <= 1 {
+        let facet_count = self.facet_count();
+        if facet_count <= 1 {
             return true;
         }
         // Build ridge → facet incidence, then BFS over facets.
         let mut ridge_to_facets: HashMap<RidgeKey, Vec<usize>> = HashMap::new();
-        for (f, facet) in self.facets.iter().enumerate() {
+        for (f, facet) in self.facets().enumerate() {
             for skip in 0..facet.len() {
                 ridge_to_facets
                     .entry(ridge_key(facet, skip))
@@ -216,12 +320,12 @@ impl ChromaticComplex {
                     .push(f);
             }
         }
-        let mut seen = vec![false; self.facets.len()];
+        let mut seen = vec![false; facet_count];
         let mut queue = vec![0usize];
         seen[0] = true;
         let mut reached = 1usize;
         while let Some(f) = queue.pop() {
-            let facet = &self.facets[f];
+            let facet = self.facet(f);
             for skip in 0..facet.len() {
                 if let Some(neighbours) = ridge_to_facets.get(&ridge_key(facet, skip)) {
                     for &g in neighbours {
@@ -234,12 +338,12 @@ impl ChromaticComplex {
                 }
             }
         }
-        reached == self.facets.len()
+        reached == facet_count
     }
 
     fn ridge_incidence(&self) -> HashMap<RidgeKey, usize> {
         let mut counts: HashMap<RidgeKey, usize> = HashMap::new();
-        for facet in &self.facets {
+        for facet in self.facets() {
             for skip in 0..facet.len() {
                 *counts.entry(ridge_key(facet, skip)).or_insert(0) += 1;
             }

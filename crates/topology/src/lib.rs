@@ -36,11 +36,14 @@ pub mod views;
 pub use cdcl::{CdclConfig, SearchStats};
 pub use complex::{ridge_key, ChromaticComplex, RidgeKey, SignatureQuotient, Vertex, VertexId};
 pub use error::{Error, Result};
-pub use protocol::{ordered_bell, protocol_complex, shared_protocol_complex};
+pub use protocol::{
+    ordered_bell, protocol_complex, protocol_complex_reference, protocol_complex_with_stats,
+    shared_protocol_complex, BuildStats,
+};
 #[allow(deprecated)]
 pub use solvability::solvable_in_rounds;
 pub use solvability::{DecisionMap, SearchResult, SymmetricSearch};
 pub use theorem11::{
     check_election_certificate, election_impossibility_certificate, CertificateFailure,
 };
-pub use views::{View, ViewArena, ViewKey};
+pub use views::{ordered_partitions, round_templates, RoundTemplate, View, ViewArena, ViewKey};

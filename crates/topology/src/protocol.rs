@@ -11,10 +11,31 @@
 //! decision map exists on some `χ^r` (see
 //! [`solvability`](crate::solvability)).
 //!
-//! The builder works over a [`ViewArena`]: each round maps facet view
-//! tuples (as `u32` keys) through the ordered partitions, so no recursive
-//! [`View`](crate::views::View) tree is ever cloned; full views are
-//! materialized once per distinct vertex at the end.
+//! **The streaming pipeline** (`χ³(Δ³)`'s 421,875 facets in ~1 s on one
+//! core; see `DESIGN.md` §8):
+//!
+//! * Each ordered partition is precomputed once as a flat
+//!   [`RoundTemplate`] — per-process "sees prefix" index maps — so
+//!   applying a round to a facet is index arithmetic over a reused
+//!   scratch buffer, with no per-process set cloning or re-sorting.
+//! * The facet frontier is a flat CSR-style arena (one `Vec<ViewKey>`,
+//!   `n` keys per row) fanned out in parallel chunks (rayon stand-in;
+//!   single-chunk serial on one core), each chunk deduplicating its rows
+//!   hash-based locally before a serial order-preserving merge — there
+//!   is no global sort+dedup of the frontier.
+//! * Chunk workers never touch the [`ViewArena`]: a new row references
+//!   only previous-round keys, so workers intern candidate view nodes
+//!   into chunk-local tables that the merge step replays into the shared
+//!   arena in chunk order (deterministic whatever the thread count).
+//! * Signature classes are tracked **incrementally per round** (arena
+//!   signatures are memoized per key), so the finished complex carries
+//!   its [`SignatureQuotient`] and
+//!   [`ChromaticComplex::signature_quotient`] is a lookup, not a
+//!   re-walk.
+//!
+//! The seed's tuple-cloning builder is retained as
+//! [`protocol_complex_reference`] — the oracle the streaming pipeline is
+//! equivalence-tested against (`tests/streaming_equivalence.rs`).
 //! [`shared_protocol_complex`] memoizes the finished complex per
 //! `(n, rounds)` behind a process-wide table, mirroring the atlas memo
 //! pattern — repeated searches at the same parameters share one build.
@@ -22,14 +43,319 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use crate::complex::{ChromaticComplex, Vertex};
-use crate::views::{ordered_partitions, ViewArena, ViewKey};
+use rayon::prelude::*;
+
+use crate::complex::{ChromaticComplex, SignatureQuotient, Vertex, VertexId};
+#[cfg(debug_assertions)]
+use crate::views::fx_mix;
+use crate::views::{
+    node_hash_pair, node_hash_seed, ordered_partitions, round_templates, ProbeTable, RoundTemplate,
+    View, ViewArena, ViewKey,
+};
+
+/// Construction counters of one streaming subdivision build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BuildStats {
+    /// Facets of the finished complex.
+    pub facets: usize,
+    /// Distinct vertices of the finished complex.
+    pub vertices: usize,
+    /// View order-isomorphism classes of the finished complex.
+    pub classes: usize,
+    /// Largest deduplicated frontier (in facet rows) held at any round —
+    /// the builder's peak working-set measure.
+    pub peak_frontier_rows: usize,
+    /// Parallel chunks the widest round was fanned out over.
+    pub chunks: usize,
+}
+
+/// Hash of one facet row (a tuple of `n` view keys).
+#[cfg(debug_assertions)]
+fn row_hash(row: &[ViewKey]) -> u64 {
+    let mut hash = row.len() as u64;
+    for &key in row {
+        hash = fx_mix(hash, key.index() as u64);
+    }
+    hash
+}
+
+/// Debug-build invariant check behind the pipeline's no-dedup design:
+/// template stamping is **injective** — a produced row reveals its
+/// parent row (every process's new view contains that process's
+/// previous view) and its schedule (the seen-sets of one row are
+/// exactly the prefix unions of the ordered partition, which they
+/// determine) — so distinct `(parent row, template)` pairs can never
+/// produce equal rows and the frontier needs no deduplication at all.
+/// This replaces the seed's global `sort` + `dedup` of the whole
+/// frontier with an `O(rows)` hash-set sweep that release builds skip.
+#[cfg(debug_assertions)]
+fn assert_rows_distinct(buf: &[ViewKey], n: usize) {
+    let mut starts = ProbeTable::with_capacity(buf.len() / n);
+    for start in (0..buf.len()).step_by(n) {
+        let row = &buf[start..start + n];
+        let hash = row_hash(row);
+        assert!(
+            starts
+                .find(hash, |other| buf[other as usize..][..n] == *row)
+                .is_none(),
+            "template stamping must be injective (duplicate frontier row)"
+        );
+        starts.insert(hash, u32::try_from(start).expect("frontier fits in u32"));
+    }
+}
+
+/// One chunk worker's output: rows over chunk-local node indices, plus
+/// the table of distinct candidate view nodes (whose seen-lists
+/// reference previous-round *global* keys — workers never touch the
+/// shared arena).
+#[derive(Debug, Default)]
+struct ChunkRows {
+    /// Flat rows of chunk-local node indices (`n` per row).
+    rows: Vec<ViewKey>,
+    /// Observer identity of each local node.
+    node_ids: Vec<u32>,
+    /// Concatenated seen-lists of the local nodes (global prev keys).
+    node_seen: Vec<(u32, ViewKey)>,
+    /// Row boundaries into `node_seen`; length `nodes + 1`.
+    node_offsets: Vec<u32>,
+}
+
+/// Fills `scratch` with process `p`'s one-round seen list under
+/// `template` applied to `row` — pure index arithmetic over the
+/// template's prefix map, already identity-sorted — folding the node
+/// content hash along the way. Returns `(observer id, seen length,
+/// content hash)`; the single shared stamping step of the serial and
+/// chunked paths.
+#[inline]
+fn stamp_process(
+    row: &[ViewKey],
+    template: &RoundTemplate,
+    p: usize,
+    scratch: &mut [(u32, ViewKey)],
+) -> (u32, usize, u64) {
+    let seen_of = template.seen_of(p);
+    let id = p as u32 + 1;
+    let mut hash = node_hash_seed(id, seen_of.len());
+    for (slot, &q) in seen_of.iter().enumerate() {
+        let pair = (q + 1, row[q as usize]);
+        hash = node_hash_pair(hash, pair);
+        scratch[slot] = pair;
+    }
+    (id, seen_of.len(), hash)
+}
+
+/// Stamps every template onto every facet row of `chunk`, interning the
+/// produced views into a chunk-local node table.
+fn stamp_chunk(chunk: &[ViewKey], n: usize, templates: &[RoundTemplate]) -> ChunkRows {
+    let mut out = ChunkRows {
+        rows: Vec::with_capacity(chunk.len() * templates.len()),
+        node_offsets: vec![0],
+        ..ChunkRows::default()
+    };
+    // Local hash-consing: content hash → local node indices.
+    let mut node_index = ProbeTable::with_capacity(chunk.len());
+    let mut scratch: Vec<(u32, ViewKey)> = vec![(0, ViewKey::from_index(0)); n];
+    for row in chunk.chunks_exact(n) {
+        for template in templates {
+            for p in 0..n {
+                let (id, len, hash) = stamp_process(row, template, p, &mut scratch);
+                let local = intern_local(&mut out, &mut node_index, id, &scratch[..len], hash);
+                out.rows.push(ViewKey::from_index(local as usize));
+            }
+        }
+    }
+    out
+}
+
+/// Interns `(id, seen)` into the chunk-local node table, returning its
+/// local index.
+fn intern_local(
+    out: &mut ChunkRows,
+    node_index: &mut ProbeTable,
+    id: u32,
+    seen: &[(u32, ViewKey)],
+    hash: u64,
+) -> u32 {
+    if let Some(local) = node_index.find(hash, |local| {
+        let (from, to) = (
+            out.node_offsets[local as usize] as usize,
+            out.node_offsets[local as usize + 1] as usize,
+        );
+        out.node_ids[local as usize] == id && out.node_seen[from..to] == *seen
+    }) {
+        return local;
+    }
+    let local = u32::try_from(out.node_ids.len()).expect("chunk nodes fit in u32");
+    out.node_ids.push(id);
+    out.node_seen.extend_from_slice(seen);
+    out.node_offsets
+        .push(u32::try_from(out.node_seen.len()).expect("chunk nodes fit in u32"));
+    node_index.insert(hash, local);
+    local
+}
+
+/// Applies one subdivision round to the whole frontier. Multi-worker
+/// hosts fan the frontier out in parallel chunks whose local node
+/// tables a serial merge replays into the shared arena in chunk order;
+/// a single worker stamps straight into the arena with no local
+/// indirection. Injectivity of stamping (see [`assert_rows_distinct`])
+/// means the produced rows are distinct by construction — chunks are
+/// contiguous frontier ranges, so the merged row order equals the
+/// serial stamping order whatever the worker count.
+fn advance_round(
+    frontier: &[ViewKey],
+    n: usize,
+    templates: &[RoundTemplate],
+    arena: &mut ViewArena,
+    stats: &mut BuildStats,
+    workers: usize,
+) -> Vec<ViewKey> {
+    let rows = frontier.len() / n;
+    // One chunk per worker; below a few rows per worker the fan-out
+    // overhead outweighs the stamping itself.
+    let chunks = if rows >= 2 * workers { workers } else { 1 };
+    stats.chunks = stats.chunks.max(chunks);
+    let next = if chunks == 1 {
+        let mut next: Vec<ViewKey> = Vec::with_capacity(rows * templates.len() * n);
+        // Fixed-width scratch row: indexed writes, no per-push growth
+        // checks (a template row never exceeds n entries).
+        let mut scratch: Vec<(u32, ViewKey)> = vec![(0, ViewKey::from_index(0)); n];
+        for row in frontier.chunks_exact(n) {
+            for template in templates {
+                for p in 0..n {
+                    let (id, len, hash) = stamp_process(row, template, p, &mut scratch);
+                    next.push(arena.round_prehashed(id, &scratch[..len], hash));
+                }
+            }
+        }
+        next
+    } else {
+        let rows_per_chunk = rows.div_ceil(chunks);
+        let chunk_outputs: Vec<ChunkRows> = frontier
+            .chunks(rows_per_chunk * n)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|chunk| stamp_chunk(chunk, n, templates))
+            .collect();
+        let mut next: Vec<ViewKey> =
+            Vec::with_capacity(chunk_outputs.iter().map(|c| c.rows.len()).sum());
+        for chunk in chunk_outputs {
+            let global: Vec<ViewKey> = (0..chunk.node_ids.len())
+                .map(|local| {
+                    let (from, to) = (
+                        chunk.node_offsets[local] as usize,
+                        chunk.node_offsets[local + 1] as usize,
+                    );
+                    arena.round_from_slice(chunk.node_ids[local], &chunk.node_seen[from..to])
+                })
+                .collect();
+            next.extend(chunk.rows.iter().map(|&local| global[local.index()]));
+        }
+        next
+    };
+    #[cfg(debug_assertions)]
+    assert_rows_distinct(&next, n);
+    stats.peak_frontier_rows = stats.peak_frontier_rows.max(next.len() / n);
+    next
+}
 
 /// Builds the `r`-round IIS protocol complex `χ^r(Δ^{n−1})` for processes
-/// with identities `1..n`.
+/// with identities `1..n`, returning the construction counters alongside
+/// the complex. See [`protocol_complex`].
 ///
-/// Facet counts grow as (ordered Bell number of `n`)^`r` before
-/// deduplication — keep `n ≤ 4`, `r ≤ 2` for interactive use.
+/// # Panics
+///
+/// Panics if `n = 0`.
+#[must_use]
+pub fn protocol_complex_with_stats(n: usize, rounds: usize) -> (ChromaticComplex, BuildStats) {
+    protocol_complex_with_workers(n, rounds, rayon::current_num_threads().max(1))
+}
+
+/// [`protocol_complex_with_stats`] with an explicit chunk-fan-out width
+/// (normally `rayon::current_num_threads()`) — kept injectable so the
+/// test suite exercises the multi-chunk stamping/merge path even on the
+/// 1-core containers CI runs on.
+fn protocol_complex_with_workers(
+    n: usize,
+    rounds: usize,
+    workers: usize,
+) -> (ChromaticComplex, BuildStats) {
+    assert!(n > 0, "need at least one process");
+    let templates = round_templates(n);
+    let mut arena = ViewArena::new();
+    let mut stats = BuildStats::default();
+    // Facet frontier: flat CSR rows of per-process view keys.
+    let mut frontier: Vec<ViewKey> = (1..=n as u32).map(|id| arena.initial(id)).collect();
+    stats.peak_frontier_rows = 1;
+    for _ in 0..rounds {
+        let keys_before = arena.len();
+        frontier = advance_round(&frontier, n, &templates, &mut arena, &mut stats, workers);
+        // Incremental class tracking: canonical signatures of this
+        // round's new views are computed (and memoized) now, so the
+        // final quotient assembly below is pure lookup.
+        for index in keys_before..arena.len() {
+            arena.signature(ViewKey::from_index(index));
+        }
+    }
+    // Materialize: one vertex per distinct (color, key), classes in
+    // vertex first-appearance order — exactly the order
+    // `compute_quotient` would produce, so the attached quotient is
+    // indistinguishable from a recomputation.
+    let mut complex = ChromaticComplex::new(n);
+    complex.reserve(arena.len(), frontier.len() / n);
+    // Dense key → vertex map (keys are arena indices); u32::MAX = unseen.
+    let mut vertex_of: Vec<VertexId> = vec![VertexId::MAX; arena.len()];
+    // Dense signature-key → class map (signature keys are arena indices).
+    let mut class_of_signature: Vec<u32> = vec![u32::MAX; arena.len()];
+    let mut classes: Vec<View> = Vec::new();
+    let mut vertex_class: Vec<u32> = Vec::new();
+    let mut facet: Vec<VertexId> = Vec::with_capacity(n);
+    for row in frontier.chunks_exact(n) {
+        facet.clear();
+        for (color, &key) in (1..=n as u32).zip(row) {
+            let mut vertex = vertex_of[key.index()];
+            if vertex == VertexId::MAX {
+                // Hash-consing guarantees a fresh key is a fresh vertex.
+                vertex = complex.push_vertex(Vertex {
+                    color,
+                    view: arena.view(key),
+                });
+                let signature = arena.signature(key);
+                vertex_of[key.index()] = vertex;
+                let mut class = class_of_signature[signature.index()];
+                if class == u32::MAX {
+                    class = u32::try_from(classes.len()).expect("classes fit in u32");
+                    classes.push(arena.view(signature));
+                    class_of_signature[signature.index()] = class;
+                }
+                vertex_class.push(class);
+            }
+            facet.push(vertex);
+        }
+        facet.sort_unstable();
+        complex.push_facet_sorted(&facet);
+    }
+    stats.facets = complex.facet_count();
+    stats.vertices = complex.vertices().len();
+    stats.classes = classes.len();
+    complex.set_quotient(SignatureQuotient {
+        classes,
+        vertex_class,
+    });
+    (complex, stats)
+}
+
+/// Builds the `r`-round IIS protocol complex `χ^r(Δ^{n−1})` for processes
+/// with identities `1..n` through the streaming template-stamping
+/// pipeline (see the module docs). The finished complex carries its
+/// signature quotient, so
+/// [`signature_quotient`](ChromaticComplex::signature_quotient) on it is
+/// a lookup.
+///
+/// Facet counts grow as (ordered Bell number of `n`)^`r`; the streaming
+/// builder keeps `n ≤ 4, r ≤ 3` and `n = 5, r ≤ 2` interactive (χ³(Δ³)'s
+/// 421,875 facets build in about a second on one core — `BENCH_construct.json`
+/// has the record).
 ///
 /// # Panics
 ///
@@ -45,6 +371,19 @@ use crate::views::{ordered_partitions, ViewArena, ViewKey};
 /// ```
 #[must_use]
 pub fn protocol_complex(n: usize, rounds: usize) -> ChromaticComplex {
+    protocol_complex_with_stats(n, rounds).0
+}
+
+/// The seed's tuple-cloning subdivision builder, retained verbatim as
+/// the reference oracle for the streaming pipeline
+/// (`tests/streaming_equivalence.rs` asserts facet-level equality after
+/// canonical ordering) and as the baseline of the construction bench.
+///
+/// # Panics
+///
+/// Panics if `n = 0`.
+#[must_use]
+pub fn protocol_complex_reference(n: usize, rounds: usize) -> ChromaticComplex {
     assert!(n > 0, "need at least one process");
     let ids: Vec<u32> = (1..=n as u32).collect();
     let partitions = ordered_partitions(&ids);
@@ -80,7 +419,7 @@ pub fn protocol_complex(n: usize, rounds: usize) -> ChromaticComplex {
     }
     // Materialize: one recursive View per distinct (color, key) vertex.
     let mut complex = ChromaticComplex::new(n);
-    let mut vertex_of: HashMap<ViewKey, crate::complex::VertexId> = HashMap::new();
+    let mut vertex_of: HashMap<ViewKey, VertexId> = HashMap::new();
     for views in &frontier {
         let facet: Vec<_> = ids
             .iter()
@@ -105,8 +444,8 @@ pub fn protocol_complex(n: usize, rounds: usize) -> ChromaticComplex {
 
 /// The process-wide memoized `χ^r(Δ^{n−1})`: built once per `(n, rounds)`
 /// and shared behind an [`Arc`] — searches, certificates, and benches at
-/// the same parameters reuse one complex instead of re-running the
-/// subdivision fan-out.
+/// the same parameters reuse one complex (and its attached signature
+/// quotient) instead of re-running the subdivision fan-out.
 #[must_use]
 pub fn shared_protocol_complex(n: usize, rounds: usize) -> Arc<ChromaticComplex> {
     type Cache = Mutex<HashMap<(usize, usize), Arc<ChromaticComplex>>>;
@@ -242,5 +581,61 @@ mod tests {
         let fresh = protocol_complex(3, 1);
         assert_eq!(a.facet_count(), fresh.facet_count());
         assert_eq!(a.vertices().len(), fresh.vertices().len());
+    }
+
+    #[test]
+    fn build_stats_reflect_the_construction() {
+        let (complex, stats) = protocol_complex_with_stats(3, 2);
+        assert_eq!(stats.facets, complex.facet_count());
+        assert_eq!(stats.vertices, complex.vertices().len());
+        assert_eq!(stats.classes, complex.signature_quotient().classes.len());
+        // The final frontier is the facet set, and it is the largest.
+        assert_eq!(stats.peak_frontier_rows, complex.facet_count());
+        assert!(stats.chunks >= 1);
+    }
+
+    #[test]
+    fn chunked_fanout_is_identical_to_serial_stamping() {
+        // The multi-chunk path (chunk-local node tables + serial merge)
+        // is unreachable through the public API on a 1-core host, so
+        // force it: chunks are contiguous frontier ranges replayed in
+        // order, hence the build must be bit-identical to the serial
+        // one — same facet rows, same vertex numbering, same classes.
+        for workers in [2usize, 3, 5] {
+            let (serial, serial_stats) = protocol_complex_with_workers(3, 2, 1);
+            let (chunked, chunked_stats) = protocol_complex_with_workers(3, 2, workers);
+            assert!(chunked_stats.chunks > 1, "fan-out engaged ({workers})");
+            assert_eq!(serial_stats.facets, chunked_stats.facets);
+            assert_eq!(serial.facet_data(), chunked.facet_data());
+            assert_eq!(serial.vertices(), chunked.vertices());
+            let sq = serial.signature_quotient();
+            let cq = chunked.signature_quotient();
+            assert_eq!(sq.classes, cq.classes);
+            assert_eq!(sq.vertex_class, cq.vertex_class);
+        }
+        // A width wider than the frontier rows degrades to one chunk.
+        let (wide, wide_stats) = protocol_complex_with_workers(2, 1, 64);
+        assert_eq!(wide_stats.chunks, 1);
+        assert_eq!(wide.facet_count(), 3);
+    }
+
+    #[test]
+    fn streamed_quotient_matches_recomputation() {
+        // The builder-attached quotient must be indistinguishable from
+        // what the complex would compute from scratch: same classes in
+        // the same order, same per-vertex class ids.
+        let streamed = protocol_complex(3, 2);
+        let attached = streamed.signature_quotient();
+        let mut scratch = ChromaticComplex::new(3);
+        for facet in streamed.facets() {
+            let vertices: Vec<VertexId> = facet
+                .iter()
+                .map(|&v| scratch.intern(streamed.vertices()[v as usize].clone()))
+                .collect();
+            scratch.add_facet(vertices);
+        }
+        let recomputed = scratch.signature_quotient();
+        assert_eq!(attached.classes, recomputed.classes);
+        assert_eq!(attached.vertex_class, recomputed.vertex_class);
     }
 }

@@ -33,11 +33,13 @@
 //! them in full generality.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use gsb_core::GsbSpec;
+use rayon::prelude::*;
 
 use crate::cdcl::{self, CdclConfig, CdclResult, SearchStats};
-use crate::complex::ChromaticComplex;
+use crate::complex::{ChromaticComplex, SignatureQuotient};
 use crate::error::Error;
 use crate::protocol::{protocol_complex, shared_protocol_complex};
 use crate::views::View;
@@ -129,7 +131,7 @@ impl DecisionMap {
         Ok(DecisionMap {
             n,
             rounds,
-            classes: quotient.classes,
+            classes: quotient.classes.clone(),
             assignment,
         })
     }
@@ -223,7 +225,7 @@ impl DecisionMap {
             }
         }
         let mut counts = vec![0usize; m];
-        for (f, facet) in complex.facets().iter().enumerate() {
+        for (f, facet) in complex.facets().enumerate() {
             counts.iter_mut().for_each(|c| *c = 0);
             for &v in facet.iter() {
                 let fresh_class = quotient.vertex_class[v as usize] as usize;
@@ -263,8 +265,9 @@ pub struct SymmetricSearch {
     /// Round count of the underlying subdivision (`None` when the search
     /// was prepared over an explicit complex of unknown provenance).
     rounds: Option<usize>,
-    /// Canonical signature of each symmetry class.
-    classes: Vec<View>,
+    /// The complex's signature quotient (canonical class signatures plus
+    /// per-vertex class ids), shared with the complex it came from.
+    quotient: Arc<SignatureQuotient>,
     /// Facet constraints as sorted class multisets, deduplicated.
     facet_classes: Vec<Vec<usize>>,
     /// Class occurrence counts (for search ordering).
@@ -293,36 +296,50 @@ impl SymmetricSearch {
     ///
     /// Signatures are interned once per class through the complex's
     /// [`signature_quotient`](ChromaticComplex::signature_quotient) —
-    /// no per-vertex signature clones.
+    /// no per-vertex signature clones. Facet constraints stream through
+    /// per-chunk windows: each window maps its facets to sorted class
+    /// multisets and deduplicates hash-based, so the raw facet list
+    /// (421,875 rows for `χ³(Δ³)`) is never rebuilt as an intermediate
+    /// `Vec<Vec<usize>>` — only the far smaller distinct-constraint set
+    /// is ever materialized.
     #[must_use]
     pub fn over_complex(spec: GsbSpec, complex: &ChromaticComplex) -> Self {
         let quotient = complex.signature_quotient();
         // Facets with the same class multiset impose the same constraint;
         // deduplicating them collapses the subdivision's symmetry and is
         // what makes r = 2 searches tractable.
-        let mut facet_classes: Vec<Vec<usize>> = complex
-            .facets()
-            .iter()
-            .map(|facet| {
-                let mut classes: Vec<usize> = facet
-                    .iter()
-                    .map(|&v| quotient.vertex_class[v as usize] as usize)
-                    .collect();
-                classes.sort_unstable();
-                classes
-            })
-            .collect();
+        let n = complex.n().max(1);
+        let data = complex.facet_data();
+        let facet_count = complex.facet_count();
+        let workers = rayon::current_num_threads().max(1);
+        let mut distinct: HashSet<Vec<usize>> = HashSet::new();
+        if workers > 1 && facet_count >= 2 * workers {
+            // Parallel windows, each deduplicating locally; the serial
+            // merge then unions the (already small) distinct sets.
+            let window = facet_count.div_ceil(workers) * n;
+            let locals: Vec<HashSet<Vec<usize>>> = data
+                .chunks(window)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|window| facet_class_window(window, n, &quotient.vertex_class))
+                .collect();
+            for local in locals {
+                distinct.extend(local);
+            }
+        } else {
+            distinct = facet_class_window(data, n, &quotient.vertex_class);
+        }
+        let mut facet_classes: Vec<Vec<usize>> = distinct.into_iter().collect();
         facet_classes.sort();
-        facet_classes.dedup();
-        let classes = quotient.classes;
-        let mut class_weight = vec![0usize; classes.len()];
+        let classes = quotient.classes.len();
+        let mut class_weight = vec![0usize; classes];
         for facet in &facet_classes {
             for &c in facet {
                 class_weight[c] += 1;
             }
         }
         // Index: which (deduplicated) facets mention each class.
-        let mut class_facets = vec![Vec::new(); classes.len()];
+        let mut class_facets = vec![Vec::new(); classes];
         for (f, facet) in facet_classes.iter().enumerate() {
             for &c in facet {
                 if class_facets[c].last() != Some(&f) {
@@ -333,7 +350,7 @@ impl SymmetricSearch {
         SymmetricSearch {
             spec,
             rounds: None,
-            classes,
+            quotient,
             facet_classes,
             class_weight,
             class_facets,
@@ -343,7 +360,7 @@ impl SymmetricSearch {
     /// The symmetry classes (canonical view signatures).
     #[must_use]
     pub fn classes(&self) -> &[View] {
-        &self.classes
+        &self.quotient.classes
     }
 
     /// The task specification this search decides.
@@ -372,7 +389,7 @@ impl SymmetricSearch {
         Some(DecisionMap {
             n: self.spec.n(),
             rounds,
-            classes: self.classes.clone(),
+            classes: self.quotient.classes.clone(),
             assignment: assignment.to_vec(),
         })
     }
@@ -433,7 +450,7 @@ impl SymmetricSearch {
     /// harness to time out the baseline deterministically.
     #[must_use]
     pub fn solve_reference_budgeted(&self, max_nodes: u64) -> Option<SearchResult> {
-        let k = self.classes.len();
+        let k = self.quotient.classes.len();
         // Order classes by descending weight: most-constrained first.
         let mut order: Vec<usize> = (0..k).collect();
         order.sort_by_key(|&c| std::cmp::Reverse(self.class_weight[c]));
@@ -473,10 +490,10 @@ impl SymmetricSearch {
             .collect();
         // Precedence order mirrors the reference engine's branching
         // order: descending facet-occurrence weight.
-        let mut precedence_order: Vec<u32> = (0..self.classes.len() as u32).collect();
+        let mut precedence_order: Vec<u32> = (0..self.quotient.classes.len() as u32).collect();
         precedence_order.sort_by_key(|&c| std::cmp::Reverse(self.class_weight[c as usize]));
         cdcl::Instance {
-            classes: self.classes.len(),
+            classes: self.quotient.classes.len(),
             values: m,
             lower: (1..=m).map(|v| self.spec.lower(v) as u32).collect(),
             upper: (1..=m).map(|v| self.spec.upper(v) as u32).collect(),
@@ -495,12 +512,14 @@ impl SymmetricSearch {
     /// invariant, so orbit learning never uses an unsound symmetry.
     fn class_symmetries(&self) -> Vec<Vec<u32>> {
         let index: HashMap<&View, u32> = self
+            .quotient
             .classes
             .iter()
             .enumerate()
             .map(|(i, sig)| (sig, i as u32))
             .collect();
         let candidate: Option<Vec<u32>> = self
+            .quotient
             .classes
             .iter()
             .map(|sig| index.get(&sig.reversed_signature()).copied())
@@ -682,6 +701,29 @@ impl SymmetricSearch {
         }
         true
     }
+}
+
+/// Maps one window of facets to its distinct sorted class multisets —
+/// the per-chunk streaming step of
+/// [`SymmetricSearch::over_complex`]'s constraint construction. Only
+/// distinct multisets are ever allocated; duplicates die in the reused
+/// scratch buffer.
+fn facet_class_window(
+    facet_data: &[crate::complex::VertexId],
+    n: usize,
+    vertex_class: &[u32],
+) -> HashSet<Vec<usize>> {
+    let mut distinct: HashSet<Vec<usize>> = HashSet::new();
+    let mut scratch: Vec<usize> = Vec::new();
+    for facet in facet_data.chunks_exact(n) {
+        scratch.clear();
+        scratch.extend(facet.iter().map(|&v| vertex_class[v as usize] as usize));
+        scratch.sort_unstable();
+        if !distinct.contains(scratch.as_slice()) {
+            distinct.insert(scratch.clone());
+        }
+    }
+    distinct
 }
 
 /// Convenience: is `spec` solvable by an `r`-round comparison-based IIS

@@ -67,3 +67,31 @@ fn loose_renaming_n4_solved_in_two_rounds() {
         SearchResult::Unsolvable => panic!("(2n−1)-renaming must be 2-round solvable at n = 4"),
     }
 }
+
+#[test]
+fn renaming_n5_needs_fifteen_names_in_one_round() {
+    // The n = 5 frontier, opened by the streaming construction pipeline
+    // (χ(Δ⁴): 541 facets, 15 classes): one IS round renames five
+    // processes into n(n+1)/2 = 15 names (rank-in-view), and not into
+    // the wait-free optimum of 2n−1 = 9.
+    let fifteen = SymmetricGsb::renaming(5, 15).unwrap().to_spec();
+    let search = SymmetricSearch::new(fifteen.clone(), 1);
+    let result = search.solve();
+    assert!(result.is_solvable());
+    // The witness replays facet-by-facet on a fresh complex.
+    let map = search.decision_map(&result).expect("SAT with known rounds");
+    map.check(&fifteen).expect("genuine witness must replay");
+    let nine = SymmetricGsb::loose_renaming(5).unwrap().to_spec();
+    assert!(!SymmetricSearch::new(nine, 1).solve().is_solvable());
+}
+
+#[test]
+#[ignore = "χ³(Δ²) UNSAT over 1,086 classes: ~125k conflicts, ~7 s of release-build CDCL \
+            (minutes under debug); the --full search bench records it in BENCH_search.json"]
+fn wsb_n3_r3_unsat_certificate() {
+    // One round deeper than the r = 2 frontier row: the index-lemma
+    // UNSAT still holds on χ³(Δ²), whose 2,197 facets stream through
+    // construction and constraint prep in milliseconds.
+    let wsb = SymmetricGsb::wsb(3).unwrap().to_spec();
+    assert!(!solvable_in_rounds(&wsb, 3).is_solvable());
+}

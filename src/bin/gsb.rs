@@ -7,6 +7,7 @@
 //! gsb witness  <task> --n N [--simulate] [--json]
 //! gsb certify  <task> --n N --rounds R [--json]
 //! gsb atlas    <max_n> [--rows] [--json]
+//! gsb complex  <n> <r> [--json]
 //! gsb tasks
 //! ```
 //!
@@ -31,6 +32,7 @@ USAGE:
   gsb witness  <task> --n N [--simulate] [--json]
   gsb certify  <task> --n N --rounds R [--json]
   gsb atlas    <max_n> [--rows] [--json]
+  gsb complex  <n> <r> [--json]
   gsb tasks
 
 OPTIONS:
@@ -43,6 +45,10 @@ OPTIONS:
   --simulate     replay witness evidence through the simulator (witness)
   --rows         print every atlas row, not just the totals
   --json         emit the machine-readable verdict report
+
+`gsb complex <n> <r>` builds χ^r(Δ^{n−1}) through the streaming
+subdivision pipeline and prints facet/vertex/signature-class counts plus
+build time.
 
 Run `gsb tasks` for the known task names.";
 
@@ -134,6 +140,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
         "witness" => witness(&rest),
         "certify" | "certificate" => certify(&rest),
         "atlas" => atlas(&rest),
+        "complex" => complex(&rest),
         "tasks" => {
             println!("Known task names (`gsb classify <name> --n N`):\n");
             for &(name, help) in KNOWN_TASKS {
@@ -323,6 +330,69 @@ fn certify(args: &Args) -> Result<(), String> {
     let rounds = args.require_usize("rounds")?;
     let verdict = run_query(Query::certificate(spec, rounds))?;
     emit(&verdict, args.switch("json"));
+    Ok(())
+}
+
+/// `gsb complex <n> <r>`: builds the protocol complex through the
+/// streaming pipeline and reports its shape and build cost.
+fn complex(args: &Args) -> Result<(), String> {
+    let n = args
+        .usize_value("n")?
+        .or(args
+            .positionals
+            .first()
+            .map(|p| p.parse::<usize>().map_err(|_| format!("bad n '{p}'")))
+            .transpose()?)
+        .ok_or_else(|| "pass the process count, e.g. `gsb complex 4 2`".to_string())?;
+    let rounds = args
+        .usize_value("rounds")?
+        .or(args
+            .positionals
+            .get(1)
+            .map(|p| p.parse::<usize>().map_err(|_| format!("bad r '{p}'")))
+            .transpose()?)
+        .ok_or_else(|| "pass the round count, e.g. `gsb complex 4 2`".to_string())?;
+    if n == 0 {
+        return Err("need at least one process".into());
+    }
+    let start = std::time::Instant::now();
+    let (complex, stats) = gsb_universe::topology::protocol_complex_with_stats(n, rounds);
+    let wall = start.elapsed();
+    // The streamed complex carries its quotient: this is a lookup.
+    let classes = complex.signature_quotient().classes.len();
+    debug_assert_eq!(classes, stats.classes);
+    if args.switch("json") {
+        let report = Json::Obj(vec![
+            ("n".into(), Json::Num(n as f64)),
+            ("rounds".into(), Json::Num(rounds as f64)),
+            ("facets".into(), Json::Num(stats.facets as f64)),
+            ("vertices".into(), Json::Num(stats.vertices as f64)),
+            ("classes".into(), Json::Num(classes as f64)),
+            (
+                "peak_frontier_rows".into(),
+                Json::Num(stats.peak_frontier_rows as f64),
+            ),
+            ("chunks".into(), Json::Num(stats.chunks as f64)),
+            (
+                "build_ms".into(),
+                Json::Num((wall.as_secs_f64() * 1e3 * 1000.0).round() / 1000.0),
+            ),
+        ]);
+        print!("{}", report.render());
+        return Ok(());
+    }
+    println!(
+        "χ^{rounds}(Δ^{}) — the {rounds}-round IIS protocol complex on {n} processes:",
+        n.saturating_sub(1)
+    );
+    println!("  facets:            {}", stats.facets);
+    println!("  vertices:          {}", stats.vertices);
+    println!("  signature classes: {classes}");
+    println!("  peak frontier:     {} rows", stats.peak_frontier_rows);
+    println!(
+        "  built in:          {:.3} ms (streaming pipeline, quotient included)",
+        wall.as_secs_f64() * 1e3
+    );
     Ok(())
 }
 

@@ -23,42 +23,41 @@ fn main() {
     );
     let report = construct_report(quick);
     println!(
-        "{:<10} {:>9} {:>9} {:>9} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "{:<10} {:>9} {:>9} {:>9} {:>10} {:>12} {:>12} {:>12} {:>8} {:>8}",
         "complex",
         "facets",
         "vertices",
         "classes",
+        "orbitrows",
         "streaming",
-        "reference",
-        "ref+quot",
-        "build x",
-        "total x"
+        "str+prep",
+        "fused prep",
+        "total x",
+        "fused x"
     );
     for row in &report.rows {
-        let wall = |d: Option<std::time::Duration>| {
-            d.map_or("—".to_string(), |d| {
-                format!("{:.3}ms", d.as_secs_f64() * 1e3)
-            })
-        };
         let ratio = |s: Option<f64>| s.map_or("—".to_string(), |s| format!("{s:.1}x"));
         println!(
-            "χ^{}(Δ^{})   {:>9} {:>9} {:>9} {:>11.3}ms {:>12} {:>12} {:>8} {:>8}",
+            "χ^{}(Δ^{})   {:>9} {:>9} {:>9} {:>10} {:>11.3}ms {:>11.3}ms {:>11.3}ms {:>8} {:>7.1}x",
             row.rounds,
             row.n - 1,
             row.stats.facets,
             row.stats.vertices,
             row.stats.classes,
+            row.orbit.orbit_rows,
             row.streaming_wall.as_secs_f64() * 1e3,
-            wall(row.reference_wall),
-            wall(row.reference_total_wall),
-            ratio(row.build_speedup()),
+            (row.streaming_wall + row.full_prep_wall).as_secs_f64() * 1e3,
+            row.fused_wall.as_secs_f64() * 1e3,
             ratio(row.total_speedup()),
+            row.fused_speedup(),
         );
     }
     println!(
         "\n(streaming walls include incremental signature-class tracking: the built \
-         complex carries its quotient; 'ref+quot' adds the reference builder's \
-         separate quotient pass for the like-for-like end-to-end cost.)"
+         complex carries its quotient; 'str+prep' adds the complex-side constraint \
+         prep, 'fused prep' is the orbit-quotient pipeline that replaces both — one \
+         lex-leader representative per facet orbit, stamped straight into the solver \
+         instance; 'total x' is streaming vs. the seed reference builder+quotient.)"
     );
 
     let path = std::path::Path::new("BENCH_construct.json");

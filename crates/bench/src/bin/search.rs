@@ -35,20 +35,22 @@ fn main() {
     );
     for row in &report.rows {
         println!(
-            "{:<24} {:>7} {:>7} {:>9} {:>11.3}ms {:>11.1}ms {:>9.0}x{} {}",
+            "{:<24} {:>7} {:>7} {:>9} {:>11.3}ms {:>11.1}ms {:>10}{} {}",
             row.instance,
             row.classes,
             row.facets,
             row.cdcl_stats.conflicts,
             row.cdcl_wall.as_secs_f64() * 1e3,
             row.baseline_wall.as_secs_f64() * 1e3,
-            row.speedup(),
+            row.speedup()
+                .map_or("—".to_string(), |ratio| format!("{ratio:.0}x")),
             if row.baseline_censored { "+" } else { " " },
             if row.solvable { "solvable" } else { "UNSAT" },
         );
     }
     println!(
-        "\n('+' marks censored baselines: the budget ran out, so the speedup is a lower bound.)"
+        "\n('+' marks censored baselines: the budget ran out, so the speedup is a lower \
+         bound; '—' marks tiny rows the baseline wins outright.)"
     );
 
     // The frontier must stay closed, whatever the budgets.

@@ -543,10 +543,15 @@ pub struct SearchBenchRow {
 }
 
 impl SearchBenchRow {
-    /// Baseline-over-CDCL wall ratio (a lower bound when censored).
+    /// Baseline-over-CDCL wall ratio (a lower bound when censored), or
+    /// `None` when the *uncensored* baseline simply won — tiny
+    /// instances where a "0.2×" figure would misread as a regression
+    /// instead of "both sides finish in microseconds".
     #[must_use]
-    pub fn speedup(&self) -> f64 {
-        self.baseline_wall.as_secs_f64() / self.cdcl_wall.as_secs_f64().max(f64::EPSILON)
+    pub fn speedup(&self) -> Option<f64> {
+        let ratio =
+            self.baseline_wall.as_secs_f64() / self.cdcl_wall.as_secs_f64().max(f64::EPSILON);
+        (self.baseline_censored || ratio >= 1.0).then_some(ratio)
     }
 }
 
@@ -573,7 +578,7 @@ impl SearchReport {
                 "    {{\n      \"instance\": \"{}\",\n      \"classes\": {},\n      \
                  \"facets\": {},\n      \"solvable\": {},\n      \
                  \"cdcl_wall_ms\": {:.3},\n      \"baseline_wall_ms\": {:.3},\n      \
-                 \"baseline_censored\": {},\n      \"speedup\": {:.1},\n      \
+                 \"baseline_censored\": {},\n      \"speedup\": {},\n      \
                  \"conflicts\": {},\n      \"decisions\": {},\n      \
                  \"propagations\": {},\n      \"learned\": {},\n      \
                  \"symmetric_images\": {},\n      \"restarts\": {}\n    }}{}\n",
@@ -584,7 +589,8 @@ impl SearchReport {
                 row.cdcl_wall.as_secs_f64() * 1e3,
                 row.baseline_wall.as_secs_f64() * 1e3,
                 row.baseline_censored,
-                row.speedup(),
+                row.speedup()
+                    .map_or("null".to_string(), |ratio| format!("{ratio:.1}")),
                 s.conflicts,
                 s.decisions,
                 s.propagations,
@@ -679,6 +685,20 @@ pub fn search_suite_full() -> Vec<(String, gsb_core::GsbSpec, usize, u64, u64)> 
         1_000_000,
         1_000_000,
     ));
+    // The first n = 5, r = 2 frontier row, opened by the orbit-quotient
+    // instance prep: a symmetric decision map for (2n−1)-renaming
+    // (9 names) on χ²(Δ⁴) — 10,945 classes, 292,681 facet constraints.
+    // One round provably needs 15 names; two reach the wait-free
+    // optimum. Minutes of 1-core CDCL, so `--full` only.
+    suite.push((
+        "loose_renaming(5) r=2".into(),
+        SymmetricGsb::loose_renaming(5)
+            .expect("well-formed")
+            .to_spec(),
+        2,
+        1_000_000,
+        1_000_000,
+    ));
     suite
 }
 
@@ -736,13 +756,18 @@ pub fn search_report_budgeted(budget_mode: BaselineBudget) -> SearchReport {
         };
         let mut cdcl_wall = Duration::MAX;
         let mut outcome = None;
-        for _ in 0..3 {
+        for trial in 0..3 {
             let query =
                 Query::solvable_in_rounds(spec.clone(), rounds).with_opts(timing_opts.clone());
             let start = Instant::now();
             let verdict = query.run().expect("the engine answers the bench suite");
             cdcl_wall = cdcl_wall.min(start.elapsed());
             outcome = Some(verdict);
+            // Heavyweight frontier rows (minutes of CDCL) run once;
+            // best-of-3 is for the rows where scheduler noise matters.
+            if trial == 0 && cdcl_wall > Duration::from_secs(10) {
+                break;
+            }
         }
         let verdict = outcome.expect("three timed trials ran");
         // Untimed verification pass on the held verdict: SAT witnesses
@@ -814,6 +839,18 @@ pub struct ConstructRow {
     /// Reference builder + quotient computation — the like-for-like
     /// end-to-end cost of what the streaming build delivers.
     pub reference_total_wall: Option<Duration>,
+    /// Orbit-quotient counters of the fused instance prep (exact
+    /// facet/class counts via orbit–stabilizer, representative rows,
+    /// stamped rows).
+    pub orbit: gsb_topology::OrbitBuildStats,
+    /// Fused orbit-quotient instance prep wall time (streams orbit
+    /// representatives straight into the solver's constraint system —
+    /// no complex is materialized; best of 3).
+    pub fused_wall: Duration,
+    /// Full-pipeline instance prep on top of the streamed complex
+    /// (`ConstraintSystem::from_complex`) — what the fused path
+    /// replaces end to end.
+    pub full_prep_wall: Duration,
 }
 
 impl ConstructRow {
@@ -830,6 +867,22 @@ impl ConstructRow {
     pub fn total_speedup(&self) -> Option<f64> {
         self.reference_total_wall
             .map(|r| r.as_secs_f64() / self.streaming_wall.as_secs_f64().max(f64::EPSILON))
+    }
+
+    /// Fused-prep speedup over the full construction→instance path
+    /// (streaming build + complex-side constraint prep) — both sides
+    /// then hand the solver the byte-identical instance.
+    #[must_use]
+    pub fn fused_speedup(&self) -> f64 {
+        (self.streaming_wall + self.full_prep_wall).as_secs_f64()
+            / self.fused_wall.as_secs_f64().max(f64::EPSILON)
+    }
+
+    /// Fraction of the full pipeline's stamped rows the orbit pipeline
+    /// stamps (the `≤ 1/20` acceptance lever for `χ³(Δ³)`).
+    #[must_use]
+    pub fn stamp_fraction(&self) -> f64 {
+        self.orbit.stamped_rows as f64 / (self.stats.facets as f64).max(1.0)
     }
 }
 
@@ -862,9 +915,12 @@ impl ConstructReport {
                 "    {{\n      \"n\": {},\n      \"rounds\": {},\n      \
                  \"facets\": {},\n      \"vertices\": {},\n      \"classes\": {},\n      \
                  \"peak_frontier_rows\": {},\n      \"chunks\": {},\n      \
+                 \"orbit_rows\": {},\n      \"stamped_rows\": {},\n      \
                  \"streaming_wall_ms\": {:.3},\n      \"reference_wall_ms\": {},\n      \
-                 \"reference_total_wall_ms\": {},\n      \"build_speedup\": {},\n      \
-                 \"total_speedup\": {}\n    }}{}\n",
+                 \"reference_total_wall_ms\": {},\n      \"fused_prep_wall_ms\": {:.3},\n      \
+                 \"full_prep_wall_ms\": {:.3},\n      \"stamp_fraction\": {:.5},\n      \
+                 \"build_speedup\": {},\n      \
+                 \"total_speedup\": {},\n      \"fused_speedup\": {:.1}\n    }}{}\n",
                 row.n,
                 row.rounds,
                 row.stats.facets,
@@ -872,11 +928,17 @@ impl ConstructReport {
                 row.stats.classes,
                 row.stats.peak_frontier_rows,
                 row.stats.chunks,
+                row.orbit.orbit_rows,
+                row.orbit.stamped_rows,
                 row.streaming_wall.as_secs_f64() * 1e3,
                 wall(row.reference_wall),
                 wall(row.reference_total_wall),
+                row.fused_wall.as_secs_f64() * 1e3,
+                row.full_prep_wall.as_secs_f64() * 1e3,
+                row.stamp_fraction(),
                 ratio(row.build_speedup()),
                 ratio(row.total_speedup()),
+                row.fused_speedup(),
                 if i + 1 == self.rows.len() { "" } else { "," },
             ));
         }
@@ -895,6 +957,20 @@ pub const CONSTRUCT_PINNED: &[(usize, usize, usize, usize, usize)] = &[
     (4, 3, 421_875, 72_560, 69_250),
     (5, 1, 541, 80, 15),
     (5, 2, 292_681, 14_805, 10_945),
+];
+
+/// Pinned orbit-quotient shape `(n, r, orbit_rows, stamped_rows)` — the
+/// representative frontier the fused pipeline holds instead of the full
+/// facet set, and the rows it stamps across all rounds (`χ³(Δ³)`:
+/// 18,429 of 421,875 — under 1/20 of the full pipeline's stampings,
+/// exact thanks to stabilizer-orbit template skipping). Drift-gated by
+/// the construction bench in both modes.
+pub const ORBIT_PINNED: &[(usize, usize, usize, usize)] = &[
+    (3, 3, 380, 417),
+    (4, 2, 281, 289),
+    (4, 3, 18_140, 18_429),
+    (5, 1, 16, 16),
+    (5, 2, 2_961, 2_977),
 ];
 
 /// The construction-bench suite: `(n, rounds, run reference builder)`.
@@ -928,10 +1004,11 @@ pub fn construct_suite(quick: bool) -> Vec<(usize, usize, bool)> {
 /// mean the subdivision pipeline changed the complexes it builds).
 #[must_use]
 pub fn construct_report(quick: bool) -> ConstructReport {
-    use gsb_topology::{protocol_complex_reference, protocol_complex_with_stats};
+    use gsb_topology::{protocol_complex_reference, protocol_complex_with_stats, ConstraintSystem};
     let mut rows = Vec::new();
     for (n, rounds, run_reference) in construct_suite(quick) {
         let mut streaming_wall = Duration::MAX;
+        let mut full_prep_wall = Duration::MAX;
         let mut stats = None;
         for _ in 0..3 {
             let start = Instant::now();
@@ -943,9 +1020,37 @@ pub fn construct_report(quick: bool) -> ConstructReport {
                 complex.signature_quotient().classes.len(),
                 build_stats.classes
             );
+            // The complex-side instance prep the fused path replaces.
+            let start = Instant::now();
+            let system = ConstraintSystem::from_complex(&complex);
+            full_prep_wall = full_prep_wall.min(start.elapsed());
+            std::hint::black_box(system);
             stats = Some(build_stats);
         }
         let stats = stats.expect("three timed trials ran");
+        // The fused orbit-quotient instance prep, timed end to end
+        // (orbit streaming + constraint expansion + canonical class
+        // ordering — everything the solver needs short of the spec).
+        let mut fused_wall = Duration::MAX;
+        let mut orbit = None;
+        let mut fused_system = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let (system, orbit_stats) = ConstraintSystem::streamed(n, rounds);
+            fused_wall = fused_wall.min(start.elapsed());
+            orbit = Some(orbit_stats);
+            fused_system = Some(system);
+        }
+        let orbit = orbit.expect("three timed trials ran");
+        let fused_system = fused_system.expect("three timed trials ran");
+        // Orbit-stabilizer accounting must reproduce the full counts.
+        assert_eq!(
+            (orbit.facets, orbit.vertices, orbit.classes),
+            (stats.facets, stats.vertices, stats.classes),
+            "orbit-quotient counters drifted from the full build at χ^{rounds}(Δ^{})",
+            n - 1
+        );
+        assert_eq!(fused_system.class_count(), stats.classes);
         if let Some(&(_, _, facets, vertices, classes)) = CONSTRUCT_PINNED
             .iter()
             .find(|&&(pn, pr, ..)| (pn, pr) == (n, rounds))
@@ -954,6 +1059,17 @@ pub fn construct_report(quick: bool) -> ConstructReport {
                 (stats.facets, stats.vertices, stats.classes),
                 (facets, vertices, classes),
                 "construction drift at χ^{rounds}(Δ^{})",
+                n - 1
+            );
+        }
+        if let Some(&(_, _, orbit_rows, stamped_rows)) = ORBIT_PINNED
+            .iter()
+            .find(|&&(pn, pr, ..)| (pn, pr) == (n, rounds))
+        {
+            assert_eq!(
+                (orbit.orbit_rows, orbit.stamped_rows),
+                (orbit_rows, stamped_rows),
+                "orbit-quotient drift at χ^{rounds}(Δ^{})",
                 n - 1
             );
         }
@@ -973,14 +1089,60 @@ pub fn construct_report(quick: bool) -> ConstructReport {
         } else {
             (None, None)
         };
-        rows.push(ConstructRow {
+        let row = ConstructRow {
             n,
             rounds,
             stats,
             streaming_wall,
             reference_wall,
             reference_total_wall,
-        });
+            orbit,
+            fused_wall,
+            full_prep_wall,
+        };
+        if (n, rounds) == (4, 3) {
+            // The χ³(Δ³) acceptance lever: the orbit pipeline must stamp
+            // at most 1/20 of the 421,875 full-complex rows.
+            assert!(
+                row.stamp_fraction() <= 1.0 / 20.0,
+                "orbit pipeline stamped {} of {} rows (> 1/20)",
+                row.orbit.stamped_rows,
+                row.stats.facets
+            );
+        }
+        rows.push(row);
+    }
+    if quick {
+        // The flagship χ³(Δ³) row is too heavy for the quick suite on
+        // the streaming/reference side, but the orbit pipeline alone is
+        // ~0.1 s — so quick (CI) mode still drift-gates the flagship
+        // orbit shape and the ≤ 1/20 stamp-fraction acceptance.
+        let (system, orbit) = gsb_topology::ConstraintSystem::streamed(4, 3);
+        let &(_, _, facets, vertices, classes) = CONSTRUCT_PINNED
+            .iter()
+            .find(|&&(pn, pr, ..)| (pn, pr) == (4, 3))
+            .expect("χ³(Δ³) is pinned");
+        assert_eq!(
+            (orbit.facets, orbit.vertices, orbit.classes),
+            (facets, vertices, classes),
+            "χ³(Δ³) orbit-quotient counter drift"
+        );
+        assert_eq!(system.class_count(), classes);
+        let &(_, _, orbit_rows, stamped_rows) = ORBIT_PINNED
+            .iter()
+            .find(|&&(pn, pr, ..)| (pn, pr) == (4, 3))
+            .expect("χ³(Δ³) orbit shape is pinned");
+        assert_eq!(
+            (orbit.orbit_rows, orbit.stamped_rows),
+            (orbit_rows, stamped_rows),
+            "χ³(Δ³) orbit shape drift"
+        );
+        assert!(
+            orbit.stamped_rows as f64 <= orbit.facets as f64 / 20.0,
+            "χ³(Δ³) stamped {} of {} rows (> 1/20)",
+            orbit.stamped_rows,
+            orbit.facets
+        );
     }
     ConstructReport {
         rows,

@@ -19,8 +19,8 @@ use std::sync::Arc;
 
 use gsb_core::{Classification, GsbSpec};
 use gsb_topology::{
-    shared_protocol_complex, CdclConfig, ChromaticComplex, DecisionMap, SearchResult, SearchStats,
-    SymmetricSearch,
+    shared_protocol_complex, CdclConfig, ChromaticComplex, ConstraintSystem, DecisionMap,
+    OrbitFrontier, SearchResult, SearchStats, SymmetricSearch,
 };
 
 /// Hit/miss counters and entry counts of an [`EngineCache`].
@@ -38,6 +38,13 @@ pub struct CacheStats {
     pub searches: usize,
     /// Protocol complexes served through the engine's construction layer.
     pub complexes: usize,
+    /// Cached constraint systems (fused orbit-quotient instance preps).
+    pub systems: usize,
+    /// Orbit frontiers kept for incremental round extension.
+    pub frontiers: usize,
+    /// Frontier sweeps served by extending a cached χ^r frontier to
+    /// χ^{r+1} instead of re-streaming from round 0.
+    pub extensions: u64,
 }
 
 /// A cached search verdict: result, replayable witness (SAT only), and
@@ -56,8 +63,15 @@ pub struct EngineCache {
     witnesses: Mutex<HashMap<GsbSpec, Option<Vec<usize>>>>,
     searches: Mutex<HashMap<(GsbSpec, usize), SearchEntry>>,
     complexes: Mutex<HashMap<(usize, usize), Arc<ChromaticComplex>>>,
+    /// Fused instance preps per `(n, rounds)` — spec-independent, so
+    /// every task searched at the same parameters shares one system.
+    systems: Mutex<HashMap<(usize, usize), Arc<ConstraintSystem>>>,
+    /// Deepest orbit frontier per `n`: frontier sweeps extend it round
+    /// by round instead of re-streaming from round 0.
+    frontiers: Mutex<HashMap<usize, OrbitFrontier>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    extensions: AtomicU64,
 }
 
 impl EngineCache {
@@ -148,7 +162,14 @@ impl EngineCache {
             return (hit.clone(), true);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let computed = solve_cdcl(spec, rounds, config);
+        // The fused orbit-quotient prep, shared across every spec at
+        // the same (n, rounds) and extended incrementally across round
+        // sweeps (uncounted: this search is one logical cache lookup).
+        let (system, _) = self.constraint_system_inner(spec.n(), rounds);
+        let search = SymmetricSearch::with_system(spec.clone(), Some(rounds), system);
+        let (result, stats) = search.solve_with(config);
+        let map = search.decision_map(&result);
+        let computed = (result, map, stats);
         self.searches
             .lock()
             .expect("search cache poisoned")
@@ -184,6 +205,87 @@ impl EngineCache {
         (built, false)
     }
 
+    /// The fused orbit-quotient constraint system for `(n, rounds)`,
+    /// memoized — and **extended incrementally**: if a frontier for `n`
+    /// is cached at a shallower round (a frontier sweep asking r = 0,
+    /// 1, 2, … in turn), it is advanced round by round instead of
+    /// re-streamed from round 0, counted in
+    /// [`CacheStats::extensions`]. Returns the system and whether it
+    /// was served from the cache.
+    #[must_use]
+    pub fn constraint_system(&self, n: usize, rounds: usize) -> (Arc<ConstraintSystem>, bool) {
+        let (system, hit) = self.constraint_system_inner(n, rounds);
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        (system, hit)
+    }
+
+    /// [`EngineCache::constraint_system`] without the shared hit/miss
+    /// accounting — the nested call inside [`EngineCache::search`] (one
+    /// query = one logical lookup, whatever the internal layering).
+    fn constraint_system_inner(&self, n: usize, rounds: usize) -> (Arc<ConstraintSystem>, bool) {
+        if let Some(hit) = self
+            .systems
+            .lock()
+            .expect("system cache poisoned")
+            .get(&(n, rounds))
+        {
+            return (Arc::clone(hit), true);
+        }
+        let system = {
+            let mut frontiers = self.frontiers.lock().expect("frontier cache poisoned");
+            // Double-checked: a racing builder may have populated the
+            // systems map while this thread waited on the frontier lock
+            // (batch fan-outs hit the same (n, rounds) concurrently) —
+            // don't re-run a multi-hundred-ms expansion.
+            if let Some(hit) = self
+                .systems
+                .lock()
+                .expect("system cache poisoned")
+                .get(&(n, rounds))
+            {
+                return (Arc::clone(hit), true);
+            }
+            match frontiers.get_mut(&n) {
+                Some(frontier) if frontier.rounds() <= rounds => {
+                    if frontier.rounds() < rounds {
+                        self.extensions.fetch_add(1, Ordering::Relaxed);
+                        while frontier.rounds() < rounds {
+                            frontier.advance();
+                        }
+                    }
+                    ConstraintSystem::from_orbit_frontier(frontier)
+                }
+                Some(_) => {
+                    // Cached deeper than requested (a downward query):
+                    // build fresh without disturbing the deeper cache.
+                    let mut frontier = OrbitFrontier::new(n);
+                    for _ in 0..rounds {
+                        frontier.advance();
+                    }
+                    ConstraintSystem::from_orbit_frontier(&mut frontier)
+                }
+                None => {
+                    let frontier = frontiers.entry(n).or_insert_with(|| OrbitFrontier::new(n));
+                    while frontier.rounds() < rounds {
+                        frontier.advance();
+                    }
+                    ConstraintSystem::from_orbit_frontier(frontier)
+                }
+            }
+        };
+        let system = Arc::new(system);
+        self.systems
+            .lock()
+            .expect("system cache poisoned")
+            .entry((n, rounds))
+            .or_insert_with(|| Arc::clone(&system));
+        (system, false)
+    }
+
     /// Current counters and entry counts.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
@@ -198,14 +300,24 @@ impl EngineCache {
             witnesses: self.witnesses.lock().expect("witness cache poisoned").len(),
             searches: self.searches.lock().expect("search cache poisoned").len(),
             complexes: self.complexes.lock().expect("complex cache poisoned").len(),
+            systems: self.systems.lock().expect("system cache poisoned").len(),
+            frontiers: self
+                .frontiers
+                .lock()
+                .expect("frontier cache poisoned")
+                .len(),
+            extensions: self.extensions.load(Ordering::Relaxed),
         }
     }
 }
 
-/// One uncached CDCL solve, packaging the SAT witness as a replayable
+/// One uncached CDCL solve through the fused orbit-quotient prep
+/// (`SymmetricSearch::from_spec_streaming` — orbit representatives
+/// stream straight into the solver instance, no complex is ever
+/// materialized), packaging the SAT witness as a replayable
 /// [`DecisionMap`].
 pub(crate) fn solve_cdcl(spec: &GsbSpec, rounds: usize, config: &CdclConfig) -> SearchEntry {
-    let search = SymmetricSearch::new(spec.clone(), rounds);
+    let search = SymmetricSearch::from_spec_streaming(spec.clone(), rounds);
     let (result, stats) = search.solve_with(config);
     let map = search.decision_map(&result);
     (result, map, stats)
@@ -269,6 +381,34 @@ mod tests {
         // The streamed build carries its quotient: this is a lookup.
         assert_eq!(first.signature_quotient().classes.len(), 6);
         assert_eq!(cache.stats().complexes, 1);
+    }
+
+    #[test]
+    fn frontier_sweeps_extend_cached_rounds_incrementally() {
+        let cache = EngineCache::new();
+        let spec = SymmetricGsb::wsb(3).unwrap().to_spec();
+        // r = 0, 1, 2 in turn: the first builds the n = 3 frontier, the
+        // later rounds extend it in place instead of re-streaming.
+        for rounds in 0..=2usize {
+            let (entry, hit) = cache.search(&spec, rounds, &CdclConfig::default());
+            assert!(!hit, "distinct (spec, rounds) keys");
+            assert!(!entry.0.is_solvable(), "WSB n=3 is UNSAT through r=2");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.frontiers, 1, "one cached frontier per n");
+        assert_eq!(stats.systems, 3, "one system per (n, rounds)");
+        assert_eq!(stats.extensions, 2, "r=1 and r=2 extended the cache");
+        // A second task at the same parameters reuses the cached system.
+        let slot = SymmetricGsb::slot(3, 2).unwrap().to_spec();
+        let (_, hit) = cache.search(&slot, 2, &CdclConfig::default());
+        assert!(!hit, "different spec misses the search cache");
+        let after = cache.stats();
+        assert_eq!(after.extensions, 2, "no new streaming work");
+        assert_eq!(after.systems, 3, "the (3, 2) system was shared");
+        // A downward query must not clobber the deeper cached frontier.
+        let (system_low, _) = cache.constraint_system(3, 1);
+        assert_eq!(system_low.class_count(), 6, "χ(Δ²) has 6 classes");
+        assert_eq!(cache.stats().frontiers, 1);
     }
 
     #[test]

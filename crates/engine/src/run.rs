@@ -119,7 +119,16 @@ fn search_at(
         }
         SearchEngine::Reference => Ok((reference()?, false, vec!["reference".into()])),
         SearchEngine::Both => {
-            let (entry, hit) = cdcl(opts.use_cache);
+            // Forced CDCL, bypassing the cache and the tiny-instance
+            // fast path: the whole point of `Both` is a genuine
+            // cdcl-vs-reference diff, and the production front door
+            // routes small instances to the same backtracker as the
+            // reference arm — which would make this check vacuous
+            // exactly where a CDCL setup bug would first appear.
+            let search = SymmetricSearch::from_spec_streaming(spec.clone(), rounds);
+            let (result, stats) = search.solve_cdcl_with(&opts.cdcl);
+            let map = search.decision_map(&result);
+            let entry = (result, map, stats);
             let (ref_result, _, _) = reference()?;
             if entry.0.is_solvable() != ref_result.is_solvable() {
                 return Err(Error::Disagreement {
@@ -130,7 +139,7 @@ fn search_at(
                     ),
                 });
             }
-            Ok((entry, hit, vec!["cdcl".into(), "reference".into()]))
+            Ok((entry, false, vec!["cdcl".into(), "reference".into()]))
         }
     }
 }

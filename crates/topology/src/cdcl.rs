@@ -48,7 +48,8 @@ use std::sync::Mutex;
 /// Built by [`SymmetricSearch`](crate::solvability::SymmetricSearch);
 /// all constraint soundness obligations (facet windows, symmetry
 /// verification, precedence applicability) are discharged there.
-#[derive(Debug, Clone)]
+/// `PartialEq` backs the orbit-vs-full byte-identity equivalence test.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct Instance {
     /// Number of symmetry classes (`k`).
     pub classes: usize,

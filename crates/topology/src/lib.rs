@@ -37,12 +37,13 @@ pub use cdcl::{CdclConfig, SearchStats};
 pub use complex::{ridge_key, ChromaticComplex, RidgeKey, SignatureQuotient, Vertex, VertexId};
 pub use error::{Error, Result};
 pub use protocol::{
-    ordered_bell, protocol_complex, protocol_complex_reference, protocol_complex_with_stats,
-    shared_protocol_complex, BuildStats,
+    ordered_bell, process_permutations, protocol_complex, protocol_complex_reference,
+    protocol_complex_with_stats, shared_protocol_complex, BuildStats, OrbitBuildStats,
+    OrbitFrontier,
 };
 #[allow(deprecated)]
 pub use solvability::solvable_in_rounds;
-pub use solvability::{DecisionMap, SearchResult, SymmetricSearch};
+pub use solvability::{ConstraintSystem, DecisionMap, SearchResult, SymmetricSearch};
 pub use theorem11::{
     check_election_certificate, election_impossibility_certificate, CertificateFailure,
 };

@@ -46,11 +46,9 @@ use std::sync::{Arc, Mutex, OnceLock};
 use rayon::prelude::*;
 
 use crate::complex::{ChromaticComplex, SignatureQuotient, Vertex, VertexId};
-#[cfg(debug_assertions)]
-use crate::views::fx_mix;
 use crate::views::{
-    node_hash_pair, node_hash_seed, ordered_partitions, round_templates, ProbeTable, RoundTemplate,
-    View, ViewArena, ViewKey,
+    fx_mix, node_hash_pair, node_hash_seed, ordered_partitions, round_templates, ProbeTable,
+    RoundTemplate, View, ViewArena, ViewKey,
 };
 
 /// Construction counters of one streaming subdivision build.
@@ -69,8 +67,9 @@ pub struct BuildStats {
     pub chunks: usize,
 }
 
-/// Hash of one facet row (a tuple of `n` view keys).
-#[cfg(debug_assertions)]
+/// Hash of one facet row (a tuple of `n` view keys) — the debug-build
+/// injectivity sweep and the orbit pipeline's canonical-row dedup both
+/// key their probe tables on it.
 fn row_hash(row: &[ViewKey]) -> u64 {
     let mut hash = row.len() as u64;
     for &key in row {
@@ -471,6 +470,613 @@ pub fn shared_protocol_complex(n: usize, rounds: usize) -> Arc<ChromaticComplex>
     )
 }
 
+/// All permutations of the identities `1..=n`, lexicographic —
+/// the process-renaming group `S_n` the orbit-quotient pipeline streams
+/// over (`result[g][i]` = image of identity `i + 1` under element `g`;
+/// element 0 is the identity).
+#[must_use]
+pub fn process_permutations(n: usize) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    let mut current: Vec<u32> = (1..=n as u32).collect();
+    loop {
+        out.push(current.clone());
+        // Classic next-permutation step.
+        let Some(i) = current.windows(2).rposition(|w| w[0] < w[1]) else {
+            break;
+        };
+        let j = current
+            .iter()
+            .rposition(|&x| x > current[i])
+            .expect("a successor exists right of the pivot");
+        current.swap(i, j);
+        current[i + 1..].reverse();
+    }
+    out
+}
+
+/// Construction counters of an orbit-quotient streaming build
+/// ([`OrbitFrontier`]): the full complex's exact counts recovered via
+/// orbit–stabilizer, next to the far smaller representative frontier
+/// actually held in memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OrbitBuildStats {
+    /// Facets of the represented full complex — `Σ n!/|Stab(row)|` over
+    /// the canonical rows, exact by orbit–stabilizer.
+    pub facets: usize,
+    /// Canonical representative rows held at the current round (one per
+    /// `S_n`-orbit of full facets).
+    pub orbit_rows: usize,
+    /// Largest representative frontier held at any round — the orbit
+    /// pipeline's peak working-set measure (the full pipeline's
+    /// equivalent peaks at `facets`).
+    pub peak_orbit_rows: usize,
+    /// Rows stamped across all rounds (representatives × templates) —
+    /// the work the full pipeline pays once per facet.
+    pub stamped_rows: usize,
+    /// Distinct vertices of the represented full complex (filled by the
+    /// constraint expansion).
+    pub vertices: usize,
+    /// View order-isomorphism classes of the represented full complex
+    /// (filled by the constraint expansion).
+    pub classes: usize,
+    /// Subdivision rounds applied.
+    pub rounds: usize,
+}
+
+/// The orbit-level output of [`OrbitFrontier::expand`]: everything a
+/// search instance needs, over canonical class ids. The frontier's
+/// arena (which materializes class views on demand) is obtained
+/// separately — cloned when the frontier stays cached, moved when it is
+/// consumed.
+#[derive(Debug)]
+pub(crate) struct OrbitExpansion {
+    /// Signature key of each class, canonically ordered (ascending
+    /// [`View`] order — the same order the full path sorts into).
+    pub class_keys: Vec<ViewKey>,
+    /// The distinct facet constraints of the **full** complex as sorted
+    /// class multisets, flat (`n` class ids per constraint) and
+    /// family-sorted — byte-identical to what
+    /// [`SymmetricSearch::over_complex`](crate::SymmetricSearch)
+    /// derives from the materialized complex.
+    pub facet_classes: Vec<u32>,
+}
+
+/// Bits per class id when a width-`n` sorted multiset is packed
+/// big-endian into one `u128` (so integer order equals lexicographic
+/// order). Capped at 32; for every reachable complex (`n ≤ 6` leaves 21
+/// bits — 2M classes, far beyond what one core can build) the packing
+/// is exact, and the packers assert it.
+pub(crate) fn multiset_bits(n: usize) -> u32 {
+    u32::try_from(128 / n.max(1)).unwrap_or(32).min(32)
+}
+
+/// Packs a sorted class multiset big-endian; unpacking is
+/// [`unpack_multiset`]. Caller asserts every id fits in `bits`.
+#[inline]
+pub(crate) fn pack_multiset(ids: &[u32], bits: u32) -> u128 {
+    let mut packed = 0u128;
+    for &id in ids {
+        debug_assert!(u128::from(id) < (1u128 << bits), "class id fits packing");
+        packed = (packed << bits) | u128::from(id);
+    }
+    packed
+}
+
+/// Unpacks a [`pack_multiset`] word back into `out` (ascending ids).
+#[inline]
+pub(crate) fn unpack_multiset(packed: u128, bits: u32, out: &mut [u32]) {
+    let mask = (1u128 << bits) - 1;
+    let n = out.len();
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = ((packed >> (bits * u32::try_from(n - 1 - i).expect("width fits"))) & mask) as u32;
+    }
+}
+
+/// The **orbit-quotient streaming frontier**: the subdivision pipeline
+/// of [`protocol_complex`], quotiented by the process-renaming action
+/// *during* generation instead of after it.
+///
+/// Every frontier of `χ^r(Δ^{n−1})` is invariant under `S_n` relabelling
+/// (a permuted execution is an execution), and stamping commutes with
+/// the action: `π · stamp(R, T) = stamp(π·R, π·T)`, with the template
+/// set closed under relabelling. So the frontier can be held as **one
+/// lex-leader representative per orbit**: each round stamps every
+/// template onto every representative, canonicalizes the produced row
+/// (minimum of its `S_n`-images under the arena's key order, via the
+/// memoized [`ViewArena::permute`] machinery), and keeps each canonical
+/// row once with its orbit size `n!/|Stab|` — the stabilizer order
+/// falls out of the same scan as the count of group elements that tie
+/// the minimum. Facet counts and per-class statistics stay *exact* by
+/// orbit–stabilizer, while the held frontier shrinks by up to `n!`
+/// (`χ³(Δ³)`: 421,875 rows → ~19k representatives).
+///
+/// [`OrbitFrontier::expand`] then walks each representative's orbit at
+/// the *class* level — `n` memoized permute+signature lookups per group
+/// element, served from a per-key table — to recover the full complex's
+/// distinct facet constraints without ever materializing a
+/// [`ChromaticComplex`]. The full builder remains the reference oracle
+/// (`tests/orbit_equivalence.rs`), and evidence replay stays on it.
+#[derive(Debug, Clone)]
+pub struct OrbitFrontier {
+    n: usize,
+    arena: ViewArena,
+    templates: Vec<RoundTemplate>,
+    /// `S_n`, lexicographic; `group[g][i]` = image of identity `i + 1`.
+    group: Vec<Vec<u32>>,
+    /// Inverse permutations as 0-based positions: `inverse[g][q]` = the
+    /// process index whose view lands at position `q` under `group[g]`.
+    inverse: Vec<Vec<u32>>,
+    /// Permutation array → group-element index (stabilizer recovery).
+    group_index: HashMap<Vec<u32>, u16>,
+    /// `tmpl_perm[t · n! + g]` = index of the template `group[g] · T_t`.
+    tmpl_perm: Vec<u16>,
+    /// Flat canonical rows, `n` keys per row (position `p` = process
+    /// `p + 1`), one per orbit of the full frontier.
+    rows: Vec<ViewKey>,
+    /// Orbit size (`n!/|Stab|`) of each canonical row.
+    orbit_sizes: Vec<u32>,
+    /// Stabilizer of each canonical row, CSR-packed group indices
+    /// (always led by the identity) — drives the next round's
+    /// template-orbit skipping.
+    stab_offsets: Vec<u32>,
+    stab_data: Vec<u16>,
+    /// Dense permutation-image cache: slot `key · n! + g` holds
+    /// `permute(key, group[g])` (+1; 0 = not yet computed). One indexed
+    /// read on the hot canonicalization path instead of a probe through
+    /// the arena's permutation memo.
+    perm_cache: Vec<u32>,
+    stats: OrbitBuildStats,
+}
+
+/// [`ViewArena::permute`] through a dense `(key, perm-slot)` cache: a
+/// repeat image is one indexed read. `stride` is the caller's slot
+/// count per key; `perm_id` must stably identify `perm`.
+#[inline]
+fn cached_permute(
+    cache: &mut Vec<u32>,
+    arena: &mut ViewArena,
+    key: ViewKey,
+    slot_in_key: usize,
+    stride: usize,
+    perm: &[u32],
+    perm_id: u32,
+) -> ViewKey {
+    let slot = key.index() * stride + slot_in_key;
+    if slot >= cache.len() {
+        // Doubling growth: the arena interns nodes one at a time while
+        // images are computed, and resizing to the exact need each time
+        // would re-copy the multi-megabyte cache per interned node.
+        cache.resize((cache.len() * 2).max(arena.len() * stride).max(slot + 1), 0);
+    }
+    let cached = cache[slot];
+    if cached != 0 {
+        return ViewKey::from_index(cached as usize - 1);
+    }
+    let image = arena.permute(key, perm, perm_id);
+    cache[slot] = u32::try_from(image.index() + 1).expect("arena fits in u32");
+    image
+}
+
+impl OrbitFrontier {
+    /// The round-0 frontier: the single facet of `Δ^{n−1}` (its own
+    /// orbit — the initial row is fixed by every relabelling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n = 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one process");
+        let mut arena = ViewArena::new();
+        let rows: Vec<ViewKey> = (1..=n as u32).map(|id| arena.initial(id)).collect();
+        let group = process_permutations(n);
+        let group_order = group.len();
+        let inverse: Vec<Vec<u32>> = group
+            .iter()
+            .map(|perm| {
+                let mut inv = vec![0u32; n];
+                for (i, &to) in perm.iter().enumerate() {
+                    inv[(to - 1) as usize] = u32::try_from(i).expect("n fits in u32");
+                }
+                inv
+            })
+            .collect();
+        // Group-element index (for converting lex-leader tie cosets
+        // into stabilizers by composition).
+        let group_index: HashMap<Vec<u32>, u16> = group
+            .iter()
+            .enumerate()
+            .map(|(g, perm)| (perm.clone(), u16::try_from(g).expect("group fits in u16")))
+            .collect();
+        let templates = round_templates(n);
+        // tmpl_perm[t · n! + g] = index of π_g · T_t (relabel the
+        // partition's members): stamp(π·R, π·T) = π · stamp(R, T).
+        // Block vectors pack into 3-bit fields (block indices < n ≤ 6),
+        // so the lookup side is one dense array read per permuted
+        // template instead of a hash of the vector.
+        let pack_blocks = |blocks: &[u32]| -> usize {
+            blocks
+                .iter()
+                .enumerate()
+                .map(|(q, &b)| (b as usize) << (3 * q))
+                .sum()
+        };
+        let mut template_of_code = vec![u16::MAX; 1 << (3 * n)];
+        for (t, tpl) in templates.iter().enumerate() {
+            template_of_code[pack_blocks(tpl.block_assignment())] =
+                u16::try_from(t).expect("templates fit in u16");
+        }
+        let mut tmpl_perm = vec![0u16; templates.len() * group_order];
+        let mut permuted_blocks = vec![0u32; n];
+        for (t, tpl) in templates.iter().enumerate() {
+            let blocks = tpl.block_assignment();
+            for (g, perm) in group.iter().enumerate() {
+                for q in 0..n {
+                    permuted_blocks[(perm[q] - 1) as usize] = blocks[q];
+                }
+                tmpl_perm[t * group_order + g] = template_of_code[pack_blocks(&permuted_blocks)];
+            }
+        }
+        OrbitFrontier {
+            n,
+            arena,
+            templates,
+            group,
+            inverse,
+            group_index,
+            tmpl_perm,
+            rows,
+            orbit_sizes: vec![1],
+            // The initial row is fixed by the whole group.
+            stab_offsets: vec![0, u32::try_from(group_order).expect("fits")],
+            stab_data: (0..group_order)
+                .map(|g| u16::try_from(g).expect("fits"))
+                .collect(),
+            perm_cache: Vec::new(),
+            stats: OrbitBuildStats {
+                facets: 1,
+                orbit_rows: 1,
+                peak_orbit_rows: 1,
+                ..OrbitBuildStats::default()
+            },
+        }
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Rounds applied so far.
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.stats.rounds
+    }
+
+    /// Current construction counters (class/vertex counts are filled by
+    /// [`OrbitFrontier::expand`]).
+    #[must_use]
+    pub fn stats(&self) -> OrbitBuildStats {
+        self.stats
+    }
+
+    /// First permutation-memo id unused by this frontier's group
+    /// enumeration (callers needing further ad-hoc permutations on the
+    /// shared arena start here).
+    pub(crate) fn perm_id_base(&self) -> u32 {
+        u32::try_from(self.group.len()).expect("fits in u32")
+    }
+
+    /// Applies one subdivision round at the orbit level: stamps one
+    /// template per `Stab(representative)`-orbit onto every
+    /// representative (duplicate canonical rows arise *exactly* from
+    /// stabilizer-related templates, so nothing else is ever stamped),
+    /// keeps the lex-leader of each produced orbit, and carries the
+    /// orbit's exact size and stabilizer.
+    pub fn advance(&mut self) {
+        let OrbitFrontier {
+            n,
+            arena,
+            templates,
+            group,
+            inverse,
+            group_index,
+            tmpl_perm,
+            rows,
+            orbit_sizes,
+            stab_offsets,
+            stab_data,
+            perm_cache,
+            stats,
+            ..
+        } = self;
+        let n = *n;
+        let group_order = group.len();
+        let mut next_rows: Vec<ViewKey> = Vec::new();
+        let mut next_sizes: Vec<u32> = Vec::new();
+        let mut next_stab_offsets: Vec<u32> = vec![0];
+        let mut next_stab_data: Vec<u16> = Vec::new();
+        let mut dedup = ProbeTable::with_capacity(rows.len() / n * templates.len());
+        // Pre-size the image cache for the keys this round will create
+        // (≈ stamped rows × n new nodes), so growth never re-copies it
+        // mid-round.
+        let expected_nodes = arena.len() + rows.len() * templates.len();
+        if perm_cache.len() < expected_nodes * group_order {
+            perm_cache.resize(expected_nodes * group_order, 0);
+        }
+        let mut scratch: Vec<(u32, ViewKey)> = vec![(0, ViewKey::from_index(0)); n];
+        let mut stamped: Vec<ViewKey> = vec![ViewKey::from_index(0); n];
+        let mut image = stamped.clone();
+        let mut best = stamped.clone();
+        let mut ties: Vec<u16> = Vec::with_capacity(group_order);
+        let mut stab_scratch: Vec<u16> = Vec::with_capacity(group_order);
+        let mut composed: Vec<u32> = vec![0; n];
+        for (r, row) in rows.chunks_exact(n).enumerate() {
+            let stab = &stab_data[stab_offsets[r] as usize..stab_offsets[r + 1] as usize];
+            for (t, template) in templates.iter().enumerate() {
+                // Stamp only the minimum template of each Stab(row)
+                // orbit; the others reproduce the same canonical row.
+                if stab.len() > 1
+                    && stab[1..]
+                        .iter()
+                        .any(|&h| tmpl_perm[t * group_order + h as usize] < t as u16)
+                {
+                    continue;
+                }
+                stats.stamped_rows += 1;
+                for (p, slot) in stamped.iter_mut().enumerate() {
+                    let (id, len, hash) = stamp_process(row, template, p, &mut scratch);
+                    *slot = arena.round_prehashed(id, &scratch[..len], hash);
+                }
+                // Lex-leader scan: minimize the image tuple over the
+                // group, comparing positions lazily. The elements tying
+                // the final minimum form a coset of its stabilizer.
+                best.copy_from_slice(&stamped);
+                ties.clear();
+                ties.push(0);
+                for g in 1..group_order {
+                    let inv = &inverse[g];
+                    let mut verdict = std::cmp::Ordering::Equal;
+                    for pos in 0..n {
+                        let img = cached_permute(
+                            perm_cache,
+                            arena,
+                            stamped[inv[pos] as usize],
+                            g,
+                            group_order,
+                            &group[g],
+                            g as u32,
+                        );
+                        image[pos] = img;
+                        match img.cmp(&best[pos]) {
+                            std::cmp::Ordering::Equal => {}
+                            other => {
+                                verdict = other;
+                                if other == std::cmp::Ordering::Less {
+                                    for rest in pos + 1..n {
+                                        image[rest] = cached_permute(
+                                            perm_cache,
+                                            arena,
+                                            stamped[inv[rest] as usize],
+                                            g,
+                                            group_order,
+                                            &group[g],
+                                            g as u32,
+                                        );
+                                    }
+                                }
+                                break;
+                            }
+                        }
+                    }
+                    match verdict {
+                        std::cmp::Ordering::Less => {
+                            best.copy_from_slice(&image);
+                            ties.clear();
+                            ties.push(u16::try_from(g).expect("group fits in u16"));
+                        }
+                        std::cmp::Ordering::Equal => {
+                            ties.push(u16::try_from(g).expect("group fits in u16"));
+                        }
+                        std::cmp::Ordering::Greater => {}
+                    }
+                }
+                debug_assert_eq!(group_order % ties.len(), 0, "stabilizers divide the group");
+                let hash = row_hash(&best);
+                let start_of = |entry: u32| entry as usize * n;
+                if dedup
+                    .find(hash, |entry| next_rows[start_of(entry)..][..n] == *best)
+                    .is_none()
+                {
+                    let entry = u32::try_from(next_rows.len() / n).expect("rows fit in u32");
+                    dedup.insert(hash, entry);
+                    next_rows.extend_from_slice(&best);
+                    next_sizes
+                        .push(u32::try_from(group_order / ties.len()).expect("orbit fits in u32"));
+                    // Stab(best) = ties ∘ ties[0]⁻¹ (the scan found the
+                    // coset {g : g·stamped = best}).
+                    let t0 = ties[0] as usize;
+                    stab_scratch.clear();
+                    for &t in &ties {
+                        let perm_t = &group[t as usize];
+                        for i in 0..n {
+                            // π_t ∘ π_{t0}⁻¹ applied to i + 1.
+                            composed[i] = perm_t[inverse[t0][i] as usize];
+                        }
+                        stab_scratch.push(group_index[&composed]);
+                    }
+                    stab_scratch.sort_unstable();
+                    debug_assert_eq!(stab_scratch.first(), Some(&0), "stabilizers contain id");
+                    next_stab_data.extend_from_slice(&stab_scratch);
+                    next_stab_offsets
+                        .push(u32::try_from(next_stab_data.len()).expect("fits in u32"));
+                } else {
+                    debug_assert!(
+                        false,
+                        "stabilizer-orbit template skipping removes duplicates"
+                    );
+                }
+            }
+        }
+        *rows = next_rows;
+        *orbit_sizes = next_sizes;
+        *stab_offsets = next_stab_offsets;
+        *stab_data = next_stab_data;
+        stats.rounds += 1;
+        stats.orbit_rows = rows.len() / n;
+        stats.peak_orbit_rows = stats.peak_orbit_rows.max(stats.orbit_rows);
+        stats.facets = orbit_sizes.iter().map(|&s| s as usize).sum();
+    }
+
+    /// Walks every representative's orbit at the class level and
+    /// returns the full complex's distinct facet constraints over
+    /// canonically ordered classes (see [`OrbitExpansion`]), filling
+    /// the vertex/class counters of [`OrbitFrontier::stats`].
+    ///
+    /// The σ∘ρ factorization does the heavy lifting: `sig(π·v) = ρ·σ`
+    /// where `σ = sig(v)` and `ρ` is `π`'s rank pattern on `supp(v)` —
+    /// so one memoized canonical-to-canonical permutation per
+    /// `(σ, pattern)` yields the class key directly, with no image
+    /// vertex ever interned and no second signature pass. Vertex counts
+    /// come from the same factorization: a class of support size `s`
+    /// has exactly `C(n, s)` vertices (one per support), so
+    /// `vertices = Σ_classes C(n, s)`.
+    pub(crate) fn expand(&mut self) -> OrbitExpansion {
+        let OrbitFrontier {
+            n,
+            arena,
+            group,
+            rows,
+            stats,
+            ..
+        } = self;
+        let n = *n;
+        let group_order = group.len();
+        // Distinct representative keys, discovery order.
+        let mut slot_of_key: Vec<u32> = vec![u32::MAX; arena.len()];
+        let mut distinct_keys: Vec<ViewKey> = Vec::new();
+        for &key in rows.iter() {
+            if slot_of_key[key.index()] == u32::MAX {
+                slot_of_key[key.index()] = u32::try_from(distinct_keys.len()).expect("fits in u32");
+                distinct_keys.push(key);
+            }
+        }
+        // For each group element, one bottom-up pass over the reachable
+        // sub-DAG assembles every image with dense child lookups (no
+        // memo probes); class ids then come from the memoized signature
+        // of the image.
+        let closure = arena.reachable_closure(&distinct_keys);
+        let mut column: Vec<u32> = Vec::new();
+        let mut table = vec![0u32; distinct_keys.len() * group_order];
+        let mut sigs: Vec<ViewKey> = Vec::new();
+        let mut sig_slot: Vec<u32> = Vec::new(); // indexed by arena key, grown on demand
+        let bits = multiset_bits(n);
+        for g in 0..group_order {
+            if g > 0 {
+                arena.permute_column(&closure, &group[g], &mut column);
+            }
+            for (slot, &key) in distinct_keys.iter().enumerate() {
+                let image = if g == 0 {
+                    key
+                } else {
+                    ViewKey::from_index(column[key.index()] as usize - 1)
+                };
+                let class_key = arena.signature(image);
+                if sig_slot.len() <= class_key.index() {
+                    sig_slot.resize(class_key.index() + 1, u32::MAX);
+                }
+                if sig_slot[class_key.index()] == u32::MAX {
+                    let id = u32::try_from(sigs.len()).expect("fits in u32");
+                    assert!(
+                        u128::from(id) < (1u128 << bits),
+                        "class count exceeds the {bits}-bit constraint packing at n = {n}"
+                    );
+                    sig_slot[class_key.index()] = id;
+                    sigs.push(class_key);
+                }
+                table[slot * group_order + g] = sig_slot[class_key.index()];
+            }
+        }
+        stats.classes = sigs.len();
+        // One vertex per (class, support): Σ C(n, support size).
+        let mut binomial = vec![0usize; n + 1];
+        for (s, slot) in binomial.iter_mut().enumerate() {
+            let mut value = 1usize;
+            for i in 0..s {
+                value = value * (n - i) / (i + 1);
+            }
+            *slot = value;
+        }
+        stats.vertices = sigs
+            .iter()
+            .map(|&sig| binomial[arena.support_len(sig) as usize])
+            .sum();
+        // Canonical class order: ascending view order, matching the
+        // full path's sort of materialized signature views — computed
+        // as bulk layered ranks over the whole arena, then the class
+        // table is rewritten to canonical ids up front so constraints
+        // need no post-hoc remap.
+        let ranks = arena.view_order_ranks();
+        let mut order: Vec<u32> = (0..u32::try_from(sigs.len()).expect("fits in u32")).collect();
+        order.sort_unstable_by_key(|&slot| ranks[sigs[slot as usize].index()]);
+        let mut class_of_slot = vec![0u32; sigs.len()];
+        for (class, &slot) in order.iter().enumerate() {
+            class_of_slot[slot as usize] = u32::try_from(class).expect("fits in u32");
+        }
+        let class_keys: Vec<ViewKey> = order.iter().map(|&slot| sigs[slot as usize]).collect();
+        for entry in &mut table {
+            *entry = class_of_slot[*entry as usize];
+        }
+        // Constraint emission: one packed word per (representative,
+        // group element) — big-endian packing makes word order equal
+        // lexicographic multiset order, so a single u128 sort both
+        // deduplicates the family and puts it in canonical order. No
+        // hashing, no per-constraint allocation.
+        let mut packed_constraints: Vec<u128> = Vec::with_capacity(rows.len() / n * group_order);
+        let mut multiset: Vec<u32> = vec![0; n];
+        for row in rows.chunks_exact(n) {
+            for g in 0..group_order {
+                for (pos, &key) in row.iter().enumerate() {
+                    multiset[pos] = table[slot_of_key[key.index()] as usize * group_order + g];
+                }
+                multiset.sort_unstable();
+                packed_constraints.push(pack_multiset(&multiset, bits));
+            }
+        }
+        packed_constraints.sort_unstable();
+        packed_constraints.dedup();
+        let mut facet_classes: Vec<u32> = vec![0; packed_constraints.len() * n];
+        for (chunk, &packed) in facet_classes.chunks_exact_mut(n).zip(&packed_constraints) {
+            unpack_multiset(packed, bits, chunk);
+        }
+        OrbitExpansion {
+            class_keys,
+            facet_classes,
+        }
+    }
+
+    /// A clone of the frontier's arena (for callers that keep the
+    /// frontier cached for later round extension).
+    pub(crate) fn clone_arena(&self) -> ViewArena {
+        self.arena.clone()
+    }
+
+    /// Consumes the frontier, yielding its arena without a copy (the
+    /// one-shot streaming path).
+    pub(crate) fn into_arena(self) -> ViewArena {
+        self.arena
+    }
+
+    /// Runs the constraint expansion for its side effect only: the
+    /// vertex/class counters of [`OrbitFrontier::stats`] (the
+    /// `gsb complex --orbits` report path).
+    pub fn quotient_stats(&mut self) -> OrbitBuildStats {
+        let _ = self.expand();
+        self.stats
+    }
+}
+
 /// Facet counts of `χ^r(Δ^{n−1})` known in closed form for one round: the
 /// ordered Bell numbers. Exposed for tests and benches.
 #[must_use]
@@ -617,6 +1223,86 @@ mod tests {
         let (wide, wide_stats) = protocol_complex_with_workers(2, 1, 64);
         assert_eq!(wide_stats.chunks, 1);
         assert_eq!(wide.facet_count(), 3);
+    }
+
+    #[test]
+    fn process_permutations_enumerate_the_symmetric_group() {
+        assert_eq!(process_permutations(0), vec![Vec::<u32>::new()]);
+        assert_eq!(process_permutations(1), vec![vec![1]]);
+        let s3 = process_permutations(3);
+        assert_eq!(s3.len(), 6);
+        assert_eq!(s3[0], vec![1, 2, 3], "element 0 is the identity");
+        assert_eq!(s3[5], vec![3, 2, 1], "lexicographically last");
+        let distinct: std::collections::HashSet<_> = s3.iter().collect();
+        assert_eq!(distinct.len(), 6);
+        assert_eq!(process_permutations(4).len(), 24);
+    }
+
+    #[test]
+    fn orbit_frontier_counts_facets_exactly_by_orbit_stabilizer() {
+        // Orbits of one-round facets are template orbits under S_n, i.e.
+        // compositions of n; the orbit sizes must re-sum to the ordered
+        // Bell number exactly.
+        for (n, orbit_rows) in [(1usize, 1usize), (2, 2), (3, 4), (4, 8)] {
+            let mut frontier = OrbitFrontier::new(n);
+            assert_eq!(frontier.stats().facets, 1, "round 0 is one facet");
+            frontier.advance();
+            let stats = frontier.stats();
+            assert_eq!(stats.orbit_rows, orbit_rows, "compositions of {n}");
+            assert_eq!(stats.facets, ordered_bell(n), "n = {n}");
+        }
+        // n = 3, r = 1 forces non-trivial stabilizers: the four orbits
+        // have sizes 6, 3, 3, 1 (the all-see-all schedule is fixed by
+        // every relabelling) — only exact orbit–stabilizer accounting
+        // makes 13.
+        let mut frontier = OrbitFrontier::new(3);
+        frontier.advance();
+        let mut sizes = frontier.orbit_sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 3, 3, 6]);
+    }
+
+    #[test]
+    fn orbit_frontier_matches_full_build_through_rounds() {
+        for (n, r) in [(2usize, 3usize), (3, 2), (4, 2), (5, 1)] {
+            let (_, full) = protocol_complex_with_stats(n, r);
+            let mut frontier = OrbitFrontier::new(n);
+            for _ in 0..r {
+                frontier.advance();
+            }
+            let orbit = frontier.quotient_stats();
+            assert_eq!(orbit.facets, full.facets, "facets at ({n},{r})");
+            assert_eq!(orbit.vertices, full.vertices, "vertices at ({n},{r})");
+            assert_eq!(orbit.classes, full.classes, "classes at ({n},{r})");
+            assert_eq!(orbit.rounds, r);
+            assert!(
+                orbit.peak_orbit_rows <= full.peak_frontier_rows,
+                "the representative frontier never exceeds the full one"
+            );
+        }
+    }
+
+    #[test]
+    fn orbit_expansion_is_stable_across_repeat_and_extension() {
+        // Expanding, extending a round, and expanding again must agree
+        // with a fresh build at the deeper round (the EngineCache
+        // extends cached frontiers in place during sweeps).
+        let mut extended = OrbitFrontier::new(3);
+        extended.advance();
+        let first = extended.expand();
+        extended.advance();
+        let second = extended.expand();
+        let mut fresh = OrbitFrontier::new(3);
+        fresh.advance();
+        fresh.advance();
+        let fresh_expansion = fresh.expand();
+        assert_eq!(second.facet_classes, fresh_expansion.facet_classes);
+        assert_eq!(second.class_keys.len(), fresh_expansion.class_keys.len());
+        assert_eq!(extended.stats().facets, fresh.stats().facets);
+        // And the round-1 expansion was not clobbered by the extension.
+        let mut fresh1 = OrbitFrontier::new(3);
+        fresh1.advance();
+        assert_eq!(first.facet_classes, fresh1.expand().facet_classes);
     }
 
     #[test]

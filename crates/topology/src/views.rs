@@ -368,6 +368,12 @@ pub struct ViewArena {
     /// `relabel_entries`, probed by hash.
     relabel_memo: ProbeTable,
     relabel_entries: Vec<(u32, u64, u32)>,
+    /// Arbitrary-permutation memo: `(key, perm id) → permuted key`,
+    /// entries in `perm_entries`, probed by hash. Backs
+    /// [`ViewArena::permute`], the non-order-preserving relabel the
+    /// orbit-quotient pipeline streams the `S_n` action through.
+    perm_memo: ProbeTable,
+    perm_entries: Vec<(u32, u32, u32)>,
 }
 
 /// The support bit of one identity (`0` = outside the mask domain).
@@ -671,6 +677,273 @@ impl ViewArena {
         image
     }
 
+    /// Rewrites every identity of `key`'s view through the bijection
+    /// `perm` (`perm[i]` = image of identity `i + 1`), re-sorting seen
+    /// lists along the way — the **arbitrary-permutation** relabel
+    /// behind the orbit-quotient pipeline. Unlike
+    /// [`ViewArena::relabel_masked`], `perm` need not be
+    /// order-preserving; every identity in the view must lie in
+    /// `1..=perm.len()`.
+    ///
+    /// Memoized globally per `(key, perm_id)`; the caller guarantees
+    /// `perm_id` stably identifies `perm` for this arena's lifetime
+    /// (the builders index their fixed group enumeration). A
+    /// permutation whose restriction to the view's support is
+    /// order-preserving (the identity included) short-circuits through
+    /// the mask-relabel memo, so orbit scans pay nothing for the group
+    /// elements that fix a view's order type.
+    pub(crate) fn permute(&mut self, key: ViewKey, perm: &[u32], perm_id: u32) -> ViewKey {
+        let mask = self.support[key.index()];
+        if mask != 0 {
+            // Order-preserving on the support ⇒ the unique mask relabel.
+            let mut image_mask = 0u64;
+            let mut prev = 0u32;
+            let mut monotone = true;
+            let mut rest = mask;
+            while rest != 0 {
+                let id = rest.trailing_zeros() + 1;
+                rest &= rest - 1;
+                let to = perm[(id - 1) as usize];
+                let bit = support_bit(to);
+                if to <= prev || bit == 0 {
+                    monotone = false;
+                    break;
+                }
+                prev = to;
+                image_mask |= bit;
+            }
+            if monotone {
+                return self.relabel_masked(key, image_mask);
+            }
+        }
+        let hash = fx_mix(u64::from(key.0), u64::from(perm_id));
+        let entries = &self.perm_entries;
+        if let Some(hit) = self.perm_memo.find(hash, |entry| {
+            let (k, p, _) = entries[entry as usize];
+            k == key.0 && p == perm_id
+        }) {
+            return ViewKey(self.perm_entries[hit as usize].2);
+        }
+        let node = self.nodes[key.index()].clone();
+        let mut seen: Vec<(u32, ViewKey)> = node
+            .seen
+            .iter()
+            .map(|&(q, inner)| (perm[(q - 1) as usize], self.permute(inner, perm, perm_id)))
+            .collect();
+        seen.sort_unstable();
+        let id = perm[(node.id - 1) as usize];
+        let image = if seen.is_empty() {
+            self.initial(id)
+        } else {
+            self.round_from_slice(id, &seen)
+        };
+        let entry = u32::try_from(self.perm_entries.len()).expect("memo fits in u32");
+        self.perm_entries.push((key.0, perm_id, image.0));
+        self.perm_memo.insert(hash, entry);
+        image
+    }
+
+    /// The keys reachable from any of `roots` (roots included),
+    /// ascending — children before parents, the order bottom-up image
+    /// assembly wants.
+    pub(crate) fn reachable_closure(&self, roots: &[ViewKey]) -> Vec<ViewKey> {
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack: Vec<ViewKey> = Vec::new();
+        for &root in roots {
+            if !visited[root.index()] {
+                visited[root.index()] = true;
+                stack.push(root);
+            }
+        }
+        while let Some(k) = stack.pop() {
+            for &(_, inner) in self.nodes[k.index()].seen.iter() {
+                if !visited[inner.index()] {
+                    visited[inner.index()] = true;
+                    stack.push(inner);
+                }
+            }
+        }
+        visited
+            .iter()
+            .enumerate()
+            .filter(|&(_, &seen)| seen)
+            .map(|(i, _)| ViewKey::from_index(i))
+            .collect()
+    }
+
+    /// Images of a whole sub-DAG under the bijection `perm`, assembled
+    /// bottom-up: for every key of `closure` (ascending — children
+    /// before parents, see [`ViewArena::reachable_closure`]),
+    /// `column[key] = image key + 1`. Child images are dense array
+    /// reads, so the only hashing left is one intern probe per node —
+    /// the bulk form of [`ViewArena::permute`] the orbit pipeline's
+    /// constraint expansion runs on.
+    pub(crate) fn permute_column(
+        &mut self,
+        closure: &[ViewKey],
+        perm: &[u32],
+        column: &mut Vec<u32>,
+    ) {
+        if column.len() < self.nodes.len() {
+            column.resize(self.nodes.len(), 0);
+        }
+        let mut scratch: Vec<(u32, ViewKey)> = Vec::new();
+        for &key in closure {
+            let id = {
+                let node = &self.nodes[key.index()];
+                scratch.clear();
+                for &(q, child) in node.seen.iter() {
+                    debug_assert_ne!(column[child.index()], 0, "children precede parents");
+                    scratch.push((
+                        perm[(q - 1) as usize],
+                        ViewKey::from_index(column[child.index()] as usize - 1),
+                    ));
+                }
+                perm[(node.id - 1) as usize]
+            };
+            scratch.sort_unstable();
+            let image = if scratch.is_empty() {
+                self.initial(id)
+            } else {
+                self.round_from_slice(id, &scratch)
+            };
+            column[key.index()] = u32::try_from(image.index() + 1).expect("arena fits in u32");
+        }
+    }
+
+    /// Number of distinct identities in `key`'s view (the size of its
+    /// [`View::id_support`]).
+    pub(crate) fn support_len(&self, key: ViewKey) -> u32 {
+        let mask = self.support[key.index()];
+        if mask != 0 {
+            mask.count_ones()
+        } else {
+            let mut support = BTreeSet::new();
+            self.collect_support(key, &mut support);
+            u32::try_from(support.len()).expect("support fits in u32")
+        }
+    }
+
+    /// Compares the views behind two keys exactly as the derived
+    /// [`Ord`] on materialized [`View`]s would — without materializing
+    /// either (the pairwise reference that
+    /// [`ViewArena::view_order_ranks`], the bulk form the pipelines
+    /// actually use, is tested against).
+    #[cfg(test)]
+    pub(crate) fn cmp_views(&self, a: ViewKey, b: ViewKey) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        if a == b {
+            return Ordering::Equal;
+        }
+        let (na, nb) = (&self.nodes[a.index()], &self.nodes[b.index()]);
+        // `View`'s derived Ord: `Initial < Round`, then fields in
+        // declaration order; `seen` compares element-wise (id first,
+        // then the nested view), shorter prefix first.
+        match (na.seen.is_empty(), nb.seen.is_empty()) {
+            (true, true) => na.id.cmp(&nb.id),
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            (false, false) => na.id.cmp(&nb.id).then_with(|| {
+                for (&(qa, ia), &(qb, ib)) in na.seen.iter().zip(nb.seen.iter()) {
+                    let by_id = qa.cmp(&qb);
+                    if by_id != Ordering::Equal {
+                        return by_id;
+                    }
+                    let by_view = self.cmp_views(ia, ib);
+                    if by_view != Ordering::Equal {
+                        return by_view;
+                    }
+                }
+                na.seen.len().cmp(&nb.seen.len())
+            }),
+        }
+    }
+
+    /// View-order ranks of **every** interned node: `ranks[a] <
+    /// ranks[b]` iff the view behind key `a` precedes the view behind
+    /// key `b` in the derived [`Ord`] on materialized [`View`]s. One
+    /// bulk computation in linear passes — layered by view depth, each
+    /// node compared through its children's already-assigned ranks —
+    /// instead of `O(N log N)` recursive [`ViewArena::cmp_views`]
+    /// walks; the orbit pipeline orders tens of thousands of signature
+    /// classes through this in single-digit milliseconds.
+    pub(crate) fn view_order_ranks(&self) -> Vec<u32> {
+        let count = self.nodes.len();
+        // Depth per node; children precede parents in key order.
+        let mut depth = vec![0u32; count];
+        let mut max_depth = 0u32;
+        for i in 0..count {
+            let d = self.nodes[i]
+                .seen
+                .iter()
+                .map(|&(_, c)| depth[c.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            depth[i] = d;
+            max_depth = max_depth.max(d);
+        }
+        // Grow a cumulative sorted order layer by layer. Children of a
+        // depth-d node all have smaller depth, so their ranks are valid
+        // when the layer is sorted; merging shifts positions but never
+        // reorders already-placed nodes (rank comparisons are
+        // order-isomorphic under the shift).
+        let mut ranks = vec![0u32; count];
+        let mut sorted: Vec<u32> = Vec::with_capacity(count);
+        let mut by_depth: Vec<Vec<u32>> = vec![Vec::new(); max_depth as usize + 1];
+        for (i, &d) in depth.iter().enumerate() {
+            by_depth[d as usize].push(u32::try_from(i).expect("arena fits in u32"));
+        }
+        for mut layer in by_depth {
+            layer.sort_unstable_by(|&a, &b| self.cmp_by_ranks(a, b, &ranks));
+            let mut merged = Vec::with_capacity(sorted.len() + layer.len());
+            let (mut i, mut j) = (0, 0);
+            while i < sorted.len() && j < layer.len() {
+                if self.cmp_by_ranks(sorted[i], layer[j], &ranks).is_lt() {
+                    merged.push(sorted[i]);
+                    i += 1;
+                } else {
+                    merged.push(layer[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&sorted[i..]);
+            merged.extend_from_slice(&layer[j..]);
+            sorted = merged;
+            for (pos, &k) in sorted.iter().enumerate() {
+                ranks[k as usize] = u32::try_from(pos).expect("arena fits in u32");
+            }
+        }
+        ranks
+    }
+
+    /// [`ViewArena::cmp_views`] with child comparisons replaced by
+    /// rank lookups (valid whenever both children's ranks are final).
+    fn cmp_by_ranks(&self, a: u32, b: u32, ranks: &[u32]) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        if a == b {
+            return Ordering::Equal;
+        }
+        let (na, nb) = (&self.nodes[a as usize], &self.nodes[b as usize]);
+        match (na.seen.is_empty(), nb.seen.is_empty()) {
+            (true, true) => na.id.cmp(&nb.id),
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            (false, false) => na.id.cmp(&nb.id).then_with(|| {
+                for (&(qa, ia), &(qb, ib)) in na.seen.iter().zip(nb.seen.iter()) {
+                    let by_id = qa.cmp(&qb);
+                    if by_id != Ordering::Equal {
+                        return by_id;
+                    }
+                    let by_rank = ranks[ia.index()].cmp(&ranks[ib.index()]);
+                    if by_rank != Ordering::Equal {
+                        return by_rank;
+                    }
+                }
+                na.seen.len().cmp(&nb.seen.len())
+            }),
+        }
+    }
+
     /// The canonical order-type signature of `key`, as a key — identities
     /// relabelled to `1..k` by rank within the support, exactly like
     /// [`View::signature`], but memoized per interned view.
@@ -759,6 +1032,13 @@ impl RoundTemplate {
     #[must_use]
     pub fn seen_of(&self, p: usize) -> &[u32] {
         &self.seen[self.offsets[p] as usize..self.offsets[p + 1] as usize]
+    }
+
+    /// The raw block-assignment vector (`block[q]` = ordered-partition
+    /// block index of process index `q`) — the orbit pipeline keys its
+    /// template-permutation table on it.
+    pub(crate) fn block_assignment(&self) -> &[u32] {
+        &self.block
     }
 
     /// The ordered partition as explicit blocks of the given `items`
@@ -1129,6 +1409,159 @@ mod tests {
         let via_slice = arena.round_from_slice(4, &[(1, x), (4, y)]);
         assert_eq!(via_vec, via_slice);
         assert_eq!(arena.view(via_slice), View::one_round(4, &[1, 4]));
+    }
+
+    /// Reference permutation action on recursive views: relabel every
+    /// identity and re-sort seen lists (what [`ViewArena::permute`]
+    /// computes key-level).
+    fn permute_view(view: &View, perm: &[u32]) -> View {
+        match view {
+            View::Initial { id } => View::Initial {
+                id: perm[(*id - 1) as usize],
+            },
+            View::Round { id, seen } => {
+                let mut seen: Vec<(u32, View)> = seen
+                    .iter()
+                    .map(|(q, inner)| (perm[(*q - 1) as usize], permute_view(inner, perm)))
+                    .collect();
+                seen.sort();
+                View::Round {
+                    id: perm[(*id - 1) as usize],
+                    seen,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arena_permute_matches_view_level_action() {
+        let mut arena = ViewArena::new();
+        let views = [
+            View::one_round(1, &[1, 2]),
+            View::one_round(2, &[1, 2, 3]),
+            View::Round {
+                id: 3,
+                seen: vec![
+                    (1, View::one_round(1, &[1])),
+                    (3, View::one_round(3, &[1, 3])),
+                ],
+            },
+        ];
+        // All six permutations of {1,2,3}, ids 0..6.
+        let perms: Vec<Vec<u32>> = vec![
+            vec![1, 2, 3],
+            vec![1, 3, 2],
+            vec![2, 1, 3],
+            vec![2, 3, 1],
+            vec![3, 1, 2],
+            vec![3, 2, 1],
+        ];
+        for view in &views {
+            let key = arena.intern(view);
+            for (perm_id, perm) in perms.iter().enumerate() {
+                let image = arena.permute(key, perm, perm_id as u32);
+                assert_eq!(
+                    arena.view(image),
+                    permute_view(view, perm),
+                    "{view:?} under {perm:?}"
+                );
+                // Memoized: the second call returns the same key.
+                assert_eq!(arena.permute(key, perm, perm_id as u32), image);
+            }
+            // Identity is free (the order-preserving fast path).
+            assert_eq!(arena.permute(key, &[1, 2, 3], 0), key);
+        }
+    }
+
+    #[test]
+    fn arena_cmp_views_matches_derived_view_order() {
+        let mut arena = ViewArena::new();
+        let views = [
+            View::Initial { id: 1 },
+            View::Initial { id: 2 },
+            View::one_round(1, &[1]),
+            View::one_round(1, &[1, 2]),
+            View::one_round(2, &[1, 2]),
+            View::one_round(2, &[2, 3]),
+            View::Round {
+                id: 1,
+                seen: vec![(1, View::one_round(1, &[1, 2]))],
+            },
+        ];
+        let keys: Vec<ViewKey> = views.iter().map(|v| arena.intern(v)).collect();
+        for (i, a) in views.iter().enumerate() {
+            for (j, b) in views.iter().enumerate() {
+                assert_eq!(
+                    arena.cmp_views(keys[i], keys[j]),
+                    a.cmp(b),
+                    "cmp({a:?}, {b:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn view_order_ranks_agree_with_materialized_view_order() {
+        // A mixed-depth arena (shared subtrees, varying supports): bulk
+        // ranks must order keys exactly as the derived Ord on
+        // materialized views does.
+        let mut arena = ViewArena::new();
+        let mut keys = Vec::new();
+        for id in 1..=4u32 {
+            keys.push(arena.initial(id));
+        }
+        for view in [
+            View::one_round(1, &[1]),
+            View::one_round(1, &[1, 2]),
+            View::one_round(2, &[1, 2]),
+            View::one_round(3, &[1, 2, 3]),
+            View::Round {
+                id: 2,
+                seen: vec![
+                    (2, View::one_round(2, &[2])),
+                    (3, View::one_round(3, &[2, 3])),
+                ],
+            },
+            View::Round {
+                id: 1,
+                seen: vec![(1, View::one_round(1, &[1, 2]))],
+            },
+        ] {
+            keys.push(arena.intern(&view));
+        }
+        let ranks = arena.view_order_ranks();
+        let mut by_rank = keys.clone();
+        by_rank.sort_unstable_by_key(|k| ranks[k.index()]);
+        let mut by_view = keys.clone();
+        by_view.sort_unstable_by_key(|&k| arena.view(k));
+        assert_eq!(by_rank, by_view);
+        // And the pairwise comparator agrees too.
+        for &a in &keys {
+            for &b in &keys {
+                assert_eq!(
+                    ranks[a.index()].cmp(&ranks[b.index()]),
+                    arena.view(a).cmp(&arena.view(b)),
+                    "{:?} vs {:?}",
+                    arena.view(a),
+                    arena.view(b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn support_len_counts_distinct_ids() {
+        let mut arena = ViewArena::new();
+        let key = arena.intern(&View::Round {
+            id: 5,
+            seen: vec![
+                (2, View::one_round(2, &[2, 7])),
+                (5, View::Initial { id: 5 }),
+            ],
+        });
+        assert_eq!(arena.support_len(key), 3);
+        let solo = arena.initial(9);
+        assert_eq!(arena.support_len(solo), 1);
     }
 
     #[test]

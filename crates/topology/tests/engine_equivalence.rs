@@ -30,7 +30,11 @@ fn engines_agree(spec: &GsbSpec, rounds: usize) {
             symmetric_learning,
             ..CdclConfig::default()
         };
-        let (cdcl, _) = search.solve_with(&config);
+        // `solve_cdcl_with`, not the `solve_with` front door: the
+        // production path routes tiny instances (most of this suite)
+        // straight to the backtracking oracle, which would make the
+        // CDCL-vs-oracle comparison vacuous.
+        let (cdcl, _) = search.solve_cdcl_with(&config);
         assert_eq!(
             cdcl.is_solvable(),
             reference.is_solvable(),

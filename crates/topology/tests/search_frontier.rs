@@ -95,3 +95,27 @@ fn wsb_n3_r3_unsat_certificate() {
     let wsb = SymmetricGsb::wsb(3).unwrap().to_spec();
     assert!(!solvable_in_rounds(&wsb, 3).is_solvable());
 }
+
+#[test]
+#[ignore = "χ²(Δ⁴) SAT over 10,945 classes: minutes of 1-core CDCL (the --full search \
+            bench records it in BENCH_search.json); the orbit-quotient prep itself \
+            takes ~50 ms"]
+fn loose_renaming_n5_solved_in_two_rounds() {
+    // The first n = 5, r = 2 frontier row, reached through the fused
+    // orbit-quotient instance prep: (2n−1)-renaming (9 names) has a
+    // symmetric decision map on χ²(Δ⁴) — one round provably needs
+    // n(n+1)/2 = 15 names (see above), two reach the wait-free optimum.
+    let nine = SymmetricGsb::loose_renaming(5).unwrap().to_spec();
+    let search = SymmetricSearch::from_spec_streaming(nine.clone(), 2);
+    let result = search.solve();
+    match &result {
+        SearchResult::Solvable { assignment } => {
+            assert_eq!(assignment.len(), 10_945);
+            assert!(assignment.iter().all(|&v| (1..=9).contains(&v)));
+        }
+        SearchResult::Unsolvable => panic!("(2n−1)-renaming must be 2-round solvable at n = 5"),
+    }
+    // The witness replays facet-by-facet on a fresh reference build.
+    let map = search.decision_map(&result).expect("SAT with known rounds");
+    map.check(&nine).expect("genuine witness must replay");
+}

@@ -32,7 +32,7 @@ USAGE:
   gsb witness  <task> --n N [--simulate] [--json]
   gsb certify  <task> --n N --rounds R [--json]
   gsb atlas    <max_n> [--rows] [--json]
-  gsb complex  <n> <r> [--json]
+  gsb complex  <n> <r> [--orbits] [--json]
   gsb tasks
 
 OPTIONS:
@@ -44,11 +44,15 @@ OPTIONS:
   --agree R      cross-engine agreement mode through R rounds (classify)
   --simulate     replay witness evidence through the simulator (witness)
   --rows         print every atlas row, not just the totals
+  --orbits       run the orbit-quotient pipeline instead: one lex-leader
+                 representative per facet orbit, exact counts by
+                 orbit–stabilizer, no complex materialized (complex)
   --json         emit the machine-readable verdict report
 
 `gsb complex <n> <r>` builds χ^r(Δ^{n−1}) through the streaming
 subdivision pipeline and prints facet/vertex/signature-class counts plus
-build time.
+build time; with `--orbits` the orbit-quotient frontier streams the same
+counts from up to n!-fold fewer representative rows.
 
 Run `gsb tasks` for the known task names.";
 
@@ -70,7 +74,7 @@ struct Args {
     switches: Vec<String>,
 }
 
-const BOOLEAN_FLAGS: &[&str] = &["json", "simulate", "rows"];
+const BOOLEAN_FLAGS: &[&str] = &["json", "simulate", "rows", "orbits"];
 const VALUE_FLAGS: &[&str] = &[
     "n", "k", "spec", "rounds", "engine", "agree", "task", "max-n",
 ];
@@ -355,6 +359,9 @@ fn complex(args: &Args) -> Result<(), String> {
     if n == 0 {
         return Err("need at least one process".into());
     }
+    if args.switch("orbits") {
+        return complex_orbits(n, rounds, args.switch("json"));
+    }
     let start = std::time::Instant::now();
     let (complex, stats) = gsb_universe::topology::protocol_complex_with_stats(n, rounds);
     let wall = start.elapsed();
@@ -391,6 +398,61 @@ fn complex(args: &Args) -> Result<(), String> {
     println!("  peak frontier:     {} rows", stats.peak_frontier_rows);
     println!(
         "  built in:          {:.3} ms (streaming pipeline, quotient included)",
+        wall.as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
+/// `gsb complex <n> <r> --orbits`: the orbit-quotient streaming
+/// pipeline — stamps one representative per symmetry orbit and reports
+/// the full complex's exact counts via orbit–stabilizer, fused straight
+/// into a solver-ready constraint system.
+fn complex_orbits(n: usize, rounds: usize, json: bool) -> Result<(), String> {
+    let start = std::time::Instant::now();
+    let (system, stats) = gsb_universe::topology::ConstraintSystem::streamed(n, rounds);
+    let wall = start.elapsed();
+    if json {
+        let report = Json::Obj(vec![
+            ("n".into(), Json::Num(n as f64)),
+            ("rounds".into(), Json::Num(rounds as f64)),
+            ("facets".into(), Json::Num(stats.facets as f64)),
+            ("vertices".into(), Json::Num(stats.vertices as f64)),
+            ("classes".into(), Json::Num(stats.classes as f64)),
+            ("orbit_rows".into(), Json::Num(stats.orbit_rows as f64)),
+            ("stamped_rows".into(), Json::Num(stats.stamped_rows as f64)),
+            (
+                "peak_orbit_rows".into(),
+                Json::Num(stats.peak_orbit_rows as f64),
+            ),
+            (
+                "facet_constraints".into(),
+                Json::Num(system.facet_count() as f64),
+            ),
+            (
+                "fused_prep_ms".into(),
+                Json::Num((wall.as_secs_f64() * 1e3 * 1000.0).round() / 1000.0),
+            ),
+        ]);
+        print!("{}", report.render());
+        return Ok(());
+    }
+    println!(
+        "χ^{rounds}(Δ^{}) through the orbit-quotient pipeline ({n} processes):",
+        n.saturating_sub(1)
+    );
+    println!(
+        "  facets:            {} (exact, via orbit–stabilizer)",
+        stats.facets
+    );
+    println!("  vertices:          {}", stats.vertices);
+    println!("  signature classes: {}", stats.classes);
+    println!(
+        "  orbit rows:        {} representatives held ({} stamped across rounds)",
+        stats.orbit_rows, stats.stamped_rows
+    );
+    println!("  facet constraints: {} distinct", system.facet_count());
+    println!(
+        "  fused prep in:     {:.3} ms (solver-ready instance, no complex materialized)",
         wall.as_secs_f64() * 1e3
     );
     Ok(())

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Ticket-poll gate: solver hot paths must not grow unpolled loops.
+#
+# Every long-running loop in the files below is expected to poll its
+# governance ticket (see `gsb_core::govern`) often enough that a
+# deadline, budget trip, or cancellation is observed within one polling
+# interval. Poll sites are marked with a literal
+#
+#     // ticket.check poll site (<where/stride>)
+#
+# comment next to the check. This script pins, per file, the current
+# loop count and the minimum marker count. Adding a loop to a hot path
+# trips the gate until you either poll the ticket inside it (and mark
+# the site) or consciously decide the loop is bounded-tiny — in both
+# cases bump the pinned numbers here in the same change, so the review
+# sees the decision.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+
+check() {
+  local file=$1 max_loops=$2 min_markers=$3
+  local loops markers
+  loops=$(grep -cE '^[[:space:]]*(loop \{|while[ (])' "$file" || true)
+  markers=$(grep -c 'ticket.check poll site' "$file" || true)
+  if [ "$loops" -gt "$max_loops" ]; then
+    echo "FAIL: $file has $loops loops (pinned $max_loops)." >&2
+    echo "  A new loop in a solver hot path must poll its ticket (mark the" >&2
+    echo "  site with '// ticket.check poll site (...)'); then bump the" >&2
+    echo "  pinned counts in ci/check_ticket_polls.sh in the same change." >&2
+    status=1
+  elif [ "$markers" -lt "$min_markers" ]; then
+    echo "FAIL: $file has $markers ticket-poll markers (pinned >= $min_markers)." >&2
+    echo "  A poll site was removed; governed loops must keep polling." >&2
+    status=1
+  else
+    echo "ok: $file ($loops loops, $markers poll markers)"
+  fi
+}
+
+# file                              max loops   min poll markers
+check crates/topology/src/cdcl.rs         11          2
+check crates/topology/src/solvability.rs   2          1
+check crates/topology/src/protocol.rs      1          3
+
+exit "$status"

@@ -533,6 +533,11 @@ pub struct SearchBenchRow {
     pub solvable: bool,
     /// CDCL wall time (best of 3).
     pub cdcl_wall: Duration,
+    /// Wall time of the same query run *governed* — generous deadline
+    /// (watchdog armed) plus never-tripping budgets, so every poll site
+    /// pays its check (best of 3). The gap to `cdcl_wall` is what
+    /// governance costs.
+    pub governed_wall: Duration,
     /// Winner's solver counters.
     pub cdcl_stats: gsb_topology::SearchStats,
     /// Wall time of the backtracking baseline run.
@@ -552,6 +557,13 @@ impl SearchBenchRow {
         let ratio =
             self.baseline_wall.as_secs_f64() / self.cdcl_wall.as_secs_f64().max(f64::EPSILON);
         (self.baseline_censored || ratio >= 1.0).then_some(ratio)
+    }
+
+    /// Governed-over-ungoverned wall overhead as a fraction (`0.01` =
+    /// 1%); negative when scheduler noise made the governed run win.
+    #[must_use]
+    pub fn governed_overhead(&self) -> f64 {
+        self.governed_wall.as_secs_f64() / self.cdcl_wall.as_secs_f64().max(f64::EPSILON) - 1.0
     }
 }
 
@@ -577,7 +589,9 @@ impl SearchReport {
             out.push_str(&format!(
                 "    {{\n      \"instance\": \"{}\",\n      \"classes\": {},\n      \
                  \"facets\": {},\n      \"solvable\": {},\n      \
-                 \"cdcl_wall_ms\": {:.3},\n      \"baseline_wall_ms\": {:.3},\n      \
+                 \"cdcl_wall_ms\": {:.3},\n      \"governed_wall_ms\": {:.3},\n      \
+                 \"governed_overhead_pct\": {:.2},\n      \
+                 \"baseline_wall_ms\": {:.3},\n      \
                  \"baseline_censored\": {},\n      \"speedup\": {},\n      \
                  \"conflicts\": {},\n      \"decisions\": {},\n      \
                  \"propagations\": {},\n      \"learned\": {},\n      \
@@ -587,6 +601,8 @@ impl SearchReport {
                 row.facets,
                 row.solvable,
                 row.cdcl_wall.as_secs_f64() * 1e3,
+                row.governed_wall.as_secs_f64() * 1e3,
+                row.governed_overhead() * 100.0,
                 row.baseline_wall.as_secs_f64() * 1e3,
                 row.baseline_censored,
                 row.speedup()
@@ -754,22 +770,47 @@ pub fn search_report_budgeted(budget_mode: BaselineBudget) -> SearchReport {
             check_evidence: false,
             ..EngineOpts::default()
         };
+        // The governed twin: same query, generous deadline (watchdog
+        // armed) plus never-tripping budgets — every poll site pays its
+        // check and the wall gap to `cdcl_wall` is the governance cost.
+        // Trials interleave ungoverned/governed back-to-back so both
+        // minima sample the same noise environment — the pair is
+        // compared by a drift gate in the search bin, and on a shared
+        // box minutes can separate the loops otherwise.
+        let governed_opts = EngineOpts {
+            deadline: Some(Duration::from_secs(3600)),
+            decision_budget: Some(u64::MAX / 4),
+            conflict_budget: Some(u64::MAX / 4),
+            node_budget: Some(u64::MAX / 4),
+            memory_budget: Some(u64::MAX / 4),
+            ..timing_opts.clone()
+        };
         let mut cdcl_wall = Duration::MAX;
+        let mut governed_wall = Duration::MAX;
         let mut outcome = None;
-        for trial in 0..3 {
+        for trial in 0..5 {
             let query =
                 Query::solvable_in_rounds(spec.clone(), rounds).with_opts(timing_opts.clone());
             let start = Instant::now();
             let verdict = query.run().expect("the engine answers the bench suite");
             cdcl_wall = cdcl_wall.min(start.elapsed());
             outcome = Some(verdict);
-            // Heavyweight frontier rows (minutes of CDCL) run once;
-            // best-of-3 is for the rows where scheduler noise matters.
-            if trial == 0 && cdcl_wall > Duration::from_secs(10) {
+            let query =
+                Query::solvable_in_rounds(spec.clone(), rounds).with_opts(governed_opts.clone());
+            let start = Instant::now();
+            let governed = query.run().expect("the governed engine answers the suite");
+            governed_wall = governed_wall.min(start.elapsed());
+            assert!(
+                !governed.is_indeterminate(),
+                "generous limits must never trip on {instance}"
+            );
+            // Heavyweight frontier rows (minutes of CDCL) run one trial
+            // pair; best-of-5 is for the rows where noise matters.
+            if trial == 0 && cdcl_wall + governed_wall > Duration::from_secs(20) {
                 break;
             }
         }
-        let verdict = outcome.expect("three timed trials ran");
+        let verdict = outcome.expect("the timed trials ran");
         // Untimed verification pass on the held verdict: SAT witnesses
         // replay facet-by-facet, with no extra solve.
         verdict.check().expect("evidence re-verifies");
@@ -797,6 +838,7 @@ pub fn search_report_budgeted(budget_mode: BaselineBudget) -> SearchReport {
             facets: search.facet_count(),
             solvable,
             cdcl_wall,
+            governed_wall,
             cdcl_stats: stats,
             baseline_wall,
             baseline_censored: baseline.is_none(),

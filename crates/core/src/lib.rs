@@ -28,6 +28,9 @@
 //! * [`table`] — paper-style kernel tables (the paper's Table 1).
 //! * [`solvability`] — the wait-free solvability classifier (Theorems
 //!   8–11, Corollaries 2–5).
+//! * [`govern`] — cooperative cancellation, deadlines and resource
+//!   budgets ([`Ticket`]) plus the deterministic fault-injection
+//!   harness used by the robustness test suite.
 //! * [`asymmetric`] — an extension beyond the paper: counting sets,
 //!   synonyms and canonical (tightened) representatives for *asymmetric*
 //!   tasks.
@@ -60,6 +63,7 @@ pub mod asymmetric;
 pub mod canonical;
 pub mod counting;
 mod error;
+pub mod govern;
 pub mod identity;
 pub mod kernel;
 pub mod order;
@@ -72,6 +76,7 @@ pub mod zoo;
 pub use anchoring::Anchoring;
 pub use counting::CountingVector;
 pub use error::{Error, Result};
+pub use govern::{Limits, StopReason, Stopped, Ticket};
 pub use identity::{Identity, IdentitySpace};
 pub use kernel::{KernelSet, KernelVector};
 pub use order::{TaskClass, TaskOrder};

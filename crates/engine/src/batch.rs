@@ -1,10 +1,12 @@
 //! Batched execution: fan a query set out over rayon with one shared
 //! [`EngineCache`].
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use rayon::prelude::*;
 
 use crate::cache::EngineCache;
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::query::Query;
 use crate::verdict::Verdict;
 
@@ -74,13 +76,37 @@ impl Batch {
     }
 
     /// Runs every query against an explicit shared cache; results in
-    /// query order.
+    /// query order. Each query runs under panic isolation: a panicking
+    /// query yields [`Error::Panicked`] in its slot (the results stay
+    /// index-aligned with [`Batch::queries`]) and its batch-mates
+    /// complete undisturbed.
     #[must_use]
     pub fn run_with(&self, cache: &EngineCache) -> Vec<Result<Verdict>> {
         self.queries
             .par_iter()
-            .map(|query| query.run_with(cache))
+            .map(|query| {
+                // `&Query`/`&EngineCache` are only read on the other
+                // side of the boundary, and the cache's locks recover
+                // from poisoning — safe to assert unwind safety.
+                catch_unwind(AssertUnwindSafe(|| query.run_with(cache))).unwrap_or_else(|payload| {
+                    Err(Error::Panicked {
+                        details: panic_details(payload),
+                    })
+                })
+            })
             .collect()
+    }
+}
+
+/// The panic payload as a string, when it was one (the common
+/// `panic!("…")` case); a placeholder otherwise.
+fn panic_details(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<&str>() {
+        Ok(s) => (*s).to_string(),
+        Err(payload) => match payload.downcast::<String>() {
+            Ok(s) => *s,
+            Err(_) => "non-string panic payload".to_string(),
+        },
     }
 }
 

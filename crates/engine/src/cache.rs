@@ -17,11 +17,14 @@ use std::sync::{Mutex, OnceLock};
 
 use std::sync::Arc;
 
+use gsb_core::govern::{Stopped, Ticket};
 use gsb_core::{Classification, GsbSpec};
 use gsb_topology::{
     shared_protocol_complex, CdclConfig, ChromaticComplex, ConstraintSystem, DecisionMap,
     OrbitFrontier, SearchResult, SearchStats, SymmetricSearch,
 };
+
+use crate::error::Error;
 
 /// Hit/miss counters and entry counts of an [`EngineCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -56,7 +59,11 @@ pub(crate) type SearchEntry = (SearchResult, Option<DecisionMap>, SearchStats);
 ///
 /// All methods take `&self` and are safe to call from rayon workers; the
 /// maps are guarded by plain mutexes (lookups are tiny next to the
-/// computations they save).
+/// computations they save). Every lock recovers from poisoning: a
+/// panicking query (isolated per-entry by [`Batch`](crate::Batch)) must
+/// not wedge the shared cache, and the maps only ever hold
+/// fully-constructed entries, so the recovered data is sound —
+/// in-flight computations insert nothing until they complete.
 #[derive(Debug, Default)]
 pub struct EngineCache {
     classifications: Mutex<HashMap<GsbSpec, Classification>>,
@@ -95,7 +102,7 @@ impl EngineCache {
         if let Some(hit) = self
             .classifications
             .lock()
-            .expect("classification cache poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .get(spec)
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -105,7 +112,7 @@ impl EngineCache {
         let computed = spec.classify();
         self.classifications
             .lock()
-            .expect("classification cache poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .entry(spec.clone())
             .or_insert_with(|| computed.clone());
         (computed, false)
@@ -119,7 +126,7 @@ impl EngineCache {
         if let Some(hit) = self
             .witnesses
             .lock()
-            .expect("witness cache poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .get(spec)
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -129,7 +136,7 @@ impl EngineCache {
         let computed = spec.no_communication_witness();
         self.witnesses
             .lock()
-            .expect("witness cache poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .entry(spec.clone())
             .or_insert_with(|| computed.clone());
         (computed, false)
@@ -155,7 +162,7 @@ impl EngineCache {
         if let Some(hit) = self
             .searches
             .lock()
-            .expect("search cache poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .get(&key)
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -172,10 +179,50 @@ impl EngineCache {
         let computed = (result, map, stats);
         self.searches
             .lock()
-            .expect("search cache poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .entry(key)
             .or_insert_with(|| computed.clone());
         (computed, false)
+    }
+
+    /// [`EngineCache::search`] under a governance ticket: cache hits are
+    /// served as usual (they cost nothing), misses run the governed
+    /// construct + solve. A tripped ticket returns
+    /// [`Error::Interrupted`] carrying the partial counters, and the
+    /// incomplete result is **not** cached — a later ungoverned (or
+    /// better-funded) query recomputes it cleanly.
+    pub(crate) fn search_governed(
+        &self,
+        spec: &GsbSpec,
+        rounds: usize,
+        config: &CdclConfig,
+        ticket: &Ticket,
+    ) -> Result<(SearchEntry, bool), Error> {
+        let key = (spec.clone(), rounds);
+        if let Some(hit) = self
+            .searches
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((hit.clone(), true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let (system, _) = self.constraint_system_inner_governed(spec.n(), rounds, Some(ticket))?;
+        let search = SymmetricSearch::with_system(spec.clone(), Some(rounds), system);
+        let (result, stats) = search.solve_governed(config, ticket);
+        let Some(result) = result else {
+            return Err(Error::interrupted(ticket, stats));
+        };
+        let map = search.decision_map(&result);
+        let computed = (result, map, stats);
+        self.searches
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .entry(key)
+            .or_insert_with(|| computed.clone());
+        Ok((computed, false))
     }
 
     /// The streamed protocol complex `χ^rounds(Δ^{n−1})`, served through
@@ -189,7 +236,7 @@ impl EngineCache {
         if let Some(hit) = self
             .complexes
             .lock()
-            .expect("complex cache poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .get(&(n, rounds))
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -199,7 +246,7 @@ impl EngineCache {
         let built = shared_protocol_complex(n, rounds);
         self.complexes
             .lock()
-            .expect("complex cache poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .entry((n, rounds))
             .or_insert_with(|| Arc::clone(&built));
         (built, false)
@@ -223,20 +270,56 @@ impl EngineCache {
         (system, hit)
     }
 
+    /// [`EngineCache::constraint_system`] under a governance ticket:
+    /// construction polls the ticket and charges its memory budget. A
+    /// tripped ticket returns the [`Stopped`] reason; any cached
+    /// frontier is left logically at its previous round (round commits
+    /// are atomic — see
+    /// [`OrbitFrontier::try_advance`](gsb_topology::OrbitFrontier::try_advance)),
+    /// so the cache stays valid for later queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Stopped`] when the ticket trips mid-construction.
+    pub fn constraint_system_governed(
+        &self,
+        n: usize,
+        rounds: usize,
+        ticket: &Ticket,
+    ) -> Result<(Arc<ConstraintSystem>, bool), Stopped> {
+        let outcome = self.constraint_system_inner_governed(n, rounds, Some(ticket));
+        match &outcome {
+            Ok((_, true)) => self.hits.fetch_add(1, Ordering::Relaxed),
+            _ => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        outcome
+    }
+
     /// [`EngineCache::constraint_system`] without the shared hit/miss
     /// accounting — the nested call inside [`EngineCache::search`] (one
     /// query = one logical lookup, whatever the internal layering).
     fn constraint_system_inner(&self, n: usize, rounds: usize) -> (Arc<ConstraintSystem>, bool) {
+        self.constraint_system_inner_governed(n, rounds, None)
+            .expect("ungoverned construction cannot stop")
+    }
+
+    /// The governed core of the constraint-system layer.
+    fn constraint_system_inner_governed(
+        &self,
+        n: usize,
+        rounds: usize,
+        ticket: Option<&Ticket>,
+    ) -> Result<(Arc<ConstraintSystem>, bool), Stopped> {
         if let Some(hit) = self
             .systems
             .lock()
-            .expect("system cache poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .get(&(n, rounds))
         {
-            return (Arc::clone(hit), true);
+            return Ok((Arc::clone(hit), true));
         }
         let system = {
-            let mut frontiers = self.frontiers.lock().expect("frontier cache poisoned");
+            let mut frontiers = self.frontiers.lock().unwrap_or_else(|p| p.into_inner());
             // Double-checked: a racing builder may have populated the
             // systems map while this thread waited on the frontier lock
             // (batch fan-outs hit the same (n, rounds) concurrently) —
@@ -244,46 +327,48 @@ impl EngineCache {
             if let Some(hit) = self
                 .systems
                 .lock()
-                .expect("system cache poisoned")
+                .unwrap_or_else(|p| p.into_inner())
                 .get(&(n, rounds))
             {
-                return (Arc::clone(hit), true);
+                return Ok((Arc::clone(hit), true));
             }
             match frontiers.get_mut(&n) {
                 Some(frontier) if frontier.rounds() <= rounds => {
                     if frontier.rounds() < rounds {
                         self.extensions.fetch_add(1, Ordering::Relaxed);
                         while frontier.rounds() < rounds {
-                            frontier.advance();
+                            // A trip mid-extension leaves the cached
+                            // frontier at its last completed round.
+                            frontier.try_advance(ticket)?;
                         }
                     }
-                    ConstraintSystem::from_orbit_frontier(frontier)
+                    ConstraintSystem::from_orbit_frontier_governed(frontier, ticket)?
                 }
                 Some(_) => {
                     // Cached deeper than requested (a downward query):
                     // build fresh without disturbing the deeper cache.
                     let mut frontier = OrbitFrontier::new(n);
                     for _ in 0..rounds {
-                        frontier.advance();
+                        frontier.try_advance(ticket)?;
                     }
-                    ConstraintSystem::from_orbit_frontier(&mut frontier)
+                    ConstraintSystem::from_orbit_frontier_governed(&mut frontier, ticket)?
                 }
                 None => {
                     let frontier = frontiers.entry(n).or_insert_with(|| OrbitFrontier::new(n));
                     while frontier.rounds() < rounds {
-                        frontier.advance();
+                        frontier.try_advance(ticket)?;
                     }
-                    ConstraintSystem::from_orbit_frontier(frontier)
+                    ConstraintSystem::from_orbit_frontier_governed(frontier, ticket)?
                 }
             }
         };
         let system = Arc::new(system);
         self.systems
             .lock()
-            .expect("system cache poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .entry((n, rounds))
             .or_insert_with(|| Arc::clone(&system));
-        (system, false)
+        Ok((system, false))
     }
 
     /// Current counters and entry counts.
@@ -295,16 +380,28 @@ impl EngineCache {
             classifications: self
                 .classifications
                 .lock()
-                .expect("classification cache poisoned")
+                .unwrap_or_else(|p| p.into_inner())
                 .len(),
-            witnesses: self.witnesses.lock().expect("witness cache poisoned").len(),
-            searches: self.searches.lock().expect("search cache poisoned").len(),
-            complexes: self.complexes.lock().expect("complex cache poisoned").len(),
-            systems: self.systems.lock().expect("system cache poisoned").len(),
+            witnesses: self
+                .witnesses
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .len(),
+            searches: self
+                .searches
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .len(),
+            complexes: self
+                .complexes
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .len(),
+            systems: self.systems.lock().unwrap_or_else(|p| p.into_inner()).len(),
             frontiers: self
                 .frontiers
                 .lock()
-                .expect("frontier cache poisoned")
+                .unwrap_or_else(|p| p.into_inner())
                 .len(),
             extensions: self.extensions.load(Ordering::Relaxed),
         }

@@ -59,9 +59,34 @@ pub enum Error {
     },
     /// A budgeted engine (the reference backtracker) exhausted its node
     /// budget before reaching a verdict.
+    ///
+    /// **Legacy surface**: since the governance layer landed, budget and
+    /// deadline exhaustion is reported as an *indeterminate verdict*
+    /// ([`Evidence::Indeterminate`](crate::Evidence::Indeterminate)),
+    /// not an error. The variant is kept so existing matches still
+    /// compile; the engine no longer constructs it.
     BudgetExhausted {
         /// The configured node budget.
         budget: u64,
+    },
+    /// A governed computation stopped before reaching a verdict
+    /// (cancellation, deadline, budget exhaustion, or an injected
+    /// fault). Internal to the dispatcher: [`execute`](crate::Query::run)
+    /// translates it into an indeterminate [`Verdict`](crate::Verdict)
+    /// rather than surfacing it to callers.
+    Interrupted {
+        /// The first limit that tripped.
+        reason: gsb_core::StopReason,
+        /// Counters accumulated before the stop, when the interrupted
+        /// engine kept any.
+        partial: Option<gsb_topology::SearchStats>,
+    },
+    /// A query panicked. Only produced by [`Batch`](crate::Batch), whose
+    /// per-query panic isolation converts the unwind into this error so
+    /// sibling queries complete undisturbed.
+    Panicked {
+        /// The panic payload, when it was a string.
+        details: String,
     },
     /// A JSON report could not be parsed back into a verdict.
     Json {
@@ -89,6 +114,12 @@ impl fmt::Display for Error {
             }
             Error::BudgetExhausted { budget } => {
                 write!(f, "reference engine exhausted its {budget}-node budget")
+            }
+            Error::Interrupted { reason, .. } => {
+                write!(f, "computation stopped: {reason}")
+            }
+            Error::Panicked { details } => {
+                write!(f, "query panicked: {details}")
             }
             Error::Json { details } => write!(f, "malformed verdict JSON: {details}"),
         }
@@ -128,6 +159,31 @@ impl From<gsb_algorithms::Error> for Error {
 impl From<gsb_topology::Error> for Error {
     fn from(e: gsb_topology::Error) -> Self {
         Error::Topology(e)
+    }
+}
+
+impl Error {
+    /// An [`Error::Interrupted`] carrying the ticket's recorded stop
+    /// reason and the partial counters the interrupted engine returned.
+    pub(crate) fn interrupted(
+        ticket: &gsb_core::Ticket,
+        partial: gsb_topology::SearchStats,
+    ) -> Self {
+        Error::Interrupted {
+            reason: ticket
+                .stop_reason()
+                .unwrap_or(gsb_core::StopReason::Cancelled),
+            partial: Some(partial),
+        }
+    }
+}
+
+impl From<gsb_core::Stopped> for Error {
+    fn from(stopped: gsb_core::Stopped) -> Self {
+        Error::Interrupted {
+            reason: stopped.reason,
+            partial: None,
+        }
     }
 }
 

@@ -103,6 +103,18 @@ pub enum Evidence {
         /// One row per feasible task, family order.
         rows: Vec<AtlasCell>,
     },
+    /// The governed computation stopped before reaching a verdict
+    /// (deadline, budget, cancellation, or injected fault): an honest
+    /// partial answer, not an error. The verdict's `solvability` is
+    /// `None`.
+    Indeterminate {
+        /// The first limit that tripped (see
+        /// [`StopReason::label`](gsb_core::StopReason::label)).
+        reason: gsb_core::StopReason,
+        /// Counters accumulated before the stop, when the interrupted
+        /// engine kept any.
+        partial: Option<SearchStats>,
+    },
 }
 
 impl Evidence {
@@ -118,6 +130,7 @@ impl Evidence {
             Evidence::Kernel { .. } => "kernel",
             Evidence::ElectionCertificate { .. } => "election-certificate",
             Evidence::Atlas { .. } => "atlas",
+            Evidence::Indeterminate { .. } => "indeterminate",
         }
     }
 
@@ -262,6 +275,9 @@ impl Evidence {
                 Ok(())
             }
             Evidence::Atlas { .. } => self.check_rows(),
+            // Indeterminate evidence makes no solvability claim, so
+            // there is nothing to falsify.
+            Evidence::Indeterminate { .. } => Ok(()),
         }
     }
 
@@ -274,6 +290,10 @@ impl Evidence {
     /// verdict differs from a fresh classification, or when called on
     /// non-atlas evidence.
     pub fn check_rows(&self) -> Result<()> {
+        // An interrupted spec-less sweep makes no claim to verify.
+        if let Evidence::Indeterminate { .. } = self {
+            return Ok(());
+        }
         let Evidence::Atlas { max_n, rows } = self else {
             return Err(Error::EvidenceRejected {
                 details: format!("'{}' evidence needs a spec to check against", self.label()),
@@ -462,6 +482,17 @@ impl std::fmt::Display for Evidence {
             },
             Evidence::ElectionCertificate { rounds, facets } => {
                 write!(f, "Theorem 11 certificate on χ^{rounds} ({facets} facets)")
+            }
+            Evidence::Indeterminate { reason, partial } => {
+                write!(f, "indeterminate (stopped: {reason}")?;
+                if let Some(stats) = partial {
+                    write!(
+                        f,
+                        "; partial: {} conflicts, {} decisions",
+                        stats.conflicts, stats.decisions
+                    )?;
+                }
+                f.write_str(")")
             }
             Evidence::Atlas { max_n, rows } => {
                 write!(f, "atlas sweep: {} tasks through n = {max_n}", rows.len())

@@ -527,6 +527,84 @@ impl Question {
     }
 }
 
+impl crate::query::EngineOpts {
+    /// Serializes the governance-relevant options (engine selection,
+    /// deadline, budgets) as a JSON object. The CDCL tuning block and
+    /// the verification toggles are runtime-only and not serialized.
+    #[must_use]
+    pub fn to_json_value(&self) -> Json {
+        fn opt_u64(x: Option<u64>) -> Json {
+            x.map_or(Json::Null, |v| Json::Num(v as f64))
+        }
+        Json::Obj(vec![
+            ("search".into(), Json::Str(self.search.label().into())),
+            (
+                "deadline_ms".into(),
+                self.deadline
+                    .map_or(Json::Null, |d| Json::Num(d.as_secs_f64() * 1e3)),
+            ),
+            ("decision_budget".into(), opt_u64(self.decision_budget)),
+            ("conflict_budget".into(), opt_u64(self.conflict_budget)),
+            // The deprecated `reference_budget` alias folds in here.
+            ("node_budget".into(), opt_u64(self.effective_node_budget())),
+            ("memory_budget".into(), opt_u64(self.memory_budget)),
+        ])
+    }
+
+    /// Parses options back from [`to_json_value`](Self::to_json_value)
+    /// output. Missing budget fields stay `None`, so pre-governance
+    /// `EngineOpts` JSON (which only carried `search` and possibly the
+    /// legacy `reference_budget` key) still parses; a `reference_budget`
+    /// key is honored as an alias of `node_budget`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Json`] on unknown engine labels or non-numeric
+    /// budget fields.
+    pub fn from_json_value(value: &Json) -> Result<Self> {
+        fn opt_u64(value: &Json, key: &str) -> Result<Option<u64>> {
+            match value.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(other) => other
+                    .as_f64()
+                    .map(|x| Some(x as u64))
+                    .ok_or_else(|| Error::Json {
+                        details: format!("field '{key}' is not a number"),
+                    }),
+            }
+        }
+        let label = str_field(value, "search")?;
+        let search = crate::query::SearchEngine::from_label(label).ok_or_else(|| Error::Json {
+            details: format!("unknown search engine '{label}'"),
+        })?;
+        let deadline = match value.get("deadline_ms") {
+            None | Some(Json::Null) => None,
+            Some(other) => Some(Duration::from_secs_f64(
+                other
+                    .as_f64()
+                    .ok_or_else(|| Error::Json {
+                        details: "field 'deadline_ms' is not a number".into(),
+                    })?
+                    .max(0.0)
+                    / 1e3,
+            )),
+        };
+        let mut opts = crate::query::EngineOpts {
+            search,
+            deadline,
+            decision_budget: opt_u64(value, "decision_budget")?,
+            conflict_budget: opt_u64(value, "conflict_budget")?,
+            node_budget: opt_u64(value, "node_budget")?,
+            memory_budget: opt_u64(value, "memory_budget")?,
+            ..Default::default()
+        };
+        if opts.node_budget.is_none() {
+            opts.node_budget = opt_u64(value, "reference_budget")?;
+        }
+        Ok(opts)
+    }
+}
+
 impl Evidence {
     /// Serializes the evidence as a tagged JSON object.
     #[must_use]
@@ -587,6 +665,13 @@ impl Evidence {
             Evidence::ElectionCertificate { rounds, facets } => {
                 pairs.push(("rounds".into(), Json::Num(*rounds as f64)));
                 pairs.push(("facets".into(), Json::Num(*facets as f64)));
+            }
+            Evidence::Indeterminate { reason, partial } => {
+                pairs.push(("reason".into(), Json::Str(reason.label().into())));
+                pairs.push((
+                    "partial".into(),
+                    partial.as_ref().map_or(Json::Null, stats_to_json),
+                ));
             }
             Evidence::Atlas { max_n, rows } => {
                 pairs.push(("max_n".into(), Json::Num(*max_n as f64)));
@@ -675,6 +760,18 @@ impl Evidence {
                 rounds: usize_field(value, "rounds")?,
                 facets: usize_field(value, "facets")?,
             }),
+            "indeterminate" => {
+                let label = str_field(value, "reason")?;
+                let reason =
+                    gsb_core::StopReason::from_label(label).ok_or_else(|| Error::Json {
+                        details: format!("unknown stop reason '{label}'"),
+                    })?;
+                let partial = match field(value, "partial")? {
+                    Json::Null => None,
+                    other => Some(stats_from_json(other)?),
+                };
+                Ok(Evidence::Indeterminate { reason, partial })
+            }
             "atlas" => {
                 let rows = field(value, "rows")?
                     .as_arr()

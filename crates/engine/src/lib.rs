@@ -57,6 +57,7 @@ pub mod batch;
 pub mod cache;
 mod error;
 pub mod evidence;
+pub mod governor;
 pub mod json;
 pub mod query;
 mod run;
@@ -67,10 +68,15 @@ pub use batch::Batch;
 pub use cache::{CacheStats, EngineCache};
 pub use error::{Error, Result};
 pub use evidence::{AtlasCell, Evidence};
+pub use governor::Governor;
 pub use json::Json;
 pub use query::{EngineOpts, Query, Question, SearchEngine};
 pub use tasks::{named_task, KNOWN_TASKS};
 pub use verdict::{Provenance, RunStats, Verdict};
+
+// Governance vocabulary, re-exported so engine callers can build limits
+// and inspect stop reasons without naming `gsb_core` directly.
+pub use gsb_core::{Limits, StopReason, Stopped, Ticket};
 
 #[cfg(test)]
 mod tests {

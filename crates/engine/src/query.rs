@@ -97,6 +97,17 @@ impl SearchEngine {
             SearchEngine::Both => "both",
         }
     }
+
+    /// The engine for a [`label`](SearchEngine::label), if known.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "cdcl" => Some(SearchEngine::Cdcl),
+            "reference" => Some(SearchEngine::Reference),
+            "both" => Some(SearchEngine::Both),
+            _ => None,
+        }
+    }
 }
 
 /// Budgets and engine-selection knobs of a query.
@@ -104,9 +115,27 @@ impl SearchEngine {
 pub struct EngineOpts {
     /// Engine used for round-bounded searches (default: CDCL).
     pub search: SearchEngine,
+    /// Wall-clock deadline for the whole query. Construction and solve
+    /// loops poll it cooperatively, and a watchdog thread backstops
+    /// solves that poll too rarely. Exhaustion yields an indeterminate
+    /// verdict ([`Evidence::Indeterminate`](crate::Evidence)).
+    pub deadline: Option<std::time::Duration>,
+    /// CDCL decision budget across all portfolio members.
+    pub decision_budget: Option<u64>,
+    /// CDCL conflict budget across all portfolio members.
+    pub conflict_budget: Option<u64>,
+    /// Node budget for the reference backtracker.
+    pub node_budget: Option<u64>,
+    /// Approximate memory budget in bytes, charged at frontier/arena
+    /// growth points during streamed construction.
+    pub memory_budget: Option<u64>,
     /// Node budget for the reference backtracker, `None` = unbounded.
-    /// Exhaustion surfaces as
+    ///
+    /// **Deprecated alias** of [`EngineOpts::node_budget`]: still
+    /// honored (and still parsed from existing `EngineOpts` JSON), but
+    /// exhaustion now yields an indeterminate verdict instead of
     /// [`Error::BudgetExhausted`](crate::Error::BudgetExhausted).
+    #[deprecated(note = "use `node_budget`; exhaustion now yields an indeterminate verdict")]
     pub reference_budget: Option<u64>,
     /// **Cross-engine agreement mode** for [`Question::Classify`]: when
     /// `Some(r)`, the classifier's verdict is checked against both
@@ -132,15 +161,54 @@ pub struct EngineOpts {
 }
 
 impl Default for EngineOpts {
+    #[allow(deprecated)] // initializes the legacy `reference_budget` alias
     fn default() -> Self {
         EngineOpts {
             search: SearchEngine::Cdcl,
+            deadline: None,
+            decision_budget: None,
+            conflict_budget: None,
+            node_budget: None,
+            memory_budget: None,
             reference_budget: None,
             agreement_rounds: None,
             check_evidence: true,
             simulate_witness: false,
             use_cache: true,
             cdcl: CdclConfig::default(),
+        }
+    }
+}
+
+impl EngineOpts {
+    /// The effective node budget: [`EngineOpts::node_budget`], falling
+    /// back to the deprecated `reference_budget` alias.
+    #[must_use]
+    pub fn effective_node_budget(&self) -> Option<u64> {
+        #[allow(deprecated)] // the alias is exactly what this merges
+        self.node_budget.or(self.reference_budget)
+    }
+
+    /// True when any governance limit is set — the dispatcher then runs
+    /// the query under a [`Governor`](crate::Governor) ticket.
+    #[must_use]
+    pub fn is_governed(&self) -> bool {
+        self.deadline.is_some()
+            || self.decision_budget.is_some()
+            || self.conflict_budget.is_some()
+            || self.memory_budget.is_some()
+            || self.effective_node_budget().is_some()
+    }
+
+    /// The governance limits these options describe.
+    #[must_use]
+    pub fn limits(&self) -> gsb_core::Limits {
+        gsb_core::Limits {
+            deadline: self.deadline,
+            decisions: self.decision_budget,
+            conflicts: self.conflict_budget,
+            nodes: self.effective_node_budget(),
+            memory_bytes: self.memory_budget,
         }
     }
 }

@@ -6,7 +6,7 @@ use std::time::Instant;
 use gsb_algorithms::harness::{run_synchronous, AlgorithmUnderTest};
 use gsb_algorithms::FreeDecisionProtocol;
 use gsb_core::solvability::{binomial_gcd, BINOMIAL_GCD_MAX_N};
-use gsb_core::{Classification, GsbSpec, Identity, OutputVector, Solvability};
+use gsb_core::{Classification, GsbSpec, Identity, OutputVector, Solvability, StopReason, Ticket};
 use gsb_memory::ProtocolFactory;
 use gsb_topology::{
     election_impossibility_certificate, shared_protocol_complex, SearchResult, SearchStats,
@@ -17,6 +17,7 @@ use rayon::prelude::*;
 use crate::cache::{solve_cdcl, EngineCache, SearchEntry};
 use crate::error::{Error, Result};
 use crate::evidence::{AtlasCell, Evidence};
+use crate::governor::Governor;
 use crate::query::{EngineOpts, Query, Question, SearchEngine};
 use crate::verdict::{Provenance, RunStats, Verdict};
 
@@ -28,16 +29,36 @@ const MAX_SIMULATED_RUNS: usize = 64;
 /// Executes `query` against `cache`.
 pub(crate) fn execute(query: &Query, cache: &EngineCache) -> Result<Verdict> {
     let start = Instant::now();
-    let mut verdict = match query.question() {
-        Question::Classify => run_classify(require_spec(query)?, query.opts(), cache)?,
+    // Governed queries get a ticket (and, with a deadline, a watchdog
+    // thread); ungoverned queries take the zero-overhead `None` path.
+    let governor = Governor::from_opts(query.opts());
+    let ticket = governor.as_ref().map(Governor::ticket);
+    // Admission: every question observes a tripped ticket at least
+    // once, even closed-form ones that never reach a solver loop.
+    let admitted = match ticket {
+        // ticket.check poll site (query admission)
+        Some(t) => t.check().map_err(Error::from),
+        None => Ok(()),
+    };
+    let outcome = admitted.and_then(|()| match query.question() {
+        Question::Classify => run_classify(require_spec(query)?, query.opts(), cache, ticket),
         Question::SolvableInRounds { rounds } => {
-            run_rounds(require_spec(query)?, *rounds, query.opts(), cache)?
+            run_rounds(require_spec(query)?, *rounds, query.opts(), cache, ticket)
         }
-        Question::NoCommWitness => run_no_comm(require_spec(query)?, query.opts(), cache)?,
+        Question::NoCommWitness => run_no_comm(require_spec(query)?, query.opts(), cache),
         Question::Certificate { rounds } => {
-            run_certificate(require_spec(query)?, *rounds, query.opts(), cache)?
+            run_certificate(require_spec(query)?, *rounds, query.opts(), cache, ticket)
         }
-        Question::Atlas { max_n } => run_atlas(*max_n, cache)?,
+        Question::Atlas { max_n } => run_atlas(*max_n, cache, ticket),
+    });
+    let mut verdict = match outcome {
+        Ok(verdict) => verdict,
+        // A stop is a verdict about the *run*, not the task: report it
+        // as indeterminate evidence instead of an error.
+        Err(Error::Interrupted { reason, partial }) => {
+            indeterminate_verdict(query, reason, partial)
+        }
+        Err(other) => return Err(other),
     };
     if query.opts().check_evidence {
         verdict.check()?;
@@ -56,6 +77,31 @@ fn require_spec(query: &Query) -> Result<&GsbSpec> {
     query.spec().ok_or_else(|| Error::MissingSpec {
         question: query.question().to_string(),
     })
+}
+
+/// The verdict of a governed query that stopped before deciding
+/// anything: no solvability claim, [`Evidence::Indeterminate`] carrying
+/// the stop reason and whatever counters the interrupted engine kept.
+fn indeterminate_verdict(
+    query: &Query,
+    reason: StopReason,
+    partial: Option<SearchStats>,
+) -> Verdict {
+    Verdict {
+        solvability: None,
+        evidence: Evidence::Indeterminate { reason, partial },
+        provenance: Provenance {
+            question: query.question().clone(),
+            spec: query.spec().cloned(),
+            engines: vec!["governor".into()],
+            justification: format!("stopped before a verdict: {reason}"),
+            cache_hit: false,
+        },
+        stats: RunStats {
+            search: partial,
+            ..RunStats::default()
+        },
+    }
 }
 
 fn classification_of(
@@ -83,38 +129,66 @@ fn witness_of(
 }
 
 /// Runs the round-bounded search with the engine(s) selected in `opts`,
-/// enforcing engine-vs-engine agreement when both run.
+/// enforcing engine-vs-engine agreement when both run. A governed run
+/// (ticket present) threads the ticket through construction and solve;
+/// a tripped ticket surfaces as [`Error::Interrupted`] with partial
+/// counters, which [`execute`] converts to an indeterminate verdict.
 fn search_at(
     spec: &GsbSpec,
     rounds: usize,
     opts: &EngineOpts,
     cache: &EngineCache,
+    ticket: Option<&Ticket>,
 ) -> Result<(SearchEntry, bool, Vec<String>)> {
-    let cdcl = |cache_wanted: bool| -> (SearchEntry, bool) {
-        if cache_wanted {
-            cache.search(spec, rounds, &opts.cdcl)
-        } else {
-            (solve_cdcl(spec, rounds, &opts.cdcl), false)
+    let cdcl = |cache_wanted: bool| -> Result<(SearchEntry, bool)> {
+        match (ticket, cache_wanted) {
+            (Some(t), true) => cache.search_governed(spec, rounds, &opts.cdcl, t),
+            (Some(t), false) => {
+                let search =
+                    SymmetricSearch::from_spec_streaming_governed(spec.clone(), rounds, Some(t))?;
+                let (result, stats) = search.solve_governed(&opts.cdcl, t);
+                let Some(result) = result else {
+                    return Err(Error::interrupted(t, stats));
+                };
+                let map = search.decision_map(&result);
+                Ok(((result, map, stats), false))
+            }
+            (None, true) => Ok(cache.search(spec, rounds, &opts.cdcl)),
+            (None, false) => Ok((solve_cdcl(spec, rounds, &opts.cdcl), false)),
         }
     };
     let reference = || -> Result<SearchEntry> {
-        let search = SymmetricSearch::new(spec.clone(), rounds);
-        let budget = opts.reference_budget.unwrap_or(u64::MAX);
-        let result = search
-            .solve_reference_budgeted(budget)
-            .ok_or(Error::BudgetExhausted { budget })?;
-        let map = search.decision_map(&result);
-        // The reference engine keeps no counters; report zero work under
-        // one worker so the stats stay honest.
-        let stats = SearchStats {
-            workers: 1,
-            ..SearchStats::default()
-        };
-        Ok((result, map, stats))
+        match ticket {
+            Some(t) => {
+                let search =
+                    SymmetricSearch::from_spec_streaming_governed(spec.clone(), rounds, Some(t))?;
+                let (result, stats) = search.solve_reference_governed(t);
+                let Some(result) = result else {
+                    return Err(Error::interrupted(t, stats));
+                };
+                let map = search.decision_map(&result);
+                Ok((result, map, stats))
+            }
+            None => {
+                let search = SymmetricSearch::new(spec.clone(), rounds);
+                let result = search
+                    .solve_reference_budgeted(u64::MAX)
+                    .expect("unbudgeted reference search cannot exhaust");
+                let map = search.decision_map(&result);
+                // The ungoverned reference engine keeps no counters;
+                // report zero work under one worker so the stats stay
+                // honest.
+                let stats = SearchStats {
+                    workers: 1,
+                    ..SearchStats::default()
+                };
+                Ok((result, map, stats))
+            }
+        }
     };
     match opts.search {
         SearchEngine::Cdcl => {
-            let (entry, hit) = cdcl(opts.use_cache);
+            let (entry, hit) = cdcl(opts.use_cache)?;
             Ok((entry, hit, vec!["cdcl".into()]))
         }
         SearchEngine::Reference => Ok((reference()?, false, vec!["reference".into()])),
@@ -125,10 +199,23 @@ fn search_at(
             // routes small instances to the same backtracker as the
             // reference arm — which would make this check vacuous
             // exactly where a CDCL setup bug would first appear.
-            let search = SymmetricSearch::from_spec_streaming(spec.clone(), rounds);
-            let (result, stats) = search.solve_cdcl_with(&opts.cdcl);
-            let map = search.decision_map(&result);
-            let entry = (result, map, stats);
+            let search =
+                SymmetricSearch::from_spec_streaming_governed(spec.clone(), rounds, ticket)?;
+            let entry = match ticket {
+                Some(t) => {
+                    let (result, stats) = search.solve_cdcl_governed(&opts.cdcl, t);
+                    let Some(result) = result else {
+                        return Err(Error::interrupted(t, stats));
+                    };
+                    let map = search.decision_map(&result);
+                    (result, map, stats)
+                }
+                None => {
+                    let (result, stats) = search.solve_cdcl_with(&opts.cdcl);
+                    let map = search.decision_map(&result);
+                    (result, map, stats)
+                }
+            };
             let (ref_result, _, _) = reference()?;
             if entry.0.is_solvable() != ref_result.is_solvable() {
                 return Err(Error::Disagreement {
@@ -146,11 +233,16 @@ fn search_at(
 
 /// `Question::Classify`: the closed-form classifier, with
 /// structure-theory evidence and optional round-bounded agreement.
-fn run_classify(spec: &GsbSpec, opts: &EngineOpts, cache: &EngineCache) -> Result<Verdict> {
+fn run_classify(
+    spec: &GsbSpec,
+    opts: &EngineOpts,
+    cache: &EngineCache,
+    ticket: Option<&Ticket>,
+) -> Result<Verdict> {
     let (classification, cache_hit) = classification_of(spec, opts, cache);
     let mut engines = vec!["classifier".to_string()];
     if let Some(max_rounds) = opts.agreement_rounds {
-        agreement_sweep(spec, &classification, max_rounds, opts, cache)?;
+        agreement_sweep(spec, &classification, max_rounds, opts, cache, ticket)?;
         engines.push("cdcl".into());
         engines.push("reference".into());
     }
@@ -217,6 +309,7 @@ fn agreement_sweep(
     max_rounds: usize,
     opts: &EngineOpts,
     cache: &EngineCache,
+    ticket: Option<&Ticket>,
 ) -> Result<()> {
     for rounds in 0..=max_rounds {
         let both = EngineOpts {
@@ -224,7 +317,7 @@ fn agreement_sweep(
             ..opts.clone()
         };
         // `Both` enforces cdcl-vs-reference agreement internally.
-        let ((result, _, _), _, _) = search_at(spec, rounds, &both, cache)?;
+        let ((result, _, _), _, _) = search_at(spec, rounds, &both, cache, ticket)?;
         // Sound direction 1: a SAT decision map is a wait-free protocol,
         // so a negative classification contradicts it.
         if result.is_solvable() && classification.solvability.is_negative() {
@@ -251,9 +344,11 @@ fn run_rounds(
     rounds: usize,
     opts: &EngineOpts,
     cache: &EngineCache,
+    ticket: Option<&Ticket>,
 ) -> Result<Verdict> {
     let (classification, _) = classification_of(spec, opts, cache);
-    let ((result, map, stats), cache_hit, mut engines) = search_at(spec, rounds, opts, cache)?;
+    let ((result, map, stats), cache_hit, mut engines) =
+        search_at(spec, rounds, opts, cache, ticket)?;
     engines.push("classifier".into());
     let (solvability, evidence, justification) = match (&result, map) {
         (SearchResult::Solvable { .. }, Some(map)) => {
@@ -361,6 +456,7 @@ fn run_certificate(
     rounds: usize,
     opts: &EngineOpts,
     cache: &EngineCache,
+    ticket: Option<&Ticket>,
 ) -> Result<Verdict> {
     // 1. A no-communication witness is the cheapest positive certificate.
     let (witness, cache_hit) = witness_of(spec, opts, cache);
@@ -408,14 +504,14 @@ fn run_certificate(
     }
     // 3. Otherwise the round-bounded search: SAT gives a replayable map,
     //    UNSAT the refutation counters.
-    let mut verdict = run_rounds(spec, rounds, opts, cache)?;
+    let mut verdict = run_rounds(spec, rounds, opts, cache, ticket)?;
     verdict.provenance.question = Question::Certificate { rounds };
     Ok(verdict)
 }
 
 /// `Question::Atlas`: classify every feasible symmetric task with
 /// `n ≤ max_n`, fanned out over rayon with the shared cache.
-fn run_atlas(max_n: usize, cache: &EngineCache) -> Result<Verdict> {
+fn run_atlas(max_n: usize, cache: &EngineCache, ticket: Option<&Ticket>) -> Result<Verdict> {
     if max_n < 2 {
         return Err(Error::Unsupported {
             reason: format!("atlas needs max_n ≥ 2, got {max_n}"),
@@ -427,6 +523,10 @@ fn run_atlas(max_n: usize, cache: &EngineCache) -> Result<Verdict> {
     let per_family: Vec<Result<Vec<AtlasCell>>> = families
         .into_par_iter()
         .map(|(n, m)| {
+            if let Some(t) = ticket {
+                // ticket.check poll site (per-family stride)
+                t.check()?;
+            }
             let family = gsb_core::order::feasible_family(n, m).map_err(Error::Core)?;
             Ok(family
                 .into_iter()

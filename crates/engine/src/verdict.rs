@@ -76,6 +76,14 @@ impl Verdict {
         }
     }
 
+    /// Whether a governed run stopped (cancellation, deadline, budget,
+    /// injected fault) before reaching a verdict — the evidence is
+    /// [`Evidence::Indeterminate`] and no solvability is claimed.
+    #[must_use]
+    pub fn is_indeterminate(&self) -> bool {
+        matches!(self.evidence, Evidence::Indeterminate { .. })
+    }
+
     /// Re-verifies this verdict's evidence against its provenance spec,
     /// independently of the engine that produced it (see
     /// [`Evidence::check`]). Atlas verdicts re-classify every row.

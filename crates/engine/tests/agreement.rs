@@ -11,7 +11,7 @@
 //! engine surfaces as [`gsb_engine::Error::Disagreement`].
 
 use gsb_core::zoo::catalog;
-use gsb_engine::{EngineCache, Error, Evidence, Query, SearchEngine};
+use gsb_engine::{EngineCache, Evidence, Query, SearchEngine};
 
 #[test]
 fn zoo_classifier_vs_cdcl_vs_reference() {
@@ -78,15 +78,28 @@ fn election_agreement_extends_to_two_rounds() {
 }
 
 #[test]
-fn budget_exhaustion_is_a_clean_error() {
+fn budget_exhaustion_is_an_indeterminate_verdict() {
+    // The legacy `reference_budget` alias still governs the node budget,
+    // but exhaustion now surfaces as an indeterminate verdict instead of
+    // `Error::BudgetExhausted`.
     let spec = gsb_core::SymmetricGsb::wsb(3)
         .expect("well-formed")
         .to_spec();
     let mut query = Query::solvable_in_rounds(spec, 1);
     query.opts_mut().search = SearchEngine::Reference;
-    query.opts_mut().reference_budget = Some(1);
-    match query.run_with(&EngineCache::new()) {
-        Err(Error::BudgetExhausted { budget: 1 }) => {}
-        other => panic!("expected BudgetExhausted, got {other:?}"),
+    #[allow(deprecated)]
+    {
+        query.opts_mut().reference_budget = Some(1);
+    }
+    let verdict = query
+        .run_with(&EngineCache::new())
+        .expect("exhaustion is a verdict, not an error");
+    assert!(verdict.is_indeterminate(), "got {verdict:?}");
+    assert_eq!(verdict.solvability, None);
+    match &verdict.evidence {
+        Evidence::Indeterminate { reason, .. } => {
+            assert_eq!(*reason, gsb_engine::StopReason::NodeBudget);
+        }
+        other => panic!("expected indeterminate evidence, got {other:?}"),
     }
 }

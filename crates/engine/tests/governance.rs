@@ -1,0 +1,300 @@
+//! Governance integration: every governed loop — CDCL portfolio,
+//! reference backtracker, streamed orbit construction — stops when its
+//! ticket trips, and the engine reports the stop as an *indeterminate
+//! verdict* (never a hang, never an abort). The deterministic
+//! fault-injection harness drives the cancellation/panic paths from
+//! explicit seeds.
+//!
+//! The fault harness is process-global (any `Ticket::check` in the
+//! process can consume an armed plan), so every test here serializes on
+//! one mutex — the fault tests via the harness's own gate would not
+//! protect the budget/deadline tests from consuming a plan armed by a
+//! concurrently running fault test.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use gsb_core::govern::fault::{self, FaultAction};
+use gsb_core::SymmetricGsb;
+use gsb_engine::{Batch, EngineCache, Error, Evidence, Query, SearchEngine, StopReason, Verdict};
+
+/// Serializes all governance tests in this binary (see module docs).
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn wsb(n: usize) -> gsb_core::GsbSpec {
+    SymmetricGsb::wsb(n).expect("well-formed").to_spec()
+}
+
+/// Asserts the indeterminate shape and returns the stop reason.
+fn stop_reason_of(verdict: &Verdict) -> StopReason {
+    assert!(verdict.is_indeterminate(), "got {verdict:?}");
+    assert_eq!(verdict.solvability, None);
+    assert_eq!(verdict.provenance.engines, vec!["governor".to_string()]);
+    match &verdict.evidence {
+        Evidence::Indeterminate { reason, .. } => *reason,
+        other => panic!("expected indeterminate evidence, got {other:?}"),
+    }
+}
+
+/// A long-running solve under a short deadline stops within a polling
+/// interval instead of hanging: wsb(3) at three rounds is far beyond
+/// the deadline, and the watchdog backstops any stride the CDCL
+/// portfolio runs between polls.
+#[test]
+fn deadline_stops_a_long_cdcl_solve() {
+    let _g = lock();
+    let mut query = Query::solvable_in_rounds(wsb(3), 3);
+    query.opts_mut().deadline = Some(Duration::from_millis(40));
+    let start = Instant::now();
+    let verdict = query
+        .run_with(&EngineCache::new())
+        .expect("a deadline is a verdict, not an error");
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "governed solve must stop within a polling interval"
+    );
+    assert_eq!(stop_reason_of(&verdict), StopReason::Deadline);
+}
+
+/// A conflict budget trips the CDCL portfolio at a strided poll site
+/// and the verdict carries the busiest member's partial counters.
+#[test]
+fn conflict_budget_stops_cdcl_with_partial_counters() {
+    let _g = lock();
+    let mut query = Query::solvable_in_rounds(wsb(3), 3);
+    query.opts_mut().conflict_budget = Some(1);
+    let verdict = query
+        .run_with(&EngineCache::new())
+        .expect("budget exhaustion is a verdict");
+    assert_eq!(stop_reason_of(&verdict), StopReason::ConflictBudget);
+    let partial = verdict.stats.search.expect("partial counters survive");
+    assert!(
+        partial.conflicts + partial.decisions > 0,
+        "interrupted solve reports the work it did: {partial:?}"
+    );
+}
+
+/// The `node_budget` field governs the reference backtracker (the
+/// deprecated `reference_budget` alias is covered in `agreement.rs`).
+#[test]
+fn node_budget_stops_the_reference_backtracker() {
+    let _g = lock();
+    let mut query = Query::solvable_in_rounds(wsb(3), 1);
+    query.opts_mut().search = SearchEngine::Reference;
+    query.opts_mut().node_budget = Some(1);
+    let verdict = query
+        .run_with(&EngineCache::new())
+        .expect("budget exhaustion is a verdict");
+    assert_eq!(stop_reason_of(&verdict), StopReason::NodeBudget);
+}
+
+/// A one-byte memory budget trips during streamed construction (the
+/// frontier/arena growth charges), before any solving happens.
+#[test]
+fn memory_budget_stops_streamed_construction() {
+    let _g = lock();
+    let mut query = Query::solvable_in_rounds(wsb(3), 2);
+    query.opts_mut().memory_budget = Some(1);
+    let verdict = query
+        .run_with(&EngineCache::new())
+        .expect("budget exhaustion is a verdict");
+    assert_eq!(stop_reason_of(&verdict), StopReason::MemoryBudget);
+}
+
+/// The ungoverned paths still reach real verdicts while limits are off.
+#[test]
+fn generous_limits_do_not_change_the_verdict() {
+    let _g = lock();
+    let mut query = Query::solvable_in_rounds(wsb(3), 1);
+    query.opts_mut().deadline = Some(Duration::from_secs(3600));
+    query.opts_mut().conflict_budget = Some(u64::MAX / 4);
+    let verdict = query.run_with(&EngineCache::new()).expect("clean run");
+    assert!(!verdict.is_indeterminate());
+    assert_eq!(verdict.is_solvable(), Some(false));
+}
+
+/// Seeded fault injection cancels the CDCL portfolio at a counted poll
+/// site: construction runs ungoverned, so the countdown-zero seed lands
+/// on the solver's first strided conflict/decision poll. The solve
+/// returns no result, reports the cancellation on the ticket, and keeps
+/// the partial counters it accumulated before the trip.
+#[test]
+fn seeded_fault_cancels_the_cdcl_path() {
+    let _g = lock();
+    let search = gsb_topology::SymmetricSearch::from_spec_streaming(wsb(3), 3);
+    let ticket = gsb_core::Ticket::unlimited();
+    // splitmix64(6) % 32 == 0: the very first counted poll fires.
+    let guard = fault::arm_action(6, FaultAction::Cancel);
+    let start = Instant::now();
+    let (result, stats) = search.solve_cdcl_governed(&gsb_topology::CdclConfig::default(), &ticket);
+    drop(guard);
+    assert!(start.elapsed() < Duration::from_secs(30));
+    assert!(result.is_none(), "a cancelled solve reaches no result");
+    assert_eq!(ticket.stop_reason(), Some(StopReason::Cancelled));
+    // Countdown zero lands on the solver's first poll (decision count 0
+    // is a multiple of the stride), so only propagation work precedes
+    // it — the stats are partial but well-formed.
+    assert!(
+        stats.propagations + stats.decisions + stats.conflicts > 0,
+        "the interrupted solve reports the work it did: {stats:?}"
+    );
+}
+
+/// The same seed cancels at the same counted poll site every run.
+#[test]
+fn seeded_fault_cancellation_is_deterministic() {
+    let _g = lock();
+    let reasons: Vec<StopReason> = (0..2)
+        .map(|_| {
+            // splitmix64(12) % 32 == 3: lands in the governed
+            // construction polls, the same site each run.
+            let guard = fault::arm_action(12, FaultAction::TripBudget);
+            let mut query = Query::solvable_in_rounds(wsb(3), 2);
+            query.opts_mut().conflict_budget = Some(u64::MAX / 4);
+            query.opts_mut().use_cache = false;
+            let verdict = query
+                .run_with(&EngineCache::new())
+                .expect("an injected trip is a verdict");
+            drop(guard);
+            stop_reason_of(&verdict)
+        })
+        .collect();
+    assert_eq!(reasons, vec![StopReason::Fault, StopReason::Fault]);
+}
+
+/// Seeded fault injection cancels the reference backtracker, which
+/// polls on every visited node.
+#[test]
+fn seeded_fault_cancels_the_reference_backtracker() {
+    let _g = lock();
+    let guard = fault::arm_action(0xBEEF, FaultAction::Cancel);
+    let mut query = Query::solvable_in_rounds(wsb(3), 1);
+    query.opts_mut().search = SearchEngine::Reference;
+    query.opts_mut().node_budget = Some(u64::MAX / 4);
+    query.opts_mut().use_cache = false;
+    let verdict = query
+        .run_with(&EngineCache::new())
+        .expect("an injected cancellation is a verdict");
+    drop(guard);
+    assert_eq!(stop_reason_of(&verdict), StopReason::Cancelled);
+}
+
+/// Seeded fault injection cancels the orbit-frontier expansion loops
+/// directly at the topology layer: `try_advance`/`try_expand` return
+/// `Stopped` and leave the frontier at its last completed round.
+#[test]
+fn seeded_fault_cancels_orbit_frontier_expansion() {
+    let _g = lock();
+    let ticket = gsb_core::Ticket::unlimited();
+    // Countdown for this seed lands inside the construction loops of a
+    // 4-process, 2-round streamed build (hundreds of poll sites).
+    let guard = fault::arm_action(0x0B17, FaultAction::Cancel);
+    let outcome = gsb_topology::ConstraintSystem::streamed_governed(4, 2, Some(&ticket));
+    drop(guard);
+    let stopped = outcome.expect_err("the armed cancel must land mid-construction");
+    assert_eq!(stopped.reason, gsb_core::StopReason::Cancelled);
+    // The ungoverned build still works afterwards (no shared-state
+    // corruption from the aborted one).
+    let (system, _) = gsb_topology::ConstraintSystem::streamed(4, 2);
+    assert!(system.facet_count() > 0);
+}
+
+/// **Batch panic isolation**: a deliberately poisoned query (injected
+/// panic at a counted poll site) yields `Error::Panicked` in its own
+/// slot while its batch-mates complete undisturbed, and the results
+/// stay index-aligned with the queries.
+#[test]
+fn poisoned_batch_query_leaves_siblings_intact() {
+    let _g = lock();
+    let guard = fault::arm_action(3, FaultAction::Panic);
+    let mut poisoned = Query::solvable_in_rounds(wsb(3), 2);
+    // Only this query is governed, so only it polls — the injected
+    // panic lands in slot 1 deterministically.
+    poisoned.opts_mut().conflict_budget = Some(u64::MAX / 4);
+    poisoned.opts_mut().use_cache = false;
+    let batch: Batch = [Query::classify(wsb(4)), poisoned, Query::classify(wsb(5))]
+        .into_iter()
+        .collect();
+    let results = batch.run_with(&EngineCache::new());
+    drop(guard);
+    assert_eq!(results.len(), 3, "results stay index-aligned");
+    match &results[1] {
+        Err(Error::Panicked { details }) => {
+            assert!(details.contains("injected fault"), "details: {details}");
+        }
+        other => panic!("expected Panicked in slot 1, got {other:?}"),
+    }
+    for (i, n) in [(0usize, 4usize), (2, 5)] {
+        let sibling = results[i].as_ref().expect("siblings complete");
+        assert_eq!(sibling.provenance.spec.as_ref(), Some(&wsb(n)));
+    }
+}
+
+/// Batch results stay index-aligned when a member comes back
+/// indeterminate (budget-tripped) rather than panicked.
+#[test]
+fn indeterminate_batch_member_keeps_result_alignment() {
+    let _g = lock();
+    let mut tripped = Query::solvable_in_rounds(wsb(3), 3);
+    tripped.opts_mut().conflict_budget = Some(1);
+    let batch: Batch = [Query::classify(wsb(4)), tripped, Query::classify(wsb(6))]
+        .into_iter()
+        .collect();
+    let results = batch.run_with(&EngineCache::new());
+    assert_eq!(results.len(), 3);
+    assert!(results[1].as_ref().expect("a verdict").is_indeterminate());
+    assert!(!results[0].as_ref().expect("clean").is_indeterminate());
+    assert!(!results[2].as_ref().expect("clean").is_indeterminate());
+}
+
+/// Interrupted searches are never cached: after a budget-tripped run,
+/// the same query with generous limits recomputes a real verdict.
+#[test]
+fn interrupted_results_are_not_cached() {
+    let _g = lock();
+    let cache = EngineCache::new();
+    // One node is not enough for wsb(3) at one round (five visits), so
+    // the governed tiny-instance path trips on its per-node poll.
+    let mut tripped = Query::solvable_in_rounds(wsb(3), 1);
+    tripped.opts_mut().node_budget = Some(1);
+    let first = tripped.run_with(&cache).expect("tripped verdict");
+    assert_eq!(stop_reason_of(&first), StopReason::NodeBudget);
+    let clean = Query::solvable_in_rounds(wsb(3), 1)
+        .run_with(&cache)
+        .expect("clean verdict");
+    assert!(!clean.is_indeterminate());
+    assert_eq!(clean.is_solvable(), Some(false));
+    assert!(
+        !clean.provenance.cache_hit,
+        "the interrupted run must not have populated the cache"
+    );
+    // The clean run *does* populate it.
+    let again = Query::solvable_in_rounds(wsb(3), 1)
+        .run_with(&cache)
+        .expect("cached verdict");
+    assert!(again.provenance.cache_hit);
+}
+
+/// Every question — including the closed-form ones that never reach a
+/// solver loop — accepts a deadline: a zero deadline stops each before
+/// any real work (the admission poll observes the tripped ticket).
+#[test]
+fn certificate_and_atlas_respect_deadlines() {
+    let _g = lock();
+    for mut query in [
+        Query::certificate(wsb(3), 2),
+        Query::atlas(6),
+        Query::classify(wsb(4)),
+        Query::no_comm_witness(wsb(4)),
+    ] {
+        query.opts_mut().deadline = Some(Duration::ZERO);
+        let verdict = query
+            .run_with(&EngineCache::new())
+            .expect("a deadline is a verdict");
+        assert_eq!(stop_reason_of(&verdict), StopReason::Deadline);
+    }
+}

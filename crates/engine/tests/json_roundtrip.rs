@@ -1,8 +1,10 @@
 //! JSON round-trip: every evidence kind the engine emits must parse
 //! back losslessly and remain machine-checkable afterwards.
 
+use std::time::Duration;
+
 use gsb_core::{GsbSpec, SymmetricGsb};
-use gsb_engine::{EngineCache, Evidence, Query, Verdict};
+use gsb_engine::{EngineCache, EngineOpts, Evidence, Json, Query, SearchEngine, Verdict};
 
 /// One query per evidence kind.
 fn sample_queries() -> Vec<(&'static str, Query)> {
@@ -66,6 +68,89 @@ fn every_evidence_kind_round_trips() {
             .check()
             .unwrap_or_else(|e| panic!("{expected_kind} re-check after parse: {e}"));
     }
+}
+
+/// A governed run stopped by its limits emits `indeterminate` evidence,
+/// and that verdict survives JSON like every other kind: lossless,
+/// idempotent, and still checkable after parsing. A zero deadline makes
+/// the interruption deterministic (the first poll trips).
+#[test]
+fn indeterminate_verdicts_round_trip() {
+    let mut query = Query::solvable_in_rounds(SymmetricGsb::wsb(3).unwrap().to_spec(), 2);
+    query.opts_mut().deadline = Some(Duration::ZERO);
+    let verdict = query
+        .run_with(&EngineCache::new())
+        .expect("a tripped deadline is a verdict, not an error");
+    assert!(verdict.is_indeterminate());
+    assert_eq!(verdict.evidence.label(), "indeterminate");
+    let json = verdict.to_json();
+    let parsed = Verdict::from_json(&json).expect("indeterminate verdicts parse back");
+    assert!(parsed.is_indeterminate());
+    assert_eq!(parsed.solvability, None);
+    assert_eq!(parsed.evidence, verdict.evidence);
+    assert_eq!(parsed.provenance, verdict.provenance);
+    assert_eq!(parsed.to_json(), json, "not idempotent");
+    parsed
+        .check()
+        .expect("indeterminate evidence makes no claim and must pass the recheck");
+}
+
+/// `EngineOpts` governance fields (deadline + the four budgets) round
+/// trip through their JSON form, including through a render/parse of
+/// the text itself.
+#[test]
+fn engine_opts_round_trip_through_json() {
+    let opts = EngineOpts {
+        search: SearchEngine::Both,
+        deadline: Some(Duration::from_millis(1500)),
+        decision_budget: Some(10_000),
+        conflict_budget: None,
+        node_budget: Some(77),
+        memory_budget: Some(64 * 1024 * 1024),
+        ..EngineOpts::default()
+    };
+    let text = opts.to_json_value().render();
+    let parsed = EngineOpts::from_json_value(&Json::parse(&text).expect("well-formed"))
+        .expect("options parse back");
+    assert_eq!(parsed.search, opts.search);
+    assert_eq!(parsed.deadline, opts.deadline);
+    assert_eq!(parsed.decision_budget, opts.decision_budget);
+    assert_eq!(parsed.conflict_budget, opts.conflict_budget);
+    assert_eq!(parsed.node_budget, opts.node_budget);
+    assert_eq!(parsed.memory_budget, opts.memory_budget);
+}
+
+/// Pre-governance options JSON still parses: missing budget fields stay
+/// `None`, and the legacy `reference_budget` key is honored as an alias
+/// of `node_budget`. The deprecated field itself serializes *as*
+/// `node_budget`, so re-rendering migrates old payloads forward.
+#[test]
+fn legacy_reference_budget_key_parses_as_node_budget() {
+    let legacy =
+        Json::parse("{\"search\": \"reference\", \"reference_budget\": 42}").expect("well-formed");
+    let parsed = EngineOpts::from_json_value(&legacy).expect("legacy options parse");
+    assert_eq!(parsed.search, SearchEngine::Reference);
+    assert_eq!(parsed.node_budget, Some(42));
+    assert_eq!(parsed.deadline, None);
+    assert_eq!(parsed.memory_budget, None);
+    // An explicit node_budget wins over the alias.
+    let both = Json::parse("{\"search\": \"cdcl\", \"node_budget\": 7, \"reference_budget\": 42}")
+        .expect("well-formed");
+    assert_eq!(
+        EngineOpts::from_json_value(&both).unwrap().node_budget,
+        Some(7)
+    );
+    // The deprecated setter folds into node_budget on the way out.
+    let mut opts = EngineOpts::default();
+    #[allow(deprecated)]
+    {
+        opts.reference_budget = Some(9);
+    }
+    let rendered = opts.to_json_value();
+    assert_eq!(
+        rendered.get("node_budget").and_then(Json::as_f64),
+        Some(9.0)
+    );
 }
 
 #[test]

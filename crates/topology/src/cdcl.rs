@@ -39,6 +39,7 @@
 //! [`solvability`](crate::solvability) as the reference oracle; the
 //! equivalence of the two engines is property-tested over a task zoo.
 
+use gsb_core::govern::Ticket;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -1093,6 +1094,7 @@ impl<'a> Solver<'a> {
         mut self,
         cancel: Option<&AtomicBool>,
         pool: Option<&SharedPool>,
+        ticket: Option<&Ticket>,
     ) -> (CdclResult, SearchStats) {
         self.stats.workers = 1;
         if self.root_conflict {
@@ -1100,6 +1102,11 @@ impl<'a> Solver<'a> {
         }
         let mut conflicts_since_restart = 0u64;
         let mut restart_threshold = luby(1) * self.cfg.restart_base;
+        // Work already reported to the ticket; deltas are charged at the
+        // strided poll sites below so the governed counters track the
+        // true totals without a per-iteration atomic.
+        let mut charged_conflicts = 0u64;
+        let mut charged_decisions = 0u64;
         loop {
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
@@ -1112,8 +1119,16 @@ impl<'a> Solver<'a> {
                 self.record(learnt, lbd, symmetric, pool);
                 self.var_inc /= 0.95;
                 if self.stats.conflicts.is_multiple_of(1024) {
+                    // ticket.check poll site (conflict stride)
                     if let Some(flag) = cancel {
                         if flag.load(Ordering::Relaxed) {
+                            return (CdclResult::Interrupted, self.stats);
+                        }
+                    }
+                    if let Some(t) = ticket {
+                        let delta = self.stats.conflicts - charged_conflicts;
+                        charged_conflicts = self.stats.conflicts;
+                        if t.charge_conflicts(delta).is_err() {
                             return (CdclResult::Interrupted, self.stats);
                         }
                     }
@@ -1137,8 +1152,16 @@ impl<'a> Solver<'a> {
                 // deep in a low-conflict SAT dive would otherwise only
                 // notice the winner at its next conflict burst.
                 if self.stats.decisions.is_multiple_of(2048) {
+                    // ticket.check poll site (decision stride)
                     if let Some(flag) = cancel {
                         if flag.load(Ordering::Relaxed) {
+                            return (CdclResult::Interrupted, self.stats);
+                        }
+                    }
+                    if let Some(t) = ticket {
+                        let delta = self.stats.decisions - charged_decisions;
+                        charged_decisions = self.stats.decisions;
+                        if t.charge_decisions(delta).is_err() {
                             return (CdclResult::Interrupted, self.stats);
                         }
                     }
@@ -1243,34 +1266,69 @@ fn diversify(base: &CdclConfig, width: usize) -> Vec<CdclConfig> {
 /// inline, wider runs exchange short learned clauses through a shared
 /// pool when the base configuration allows it.
 pub(crate) fn solve_portfolio(inst: &Instance, base: &CdclConfig) -> (CdclResult, SearchStats) {
+    solve_portfolio_governed(inst, base, None)
+}
+
+/// [`solve_portfolio`] under a governance ticket: every member polls the
+/// ticket at its strided check sites, and an externally tripped ticket
+/// interrupts the whole portfolio, returning `Interrupted` with the
+/// partial statistics of the busiest member.
+pub(crate) fn solve_portfolio_governed(
+    inst: &Instance,
+    base: &CdclConfig,
+    ticket: Option<&Ticket>,
+) -> (CdclResult, SearchStats) {
     let width = rayon::current_num_threads().clamp(1, MAX_PORTFOLIO);
-    solve_portfolio_width(inst, base, width)
+    solve_portfolio_width_governed(inst, base, width, ticket)
 }
 
 /// [`solve_portfolio`] at an explicit width (tests exercise the
 /// multi-worker path regardless of host core count).
+#[cfg(test)]
 pub(crate) fn solve_portfolio_width(
     inst: &Instance,
     base: &CdclConfig,
     width: usize,
 ) -> (CdclResult, SearchStats) {
+    solve_portfolio_width_governed(inst, base, width, None)
+}
+
+/// [`solve_portfolio_width`] under a governance ticket.
+pub(crate) fn solve_portfolio_width_governed(
+    inst: &Instance,
+    base: &CdclConfig,
+    width: usize,
+    ticket: Option<&Ticket>,
+) -> (CdclResult, SearchStats) {
     let configs = diversify(base, width.max(1));
     if configs.len() == 1 {
         let cfg = configs.into_iter().next().expect("width 1");
-        return Solver::new(inst, cfg).solve(None, None);
+        return Solver::new(inst, cfg).solve(None, None, ticket);
     }
     let workers = configs.len();
     let pool = SharedPool::default();
     let pool = base.share_learned.then_some(&pool);
     let done = AtomicBool::new(false);
     let winner: Mutex<Option<(CdclResult, SearchStats)>> = Mutex::new(None);
+    // When the ticket trips, *every* member comes back Interrupted and
+    // there is no winner; keep the busiest interrupted member's stats so
+    // partial progress is still reported.
+    let interrupted: Mutex<Option<SearchStats>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for cfg in configs {
-            let (done, winner, pool) = (&done, &winner, pool);
+            let (done, winner, interrupted, pool) = (&done, &winner, &interrupted, pool);
             scope.spawn(move || {
-                let (result, stats) = Solver::new(inst, cfg).solve(Some(done), pool);
-                if !matches!(result, CdclResult::Interrupted) {
-                    let mut slot = winner.lock().expect("winner poisoned");
+                let (result, stats) = Solver::new(inst, cfg).solve(Some(done), pool, ticket);
+                if matches!(result, CdclResult::Interrupted) {
+                    let mut slot = interrupted.lock().unwrap_or_else(|p| p.into_inner());
+                    let busier = slot.is_none_or(|s| {
+                        stats.conflicts + stats.decisions > s.conflicts + s.decisions
+                    });
+                    if busier {
+                        *slot = Some(stats);
+                    }
+                } else {
+                    let mut slot = winner.lock().unwrap_or_else(|p| p.into_inner());
                     if slot.is_none() {
                         *slot = Some((result, stats));
                         done.store(true, Ordering::Relaxed);
@@ -1281,8 +1339,14 @@ pub(crate) fn solve_portfolio_width(
     });
     let (result, mut stats) = winner
         .into_inner()
-        .expect("winner poisoned")
-        .expect("some member finishes");
+        .unwrap_or_else(|p| p.into_inner())
+        .unwrap_or_else(|| {
+            let partial = interrupted
+                .into_inner()
+                .unwrap_or_else(|p| p.into_inner())
+                .unwrap_or_default();
+            (CdclResult::Interrupted, partial)
+        });
     stats.workers = workers;
     (result, stats)
 }

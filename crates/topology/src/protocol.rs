@@ -40,6 +40,7 @@
 //! `(n, rounds)` behind a process-wide table, mirroring the atlas memo
 //! pattern — repeated searches at the same parameters share one build.
 
+use gsb_core::govern::{Stopped, Ticket};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -775,6 +776,20 @@ impl OrbitFrontier {
     /// keeps the lex-leader of each produced orbit, and carries the
     /// orbit's exact size and stabilizer.
     pub fn advance(&mut self) {
+        self.try_advance(None)
+            .expect("ungoverned advance cannot stop");
+    }
+
+    /// [`OrbitFrontier::advance`] under a governance ticket: polls the
+    /// ticket at a bounded representative-row stride and charges the
+    /// round's cache/row allocations against its memory budget.
+    ///
+    /// **Abort safety:** the next round's rows are built locally and
+    /// committed only at the end, so an `Err` return leaves the
+    /// frontier logically at the *previous* round — safe to retry or
+    /// drop (only arena interning and the `stamped_rows` counter have
+    /// advanced).
+    pub fn try_advance(&mut self, ticket: Option<&Ticket>) -> Result<(), Stopped> {
         let OrbitFrontier {
             n,
             arena,
@@ -803,6 +818,10 @@ impl OrbitFrontier {
         // mid-round.
         let expected_nodes = arena.len() + rows.len() * templates.len();
         if perm_cache.len() < expected_nodes * group_order {
+            if let Some(t) = ticket {
+                let grown = expected_nodes * group_order - perm_cache.len();
+                t.charge_memory((grown * std::mem::size_of::<u32>()) as u64)?;
+            }
             perm_cache.resize(expected_nodes * group_order, 0);
         }
         let mut scratch: Vec<(u32, ViewKey)> = vec![(0, ViewKey::from_index(0)); n];
@@ -813,6 +832,12 @@ impl OrbitFrontier {
         let mut stab_scratch: Vec<u16> = Vec::with_capacity(group_order);
         let mut composed: Vec<u32> = vec![0; n];
         for (r, row) in rows.chunks_exact(n).enumerate() {
+            if let Some(t) = ticket {
+                // ticket.check poll site (representative-row stride)
+                if r % 64 == 0 {
+                    t.check()?;
+                }
+            }
             let stab = &stab_data[stab_offsets[r] as usize..stab_offsets[r + 1] as usize];
             for (t, template) in templates.iter().enumerate() {
                 // Stamp only the minimum template of each Stab(row)
@@ -919,6 +944,15 @@ impl OrbitFrontier {
                 }
             }
         }
+        if let Some(t) = ticket {
+            // Post-hoc memory charge for the round's committed rows and
+            // stabilizer tables; an `Err` here still leaves the frontier
+            // at the previous round (see the abort-safety note above).
+            let committed = next_rows.len() * std::mem::size_of::<ViewKey>()
+                + next_sizes.len() * std::mem::size_of::<u32>()
+                + next_stab_data.len() * std::mem::size_of::<u16>();
+            t.charge_memory(committed as u64)?;
+        }
         *rows = next_rows;
         *orbit_sizes = next_sizes;
         *stab_offsets = next_stab_offsets;
@@ -927,6 +961,7 @@ impl OrbitFrontier {
         stats.orbit_rows = rows.len() / n;
         stats.peak_orbit_rows = stats.peak_orbit_rows.max(stats.orbit_rows);
         stats.facets = orbit_sizes.iter().map(|&s| s as usize).sum();
+        Ok(())
     }
 
     /// Walks every representative's orbit at the class level and
@@ -943,6 +978,19 @@ impl OrbitFrontier {
     /// has exactly `C(n, s)` vertices (one per support), so
     /// `vertices = Σ_classes C(n, s)`.
     pub(crate) fn expand(&mut self) -> OrbitExpansion {
+        self.try_expand(None)
+            .expect("ungoverned expand cannot stop")
+    }
+
+    /// [`OrbitFrontier::expand`] under a governance ticket: polls the
+    /// ticket once per group element and per emission stride, and
+    /// charges the image/constraint tables against its memory budget.
+    /// Expansion never mutates the frontier's rows, so an `Err` return
+    /// leaves the frontier valid for later extension.
+    pub(crate) fn try_expand(
+        &mut self,
+        ticket: Option<&Ticket>,
+    ) -> Result<OrbitExpansion, Stopped> {
         let OrbitFrontier {
             n,
             arena,
@@ -968,11 +1016,19 @@ impl OrbitFrontier {
         // of the image.
         let closure = arena.reachable_closure(&distinct_keys);
         let mut column: Vec<u32> = Vec::new();
+        if let Some(t) = ticket {
+            let table_bytes = distinct_keys.len() * group_order * std::mem::size_of::<u32>();
+            t.charge_memory(table_bytes as u64)?;
+        }
         let mut table = vec![0u32; distinct_keys.len() * group_order];
         let mut sigs: Vec<ViewKey> = Vec::new();
         let mut sig_slot: Vec<u32> = Vec::new(); // indexed by arena key, grown on demand
         let bits = multiset_bits(n);
         for g in 0..group_order {
+            if let Some(t) = ticket {
+                // ticket.check poll site (group-element stride)
+                t.check()?;
+            }
             if g > 0 {
                 arena.permute_column(&closure, &group[g], &mut column);
             }
@@ -1033,9 +1089,19 @@ impl OrbitFrontier {
         // lexicographic multiset order, so a single u128 sort both
         // deduplicates the family and puts it in canonical order. No
         // hashing, no per-constraint allocation.
+        if let Some(t) = ticket {
+            let emission_bytes = rows.len() / n * group_order * std::mem::size_of::<u128>();
+            t.charge_memory(emission_bytes as u64)?;
+        }
         let mut packed_constraints: Vec<u128> = Vec::with_capacity(rows.len() / n * group_order);
         let mut multiset: Vec<u32> = vec![0; n];
-        for row in rows.chunks_exact(n) {
+        for (r, row) in rows.chunks_exact(n).enumerate() {
+            if let Some(t) = ticket {
+                // ticket.check poll site (emission stride)
+                if r % 64 == 0 {
+                    t.check()?;
+                }
+            }
             for g in 0..group_order {
                 for (pos, &key) in row.iter().enumerate() {
                     multiset[pos] = table[slot_of_key[key.index()] as usize * group_order + g];
@@ -1050,10 +1116,10 @@ impl OrbitFrontier {
         for (chunk, &packed) in facet_classes.chunks_exact_mut(n).zip(&packed_constraints) {
             unpack_multiset(packed, bits, chunk);
         }
-        OrbitExpansion {
+        Ok(OrbitExpansion {
             class_keys,
             facet_classes,
-        }
+        })
     }
 
     /// A clone of the frontier's arena (for callers that keep the

@@ -35,6 +35,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use gsb_core::govern::{Stopped, Ticket};
 use gsb_core::GsbSpec;
 use rayon::prelude::*;
 
@@ -419,19 +420,34 @@ impl ConstraintSystem {
     /// Panics if `n = 0`.
     #[must_use]
     pub fn streamed(n: usize, rounds: usize) -> (Self, OrbitBuildStats) {
+        Self::streamed_governed(n, rounds, None).expect("ungoverned streaming cannot stop")
+    }
+
+    /// [`ConstraintSystem::streamed`] under a governance ticket: every
+    /// subdivision round and the final expansion poll the ticket and
+    /// charge their allocations against its memory budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n = 0`.
+    pub fn streamed_governed(
+        n: usize,
+        rounds: usize,
+        ticket: Option<&Ticket>,
+    ) -> Result<(Self, OrbitBuildStats), Stopped> {
         let mut frontier = OrbitFrontier::new(n);
         for _ in 0..rounds {
-            frontier.advance();
+            frontier.try_advance(ticket)?;
         }
-        let expansion = frontier.expand();
+        let expansion = frontier.try_expand(ticket)?;
         let stats = frontier.stats();
         let perm_id_base = frontier.perm_id_base();
         // One-shot path: the frontier is consumed, so the arena moves.
         let arena = frontier.into_arena();
-        (
+        Ok((
             Self::from_orbit_parts(n, expansion, arena, perm_id_base),
             stats,
-        )
+        ))
     }
 
     /// Builds the system from an already-advanced [`OrbitFrontier`]
@@ -440,11 +456,27 @@ impl ConstraintSystem {
     /// valid for the next extension).
     #[must_use]
     pub fn from_orbit_frontier(frontier: &mut OrbitFrontier) -> Self {
-        let expansion = frontier.expand();
+        Self::from_orbit_frontier_governed(frontier, None)
+            .expect("ungoverned expansion cannot stop")
+    }
+
+    /// [`ConstraintSystem::from_orbit_frontier`] under a governance
+    /// ticket. Expansion never mutates the frontier's rows, so an `Err`
+    /// return leaves the cached frontier valid for later extension.
+    pub fn from_orbit_frontier_governed(
+        frontier: &mut OrbitFrontier,
+        ticket: Option<&Ticket>,
+    ) -> Result<Self, Stopped> {
+        let expansion = frontier.try_expand(ticket)?;
         // The frontier stays cached for later round extension, so the
         // arena is cloned.
         let arena = frontier.clone_arena();
-        Self::from_orbit_parts(frontier.n(), expansion, arena, frontier.perm_id_base())
+        Ok(Self::from_orbit_parts(
+            frontier.n(),
+            expansion,
+            arena,
+            frontier.perm_id_base(),
+        ))
     }
 
     fn from_orbit_parts(
@@ -656,6 +688,35 @@ fn verify_class_perm(
 /// backtracking verdict).
 const TINY_INSTANCE_FACETS: usize = 32;
 
+/// Node admission for the reference backtracker: a hard node budget
+/// (the legacy `solve_reference_budgeted` contract) plus an optional
+/// governance ticket charged at a 64-node stride.
+struct NodeGate<'a> {
+    remaining: u64,
+    visited: u64,
+    ticket: Option<&'a Ticket>,
+}
+
+impl NodeGate<'_> {
+    /// Admit one node; `false` means the search must stop. Each node
+    /// charges the ticket exactly once, so a node budget of `k` admits
+    /// exactly `k` nodes — the same contract as the legacy `max_nodes`
+    /// argument (important: governed tiny searches finish in a handful
+    /// of nodes, far below any stride).
+    fn visit(&mut self) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        self.remaining -= 1;
+        self.visited += 1;
+        match self.ticket {
+            // ticket.check poll site (per-node)
+            Some(t) => t.charge_nodes(1).is_ok(),
+            None => true,
+        }
+    }
+}
+
 /// A prepared search instance: a task specification over the
 /// spec-independent [`ConstraintSystem`] of its protocol complex.
 #[derive(Debug, Clone)]
@@ -707,6 +768,26 @@ impl SymmetricSearch {
             rounds: Some(rounds),
             system: Arc::new(system),
         }
+    }
+
+    /// [`SymmetricSearch::from_spec_streaming`] under a governance
+    /// ticket: construction polls the ticket and charges its memory
+    /// budget, so even the build phase of a query is interruptible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.n() = 0`.
+    pub fn from_spec_streaming_governed(
+        spec: GsbSpec,
+        rounds: usize,
+        ticket: Option<&Ticket>,
+    ) -> Result<Self, Stopped> {
+        let (system, _) = ConstraintSystem::streamed_governed(spec.n(), rounds, ticket)?;
+        Ok(SymmetricSearch {
+            spec,
+            rounds: Some(rounds),
+            system: Arc::new(system),
+        })
     }
 
     /// Prepares the search for `spec` over an explicit complex.
@@ -834,6 +915,35 @@ impl SymmetricSearch {
         self.solve_cdcl_with(config)
     }
 
+    /// The governed front door: [`SymmetricSearch::solve_with`] under a
+    /// ticket. `None` means the ticket tripped before a verdict — the
+    /// accompanying counters then report the partial work done (for the
+    /// tiny-instance reference path, nodes visited are reported as
+    /// `decisions`).
+    ///
+    /// # Panics
+    ///
+    /// As [`SymmetricSearch::solve_with`].
+    #[must_use]
+    pub fn solve_governed(
+        &self,
+        config: &CdclConfig,
+        ticket: &Ticket,
+    ) -> (Option<SearchResult>, SearchStats) {
+        if self.facet_count() <= TINY_INSTANCE_FACETS {
+            let (result, stats) = self.solve_reference_governed(ticket);
+            if let Some(SearchResult::Solvable { assignment }) = &result {
+                let checked: Vec<Option<usize>> = assignment.iter().map(|&v| Some(v)).collect();
+                assert!(
+                    self.all_facets_legal(&checked),
+                    "reference assignment must satisfy every facet"
+                );
+            }
+            return (result, stats);
+        }
+        self.solve_cdcl_governed(config, ticket)
+    }
+
     /// Runs the conflict-driven engine unconditionally, bypassing the
     /// tiny-instance fast path — the hook the engine-equivalence suite
     /// compares against the backtracking oracle (through the production
@@ -861,6 +971,36 @@ impl SymmetricSearch {
         }
     }
 
+    /// The conflict-driven engine under a governance ticket: every
+    /// portfolio member polls the ticket at its strided check sites.
+    /// `None` means the ticket tripped; the counters then carry the
+    /// busiest interrupted member's partial progress.
+    ///
+    /// # Panics
+    ///
+    /// As [`SymmetricSearch::solve_with`].
+    #[must_use]
+    pub fn solve_cdcl_governed(
+        &self,
+        config: &CdclConfig,
+        ticket: &Ticket,
+    ) -> (Option<SearchResult>, SearchStats) {
+        let instance = self.instance();
+        let (result, stats) = cdcl::solve_portfolio_governed(&instance, config, Some(ticket));
+        match result {
+            CdclResult::Sat(assignment) => {
+                let checked: Vec<Option<usize>> = assignment.iter().map(|&v| Some(v)).collect();
+                assert!(
+                    self.all_facets_legal(&checked),
+                    "CDCL assignment must satisfy every facet"
+                );
+                (Some(SearchResult::Solvable { assignment }), stats)
+            }
+            CdclResult::Unsat => (Some(SearchResult::Unsolvable), stats),
+            CdclResult::Interrupted => (None, stats),
+        }
+    }
+
     /// The retained seed engine: weight-ordered backtracking with unit
     /// propagation — the reference oracle the CDCL engine is tested
     /// against.
@@ -876,6 +1016,34 @@ impl SymmetricSearch {
     /// harness to time out the baseline deterministically.
     #[must_use]
     pub fn solve_reference_budgeted(&self, max_nodes: u64) -> Option<SearchResult> {
+        self.solve_reference_gate(max_nodes, None).0
+    }
+
+    /// The reference backtracker under a governance ticket: nodes are
+    /// charged against the ticket's node budget at a 64-node stride, so
+    /// deadlines, cancellation and injected faults all land within one
+    /// polling interval. `None` means the ticket tripped; the counters
+    /// report the nodes visited so far as `decisions` (the reference
+    /// engine's only meaningful counter).
+    #[must_use]
+    pub fn solve_reference_governed(&self, ticket: &Ticket) -> (Option<SearchResult>, SearchStats) {
+        let (result, visited) = self.solve_reference_gate(u64::MAX, Some(ticket));
+        let stats = SearchStats {
+            workers: 1,
+            decisions: visited,
+            ..SearchStats::default()
+        };
+        (result, stats)
+    }
+
+    /// Shared core of the budgeted/governed reference paths: returns
+    /// the verdict (`None` when the gate closed first) and the number
+    /// of nodes visited.
+    fn solve_reference_gate(
+        &self,
+        max_nodes: u64,
+        ticket: Option<&Ticket>,
+    ) -> (Option<SearchResult>, u64) {
         let k = self.system.class_count;
         // Order classes by descending weight: most-constrained first.
         let mut order: Vec<usize> = (0..k).collect();
@@ -883,18 +1051,25 @@ impl SymmetricSearch {
         let mut assignment: Vec<Option<usize>> = vec![None; k];
         // Value symmetry breaking is sound only for fully symmetric specs.
         let value_symmetric = self.spec.is_symmetric();
-        let mut budget = max_nodes;
-        let solvable = self.backtrack(&order, 0, &mut assignment, value_symmetric, &mut budget)?;
-        Some(if solvable {
-            SearchResult::Solvable {
-                assignment: assignment
-                    .into_iter()
-                    .map(|v| v.expect("complete"))
-                    .collect(),
+        let mut gate = NodeGate {
+            remaining: max_nodes,
+            visited: 0,
+            ticket,
+        };
+        let solvable = self.backtrack(&order, 0, &mut assignment, value_symmetric, &mut gate);
+        let result = solvable.map(|solvable| {
+            if solvable {
+                SearchResult::Solvable {
+                    assignment: assignment
+                        .into_iter()
+                        .map(|v| v.expect("complete"))
+                        .collect(),
+                }
+            } else {
+                SearchResult::Unsolvable
             }
-        } else {
-            SearchResult::Unsolvable
-        })
+        });
+        (result, gate.visited)
     }
 
     /// The quotiented instance handed to the CDCL engine.
@@ -944,7 +1119,7 @@ impl SymmetricSearch {
         depth: usize,
         assignment: &mut Vec<Option<usize>>,
         value_symmetric: bool,
-        budget: &mut u64,
+        gate: &mut NodeGate,
     ) -> Option<bool> {
         // Skip classes already fixed by propagation.
         let mut idx = depth;
@@ -966,13 +1141,12 @@ impl SymmetricSearch {
             self.spec.m()
         };
         for value in 1..=value_cap {
-            if *budget == 0 {
+            if !gate.visit() {
                 return None;
             }
-            *budget -= 1;
             let mut trail = Vec::new();
             if self.assign_and_propagate(class, value, assignment, &mut trail) {
-                match self.backtrack(order, idx + 1, assignment, value_symmetric, budget) {
+                match self.backtrack(order, idx + 1, assignment, value_symmetric, gate) {
                     Some(true) => return Some(true),
                     Some(false) => {}
                     None => return None,

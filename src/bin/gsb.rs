@@ -35,6 +35,16 @@ USAGE:
   gsb complex  <n> <r> [--orbits] [--json]
   gsb tasks
 
+Every query command also takes resource-governance limits:
+  [--deadline-ms MS] [--decision-budget D] [--conflict-budget C]
+  [--node-budget K] [--memory-budget-mb MB]
+A query that hits a limit stops cooperatively and reports an
+*indeterminate* verdict (solvability null, evidence kind
+\"indeterminate\" with the stop reason and partial search counters)
+instead of hanging or erroring, e.g.:
+  gsb solvable wsb --n 3 --rounds 3 --deadline-ms 50 --json
+  gsb solvable loose_renaming --n 4 --k 5 --rounds 2 --conflict-budget 1000
+
 OPTIONS:
   --n N          number of processes
   --k K          task parameter (renaming name space, slot count, …)
@@ -48,6 +58,11 @@ OPTIONS:
                  representative per facet orbit, exact counts by
                  orbit–stabilizer, no complex materialized (complex)
   --json         emit the machine-readable verdict report
+  --deadline-ms MS      wall-clock deadline (watchdog-backed)
+  --decision-budget D   CDCL decision budget across the portfolio
+  --conflict-budget C   CDCL conflict budget across the portfolio
+  --node-budget K       reference-backtracker node budget
+  --memory-budget-mb MB approximate construction memory budget
 
 `gsb complex <n> <r>` builds χ^r(Δ^{n−1}) through the streaming
 subdivision pipeline and prints facet/vertex/signature-class counts plus
@@ -76,7 +91,19 @@ struct Args {
 
 const BOOLEAN_FLAGS: &[&str] = &["json", "simulate", "rows", "orbits"];
 const VALUE_FLAGS: &[&str] = &[
-    "n", "k", "spec", "rounds", "engine", "agree", "task", "max-n",
+    "n",
+    "k",
+    "spec",
+    "rounds",
+    "engine",
+    "agree",
+    "task",
+    "max-n",
+    "deadline-ms",
+    "decision-budget",
+    "conflict-budget",
+    "node-budget",
+    "memory-budget-mb",
 ];
 
 impl Args {
@@ -129,6 +156,32 @@ impl Args {
         self.usize_value(name)?
             .ok_or_else(|| format!("--{name} is required"))
     }
+
+    fn u64_value(&self, name: &str) -> Result<Option<u64>, String> {
+        self.value(name)
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("--{name} must be a number, got '{v}'"))
+            })
+            .transpose()
+    }
+}
+
+/// Applies the shared governance flags (deadline and budgets) to a
+/// query's options. Every query subcommand accepts them; a tripped
+/// limit yields an indeterminate verdict, not an error.
+fn apply_governance(args: &Args, query: &mut Query) -> Result<(), String> {
+    let opts = query.opts_mut();
+    opts.deadline = args
+        .u64_value("deadline-ms")?
+        .map(std::time::Duration::from_millis);
+    opts.decision_budget = args.u64_value("decision-budget")?;
+    opts.conflict_budget = args.u64_value("conflict-budget")?;
+    opts.node_budget = args.u64_value("node-budget")?;
+    opts.memory_budget = args
+        .u64_value("memory-budget-mb")?
+        .map(|mb| mb.saturating_mul(1024 * 1024));
+    Ok(())
 }
 
 fn run_cli(args: &[String]) -> Result<(), String> {
@@ -239,6 +292,7 @@ fn classify(args: &Args) -> Result<(), String> {
     if let Some(rounds) = args.usize_value("agree")? {
         query.opts_mut().agreement_rounds = Some(rounds);
     }
+    apply_governance(args, &mut query)?;
     let verdict = run_query(query)?;
     emit(&verdict, args.switch("json"));
     Ok(())
@@ -260,6 +314,7 @@ fn solvable(args: &Args) -> Result<(), String> {
     let rounds = args.require_usize("rounds")?;
     let mut query = Query::solvable_in_rounds(spec, rounds);
     query.opts_mut().search = parse_engine(args)?;
+    apply_governance(args, &mut query)?;
     let verdict = run_query(query)?;
     emit(&verdict, args.switch("json"));
     Ok(())
@@ -273,6 +328,7 @@ fn frontier(args: &Args) -> Result<(), String> {
     for rounds in 0..=max_rounds {
         let mut query = Query::solvable_in_rounds(spec.clone(), rounds);
         query.opts_mut().search = engine;
+        apply_governance(args, &mut query)?;
         verdicts.push(run_query(query)?);
     }
     if args.switch("json") {
@@ -319,6 +375,7 @@ fn witness(args: &Args) -> Result<(), String> {
     let spec = resolve_spec(args)?;
     let mut query = Query::no_comm_witness(spec);
     query.opts_mut().simulate_witness = args.switch("simulate");
+    apply_governance(args, &mut query)?;
     let verdict = run_query(query)?;
     if !args.switch("json") {
         if let Some(map) = verdict.evidence.witness() {
@@ -332,7 +389,9 @@ fn witness(args: &Args) -> Result<(), String> {
 fn certify(args: &Args) -> Result<(), String> {
     let spec = resolve_spec(args)?;
     let rounds = args.require_usize("rounds")?;
-    let verdict = run_query(Query::certificate(spec, rounds))?;
+    let mut query = Query::certificate(spec, rounds);
+    apply_governance(args, &mut query)?;
+    let verdict = run_query(query)?;
     emit(&verdict, args.switch("json"));
     Ok(())
 }
@@ -467,7 +526,9 @@ fn atlas(args: &Args) -> Result<(), String> {
             .map(|p| p.parse::<usize>().map_err(|_| format!("bad max_n '{p}'")))
             .transpose()?)
         .ok_or_else(|| "pass the largest n to sweep, e.g. `gsb atlas 9`".to_string())?;
-    let verdict = run_query(Query::atlas(max_n))?;
+    let mut query = Query::atlas(max_n);
+    apply_governance(args, &mut query)?;
+    let verdict = run_query(query)?;
     if args.switch("json") {
         print!("{}", verdict.to_json());
         return Ok(());

@@ -59,7 +59,12 @@ fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> V
             .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
             .collect();
         for handle in handles {
-            out.extend(handle.join().expect("rayon stand-in worker panicked"));
+            // Propagate a worker panic with its original payload (as real
+            // rayon does) so callers' `catch_unwind` sees what was thrown.
+            match handle.join() {
+                Ok(mapped) => out.extend(mapped),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
     out

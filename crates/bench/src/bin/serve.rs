@@ -1,0 +1,216 @@
+//! The **serve-loop bench**: round-trip throughput and tail latency of
+//! `gsb serve` over real TCP, warm-store lookups vs. solver misses,
+//! recorded in `BENCH_serve.json` (see `DESIGN.md` §11).
+//!
+//! ```text
+//! cargo run --release -p gsb-bench --bin serve [-- --quick | --full]
+//! ```
+//!
+//! * default / `--full` — 2000 warm-store requests plus every distinct
+//!   solver-miss key; use this when refreshing the committed record.
+//! * `--quick` — CI smoke: 200 warm requests, round-1 misses only.
+//!
+//! The warm phase replays zoo classification queries against a store
+//! prebuilt with `build_atlas(6)` and asserts every one is answered by
+//! the store (the solver never runs); the miss phase sends distinct
+//! round-bounded search keys the store cannot hold and asserts every
+//! one reaches the engine. Latencies are measured client-side around
+//! each blocking round trip, so they include framing and the kernel's
+//! loopback, exactly what a real client pays.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gsb_engine::{EngineCache, Json, Query, Question};
+use gsb_serve::{AdmissionPolicy, Client, ServedBy, Server, ServerConfig, VerdictStore};
+
+/// One measured phase: request count, throughput, and tail latencies.
+struct Phase {
+    label: &'static str,
+    requests: usize,
+    qps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+}
+
+fn quantile_us(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn run_phase(
+    label: &'static str,
+    client: &mut Client,
+    queries: &[Query],
+    requests: usize,
+    expect: ServedBy,
+) -> Phase {
+    let mut lat_us = Vec::with_capacity(requests);
+    let start = Instant::now();
+    for query in queries.iter().cycle().take(requests) {
+        let t = Instant::now();
+        let served = client.query(query).expect("bench query");
+        lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(
+            served.served_by, expect,
+            "{label}: {query:?} served by the wrong path"
+        );
+        assert!(served.verdict.solvability.is_some());
+    }
+    let wall = start.elapsed().as_secs_f64();
+    lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Phase {
+        label,
+        requests,
+        qps: requests as f64 / wall,
+        p50_us: quantile_us(&lat_us, 0.50),
+        p95_us: quantile_us(&lat_us, 0.95),
+        p99_us: quantile_us(&lat_us, 0.99),
+    }
+}
+
+/// Zoo classification queries for `2 ..= max_n` — all precomputed by
+/// `build_atlas(max_n)`, so each is a pure store lookup at serve time.
+fn warm_queries(max_n: usize) -> Vec<Query> {
+    let mut queries = Vec::new();
+    for n in 2..=max_n {
+        for entry in gsb_core::zoo::catalog(n).expect("catalog") {
+            queries.push(Query::new(entry.spec, Question::Classify));
+        }
+    }
+    queries
+}
+
+/// Distinct round-bounded search keys: the store holds only classify
+/// and witness verdicts, so every one of these is a solver miss.
+fn miss_queries(quick: bool) -> Vec<Query> {
+    let mut queries = Vec::new();
+    for n in [3, 4] {
+        for entry in gsb_core::zoo::catalog(n).expect("catalog") {
+            queries.push(Query::new(
+                entry.spec,
+                Question::SolvableInRounds { rounds: 1 },
+            ));
+        }
+    }
+    if !quick {
+        for entry in gsb_core::zoo::catalog(3).expect("catalog") {
+            queries.push(Query::new(
+                entry.spec,
+                Question::SolvableInRounds { rounds: 2 },
+            ));
+        }
+    }
+    queries
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let warm_requests = if quick { 200 } else { 2000 };
+
+    println!("gsb serve bench: warm-store lookups vs. solver misses\n");
+    let store = VerdictStore::in_memory();
+    let build = Instant::now();
+    // A throwaway precompute cache: the server's own cache starts cold,
+    // which is how the warm phase proves the solver never ran.
+    store
+        .build_atlas(6, &EngineCache::new())
+        .expect("atlas precompute");
+    println!(
+        "store: {} verdicts precomputed (atlas through n = 6, {:.0} ms)",
+        store.stats().entries,
+        build.elapsed().as_secs_f64() * 1e3
+    );
+
+    let config = ServerConfig {
+        policy: AdmissionPolicy::default(),
+        // Misses must reach the solver every time, even when the same
+        // key is replayed across bench runs against a disk store.
+        append_to_store: false,
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(config, Arc::new(store), Arc::new(EngineCache::new()))
+        .expect("bind ephemeral");
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let warm = warm_queries(6);
+    assert!(!warm.is_empty());
+    let misses = miss_queries(quick);
+    let phases = [
+        run_phase(
+            "warm-store",
+            &mut client,
+            &warm,
+            warm_requests,
+            ServedBy::Store,
+        ),
+        run_phase(
+            "solver-miss",
+            &mut client,
+            &misses,
+            misses.len(),
+            ServedBy::Engine,
+        ),
+    ];
+
+    // The warm phase must never have touched the engine: the only
+    // engine traffic on the books is the miss phase, exactly once per
+    // distinct key.
+    let metrics = client.metrics().expect("metrics");
+    let served_engine = metrics
+        .get("server")
+        .and_then(|s| s.get("served_engine"))
+        .and_then(Json::as_f64)
+        .expect("served_engine");
+    assert_eq!(served_engine as usize, misses.len());
+
+    println!(
+        "\n{:<14} {:>9} {:>12} {:>10} {:>10} {:>10}",
+        "phase", "requests", "qps", "p50", "p95", "p99"
+    );
+    for phase in &phases {
+        println!(
+            "{:<14} {:>9} {:>12.0} {:>8.0}µs {:>8.0}µs {:>8.0}µs",
+            phase.label, phase.requests, phase.qps, phase.p50_us, phase.p95_us, phase.p99_us
+        );
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+
+    let mut root = Vec::new();
+    root.push(("kind".to_string(), Json::Str("gsb-serve-bench".into())));
+    root.push((
+        "mode".to_string(),
+        Json::Str(if quick { "quick" } else { "full" }.into()),
+    ));
+    root.push((
+        "phases".to_string(),
+        Json::Arr(
+            phases
+                .iter()
+                .map(|p| {
+                    Json::Obj(vec![
+                        ("phase".to_string(), Json::Str(p.label.into())),
+                        ("requests".to_string(), Json::Num(p.requests as f64)),
+                        ("qps".to_string(), Json::Num(p.qps.round())),
+                        ("p50_us".to_string(), Json::Num(p.p50_us.round())),
+                        ("p95_us".to_string(), Json::Num(p.p95_us.round())),
+                        ("p99_us".to_string(), Json::Num(p.p99_us.round())),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    let path = std::path::Path::new("BENCH_serve.json");
+    match std::fs::write(path, Json::Obj(root).render()) {
+        Ok(()) => println!("\nRecord written to {}", path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
+}

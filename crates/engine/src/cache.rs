@@ -54,6 +54,36 @@ pub struct CacheStats {
 /// the counters of the solve that produced it.
 pub(crate) type SearchEntry = (SearchResult, Option<DecisionMap>, SearchStats);
 
+/// Per-key in-flight build guards: the first thread to miss a key takes
+/// its guard and builds; concurrent missers of the **same** key block on
+/// that guard, re-check the result map once it frees, and are served the
+/// winner's entry instead of duplicate-building a multi-hundred-ms
+/// construction (the server's batch fan-outs hit one `(n, rounds)` from
+/// many worker threads at once). Different keys build concurrently —
+/// the map lock is only held to fetch the guard `Arc`, never across a
+/// build.
+#[derive(Debug)]
+struct BuildGuards<K> {
+    guards: Mutex<HashMap<K, Arc<Mutex<()>>>>,
+}
+
+// Manual impl: the derive would needlessly require `K: Default`.
+impl<K> Default for BuildGuards<K> {
+    fn default() -> Self {
+        BuildGuards {
+            guards: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl<K: std::hash::Hash + Eq + Clone> BuildGuards<K> {
+    /// The guard for `key` (created on first use).
+    fn guard(&self, key: &K) -> Arc<Mutex<()>> {
+        let mut guards = self.guards.lock().unwrap_or_else(|p| p.into_inner());
+        Arc::clone(guards.entry(key.clone()).or_default())
+    }
+}
+
 /// The shared memo layers behind [`Query::run`](crate::Query::run) and
 /// [`Batch`](crate::Batch) fan-out.
 ///
@@ -73,9 +103,17 @@ pub struct EngineCache {
     /// Fused instance preps per `(n, rounds)` — spec-independent, so
     /// every task searched at the same parameters shares one system.
     systems: Mutex<HashMap<(usize, usize), Arc<ConstraintSystem>>>,
-    /// Deepest orbit frontier per `n`: frontier sweeps extend it round
-    /// by round instead of re-streaming from round 0.
-    frontiers: Mutex<HashMap<usize, OrbitFrontier>>,
+    /// Deepest orbit frontier per `n`, each in its own slot: frontier
+    /// sweeps extend it round by round instead of re-streaming from
+    /// round 0, and the per-`n` slot lock doubles as the in-flight
+    /// build guard for `systems` — concurrent first-touch of one
+    /// `(n, rounds)` serializes on the slot while different `n` build
+    /// in parallel (the old single map-wide lock serialized everything).
+    frontiers: Mutex<HashMap<usize, Arc<Mutex<OrbitFrontier>>>>,
+    /// In-flight guards for `searches`: without them, concurrent
+    /// identical queries would each run the full CDCL solve and only
+    /// deduplicate post-hoc at insertion.
+    search_guards: BuildGuards<(GsbSpec, usize)>,
     hits: AtomicU64,
     misses: AtomicU64,
     extensions: AtomicU64,
@@ -168,6 +206,20 @@ impl EngineCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return (hit.clone(), true);
         }
+        // In-flight guard: concurrent identical queries block here and
+        // are served the winner's entry by the re-check, instead of
+        // each running the full solve.
+        let guard = self.search_guards.guard(&key);
+        let _build = guard.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(hit) = self
+            .searches
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (hit.clone(), true);
+        }
         self.misses.fetch_add(1, Ordering::Relaxed);
         // The fused orbit-quotient prep, shared across every spec at
         // the same (n, rounds) and extended incrementally across round
@@ -199,6 +251,21 @@ impl EngineCache {
         ticket: &Ticket,
     ) -> Result<(SearchEntry, bool), Error> {
         let key = (spec.clone(), rounds);
+        if let Some(hit) = self
+            .searches
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((hit.clone(), true));
+        }
+        // Same in-flight guard as the ungoverned path. If the winner's
+        // ticket trips it caches nothing and releases the guard; the
+        // next waiter re-checks, misses, and retries under its own
+        // budget.
+        let guard = self.search_guards.guard(&key);
+        let _build = guard.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(hit) = self
             .searches
             .lock()
@@ -303,6 +370,21 @@ impl EngineCache {
             .expect("ungoverned construction cannot stop")
     }
 
+    /// The frontier slot for `n` (created at round 0 on first use) and
+    /// whether it already existed. The map lock is held only for the
+    /// lookup — building happens under the slot's own lock.
+    fn frontier_slot(&self, n: usize) -> (Arc<Mutex<OrbitFrontier>>, bool) {
+        use std::collections::hash_map::Entry;
+        let mut slots = self.frontiers.lock().unwrap_or_else(|p| p.into_inner());
+        match slots.entry(n) {
+            Entry::Occupied(e) => (Arc::clone(e.get()), true),
+            Entry::Vacant(e) => (
+                Arc::clone(e.insert(Arc::new(Mutex::new(OrbitFrontier::new(n))))),
+                false,
+            ),
+        }
+    }
+
     /// The governed core of the constraint-system layer.
     fn constraint_system_inner_governed(
         &self,
@@ -318,49 +400,39 @@ impl EngineCache {
         {
             return Ok((Arc::clone(hit), true));
         }
-        let system = {
-            let mut frontiers = self.frontiers.lock().unwrap_or_else(|p| p.into_inner());
-            // Double-checked: a racing builder may have populated the
-            // systems map while this thread waited on the frontier lock
-            // (batch fan-outs hit the same (n, rounds) concurrently) —
-            // don't re-run a multi-hundred-ms expansion.
-            if let Some(hit) = self
-                .systems
-                .lock()
-                .unwrap_or_else(|p| p.into_inner())
-                .get(&(n, rounds))
-            {
-                return Ok((Arc::clone(hit), true));
+        let (slot, preexisting) = self.frontier_slot(n);
+        let mut frontier = slot.lock().unwrap_or_else(|p| p.into_inner());
+        // Double-checked under the per-n build lock: a racing builder of
+        // the same (n, rounds) may have published while this thread
+        // waited on the slot (server worker pools and batch fan-outs hit
+        // one key concurrently) — don't re-run a multi-hundred-ms
+        // expansion. Builds for *different* n proceed in parallel.
+        if let Some(hit) = self
+            .systems
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&(n, rounds))
+        {
+            return Ok((Arc::clone(hit), true));
+        }
+        let system = if frontier.rounds() <= rounds {
+            if preexisting && frontier.rounds() < rounds {
+                self.extensions.fetch_add(1, Ordering::Relaxed);
             }
-            match frontiers.get_mut(&n) {
-                Some(frontier) if frontier.rounds() <= rounds => {
-                    if frontier.rounds() < rounds {
-                        self.extensions.fetch_add(1, Ordering::Relaxed);
-                        while frontier.rounds() < rounds {
-                            // A trip mid-extension leaves the cached
-                            // frontier at its last completed round.
-                            frontier.try_advance(ticket)?;
-                        }
-                    }
-                    ConstraintSystem::from_orbit_frontier_governed(frontier, ticket)?
-                }
-                Some(_) => {
-                    // Cached deeper than requested (a downward query):
-                    // build fresh without disturbing the deeper cache.
-                    let mut frontier = OrbitFrontier::new(n);
-                    for _ in 0..rounds {
-                        frontier.try_advance(ticket)?;
-                    }
-                    ConstraintSystem::from_orbit_frontier_governed(&mut frontier, ticket)?
-                }
-                None => {
-                    let frontier = frontiers.entry(n).or_insert_with(|| OrbitFrontier::new(n));
-                    while frontier.rounds() < rounds {
-                        frontier.try_advance(ticket)?;
-                    }
-                    ConstraintSystem::from_orbit_frontier_governed(frontier, ticket)?
-                }
+            while frontier.rounds() < rounds {
+                // A trip mid-extension leaves the cached frontier at
+                // its last completed round.
+                frontier.try_advance(ticket)?;
             }
+            ConstraintSystem::from_orbit_frontier_governed(&mut frontier, ticket)?
+        } else {
+            // Cached deeper than requested (a downward query): build
+            // fresh without disturbing the deeper cache.
+            let mut fresh = OrbitFrontier::new(n);
+            for _ in 0..rounds {
+                fresh.try_advance(ticket)?;
+            }
+            ConstraintSystem::from_orbit_frontier_governed(&mut fresh, ticket)?
         };
         let system = Arc::new(system);
         self.systems
@@ -513,5 +585,71 @@ mod tests {
         let a = EngineCache::global() as *const EngineCache;
         let b = EngineCache::global() as *const EngineCache;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn concurrent_first_touch_builds_the_system_once() {
+        use std::sync::Barrier;
+        let cache = EngineCache::new();
+        let threads = 8;
+        let barrier = Barrier::new(threads);
+        let results: Vec<(Arc<ConstraintSystem>, bool)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        cache.constraint_system(4, 2)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let builders = results.iter().filter(|(_, hit)| !hit).count();
+        assert_eq!(builders, 1, "exactly one thread builds the (4, 2) system");
+        for (system, _) in &results[1..] {
+            assert!(
+                Arc::ptr_eq(system, &results[0].0),
+                "every thread is served the same shared instance"
+            );
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "losers of the build race count as hits");
+        assert_eq!(stats.hits, threads as u64 - 1);
+        assert_eq!(stats.systems, 1);
+        assert_eq!(stats.frontiers, 1);
+        assert_eq!(
+            stats.extensions, 0,
+            "a fresh slot is a build, not an extension"
+        );
+    }
+
+    #[test]
+    fn concurrent_identical_searches_solve_once() {
+        use std::sync::Barrier;
+        let cache = EngineCache::new();
+        let spec = SymmetricGsb::renaming(2, 3).unwrap().to_spec();
+        let threads = 8;
+        let barrier = Barrier::new(threads);
+        let results: Vec<(SearchEntry, bool)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        cache.search(&spec, 1, &CdclConfig::default())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let solvers = results.iter().filter(|(_, hit)| !hit).count();
+        assert_eq!(solvers, 1, "exactly one thread runs the CDCL solve");
+        for ((result, map, _), _) in &results[1..] {
+            assert_eq!(result, &results[0].0 .0);
+            assert_eq!(map, &results[0].0 .1);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, threads as u64 - 1);
+        assert_eq!(stats.searches, 1);
     }
 }

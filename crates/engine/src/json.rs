@@ -97,6 +97,51 @@ impl Json {
         out
     }
 
+    /// Renders the value on a single line with no decorative whitespace
+    /// — the JSON-lines convention of the serve wire protocol and the
+    /// verdict store, where one value must occupy exactly one line.
+    #[must_use]
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(x) => {
+                let _ = write!(out, "{x}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -157,6 +202,7 @@ impl Json {
         let mut p = Parser {
             chars: text.char_indices().peekable(),
             len: text.len(),
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -201,9 +247,16 @@ fn json_err(at: usize, details: impl std::fmt::Display) -> Error {
     }
 }
 
+/// Nesting ceiling for parsed documents. The parser recurses per
+/// container level, so without a ceiling a `[[[[…` bomb from an
+/// untrusted peer overflows the stack; every report the engine itself
+/// writes is a handful of levels deep.
+const MAX_JSON_DEPTH: usize = 128;
+
 struct Parser<'a> {
     chars: std::iter::Peekable<std::str::CharIndices<'a>>,
     len: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -298,7 +351,27 @@ impl Parser<'_> {
         }
     }
 
+    /// Enters one container level, failing on pathological nesting.
+    fn descend(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_JSON_DEPTH {
+            let at = self.chars.peek().map_or(self.len, |&(at, _)| at);
+            return Err(json_err(
+                at,
+                format!("nesting exceeds {MAX_JSON_DEPTH} levels"),
+            ));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json> {
+        self.descend()?;
+        let out = self.array_body();
+        self.depth -= 1;
+        out
+    }
+
+    fn array_body(&mut self) -> Result<Json> {
         self.expect('[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -321,6 +394,13 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json> {
+        self.descend()?;
+        let out = self.object_body();
+        self.depth -= 1;
+        out
+    }
+
+    fn object_body(&mut self) -> Result<Json> {
         self.expect('{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
@@ -356,18 +436,33 @@ fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json> {
     })
 }
 
+/// Interprets a JSON number as a non-negative integer. Untrusted bytes
+/// must not alias legal values through float→int truncation (`-1 as
+/// usize` is 0, `1.5 as usize` is 1), so negative, fractional,
+/// non-finite, and beyond-2^53 numbers are rejected outright.
+fn checked_uint(x: f64, key: &str) -> Result<u64> {
+    const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+    if x.is_finite() && x >= 0.0 && x.fract() == 0.0 && x <= MAX_EXACT {
+        Ok(x as u64)
+    } else {
+        Err(Error::Json {
+            details: format!("field '{key}' is not a non-negative integer"),
+        })
+    }
+}
+
 fn usize_field(obj: &Json, key: &str) -> Result<usize> {
     let x = field(obj, key)?.as_f64().ok_or_else(|| Error::Json {
         details: format!("field '{key}' is not a number"),
     })?;
-    Ok(x as usize)
+    checked_uint(x, key).map(|v| v as usize)
 }
 
 fn u64_field(obj: &Json, key: &str) -> Result<u64> {
     let x = field(obj, key)?.as_f64().ok_or_else(|| Error::Json {
         details: format!("field '{key}' is not a number"),
     })?;
-    Ok(x as u64)
+    checked_uint(x, key)
 }
 
 fn str_field<'a>(obj: &'a Json, key: &str) -> Result<&'a str> {
@@ -389,11 +484,10 @@ fn usize_array(value: &Json, key: &str) -> Result<Vec<usize>> {
     items
         .iter()
         .map(|item| {
-            item.as_f64()
-                .map(|x| x as usize)
-                .ok_or_else(|| Error::Json {
-                    details: format!("field '{key}' holds a non-number"),
-                })
+            let x = item.as_f64().ok_or_else(|| Error::Json {
+                details: format!("field '{key}' holds a non-number"),
+            })?;
+            checked_uint(x, key).map(|v| v as usize)
         })
         .collect()
 }
@@ -404,9 +498,78 @@ fn u128_str_field(obj: &Json, key: &str) -> Result<u128> {
     })
 }
 
+/// A millisecond count as a [`Duration`], rejecting the values
+/// `Duration::from_secs_f64` would panic on (NaN, infinities — which
+/// untrusted numbers like `1e999` parse to — and overflow).
+fn duration_from_ms(ms: f64, key: &str) -> Result<Duration> {
+    Duration::try_from_secs_f64(ms.max(0.0) / 1e3).map_err(|e| Error::Json {
+        details: format!("field '{key}' is not a finite duration: {e}"),
+    })
+}
+
+/// Facet ceiling for decision-map rebuilds parsed from untrusted bytes.
+/// `χ^r(Δ^{n−1})` has `fubini(n)^r` facets and
+/// [`DecisionMap::rebuild`] materializes the whole complex, so a crafted
+/// `(n, rounds)` pair would otherwise turn a parse into an
+/// out-of-memory build. The ceiling comfortably covers every complex
+/// the engine has ever searched (χ³(Δ³) = 421,875, χ²(Δ⁴) = 292,681,
+/// χ²(Δ⁵) = 21,932,489 facets).
+const MAX_REBUILD_FACETS: u128 = 30_000_000;
+
+/// Rejects `(n, rounds)` pairs whose rebuild would materialize more
+/// than [`MAX_REBUILD_FACETS`] facets (or a degenerate `n = 0`).
+fn rebuild_cost_guard(n: usize, rounds: usize) -> Result<()> {
+    let oversized = || Error::Json {
+        details: format!(
+            "decision map over χ^{rounds}(Δ^{}) exceeds the \
+             {MAX_REBUILD_FACETS}-facet rebuild ceiling",
+            n.saturating_sub(1)
+        ),
+    };
+    if n == 0 {
+        return Err(Error::Json {
+            details: "decision map needs at least one process".into(),
+        });
+    }
+    if rounds > 64 {
+        return Err(oversized());
+    }
+    // fubini(k) = Σ_{j=1..k} C(k, j)·fubini(k−j); fubini(11) > 10^9
+    // already exceeds the ceiling at a single round, so larger n are
+    // rejected without computing further.
+    if n > 11 {
+        return Err(oversized());
+    }
+    let mut fubini: Vec<u128> = vec![1];
+    for k in 1..=n {
+        let mut total: u128 = 0;
+        let mut binom: u128 = 1;
+        for j in 1..=k {
+            binom = binom * (k + 1 - j) as u128 / j as u128;
+            total = total.saturating_add(binom.saturating_mul(fubini[k - j]));
+        }
+        fubini.push(total);
+    }
+    let per_round = fubini[n];
+    let mut facets: u128 = 1;
+    for _ in 0..rounds {
+        facets = facets.checked_mul(per_round).ok_or_else(oversized)?;
+        if facets > MAX_REBUILD_FACETS {
+            return Err(oversized());
+        }
+    }
+    Ok(())
+}
+
 // ── domain (de)serialization ────────────────────────────────────────────
 
-fn spec_to_json(spec: &GsbSpec) -> Json {
+/// Serializes a task specification as the JSON object the verdict
+/// report format uses (`{"n": …, "lower": […], "upper": […]}`). Public
+/// so wire protocols (the serve crate's request format, the verdict
+/// store's canonical keys) speak the exact same spec encoding as the
+/// reports.
+#[must_use]
+pub fn spec_to_json(spec: &GsbSpec) -> Json {
     Json::Obj(vec![
         ("n".into(), Json::Num(spec.n() as f64)),
         (
@@ -430,7 +593,13 @@ fn spec_to_json(spec: &GsbSpec) -> Json {
     ])
 }
 
-fn spec_from_json(value: &Json) -> Result<GsbSpec> {
+/// Parses a task specification back from [`spec_to_json`] output.
+///
+/// # Errors
+///
+/// Returns [`Error::Json`] on malformed shapes and wraps the core
+/// validation error for inconsistent bounds.
+pub fn spec_from_json(value: &Json) -> Result<GsbSpec> {
     let n = usize_field(value, "n")?;
     let lower = usize_array(field(value, "lower")?, "lower")?;
     let upper = usize_array(field(value, "upper")?, "upper")?;
@@ -565,12 +734,12 @@ impl crate::query::EngineOpts {
         fn opt_u64(value: &Json, key: &str) -> Result<Option<u64>> {
             match value.get(key) {
                 None | Some(Json::Null) => Ok(None),
-                Some(other) => other
-                    .as_f64()
-                    .map(|x| Some(x as u64))
-                    .ok_or_else(|| Error::Json {
+                Some(other) => {
+                    let x = other.as_f64().ok_or_else(|| Error::Json {
                         details: format!("field '{key}' is not a number"),
-                    }),
+                    })?;
+                    checked_uint(x, key).map(Some)
+                }
             }
         }
         let label = str_field(value, "search")?;
@@ -579,15 +748,12 @@ impl crate::query::EngineOpts {
         })?;
         let deadline = match value.get("deadline_ms") {
             None | Some(Json::Null) => None,
-            Some(other) => Some(Duration::from_secs_f64(
-                other
-                    .as_f64()
-                    .ok_or_else(|| Error::Json {
-                        details: "field 'deadline_ms' is not a number".into(),
-                    })?
-                    .max(0.0)
-                    / 1e3,
-            )),
+            Some(other) => {
+                let ms = other.as_f64().ok_or_else(|| Error::Json {
+                    details: "field 'deadline_ms' is not a number".into(),
+                })?;
+                Some(duration_from_ms(ms, "deadline_ms")?)
+            }
         };
         let mut opts = crate::query::EngineOpts {
             search,
@@ -719,6 +885,7 @@ impl Evidence {
             "decision-map" => {
                 let n = usize_field(value, "n")?;
                 let rounds = usize_field(value, "rounds")?;
+                rebuild_cost_guard(n, rounds)?;
                 let assignment = usize_array(field(value, "assignment")?, "assignment")?;
                 let map = DecisionMap::rebuild(n, rounds, assignment).map_err(Error::Topology)?;
                 Ok(Evidence::DecisionMap(map))
@@ -801,6 +968,50 @@ impl Evidence {
                 details: format!("unknown evidence kind '{other}'"),
             }),
         }
+    }
+}
+
+impl crate::cache::CacheStats {
+    /// Serializes the cache counters as a JSON object (the payload of
+    /// the serve metrics endpoint and `gsb cache-stats`). Counters are
+    /// emitted as plain numbers: they count in-process events and stay
+    /// far below the 2^53 double-precision ceiling.
+    #[must_use]
+    pub fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("hits".into(), Json::Num(self.hits as f64)),
+            ("misses".into(), Json::Num(self.misses as f64)),
+            (
+                "classifications".into(),
+                Json::Num(self.classifications as f64),
+            ),
+            ("witnesses".into(), Json::Num(self.witnesses as f64)),
+            ("searches".into(), Json::Num(self.searches as f64)),
+            ("complexes".into(), Json::Num(self.complexes as f64)),
+            ("systems".into(), Json::Num(self.systems as f64)),
+            ("frontiers".into(), Json::Num(self.frontiers as f64)),
+            ("extensions".into(), Json::Num(self.extensions as f64)),
+        ])
+    }
+
+    /// Parses counters back from [`to_json_value`](Self::to_json_value)
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Json`] on missing or non-numeric fields.
+    pub fn from_json_value(value: &Json) -> Result<Self> {
+        Ok(crate::cache::CacheStats {
+            hits: u64_field(value, "hits")?,
+            misses: u64_field(value, "misses")?,
+            classifications: usize_field(value, "classifications")?,
+            witnesses: usize_field(value, "witnesses")?,
+            searches: usize_field(value, "searches")?,
+            complexes: usize_field(value, "complexes")?,
+            systems: usize_field(value, "systems")?,
+            frontiers: usize_field(value, "frontiers")?,
+            extensions: u64_field(value, "extensions")?,
+        })
     }
 }
 
@@ -924,7 +1135,7 @@ impl Verdict {
                 details: "field 'wall_ms' is not a number".into(),
             })?;
         let stats = RunStats {
-            wall: Duration::from_secs_f64(wall_ms.max(0.0) / 1e3),
+            wall: duration_from_ms(wall_ms, "wall_ms")?,
             evidence_checked: bool_field(stats_value, "evidence_checked")?,
             simulated_runs: usize_field(stats_value, "simulated_runs")?,
             search: match field(stats_value, "search")? {
@@ -1002,5 +1213,53 @@ mod tests {
     fn spec_json_round_trips() {
         let spec = GsbSpec::election(4).unwrap();
         assert_eq!(spec_from_json(&spec_to_json(&spec)).unwrap(), spec);
+    }
+
+    #[test]
+    fn compact_rendering_is_one_line_and_parses_back() {
+        let v = Json::parse(r#"{"a": [1, 2, {"b": "x\n", "c": null}], "d": {}}"#).unwrap();
+        let line = v.render_compact();
+        assert!(!line.contains('\n'));
+        assert!(!line.contains(": "));
+        assert_eq!(Json::parse(&line).unwrap(), v);
+    }
+
+    #[test]
+    fn nesting_bombs_are_rejected_not_overflowed() {
+        for bomb in ["[".repeat(100_000), "{\"a\":".repeat(50_000)] {
+            let err = Json::parse(&bomb).unwrap_err();
+            assert!(err.to_string().contains("nesting"), "{err}");
+        }
+        // Deep-but-legal nesting still parses.
+        let legal = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&legal).is_ok());
+    }
+
+    #[test]
+    fn rebuild_guard_rejects_oversized_maps() {
+        assert!(rebuild_cost_guard(3, 2).is_ok());
+        assert!(rebuild_cost_guard(5, 2).is_ok());
+        assert!(rebuild_cost_guard(0, 1).is_err());
+        assert!(rebuild_cost_guard(6, 3).is_err());
+        assert!(rebuild_cost_guard(12, 1).is_err());
+        assert!(rebuild_cost_guard(4, 64).is_err());
+        assert!(rebuild_cost_guard(1, 64).is_ok());
+    }
+
+    #[test]
+    fn cache_stats_round_trip() {
+        let stats = crate::cache::CacheStats {
+            hits: 7,
+            misses: 3,
+            classifications: 2,
+            witnesses: 1,
+            searches: 4,
+            complexes: 1,
+            systems: 2,
+            frontiers: 1,
+            extensions: 5,
+        };
+        let parsed = crate::cache::CacheStats::from_json_value(&stats.to_json_value()).unwrap();
+        assert_eq!(parsed, stats);
     }
 }

@@ -1,0 +1,197 @@
+//! Fuzz-style hardening tests: the serve path feeds attacker-controlled
+//! bytes into `Json::parse`, `Verdict::from_json`, and the
+//! `Question`/`EngineOpts`/spec value parsers. Every input here must
+//! come back as a clean `Err` — never a panic, stack overflow, or
+//! runaway allocation.
+
+use gsb_engine::json::{spec_from_json, spec_to_json};
+use gsb_engine::{EngineCache, EngineOpts, Json, Query, Question, Verdict};
+
+/// A genuine verdict report to mutate: classify WSB for 6 processes.
+fn valid_report() -> String {
+    let spec = gsb_engine::named_task("wsb", 6, None).expect("known task");
+    let verdict = Query::new(spec, Question::Classify)
+        .run_with(&EngineCache::new())
+        .expect("classification succeeds");
+    verdict.to_json()
+}
+
+#[test]
+fn truncated_reports_error_cleanly() {
+    let report = valid_report();
+    // Every char-boundary prefix short of the closing brace: parseable
+    // only once complete, and never a panic along the way.
+    let complete = report.trim_end();
+    for (at, _) in complete.char_indices() {
+        let truncated = &complete[..at];
+        assert!(
+            Verdict::from_json(truncated).is_err(),
+            "prefix of {at} bytes must not parse"
+        );
+    }
+    assert!(Verdict::from_json(&report).is_ok());
+}
+
+#[test]
+fn garbage_inputs_error_cleanly() {
+    let garbage = [
+        "",
+        " ",
+        "null",
+        "true",
+        "[]",
+        "{}",
+        "\"verdict\"",
+        "{",
+        "}",
+        "\"",
+        "[1,2,",
+        "{\"solvability\":",
+        "nul",
+        "tru",
+        "-",
+        "1e",
+        "\u{0}\u{1}\u{2}",
+        "{\"solvability\":\"maybe\"}",
+        "{\"solvability\":null,\"evidence\":42}",
+        "\u{feff}{}",
+    ];
+    for text in garbage {
+        assert!(
+            Verdict::from_json(text).is_err(),
+            "garbage {text:?} must not parse as a verdict"
+        );
+    }
+}
+
+#[test]
+fn nesting_bombs_do_not_overflow_the_stack() {
+    // Without the parser depth limit these recurse ~10^5 frames deep
+    // and abort the process; with it they are ordinary errors.
+    let bombs = [
+        "[".repeat(200_000),
+        "{\"a\":".repeat(100_000),
+        format!("{}1{}", "[".repeat(200_000), "]".repeat(200_000)),
+        format!("{{\"evidence\":{}", "[".repeat(150_000)),
+    ];
+    for bomb in &bombs {
+        assert!(Json::parse(bomb).is_err());
+        assert!(Verdict::from_json(bomb).is_err());
+    }
+}
+
+#[test]
+fn huge_numbers_do_not_panic_duration_conversion() {
+    // `Duration::from_secs_f64` panics on non-finite or out-of-range
+    // input; the parser must reject 1e999 (infinity after parsing) and
+    // absurd-but-finite magnitudes without panicking.
+    let mut report = valid_report();
+    let needle = "\"wall_ms\": ";
+    let at = report.find(needle).expect("report carries wall_ms");
+    for huge in ["1e999", "-1e999", "1e308", "-1"] {
+        let end = report[at..].find(',').expect("wall_ms is not last") + at;
+        report.replace_range(at + needle.len()..end, huge);
+        let parsed = Verdict::from_json(&report);
+        match huge {
+            // Overflows every Duration: must be a clean error.
+            "1e999" => assert!(parsed.is_err(), "{huge} must not produce a Duration"),
+            // Absurd but representable magnitudes error without panicking.
+            "1e308" => assert!(parsed.is_err(), "{huge} overflows Duration"),
+            // Negative walls clamp to zero (a hostile field is not
+            // worth rejecting the whole report over).
+            "-1e999" | "-1" => {
+                let verdict = parsed.expect("negative wall clamps to zero");
+                assert_eq!(verdict.stats.wall, std::time::Duration::ZERO);
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+#[test]
+fn oversized_decision_maps_are_rejected_before_rebuild() {
+    // A crafted decision-map evidence names (n, rounds) whose rebuild
+    // would materialize fubini(n)^rounds facets — an OOM vector. The
+    // cost guard must reject it during parsing, quickly.
+    let craft = |n: usize, rounds: usize| {
+        format!(
+            concat!(
+                // Null solvability: parsing must get past this field and
+                // actually reach the evidence guard under test.
+                "{{\"solvability\":null,",
+                "\"evidence\":{{\"kind\":\"decision-map\",\"n\":{},\"rounds\":{},\"assignment\":[]}},",
+                "\"provenance\":{{\"question\":{{\"kind\":\"classify\"}},\"spec\":null,",
+                "\"engines\":[],\"justification\":\"\",\"cache_hit\":false}},",
+                "\"stats\":{{\"wall_ms\":0,\"evidence_checked\":false,",
+                "\"simulated_runs\":0,\"search\":null}}}}"
+            ),
+            n, rounds
+        )
+    };
+    for (n, rounds) in [(12, 1), (6, 3), (5, 60), (1_000_000, 1_000_000), (0, 1)] {
+        let start = std::time::Instant::now();
+        assert!(
+            Verdict::from_json(&craft(n, rounds)).is_err(),
+            "({n}, {rounds}) rebuild must be rejected"
+        );
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "rejection must not first materialize the complex"
+        );
+    }
+}
+
+#[test]
+fn question_and_opts_values_reject_malformed_shapes() {
+    let malformed = [
+        "null",
+        "42",
+        "[]",
+        "{\"kind\":\"solvable-in-rounds\"}",
+        "{\"kind\":\"solvable-in-rounds\",\"rounds\":-1}",
+        "{\"kind\":\"solvable-in-rounds\",\"rounds\":1.5}",
+        "{\"kind\":\"atlas\",\"max_n\":\"six\"}",
+        "{\"kind\":\"no-such-question\"}",
+    ];
+    for text in malformed {
+        let value = Json::parse(text).expect("syntactically valid JSON");
+        assert!(
+            Question::from_json_value(&value).is_err(),
+            "{text} must not parse as a question"
+        );
+    }
+    let bad_opts = [
+        "null",
+        "[]",
+        "{\"search\":\"cdcl\",\"deadline_ms\":1e999}",
+        "{\"search\":\"no-such-engine\"}",
+        "{\"deadline_ms\":10}",
+    ];
+    for text in bad_opts {
+        let value = Json::parse(text).expect("syntactically valid JSON");
+        assert!(
+            EngineOpts::from_json_value(&value).is_err(),
+            "{text} must not parse as opts"
+        );
+    }
+}
+
+#[test]
+fn spec_values_reject_malformed_shapes() {
+    let spec = gsb_engine::named_task("renaming", 3, Some(4)).expect("known task");
+    let round_tripped = spec_from_json(&spec_to_json(&spec)).expect("round trip");
+    assert_eq!(round_tripped, spec);
+    for text in [
+        "null",
+        "{}",
+        "{\"n\":0}",
+        "{\"n\":3,\"m\":\"four\"}",
+        "{\"n\":1e18,\"m\":1e18}",
+    ] {
+        let value = Json::parse(text).expect("syntactically valid JSON");
+        assert!(
+            spec_from_json(&value).is_err(),
+            "{text} must not parse as a spec"
+        );
+    }
+}

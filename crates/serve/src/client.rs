@@ -1,0 +1,264 @@
+//! A small blocking client for the serve wire protocol — the consumer
+//! used by the CLI's `--connect` paths, the integration tests, and the
+//! serve benchmark.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use gsb_engine::{Json, Query, Verdict};
+
+use crate::proto::render_query;
+
+/// Hard cap on one response line (atlas verdicts are large, but not
+/// this large).
+const MAX_RESPONSE_LINE: usize = 64 << 20; // 64 MiB
+
+/// Client-side failures, separating transport problems from the
+/// server's typed refusals.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server's bytes did not parse as a protocol response.
+    Protocol(String),
+    /// The server shed this request under load.
+    Overloaded {
+        /// Queries in flight when the request was shed.
+        in_flight: u64,
+        /// The server's in-flight limit.
+        limit: u64,
+    },
+    /// The admission policy refused the question outright.
+    Rejected {
+        /// The server's human-readable reason.
+        reason: String,
+    },
+    /// The server answered with an `error` response (malformed request
+    /// or engine failure).
+    Server {
+        /// The server's error details.
+        details: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "serve transport error: {e}"),
+            ClientError::Protocol(details) => write!(f, "malformed server response: {details}"),
+            ClientError::Overloaded { in_flight, limit } => {
+                write!(f, "server overloaded ({in_flight}/{limit} in flight)")
+            }
+            ClientError::Rejected { reason } => write!(f, "request rejected: {reason}"),
+            ClientError::Server { details } => write!(f, "server error: {details}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Who answered a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    /// The verdict store (an index lookup, no solver work).
+    Store,
+    /// The engine (a fresh solve, possibly cached for next time).
+    Engine,
+}
+
+/// A verdict plus where it came from.
+#[derive(Debug, Clone)]
+pub struct Served {
+    /// The parsed, re-checkable verdict.
+    pub verdict: Verdict,
+    /// Which layer answered.
+    pub served_by: ServedBy,
+}
+
+/// A blocking JSON-lines client over one TCP connection.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connection error.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+            next_id: 0,
+        })
+    }
+
+    /// Retries [`Client::connect`] until `wait` elapses — the readiness
+    /// probe used by CI right after spawning `gsb serve`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connection error when the deadline passes.
+    pub fn connect_retry(addr: &str, wait: Duration) -> Result<Client, ClientError> {
+        let deadline = Instant::now() + wait;
+        loop {
+            match Client::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+
+    /// Round-trips a `ping`, returning the server's protocol version.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or protocol failures.
+    pub fn ping(&mut self) -> Result<u64, ClientError> {
+        let value = self.round_trip("{\"kind\":\"ping\"}")?;
+        match value.get("kind").and_then(Json::as_str) {
+            Some("pong") => Ok(value
+                .get("protocol")
+                .and_then(Json::as_f64)
+                .map_or(0, |x| x as u64)),
+            _ => Err(unexpected(&value)),
+        }
+    }
+
+    /// Executes `query` on the server.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's typed refusal (`Overloaded`, `Rejected`,
+    /// `Server`) or a transport/protocol failure.
+    pub fn query(&mut self, query: &Query) -> Result<Served, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let value = self.round_trip(&render_query(query, Some(id)))?;
+        match value.get("kind").and_then(Json::as_str) {
+            Some("verdict") => {
+                let served_by = match value.get("served_by").and_then(Json::as_str) {
+                    Some("store") => ServedBy::Store,
+                    Some("engine") => ServedBy::Engine,
+                    other => {
+                        return Err(ClientError::Protocol(format!(
+                            "unknown served_by {other:?}"
+                        )))
+                    }
+                };
+                let verdict = value
+                    .get("verdict")
+                    .ok_or_else(|| ClientError::Protocol("verdict payload missing".into()))?;
+                let verdict = Verdict::from_json(&verdict.render_compact())
+                    .map_err(|e| ClientError::Protocol(e.to_string()))?;
+                Ok(Served { verdict, served_by })
+            }
+            _ => Err(unexpected(&value)),
+        }
+    }
+
+    /// Fetches the server's metrics snapshot as a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or protocol failures.
+    pub fn metrics(&mut self) -> Result<Json, ClientError> {
+        let value = self.round_trip("{\"kind\":\"metrics\"}")?;
+        match value.get("kind").and_then(Json::as_str) {
+            Some("metrics") => Ok(value),
+            _ => Err(unexpected(&value)),
+        }
+    }
+
+    /// Asks the server to shut down gracefully.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or protocol failures.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let value = self.round_trip("{\"kind\":\"shutdown\"}")?;
+        match value.get("kind").and_then(Json::as_str) {
+            Some("shutting-down") => Ok(()),
+            _ => Err(unexpected(&value)),
+        }
+    }
+
+    /// Sends one request line, reads one response line, parses it.
+    fn round_trip(&mut self, line: &str) -> Result<Json, ClientError> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()?;
+        let line = self.read_line()?;
+        Json::parse(&line).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Reads up to the next LF, bounded by [`MAX_RESPONSE_LINE`].
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(at) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=at).collect();
+                return String::from_utf8(line[..line.len() - 1].to_vec())
+                    .map_err(|e| ClientError::Protocol(e.to_string()));
+            }
+            if self.buf.len() > MAX_RESPONSE_LINE {
+                return Err(ClientError::Protocol(
+                    "response line exceeds the 64 MiB cap".into(),
+                ));
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-response",
+                )));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+/// Maps the server's typed refusals onto [`ClientError`] variants.
+fn unexpected(value: &Json) -> ClientError {
+    match value.get("kind").and_then(Json::as_str) {
+        Some("overloaded") => ClientError::Overloaded {
+            in_flight: value
+                .get("in_flight")
+                .and_then(Json::as_f64)
+                .map_or(0, |x| x as u64),
+            limit: value
+                .get("limit")
+                .and_then(Json::as_f64)
+                .map_or(0, |x| x as u64),
+        },
+        Some("rejected") => ClientError::Rejected {
+            reason: value
+                .get("reason")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified")
+                .to_string(),
+        },
+        Some("error") => ClientError::Server {
+            details: value
+                .get("details")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified")
+                .to_string(),
+        },
+        other => ClientError::Protocol(format!("unexpected response kind {other:?}")),
+    }
+}

@@ -1,0 +1,41 @@
+//! gsb-serve: the persistent solvability service.
+//!
+//! A long-running `gsb serve` process answers solvability questions
+//! over a JSON-lines TCP protocol, layering three defenses between
+//! untrusted clients and the solver:
+//!
+//! 1. the **[`VerdictStore`]** — a disk-backed, content-addressed map
+//!    from canonical `(question, spec)` keys to serialized verdicts,
+//!    precomputable offline (`gsb store build --atlas <n>`) and
+//!    consulted before any engine work, so queries over the precomputed
+//!    universe are index lookups;
+//! 2. the **[`AdmissionPolicy`]** — structural caps that reject
+//!    oversized questions outright plus budget clamps feeding the
+//!    engine's governance layer, so no admitted request can outspend
+//!    the server's limits; and
+//! 3. the **in-flight gate** — a hard bound on concurrently executing
+//!    engine queries, shedding the excess with a typed `overloaded`
+//!    response instead of queueing unboundedly.
+//!
+//! The transport is deliberately boring: a hand-rolled
+//! `std::net::TcpListener` accept loop, a bounded worker pool over a
+//! `sync_channel`, one compact JSON object per line in each direction
+//! (see [`proto`]), and cooperative shutdown via an atomic flag. A
+//! blocking [`Client`] wraps the same protocol for the CLI's
+//! `--connect` paths, the integration tests, and `gsb-bench serve`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+pub mod store;
+
+pub use admission::AdmissionPolicy;
+pub use client::{Client, ClientError, Served, ServedBy};
+pub use metrics::{Histogram, ServerMetrics};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use store::{StoreStats, VerdictStore};

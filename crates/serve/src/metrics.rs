@@ -1,0 +1,192 @@
+//! Lock-free server metrics: request counters, an in-flight gauge, and
+//! per-question latency histograms with power-of-two microsecond
+//! buckets (p50/p95/p99 read out of cumulative bucket counts).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use gsb_engine::Json;
+
+/// Number of power-of-two buckets: bucket `i` holds latencies in
+/// `[2^i, 2^(i+1))` µs, the last bucket is open-ended (≥ ~34 minutes).
+const BUCKETS: usize = 32;
+
+/// The question labels tracked by the per-question histograms, in the
+/// order reported by the metrics response.
+pub const QUESTION_LABELS: [&str; 5] = [
+    "classify",
+    "solvable-in-rounds",
+    "no-comm-witness",
+    "certificate",
+    "atlas",
+];
+
+/// A lock-free latency histogram over power-of-two µs buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one latency sample.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().max(1);
+        let bucket = (u128::BITS - 1 - micros.leading_zeros()).min(BUCKETS as u32 - 1);
+        self.buckets[bucket as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The upper µs bound of the bucket holding quantile `q` (0 < q ≤ 1);
+    /// `None` when the histogram is empty. Resolution is one power of
+    /// two — coarse, but monotone and allocation-free on the hot path.
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (i, count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Some(1u64 << (i + 1).min(63));
+            }
+        }
+        None
+    }
+
+    /// `{count, p50_us, p95_us, p99_us}` for the metrics response.
+    #[must_use]
+    pub fn to_json_value(&self) -> Json {
+        let quantile = |q| {
+            self.quantile_us(q)
+                .map_or(Json::Null, |us| Json::Num(us as f64))
+        };
+        Json::Obj(vec![
+            ("count".into(), Json::Num(self.count() as f64)),
+            ("p50_us".into(), quantile(0.50)),
+            ("p95_us".into(), quantile(0.95)),
+            ("p99_us".into(), quantile(0.99)),
+        ])
+    }
+}
+
+/// All counters of a running server. Shared by every worker thread;
+/// everything is a relaxed atomic — metrics snapshots are allowed to be
+/// slightly torn across fields, individual counters are never lost.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Queries answered from the verdict store.
+    pub served_store: AtomicU64,
+    /// Queries answered by running the engine.
+    pub served_engine: AtomicU64,
+    /// Queries shed with an `overloaded` response.
+    pub shed: AtomicU64,
+    /// Queries rejected by the admission policy.
+    pub rejected: AtomicU64,
+    /// Malformed requests and engine errors answered with `error`.
+    pub errors: AtomicU64,
+    /// Queries currently executing in the engine (gauge).
+    pub in_flight: AtomicUsize,
+    /// Per-question latency histograms, indexed like [`QUESTION_LABELS`].
+    pub latency: [Histogram; QUESTION_LABELS.len()],
+}
+
+impl ServerMetrics {
+    /// The histogram tracking `label` (a [`Question::label`] value);
+    /// unknown labels fall back to the first slot.
+    ///
+    /// [`Question::label`]: gsb_engine::Question::label
+    #[must_use]
+    pub fn histogram(&self, label: &str) -> &Histogram {
+        let at = QUESTION_LABELS
+            .iter()
+            .position(|&l| l == label)
+            .unwrap_or(0);
+        &self.latency[at]
+    }
+
+    /// The server-counter block of the metrics response.
+    #[must_use]
+    pub fn to_json_value(&self) -> Json {
+        let num = |x: &AtomicU64| Json::Num(x.load(Ordering::Relaxed) as f64);
+        Json::Obj(vec![
+            ("connections".into(), num(&self.connections)),
+            ("served_store".into(), num(&self.served_store)),
+            ("served_engine".into(), num(&self.served_engine)),
+            ("shed".into(), num(&self.shed)),
+            ("rejected".into(), num(&self.rejected)),
+            ("errors".into(), num(&self.errors)),
+            (
+                "in_flight".into(),
+                Json::Num(self.in_flight.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "latency".into(),
+                Json::Obj(
+                    QUESTION_LABELS
+                        .iter()
+                        .zip(&self.latency)
+                        .map(|(label, histogram)| ((*label).into(), histogram.to_json_value()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_track_bucket_upper_bounds() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_us(0.5), None);
+        for _ in 0..99 {
+            h.record(Duration::from_micros(3)); // bucket [2, 4)
+        }
+        h.record(Duration::from_micros(1000)); // bucket [512, 1024)
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.50), Some(4));
+        assert_eq!(h.quantile_us(0.99), Some(4));
+        assert_eq!(h.quantile_us(1.0), Some(1024));
+    }
+
+    #[test]
+    fn zero_latency_lands_in_the_first_bucket() {
+        let h = Histogram::default();
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_us(0.5), Some(2));
+    }
+
+    #[test]
+    fn histograms_key_by_question_label() {
+        let metrics = ServerMetrics::default();
+        metrics.histogram("atlas").record(Duration::from_micros(10));
+        assert_eq!(metrics.latency[4].count(), 1);
+        assert_eq!(metrics.histogram("no-such-label").count(), 0);
+    }
+}

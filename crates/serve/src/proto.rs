@@ -1,0 +1,258 @@
+//! The JSON-lines wire protocol: one compact JSON object per line in
+//! each direction.
+//!
+//! Requests:
+//!
+//! ```json
+//! {"kind":"ping"}
+//! {"kind":"query","id":7,"question":{"kind":"classify"},"spec":{...},"opts":{...}}
+//! {"kind":"metrics"}
+//! {"kind":"shutdown"}
+//! ```
+//!
+//! `id` is an optional client-chosen correlation number echoed back on
+//! the verdict line. `spec` is required for every question except
+//! `atlas` (which must omit it or send `null`). `opts` is optional; when
+//! present it uses the [`EngineOpts`] JSON schema (so it must carry a
+//! `"search"` engine label) and is clamped by the server's
+//! [`AdmissionPolicy`](crate::AdmissionPolicy) before execution.
+//!
+//! Responses:
+//!
+//! ```json
+//! {"kind":"pong","protocol":1}
+//! {"kind":"verdict","id":7,"served_by":"store","verdict":{...}}
+//! {"kind":"overloaded","in_flight":64,"limit":64}
+//! {"kind":"rejected","reason":"..."}
+//! {"kind":"error","details":"..."}
+//! {"kind":"metrics", ...}
+//! {"kind":"shutting-down"}
+//! ```
+
+use gsb_engine::json::{spec_from_json, spec_to_json};
+use gsb_engine::{EngineOpts, Json, Query, Question};
+
+/// The protocol version echoed in `pong` responses.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// A parsed client request.
+#[derive(Debug)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// A solvability question, ready to execute (boxed: a query is two
+    /// orders of magnitude bigger than the other variants).
+    Query {
+        /// Client-chosen correlation id, echoed on the verdict line.
+        id: Option<u64>,
+        /// The engine query assembled from `question`/`spec`/`opts`.
+        query: Box<Query>,
+    },
+    /// Snapshot of server, cache, and store counters.
+    Metrics,
+    /// Graceful server shutdown.
+    Shutdown,
+}
+
+/// Parses one request line. Returns a human-readable rejection detail
+/// on malformed input — the server turns it into an `error` response
+/// and keeps the connection alive.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = Json::parse(line).map_err(|e| e.to_string())?;
+    let kind = value
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "request needs a string 'kind' field".to_string())?;
+    match kind {
+        "ping" => Ok(Request::Ping),
+        "metrics" => Ok(Request::Metrics),
+        "shutdown" => Ok(Request::Shutdown),
+        "query" => {
+            let question = Question::from_json_value(
+                value
+                    .get("question")
+                    .ok_or_else(|| "query needs a 'question' field".to_string())?,
+            )
+            .map_err(|e| e.to_string())?;
+            let spec = match value.get("spec") {
+                None | Some(Json::Null) => None,
+                Some(other) => Some(spec_from_json(other).map_err(|e| e.to_string())?),
+            };
+            let mut query = match (&question, spec) {
+                (Question::Atlas { max_n }, None) => Query::atlas(*max_n),
+                (Question::Atlas { .. }, Some(_)) => {
+                    return Err("the atlas question is spec-less: omit 'spec'".into())
+                }
+                (_, Some(spec)) => Query::new(spec, question),
+                (_, None) => return Err(format!("question '{question}' needs a 'spec'")),
+            };
+            if let Some(opts) = value.get("opts") {
+                if !matches!(opts, Json::Null) {
+                    *query.opts_mut() =
+                        EngineOpts::from_json_value(opts).map_err(|e| e.to_string())?;
+                }
+            }
+            let id = match value.get("id") {
+                None | Some(Json::Null) => None,
+                Some(other) => Some(
+                    other
+                        .as_f64()
+                        .filter(|x| x.is_finite() && *x >= 0.0 && x.fract() == 0.0)
+                        .map(|x| x as u64)
+                        .ok_or_else(|| "field 'id' is not a non-negative integer".to_string())?,
+                ),
+            };
+            Ok(Request::Query {
+                id,
+                query: Box::new(query),
+            })
+        }
+        other => Err(format!("unknown request kind '{other}'")),
+    }
+}
+
+/// Renders a query request line (the client side of [`parse_request`]).
+#[must_use]
+pub fn render_query(query: &Query, id: Option<u64>) -> String {
+    let mut pairs = vec![("kind".to_string(), Json::Str("query".into()))];
+    if let Some(id) = id {
+        pairs.push(("id".into(), Json::Num(id as f64)));
+    }
+    pairs.push(("question".into(), query.question().to_json_value()));
+    pairs.push(("spec".into(), query.spec().map_or(Json::Null, spec_to_json)));
+    pairs.push(("opts".into(), query.opts().to_json_value()));
+    Json::Obj(pairs).render_compact()
+}
+
+/// The canonical store/wire key of a query: its question and spec,
+/// rendered compact with fixed field order. Engine options are
+/// deliberately excluded — complete verdicts are option-independent.
+#[must_use]
+pub fn canonical_key(query: &Query) -> String {
+    Json::Obj(vec![
+        ("question".into(), query.question().to_json_value()),
+        ("spec".into(), query.spec().map_or(Json::Null, spec_to_json)),
+    ])
+    .render_compact()
+}
+
+/// One-line response constructors (all rendered compact, no newline).
+pub mod response {
+    use super::{Json, PROTOCOL_VERSION};
+
+    /// `pong` with the protocol version.
+    #[must_use]
+    pub fn pong() -> String {
+        Json::Obj(vec![
+            ("kind".into(), Json::Str("pong".into())),
+            ("protocol".into(), Json::Num(PROTOCOL_VERSION as f64)),
+        ])
+        .render_compact()
+    }
+
+    /// A verdict line. `verdict_json` is the pre-rendered compact
+    /// verdict object (spliced, not re-parsed — store hits stay cheap).
+    #[must_use]
+    pub fn verdict(id: Option<u64>, served_by: &str, verdict_json: &str) -> String {
+        let id = id.map_or("null".to_string(), |x| x.to_string());
+        format!(
+            "{{\"kind\":\"verdict\",\"id\":{id},\"served_by\":\"{served_by}\",\"verdict\":{verdict_json}}}"
+        )
+    }
+
+    /// Typed load-shed response.
+    #[must_use]
+    pub fn overloaded(in_flight: usize, limit: usize) -> String {
+        Json::Obj(vec![
+            ("kind".into(), Json::Str("overloaded".into())),
+            ("in_flight".into(), Json::Num(in_flight as f64)),
+            ("limit".into(), Json::Num(limit as f64)),
+        ])
+        .render_compact()
+    }
+
+    /// Admission rejection (structurally outside the server's limits).
+    #[must_use]
+    pub fn rejected(reason: &str) -> String {
+        Json::Obj(vec![
+            ("kind".into(), Json::Str("rejected".into())),
+            ("reason".into(), Json::Str(reason.into())),
+        ])
+        .render_compact()
+    }
+
+    /// Malformed request or engine failure.
+    #[must_use]
+    pub fn error(details: &str) -> String {
+        Json::Obj(vec![
+            ("kind".into(), Json::Str("error".into())),
+            ("details".into(), Json::Str(details.into())),
+        ])
+        .render_compact()
+    }
+
+    /// Acknowledgement of a graceful shutdown request.
+    #[must_use]
+    pub fn shutting_down() -> String {
+        Json::Obj(vec![("kind".into(), Json::Str("shutting-down".into()))]).render_compact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> gsb_core::GsbSpec {
+        gsb_engine::named_task("wsb", 4, None).unwrap()
+    }
+
+    #[test]
+    fn query_round_trips_through_the_wire_format() {
+        let query = Query::new(spec(), Question::SolvableInRounds { rounds: 2 });
+        let line = render_query(&query, Some(9));
+        assert!(!line.contains('\n'));
+        match parse_request(&line).unwrap() {
+            Request::Query { id, query: parsed } => {
+                assert_eq!(id, Some(9));
+                assert_eq!(parsed.spec(), query.spec());
+                assert_eq!(parsed.question(), query.question());
+            }
+            other => panic!("expected a query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn atlas_rejects_a_spec_and_others_require_one() {
+        let atlas = "{\"kind\":\"query\",\"question\":{\"kind\":\"atlas\",\"max_n\":4}}";
+        assert!(matches!(
+            parse_request(atlas),
+            Ok(Request::Query { query, .. }) if query.spec().is_none()
+        ));
+        let bad = "{\"kind\":\"query\",\"question\":{\"kind\":\"classify\"}}";
+        assert!(parse_request(bad).is_err());
+    }
+
+    #[test]
+    fn canonical_keys_ignore_opts_and_ids() {
+        let a = Query::new(spec(), Question::Classify);
+        let mut b = Query::new(spec(), Question::Classify);
+        b.opts_mut().conflict_budget = Some(10);
+        assert_eq!(canonical_key(&a), canonical_key(&b));
+        let c = Query::new(spec(), Question::NoCommWitness);
+        assert_ne!(canonical_key(&a), canonical_key(&c));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_details() {
+        for line in [
+            "",
+            "not json",
+            "{}",
+            "{\"kind\":\"frobnicate\"}",
+            "{\"kind\":\"query\"}",
+            "{\"kind\":\"query\",\"question\":{\"kind\":\"classify\"},\"spec\":{},\"id\":-1}",
+        ] {
+            assert!(parse_request(line).is_err(), "{line:?} must be rejected");
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! The disk-backed [`VerdictStore`]: a content-addressed map from
+//! canonical `(question, spec)` keys to serialized verdicts.
+//!
+//! On-disk format is JSON-lines, append-only:
+//!
+//! ```json
+//! {"kind":"gsb-verdict-store","version":1}
+//! {"key":{"question":{...},"spec":{...}},"verdict":{...}}
+//! {"key":{"question":{...},"spec":{...}},"verdict":{...}}
+//! ```
+//!
+//! The whole file is read into memory at startup; solver misses are
+//! appended (one flushed line per verdict, so a killed server loses at
+//! most the line being written and a torn trailing line is skipped on
+//! the next load). Values are kept as pre-rendered compact JSON: a
+//! store hit is a map lookup plus a string splice, never a re-render.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use gsb_engine::{Batch, EngineCache, Json, Query, Question, Verdict};
+
+use crate::proto::canonical_key;
+
+/// Magic header object expected on the first line of a store file.
+const HEADER: &str = "{\"kind\":\"gsb-verdict-store\",\"version\":1}";
+
+/// Counters of one [`VerdictStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that fell through to the engine.
+    pub misses: u64,
+    /// Entries currently held in memory.
+    pub entries: usize,
+    /// Entries appended since the store was opened.
+    pub appended: u64,
+}
+
+impl StoreStats {
+    /// Serializes the counters for the metrics response.
+    #[must_use]
+    pub fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("hits".into(), Json::Num(self.hits as f64)),
+            ("misses".into(), Json::Num(self.misses as f64)),
+            ("entries".into(), Json::Num(self.entries as f64)),
+            ("appended".into(), Json::Num(self.appended as f64)),
+        ])
+    }
+}
+
+/// A content-addressed verdict map, optionally backed by an append-only
+/// JSON-lines file.
+#[derive(Debug)]
+pub struct VerdictStore {
+    entries: Mutex<HashMap<String, Arc<str>>>,
+    appender: Mutex<Option<BufWriter<File>>>,
+    path: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    appended: AtomicU64,
+}
+
+impl VerdictStore {
+    /// An empty, memory-only store (nothing is ever written to disk).
+    #[must_use]
+    pub fn in_memory() -> Self {
+        VerdictStore {
+            entries: Mutex::new(HashMap::new()),
+            appender: Mutex::new(None),
+            path: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            appended: AtomicU64::new(0),
+        }
+    }
+
+    /// Opens (or creates) a disk-backed store at `path`, loading every
+    /// complete entry line into memory and keeping the file open for
+    /// appends. A torn trailing line — a crash mid-append — is skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the file cannot be read or created, or
+    /// an [`std::io::ErrorKind::InvalidData`] error when it exists but
+    /// does not start with the store header.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref();
+        let mut entries = HashMap::new();
+        let existed = path.exists();
+        if existed {
+            let reader = BufReader::new(File::open(path)?);
+            let mut lines = reader.lines();
+            // An empty file is a fresh store; anything else must lead
+            // with the header line.
+            if let Some(first) = lines.next() {
+                let first = first?;
+                if Json::parse(&first).is_err() || first.trim() != HEADER {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("{} is not a gsb verdict store", path.display()),
+                    ));
+                }
+            }
+            for line in lines {
+                let line = line?;
+                // Torn or corrupt lines are dropped, not fatal: the
+                // store is a cache, and a crash mid-append must not
+                // brick the server.
+                if let Some((key, verdict)) = parse_entry(&line) {
+                    entries.insert(key, verdict);
+                }
+            }
+        }
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        if !existed || file.metadata()?.len() == 0 {
+            writeln!(file, "{HEADER}")?;
+            file.flush()?;
+        }
+        Ok(VerdictStore {
+            entries: Mutex::new(entries),
+            appender: Mutex::new(Some(BufWriter::new(file))),
+            path: Some(path.to_path_buf()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            appended: AtomicU64::new(0),
+        })
+    }
+
+    /// The backing file, when disk-backed.
+    #[must_use]
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Looks up the canonical key of `query`, counting a hit or miss.
+    /// The value is the verdict's compact JSON rendering.
+    #[must_use]
+    pub fn lookup(&self, query: &Query) -> Option<Arc<str>> {
+        let key = canonical_key(query);
+        let found = self
+            .entries
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts the verdict for `query`, appending to the backing file.
+    /// Indeterminate verdicts (budget/deadline truncations) are never
+    /// stored — a better-funded query must be able to retry. Returns
+    /// whether the entry was new.
+    pub fn insert(&self, query: &Query, verdict: &Verdict) -> bool {
+        if verdict.is_indeterminate() {
+            return false;
+        }
+        let key = canonical_key(query);
+        let rendered: Arc<str> = verdict.to_json_value().render_compact().into();
+        let new = self
+            .entries
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(key.clone(), Arc::clone(&rendered))
+            .is_none();
+        if new {
+            self.appended.fetch_add(1, Ordering::Relaxed);
+            let mut appender = self.appender.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(file) = appender.as_mut() {
+                // One flushed line per verdict: a kill between lines
+                // loses nothing, a kill mid-line loses one entry.
+                let _ = writeln!(file, "{{\"key\":{key},\"verdict\":{rendered}}}");
+                let _ = file.flush();
+            }
+        }
+        new
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().unwrap_or_else(|p| p.into_inner()).len(),
+            appended: self.appended.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Precomputes the symmetric-task universe through `max_n`
+    /// processes: for every feasible symmetric task `SB(n, m, l, u)`
+    /// with `m ≤ n ≤ max_n` **and** every task-zoo entry (which adds
+    /// the asymmetric election variants), the classification and
+    /// no-communication-witness verdicts are solved through `cache` and
+    /// inserted. Returns the number of entries added.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first engine error of the batch (the precompute runs
+    /// ungoverned, so errors are genuine bugs, not budget trips).
+    pub fn build_atlas(
+        &self,
+        max_n: usize,
+        cache: &EngineCache,
+    ) -> Result<usize, gsb_engine::Error> {
+        let mut specs = Vec::new();
+        for n in 1..=max_n {
+            for m in 1..=n {
+                if let Ok(family) = gsb_core::order::feasible_family(n, m) {
+                    specs.extend(family.into_iter().map(|task| task.to_spec()));
+                }
+            }
+            if let Ok(entries) = gsb_core::zoo::catalog(n) {
+                specs.extend(entries.into_iter().map(|entry| entry.spec));
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        specs.retain(|spec| seen.insert(spec.clone()));
+        let mut batch = Batch::new();
+        for spec in &specs {
+            batch.push(Query::new(spec.clone(), Question::Classify));
+            batch.push(Query::new(spec.clone(), Question::NoCommWitness));
+        }
+        let mut added = 0;
+        for (query, verdict) in batch.queries().iter().zip(batch.run_with(cache)) {
+            if self.insert(query, &verdict?) {
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+}
+
+/// Parses one `{"key":...,"verdict":...}` entry line; `None` on torn or
+/// malformed lines. The key is re-rendered compact so look-ups match
+/// byte-for-byte whatever whitespace the line used.
+fn parse_entry(line: &str) -> Option<(String, Arc<str>)> {
+    let value = Json::parse(line).ok()?;
+    let key = value.get("key")?;
+    key.get("question")?;
+    let verdict = value.get("verdict")?;
+    // Only load entries that still parse as verdicts: a corrupt or
+    // stale-schema line must not be served back to clients.
+    let rendered = verdict.render_compact();
+    Verdict::from_json(&rendered).ok()?;
+    Some((key.render_compact(), rendered.into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classify(name: &str, n: usize) -> Query {
+        Query::new(
+            gsb_engine::named_task(name, n, None).unwrap(),
+            Question::Classify,
+        )
+    }
+
+    #[test]
+    fn memory_store_round_trips_and_counts() {
+        let store = VerdictStore::in_memory();
+        let query = classify("wsb", 4);
+        assert!(store.lookup(&query).is_none());
+        let verdict = query.run_with(&EngineCache::new()).unwrap();
+        assert!(store.insert(&query, &verdict));
+        assert!(!store.insert(&query, &verdict), "idempotent");
+        let served = store.lookup(&query).expect("stored");
+        let parsed = Verdict::from_json(&served).unwrap();
+        assert_eq!(parsed.solvability, verdict.solvability);
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn disk_store_survives_reload_and_torn_tail() {
+        let dir = std::env::temp_dir().join(format!(
+            "gsb-store-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("verdicts.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let query = classify("wsb", 5);
+        let verdict = query.run_with(&EngineCache::new()).unwrap();
+        {
+            let store = VerdictStore::open(&path).unwrap();
+            assert!(store.insert(&query, &verdict));
+        }
+        // Simulate a crash mid-append: a torn half line at the tail.
+        {
+            use std::io::Write as _;
+            let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(file, "{{\"key\":{{\"question\"").unwrap();
+        }
+        let reloaded = VerdictStore::open(&path).unwrap();
+        assert_eq!(reloaded.stats().entries, 1, "torn tail is skipped");
+        let served = reloaded.lookup(&query).expect("survives reload");
+        assert_eq!(
+            Verdict::from_json(&served).unwrap().solvability,
+            verdict.solvability
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn non_store_files_are_refused() {
+        let dir = std::env::temp_dir().join(format!("gsb-store-refuse-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("not-a-store.jsonl");
+        std::fs::write(&path, "not a store\n").unwrap();
+        assert!(VerdictStore::open(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn atlas_build_covers_the_zoo() {
+        let store = VerdictStore::in_memory();
+        let cache = EngineCache::new();
+        let added = store.build_atlas(4, &cache).unwrap();
+        assert!(added > 0);
+        // catalog(1) errors (election needs two processes); the build
+        // skips it, so coverage starts at n = 2.
+        for n in 2..=4 {
+            for entry in gsb_core::zoo::catalog(n).unwrap() {
+                let query = Query::new(entry.spec.clone(), Question::Classify);
+                assert!(
+                    store.lookup(&query).is_some(),
+                    "zoo entry {} (n={n}) must be precomputed",
+                    entry.name
+                );
+            }
+        }
+    }
+}

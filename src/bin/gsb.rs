@@ -9,18 +9,33 @@
 //! gsb atlas    <max_n> [--rows] [--json]
 //! gsb complex  <n> <r> [--json]
 //! gsb tasks
+//! gsb serve    [--addr A] [--store PATH] [--workers W] [--no-append]
+//! gsb store    build --atlas N --out PATH
+//! gsb query    <task> --n N --connect ADDR [--question Q] [--json]
+//! gsb ping     --connect ADDR [--wait-ms MS]
+//! gsb metrics  --connect ADDR [--json]
+//! gsb shutdown --connect ADDR
+//! gsb cache-stats [--warm N | --connect ADDR] [--json]
 //! ```
 //!
 //! Every subcommand is a thin shell over `gsb_universe::Query`; `--json`
 //! prints the verdict report verbatim (`Verdict::to_json`), which can be
-//! parsed back and re-checked offline with `Verdict::from_json`.
+//! parsed back and re-checked offline with `Verdict::from_json`. The
+//! `serve`/`store`/`--connect` family fronts the `gsb-serve` subsystem
+//! (DESIGN.md §11): a persistent JSON-lines solvability service with a
+//! disk-backed verdict store, admission control, and metrics.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
+use std::sync::Arc;
+
 use gsb_universe::core::GsbSpec;
 use gsb_universe::engine::Json;
-use gsb_universe::{named_task, Error, Query, SearchEngine, Verdict, KNOWN_TASKS};
+use gsb_universe::serve::{
+    AdmissionPolicy, Client, Served, ServedBy, Server, ServerConfig, VerdictStore,
+};
+use gsb_universe::{named_task, EngineCache, Error, Query, SearchEngine, Verdict, KNOWN_TASKS};
 
 const USAGE: &str = "\
 gsb — unified solvability queries over the GSB task universe
@@ -34,6 +49,24 @@ USAGE:
   gsb atlas    <max_n> [--rows] [--json]
   gsb complex  <n> <r> [--orbits] [--json]
   gsb tasks
+
+Serving (DESIGN.md §11):
+  gsb serve    [--addr A] [--store PATH] [--workers W] [--max-inflight M]
+               [--max-rounds R] [--deadline-cap-ms MS] [--no-append]
+  gsb store    build --atlas N --out PATH
+  gsb query    <task> --n N [--k K] --connect ADDR
+               [--question classify|solvable|witness|certificate|atlas]
+               [--rounds R] [--max-n N] [--json]
+  gsb ping     --connect ADDR [--wait-ms MS]
+  gsb metrics  --connect ADDR [--json]
+  gsb shutdown --connect ADDR
+  gsb cache-stats [--warm N | --connect ADDR] [--json]
+
+`gsb serve` answers solvability questions over a JSON-lines TCP
+protocol, consulting the disk-backed verdict store before the solver
+and shedding load beyond its admission limits with a typed
+`overloaded` response. Build a store offline with `gsb store build
+--atlas 6 --out verdicts.jsonl`, then serve it with `--store`.
 
 Every query command also takes resource-governance limits:
   [--deadline-ms MS] [--decision-budget D] [--conflict-budget C]
@@ -89,7 +122,7 @@ struct Args {
     switches: Vec<String>,
 }
 
-const BOOLEAN_FLAGS: &[&str] = &["json", "simulate", "rows", "orbits"];
+const BOOLEAN_FLAGS: &[&str] = &["json", "simulate", "rows", "orbits", "no-append"];
 const VALUE_FLAGS: &[&str] = &[
     "n",
     "k",
@@ -104,6 +137,19 @@ const VALUE_FLAGS: &[&str] = &[
     "conflict-budget",
     "node-budget",
     "memory-budget-mb",
+    // Serving flags (DESIGN.md §11).
+    "addr",
+    "store",
+    "workers",
+    "max-inflight",
+    "max-rounds",
+    "deadline-cap-ms",
+    "atlas",
+    "out",
+    "connect",
+    "wait-ms",
+    "question",
+    "warm",
 ];
 
 impl Args {
@@ -198,6 +244,13 @@ fn run_cli(args: &[String]) -> Result<(), String> {
         "certify" | "certificate" => certify(&rest),
         "atlas" => atlas(&rest),
         "complex" => complex(&rest),
+        "serve" => serve(&rest),
+        "store" => store(&rest),
+        "query" => remote_query(&rest),
+        "ping" => ping(&rest),
+        "metrics" => metrics(&rest),
+        "shutdown" => shutdown(&rest),
+        "cache-stats" => cache_stats(&rest),
         "tasks" => {
             println!("Known task names (`gsb classify <name> --n N`):\n");
             for &(name, help) in KNOWN_TASKS {
@@ -566,5 +619,266 @@ fn atlas(args: &Args) -> Result<(), String> {
     for (verdict_label, count) in totals {
         println!("  {verdict_label:<32} {count}");
     }
+    Ok(())
+}
+
+/// The admission policy assembled from `gsb serve`'s flags (defaults
+/// from [`AdmissionPolicy::default`]).
+fn parse_policy(args: &Args) -> Result<AdmissionPolicy, String> {
+    let mut policy = AdmissionPolicy::default();
+    if let Some(max) = args.usize_value("max-inflight")? {
+        policy.max_in_flight = max;
+    }
+    if let Some(rounds) = args.usize_value("max-rounds")? {
+        policy.max_rounds = rounds;
+    }
+    if let Some(ms) = args.u64_value("deadline-cap-ms")? {
+        policy.deadline_cap = std::time::Duration::from_millis(ms);
+    }
+    Ok(policy)
+}
+
+/// `gsb serve`: bind, print the resolved address, and block until a
+/// `shutdown` request arrives on the wire.
+fn serve(args: &Args) -> Result<(), String> {
+    let store = match args.value("store") {
+        Some(path) => VerdictStore::open(path).map_err(|e| e.to_string())?,
+        None => VerdictStore::in_memory(),
+    };
+    let mut config = ServerConfig {
+        policy: parse_policy(args)?,
+        append_to_store: !args.switch("no-append"),
+        ..ServerConfig::default()
+    };
+    if let Some(addr) = args.value("addr") {
+        config.addr = addr.to_string();
+    }
+    if let Some(workers) = args.usize_value("workers")? {
+        config.workers = workers;
+    }
+    let entries = store.stats().entries;
+    let backing = store
+        .path()
+        .map_or("memory only".to_string(), |p| p.display().to_string());
+    let workers = config.workers;
+    let handle = Server::start(config, Arc::new(store), Arc::new(EngineCache::new()))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "gsb serve listening on {} ({} workers, store: {backing}, {entries} precomputed verdicts)",
+        handle.addr(),
+        workers
+    );
+    println!("stop with `gsb shutdown --connect {}`", handle.addr());
+    handle.join();
+    println!("gsb serve: shut down cleanly");
+    Ok(())
+}
+
+/// `gsb store build --atlas N --out PATH`: precompute the symmetric
+/// universe (plus the task zoo) into a disk-backed verdict store.
+fn store(args: &Args) -> Result<(), String> {
+    match args.positionals.first().map(String::as_str) {
+        Some("build") => {}
+        _ => return Err("usage: gsb store build --atlas N --out PATH".into()),
+    }
+    let max_n = args
+        .usize_value("atlas")?
+        .ok_or_else(|| "--atlas N names the largest process count to precompute".to_string())?;
+    let out = args
+        .value("out")
+        .ok_or_else(|| "--out PATH names the store file to build".to_string())?;
+    let store = VerdictStore::open(out).map_err(|e| e.to_string())?;
+    let start = std::time::Instant::now();
+    let added = store
+        .build_atlas(max_n, EngineCache::global())
+        .map_err(|e| render_error(&e))?;
+    println!(
+        "store {} now holds {} verdicts ({added} added, atlas through n = {max_n}, {:.3} ms)",
+        out,
+        store.stats().entries,
+        start.elapsed().as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
+fn require_connect(args: &Args) -> Result<&str, String> {
+    args.value("connect")
+        .ok_or_else(|| "--connect HOST:PORT names the server to talk to".to_string())
+}
+
+/// `gsb query`: run a question on a remote `gsb serve` instead of the
+/// in-process engine.
+fn remote_query(args: &Args) -> Result<(), String> {
+    let addr = require_connect(args)?;
+    let question = args.value("question").unwrap_or("classify");
+    let mut query = match question {
+        "classify" => Query::classify(resolve_spec(args)?),
+        "solvable" | "solvable-in-rounds" => {
+            Query::solvable_in_rounds(resolve_spec(args)?, args.require_usize("rounds")?)
+        }
+        "witness" | "no-comm-witness" => Query::no_comm_witness(resolve_spec(args)?),
+        "certificate" | "certify" => {
+            Query::certificate(resolve_spec(args)?, args.require_usize("rounds")?)
+        }
+        "atlas" => Query::atlas(args.require_usize("max-n")?),
+        other => {
+            return Err(format!(
+                "unknown --question '{other}' (classify, solvable, witness, certificate, atlas)"
+            ))
+        }
+    };
+    apply_governance(args, &mut query)?;
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let Served { verdict, served_by } = client.query(&query).map_err(|e| e.to_string())?;
+    if !args.switch("json") {
+        println!(
+            "served by the {} at {addr}",
+            match served_by {
+                ServedBy::Store => "verdict store",
+                ServedBy::Engine => "engine",
+            }
+        );
+    }
+    emit(&verdict, args.switch("json"));
+    Ok(())
+}
+
+/// `gsb ping`: readiness probe, retrying until `--wait-ms` elapses.
+fn ping(args: &Args) -> Result<(), String> {
+    let addr = require_connect(args)?;
+    let wait = std::time::Duration::from_millis(args.u64_value("wait-ms")?.unwrap_or(0));
+    let mut client = Client::connect_retry(addr, wait).map_err(|e| e.to_string())?;
+    let protocol = client.ping().map_err(|e| e.to_string())?;
+    println!("pong from {addr} (protocol {protocol})");
+    Ok(())
+}
+
+/// `gsb metrics`: the server's counters — raw JSON or a summary.
+fn metrics(args: &Args) -> Result<(), String> {
+    let addr = require_connect(args)?;
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let payload = client.metrics().map_err(|e| e.to_string())?;
+    if args.switch("json") {
+        print!("{}", payload.render());
+        return Ok(());
+    }
+    let num = |path: &[&str]| -> f64 {
+        let mut cursor = &payload;
+        for key in path {
+            match cursor.get(key) {
+                Some(next) => cursor = next,
+                None => return f64::NAN,
+            }
+        }
+        cursor.as_f64().unwrap_or(f64::NAN)
+    };
+    println!("gsb serve metrics from {addr}:");
+    println!(
+        "  served:    {} from store, {} from engine",
+        num(&["server", "served_store"]),
+        num(&["server", "served_engine"])
+    );
+    println!(
+        "  pressure:  {} in flight, {} shed, {} rejected, {} errors",
+        num(&["server", "in_flight"]),
+        num(&["server", "shed"]),
+        num(&["server", "rejected"]),
+        num(&["server", "errors"])
+    );
+    println!(
+        "  store:     {} entries ({} hits / {} misses, {} appended)",
+        num(&["store", "entries"]),
+        num(&["store", "hits"]),
+        num(&["store", "misses"]),
+        num(&["store", "appended"])
+    );
+    println!(
+        "  cache:     {} hits / {} misses",
+        num(&["cache", "hits"]),
+        num(&["cache", "misses"])
+    );
+    for question in ["classify", "solvable-in-rounds", "no-comm-witness"] {
+        let count = num(&["server", "latency", question, "count"]);
+        if count > 0.0 {
+            println!(
+                "  {question:<18} n={count} p50≤{}µs p95≤{}µs p99≤{}µs",
+                num(&["server", "latency", question, "p50_us"]),
+                num(&["server", "latency", question, "p95_us"]),
+                num(&["server", "latency", question, "p99_us"]),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `gsb shutdown`: ask a remote server to wind down gracefully.
+fn shutdown(args: &Args) -> Result<(), String> {
+    let addr = require_connect(args)?;
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    client.shutdown().map_err(|e| e.to_string())?;
+    println!("{addr} is shutting down");
+    Ok(())
+}
+
+/// `gsb cache-stats`: one-shot [`CacheStats`](gsb_universe::CacheStats)
+/// printout — the process-global cache (optionally warmed with a small
+/// classification sweep), or a remote server's cache via `--connect`.
+fn cache_stats(args: &Args) -> Result<(), String> {
+    let stats_json = if let Some(addr) = args.value("connect") {
+        let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+        let payload = client.metrics().map_err(|e| e.to_string())?;
+        payload
+            .get("cache")
+            .ok_or_else(|| "metrics payload carries no cache block".to_string())?
+            .clone()
+    } else {
+        let cache = EngineCache::global();
+        if let Some(max_n) = args.usize_value("warm")? {
+            let mut batch = gsb_universe::Batch::new();
+            for n in 1..=max_n {
+                for m in 1..=n {
+                    let Ok(family) = gsb_universe::core::order::feasible_family(n, m) else {
+                        continue;
+                    };
+                    for task in family {
+                        batch.push(Query::classify(task.to_spec()));
+                    }
+                }
+            }
+            for outcome in batch.run_with(cache) {
+                outcome.map_err(|e| render_error(&e))?;
+            }
+        }
+        cache.stats().to_json_value()
+    };
+    if args.switch("json") {
+        print!("{}", stats_json.render());
+        return Ok(());
+    }
+    let num = |key: &str| {
+        stats_json
+            .get(key)
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN)
+    };
+    println!("engine cache:");
+    println!(
+        "  lookups:  {} hits / {} misses",
+        num("hits"),
+        num("misses")
+    );
+    println!(
+        "  entries:  {} classifications, {} witnesses, {} searches",
+        num("classifications"),
+        num("witnesses"),
+        num("searches")
+    );
+    println!(
+        "  topology: {} complexes, {} systems, {} frontiers ({} incremental extensions)",
+        num("complexes"),
+        num("systems"),
+        num("frontiers"),
+        num("extensions")
+    );
     Ok(())
 }

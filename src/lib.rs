@@ -65,9 +65,15 @@
 //!   [`DecisionMap`](topology::DecisionMap) witness the engine's SAT
 //!   evidence is built on.
 //! * [`engine`] (`gsb-engine`) — the query→verdict engine itself.
+//! * [`serve`] (`gsb-serve`) — the persistent solvability service: a
+//!   JSON-lines TCP server with a disk-backed
+//!   [`VerdictStore`](serve::VerdictStore), admission control, and a
+//!   metrics endpoint, plus the blocking [`Client`](serve::Client)
+//!   behind the CLI's `--connect` paths.
 //!
-//! See the `examples/` directory for runnable end-to-end scenarios and
-//! `DESIGN.md` §7 for the engine/evidence architecture.
+//! See the `examples/` directory for runnable end-to-end scenarios,
+//! `DESIGN.md` §7 for the engine/evidence architecture, and
+//! `DESIGN.md` §11 for the serve subsystem.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -76,6 +82,7 @@ pub use gsb_algorithms as algorithms;
 pub use gsb_core as core;
 pub use gsb_engine as engine;
 pub use gsb_memory as memory;
+pub use gsb_serve as serve;
 pub use gsb_topology as topology;
 
 pub use gsb_engine::{

@@ -37,6 +37,7 @@ use gsb_memory::{
     enumerate_decisions_memoized, enumerate_decisions_naive, Action, Executor, Observation,
     Protocol, Symmetry,
 };
+use gsb_topology::SearchMode;
 use rayon::prelude::*;
 
 /// Rows of the solvability atlas: one classified task.
@@ -525,22 +526,31 @@ pub fn write_bench_json(report: &AtlasReport, path: &std::path::Path) -> std::io
 pub struct SearchBenchRow {
     /// Instance label, e.g. `"wsb(3) r=2"`.
     pub instance: String,
+    /// Search-mode label (`"cdcl"`, `"race"`, or `"local"`).
+    pub mode: String,
+    /// Whether the CDCL side branched at orbit/class granularity.
+    pub orbit_decisions: bool,
+    /// Whether a lifted warm-start seed was installed before the trials.
+    pub warm_seeded: bool,
     /// Symmetry classes of the quotiented instance.
     pub classes: usize,
     /// Deduplicated facet constraints.
     pub facets: usize,
     /// Whether a decision map exists.
     pub solvable: bool,
-    /// CDCL wall time (best of 3).
+    /// Engine wall time (median of 5 after a warmup pair; heavyweight
+    /// rows keep their single warmup sample).
     pub cdcl_wall: Duration,
     /// Wall time of the same query run *governed* — generous deadline
     /// (watchdog armed) plus never-tripping budgets, so every poll site
-    /// pays its check (best of 3). The gap to `cdcl_wall` is what
-    /// governance costs.
+    /// pays its check (same sampling as `cdcl_wall`). The gap to
+    /// `cdcl_wall` is what governance costs.
     pub governed_wall: Duration,
     /// Winner's solver counters.
     pub cdcl_stats: gsb_topology::SearchStats,
-    /// Wall time of the backtracking baseline run.
+    /// Wall time of the backtracking baseline run (zero when the row
+    /// skipped the baseline — mode variants of an already-baselined
+    /// instance).
     pub baseline_wall: Duration,
     /// `true` when the baseline hit its node budget before a verdict —
     /// its wall time is then a *lower bound*, and so is the speedup.
@@ -548,12 +558,16 @@ pub struct SearchBenchRow {
 }
 
 impl SearchBenchRow {
-    /// Baseline-over-CDCL wall ratio (a lower bound when censored), or
-    /// `None` when the *uncensored* baseline simply won — tiny
-    /// instances where a "0.2×" figure would misread as a regression
-    /// instead of "both sides finish in microseconds".
+    /// Baseline-over-engine wall ratio (a lower bound when censored), or
+    /// `None` when the row skipped the baseline or the *uncensored*
+    /// baseline simply won — tiny instances where a "0.2×" figure would
+    /// misread as a regression instead of "both sides finish in
+    /// microseconds".
     #[must_use]
     pub fn speedup(&self) -> Option<f64> {
+        if self.baseline_wall.is_zero() {
+            return None;
+        }
         let ratio =
             self.baseline_wall.as_secs_f64() / self.cdcl_wall.as_secs_f64().max(f64::EPSILON);
         (self.baseline_censored || ratio >= 1.0).then_some(ratio)
@@ -587,7 +601,9 @@ impl SearchReport {
         for (i, row) in self.rows.iter().enumerate() {
             let s = &row.cdcl_stats;
             out.push_str(&format!(
-                "    {{\n      \"instance\": \"{}\",\n      \"classes\": {},\n      \
+                "    {{\n      \"instance\": \"{}\",\n      \"mode\": \"{}\",\n      \
+                 \"orbit_decisions\": {},\n      \"warm_seeded\": {},\n      \
+                 \"classes\": {},\n      \
                  \"facets\": {},\n      \"solvable\": {},\n      \
                  \"cdcl_wall_ms\": {:.3},\n      \"governed_wall_ms\": {:.3},\n      \
                  \"governed_overhead_pct\": {:.2},\n      \
@@ -595,8 +611,13 @@ impl SearchReport {
                  \"baseline_censored\": {},\n      \"speedup\": {},\n      \
                  \"conflicts\": {},\n      \"decisions\": {},\n      \
                  \"propagations\": {},\n      \"learned\": {},\n      \
-                 \"symmetric_images\": {},\n      \"restarts\": {}\n    }}{}\n",
+                 \"symmetric_images\": {},\n      \"restarts\": {},\n      \
+                 \"local_steps\": {},\n      \"local_restarts\": {},\n      \
+                 \"local_won\": {}\n    }}{}\n",
                 row.instance,
+                row.mode,
+                row.orbit_decisions,
+                row.warm_seeded,
                 row.classes,
                 row.facets,
                 row.solvable,
@@ -613,6 +634,9 @@ impl SearchReport {
                 s.learned,
                 s.symmetric_images,
                 s.restarts,
+                s.local_steps,
+                s.local_restarts,
+                s.local_won,
                 if i + 1 == self.rows.len() { "" } else { "," },
             ));
         }
@@ -621,53 +645,129 @@ impl SearchReport {
     }
 }
 
+/// One instance of the search-bench suite: what to solve, how the
+/// engine attacks it, and how much baseline work it may spend.
+#[derive(Debug, Clone)]
+pub struct SearchCase {
+    /// Row label, e.g. `"loose_renaming(5) r=2 [race]"`.
+    pub label: String,
+    /// The task under search.
+    pub spec: gsb_core::GsbSpec,
+    /// Round bound.
+    pub rounds: usize,
+    /// Backtracking-baseline node budget in the default mode.
+    pub default_budget: u64,
+    /// Backtracking-baseline node budget under `--full`.
+    pub full_budget: u64,
+    /// How the engine attacks the row (plain CDCL, the CDCL-vs-local
+    /// completion race, or local search alone).
+    pub mode: SearchMode,
+    /// Branch at orbit/class granularity (the `[orbit]` A/B rows).
+    pub orbit_decisions: bool,
+    /// Lift a warm-start seed from this round count's decision map
+    /// before the timed trials (the `[warm]` rows).
+    pub warm_from: Option<usize>,
+    /// Whether to run the backtracking baseline at all — mode-variant
+    /// rows of an instance the suite already baselines skip the
+    /// duplicate run (their `baseline_wall` is zero, `speedup` null).
+    pub baseline: bool,
+}
+
+impl SearchCase {
+    /// A plain-CDCL case with a baseline run — the historical suite row.
+    fn plain(
+        label: &str,
+        spec: gsb_core::GsbSpec,
+        rounds: usize,
+        default_budget: u64,
+        full_budget: u64,
+    ) -> SearchCase {
+        SearchCase {
+            label: label.into(),
+            spec,
+            rounds,
+            default_budget,
+            full_budget,
+            mode: SearchMode::Cdcl,
+            orbit_decisions: false,
+            warm_from: None,
+            baseline: true,
+        }
+    }
+
+    /// A mode/toggle variant of an instance the suite already
+    /// baselines: no duplicate baseline run.
+    fn variant(
+        label: &str,
+        spec: gsb_core::GsbSpec,
+        rounds: usize,
+        mode: SearchMode,
+    ) -> SearchCase {
+        SearchCase {
+            label: label.into(),
+            spec,
+            rounds,
+            default_budget: 0,
+            full_budget: 0,
+            mode,
+            orbit_decisions: false,
+            warm_from: None,
+            baseline: false,
+        }
+    }
+}
+
 /// The search-bench instance suite: the frontier certificates plus fast
-/// sanity rows. `(label, spec, rounds, default node budget, full node
-/// budget)` for the backtracking baseline — the default budgets keep the
-/// exponential baseline from dominating a smoke run (~1 s censored
-/// rows); `--full` budgets let the `wsb(3) r=2` row run to its ~10 s
-/// verdict while still bounding `loose_renaming(4) r=2`, whose plain
-/// search would not terminate in any useful time (the row is then an
-/// explicit lower bound).
+/// sanity rows. The per-case node budgets bound the backtracking
+/// baseline — the default budgets keep the exponential baseline from
+/// dominating a smoke run (~1 s censored rows); `--full` budgets let
+/// the `wsb(3) r=2` row run to its ~10 s verdict while still bounding
+/// `loose_renaming(4) r=2`, whose plain search would not terminate in
+/// any useful time (the row is then an explicit lower bound).
 #[must_use]
-pub fn search_suite() -> Vec<(String, gsb_core::GsbSpec, usize, u64, u64)> {
+pub fn search_suite() -> Vec<SearchCase> {
+    let loose4 = SymmetricGsb::loose_renaming(4)
+        .expect("well-formed")
+        .to_spec();
     vec![
-        (
-            "renaming(3,6) r=1".into(),
+        SearchCase::plain(
+            "renaming(3,6) r=1",
             SymmetricGsb::renaming(3, 6).expect("well-formed").to_spec(),
             1,
             u64::MAX,
             u64::MAX,
         ),
-        (
-            "wsb(3) r=2".into(),
+        SearchCase::plain(
+            "wsb(3) r=2",
             SymmetricGsb::wsb(3).expect("well-formed").to_spec(),
             2,
             1_000_000,
             u64::MAX,
         ),
-        (
-            "election(3) r=2".into(),
+        SearchCase::plain(
+            "election(3) r=2",
             gsb_core::GsbSpec::election(3).expect("well-formed"),
             2,
             u64::MAX,
             u64::MAX,
         ),
-        (
-            "loose_renaming(4) r=2".into(),
-            SymmetricGsb::loose_renaming(4)
-                .expect("well-formed")
-                .to_spec(),
+        SearchCase::plain(
+            "loose_renaming(4) r=2",
+            loose4.clone(),
             2,
             1_000_000,
             100_000_000,
         ),
+        // The completion-race smoke: the same SAT instance through the
+        // CDCL-vs-local race, cheap enough for every CI run. The search
+        // bin asserts its verdict matches the plain row's.
+        SearchCase::variant("loose_renaming(4) r=2 [race]", loose4, 2, SearchMode::Race),
         // The n = 5 frontier, opened by the streaming construction
         // pipeline: χ(Δ⁴) (541 facets) streams through prep in under a
         // millisecond. One round renames 5 processes into
         // n(n+1)/2 = 15 names and provably not into 2n−1 = 9.
-        (
-            "renaming(5,15) r=1".into(),
+        SearchCase::plain(
+            "renaming(5,15) r=1",
             SymmetricGsb::renaming(5, 15)
                 .expect("well-formed")
                 .to_spec(),
@@ -675,8 +775,8 @@ pub fn search_suite() -> Vec<(String, gsb_core::GsbSpec, usize, u64, u64)> {
             u64::MAX,
             u64::MAX,
         ),
-        (
-            "loose_renaming(5) r=1".into(),
+        SearchCase::plain(
+            "loose_renaming(5) r=1",
             SymmetricGsb::loose_renaming(5)
                 .expect("well-formed")
                 .to_spec(),
@@ -687,34 +787,77 @@ pub fn search_suite() -> Vec<(String, gsb_core::GsbSpec, usize, u64, u64)> {
     ]
 }
 
-/// [`search_suite`] plus the heavyweight `--full`-only rows: the
-/// `wsb(3) r = 3` index-lemma UNSAT over `χ³(Δ²)`'s 1,086 classes
-/// (~125k conflicts, seconds of CDCL — kept out of smoke runs and the
-/// test suite, pinned `#[ignore]`d in `tests/search_frontier.rs`).
+/// [`search_suite`] plus the heavyweight `--full`-only rows — the
+/// frontier records and the mechanism splits that justify them:
+///
+/// * `wsb(3) r = 3` — the index-lemma UNSAT over `χ³(Δ²)`'s 1,086
+///   classes (~136k conflicts, seconds of CDCL), plus its `[orbit]`
+///   A/B twin recording what class-granularity decisions *cost* on a
+///   refutation (a measured negative result, gated against silent
+///   drift).
+/// * `loose_renaming(5) r = 2` — the 10,945-class SAT record, as the
+///   plain-CDCL reference, the `[race]` row (the ≤ 20 s production
+///   configuration), and the `[local]` row (the completion engine
+///   alone).
+/// * `renaming(3,6) r = 2` — the warm-start split: the same instance
+///   cold vs. `[warm]`-seeded from its own r = 1 decision map lifted
+///   through the subdivision (the lift of a SAT map is SAT, so the
+///   seeded dive is conflict-free).
+///
+/// Two frontier rows stay out of the bench on measured grounds and live
+/// as `#[ignore]`d pins in `tests/search_frontier.rs` instead: the
+/// `wsb(4) r = 2` refutation (hours-scale CDCL) and the
+/// `loose_renaming(5) r = 3` map (a ~32 GB constraint system whose
+/// witness is certified constructively through the lift theorem — cold
+/// search exhausts any reasonable budget there).
 #[must_use]
-pub fn search_suite_full() -> Vec<(String, gsb_core::GsbSpec, usize, u64, u64)> {
+pub fn search_suite_full() -> Vec<SearchCase> {
+    let wsb3 = SymmetricGsb::wsb(3).expect("well-formed").to_spec();
+    let loose5 = SymmetricGsb::loose_renaming(5)
+        .expect("well-formed")
+        .to_spec();
+    let renaming36 = SymmetricGsb::renaming(3, 6).expect("well-formed").to_spec();
     let mut suite = search_suite();
-    suite.push((
-        "wsb(3) r=3".into(),
-        SymmetricGsb::wsb(3).expect("well-formed").to_spec(),
+    suite.push(SearchCase::plain(
+        "wsb(3) r=3",
+        wsb3.clone(),
         3,
         1_000_000,
         1_000_000,
     ));
-    // The first n = 5, r = 2 frontier row, opened by the orbit-quotient
-    // instance prep: a symmetric decision map for (2n−1)-renaming
-    // (9 names) on χ²(Δ⁴) — 10,945 classes, 292,681 facet constraints.
-    // One round provably needs 15 names; two reach the wait-free
-    // optimum. Minutes of 1-core CDCL, so `--full` only.
-    suite.push((
-        "loose_renaming(5) r=2".into(),
-        SymmetricGsb::loose_renaming(5)
-            .expect("well-formed")
-            .to_spec(),
+    suite.push(SearchCase {
+        orbit_decisions: true,
+        ..SearchCase::variant("wsb(3) r=3 [orbit]", wsb3.clone(), 3, SearchMode::Cdcl)
+    });
+    suite.push(SearchCase::plain(
+        "loose_renaming(5) r=2",
+        loose5.clone(),
         2,
         1_000_000,
         1_000_000,
     ));
+    suite.push(SearchCase::variant(
+        "loose_renaming(5) r=2 [race]",
+        loose5.clone(),
+        2,
+        SearchMode::Race,
+    ));
+    suite.push(SearchCase::variant(
+        "loose_renaming(5) r=2 [local]",
+        loose5.clone(),
+        2,
+        SearchMode::Local,
+    ));
+    suite.push(SearchCase::variant(
+        "renaming(3,6) r=2",
+        renaming36.clone(),
+        2,
+        SearchMode::Cdcl,
+    ));
+    suite.push(SearchCase {
+        warm_from: Some(1),
+        ..SearchCase::variant("renaming(3,6) r=2 [warm]", renaming36, 2, SearchMode::Cdcl)
+    });
     suite
 }
 
@@ -741,15 +884,31 @@ pub fn search_report(full_baseline: bool) -> SearchReport {
     })
 }
 
-/// Benchmarks the suite: the engine's CDCL path best-of-3 vs. the
-/// budgeted backtracking baseline, cross-checking verdicts where the
-/// baseline finishes.
+/// Upper median of a timing sample (5 timed trials → the 3rd-fastest;
+/// a single heavyweight sample → itself).
+fn median_wall(samples: &mut [Duration]) -> Duration {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Benchmarks the suite: the engine (in each case's search mode) vs.
+/// the budgeted backtracking baseline, cross-checking verdicts where
+/// the baseline finishes.
 ///
-/// The CDCL side goes through `gsb_engine::Query` — what a production
+/// The engine side goes through `gsb_engine::Query` — what a production
 /// caller pays end-to-end, including the quotient build — with the
 /// engine cache and evidence checking switched **off** inside the timed
 /// trials so each trial times one real solve; one untimed query with
 /// full evidence checking then replays every SAT witness facet by facet.
+///
+/// Timing discipline: one warmup pair (ungoverned + governed,
+/// discarded — it absorbs first-touch allocator and page-cache
+/// effects), then five timed interleaved pairs reported as **medians**.
+/// The old min-of-5 made `governed_overhead_pct` a race between two
+/// minima of a noisy distribution and flapped sign run to run; the
+/// median pair is what the drift gate in the search bin compares.
+/// Heavyweight frontier rows (warmup pair over 20 s, i.e. minutes of
+/// search) keep the warmup pair as their single sample.
 ///
 /// # Panics
 ///
@@ -764,19 +923,38 @@ pub fn search_report_budgeted(budget_mode: BaselineBudget) -> SearchReport {
         BaselineBudget::Default | BaselineBudget::Capped(_) => search_suite(),
     };
     let mut rows = Vec::new();
-    for (instance, spec, rounds, default_budget, full_budget) in suite {
-        let timing_opts = EngineOpts {
+    for case in suite {
+        let mut timing_opts = EngineOpts {
             use_cache: false,
             check_evidence: false,
+            mode: case.mode,
             ..EngineOpts::default()
         };
+        timing_opts.cdcl.orbit_decisions = case.orbit_decisions;
+        if let Some(parent_rounds) = case.warm_from {
+            // One untimed parent solve; its decision map lifts through
+            // the subdivision into the phase seed every timed trial
+            // starts from (the lift of a SAT map is SAT, so the seeded
+            // dive should be conflict-free — the row records whether
+            // that holds in `conflicts`).
+            let parent = Query::solvable_in_rounds(case.spec.clone(), parent_rounds)
+                .run()
+                .expect("the warm-start parent row answers");
+            let map = parent
+                .evidence
+                .decision_map()
+                .expect("warm-start parent rows are SAT")
+                .clone();
+            let seed = SymmetricSearch::from_spec_streaming(case.spec.clone(), case.rounds)
+                .lift_warm_start(&map);
+            timing_opts.cdcl.warm_start = Some(std::sync::Arc::new(seed));
+        }
         // The governed twin: same query, generous deadline (watchdog
         // armed) plus never-tripping budgets — every poll site pays its
         // check and the wall gap to `cdcl_wall` is the governance cost.
         // Trials interleave ungoverned/governed back-to-back so both
-        // minima sample the same noise environment — the pair is
-        // compared by a drift gate in the search bin, and on a shared
-        // box minutes can separate the loops otherwise.
+        // medians sample the same noise environment — on a shared box
+        // minutes can separate the loops otherwise.
         let governed_opts = EngineOpts {
             deadline: Some(Duration::from_secs(3600)),
             decision_budget: Some(u64::MAX / 4),
@@ -785,55 +963,79 @@ pub fn search_report_budgeted(budget_mode: BaselineBudget) -> SearchReport {
             memory_budget: Some(u64::MAX / 4),
             ..timing_opts.clone()
         };
-        let mut cdcl_wall = Duration::MAX;
-        let mut governed_wall = Duration::MAX;
+        let mut cdcl_samples = Vec::new();
+        let mut governed_samples = Vec::new();
         let mut outcome = None;
-        for trial in 0..5 {
-            let query =
-                Query::solvable_in_rounds(spec.clone(), rounds).with_opts(timing_opts.clone());
+        for trial in 0..6 {
+            let query = Query::solvable_in_rounds(case.spec.clone(), case.rounds)
+                .with_opts(timing_opts.clone());
             let start = Instant::now();
             let verdict = query.run().expect("the engine answers the bench suite");
-            cdcl_wall = cdcl_wall.min(start.elapsed());
+            let cdcl_t = start.elapsed();
             outcome = Some(verdict);
-            let query =
-                Query::solvable_in_rounds(spec.clone(), rounds).with_opts(governed_opts.clone());
+            let query = Query::solvable_in_rounds(case.spec.clone(), case.rounds)
+                .with_opts(governed_opts.clone());
             let start = Instant::now();
             let governed = query.run().expect("the governed engine answers the suite");
-            governed_wall = governed_wall.min(start.elapsed());
+            let governed_t = start.elapsed();
             assert!(
                 !governed.is_indeterminate(),
-                "generous limits must never trip on {instance}"
+                "generous limits must never trip on {}",
+                case.label
             );
-            // Heavyweight frontier rows (minutes of CDCL) run one trial
-            // pair; best-of-5 is for the rows where noise matters.
-            if trial == 0 && cdcl_wall + governed_wall > Duration::from_secs(20) {
-                break;
+            if trial == 0 {
+                // Warmup pair: discarded from the medians, except on
+                // heavyweight rows (minutes of search, where noise is
+                // negligible relative to the wall) where it becomes the
+                // single sample.
+                if cdcl_t + governed_t > Duration::from_secs(20) {
+                    cdcl_samples.push(cdcl_t);
+                    governed_samples.push(governed_t);
+                    break;
+                }
+                continue;
             }
+            cdcl_samples.push(cdcl_t);
+            governed_samples.push(governed_t);
         }
+        let cdcl_wall = median_wall(&mut cdcl_samples);
+        let governed_wall = median_wall(&mut governed_samples);
         let verdict = outcome.expect("the timed trials ran");
         // Untimed verification pass on the held verdict: SAT witnesses
         // replay facet-by-facet, with no extra solve.
         verdict.check().expect("evidence re-verifies");
         let stats = verdict.stats.search.expect("a search ran");
         let solvable = verdict.evidence.decision_map().is_some();
-        let search = SymmetricSearch::new(spec, rounds);
-        let budget = match budget_mode {
-            BaselineBudget::Default => default_budget,
-            BaselineBudget::Full => full_budget,
-            BaselineBudget::Capped(cap) => cap,
+        let search = SymmetricSearch::from_spec_streaming(case.spec, case.rounds);
+        let (baseline_wall, baseline_censored) = if case.baseline {
+            let budget = match budget_mode {
+                BaselineBudget::Default => case.default_budget,
+                BaselineBudget::Full => case.full_budget,
+                BaselineBudget::Capped(cap) => cap,
+            };
+            let start = Instant::now();
+            let baseline = search.solve_reference_budgeted(budget);
+            let baseline_wall = start.elapsed();
+            if let Some(baseline) = &baseline {
+                assert_eq!(
+                    baseline.is_solvable(),
+                    solvable,
+                    "engines disagree on {}",
+                    case.label
+                );
+            }
+            (baseline_wall, baseline.is_none())
+        } else {
+            // Mode-variant row of an instance the suite already
+            // baselines: a duplicate baseline run would only add
+            // minutes. Zero wall marks the skip (`speedup` is null).
+            (Duration::ZERO, true)
         };
-        let start = Instant::now();
-        let baseline = search.solve_reference_budgeted(budget);
-        let baseline_wall = start.elapsed();
-        if let Some(baseline) = &baseline {
-            assert_eq!(
-                baseline.is_solvable(),
-                solvable,
-                "engines disagree on {instance}"
-            );
-        }
         rows.push(SearchBenchRow {
-            instance,
+            instance: case.label,
+            mode: case.mode.label().to_string(),
+            orbit_decisions: case.orbit_decisions,
+            warm_seeded: stats.warm_seeded > 0,
             classes: search.classes().len(),
             facets: search.facet_count(),
             solvable,
@@ -841,7 +1043,7 @@ pub fn search_report_budgeted(budget_mode: BaselineBudget) -> SearchReport {
             governed_wall,
             cdcl_stats: stats,
             baseline_wall,
-            baseline_censored: baseline.is_none(),
+            baseline_censored,
         });
     }
     SearchReport {
@@ -1276,16 +1478,31 @@ mod tests {
             .find(|r| r.instance.starts_with("loose_renaming"))
             .expect("renaming row present");
         assert!(renaming.solvable, "(2n−1)-renaming n=4 solves at r=2");
+        // The completion-race smoke row: same instance, same verdict,
+        // no duplicate baseline (speedup null).
+        let race = report
+            .rows
+            .iter()
+            .find(|r| r.instance.ends_with("[race]"))
+            .expect("race smoke row present");
+        assert_eq!(race.mode, "race");
+        assert!(race.solvable, "the race reaches the plain row's verdict");
+        assert!(race.baseline_wall.is_zero() && race.speedup().is_none());
         let json = report.to_json();
         for key in [
             "\"threads\"",
             "\"instance\"",
+            "\"mode\"",
+            "\"orbit_decisions\"",
+            "\"warm_seeded\"",
             "\"cdcl_wall_ms\"",
             "\"baseline_wall_ms\"",
             "\"baseline_censored\"",
             "\"speedup\"",
             "\"conflicts\"",
             "\"symmetric_images\"",
+            "\"local_steps\"",
+            "\"local_won\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -18,10 +18,10 @@ use std::sync::{Mutex, OnceLock};
 use std::sync::Arc;
 
 use gsb_core::govern::{Stopped, Ticket};
-use gsb_core::{Classification, GsbSpec};
+use gsb_core::{Classification, GsbSpec, StopReason};
 use gsb_topology::{
     shared_protocol_complex, CdclConfig, ChromaticComplex, ConstraintSystem, DecisionMap,
-    OrbitFrontier, SearchResult, SearchStats, SymmetricSearch,
+    OrbitFrontier, SearchMode, SearchResult, SearchStats, SymmetricSearch,
 };
 
 use crate::error::Error;
@@ -196,6 +196,31 @@ impl EngineCache {
         rounds: usize,
         config: &CdclConfig,
     ) -> (SearchEntry, bool) {
+        self.search_mode(spec, rounds, config, SearchMode::Cdcl, true)
+            .expect("plain CDCL mode always reaches a verdict ungoverned")
+    }
+
+    /// [`EngineCache::search`] with an explicit [`SearchMode`] and
+    /// warm-start policy. `warm_start` lifts a cached `rounds − 1` SAT
+    /// decision map through the subdivision into the solver's seed when
+    /// one is already present (never triggering a recursive solve);
+    /// seeds are perf hints only, so the cached entry stays
+    /// configuration-independent.
+    ///
+    /// # Errors
+    ///
+    /// [`SearchMode::Local`] cannot refute: when local search exhausts
+    /// its restart schedule without a witness this returns
+    /// [`Error::Interrupted`] with the partial counters, and nothing is
+    /// cached.
+    pub fn search_mode(
+        &self,
+        spec: &GsbSpec,
+        rounds: usize,
+        config: &CdclConfig,
+        mode: SearchMode,
+        warm_start: bool,
+    ) -> Result<(SearchEntry, bool), Error> {
         let key = (spec.clone(), rounds);
         if let Some(hit) = self
             .searches
@@ -204,7 +229,7 @@ impl EngineCache {
             .get(&key)
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return (hit.clone(), true);
+            return Ok((hit.clone(), true));
         }
         // In-flight guard: concurrent identical queries block here and
         // are served the winner's entry by the re-check, instead of
@@ -218,7 +243,7 @@ impl EngineCache {
             .get(&key)
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return (hit.clone(), true);
+            return Ok((hit.clone(), true));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         // The fused orbit-quotient prep, shared across every spec at
@@ -226,7 +251,11 @@ impl EngineCache {
         // sweeps (uncounted: this search is one logical cache lookup).
         let (system, _) = self.constraint_system_inner(spec.n(), rounds);
         let search = SymmetricSearch::with_system(spec.clone(), Some(rounds), system);
-        let (result, stats) = search.solve_with(config);
+        let config = self.seeded_config(spec, rounds, config, warm_start, &search);
+        let (result, stats) = search.solve_mode_with(&config, mode);
+        let Some(result) = result else {
+            return Err(empty_result_error(None, stats));
+        };
         let map = search.decision_map(&result);
         let computed = (result, map, stats);
         self.searches
@@ -234,7 +263,51 @@ impl EngineCache {
             .unwrap_or_else(|p| p.into_inner())
             .entry(key)
             .or_insert_with(|| computed.clone());
-        (computed, false)
+        Ok((computed, false))
+    }
+
+    /// `config` with the lifted warm-start seed filled in, when wanted,
+    /// absent, and liftable from a cached `rounds − 1` SAT entry.
+    fn seeded_config(
+        &self,
+        spec: &GsbSpec,
+        rounds: usize,
+        config: &CdclConfig,
+        warm_start: bool,
+        search: &SymmetricSearch,
+    ) -> CdclConfig {
+        let mut config = config.clone();
+        if warm_start && config.warm_start.is_none() {
+            config.warm_start = self.lifted_warm_start(spec, rounds, search);
+        }
+        config
+    }
+
+    /// The lifted warm-start seed for `(spec, rounds)`: when the cache
+    /// already holds a SAT decision map at `rounds − 1` (a frontier
+    /// sweep asking round counts in turn), lift it through the
+    /// subdivision — each round-`rounds` class seeds the value its
+    /// nested round-`(rounds − 1)` subview was assigned. Never triggers
+    /// a recursive solve; a cold cache just means no seed.
+    fn lifted_warm_start(
+        &self,
+        spec: &GsbSpec,
+        rounds: usize,
+        search: &SymmetricSearch,
+    ) -> Option<Arc<Vec<u32>>> {
+        let parent_key = (spec.clone(), rounds.checked_sub(1)?);
+        let parent_map = {
+            let searches = self.searches.lock().unwrap_or_else(|p| p.into_inner());
+            let (result, map, _) = searches.get(&parent_key)?;
+            if !result.is_solvable() {
+                return None;
+            }
+            // Clone so the lift (signature computations per class) runs
+            // outside the cache lock.
+            map.clone()?
+        };
+        let seed = search.lift_warm_start(&parent_map);
+        seed.iter().any(|&v| v != 0).then(|| Arc::new(seed))
     }
 
     /// [`EngineCache::search`] under a governance ticket: cache hits are
@@ -248,6 +321,8 @@ impl EngineCache {
         spec: &GsbSpec,
         rounds: usize,
         config: &CdclConfig,
+        mode: SearchMode,
+        warm_start: bool,
         ticket: &Ticket,
     ) -> Result<(SearchEntry, bool), Error> {
         let key = (spec.clone(), rounds);
@@ -278,9 +353,10 @@ impl EngineCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let (system, _) = self.constraint_system_inner_governed(spec.n(), rounds, Some(ticket))?;
         let search = SymmetricSearch::with_system(spec.clone(), Some(rounds), system);
-        let (result, stats) = search.solve_governed(config, ticket);
+        let config = self.seeded_config(spec, rounds, config, warm_start, &search);
+        let (result, stats) = search.solve_mode_governed(&config, mode, Some(ticket));
         let Some(result) = result else {
-            return Err(Error::interrupted(ticket, stats));
+            return Err(empty_result_error(Some(ticket), stats));
         };
         let map = search.decision_map(&result);
         let computed = (result, map, stats);
@@ -480,16 +556,45 @@ impl EngineCache {
     }
 }
 
-/// One uncached CDCL solve through the fused orbit-quotient prep
+/// One uncached solve through the fused orbit-quotient prep
 /// (`SymmetricSearch::from_spec_streaming` — orbit representatives
 /// stream straight into the solver instance, no complex is ever
 /// materialized), packaging the SAT witness as a replayable
-/// [`DecisionMap`].
-pub(crate) fn solve_cdcl(spec: &GsbSpec, rounds: usize, config: &CdclConfig) -> SearchEntry {
+/// [`DecisionMap`]. Uncached runs have no parent entry to lift a warm
+/// start from, so the config is used as given.
+///
+/// # Errors
+///
+/// [`SearchMode::Local`] exhaustion (no witness, no refutation) comes
+/// back as [`Error::Interrupted`] with the partial counters.
+pub(crate) fn solve_uncached(
+    spec: &GsbSpec,
+    rounds: usize,
+    config: &CdclConfig,
+    mode: SearchMode,
+) -> Result<SearchEntry, Error> {
     let search = SymmetricSearch::from_spec_streaming(spec.clone(), rounds);
-    let (result, stats) = search.solve_with(config);
+    let (result, stats) = search.solve_mode_with(config, mode);
+    let Some(result) = result else {
+        return Err(empty_result_error(None, stats));
+    };
     let map = search.decision_map(&result);
-    (result, map, stats)
+    Ok((result, map, stats))
+}
+
+/// The [`Error::Interrupted`] for a solve that came back empty: a
+/// tripped ticket reports its own stop reason; an *ungoverned* empty
+/// result can only be local-search exhaustion, reported as a spent
+/// decision budget (the restart schedule is exactly that — a built-in
+/// decision budget the engine ran out of).
+pub(crate) fn empty_result_error(ticket: Option<&Ticket>, stats: SearchStats) -> Error {
+    match ticket {
+        Some(t) if t.stop_reason().is_some() => Error::interrupted(t, stats),
+        _ => Error::Interrupted {
+            reason: StopReason::DecisionBudget,
+            partial: Some(stats),
+        },
+    }
 }
 
 #[cfg(test)]

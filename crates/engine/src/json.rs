@@ -638,11 +638,30 @@ fn stats_to_json(stats: &SearchStats) -> Json {
         ),
         ("imported".into(), Json::Num(stats.imported as f64)),
         ("deleted".into(), Json::Num(stats.deleted as f64)),
+        (
+            "orbit_decisions".into(),
+            Json::Num(stats.orbit_decisions as f64),
+        ),
+        ("warm_seeded".into(), Json::Num(stats.warm_seeded as f64)),
+        ("local_steps".into(), Json::Num(stats.local_steps as f64)),
+        (
+            "local_restarts".into(),
+            Json::Num(stats.local_restarts as f64),
+        ),
+        ("local_won".into(), Json::Bool(stats.local_won)),
         ("workers".into(), Json::Num(stats.workers as f64)),
     ])
 }
 
 fn stats_from_json(value: &Json) -> Result<SearchStats> {
+    // The orbit/warm/local fields postdate stored verdict records;
+    // absent keys read as zero so old store entries keep parsing.
+    let opt_u64 = |key: &str| -> Result<u64> {
+        match value.get(key) {
+            None | Some(Json::Null) => Ok(0),
+            Some(_) => u64_field(value, key),
+        }
+    };
     Ok(SearchStats {
         decisions: u64_field(value, "decisions")?,
         conflicts: u64_field(value, "conflicts")?,
@@ -652,6 +671,11 @@ fn stats_from_json(value: &Json) -> Result<SearchStats> {
         symmetric_images: u64_field(value, "symmetric_images")?,
         imported: u64_field(value, "imported")?,
         deleted: u64_field(value, "deleted")?,
+        orbit_decisions: opt_u64("orbit_decisions")?,
+        warm_seeded: opt_u64("warm_seeded")?,
+        local_steps: opt_u64("local_steps")?,
+        local_restarts: opt_u64("local_restarts")?,
+        local_won: matches!(value.get("local_won"), Some(Json::Bool(true))),
         workers: usize_field(value, "workers")?,
     })
 }
@@ -717,6 +741,8 @@ impl crate::query::EngineOpts {
             // The deprecated `reference_budget` alias folds in here.
             ("node_budget".into(), opt_u64(self.effective_node_budget())),
             ("memory_budget".into(), opt_u64(self.memory_budget)),
+            ("mode".into(), Json::Str(self.mode.label().into())),
+            ("warm_start".into(), Json::Bool(self.warm_start)),
         ])
     }
 
@@ -755,6 +781,20 @@ impl crate::query::EngineOpts {
                 Some(duration_from_ms(ms, "deadline_ms")?)
             }
         };
+        // Pre-race `EngineOpts` JSON carries neither key: default to
+        // plain CDCL with warm starts on, matching `EngineOpts::default`.
+        let mode = match value.get("mode") {
+            None | Some(Json::Null) => gsb_topology::SearchMode::default(),
+            Some(other) => {
+                let label = other.as_str().ok_or_else(|| Error::Json {
+                    details: "field 'mode' is not a string".into(),
+                })?;
+                gsb_topology::SearchMode::from_label(label).ok_or_else(|| Error::Json {
+                    details: format!("unknown search mode '{label}'"),
+                })?
+            }
+        };
+        let warm_start = !matches!(value.get("warm_start"), Some(Json::Bool(false)));
         let mut opts = crate::query::EngineOpts {
             search,
             deadline,
@@ -762,6 +802,8 @@ impl crate::query::EngineOpts {
             conflict_budget: opt_u64(value, "conflict_budget")?,
             node_budget: opt_u64(value, "node_budget")?,
             memory_budget: opt_u64(value, "memory_budget")?,
+            mode,
+            warm_start,
             ..Default::default()
         };
         if opts.node_budget.is_none() {

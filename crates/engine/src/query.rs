@@ -9,7 +9,7 @@
 //! with machine-checkable [`Evidence`](crate::Evidence).
 
 use gsb_core::GsbSpec;
-use gsb_topology::CdclConfig;
+use gsb_topology::{CdclConfig, SearchMode};
 
 use crate::cache::EngineCache;
 use crate::error::Result;
@@ -158,6 +158,17 @@ pub struct EngineOpts {
     pub use_cache: bool,
     /// Configuration handed to the conflict-driven engine.
     pub cdcl: CdclConfig,
+    /// How the CDCL engine attacks a round-bounded search: plain CDCL,
+    /// a CDCL-vs-local-search completion race, or local search alone
+    /// (which can only produce SAT witnesses — exhaustion comes back
+    /// indeterminate, never UNSAT). Ignored by the reference engine.
+    pub mode: SearchMode,
+    /// Seed the solver with the lifted `r − 1` decision map when the
+    /// cache already holds one (phase saving + initial VSIDS order for
+    /// CDCL, first-restart construction pin for local search). Purely
+    /// a performance hint: seeds never constrain the search, so
+    /// verdicts are unaffected. Default `true`.
+    pub warm_start: bool,
 }
 
 impl Default for EngineOpts {
@@ -176,6 +187,8 @@ impl Default for EngineOpts {
             simulate_witness: false,
             use_cache: true,
             cdcl: CdclConfig::default(),
+            mode: SearchMode::default(),
+            warm_start: true,
         }
     }
 }

@@ -14,7 +14,7 @@ use gsb_topology::{
 };
 use rayon::prelude::*;
 
-use crate::cache::{solve_cdcl, EngineCache, SearchEntry};
+use crate::cache::{empty_result_error, solve_uncached, EngineCache, SearchEntry};
 use crate::error::{Error, Result};
 use crate::evidence::{AtlasCell, Evidence};
 use crate::governor::Governor;
@@ -142,19 +142,21 @@ fn search_at(
 ) -> Result<(SearchEntry, bool, Vec<String>)> {
     let cdcl = |cache_wanted: bool| -> Result<(SearchEntry, bool)> {
         match (ticket, cache_wanted) {
-            (Some(t), true) => cache.search_governed(spec, rounds, &opts.cdcl, t),
+            (Some(t), true) => {
+                cache.search_governed(spec, rounds, &opts.cdcl, opts.mode, opts.warm_start, t)
+            }
             (Some(t), false) => {
                 let search =
                     SymmetricSearch::from_spec_streaming_governed(spec.clone(), rounds, Some(t))?;
-                let (result, stats) = search.solve_governed(&opts.cdcl, t);
+                let (result, stats) = search.solve_mode_governed(&opts.cdcl, opts.mode, Some(t));
                 let Some(result) = result else {
-                    return Err(Error::interrupted(t, stats));
+                    return Err(empty_result_error(Some(t), stats));
                 };
                 let map = search.decision_map(&result);
                 Ok(((result, map, stats), false))
             }
-            (None, true) => Ok(cache.search(spec, rounds, &opts.cdcl)),
-            (None, false) => Ok((solve_cdcl(spec, rounds, &opts.cdcl), false)),
+            (None, true) => cache.search_mode(spec, rounds, &opts.cdcl, opts.mode, opts.warm_start),
+            (None, false) => Ok((solve_uncached(spec, rounds, &opts.cdcl, opts.mode)?, false)),
         }
     };
     let reference = || -> Result<SearchEntry> {

@@ -97,7 +97,8 @@ fn indeterminate_verdicts_round_trip() {
 
 /// `EngineOpts` governance fields (deadline + the four budgets) round
 /// trip through their JSON form, including through a render/parse of
-/// the text itself.
+/// the text itself — and so do the search-mode and warm-start toggles
+/// behind `--search-mode` / `--no-warm-start`.
 #[test]
 fn engine_opts_round_trip_through_json() {
     let opts = EngineOpts {
@@ -107,9 +108,13 @@ fn engine_opts_round_trip_through_json() {
         conflict_budget: None,
         node_budget: Some(77),
         memory_budget: Some(64 * 1024 * 1024),
+        mode: gsb_topology::SearchMode::Race,
+        warm_start: false,
         ..EngineOpts::default()
     };
     let text = opts.to_json_value().render();
+    assert!(text.contains("\"mode\": \"race\""), "{text}");
+    assert!(text.contains("\"warm_start\": false"), "{text}");
     let parsed = EngineOpts::from_json_value(&Json::parse(&text).expect("well-formed"))
         .expect("options parse back");
     assert_eq!(parsed.search, opts.search);
@@ -118,6 +123,62 @@ fn engine_opts_round_trip_through_json() {
     assert_eq!(parsed.conflict_budget, opts.conflict_budget);
     assert_eq!(parsed.node_budget, opts.node_budget);
     assert_eq!(parsed.memory_budget, opts.memory_budget);
+    assert_eq!(parsed.mode, opts.mode);
+    assert_eq!(parsed.warm_start, opts.warm_start);
+}
+
+/// Search-mode defaults and rejects: a payload without the new keys
+/// parses to plain CDCL with warm starts on (pre-PR payloads keep their
+/// meaning), every mode label round-trips, and an unknown label is a
+/// structured JSON error rather than a silent fallback.
+#[test]
+fn search_mode_json_defaults_and_rejects() {
+    let legacy = Json::parse("{\"search\": \"cdcl\"}").expect("well-formed");
+    let parsed = EngineOpts::from_json_value(&legacy).expect("legacy options parse");
+    assert_eq!(parsed.mode, gsb_topology::SearchMode::Cdcl);
+    assert!(parsed.warm_start);
+    for mode in [
+        gsb_topology::SearchMode::Cdcl,
+        gsb_topology::SearchMode::Race,
+        gsb_topology::SearchMode::Local,
+    ] {
+        let opts = EngineOpts {
+            mode,
+            ..EngineOpts::default()
+        };
+        let text = opts.to_json_value().render();
+        let parsed = EngineOpts::from_json_value(&Json::parse(&text).expect("well-formed"))
+            .expect("mode label parses back");
+        assert_eq!(parsed.mode, mode);
+    }
+    let bad = Json::parse("{\"mode\": \"quantum\"}").expect("well-formed");
+    assert!(matches!(
+        EngineOpts::from_json_value(&bad),
+        Err(gsb_engine::Error::Json { .. })
+    ));
+}
+
+/// A local-search SAT witness is indistinguishable from a CDCL one to
+/// the evidence layer: it ships as a decision map, survives JSON, and
+/// replays facet by facet through the independent checker.
+#[test]
+fn local_search_witness_replays_through_evidence_check() {
+    let spec = SymmetricGsb::loose_renaming(4).unwrap().to_spec();
+    let mut query = Query::solvable_in_rounds(spec, 2);
+    query.opts_mut().mode = gsb_topology::SearchMode::Local;
+    query.opts_mut().use_cache = false;
+    let verdict = query
+        .run_with(&EngineCache::new())
+        .expect("local search cracks the n=4 SAT instance");
+    assert_eq!(verdict.evidence.label(), "decision-map");
+    assert!(
+        verdict.stats.search.expect("a search ran").local_won,
+        "the witness must come from the local engine, not CDCL"
+    );
+    let parsed = Verdict::from_json(&verdict.to_json()).expect("round trips");
+    parsed
+        .check()
+        .expect("local-search witness replays facet by facet");
 }
 
 /// Pre-governance options JSON still parses: missing budget fields stay

@@ -18,8 +18,11 @@
 //!   protocol, reproducing election's and WSB's impossibilities and
 //!   renaming's small-`n` boundaries.
 //! * [`cdcl`] — the conflict-driven engine behind the search: clause
-//!   learning, symmetry-orbit pruning, and the solver portfolio that
-//!   pushed the solvability frontier to the `r = 2` UNSAT certificates.
+//!   learning, symmetry-orbit pruning, orbit-granularity decisions, and
+//!   the solver portfolio that pushed the solvability frontier to the
+//!   `r = 2` UNSAT certificates.
+//! * [`local`] — the greedy/min-conflicts completion engine for
+//!   suspected-SAT instances and the CDCL-vs-local completion race.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +31,7 @@
 pub mod cdcl;
 pub mod complex;
 mod error;
+pub mod local;
 pub mod protocol;
 pub mod solvability;
 pub mod theorem11;
@@ -36,6 +40,7 @@ pub mod views;
 pub use cdcl::{CdclConfig, SearchStats};
 pub use complex::{ridge_key, ChromaticComplex, RidgeKey, SignatureQuotient, Vertex, VertexId};
 pub use error::{Error, Result};
+pub use local::LocalConfig;
 pub use protocol::{
     ordered_bell, process_permutations, protocol_complex, protocol_complex_reference,
     protocol_complex_with_stats, shared_protocol_complex, BuildStats, OrbitBuildStats,
@@ -43,7 +48,7 @@ pub use protocol::{
 };
 #[allow(deprecated)]
 pub use solvability::solvable_in_rounds;
-pub use solvability::{ConstraintSystem, DecisionMap, SearchResult, SymmetricSearch};
+pub use solvability::{ConstraintSystem, DecisionMap, SearchMode, SearchResult, SymmetricSearch};
 pub use theorem11::{
     check_election_certificate, election_impossibility_certificate, CertificateFailure,
 };

@@ -42,6 +42,7 @@ use rayon::prelude::*;
 use crate::cdcl::{self, CdclConfig, CdclResult, SearchStats};
 use crate::complex::{ChromaticComplex, SignatureQuotient};
 use crate::error::Error;
+use crate::local;
 use crate::protocol::{
     multiset_bits, pack_multiset, protocol_complex, shared_protocol_complex, unpack_multiset,
     OrbitBuildStats, OrbitFrontier,
@@ -90,6 +91,50 @@ impl std::fmt::Display for SearchResult {
                 )
             }
             SearchResult::Unsolvable => f.write_str("unsolvable at the checked round count"),
+        }
+    }
+}
+
+/// Which engine family answers a solvability search.
+///
+/// A performance knob, never a semantics knob: any verdict returned
+/// under any mode is correct and carries the same replayable evidence.
+/// [`SearchMode::Local`] is *incomplete* — it can complete witnesses
+/// but never refute, so "no verdict" is a possible outcome even without
+/// a governance ticket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum SearchMode {
+    /// The complete conflict-driven engine (SAT and UNSAT verdicts).
+    #[default]
+    Cdcl,
+    /// CDCL raced against the min-conflicts completion engine with
+    /// first-finisher-wins cancellation; an UNSAT verdict can only come
+    /// from the CDCL lane.
+    Race,
+    /// The min-conflicts completion engine alone: a witness or no
+    /// answer.
+    Local,
+}
+
+impl SearchMode {
+    /// Stable wire label (`--search-mode` values, JSON round-trip).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SearchMode::Cdcl => "cdcl",
+            SearchMode::Race => "race",
+            SearchMode::Local => "local",
+        }
+    }
+
+    /// Parses a [`SearchMode::label`] back; `None` on unknown labels.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<SearchMode> {
+        match label {
+            "cdcl" => Some(SearchMode::Cdcl),
+            "race" => Some(SearchMode::Race),
+            "local" => Some(SearchMode::Local),
+            _ => None,
         }
     }
 }
@@ -315,6 +360,10 @@ pub struct ConstraintSystem {
     /// CSR-packed (`class_facets_data[offsets[c]..offsets[c + 1]]`).
     class_facets_offsets: Vec<u32>,
     class_facets_data: Vec<u32>,
+    /// Candidate class permutations mined by the orbit pipeline from
+    /// its group image table (empty on the complex path). Unverified —
+    /// `class_perms` re-checks each before use.
+    mined_perm_candidates: Vec<Vec<u32>>,
     /// Verified class permutations (orbit learning), computed on first
     /// demand — spec-independent, like everything else here.
     class_perms: OnceLock<Vec<Vec<u32>>>,
@@ -405,6 +454,7 @@ impl ConstraintSystem {
             class_weight,
             class_facets_offsets,
             class_facets_data,
+            mined_perm_candidates: Vec::new(),
             class_perms: OnceLock::new(),
         }
     }
@@ -497,6 +547,7 @@ impl ConstraintSystem {
             class_weight,
             class_facets_offsets,
             class_facets_data,
+            mined_perm_candidates: expansion.class_perm_candidates,
             class_perms: OnceLock::new(),
         }
     }
@@ -511,6 +562,14 @@ impl ConstraintSystem {
     #[must_use]
     pub fn facet_count(&self) -> usize {
         self.facet_classes.len() / self.width.max(1)
+    }
+
+    /// Number of *verified* class permutations available to orbit
+    /// learning and orbit-guided decisions (forces verification on
+    /// first call; cached afterwards).
+    #[must_use]
+    pub fn verified_class_perm_count(&self) -> usize {
+        self.class_perms().len()
     }
 
     /// One distinct constraint: a sorted class multiset of `width` ids.
@@ -551,9 +610,12 @@ impl ConstraintSystem {
 
     /// Verified class permutations of the quotient: candidate maps come
     /// from order-reversal of view signatures
-    /// ([`View::reversed_signature`]); a candidate is kept only if it is
-    /// a bijection on classes under which the facet multiset family is
-    /// invariant, so orbit learning never uses an unsound symmetry.
+    /// ([`View::reversed_signature`]) and, on the orbit path, from the
+    /// renamings mined out of the group image table
+    /// ([`OrbitExpansion::class_perm_candidates`]); a candidate is kept
+    /// only if it is a bijection on classes under which the facet
+    /// multiset family is invariant, so orbit learning and
+    /// orbit-guided decisions never use an unsound symmetry.
     /// Computed on first demand and cached; the orbit path derives the
     /// reversal key-level (reversal is an arbitrary-permutation relabel
     /// of the signature's `1..s` support), without materializing views.
@@ -599,7 +661,21 @@ impl ConstraintSystem {
                         .collect()
                 }
             };
-            verify_class_perm(candidate, &self.facet_classes, self.width, self.class_count)
+            let mut verified =
+                verify_class_perm(candidate, &self.facet_classes, self.width, self.class_count);
+            for cand in &self.mined_perm_candidates {
+                for perm in verify_class_perm(
+                    Some(cand.clone()),
+                    &self.facet_classes,
+                    self.width,
+                    self.class_count,
+                ) {
+                    if !verified.contains(&perm) {
+                        verified.push(perm);
+                    }
+                }
+            }
+            verified
         })
     }
 }
@@ -999,6 +1075,146 @@ impl SymmetricSearch {
             CdclResult::Unsat => (Some(SearchResult::Unsolvable), stats),
             CdclResult::Interrupted => (None, stats),
         }
+    }
+
+    /// The mode-dispatching front door: [`SymmetricSearch::solve_governed`]
+    /// generalized over [`SearchMode`]. `None` means no verdict — the
+    /// ticket tripped, or the (incomplete) local mode exhausted its
+    /// restarts without completing a witness.
+    ///
+    /// Tiny instances route to the reference backtracker whatever the
+    /// mode (engine setup costs more than the whole search there, and
+    /// the backtracker is complete, so even `Local` gets full verdicts).
+    ///
+    /// # Panics
+    ///
+    /// As [`SymmetricSearch::solve_with`]: a returned witness failing
+    /// the facet-by-facet re-check is a soundness bug.
+    #[must_use]
+    pub fn solve_mode_governed(
+        &self,
+        config: &CdclConfig,
+        mode: SearchMode,
+        ticket: Option<&Ticket>,
+    ) -> (Option<SearchResult>, SearchStats) {
+        if self.facet_count() <= TINY_INSTANCE_FACETS {
+            return match ticket {
+                Some(t) => self.solve_governed(config, t),
+                None => {
+                    let (result, stats) = self.solve_with(config);
+                    (Some(result), stats)
+                }
+            };
+        }
+        match mode {
+            SearchMode::Cdcl => match ticket {
+                Some(t) => self.solve_cdcl_governed(config, t),
+                None => {
+                    let (result, stats) = self.solve_cdcl_with(config);
+                    (Some(result), stats)
+                }
+            },
+            SearchMode::Race => {
+                let instance = self.instance();
+                let (result, stats) = local::solve_race_governed(
+                    &instance,
+                    config,
+                    &Self::local_config(config),
+                    ticket,
+                );
+                match result {
+                    CdclResult::Sat(assignment) => {
+                        let checked: Vec<Option<usize>> =
+                            assignment.iter().map(|&v| Some(v)).collect();
+                        assert!(
+                            self.all_facets_legal(&checked),
+                            "race winner's assignment must satisfy every facet"
+                        );
+                        (Some(SearchResult::Solvable { assignment }), stats)
+                    }
+                    CdclResult::Unsat => (Some(SearchResult::Unsolvable), stats),
+                    CdclResult::Interrupted => (None, stats),
+                }
+            }
+            SearchMode::Local => {
+                let instance = self.instance();
+                let warm = config.warm_start.as_deref().map(Vec::as_slice);
+                let out =
+                    local::solve_local(&instance, &Self::local_config(config), warm, None, ticket);
+                let mut stats = SearchStats {
+                    local_steps: out.steps,
+                    local_restarts: out.restarts,
+                    workers: 1,
+                    ..SearchStats::default()
+                };
+                match out.assignment {
+                    Some(assignment) => {
+                        stats.local_won = true;
+                        let checked: Vec<Option<usize>> =
+                            assignment.iter().map(|&v| Some(v)).collect();
+                        assert!(
+                            self.all_facets_legal(&checked),
+                            "local-search witness must satisfy every facet"
+                        );
+                        (Some(SearchResult::Solvable { assignment }), stats)
+                    }
+                    None => (None, stats),
+                }
+            }
+        }
+    }
+
+    /// [`SymmetricSearch::solve_mode_governed`] without a ticket.
+    #[must_use]
+    pub fn solve_mode_with(
+        &self,
+        config: &CdclConfig,
+        mode: SearchMode,
+    ) -> (Option<SearchResult>, SearchStats) {
+        self.solve_mode_governed(config, mode, None)
+    }
+
+    /// The local engine's configuration, derived from the CDCL one so
+    /// portfolio-style seed diversity carries over to the race.
+    fn local_config(config: &CdclConfig) -> crate::local::LocalConfig {
+        crate::local::LocalConfig {
+            seed: config.seed ^ 0x0010_ca1c_0a11_5eed,
+            ..crate::local::LocalConfig::default()
+        }
+    }
+
+    /// Lifts a round-`r−1` decision map through the subdivision into
+    /// per-class warm-start values (`1..=m`; `0` = unseeded) for this
+    /// round-`r` search: each round-`r` class's own previous-round
+    /// subview projects to a parent class of the `r−1` quotient, whose
+    /// decided value seeds it. Facets of `χ^r` project to facets of
+    /// `χ^{r−1}` with the same value multiset, so a lifted SAT map is
+    /// again SAT — warm-seeded dives complete without conflicts.
+    ///
+    /// All-zero (never harmful, merely unseeded) when `parent` is not
+    /// the matching `(n, r−1)` map.
+    #[must_use]
+    pub fn lift_warm_start(&self, parent: &DecisionMap) -> Vec<u32> {
+        let matching = self.spec.n() == parent.n()
+            && self
+                .rounds
+                .is_some_and(|r| r >= 1 && r - 1 == parent.rounds())
+            && parent.rounds() >= 1;
+        if !matching {
+            return vec![0; self.system.class_count];
+        }
+        self.classes()
+            .iter()
+            .map(|view| {
+                let View::Round { id, seen } = view else {
+                    return 0;
+                };
+                seen.iter()
+                    .find(|(q, _)| q == id)
+                    .and_then(|(_, prev)| parent.classes.binary_search(&prev.signature()).ok())
+                    .map_or(0, |i| parent.assignment[i] as u32)
+            })
+            .collect()
     }
 
     /// The retained seed engine: weight-ordered backtracking with unit
@@ -1492,7 +1708,22 @@ mod tests {
                 full.system.class_weight, fused.system.class_weight,
                 "{spec} r={r}"
             );
-            assert_eq!(full.instance(), fused.instance(), "{spec} r={r}");
+            // The orbit pipeline additionally mines class permutations
+            // out of its group image table (the complex path has no
+            // group table to mine), so the verified-symmetry sets may
+            // legitimately differ: fused ⊇ full. Everything else must
+            // still be byte-identical.
+            let mut full_inst = full.instance();
+            let mut fused_inst = fused.instance();
+            let full_perms = std::mem::take(&mut full_inst.class_perms);
+            let fused_perms = std::mem::take(&mut fused_inst.class_perms);
+            assert_eq!(full_inst, fused_inst, "{spec} r={r}");
+            for perm in &full_perms {
+                assert!(
+                    fused_perms.contains(perm),
+                    "fused symmetries cover the full path's at {spec} r={r}"
+                );
+            }
         }
     }
 
@@ -1513,6 +1744,23 @@ mod tests {
         assert!(big.facet_count() > TINY_INSTANCE_FACETS);
         let (_, stats) = big.solve_with(&CdclConfig::default());
         assert!(stats.conflicts > 0);
+    }
+
+    #[test]
+    fn orbit_path_mines_verified_class_permutations() {
+        // The streamed path mines class-permutation candidates from its
+        // group image table; every survivor is re-verified, and the
+        // reversal candidate guarantees at least one verified symmetry
+        // on these quotients.
+        for (n, r) in [(3usize, 1usize), (3, 2), (4, 1)] {
+            let (sys, _) = ConstraintSystem::streamed(n, r);
+            let count = sys.verified_class_perm_count();
+            println!(
+                "mined n={n} r={r}: classes={} perms={count}",
+                sys.class_count()
+            );
+            assert!(count >= 1, "reversal must verify at n={n} r={r}");
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! facet-by-facet inside `solve_with` (a bad map panics there).
 
 use gsb_core::{GsbSpec, SymmetricGsb};
-use gsb_topology::{CdclConfig, SearchResult, SymmetricSearch};
+use gsb_topology::{CdclConfig, DecisionMap, SearchMode, SearchResult, SymmetricSearch};
 use proptest::prelude::*;
 
 /// Every named paper task at this `n` (the catalog already includes the
@@ -47,6 +47,74 @@ fn engines_agree(spec: &GsbSpec, rounds: usize) {
     }
 }
 
+/// The decision-strategy toggles and the completion engines against the
+/// oracle: orbit-guided decisions on/off must not change any verdict,
+/// the CDCL-vs-local race is complete and must agree everywhere, and
+/// local search alone may only ever return SAT verdicts the oracle
+/// confirms (exhaustion on a genuinely SAT zoo instance would be a
+/// budget bug — the repair walk cracks these in microseconds).
+fn modes_agree(spec: &GsbSpec, rounds: usize) {
+    let search = SymmetricSearch::new(spec.clone(), rounds);
+    let reference = search.solve_reference();
+    for orbit_decisions in [false, true] {
+        let config = CdclConfig {
+            orbit_decisions,
+            ..CdclConfig::default()
+        };
+        let (cdcl, _) = search.solve_cdcl_with(&config);
+        assert_eq!(
+            cdcl.is_solvable(),
+            reference.is_solvable(),
+            "engines diverge on {spec:?} at r = {rounds} \
+             (orbit_decisions = {orbit_decisions})"
+        );
+    }
+    let config = CdclConfig::default();
+    let (race, _) = search.solve_mode_with(&config, SearchMode::Race);
+    let race = race.expect("the race's CDCL lane is complete");
+    assert_eq!(
+        race.is_solvable(),
+        reference.is_solvable(),
+        "race diverges on {spec:?} at r = {rounds}"
+    );
+    // Local search is run only where a model exists: on UNSAT instances
+    // it can do nothing but grind through its whole restart budget
+    // (millions of moves under a debug build) before reporting the
+    // indeterminate exhaustion the API already types as `None`.
+    if reference.is_solvable() {
+        let (local, _) = search.solve_mode_with(&config, SearchMode::Local);
+        let local = local.expect("local search cracks SAT zoo instances");
+        assert!(
+            local.is_solvable(),
+            "local search can only answer SAT, diverged on {spec:?} at r = {rounds}"
+        );
+    }
+}
+
+/// The lifted warm start must be a pure performance hint: seeding the
+/// CDCL engine with the lift of the task's own `r−1` decision map (when
+/// one exists) cannot change the `r`-round verdict.
+fn warm_start_agrees(spec: &GsbSpec, rounds: usize) {
+    let search = SymmetricSearch::new(spec.clone(), rounds);
+    let reference = search.solve_reference();
+    let parent = SymmetricSearch::new(spec.clone(), rounds - 1);
+    let SearchResult::Solvable { assignment } = parent.solve_reference() else {
+        return; // no r−1 map to lift
+    };
+    let map = DecisionMap::rebuild(spec.n(), rounds - 1, assignment)
+        .expect("reference assignments align with the canonical class order");
+    let config = CdclConfig {
+        warm_start: Some(std::sync::Arc::new(search.lift_warm_start(&map))),
+        ..CdclConfig::default()
+    };
+    let (warm, _) = search.solve_cdcl_with(&config);
+    assert_eq!(
+        warm.is_solvable(),
+        reference.is_solvable(),
+        "warm-started engine diverges on {spec:?} at r = {rounds}"
+    );
+}
+
 #[test]
 fn engines_agree_on_the_zoo() {
     for n in 2..=3 {
@@ -54,6 +122,26 @@ fn engines_agree_on_the_zoo() {
             for rounds in 0..=1 {
                 engines_agree(&spec, rounds);
             }
+        }
+    }
+}
+
+#[test]
+fn search_modes_agree_on_the_zoo() {
+    // n = 4 at r = 1 (χ(Δ³), 75 raw facets) is past the tiny-instance
+    // cutoff, so the race and local paths genuinely run here.
+    for n in 2..=4 {
+        for spec in zoo(n) {
+            modes_agree(&spec, 1);
+        }
+    }
+}
+
+#[test]
+fn warm_started_engine_agrees_on_the_zoo() {
+    for n in 2..=4 {
+        for spec in zoo(n) {
+            warm_start_agrees(&spec, 1);
         }
     }
 }

@@ -35,15 +35,19 @@ use gsb_universe::engine::Json;
 use gsb_universe::serve::{
     AdmissionPolicy, Client, Served, ServedBy, Server, ServerConfig, VerdictStore,
 };
-use gsb_universe::{named_task, EngineCache, Error, Query, SearchEngine, Verdict, KNOWN_TASKS};
+use gsb_universe::{
+    named_task, EngineCache, Error, Query, SearchEngine, SearchMode, Verdict, KNOWN_TASKS,
+};
 
 const USAGE: &str = "\
 gsb — unified solvability queries over the GSB task universe
 
 USAGE:
   gsb classify <task|--spec n,m,l,u> --n N [--k K] [--agree R] [--json]
-  gsb solvable <task> --n N --rounds R [--engine cdcl|reference|both] [--json]
-  gsb frontier --task <task> --n N --rounds R [--json]
+  gsb solvable <task> --n N --rounds R [--engine cdcl|reference|both]
+               [--search-mode cdcl|race|local] [--no-warm-start] [--json]
+  gsb frontier --task <task> --n N --rounds R [--search-mode M]
+               [--no-warm-start] [--json]
   gsb witness  <task> --n N [--simulate] [--json]
   gsb certify  <task> --n N --rounds R [--json]
   gsb atlas    <max_n> [--rows] [--json]
@@ -84,6 +88,12 @@ OPTIONS:
   --spec n,m,l,u explicit symmetric ⟨n,m,ℓ,u⟩ spec instead of a task name
   --rounds R     round bound for the topological engines
   --engine E     search engine: cdcl (default), reference, or both
+  --search-mode M  how the cdcl engine attacks the search: cdcl
+                 (default), race (CDCL vs. local-search completion,
+                 first finisher wins), or local (completion only —
+                 exhaustion is indeterminate, never UNSAT)
+  --no-warm-start  don't seed the solver with the lifted r−1 decision
+                 map when the cache holds one (A/B runs, benchmarks)
   --agree R      cross-engine agreement mode through R rounds (classify)
   --simulate     replay witness evidence through the simulator (witness)
   --rows         print every atlas row, not just the totals
@@ -122,13 +132,21 @@ struct Args {
     switches: Vec<String>,
 }
 
-const BOOLEAN_FLAGS: &[&str] = &["json", "simulate", "rows", "orbits", "no-append"];
+const BOOLEAN_FLAGS: &[&str] = &[
+    "json",
+    "simulate",
+    "rows",
+    "orbits",
+    "no-append",
+    "no-warm-start",
+];
 const VALUE_FLAGS: &[&str] = &[
     "n",
     "k",
     "spec",
     "rounds",
     "engine",
+    "search-mode",
     "agree",
     "task",
     "max-n",
@@ -362,11 +380,25 @@ fn parse_engine(args: &Args) -> Result<SearchEngine, String> {
     }
 }
 
+/// Applies `--search-mode {cdcl,race,local}` and `--no-warm-start` to a
+/// round-bounded query's options.
+fn apply_search_mode(args: &Args, query: &mut Query) -> Result<(), String> {
+    if let Some(label) = args.value("search-mode") {
+        query.opts_mut().mode = SearchMode::from_label(label)
+            .ok_or_else(|| format!("unknown search mode '{label}' (cdcl, race, or local)"))?;
+    }
+    if args.switch("no-warm-start") {
+        query.opts_mut().warm_start = false;
+    }
+    Ok(())
+}
+
 fn solvable(args: &Args) -> Result<(), String> {
     let spec = resolve_spec(args)?;
     let rounds = args.require_usize("rounds")?;
     let mut query = Query::solvable_in_rounds(spec, rounds);
     query.opts_mut().search = parse_engine(args)?;
+    apply_search_mode(args, &mut query)?;
     apply_governance(args, &mut query)?;
     let verdict = run_query(query)?;
     emit(&verdict, args.switch("json"));
@@ -381,6 +413,7 @@ fn frontier(args: &Args) -> Result<(), String> {
     for rounds in 0..=max_rounds {
         let mut query = Query::solvable_in_rounds(spec.clone(), rounds);
         query.opts_mut().search = engine;
+        apply_search_mode(args, &mut query)?;
         apply_governance(args, &mut query)?;
         verdicts.push(run_query(query)?);
     }

@@ -89,3 +89,4 @@ pub use gsb_engine::{
     named_task, AtlasCell, Batch, CacheStats, EngineCache, EngineOpts, Error, Evidence, Provenance,
     Query, Question, Result, RunStats, SearchEngine, Verdict, KNOWN_TASKS,
 };
+pub use gsb_topology::SearchMode;

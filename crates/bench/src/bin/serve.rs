@@ -3,12 +3,20 @@
 //! recorded in `BENCH_serve.json` (see `DESIGN.md` §11).
 //!
 //! ```text
-//! cargo run --release -p gsb-bench --bin serve [-- --quick | --full]
+//! cargo run --release -p gsb-bench --bin serve -- \
+//!     [--quick | --full] [--gate-p99 MULT] [--soak-ms MS]
 //! ```
 //!
 //! * default / `--full` — 2000 warm-store requests plus every distinct
 //!   solver-miss key; use this when refreshing the committed record.
 //! * `--quick` — CI smoke: 200 warm requests, round-1 misses only.
+//! * `--gate-p99 MULT` — drift gate: fail (exit 1) if the measured
+//!   warm-store p99 exceeds `MULT ×` the committed `BENCH_serve.json`
+//!   record. Read before the record is overwritten.
+//! * `--soak-ms MS` — soak mode instead of the bench: a disk-backed
+//!   store, a fleet of self-healing clients under seeded connection
+//!   drops, one mid-serve compaction, and one hot reload, with exact
+//!   accounting asserted (see DESIGN.md §13). Writes no record.
 //!
 //! The warm phase replays zoo classification queries against a store
 //! prebuilt with `build_atlas(6)` and asserts every one is answered by
@@ -19,10 +27,14 @@
 //! loopback, exactly what a real client pays.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use gsb_core::govern::fault::{self, IoFaultAction};
 use gsb_engine::{EngineCache, Json, Query, Question};
-use gsb_serve::{AdmissionPolicy, Client, ServedBy, Server, ServerConfig, VerdictStore};
+use gsb_serve::{
+    AdmissionPolicy, Client, RetryPolicy, SelfHealingClient, ServedBy, Server, ServerConfig,
+    VerdictStore,
+};
 
 /// One measured phase: request count, throughput, and tail latencies.
 struct Phase {
@@ -108,9 +120,147 @@ fn miss_queries(quick: bool) -> Vec<Query> {
     queries
 }
 
+/// Soak mode: a disk-backed store served to a self-healing client
+/// fleet while seeded connection drops fire, then one mid-serve
+/// compaction and one hot reload — every request must resolve Ok and
+/// the metrics line must account for every verdict served.
+fn soak(ms: u64) {
+    const SEED: u64 = 0x50a4_0010;
+    const DROPS: u64 = 2;
+    const FLEET: u64 = 4;
+
+    let dir = std::env::temp_dir().join(format!("gsb-serve-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("soak temp dir");
+    let path = dir.join("verdicts.jsonl");
+    let store = VerdictStore::open(&path).expect("open soak store");
+    store
+        .build_atlas(5, &EngineCache::new())
+        .expect("atlas precompute");
+    let entries = store.stats().entries;
+    println!("soak: {entries} verdicts on disk, {FLEET} clients, {ms} ms, seed {SEED:#x}");
+
+    let config = ServerConfig {
+        workers: 8,
+        ..ServerConfig::default()
+    };
+    let handle =
+        Server::start(config, Arc::new(store), Arc::new(EngineCache::new())).expect("bind");
+    let addr = handle.addr().to_string();
+    let warm = warm_queries(5);
+
+    let guard = fault::arm_io(SEED, IoFaultAction::DropConnection, DROPS);
+    let (ok, retries) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..FLEET)
+            .map(|t| {
+                let addr = addr.clone();
+                let warm = warm.clone();
+                s.spawn(move || {
+                    let policy = RetryPolicy {
+                        seed: SEED + t,
+                        ..RetryPolicy::default()
+                    };
+                    let mut client = SelfHealingClient::new(addr, policy);
+                    let deadline = Instant::now() + Duration::from_millis(ms);
+                    let mut ok = 0u64;
+                    for query in warm.iter().cycle() {
+                        if Instant::now() >= deadline {
+                            break;
+                        }
+                        let served = client
+                            .query(query)
+                            .expect("soak queries must heal, not fail");
+                        assert_eq!(served.served_by, ServedBy::Store);
+                        ok += 1;
+                    }
+                    (ok, client.retries())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("soak client panicked"))
+            .fold((0u64, 0u64), |(a, b), (ok, r)| (a + ok, b + r))
+    });
+    let fired = fault::io_fired();
+    drop(guard);
+    assert!(fired <= DROPS, "at most the armed number of drops fire");
+
+    // One compaction in the middle of a live server, one hot reload.
+    let report = handle.store().compact().expect("soak compaction");
+    assert_eq!(report.entries, entries, "compaction preserves every entry");
+    let mut admin = Client::connect(&addr).expect("connect admin");
+    let (reloaded, generation) = admin.reload(None).expect("hot reload");
+    assert_eq!(reloaded as usize, entries, "reload serves the full store");
+    assert_eq!(generation, report.generation);
+
+    // Exact accounting: every Ok above is a store-served verdict; a
+    // drop that lands after answering but before the reply reaches the
+    // client re-serves that one request, so the books close to within
+    // the fired-drop count — and to zero errors, one reload, one
+    // compaction, no engine traffic.
+    let metrics = admin.metrics().expect("metrics");
+    let get = |path: &[&str]| {
+        let mut cursor = &metrics;
+        for key in path {
+            cursor = cursor
+                .get(key)
+                .unwrap_or_else(|| panic!("metrics field {path:?} missing"));
+        }
+        cursor.as_f64().expect("numeric metric") as u64
+    };
+    let served = get(&["server", "served_store"]);
+    assert!(
+        served >= ok && served <= ok + fired,
+        "accounting: {served} served vs {ok} ok + {fired} drops"
+    );
+    assert_eq!(get(&["server", "served_engine"]), 0, "warm keys only");
+    assert_eq!(get(&["server", "errors"]), 0);
+    assert_eq!(get(&["server", "reloads"]), 1);
+    assert_eq!(get(&["server", "compactions"]), 1);
+    assert!(
+        get(&["server", "retries_observed"]) <= retries,
+        "the server cannot observe more retries than clients performed"
+    );
+    println!(
+        "soak ok: {ok} requests, {served} served, {fired} drops fired, \
+         {retries} client retries, generation {generation}"
+    );
+
+    admin.shutdown().expect("shutdown");
+    handle.join();
+    std::fs::remove_dir_all(&dir).expect("soak cleanup");
+}
+
+/// Reads the committed record's warm-store p99 (µs), if present.
+fn committed_warm_p99(path: &std::path::Path) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let record = Json::parse(&text).ok()?;
+    record.get("phases")?.as_arr()?.iter().find_map(|phase| {
+        if phase.get("phase")?.as_str()? != "warm-store" {
+            return None;
+        }
+        phase.get("p99_us")?.as_f64()
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|at| args.get(at + 1))
+            .map(|v| {
+                v.parse::<f64>()
+                    .unwrap_or_else(|_| panic!("{flag} wants a number"))
+            })
+    };
+    if let Some(ms) = flag_value("--soak-ms") {
+        soak(ms.max(1.0) as u64);
+        return;
+    }
+    let gate_p99 = flag_value("--gate-p99");
     let warm_requests = if quick { 200 } else { 2000 };
 
     println!("gsb serve bench: warm-store lookups vs. solver misses\n");
@@ -184,6 +334,25 @@ fn main() {
     client.shutdown().expect("shutdown");
     handle.join();
 
+    let path = std::path::Path::new("BENCH_serve.json");
+    if let Some(mult) = gate_p99 {
+        // Drift gate against the committed record, read before this
+        // run overwrites it. The multiplier absorbs CI-machine noise;
+        // a genuine hot-path regression blows straight through it.
+        match committed_warm_p99(path) {
+            Some(committed) => {
+                let measured = phases[0].p99_us;
+                let ceiling = committed * mult;
+                assert!(
+                    measured <= ceiling,
+                    "warm-store p99 drifted: {measured:.0}µs > {mult}× committed {committed:.0}µs"
+                );
+                println!("\np99 gate ok: {measured:.0}µs ≤ {mult}× committed {committed:.0}µs");
+            }
+            None => println!("\np99 gate skipped: no committed {} record", path.display()),
+        }
+    }
+
     let mut root = Vec::new();
     root.push(("kind".to_string(), Json::Str("gsb-serve-bench".into())));
     root.push((
@@ -208,7 +377,6 @@ fn main() {
                 .collect(),
         ),
     ));
-    let path = std::path::Path::new("BENCH_serve.json");
     match std::fs::write(path, Json::Obj(root).render()) {
         Ok(()) => println!("\nRecord written to {}", path.display()),
         Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),

@@ -333,7 +333,17 @@ pub mod fault {
     //! [`FaultGuard`] serializes fault tests process-wide and disarms
     //! on drop.
     //!
-    //! When disarmed (the production state) the hook costs one relaxed
+    //! A second, independent plan covers the **I/O layer**: [`arm_io`]
+    //! arms a seeded, possibly multi-fire schedule of
+    //! [`IoFaultAction`]s (torn writes, failed fsyncs, dropped
+    //! connections, stalled reads) consumed by [`io_poll`] calls
+    //! threaded through the verdict store's append/compact/load paths
+    //! and the server's per-connection read/write paths. The whole
+    //! schedule — both the gaps between firings and what fires — is a
+    //! pure function of the seed ([`io_plan`]), so a failing run is
+    //! replayable bit-for-bit.
+    //!
+    //! When disarmed (the production state) each hook costs one relaxed
     //! atomic load per poll.
 
     use super::{StopReason, Ticket};
@@ -348,6 +358,21 @@ pub mod fault {
     /// injected panic fires on a *different* thread, so this guard is
     /// never poisoned by the fault itself — but recover anyway.
     static GATE: Mutex<()> = Mutex::new(());
+
+    static IO_ARMED: AtomicBool = AtomicBool::new(false);
+    /// Applicable-site polls to survive before the next I/O fault.
+    static IO_COUNTDOWN: AtomicU64 = AtomicU64::new(0);
+    static IO_ACTION: AtomicU8 = AtomicU8::new(0);
+    /// Firings left in the armed plan.
+    static IO_REMAINING: AtomicU64 = AtomicU64::new(0);
+    /// The splitmix chain state deriving the next countdown gap.
+    static IO_STATE: AtomicU64 = AtomicU64::new(0);
+    /// Total I/O faults fired since the plan was armed.
+    static IO_FIRED: AtomicU64 = AtomicU64::new(0);
+
+    /// Gap modulus for the seeded I/O schedule: each firing is at most
+    /// this many applicable polls after the previous one.
+    const IO_GAP_MOD: u64 = 12;
 
     /// What an armed fault plan does when its countdown expires.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -370,6 +395,79 @@ pub mod fault {
         }
     }
 
+    /// Where an I/O fault can be injected. Each site names one hook in
+    /// the serving stack's I/O layer.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum IoSite {
+        /// The verdict store's per-entry append path.
+        StoreAppend,
+        /// The verdict store's generation-compaction write/fsync path.
+        StoreCompact,
+        /// The verdict store's load path (log and generation files).
+        StoreLoad,
+        /// A server connection's read path.
+        ConnRead,
+        /// A server connection's write path.
+        ConnWrite,
+    }
+
+    /// What an armed I/O fault plan injects when its countdown expires.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum IoFaultAction {
+        /// Write only a prefix of the payload and stop — the on-disk
+        /// image looks like a crash mid-write.
+        TornWrite,
+        /// Fail the flush/fsync (or, at [`IoSite::StoreLoad`], make the
+        /// file unreadable) — durability is silently lost.
+        FailFsync,
+        /// Close the connection abruptly, mid-request or mid-response.
+        DropConnection,
+        /// Stop reading from the peer — the connection goes silent
+        /// until the server's idle timeout reaps it.
+        StallRead,
+    }
+
+    impl IoFaultAction {
+        fn code(self) -> u8 {
+            match self {
+                IoFaultAction::TornWrite => 1,
+                IoFaultAction::FailFsync => 2,
+                IoFaultAction::DropConnection => 3,
+                IoFaultAction::StallRead => 4,
+            }
+        }
+
+        fn from_code(code: u8) -> Option<Self> {
+            Some(match code {
+                1 => IoFaultAction::TornWrite,
+                2 => IoFaultAction::FailFsync,
+                3 => IoFaultAction::DropConnection,
+                4 => IoFaultAction::StallRead,
+                _ => return None,
+            })
+        }
+
+        /// Whether this action makes sense at `site`; countdowns only
+        /// advance at applicable sites, so a connection-fault plan is
+        /// untouched by store traffic and vice versa.
+        #[must_use]
+        pub fn applies_at(self, site: IoSite) -> bool {
+            match self {
+                IoFaultAction::TornWrite => {
+                    matches!(site, IoSite::StoreAppend | IoSite::StoreCompact)
+                }
+                IoFaultAction::FailFsync => matches!(
+                    site,
+                    IoSite::StoreAppend | IoSite::StoreCompact | IoSite::StoreLoad
+                ),
+                IoFaultAction::DropConnection => {
+                    matches!(site, IoSite::ConnRead | IoSite::ConnWrite)
+                }
+                IoFaultAction::StallRead => matches!(site, IoSite::ConnRead),
+            }
+        }
+    }
+
     /// RAII guard for an armed fault plan: holds the process-wide test
     /// gate and disarms on drop.
     #[derive(Debug)]
@@ -380,6 +478,7 @@ pub mod fault {
     impl Drop for FaultGuard {
         fn drop(&mut self) {
             ARMED.store(false, Ordering::SeqCst);
+            IO_ARMED.store(false, Ordering::SeqCst);
         }
     }
 
@@ -412,6 +511,86 @@ pub mod fault {
         ACTION.store(action.code(), Ordering::SeqCst);
         ARMED.store(true, Ordering::SeqCst);
         FaultGuard { _gate: gate }
+    }
+
+    /// Arm a seeded I/O fault plan: `action` fires `fires` times, each
+    /// firing separated by a seed-derived number of applicable
+    /// [`io_poll`] calls (the exact gap sequence is [`io_plan`]). The
+    /// returned guard holds the process-wide test gate and disarms on
+    /// drop.
+    pub fn arm_io(seed: u64, action: IoFaultAction, fires: u64) -> FaultGuard {
+        let gate = GATE.lock().unwrap_or_else(|p| p.into_inner());
+        let gaps = io_plan(seed, fires.max(1));
+        let state = splitmix64(seed ^ 0x10_ca11);
+        IO_STATE.store(splitmix64(state), Ordering::SeqCst);
+        IO_COUNTDOWN.store(gaps[0], Ordering::SeqCst);
+        IO_REMAINING.store(fires.max(1), Ordering::SeqCst);
+        IO_ACTION.store(action.code(), Ordering::SeqCst);
+        IO_FIRED.store(0, Ordering::SeqCst);
+        IO_ARMED.store(true, Ordering::SeqCst);
+        FaultGuard { _gate: gate }
+    }
+
+    /// The seeded gap schedule [`arm_io`] walks: `gaps[i]` applicable
+    /// polls are survived before firing `i`. Pure in the seed, so a
+    /// test can assert the same seed reproduces the same schedule
+    /// without arming anything.
+    #[must_use]
+    pub fn io_plan(seed: u64, fires: u64) -> Vec<u64> {
+        let mut state = splitmix64(seed ^ 0x10_ca11);
+        (0..fires)
+            .map(|_| {
+                let gap = state % IO_GAP_MOD;
+                state = splitmix64(state);
+                gap
+            })
+            .collect()
+    }
+
+    /// Total I/O faults fired by the currently (or most recently) armed
+    /// plan.
+    #[must_use]
+    pub fn io_fired() -> u64 {
+        IO_FIRED.load(Ordering::SeqCst)
+    }
+
+    /// The per-site I/O hook: returns the armed action when this poll
+    /// is the one the schedule says should fail, `None` otherwise.
+    /// Disarmed cost is one relaxed load. Polls at sites the armed
+    /// action does not apply to neither fire nor advance the countdown.
+    #[must_use]
+    pub fn io_poll(site: IoSite) -> Option<IoFaultAction> {
+        if !IO_ARMED.load(Ordering::Relaxed) {
+            return None;
+        }
+        let action = IoFaultAction::from_code(IO_ACTION.load(Ordering::SeqCst))?;
+        if !action.applies_at(site) {
+            return None;
+        }
+        if IO_COUNTDOWN
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |c| c.checked_sub(1))
+            .is_ok()
+        {
+            return None; // still counting down
+        }
+        // Countdown exhausted: claim one firing (the remaining-counter
+        // CAS makes this exactly-once even under racing polls).
+        let Ok(prev) =
+            IO_REMAINING.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |r| r.checked_sub(1))
+        else {
+            IO_ARMED.store(false, Ordering::SeqCst);
+            return None;
+        };
+        if prev <= 1 {
+            IO_ARMED.store(false, Ordering::SeqCst);
+        } else {
+            // Re-seed the countdown for the next firing from the chain.
+            let state = IO_STATE.load(Ordering::SeqCst);
+            IO_COUNTDOWN.store(state % IO_GAP_MOD, Ordering::SeqCst);
+            IO_STATE.store(splitmix64(state), Ordering::SeqCst);
+        }
+        IO_FIRED.fetch_add(1, Ordering::SeqCst);
+        Some(action)
     }
 
     /// The per-poll hook; called from [`Ticket::check`].
@@ -565,5 +744,56 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Ticket>();
         assert_send_sync::<Stopped>();
+    }
+
+    #[test]
+    fn io_plan_is_a_pure_function_of_the_seed() {
+        assert_eq!(fault::io_plan(99, 5), fault::io_plan(99, 5));
+        assert_ne!(fault::io_plan(99, 5), fault::io_plan(100, 5));
+        assert_eq!(fault::io_plan(99, 5).len(), 5);
+    }
+
+    #[test]
+    fn io_faults_fire_on_schedule_at_applicable_sites_only() {
+        use fault::{IoFaultAction, IoSite};
+        let seed = 0xd15c;
+        let fires = 3;
+        let plan = fault::io_plan(seed, fires);
+        let _guard = fault::arm_io(seed, IoFaultAction::TornWrite, fires);
+        let mut observed = Vec::new();
+        for poll in 0..200u64 {
+            // Connection sites never advance a store-fault plan.
+            assert_eq!(fault::io_poll(IoSite::ConnRead), None);
+            if fault::io_poll(IoSite::StoreAppend) == Some(IoFaultAction::TornWrite) {
+                observed.push(poll);
+            }
+        }
+        assert_eq!(observed.len() as u64, fires);
+        assert_eq!(fault::io_fired(), fires);
+        // The observed poll indices are exactly the cumulative gaps.
+        let mut expected = Vec::new();
+        let mut at = 0u64;
+        for gap in plan {
+            at += gap;
+            expected.push(at);
+            at += 1; // the firing poll itself
+        }
+        assert_eq!(observed, expected);
+        // Exhausted plans disarm: further polls are clean.
+        assert_eq!(fault::io_poll(IoSite::StoreAppend), None);
+    }
+
+    #[test]
+    fn io_fault_applicability_matrix() {
+        use fault::{IoFaultAction, IoSite};
+        assert!(IoFaultAction::TornWrite.applies_at(IoSite::StoreAppend));
+        assert!(IoFaultAction::TornWrite.applies_at(IoSite::StoreCompact));
+        assert!(!IoFaultAction::TornWrite.applies_at(IoSite::ConnWrite));
+        assert!(IoFaultAction::FailFsync.applies_at(IoSite::StoreLoad));
+        assert!(IoFaultAction::DropConnection.applies_at(IoSite::ConnRead));
+        assert!(IoFaultAction::DropConnection.applies_at(IoSite::ConnWrite));
+        assert!(!IoFaultAction::DropConnection.applies_at(IoSite::StoreAppend));
+        assert!(IoFaultAction::StallRead.applies_at(IoSite::ConnRead));
+        assert!(!IoFaultAction::StallRead.applies_at(IoSite::ConnWrite));
     }
 }

@@ -23,6 +23,17 @@
 //! (see [`proto`]), and cooperative shutdown via an atomic flag. A
 //! blocking [`Client`] wraps the same protocol for the CLI's
 //! `--connect` paths, the integration tests, and `gsb-bench serve`.
+//!
+//! Crash safety and self-healing (PR 10): the store rewrites its
+//! append log into sorted, checksummed **generation files**
+//! ([`VerdictStore::compact`], auto-triggered by [`CompactionPolicy`])
+//! and reloads by preferring the newest *complete* generation, falling
+//! back past torn ones; a `reload` wire message hot-swaps a freshly
+//! built store without dropping in-flight requests; and
+//! [`SelfHealingClient`] retries shed or dropped requests under a
+//! seeded, budget-capped [`RetryPolicy`]. The whole failure surface is
+//! deterministically testable through `gsb_core::govern::fault`'s
+//! seeded I/O fault plans.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,7 +46,7 @@ pub mod server;
 pub mod store;
 
 pub use admission::AdmissionPolicy;
-pub use client::{Client, ClientError, Served, ServedBy};
+pub use client::{Client, ClientError, RetryPolicy, SelfHealingClient, Served, ServedBy};
 pub use metrics::{Histogram, ServerMetrics};
 pub use server::{Server, ServerConfig, ServerHandle};
-pub use store::{StoreStats, VerdictStore};
+pub use store::{CompactReport, CompactionPolicy, StoreStats, VerdictStore};

@@ -107,6 +107,15 @@ pub struct ServerMetrics {
     pub rejected: AtomicU64,
     /// Malformed requests and engine errors answered with `error`.
     pub errors: AtomicU64,
+    /// Connections reaped by the idle/write timeout (slow-loris guard).
+    pub timeouts: AtomicU64,
+    /// Hot reloads completed via the `reload` wire message.
+    pub reloads: AtomicU64,
+    /// Store compactions observed (manual or auto-triggered).
+    pub compactions: AtomicU64,
+    /// Queries that arrived with a positive `attempt` counter — client
+    /// retries as seen from the server side.
+    pub retries_observed: AtomicU64,
     /// Queries currently executing in the engine (gauge).
     pub in_flight: AtomicUsize,
     /// Per-question latency histograms, indexed like [`QUESTION_LABELS`].
@@ -138,6 +147,10 @@ impl ServerMetrics {
             ("shed".into(), num(&self.shed)),
             ("rejected".into(), num(&self.rejected)),
             ("errors".into(), num(&self.errors)),
+            ("timeouts".into(), num(&self.timeouts)),
+            ("reloads".into(), num(&self.reloads)),
+            ("compactions".into(), num(&self.compactions)),
+            ("retries_observed".into(), num(&self.retries_observed)),
             (
                 "in_flight".into(),
                 Json::Num(self.in_flight.load(Ordering::Relaxed) as f64),

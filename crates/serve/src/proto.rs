@@ -5,8 +5,9 @@
 //!
 //! ```json
 //! {"kind":"ping"}
-//! {"kind":"query","id":7,"question":{"kind":"classify"},"spec":{...},"opts":{...}}
+//! {"kind":"query","id":7,"question":{"kind":"classify"},"spec":{...},"opts":{...},"attempt":2}
 //! {"kind":"metrics"}
+//! {"kind":"reload","path":"verdicts.jsonl"}
 //! {"kind":"shutdown"}
 //! ```
 //!
@@ -16,18 +17,26 @@
 //! present it uses the [`EngineOpts`] JSON schema (so it must carry a
 //! `"search"` engine label) and is clamped by the server's
 //! [`AdmissionPolicy`](crate::AdmissionPolicy) before execution.
+//! `attempt` is an optional retry counter (0 or absent = first try);
+//! the server counts positive attempts in its `retries_observed`
+//! metric. `reload`'s `path` is optional: absent means re-open the
+//! store file the server is already serving.
 //!
 //! Responses:
 //!
 //! ```json
 //! {"kind":"pong","protocol":1}
 //! {"kind":"verdict","id":7,"served_by":"store","verdict":{...}}
-//! {"kind":"overloaded","in_flight":64,"limit":64}
+//! {"kind":"overloaded","in_flight":64,"limit":64,"retry_after_ms":25}
 //! {"kind":"rejected","reason":"..."}
 //! {"kind":"error","details":"..."}
 //! {"kind":"metrics", ...}
+//! {"kind":"reloaded","entries":412,"generation":3,"path":"verdicts.jsonl"}
 //! {"kind":"shutting-down"}
 //! ```
+//!
+//! `retry_after_ms` on the overloaded response is an optional hint: a
+//! well-behaved client backs off at least that long before retrying.
 
 use gsb_engine::json::{spec_from_json, spec_to_json};
 use gsb_engine::{EngineOpts, Json, Query, Question};
@@ -45,11 +54,19 @@ pub enum Request {
     Query {
         /// Client-chosen correlation id, echoed on the verdict line.
         id: Option<u64>,
+        /// Which retry this is (0 = first try); positive attempts are
+        /// counted in the server's `retries_observed` metric.
+        attempt: u64,
         /// The engine query assembled from `question`/`spec`/`opts`.
         query: Box<Query>,
     },
     /// Snapshot of server, cache, and store counters.
     Metrics,
+    /// Hot-swap the verdict store from disk without a restart.
+    Reload {
+        /// Store file to load; `None` re-opens the served store's path.
+        path: Option<String>,
+    },
     /// Graceful server shutdown.
     Shutdown,
 }
@@ -67,6 +84,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "ping" => Ok(Request::Ping),
         "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
+        "reload" => {
+            let path = match value.get("path") {
+                None | Some(Json::Null) => None,
+                Some(Json::Str(path)) => Some(path.clone()),
+                Some(_) => return Err("field 'path' is not a string".to_string()),
+            };
+            Ok(Request::Reload { path })
+        }
         "query" => {
             let question = Question::from_json_value(
                 value
@@ -92,18 +117,21 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                         EngineOpts::from_json_value(opts).map_err(|e| e.to_string())?;
                 }
             }
-            let id = match value.get("id") {
-                None | Some(Json::Null) => None,
-                Some(other) => Some(
-                    other
+            let uint_field = |name: &str| -> Result<Option<u64>, String> {
+                match value.get(name) {
+                    None | Some(Json::Null) => Ok(None),
+                    Some(other) => other
                         .as_f64()
                         .filter(|x| x.is_finite() && *x >= 0.0 && x.fract() == 0.0)
-                        .map(|x| x as u64)
-                        .ok_or_else(|| "field 'id' is not a non-negative integer".to_string())?,
-                ),
+                        .map(|x| Some(x as u64))
+                        .ok_or_else(|| format!("field '{name}' is not a non-negative integer")),
+                }
             };
+            let id = uint_field("id")?;
+            let attempt = uint_field("attempt")?.unwrap_or(0);
             Ok(Request::Query {
                 id,
+                attempt,
                 query: Box::new(query),
             })
         }
@@ -114,9 +142,20 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 /// Renders a query request line (the client side of [`parse_request`]).
 #[must_use]
 pub fn render_query(query: &Query, id: Option<u64>) -> String {
+    render_query_attempt(query, id, 0)
+}
+
+/// [`render_query`] with an explicit retry counter; `attempt` 0 (a
+/// first try) is omitted from the wire, so plain requests look exactly
+/// as they did before retries existed.
+#[must_use]
+pub fn render_query_attempt(query: &Query, id: Option<u64>, attempt: u64) -> String {
     let mut pairs = vec![("kind".to_string(), Json::Str("query".into()))];
     if let Some(id) = id {
         pairs.push(("id".into(), Json::Num(id as f64)));
+    }
+    if attempt > 0 {
+        pairs.push(("attempt".into(), Json::Num(attempt as f64)));
     }
     pairs.push(("question".into(), query.question().to_json_value()));
     pairs.push(("spec".into(), query.spec().map_or(Json::Null, spec_to_json)));
@@ -160,13 +199,29 @@ pub mod response {
         )
     }
 
-    /// Typed load-shed response.
+    /// Typed load-shed response. `retry_after_ms` is the optional
+    /// back-off hint a self-healing client honors before retrying.
     #[must_use]
-    pub fn overloaded(in_flight: usize, limit: usize) -> String {
-        Json::Obj(vec![
+    pub fn overloaded(in_flight: usize, limit: usize, retry_after_ms: Option<u64>) -> String {
+        let mut pairs = vec![
             ("kind".into(), Json::Str("overloaded".into())),
             ("in_flight".into(), Json::Num(in_flight as f64)),
             ("limit".into(), Json::Num(limit as f64)),
+        ];
+        if let Some(ms) = retry_after_ms {
+            pairs.push(("retry_after_ms".into(), Json::Num(ms as f64)));
+        }
+        Json::Obj(pairs).render_compact()
+    }
+
+    /// Acknowledgement of a completed hot reload.
+    #[must_use]
+    pub fn reloaded(entries: usize, generation: u64, path: &str) -> String {
+        Json::Obj(vec![
+            ("kind".into(), Json::Str("reloaded".into())),
+            ("entries".into(), Json::Num(entries as f64)),
+            ("generation".into(), Json::Num(generation as f64)),
+            ("path".into(), Json::Str(path.into())),
         ])
         .render_compact()
     }
@@ -212,13 +267,46 @@ mod tests {
         let line = render_query(&query, Some(9));
         assert!(!line.contains('\n'));
         match parse_request(&line).unwrap() {
-            Request::Query { id, query: parsed } => {
+            Request::Query {
+                id,
+                attempt,
+                query: parsed,
+            } => {
                 assert_eq!(id, Some(9));
+                assert_eq!(attempt, 0);
                 assert_eq!(parsed.spec(), query.spec());
                 assert_eq!(parsed.question(), query.question());
             }
             other => panic!("expected a query, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn attempts_round_trip_and_default_to_zero() {
+        let query = Query::new(spec(), Question::Classify);
+        let first = render_query_attempt(&query, None, 0);
+        assert!(!first.contains("attempt"), "attempt 0 stays off the wire");
+        let retry = render_query_attempt(&query, Some(3), 2);
+        match parse_request(&retry).unwrap() {
+            Request::Query { id, attempt, .. } => {
+                assert_eq!(id, Some(3));
+                assert_eq!(attempt, 2);
+            }
+            other => panic!("expected a query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reload_parses_with_and_without_a_path() {
+        match parse_request("{\"kind\":\"reload\"}").unwrap() {
+            Request::Reload { path: None } => {}
+            other => panic!("expected a pathless reload, got {other:?}"),
+        }
+        match parse_request("{\"kind\":\"reload\",\"path\":\"v.jsonl\"}").unwrap() {
+            Request::Reload { path: Some(p) } => assert_eq!(p, "v.jsonl"),
+            other => panic!("expected a reload, got {other:?}"),
+        }
+        assert!(parse_request("{\"kind\":\"reload\",\"path\":7}").is_err());
     }
 
     #[test]

@@ -2,15 +2,26 @@
 //! bounded worker pool over a `sync_channel`, JSON-lines framing per
 //! connection, and cooperative shutdown via an atomic flag plus a
 //! self-connect to unblock the accepting thread.
+//!
+//! The verdict store sits behind a `RwLock<Arc<_>>`: the `reload` wire
+//! message builds a fresh store from disk and swaps the `Arc` in one
+//! write-lock blip, while every in-flight request keeps serving from
+//! the clone it grabbed on entry — nothing is dropped mid-answer.
+//! Connections carry an idle deadline (slow-loris guard) and a write
+//! timeout, both counted in the `timeouts` metric, and the per-site
+//! [`fault`] hooks let tests inject dropped connections and stalled
+//! reads deterministically.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use gsb_core::govern::fault::{self, IoFaultAction, IoSite};
 use gsb_engine::{Batch, EngineCache, Json, Query};
 
 use crate::admission::AdmissionPolicy;
@@ -37,6 +48,14 @@ pub struct ServerConfig {
     pub policy: AdmissionPolicy,
     /// Whether solver misses are appended to the verdict store.
     pub append_to_store: bool,
+    /// A connection with no complete request line for this long is
+    /// reaped (slow-loris guard) and counted in `timeouts`.
+    pub idle_timeout: Duration,
+    /// Per-connection socket write timeout; a peer that stops reading
+    /// its responses is reaped and counted in `timeouts`.
+    pub write_timeout: Duration,
+    /// Back-off hint attached to `overloaded` responses, in ms.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -47,6 +66,9 @@ impl Default for ServerConfig {
             workers: parallel.clamp(2, 8),
             policy: AdmissionPolicy::default(),
             append_to_store: true,
+            idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            retry_after_ms: Some(25),
         }
     }
 }
@@ -58,7 +80,9 @@ pub struct Server;
 /// Everything shared between the accept loop and the workers.
 struct Shared {
     config: ServerConfig,
-    store: Arc<VerdictStore>,
+    /// The served store. Reads clone the `Arc` (one lock blip per
+    /// request); `reload` swaps the whole `Arc` under the write lock.
+    store: RwLock<Arc<VerdictStore>>,
     cache: Arc<EngineCache>,
     metrics: Arc<ServerMetrics>,
     shutdown: AtomicBool,
@@ -100,7 +124,7 @@ impl Server {
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             config,
-            store,
+            store: RwLock::new(store),
             cache,
             metrics: Arc::new(ServerMetrics::default()),
             shutdown: AtomicBool::new(false),
@@ -149,10 +173,12 @@ impl ServerHandle {
         &self.shared.metrics
     }
 
-    /// The verdict store this server consults.
+    /// The verdict store this server currently consults (a hot reload
+    /// may swap it — the returned `Arc` keeps serving the snapshot you
+    /// grabbed).
     #[must_use]
-    pub fn store(&self) -> &VerdictStore {
-        &self.shared.store
+    pub fn store(&self) -> Arc<VerdictStore> {
+        self.shared.store()
     }
 
     /// Requests shutdown: new connections stop being accepted, workers
@@ -176,6 +202,11 @@ impl ServerHandle {
 }
 
 impl Shared {
+    /// One clone of the currently served store.
+    fn store(&self) -> Arc<VerdictStore> {
+        Arc::clone(&self.store.read().unwrap_or_else(|p| p.into_inner()))
+    }
+
     fn request_shutdown(&self) {
         if !self.shutdown.swap(true, Ordering::SeqCst) {
             // Unblock the accept loop: a throwaway local connection
@@ -207,7 +238,10 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStrea
                 shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
                 let limit = shared.config.policy.max_in_flight;
                 let in_flight = shared.metrics.in_flight.load(Ordering::Relaxed);
-                let _ = write_line(&stream, &response::overloaded(in_flight, limit));
+                let _ = write_line(
+                    &stream,
+                    &response::overloaded(in_flight, limit, shared.config.retry_after_ms),
+                );
             }
             Err(TrySendError::Disconnected(_)) => return,
         }
@@ -234,10 +268,16 @@ fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
 }
 
 /// Serves one connection: bounded JSON-lines framing, one response line
-/// per request line, polling the shutdown flag between reads.
+/// per request line, polling the shutdown flag between reads. A
+/// connection that produces no complete line within the idle timeout is
+/// reaped (counted in `timeouts`); injected `DropConnection` faults
+/// close it, `StallRead` faults stop reading until the reaper fires.
 fn handle_connection(shared: &Shared, stream: &TcpStream) {
     let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
     let _ = stream.set_nodelay(true);
+    let mut last_line = Instant::now();
+    let mut stalled = false;
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
     loop {
@@ -246,15 +286,37 @@ fn handle_connection(shared: &Shared, stream: &TcpStream) {
             let line: Vec<u8> = buf.drain(..=at).collect();
             let line = String::from_utf8_lossy(&line[..line.len() - 1]);
             let line = line.trim();
+            last_line = Instant::now();
             if line.is_empty() {
                 continue;
             }
             if !serve_line(shared, stream, line) {
                 return;
             }
+            // Reset again after serving: a long engine run must not
+            // count against the peer's idle budget.
+            last_line = Instant::now();
         }
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
+        }
+        if last_line.elapsed() >= shared.config.idle_timeout {
+            // Slow-loris guard: no complete request line in too long.
+            shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if stalled {
+            // A stalled read never recovers; wait for the reaper above.
+            std::thread::sleep(READ_POLL);
+            continue;
+        }
+        match fault::io_poll(IoSite::ConnRead) {
+            Some(IoFaultAction::DropConnection) => return,
+            Some(IoFaultAction::StallRead) => {
+                stalled = true;
+                continue;
+            }
+            _ => {}
         }
         match (&mut &*stream).read(&mut chunk) {
             Ok(0) => return, // client hung up
@@ -284,22 +346,69 @@ fn handle_connection(shared: &Shared, stream: &TcpStream) {
 /// the whole server) should wind down.
 fn serve_line(shared: &Shared, stream: &TcpStream, line: &str) -> bool {
     match parse_request(line) {
-        Ok(Request::Ping) => write_line(stream, &response::pong()).is_ok(),
-        Ok(Request::Metrics) => write_line(stream, &metrics_payload(shared)).is_ok(),
+        Ok(Request::Ping) => send_line(shared, stream, &response::pong()).is_ok(),
+        Ok(Request::Metrics) => send_line(shared, stream, &metrics_payload(shared)).is_ok(),
         Ok(Request::Shutdown) => {
-            let _ = write_line(stream, &response::shutting_down());
+            let _ = send_line(shared, stream, &response::shutting_down());
             shared.request_shutdown();
             false
         }
-        Ok(Request::Query { id, query }) => {
+        Ok(Request::Reload { path }) => {
+            let reply = match reload_store(shared, path.as_deref()) {
+                Ok(reply) => reply,
+                Err(details) => {
+                    shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    response::error(&details)
+                }
+            };
+            send_line(shared, stream, &reply).is_ok()
+        }
+        Ok(Request::Query { id, attempt, query }) => {
+            if attempt > 0 {
+                shared
+                    .metrics
+                    .retries_observed
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             let reply = answer_query(shared, id, *query);
-            write_line(stream, &reply).is_ok()
+            send_line(shared, stream, &reply).is_ok()
         }
         Err(details) => {
             shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-            write_line(stream, &response::error(&details)).is_ok()
+            send_line(shared, stream, &response::error(&details)).is_ok()
         }
     }
+}
+
+/// Rebuilds the verdict store from disk and atomically swaps it in.
+/// In-flight requests keep the `Arc` they already cloned, so nothing is
+/// dropped; the next request sees the fresh store.
+fn reload_store(shared: &Shared, path: Option<&str>) -> Result<String, String> {
+    let current = shared.store();
+    let path: PathBuf = match path {
+        Some(p) => PathBuf::from(p),
+        None => current
+            .path()
+            .ok_or("the served store is in-memory: reload needs an explicit 'path'")?
+            .to_path_buf(),
+    };
+    let fresh = VerdictStore::open_with(&path, current.compaction_policy())
+        .map_err(|e| format!("reload of '{}' failed: {e}", path.display()))?;
+    let stats = fresh.stats();
+    // The fresh store's compaction counter starts over; fold the
+    // outgoing store's count into the server metric so the monotone
+    // `compactions` line survives the swap.
+    shared
+        .metrics
+        .compactions
+        .fetch_max(current.stats().compactions, Ordering::Relaxed);
+    *shared.store.write().unwrap_or_else(|p| p.into_inner()) = Arc::new(fresh);
+    shared.metrics.reloads.fetch_add(1, Ordering::Relaxed);
+    Ok(response::reloaded(
+        stats.entries,
+        stats.generation,
+        &path.display().to_string(),
+    ))
 }
 
 /// Answers one admitted-or-not query: store first, then admission,
@@ -308,10 +417,13 @@ fn serve_line(shared: &Shared, stream: &TcpStream, line: &str) -> bool {
 fn answer_query(shared: &Shared, id: Option<u64>, mut query: Query) -> String {
     let metrics = &shared.metrics;
     let started = Instant::now();
+    // One clone up front: this request serves (and appends) against
+    // the same store snapshot even if a reload swaps mid-answer.
+    let store = shared.store();
     // The store is consulted before the in-flight gate: hits are index
     // lookups and must stay serveable at full rate even when the
     // engine is saturated.
-    if let Some(rendered) = shared.store.lookup(&query) {
+    if let Some(rendered) = store.lookup(&query) {
         metrics.served_store.fetch_add(1, Ordering::Relaxed);
         metrics
             .histogram(query.question().label())
@@ -330,7 +442,11 @@ fn answer_query(shared: &Shared, id: Option<u64>, mut query: Query) -> String {
         });
     if admitted.is_err() {
         metrics.shed.fetch_add(1, Ordering::Relaxed);
-        return response::overloaded(metrics.in_flight.load(Ordering::Relaxed), limit);
+        return response::overloaded(
+            metrics.in_flight.load(Ordering::Relaxed),
+            limit,
+            shared.config.retry_after_ms,
+        );
     }
     let outcome = {
         let mut batch = Batch::new();
@@ -344,7 +460,7 @@ fn answer_query(shared: &Shared, id: Option<u64>, mut query: Query) -> String {
     match outcome {
         Ok(verdict) => {
             if shared.config.append_to_store {
-                shared.store.insert(&query, &verdict);
+                store.insert(&query, &verdict);
             }
             metrics.served_engine.fetch_add(1, Ordering::Relaxed);
             metrics
@@ -362,13 +478,47 @@ fn answer_query(shared: &Shared, id: Option<u64>, mut query: Query) -> String {
 /// The full metrics response: server counters, engine cache counters,
 /// and store counters on one line.
 fn metrics_payload(shared: &Shared) -> String {
+    let store = shared.store();
+    let stats = store.stats();
+    // Mirror the store's compaction count (manual + auto) into the
+    // server counters as a high-water mark, so one metrics line tells
+    // the whole accounting story.
+    shared
+        .metrics
+        .compactions
+        .fetch_max(stats.compactions, Ordering::Relaxed);
     Json::Obj(vec![
         ("kind".into(), Json::Str("metrics".into())),
         ("server".into(), shared.metrics.to_json_value()),
         ("cache".into(), shared.cache.stats().to_json_value()),
-        ("store".into(), shared.store.stats().to_json_value()),
+        ("store".into(), stats.to_json_value()),
     ])
     .render_compact()
+}
+
+/// [`write_line`] with the injected-fault hook and timeout accounting:
+/// a `DropConnection` fault aborts the write, a socket write timeout
+/// (peer stopped reading) is counted in `timeouts`.
+fn send_line(shared: &Shared, stream: &TcpStream, line: &str) -> std::io::Result<()> {
+    if matches!(
+        fault::io_poll(IoSite::ConnWrite),
+        Some(IoFaultAction::DropConnection)
+    ) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::ConnectionAborted,
+            "injected connection drop",
+        ));
+    }
+    match write_line(stream, line) {
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+            Err(e)
+        }
+        other => other,
+    }
 }
 
 /// Writes one response line (LF-terminated) and flushes it.

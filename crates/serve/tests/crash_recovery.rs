@@ -1,0 +1,209 @@
+//! Property-style crash-recovery tests: the store file (and its
+//! generation siblings) is truncated at every byte offset and corrupted
+//! at every byte position, and reload must never panic, never serve a
+//! malformed verdict, and preserve exactly the entries whose lines were
+//! complete before the cut.
+
+use std::path::PathBuf;
+
+use gsb_engine::{EngineCache, Query, Question, Verdict};
+use gsb_serve::proto::canonical_key;
+use gsb_serve::VerdictStore;
+
+/// The append log's header line (must match the store's).
+const HEADER: &str = "{\"kind\":\"gsb-verdict-store\",\"version\":1}";
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "gsb-crash-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Cheap solved verdicts over distinct canonical keys (zoo synonyms
+/// collapse to one key, so dedup).
+fn seed_verdicts(count: usize) -> Vec<(Query, Verdict)> {
+    let cache = EngineCache::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    'outer: for n in 2..=4 {
+        for entry in gsb_core::zoo::catalog(n).unwrap() {
+            let query = Query::new(entry.spec, Question::Classify);
+            if !seen.insert(canonical_key(&query)) {
+                continue;
+            }
+            let verdict = query.run_with(&cache).unwrap();
+            out.push((query, verdict));
+            if out.len() == count {
+                break 'outer;
+            }
+        }
+    }
+    assert_eq!(out.len(), count, "not enough distinct zoo tasks");
+    out
+}
+
+/// Asserts the store-hit invariant: whatever the store serves must
+/// parse as a verdict and re-render byte-identically.
+fn assert_round_trips(served: &str) {
+    let verdict = Verdict::from_json(served).expect("served verdicts always parse");
+    assert_eq!(
+        verdict.to_json_value().render_compact(),
+        served,
+        "served verdicts round-trip byte-identically"
+    );
+}
+
+#[test]
+fn log_truncated_at_every_byte_preserves_entries_before_the_cut() {
+    let dir = temp_dir("truncate");
+    let path = dir.join("verdicts.jsonl");
+    let seeds = seed_verdicts(4);
+    {
+        let store = VerdictStore::open(&path).unwrap();
+        for (query, verdict) in &seeds {
+            assert!(store.insert(query, verdict));
+        }
+    }
+    let pristine = std::fs::read(&path).unwrap();
+    assert!(pristine.len() > HEADER.len() + 1);
+
+    for cut in 0..=pristine.len() {
+        std::fs::write(&path, &pristine[..cut]).unwrap();
+        if cut > 0 && cut < HEADER.len() {
+            // A cut inside the header leaves an unrecognizable file:
+            // open must refuse it cleanly, never panic.
+            assert!(
+                VerdictStore::open(&path).is_err(),
+                "a torn header (cut {cut}) must be refused"
+            );
+            continue;
+        }
+        let store = VerdictStore::open(&path)
+            .unwrap_or_else(|e| panic!("reload after cut {cut} failed: {e}"));
+        // An entry survives iff its full line text sits before the cut
+        // — the trailing newline itself is not needed (a final partial
+        // line still parses when its text is complete).
+        let line_text_ends: Vec<usize> = pristine
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == b'\n')
+            .map(|(at, _)| at)
+            .collect();
+        let expected = line_text_ends[1..] // [0] ends the header
+            .iter()
+            .filter(|&&text_end| text_end <= cut)
+            .count();
+        let stats = store.stats();
+        assert_eq!(
+            stats.entries, expected,
+            "cut {cut}: complete lines before the cut survive, no more"
+        );
+        for (i, (query, _)) in seeds.iter().enumerate() {
+            match store.lookup(query) {
+                Some(served) if i < expected => assert_round_trips(&served),
+                None if i >= expected => {}
+                other => panic!("cut {cut}, seed {i}: unexpected lookup {other:?}"),
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn log_corrupted_at_every_byte_never_serves_garbage() {
+    let dir = temp_dir("corrupt");
+    let path = dir.join("verdicts.jsonl");
+    let seeds = seed_verdicts(3);
+    {
+        let store = VerdictStore::open(&path).unwrap();
+        for (query, verdict) in &seeds {
+            assert!(store.insert(query, verdict));
+        }
+    }
+    let pristine = std::fs::read(&path).unwrap();
+
+    for at in 0..pristine.len() {
+        let mut bytes = pristine.clone();
+        bytes[at] = bytes[at].wrapping_add(13);
+        std::fs::write(&path, &bytes).unwrap();
+        // A corrupted header is refused; anything else loads, dropping
+        // at most the damaged line and serving only intact verdicts.
+        let Ok(store) = VerdictStore::open(&path) else {
+            continue;
+        };
+        let stats = store.stats();
+        assert!(
+            stats.entries <= seeds.len(),
+            "byte {at}: corruption cannot invent entries"
+        );
+        assert!(
+            stats.entries + 2 >= seeds.len(),
+            "byte {at}: one flipped byte damages at most two lines \
+             (two, when the byte was the newline joining them)"
+        );
+        for (query, _) in &seeds {
+            if let Some(served) = store.lookup(query) {
+                assert_round_trips(&served);
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn generation_truncated_at_every_byte_falls_back_to_the_previous_one() {
+    let dir = temp_dir("gen-fallback");
+    let path = dir.join("verdicts.jsonl");
+    let seeds = seed_verdicts(3);
+    {
+        let store = VerdictStore::open(&path).unwrap();
+        for (query, verdict) in &seeds[..2] {
+            assert!(store.insert(query, verdict));
+        }
+        store.compact().unwrap(); // generation 1: two entries
+        assert!(store.insert(&seeds[2].0, &seeds[2].1));
+        store.compact().unwrap(); // generation 2: all three
+    }
+    let gen2_path = {
+        let mut name = path.as_os_str().to_os_string();
+        name.push(".g000002");
+        PathBuf::from(name)
+    };
+    let pristine = std::fs::read(&gen2_path).unwrap();
+
+    for cut in 0..=pristine.len() {
+        std::fs::write(&gen2_path, &pristine[..cut]).unwrap();
+        let store = VerdictStore::open(&path)
+            .unwrap_or_else(|e| panic!("reload after generation cut {cut} failed: {e}"));
+        let stats = store.stats();
+        // The file ends with the manifest's newline; losing only that
+        // newline keeps the manifest text (and the generation) intact.
+        if cut >= pristine.len() - 1 {
+            assert_eq!((stats.generation, stats.entries), (2, 3));
+        } else {
+            // Any proper prefix loses the verifying manifest: reload
+            // must fall back to the older complete generation.
+            assert_eq!(
+                (stats.generation, stats.entries),
+                (1, 2),
+                "cut {cut}: torn generation 2 must be skipped"
+            );
+            assert!(stats.torn_skipped >= 1);
+        }
+        for (i, (query, _)) in seeds.iter().enumerate() {
+            match store.lookup(query) {
+                Some(served) => assert_round_trips(&served),
+                None => assert!(
+                    i == 2 && cut < pristine.len() - 1,
+                    "cut {cut}: only the generation-2-only entry may vanish"
+                ),
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

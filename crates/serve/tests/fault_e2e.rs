@@ -1,0 +1,256 @@
+//! The seeded end-to-end fault test: torn writes during store appends,
+//! dropped connections and a stalled read under live client traffic, a
+//! mid-serve compaction, and a hot reload — every request must resolve
+//! to a typed outcome, the recovered store must round-trip
+//! byte-identically, and the same seed must reproduce the same fault
+//! schedule.
+//!
+//! Everything lives in ONE test: `fault::io_poll` is process-global,
+//! so a second concurrently running server in this binary could
+//! consume fires armed here.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gsb_core::govern::fault::{self, IoFaultAction};
+use gsb_engine::{EngineCache, Json, Query, Question, Verdict};
+use gsb_serve::proto::canonical_key;
+use gsb_serve::{
+    Client, RetryPolicy, SelfHealingClient, ServedBy, Server, ServerConfig, VerdictStore,
+};
+
+const SEED: u64 = 0x0f41_11e2;
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gsb-fault-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Distinct-key query/verdict pairs: classify plus witness over the
+/// small zoo. The first `hot` pairs become precomputed store hits; the
+/// rest feed the torn-write countdown.
+fn seed_pairs(cache: &EngineCache) -> Vec<(Query, Verdict)> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for question in [Question::Classify, Question::NoCommWitness] {
+        for n in 2..=4 {
+            for entry in gsb_core::zoo::catalog(n).unwrap() {
+                let query = Query::new(entry.spec, question.clone());
+                if !seen.insert(canonical_key(&query)) {
+                    continue;
+                }
+                let verdict = query.run_with(cache).unwrap();
+                out.push((query, verdict));
+            }
+        }
+    }
+    assert!(out.len() >= 14, "need 14+ distinct keys, got {}", out.len());
+    out
+}
+
+fn metric(value: &Json, path: &[&str]) -> f64 {
+    let mut cursor = value;
+    for key in path {
+        cursor = cursor
+            .get(key)
+            .unwrap_or_else(|| panic!("metrics field {path:?} missing"));
+    }
+    cursor
+        .as_f64()
+        .unwrap_or_else(|| panic!("metrics field {path:?} is not a number"))
+}
+
+#[test]
+fn seeded_faults_compaction_and_reload_resolve_every_request() {
+    let dir = temp_dir();
+    let path = dir.join("verdicts.jsonl");
+    let cache = EngineCache::new();
+    let pairs = seed_pairs(&cache);
+    let (hot, burn) = pairs.split_at(6);
+    {
+        let store = VerdictStore::open(&path).unwrap();
+        for (query, verdict) in hot {
+            assert!(store.insert(query, verdict));
+        }
+    }
+    let config = ServerConfig {
+        workers: 8,
+        idle_timeout: Duration::from_millis(500),
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(
+        config,
+        Arc::new(VerdictStore::open(&path).unwrap()),
+        Arc::new(EngineCache::new()),
+    )
+    .expect("bind");
+    let addr = handle.addr().to_string();
+
+    // Determinism: the schedule is a pure function of the seed.
+    assert_eq!(fault::io_plan(SEED, 3), fault::io_plan(SEED, 3));
+    assert_ne!(fault::io_plan(SEED, 3), fault::io_plan(SEED ^ 1, 3));
+
+    // Phase 1 — a torn write lands mid-append. The appends go through
+    // the server's own store Arc; the in-memory entry survives the
+    // torn disk line, and the later compaction re-persists it.
+    let burned = {
+        let guard = fault::arm_io(SEED, IoFaultAction::TornWrite, 1);
+        let store = handle.store();
+        let mut burned = 0;
+        for (query, verdict) in burn {
+            assert!(store.insert(query, verdict));
+            burned += 1;
+            if fault::io_fired() >= 1 {
+                break;
+            }
+        }
+        assert_eq!(fault::io_fired(), 1, "the torn write must fire");
+        drop(guard);
+        burned
+    };
+    // The torn line (and the line the next append glued onto it) are
+    // skipped on reload — never served, never fatal.
+    {
+        let check = VerdictStore::open(&path).unwrap();
+        assert!(check.stats().torn_skipped >= 1, "the torn line is visible");
+        for (query, _) in hot {
+            assert!(check.lookup(query).is_some());
+        }
+    }
+
+    // Phase 2 — three dropped connections under a fleet of
+    // self-healing clients; every request must still resolve Ok.
+    let fleet_retries = {
+        let guard = fault::arm_io(SEED ^ 1, IoFaultAction::DropConnection, 3);
+        let outcomes: Vec<(u64, u64)> = std::thread::scope(|s| {
+            (0..3u64)
+                .map(|t| {
+                    let addr = addr.clone();
+                    let hot = hot.to_vec();
+                    s.spawn(move || {
+                        let policy = RetryPolicy {
+                            seed: SEED + t,
+                            ..RetryPolicy::default()
+                        };
+                        let mut client = SelfHealingClient::new(addr, policy);
+                        let mut ok = 0u64;
+                        for (query, _) in hot.iter().cycle().take(12) {
+                            let served = client
+                                .query(query)
+                                .unwrap_or_else(|e| panic!("client {t}: drops must heal, got {e}"));
+                            assert_eq!(served.served_by, ServedBy::Store);
+                            ok += 1;
+                        }
+                        (ok, client.retries())
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(outcomes.iter().map(|(ok, _)| ok).sum::<u64>(), 36);
+        // Drain any remaining fires so the count is exact: keep one
+        // retrying client talking until all three drops landed.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut drain = SelfHealingClient::new(addr.clone(), RetryPolicy::default());
+        while fault::io_fired() < 3 && Instant::now() < deadline {
+            drain.query(&hot[0].0).expect("drain query heals");
+        }
+        let fired = fault::io_fired();
+        drop(guard);
+        assert_eq!(fired, 3, "exactly the armed number of drops fire");
+        outcomes.iter().map(|(_, r)| r).sum::<u64>() + drain.retries()
+    };
+
+    // Phase 3 — one stalled read: the slow-loris reaper must free the
+    // worker (counted in `timeouts`) and the client must heal.
+    {
+        let guard = fault::arm_io(SEED ^ 2, IoFaultAction::StallRead, 1);
+        let mut client = SelfHealingClient::new(addr.clone(), RetryPolicy::default());
+        let deadline = Instant::now() + Duration::from_secs(8);
+        while fault::io_fired() < 1 && Instant::now() < deadline {
+            client.query(&hot[1].0).expect("stall must heal, not hang");
+        }
+        assert_eq!(fault::io_fired(), 1, "the stall must fire");
+        // One more query rides out the stalled connection's reap.
+        client.query(&hot[2].0).expect("post-stall query heals");
+        drop(guard);
+    }
+
+    // A positive attempt counter is observable server-side even when
+    // the fault schedule happened to retry only idle connections.
+    let mut client = Client::connect(&addr).expect("connect");
+    client
+        .query_attempt(&hot[0].0, 1)
+        .expect("stamped retry serves");
+
+    // Phase 4 — a compaction in the middle of live traffic.
+    let report = std::thread::scope(|s| {
+        let traffic = {
+            let addr = addr.clone();
+            let hot = hot.to_vec();
+            s.spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                for (query, _) in hot.iter().cycle().take(20) {
+                    let served = client.query(query).expect("query during compaction");
+                    assert_eq!(served.served_by, ServedBy::Store);
+                }
+            })
+        };
+        let report = handle.store().compact().expect("mid-serve compaction");
+        traffic.join().unwrap();
+        report
+    });
+    assert_eq!(report.generation, 1);
+    assert_eq!(report.entries, hot.len() + burned);
+
+    // Phase 5 — hot reload: the store Arc is swapped, requests keep
+    // being answered, nothing is dropped.
+    let before = handle.store();
+    let (entries, generation) = client.reload(None).expect("hot reload");
+    assert_eq!(entries as usize, hot.len() + burned);
+    assert_eq!(generation, 1, "reload picked up the compacted generation");
+    assert!(
+        !Arc::ptr_eq(&before, &handle.store()),
+        "reload swapped the served store"
+    );
+    for (query, _) in hot {
+        let served = client.query(query).expect("post-reload query");
+        assert_eq!(served.served_by, ServedBy::Store);
+    }
+
+    // Exact accounting on one metrics line.
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(metric(&metrics, &["server", "reloads"]), 1.0);
+    assert!(metric(&metrics, &["server", "compactions"]) >= 1.0);
+    assert!(
+        metric(&metrics, &["server", "timeouts"]) >= 1.0,
+        "the stalled connection was reaped"
+    );
+    assert!(metric(&metrics, &["server", "retries_observed"]) >= 1.0);
+    assert!(
+        fleet_retries <= 3 + 1,
+        "three drops cause at most four retries"
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+
+    // The recovered store round-trips byte-identically.
+    let recovered = VerdictStore::open(&path).unwrap();
+    assert_eq!(recovered.stats().entries, hot.len() + burned);
+    for (query, _) in pairs.iter().take(hot.len() + burned) {
+        let served = recovered.lookup(query).expect("entry recovered");
+        let verdict = Verdict::from_json(&served).expect("recovered verdicts parse");
+        assert_eq!(
+            verdict.to_json_value().render_compact(),
+            *served,
+            "recovered verdicts round-trip byte-identically"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

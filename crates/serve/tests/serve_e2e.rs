@@ -294,6 +294,113 @@ fn solver_misses_append_to_the_disk_store_and_reload() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+#[test]
+fn slow_loris_connections_are_reaped_not_leaked() {
+    let cache = Arc::new(EngineCache::new());
+    let config = ServerConfig {
+        workers: 2,
+        idle_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(
+        config,
+        Arc::new(VerdictStore::in_memory()),
+        Arc::clone(&cache),
+    )
+    .expect("bind");
+    let addr = handle.addr().to_string();
+
+    // Two silent connections occupy the entire two-worker pool; the
+    // idle reaper must evict them or the real client below starves.
+    let loris: Vec<TcpStream> = (0..2)
+        .map(|_| TcpStream::connect(&addr).expect("connect loris"))
+        .collect();
+    for stream in &loris {
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read until reap");
+        assert_eq!(n, 0, "the server closes an idle connection");
+    }
+
+    let mut client = Client::connect(&addr).expect("connect after reap");
+    client.ping().expect("workers were freed");
+    let metrics = client.metrics().expect("metrics");
+    assert!(metric(&metrics, &["server", "timeouts"]) >= 2.0);
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn hot_reload_under_traffic_drops_nothing() {
+    let dir = std::env::temp_dir().join(format!("gsb-reload-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("verdicts.jsonl");
+
+    let store = VerdictStore::open(&path).expect("open");
+    store
+        .build_atlas(4, &EngineCache::new())
+        .expect("precompute");
+    let (handle, addr, _cache) = start(AdmissionPolicy::default(), store);
+
+    let queries = zoo_classify_queries(4);
+    let ok_count = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..3 {
+            let addr = addr.clone();
+            let queries = queries.clone();
+            handles.push(s.spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let mut ok = 0u64;
+                for query in queries.iter().cycle().skip(t).take(30) {
+                    let served = client.query(query).expect("query across reload");
+                    assert_eq!(served.served_by, ServedBy::Store);
+                    ok += 1;
+                }
+                ok
+            }));
+        }
+        // Reload mid-traffic — twice, to exercise repeated swaps.
+        let mut admin = Client::connect(&addr).expect("connect admin");
+        for _ in 0..2 {
+            let (entries, _generation) = admin.reload(None).expect("hot reload");
+            assert!(entries > 0);
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+    });
+    assert_eq!(ok_count, 90, "no request was dropped by the swaps");
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(metric(&metrics, &["server", "reloads"]), 2.0);
+    assert_eq!(metric(&metrics, &["server", "errors"]), 0.0);
+    client.shutdown().expect("shutdown");
+    handle.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn connect_retry_to_a_dead_port_reports_attempts_then_gives_up() {
+    // Bind-then-drop yields a port that refuses connections.
+    let dead = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+    let started = std::time::Instant::now();
+    match Client::connect_retry(&dead, Duration::from_millis(300)) {
+        Err(ClientError::RetryExhausted { attempts, last }) => {
+            assert!(attempts >= 2, "bounded backoff keeps trying: {attempts}");
+            assert!(matches!(*last, ClientError::Io(_)));
+        }
+        other => panic!("expected RetryExhausted, got {other:?}"),
+    }
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(250) && elapsed < Duration::from_secs(5),
+        "the deadline bounds the retry loop: {elapsed:?}"
+    );
+}
+
 /// Digs a numeric field out of the metrics payload.
 fn metric(value: &Json, path: &[&str]) -> f64 {
     let mut cursor = value;

@@ -33,7 +33,8 @@ use std::sync::Arc;
 use gsb_universe::core::GsbSpec;
 use gsb_universe::engine::Json;
 use gsb_universe::serve::{
-    AdmissionPolicy, Client, Served, ServedBy, Server, ServerConfig, VerdictStore,
+    AdmissionPolicy, Client, CompactionPolicy, RetryPolicy, SelfHealingClient, Served, ServedBy,
+    Server, ServerConfig, VerdictStore,
 };
 use gsb_universe::{
     named_task, EngineCache, Error, Query, SearchEngine, SearchMode, Verdict, KNOWN_TASKS,
@@ -54,13 +55,17 @@ USAGE:
   gsb complex  <n> <r> [--orbits] [--json]
   gsb tasks
 
-Serving (DESIGN.md §11):
+Serving (DESIGN.md §11, failure model §13):
   gsb serve    [--addr A] [--store PATH] [--workers W] [--max-inflight M]
                [--max-rounds R] [--deadline-cap-ms MS] [--no-append]
+               [--idle-timeout-ms MS] [--retry-after-ms MS]
+               [--compact-after N]
   gsb store    build --atlas N --out PATH
+  gsb store    compact PATH
   gsb query    <task> --n N [--k K] --connect ADDR
                [--question classify|solvable|witness|certificate|atlas]
-               [--rounds R] [--max-n N] [--json]
+               [--rounds R] [--max-n N] [--retries R] [--json]
+  gsb reload   --connect ADDR [--store PATH]
   gsb ping     --connect ADDR [--wait-ms MS]
   gsb metrics  --connect ADDR [--json]
   gsb shutdown --connect ADDR
@@ -71,6 +76,11 @@ protocol, consulting the disk-backed verdict store before the solver
 and shedding load beyond its admission limits with a typed
 `overloaded` response. Build a store offline with `gsb store build
 --atlas 6 --out verdicts.jsonl`, then serve it with `--store`.
+`gsb store compact` rewrites the append log into a sorted, checksummed
+generation file (the server also auto-compacts past --compact-after
+log entries); `gsb reload` hot-swaps the served store without a
+restart or dropped requests; `gsb query --retries R` retries shed or
+dropped requests with capped, jittered backoff.
 
 Every query command also takes resource-governance limits:
   [--deadline-ms MS] [--decision-budget D] [--conflict-budget C]
@@ -168,6 +178,11 @@ const VALUE_FLAGS: &[&str] = &[
     "wait-ms",
     "question",
     "warm",
+    // Crash-safe serving flags (DESIGN.md §13).
+    "idle-timeout-ms",
+    "retry-after-ms",
+    "compact-after",
+    "retries",
 ];
 
 impl Args {
@@ -265,6 +280,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
         "serve" => serve(&rest),
         "store" => store(&rest),
         "query" => remote_query(&rest),
+        "reload" => reload(&rest),
         "ping" => ping(&rest),
         "metrics" => metrics(&rest),
         "shutdown" => shutdown(&rest),
@@ -674,8 +690,12 @@ fn parse_policy(args: &Args) -> Result<AdmissionPolicy, String> {
 /// `gsb serve`: bind, print the resolved address, and block until a
 /// `shutdown` request arrives on the wire.
 fn serve(args: &Args) -> Result<(), String> {
+    let mut compaction = CompactionPolicy::default();
+    if let Some(entries) = args.u64_value("compact-after")? {
+        compaction.max_log_entries = entries.max(1);
+    }
     let store = match args.value("store") {
-        Some(path) => VerdictStore::open(path).map_err(|e| e.to_string())?,
+        Some(path) => VerdictStore::open_with(path, Some(compaction)).map_err(|e| e.to_string())?,
         None => VerdictStore::in_memory(),
     };
     let mut config = ServerConfig {
@@ -688,6 +708,12 @@ fn serve(args: &Args) -> Result<(), String> {
     }
     if let Some(workers) = args.usize_value("workers")? {
         config.workers = workers;
+    }
+    if let Some(ms) = args.u64_value("idle-timeout-ms")? {
+        config.idle_timeout = std::time::Duration::from_millis(ms.max(1));
+    }
+    if let Some(ms) = args.u64_value("retry-after-ms")? {
+        config.retry_after_ms = Some(ms);
     }
     let entries = store.stats().entries;
     let backing = store
@@ -709,10 +735,17 @@ fn serve(args: &Args) -> Result<(), String> {
 
 /// `gsb store build --atlas N --out PATH`: precompute the symmetric
 /// universe (plus the task zoo) into a disk-backed verdict store.
+/// `gsb store compact PATH`: rewrite its append log into a sorted,
+/// checksummed generation file.
 fn store(args: &Args) -> Result<(), String> {
     match args.positionals.first().map(String::as_str) {
         Some("build") => {}
-        _ => return Err("usage: gsb store build --atlas N --out PATH".into()),
+        Some("compact") => return store_compact(args),
+        _ => {
+            return Err(
+                "usage: gsb store build --atlas N --out PATH | gsb store compact PATH".into(),
+            )
+        }
     }
     let max_n = args
         .usize_value("atlas")?
@@ -729,6 +762,26 @@ fn store(args: &Args) -> Result<(), String> {
         "store {} now holds {} verdicts ({added} added, atlas through n = {max_n}, {:.3} ms)",
         out,
         store.stats().entries,
+        start.elapsed().as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
+/// `gsb store compact PATH`: one offline compaction pass.
+fn store_compact(args: &Args) -> Result<(), String> {
+    let path = args
+        .positionals
+        .get(1)
+        .ok_or_else(|| "usage: gsb store compact PATH".to_string())?;
+    let store = VerdictStore::open_with(path, None).map_err(|e| e.to_string())?;
+    let start = std::time::Instant::now();
+    let report = store.compact().map_err(|e| e.to_string())?;
+    println!(
+        "store {} compacted into generation {} ({} entries, {} bytes, {:.3} ms)",
+        path,
+        report.generation,
+        report.entries,
+        report.bytes,
         start.elapsed().as_secs_f64() * 1e3
     );
     Ok(())
@@ -761,18 +814,46 @@ fn remote_query(args: &Args) -> Result<(), String> {
         }
     };
     apply_governance(args, &mut query)?;
-    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
-    let Served { verdict, served_by } = client.query(&query).map_err(|e| e.to_string())?;
+    let retries = args.u64_value("retries")?.unwrap_or(0);
+    let (served, retried) = if retries > 0 {
+        let policy = RetryPolicy {
+            max_attempts: retries + 1,
+            ..RetryPolicy::default()
+        };
+        let mut client = SelfHealingClient::new(addr, policy);
+        let served = client.query(&query).map_err(|e| e.to_string())?;
+        (served, client.retries())
+    } else {
+        let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+        (client.query(&query).map_err(|e| e.to_string())?, 0)
+    };
+    let Served { verdict, served_by } = served;
     if !args.switch("json") {
         println!(
-            "served by the {} at {addr}",
+            "served by the {} at {addr}{}",
             match served_by {
                 ServedBy::Store => "verdict store",
                 ServedBy::Engine => "engine",
+            },
+            if retried > 0 {
+                format!(" after {retried} retries")
+            } else {
+                String::new()
             }
         );
     }
     emit(&verdict, args.switch("json"));
+    Ok(())
+}
+
+/// `gsb reload`: hot-swap the served verdict store without a restart.
+fn reload(args: &Args) -> Result<(), String> {
+    let addr = require_connect(args)?;
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let (entries, generation) = client
+        .reload(args.value("store"))
+        .map_err(|e| e.to_string())?;
+    println!("reloaded: {entries} verdicts, generation {generation}, served from {addr}");
     Ok(())
 }
 
